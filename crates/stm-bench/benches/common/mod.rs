@@ -1,0 +1,48 @@
+//! Shared plumbing for the figure benches.
+//!
+//! Each paper figure gets one Criterion bench: for every contention manager
+//! in the figure set it measures the time for a fixed batch of update
+//! transactions on the figure's data structure. The committed-transactions-
+//! per-second series of the paper (full 1–32 thread sweep) is produced by the
+//! `figures` binary; the Criterion benches keep the per-manager comparison in
+//! a form that integrates with `cargo bench` and its regression tracking.
+
+use std::time::Duration;
+
+use criterion::{BenchmarkId, Criterion};
+use stm_bench::{run_fixed_ops, StructureKind, WorkloadConfig};
+use stm_cm::ManagerKind;
+
+/// Threads used by the Criterion benches (kept modest so `cargo bench`
+/// remains fast; the binary sweeps the full 1–32 range).
+pub const BENCH_THREADS: usize = 4;
+/// Update transactions per thread in each measured batch.
+pub const OPS_PER_THREAD: u64 = 300;
+
+/// Registers one benchmark group comparing the paper's figure-set managers on
+/// the given structure.
+pub fn bench_structure(c: &mut Criterion, group_name: &str, structure: StructureKind, local_work: u64) {
+    let mut group = c.benchmark_group(group_name);
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    let cfg = WorkloadConfig {
+        threads: BENCH_THREADS,
+        key_range: 256,
+        duration: Duration::from_millis(0),
+        local_work,
+        seed: 0xbe9c,
+    };
+    for manager in ManagerKind::FIGURE_SET {
+        group.bench_with_input(
+            BenchmarkId::new(manager.name(), BENCH_THREADS),
+            &manager,
+            |b, &manager| {
+                b.iter(|| {
+                    run_fixed_ops(manager, &structure, BENCH_THREADS, OPS_PER_THREAD, &cfg)
+                });
+            },
+        );
+    }
+    group.finish();
+}

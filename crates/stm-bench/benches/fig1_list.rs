@@ -1,0 +1,14 @@
+//! Figure 1 — the list application: committed update transactions on a
+//! 256-key sorted linked list, compared across contention managers.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stm_bench::StructureKind;
+
+fn fig1(c: &mut Criterion) {
+    common::bench_structure(c, "fig1_list", StructureKind::List, 0);
+}
+
+criterion_group!(benches, fig1);
+criterion_main!(benches);

@@ -1,0 +1,14 @@
+//! Figure 2 — the skiplist application: committed update transactions on a
+//! 256-key skiplist, compared across contention managers.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stm_bench::StructureKind;
+
+fn fig2(c: &mut Criterion) {
+    common::bench_structure(c, "fig2_skiplist", StructureKind::SkipList, 0);
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

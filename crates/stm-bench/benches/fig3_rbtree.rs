@@ -1,0 +1,14 @@
+//! Figure 3 — the red-black tree under low contention: each transaction ends
+//! with uncontended local work, so conflicts are rare.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stm_bench::StructureKind;
+
+fn fig3(c: &mut Criterion) {
+    common::bench_structure(c, "fig3_rbtree_low_contention", StructureKind::RbTree, 2_000);
+}
+
+criterion_group!(benches, fig3);
+criterion_main!(benches);

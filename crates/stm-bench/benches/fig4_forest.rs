@@ -1,0 +1,14 @@
+//! Figure 4 — the red-black forest: transactions of highly variable length
+//! (one tree vs all fifty trees) under intensive contention.
+
+mod common;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use stm_bench::StructureKind;
+
+fn fig4(c: &mut Criterion) {
+    common::bench_structure(c, "fig4_rbforest", StructureKind::paper_forest(), 0);
+}
+
+criterion_group!(benches, fig4);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Micro-benchmarks of the STM substrate itself: cost of an uncontended
+//! read-modify-write transaction, of a multi-object transaction, and of the
+//! two read-visibility modes. These are not paper figures; they document the
+//! constant factors of the substrate that the figures are built on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stm_cm::GreedyManager;
+use stm_core::{ReadVisibility, Stm, TVar};
+
+fn uncontended_rmw(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_uncontended_rmw");
+    for visibility in [ReadVisibility::Visible, ReadVisibility::Invisible] {
+        let stm = Stm::builder()
+            .manager(GreedyManager::factory())
+            .read_visibility(visibility)
+            .build();
+        let cell = TVar::new(0u64);
+        group.bench_with_input(
+            BenchmarkId::new("counter_increment", format!("{visibility:?}")),
+            &visibility,
+            |b, _| {
+                let mut ctx = stm.thread();
+                b.iter(|| ctx.atomically(|tx| tx.modify(&cell, |v| v + 1)).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn multi_object_transaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_multi_object");
+    for objects in [2usize, 8, 32] {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let cells: Vec<TVar<u64>> = (0..objects).map(|_| TVar::new(0)).collect();
+        group.bench_with_input(BenchmarkId::new("update_all", objects), &objects, |b, _| {
+            let mut ctx = stm.thread();
+            b.iter(|| {
+                ctx.atomically(|tx| {
+                    for cell in &cells {
+                        tx.modify(cell, |v| v + 1)?;
+                    }
+                    Ok(())
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn read_only_transaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stm_read_only");
+    for objects in [8usize, 64] {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let cells: Vec<TVar<u64>> = (0..objects).map(|i| TVar::new(i as u64)).collect();
+        group.bench_with_input(BenchmarkId::new("sum_all", objects), &objects, |b, _| {
+            let mut ctx = stm.thread();
+            b.iter(|| {
+                ctx.atomically(|tx| {
+                    let mut sum = 0u64;
+                    for cell in &cells {
+                        sum += tx.read(cell)?;
+                    }
+                    Ok(sum)
+                })
+                .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, uncontended_rmw, multi_object_transaction, read_only_transaction);
+criterion_main!(benches);

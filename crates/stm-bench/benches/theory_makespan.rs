@@ -1,0 +1,81 @@
+//! Theory benches (E5/E6): the adversarial chain and random-instance
+//! makespans under different contention managers, measured through the
+//! discrete-time simulator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stm_cm::ManagerKind;
+use stm_sched::{
+    chain, optimal_list_schedule, random_transaction_system, simulate, RandomSystemConfig,
+    SimConfig, TaskSystem,
+};
+
+fn chain_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory_chain");
+    group.sample_size(20);
+    for s in [4usize, 8, 16] {
+        let instance = chain(s, 10);
+        for manager in [ManagerKind::Greedy, ManagerKind::Timestamp, ManagerKind::Karma] {
+            group.bench_with_input(
+                BenchmarkId::new(manager.name(), s),
+                &s,
+                |b, _| {
+                    b.iter(|| {
+                        simulate(
+                            &instance.transactions,
+                            manager.factory(),
+                            SimConfig { max_ticks: 100_000 },
+                        )
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn optimal_schedule_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory_optimal_list_schedule");
+    group.sample_size(10);
+    for s in [4usize, 6, 8] {
+        let instance = chain(s, 10);
+        let tasks = TaskSystem::from_transactions(&instance.transactions);
+        group.bench_with_input(BenchmarkId::new("chain", s), &s, |b, _| {
+            b.iter(|| optimal_list_schedule(&tasks))
+        });
+    }
+    group.finish();
+}
+
+fn random_instance_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theory_random_instances");
+    group.sample_size(10);
+    let config = RandomSystemConfig {
+        transactions: 8,
+        objects: 4,
+        min_duration: 4,
+        max_duration: 16,
+        accesses_per_transaction: 2,
+        write_fraction: 1.0,
+    };
+    let instances: Vec<_> = (0..10u64)
+        .map(|seed| random_transaction_system(&config, seed))
+        .collect();
+    for manager in [ManagerKind::Greedy, ManagerKind::Karma, ManagerKind::Aggressive] {
+        group.bench_function(manager.name(), |b| {
+            b.iter(|| {
+                instances
+                    .iter()
+                    .map(|txns| {
+                        simulate(txns, manager.factory(), SimConfig { max_ticks: 50_000 })
+                            .makespan_ticks
+                            .unwrap_or(u64::MAX)
+                    })
+                    .sum::<u64>()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chain_bench, optimal_schedule_bench, random_instance_bench);
+criterion_main!(benches);

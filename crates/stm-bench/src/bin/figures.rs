@@ -1,0 +1,284 @@
+//! `figures` — regenerates the paper's evaluation from the command line.
+//!
+//! ```text
+//! cargo run --release -p stm-bench --bin figures -- all
+//! cargo run --release -p stm-bench --bin figures -- fig1 --quick
+//! cargo run --release -p stm-bench --bin figures -- chain bound starvation
+//! cargo run --release -p stm-bench --bin figures -- fig2 --json
+//! ```
+//!
+//! Available experiments: `fig1` `fig2` `fig3` `fig4` (throughput sweeps),
+//! `chain` (the Section 4 adversarial chain), `bound` (Theorem 9 ratio sweep),
+//! `starvation` (Theorem 1), `ablation-reads` (visible vs invisible reads),
+//! `all`. Flags: `--quick` shrinks the sweeps, `--json` prints raw JSON
+//! instead of tables.
+
+use std::time::Duration;
+
+use stm_bench::{
+    bound_experiment, chain_experiment, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest,
+    render_figure_table, render_rows, run_workload, starvation_experiment, StructureKind,
+    SweepConfig, WorkloadConfig,
+};
+use stm_cm::ManagerKind;
+use stm_core::{ReadVisibility, Stm};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let mut experiments: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .collect();
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = vec![
+            "fig1".into(),
+            "fig2".into(),
+            "fig3".into(),
+            "fig4".into(),
+            "chain".into(),
+            "bound".into(),
+            "starvation".into(),
+            "ablation-reads".into(),
+        ];
+    }
+    let sweep = if quick {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::paper_defaults()
+    };
+    for experiment in experiments {
+        match experiment.as_str() {
+            "fig1" => emit_figure(fig1_list(&sweep), json),
+            "fig2" => emit_figure(fig2_skiplist(&sweep), json),
+            "fig3" => emit_figure(fig3_rbtree(&sweep), json),
+            "fig4" => emit_figure(fig4_forest(&sweep), json),
+            "chain" => {
+                let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
+                let managers = [
+                    ManagerKind::Greedy,
+                    ManagerKind::Aggressive,
+                    ManagerKind::Karma,
+                    ManagerKind::Timestamp,
+                ];
+                let rows = chain_experiment(&sizes, &managers);
+                if json {
+                    println!("{}", render_rows(&rows));
+                } else {
+                    println!("# E5 — adversarial chain (greedy expected ~s+1, optimal 2)");
+                    println!(
+                        "{:>4} {:>12} {:>10} {:>9} {:>8} {:>10} {:>8}",
+                        "s", "manager", "makespan", "optimal", "ratio", "bound", "pc"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:>4} {:>12} {:>10.2} {:>9.2} {:>8.2} {:>10.0} {:>8}",
+                            r.s, r.manager, r.makespan, r.optimal, r.ratio, r.bound, r.pending_commit
+                        );
+                    }
+                }
+            }
+            "bound" => {
+                let sizes: Vec<(usize, usize)> = if quick {
+                    vec![(4, 2), (6, 3)]
+                } else {
+                    vec![(4, 2), (6, 3), (8, 4), (12, 6)]
+                };
+                let instances = if quick { 5 } else { 20 };
+                let managers = [ManagerKind::Greedy, ManagerKind::Timestamp, ManagerKind::Karma];
+                let rows = bound_experiment(&sizes, &managers, instances, 0xbeef);
+                if json {
+                    println!("{}", render_rows(&rows));
+                } else {
+                    println!("# E6 — Theorem 9 competitive-ratio sweep (random instances)");
+                    println!(
+                        "{:>4} {:>4} {:>12} {:>6} {:>9} {:>9} {:>8} {:>6}",
+                        "n", "s", "manager", "done", "mean", "worst", "bound", "pc%"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:>4} {:>4} {:>12} {:>3}/{:<3} {:>9.2} {:>9.2} {:>8.0} {:>6.0}",
+                            r.n,
+                            r.s,
+                            r.manager,
+                            r.finished,
+                            r.instances,
+                            r.mean_ratio,
+                            r.max_ratio,
+                            r.bound,
+                            r.pending_commit_fraction * 100.0
+                        );
+                    }
+                }
+            }
+            "starvation" => {
+                let duration = if quick {
+                    Duration::from_millis(150)
+                } else {
+                    Duration::from_millis(500)
+                };
+                let managers = [
+                    ManagerKind::Greedy,
+                    ManagerKind::Karma,
+                    ManagerKind::Aggressive,
+                    ManagerKind::Backoff,
+                ];
+                let rows: Vec<_> = managers
+                    .iter()
+                    .map(|m| starvation_experiment(*m, 4, 32, duration))
+                    .collect();
+                if json {
+                    println!("{}", render_rows(&rows));
+                } else {
+                    println!("# E7 — Theorem 1 starvation check (1 long writer vs 4 short writers)");
+                    println!(
+                        "{:>12} {:>12} {:>14} {:>16} {:>14} {:>14}",
+                        "manager", "long-commits", "worst-attempts", "worst-latency", "short-commits", "no-starvation"
+                    );
+                    for r in rows {
+                        println!(
+                            "{:>12} {:>12} {:>14} {:>14.1?} {:>14} {:>14}",
+                            r.manager,
+                            r.long_commits,
+                            r.worst_attempts,
+                            r.worst_latency,
+                            r.short_commits,
+                            r.no_starvation
+                        );
+                    }
+                }
+            }
+            "ablation-reads" => ablation_reads(quick, json),
+            other => eprintln!("unknown experiment '{other}', skipping"),
+        }
+        println!();
+    }
+}
+
+fn emit_figure(data: stm_bench::FigureData, json: bool) {
+    if json {
+        println!("{}", render_rows(&data));
+    } else {
+        println!("{}", render_figure_table(&data));
+    }
+}
+
+/// Visible vs invisible reads under the greedy manager on the list
+/// benchmark (the read-visibility ablation called out in DESIGN.md).
+fn ablation_reads(quick: bool, json: bool) {
+    let cfg = WorkloadConfig {
+        threads: 4,
+        key_range: 256,
+        duration: if quick {
+            Duration::from_millis(80)
+        } else {
+            Duration::from_millis(300)
+        },
+        local_work: 0,
+        seed: 0xab1a,
+    };
+    // run_workload always uses the default (visible) mode; for the ablation we
+    // drive the list directly with both visibilities.
+    let mut rows = Vec::new();
+    for visibility in [ReadVisibility::Visible, ReadVisibility::Invisible] {
+        let stm = Stm::builder()
+            .manager(ManagerKind::Greedy.factory())
+            .read_visibility(visibility)
+            .build();
+        let commits = ablation_run(&stm, &cfg);
+        rows.push((format!("{visibility:?}"), commits, cfg.duration));
+    }
+    if json {
+        let as_json: Vec<_> = rows
+            .iter()
+            .map(|(mode, commits, d)| {
+                serde_json::json!({
+                    "mode": mode,
+                    "commits": commits,
+                    "throughput": *commits as f64 / d.as_secs_f64(),
+                })
+            })
+            .collect();
+        println!("{}", render_rows(&as_json));
+    } else {
+        println!("# Ablation — read visibility (greedy, list, 4 threads)");
+        println!("{:>12} {:>12} {:>16}", "mode", "commits", "commits/sec");
+        for (mode, commits, d) in rows {
+            println!(
+                "{:>12} {:>12} {:>16.0}",
+                mode,
+                commits,
+                commits as f64 / d.as_secs_f64()
+            );
+        }
+    }
+    // Also print the standard harness numbers for context.
+    let standard = run_workload(ManagerKind::Greedy, &StructureKind::List, &cfg);
+    if !json {
+        println!(
+            "(standard harness, visible reads: {:.0} commits/sec)",
+            standard.throughput
+        );
+    }
+}
+
+fn ablation_run(stm: &Stm, cfg: &WorkloadConfig) -> u64 {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Barrier};
+    use stm_structures::{TxList, TxSet};
+
+    let list = TxList::new();
+    {
+        let mut ctx = stm.thread();
+        for key in (0..cfg.key_range).step_by(2) {
+            ctx.atomically(|tx| list.insert(tx, key)).unwrap();
+        }
+    }
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let mut total = 0u64;
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let list = list.clone();
+            let cfg = *cfg;
+            let stm = &*stm;
+            handles.push(scope.spawn(move || {
+                let mut ctx = stm.thread();
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ t as u64);
+                let mut commits = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..cfg.key_range);
+                    let insert = rng.gen_bool(0.5);
+                    let ok = ctx
+                        .atomically(|tx| {
+                            if insert {
+                                list.insert(tx, key)
+                            } else {
+                                list.remove(tx, key)
+                            }
+                        })
+                        .is_ok();
+                    if ok {
+                        commits += 1;
+                    }
+                }
+                commits
+            }));
+        }
+        barrier.wait();
+        std::thread::sleep(cfg.duration);
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            total += h.join().unwrap();
+        }
+    });
+    total
+}

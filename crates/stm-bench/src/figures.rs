@@ -1,0 +1,187 @@
+//! Figure generators: one function per figure of the paper's Section 5.
+
+use serde::Serialize;
+
+use crate::workload::{run_workload, StructureKind, SweepConfig, WorkloadResult};
+
+/// One manager's throughput curve: committed transactions per second as a
+/// function of the thread count.
+#[derive(Debug, Clone, Serialize)]
+pub struct Series {
+    /// Contention manager name.
+    pub manager: String,
+    /// `(threads, committed transactions per second)` points.
+    pub points: Vec<(usize, f64)>,
+}
+
+/// All the data behind one figure.
+#[derive(Debug, Clone, Serialize)]
+pub struct FigureData {
+    /// Figure identifier, e.g. `"fig1-list"`.
+    pub name: String,
+    /// Human-readable description of the workload.
+    pub description: String,
+    /// Benchmark structure exercised.
+    pub structure: String,
+    /// One series per contention manager.
+    pub series: Vec<Series>,
+    /// The raw per-run results (useful for JSON output and post-processing).
+    pub raw: Vec<WorkloadResult>,
+}
+
+impl FigureData {
+    /// The manager with the highest throughput at the largest thread count.
+    pub fn winner_at_max_threads(&self) -> Option<&str> {
+        let max_threads = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .max()?;
+        self.series
+            .iter()
+            .filter_map(|s| {
+                s.points
+                    .iter()
+                    .find(|p| p.0 == max_threads)
+                    .map(|p| (s.manager.as_str(), p.1))
+            })
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite throughput"))
+            .map(|(name, _)| name)
+    }
+}
+
+fn sweep(name: &str, description: &str, structure: StructureKind, cfg: &SweepConfig) -> FigureData {
+    let mut raw = Vec::new();
+    let mut series: Vec<Series> = cfg
+        .managers
+        .iter()
+        .map(|m| Series {
+            manager: m.name().to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &threads in &cfg.thread_counts {
+        for (idx, manager) in cfg.managers.iter().enumerate() {
+            let mut run_cfg = cfg.base;
+            run_cfg.threads = threads;
+            let result = run_workload(*manager, &structure, &run_cfg);
+            series[idx].points.push((threads, result.throughput));
+            raw.push(result);
+        }
+    }
+    FigureData {
+        name: name.to_string(),
+        description: description.to_string(),
+        structure: structure.name().to_string(),
+        series,
+        raw,
+    }
+}
+
+/// Figure 1: the list application under high contention.
+pub fn fig1_list(cfg: &SweepConfig) -> FigureData {
+    sweep(
+        "fig1-list",
+        "Sorted linked list, 256 keys, 100% updates (high contention)",
+        StructureKind::List,
+        cfg,
+    )
+}
+
+/// Figure 2: the skiplist application.
+pub fn fig2_skiplist(cfg: &SweepConfig) -> FigureData {
+    sweep(
+        "fig2-skiplist",
+        "Skiplist, 256 keys, 100% updates",
+        StructureKind::SkipList,
+        cfg,
+    )
+}
+
+/// Figure 3: the red-black tree with an uncontended tail of local work per
+/// transaction (low contention).
+pub fn fig3_rbtree(cfg: &SweepConfig) -> FigureData {
+    let mut cfg = cfg.clone();
+    if cfg.base.local_work == 0 {
+        cfg.base.local_work = 2_000;
+    }
+    sweep(
+        "fig3-rbtree",
+        "Red-black tree, 256 keys, 100% updates plus uncontended local work (low contention)",
+        StructureKind::RbTree,
+        &cfg,
+    )
+}
+
+/// Figure 4: the red-black forest — transactions of highly variable length
+/// under intensive contention.
+pub fn fig4_forest(cfg: &SweepConfig) -> FigureData {
+    sweep(
+        "fig4-forest",
+        "Red-black forest: 50 trees, updates touch one or all trees (irregular transaction lengths)",
+        StructureKind::paper_forest(),
+        cfg,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::WorkloadConfig;
+    use std::time::Duration;
+    use stm_cm::ManagerKind;
+
+    fn smoke_cfg() -> SweepConfig {
+        SweepConfig {
+            thread_counts: vec![1, 2],
+            managers: vec![ManagerKind::Greedy, ManagerKind::Karma],
+            base: WorkloadConfig {
+                key_range: 32,
+                duration: Duration::from_millis(30),
+                ..WorkloadConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn fig1_produces_a_full_grid() {
+        let data = fig1_list(&smoke_cfg());
+        assert_eq!(data.series.len(), 2);
+        for series in &data.series {
+            assert_eq!(series.points.len(), 2);
+            assert!(series.points.iter().all(|p| p.1 > 0.0));
+        }
+        assert_eq!(data.raw.len(), 4);
+        assert!(data.winner_at_max_threads().is_some());
+        assert_eq!(data.structure, "list");
+    }
+
+    #[test]
+    fn fig3_injects_local_work_by_default() {
+        let cfg = smoke_cfg();
+        let data = fig3_rbtree(&cfg);
+        assert_eq!(data.structure, "rbtree");
+        assert!(!data.raw.is_empty());
+    }
+
+    #[test]
+    fn fig4_uses_the_forest() {
+        let mut cfg = smoke_cfg();
+        cfg.thread_counts = vec![2];
+        cfg.managers = vec![ManagerKind::Greedy];
+        let data = fig4_forest(&cfg);
+        assert_eq!(data.structure, "rbforest");
+        assert_eq!(data.series.len(), 1);
+        assert!(data.series[0].points[0].1 > 0.0);
+    }
+
+    #[test]
+    fn fig2_runs_on_the_skiplist() {
+        let mut cfg = smoke_cfg();
+        cfg.thread_counts = vec![1];
+        cfg.managers = vec![ManagerKind::Aggressive];
+        let data = fig2_skiplist(&cfg);
+        assert_eq!(data.structure, "skiplist");
+        assert_eq!(data.raw.len(), 1);
+    }
+}

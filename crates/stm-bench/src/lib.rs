@@ -1,0 +1,41 @@
+//! # stm-bench
+//!
+//! The benchmark harness that regenerates the evaluation of *"Toward a
+//! Theory of Transactional Contention Managers"*:
+//!
+//! | Experiment | Paper reference | Module |
+//! |------------|-----------------|--------|
+//! | E1 | Figure 1 — list, high contention | [`figures::fig1_list`] |
+//! | E2 | Figure 2 — skiplist | [`figures::fig2_skiplist`] |
+//! | E3 | Figure 3 — red-black tree, low contention | [`figures::fig3_rbtree`] |
+//! | E4 | Figure 4 — red-black forest, irregular lengths | [`figures::fig4_forest`] |
+//! | E5 | Section 4 adversarial chain | [`theory::chain_experiment`] |
+//! | E6 | Theorem 9 competitive-ratio check | [`theory::bound_experiment`] |
+//! | E7 | Theorem 1 starvation / bounded commit delay | [`starvation::starvation_experiment`] |
+//!
+//! The paper measures committed transactions per second as a function of the
+//! number of threads (1–32) on a 256-key integer set with a 100% update mix;
+//! [`workload`] implements exactly that driver, generically over the
+//! benchmark structure and the contention manager.
+//!
+//! Throughput numbers depend on the host; what is expected to reproduce is
+//! the *shape* of the comparison (which manager wins under which contention
+//! pattern), recorded in the repository's `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod figures;
+pub mod report;
+pub mod starvation;
+pub mod theory;
+pub mod workload;
+
+pub use figures::{fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, FigureData, Series};
+pub use report::{render_figure_table, render_rows};
+pub use starvation::{starvation_experiment, StarvationResult};
+pub use theory::{bound_experiment, chain_experiment, BoundRow, ChainRow};
+pub use workload::{
+    run_fixed_ops, run_workload, StructureKind, SweepConfig, WorkloadConfig, WorkloadResult,
+};

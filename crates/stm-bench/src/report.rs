@@ -1,0 +1,90 @@
+//! Plain-text rendering of benchmark results (the tables printed by the
+//! `figures` binary and recorded in `EXPERIMENTS.md`).
+
+use crate::figures::FigureData;
+
+/// Renders a figure as a text table: one row per thread count, one column per
+/// contention manager, values in committed transactions per second.
+pub fn render_figure_table(figure: &FigureData) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n", figure.name, figure.description));
+    let managers: Vec<&str> = figure.series.iter().map(|s| s.manager.as_str()).collect();
+    let mut threads: Vec<usize> = figure
+        .series
+        .iter()
+        .flat_map(|s| s.points.iter().map(|p| p.0))
+        .collect();
+    threads.sort_unstable();
+    threads.dedup();
+    out.push_str(&format!("{:>8}", "threads"));
+    for manager in &managers {
+        out.push_str(&format!("{manager:>14}"));
+    }
+    out.push('\n');
+    for t in threads {
+        out.push_str(&format!("{t:>8}"));
+        for series in &figure.series {
+            let value = series
+                .points
+                .iter()
+                .find(|p| p.0 == t)
+                .map(|p| p.1)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{value:>14.0}"));
+        }
+        out.push('\n');
+    }
+    if let Some(winner) = figure.winner_at_max_threads() {
+        out.push_str(&format!("best at max threads: {winner}\n"));
+    }
+    out
+}
+
+/// Renders a list of serializable rows as pretty JSON (used by the binary's
+/// `--json` mode so results can be post-processed or plotted elsewhere).
+pub fn render_rows<T: serde::Serialize>(rows: &T) -> String {
+    serde_json::to_string_pretty(rows).expect("benchmark rows serialize to JSON")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures::Series;
+
+    fn sample_figure() -> FigureData {
+        FigureData {
+            name: "fig-test".to_string(),
+            description: "sample".to_string(),
+            structure: "list".to_string(),
+            series: vec![
+                Series {
+                    manager: "greedy".to_string(),
+                    points: vec![(1, 1000.0), (2, 1800.0)],
+                },
+                Series {
+                    manager: "karma".to_string(),
+                    points: vec![(1, 900.0), (2, 2000.0)],
+                },
+            ],
+            raw: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn table_contains_headers_rows_and_winner() {
+        let table = render_figure_table(&sample_figure());
+        assert!(table.contains("threads"));
+        assert!(table.contains("greedy"));
+        assert!(table.contains("karma"));
+        assert!(table.contains("1000"));
+        assert!(table.contains("best at max threads: karma"));
+    }
+
+    #[test]
+    fn rows_render_as_json() {
+        let json = render_rows(&vec![1, 2, 3]);
+        assert_eq!(json.trim(), "[\n  1,\n  2,\n  3\n]");
+        let figure_json = render_rows(&sample_figure());
+        assert!(figure_json.contains("\"manager\": \"greedy\""));
+    }
+}

@@ -1,0 +1,444 @@
+//! The benchmark workload driver.
+//!
+//! Reproduces the experimental setup of Section 5: "a number of threads
+//! ranging from 1 to 32 continuously insert and remove elements taken from a
+//! small set of 256 integers, hence forcing contention to happen, and an
+//! update rate of 100%". Each thread runs transactions back-to-back for a
+//! fixed wall-clock interval; the metric is committed transactions per
+//! second.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+use stm_cm::ManagerKind;
+use stm_core::{Stm, TxResult, Txn};
+use stm_structures::forest::UpdateScope;
+use stm_structures::{TxList, TxRbForest, TxRbTree, TxSet, TxSkipList};
+
+/// Which benchmark structure a workload runs against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum StructureKind {
+    /// Sorted linked list (Figure 1).
+    List,
+    /// Skiplist (Figure 2).
+    SkipList,
+    /// Red-black tree (Figure 3).
+    RbTree,
+    /// Red-black forest (Figure 4).
+    Forest {
+        /// Number of trees (the paper uses fifty).
+        trees: usize,
+        /// Probability that an update touches every tree instead of one.
+        all_probability: f64,
+    },
+}
+
+impl StructureKind {
+    /// The paper's red-black forest configuration.
+    pub fn paper_forest() -> Self {
+        StructureKind::Forest {
+            trees: 50,
+            all_probability: 0.1,
+        }
+    }
+
+    /// Short name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StructureKind::List => "list",
+            StructureKind::SkipList => "skiplist",
+            StructureKind::RbTree => "rbtree",
+            StructureKind::Forest { .. } => "rbforest",
+        }
+    }
+}
+
+/// Parameters of one workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct WorkloadConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Keys are drawn uniformly from `0..key_range` (the paper uses 256).
+    pub key_range: i64,
+    /// Wall-clock measurement interval.
+    pub duration: Duration,
+    /// Iterations of uncontended local work appended to every transaction
+    /// (used by the low-contention red-black-tree experiment, Figure 3).
+    pub local_work: u64,
+    /// Seed for the per-thread operation generators.
+    pub seed: u64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            threads: 4,
+            key_range: 256,
+            duration: Duration::from_millis(200),
+            local_work: 0,
+            seed: 0x5eed,
+        }
+    }
+}
+
+/// The outcome of a workload run.
+#[derive(Debug, Clone, Serialize)]
+pub struct WorkloadResult {
+    /// Contention manager used.
+    pub manager: String,
+    /// Structure exercised.
+    pub structure: String,
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Committed transactions across all threads.
+    pub commits: u64,
+    /// Aborted attempts across all threads.
+    pub aborts: u64,
+    /// Wall-clock time actually spent measuring.
+    pub elapsed: Duration,
+    /// Committed transactions per second — the metric plotted in the paper's
+    /// figures.
+    pub throughput: f64,
+    /// Fraction of attempts that aborted.
+    pub abort_ratio: f64,
+}
+
+/// A sweep over thread counts for a set of managers (one paper figure).
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Thread counts to sweep (the paper sweeps 1..=32).
+    pub thread_counts: Vec<usize>,
+    /// Managers to compare.
+    pub managers: Vec<ManagerKind>,
+    /// Per-run parameters (the thread count is overridden per point).
+    pub base: WorkloadConfig,
+}
+
+impl SweepConfig {
+    /// The paper's configuration: Eruption, Greedy, Aggressive, Backoff and
+    /// Karma swept over 1–32 threads.
+    pub fn paper_defaults() -> Self {
+        SweepConfig {
+            thread_counts: vec![1, 2, 4, 8, 16, 32],
+            managers: ManagerKind::FIGURE_SET.to_vec(),
+            base: WorkloadConfig::default(),
+        }
+    }
+
+    /// A reduced configuration for smoke tests and `--quick` runs.
+    pub fn quick() -> Self {
+        SweepConfig {
+            thread_counts: vec![1, 2, 4],
+            managers: vec![ManagerKind::Greedy, ManagerKind::Karma, ManagerKind::Aggressive],
+            base: WorkloadConfig {
+                duration: Duration::from_millis(60),
+                ..WorkloadConfig::default()
+            },
+        }
+    }
+}
+
+enum Built {
+    Set(Arc<dyn TxSet>),
+    Forest {
+        forest: TxRbForest,
+        all_probability: f64,
+    },
+}
+
+fn build_structure(kind: &StructureKind) -> Built {
+    match kind {
+        StructureKind::List => Built::Set(Arc::new(TxList::new())),
+        StructureKind::SkipList => Built::Set(Arc::new(TxSkipList::new())),
+        StructureKind::RbTree => Built::Set(Arc::new(TxRbTree::new())),
+        StructureKind::Forest {
+            trees,
+            all_probability,
+        } => Built::Forest {
+            forest: TxRbForest::new(*trees),
+            all_probability: *all_probability,
+        },
+    }
+}
+
+/// Cheap, optimizer-resistant local computation used to lengthen transactions
+/// without touching shared state (Figure 3's uncontended tail).
+fn local_work(iterations: u64, seed: u64) -> u64 {
+    let mut acc = seed | 1;
+    for _ in 0..iterations {
+        acc ^= acc << 13;
+        acc ^= acc >> 7;
+        acc ^= acc << 17;
+    }
+    acc
+}
+
+fn one_op(
+    tx: &mut Txn<'_>,
+    built: &Built,
+    rng_key: i64,
+    insert: bool,
+    scope_roll: f64,
+    work: u64,
+    seed: u64,
+) -> TxResult<u64> {
+    match built {
+        Built::Set(set) => {
+            if insert {
+                set.insert(tx, rng_key)?;
+            } else {
+                set.remove(tx, rng_key)?;
+            }
+        }
+        Built::Forest {
+            forest,
+            all_probability,
+        } => {
+            let scope = if scope_roll < *all_probability {
+                UpdateScope::All
+            } else {
+                let tree = (rng_key.unsigned_abs() as usize) % forest.num_trees();
+                UpdateScope::One(tree)
+            };
+            if insert {
+                forest.insert(tx, scope, rng_key)?;
+            } else {
+                forest.remove(tx, scope, rng_key)?;
+            }
+        }
+    }
+    Ok(local_work(work, seed))
+}
+
+/// Runs the throughput workload: `cfg.threads` threads continuously insert
+/// and remove random keys for `cfg.duration`, under the contention manager
+/// `manager`.
+pub fn run_workload(
+    manager: ManagerKind,
+    structure: &StructureKind,
+    cfg: &WorkloadConfig,
+) -> WorkloadResult {
+    assert!(cfg.threads > 0, "need at least one thread");
+    assert!(cfg.key_range > 0, "key range must be positive");
+    let stm = Arc::new(Stm::builder().manager(manager.factory()).build());
+    let built = Arc::new(build_structure(structure));
+    prefill(&stm, &built, cfg.key_range);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.threads + 1));
+    let started = Instant::now();
+    let mut commits_total = 0u64;
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..cfg.threads {
+            let stm = Arc::clone(&stm);
+            let built = Arc::clone(&built);
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                let mut ctx = stm.thread();
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e37));
+                let mut commits = 0u64;
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..cfg.key_range);
+                    let insert = rng.gen_bool(0.5);
+                    let scope_roll: f64 = rng.gen();
+                    let work_seed: u64 = rng.gen();
+                    let outcome = ctx.atomically(|tx| {
+                        one_op(tx, &built, key, insert, scope_roll, cfg.local_work, work_seed)
+                    });
+                    if outcome.is_ok() {
+                        commits += 1;
+                    }
+                }
+                commits
+            }));
+        }
+        barrier.wait();
+        let deadline = Instant::now() + cfg.duration;
+        while Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            commits_total += handle.join().expect("worker thread panicked");
+        }
+    });
+    let elapsed = started.elapsed();
+    let snapshot = stm.stats().snapshot();
+    WorkloadResult {
+        manager: manager.name().to_string(),
+        structure: structure.name().to_string(),
+        threads: cfg.threads,
+        commits: commits_total,
+        aborts: snapshot.aborts,
+        elapsed,
+        throughput: commits_total as f64 / elapsed.as_secs_f64(),
+        abort_ratio: snapshot.abort_ratio(),
+    }
+}
+
+/// Runs a fixed number of operations per thread instead of a fixed duration;
+/// used by the Criterion benches, where the measured quantity is the time to
+/// complete the batch.
+pub fn run_fixed_ops(
+    manager: ManagerKind,
+    structure: &StructureKind,
+    threads: usize,
+    ops_per_thread: u64,
+    cfg: &WorkloadConfig,
+) -> Duration {
+    assert!(threads > 0 && ops_per_thread > 0);
+    let stm = Arc::new(Stm::builder().manager(manager.factory()).build());
+    let built = Arc::new(build_structure(structure));
+    prefill(&stm, &built, cfg.key_range);
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let started = Instant::now();
+    thread::scope(|scope| {
+        for t in 0..threads {
+            let stm = Arc::clone(&stm);
+            let built = Arc::clone(&built);
+            let barrier = Arc::clone(&barrier);
+            let cfg = *cfg;
+            scope.spawn(move || {
+                let mut ctx = stm.thread();
+                let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x517c));
+                barrier.wait();
+                for _ in 0..ops_per_thread {
+                    let key = rng.gen_range(0..cfg.key_range);
+                    let insert = rng.gen_bool(0.5);
+                    let scope_roll: f64 = rng.gen();
+                    let work_seed: u64 = rng.gen();
+                    let _ = ctx.atomically(|tx| {
+                        one_op(tx, &built, key, insert, scope_roll, cfg.local_work, work_seed)
+                    });
+                }
+            });
+        }
+        barrier.wait();
+    });
+    started.elapsed()
+}
+
+/// Pre-populates the structure with every other key so that inserts and
+/// removes both have roughly a 50% chance of modifying the structure.
+fn prefill(stm: &Stm, built: &Built, key_range: i64) {
+    let mut ctx = stm.thread();
+    match built {
+        Built::Set(set) => {
+            for key in (0..key_range).step_by(2) {
+                ctx.atomically(|tx| set.insert(tx, key))
+                    .expect("prefill transaction must commit");
+            }
+        }
+        Built::Forest { forest, .. } => {
+            for key in (0..key_range).step_by(2) {
+                ctx.atomically(|tx| forest.insert(tx, UpdateScope::All, key))
+                    .expect("prefill transaction must commit");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(threads: usize) -> WorkloadConfig {
+        WorkloadConfig {
+            threads,
+            key_range: 32,
+            duration: Duration::from_millis(40),
+            local_work: 0,
+            seed: 1,
+        }
+    }
+
+    #[test]
+    fn list_workload_produces_commits() {
+        let result = run_workload(ManagerKind::Greedy, &StructureKind::List, &tiny_cfg(2));
+        assert!(result.commits > 0);
+        assert!(result.throughput > 0.0);
+        assert_eq!(result.manager, "greedy");
+        assert_eq!(result.structure, "list");
+        assert_eq!(result.threads, 2);
+        assert!(result.abort_ratio >= 0.0 && result.abort_ratio <= 1.0);
+    }
+
+    #[test]
+    fn every_structure_runs_under_karma() {
+        for structure in [
+            StructureKind::List,
+            StructureKind::SkipList,
+            StructureKind::RbTree,
+            StructureKind::Forest {
+                trees: 5,
+                all_probability: 0.2,
+            },
+        ] {
+            let result = run_workload(ManagerKind::Karma, &structure, &tiny_cfg(2));
+            assert!(
+                result.commits > 0,
+                "no commits for {}",
+                structure.name()
+            );
+        }
+    }
+
+    #[test]
+    fn local_work_lowers_throughput() {
+        let no_work = run_workload(
+            ManagerKind::Greedy,
+            &StructureKind::RbTree,
+            &WorkloadConfig {
+                local_work: 0,
+                ..tiny_cfg(1)
+            },
+        );
+        let heavy_work = run_workload(
+            ManagerKind::Greedy,
+            &StructureKind::RbTree,
+            &WorkloadConfig {
+                local_work: 50_000,
+                ..tiny_cfg(1)
+            },
+        );
+        assert!(
+            heavy_work.throughput < no_work.throughput,
+            "local work must slow transactions down ({} vs {})",
+            heavy_work.throughput,
+            no_work.throughput
+        );
+    }
+
+    #[test]
+    fn fixed_ops_harness_completes() {
+        let elapsed = run_fixed_ops(
+            ManagerKind::Greedy,
+            &StructureKind::SkipList,
+            2,
+            50,
+            &tiny_cfg(2),
+        );
+        assert!(elapsed > Duration::ZERO);
+    }
+
+    #[test]
+    fn structure_names_and_sweep_defaults() {
+        assert_eq!(StructureKind::List.name(), "list");
+        assert_eq!(StructureKind::paper_forest().name(), "rbforest");
+        let sweep = SweepConfig::paper_defaults();
+        assert_eq!(sweep.thread_counts.last(), Some(&32));
+        assert_eq!(sweep.managers.len(), 5);
+        let quick = SweepConfig::quick();
+        assert!(quick.thread_counts.len() < sweep.thread_counts.len());
+    }
+}

@@ -1,0 +1,146 @@
+//! Adaptive exponential backoff ("Backoff" in the paper's figures).
+//!
+//! On conflict the transaction simply backs off for an exponentially growing
+//! interval and retries the access; after a bounded number of rounds against
+//! the same enemy it gives up being nice and aborts the enemy. Works well
+//! when transactions have roughly the same size, but — as the paper's
+//! introduction notes — is "less effective if long transactions must compete
+//! with shorter transactions", and it provides no deterministic progress
+//! guarantee.
+
+use std::time::Duration;
+
+use stm_core::manager::{factory, ManagerFactory};
+use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
+
+/// Exponential-backoff contention manager.
+#[derive(Debug, Clone)]
+pub struct BackoffManager {
+    base: Duration,
+    cap: Duration,
+    max_rounds: u32,
+    round: u32,
+    conflict_with: Option<u64>,
+}
+
+impl Default for BackoffManager {
+    fn default() -> Self {
+        BackoffManager::new(Duration::from_micros(2), Duration::from_millis(1), 12)
+    }
+}
+
+impl BackoffManager {
+    /// Creates a backoff manager.
+    ///
+    /// * `base` — initial backoff interval;
+    /// * `cap` — maximum backoff interval;
+    /// * `max_rounds` — number of backoff rounds against one enemy before
+    ///   the enemy is aborted.
+    pub fn new(base: Duration, cap: Duration, max_rounds: u32) -> Self {
+        BackoffManager {
+            base,
+            cap,
+            max_rounds,
+            round: 0,
+            conflict_with: None,
+        }
+    }
+
+    /// A per-thread factory with the default parameters.
+    pub fn factory() -> ManagerFactory {
+        factory(BackoffManager::default)
+    }
+
+    fn interval(&self) -> Duration {
+        let factor = 1u32 << self.round.min(20);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+}
+
+impl ContentionManager for BackoffManager {
+    fn name(&self) -> &'static str {
+        "backoff"
+    }
+
+    fn begin(&mut self, _me: TxView<'_>) {
+        self.round = 0;
+        self.conflict_with = None;
+    }
+
+    fn resolve(&mut self, _me: TxView<'_>, other: TxView<'_>, _kind: ConflictKind) -> Resolution {
+        if self.conflict_with != Some(other.id()) {
+            self.conflict_with = Some(other.id());
+            self.round = 0;
+        }
+        if self.round >= self.max_rounds {
+            self.round = 0;
+            return Resolution::AbortOther;
+        }
+        let wait = self.interval();
+        self.round += 1;
+        Resolution::Wait(WaitSpec::bounded(wait))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tx, view};
+
+    #[test]
+    fn backs_off_with_growing_intervals() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = BackoffManager::new(Duration::from_micros(1), Duration::from_micros(100), 5);
+        let mut last = Duration::ZERO;
+        for _ in 0..5 {
+            match m.resolve(view(&me), view(&other), ConflictKind::WriteWrite) {
+                Resolution::Wait(spec) => {
+                    let d = spec.max.unwrap();
+                    assert!(d >= last);
+                    last = d;
+                }
+                r => panic!("expected wait, got {r:?}"),
+            }
+        }
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn interval_is_capped() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let cap = Duration::from_micros(8);
+        let mut m = BackoffManager::new(Duration::from_micros(4), cap, 10);
+        for _ in 0..10 {
+            if let Resolution::Wait(spec) = m.resolve(view(&me), view(&other), ConflictKind::WriteWrite) {
+                assert!(spec.max.unwrap() <= cap);
+            }
+        }
+    }
+
+    #[test]
+    fn new_enemy_restarts_series_and_begin_resets() {
+        let me = tx(1, 1);
+        let a = tx(2, 2);
+        let b = tx(3, 3);
+        let mut m = BackoffManager::new(Duration::from_micros(1), Duration::from_millis(1), 2);
+        let _ = m.resolve(view(&me), view(&a), ConflictKind::WriteWrite);
+        let _ = m.resolve(view(&me), view(&a), ConflictKind::WriteWrite);
+        // Next against `a` would abort; against `b` the series restarts.
+        assert!(matches!(
+            m.resolve(view(&me), view(&b), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        m.begin(view(&me));
+        assert!(matches!(
+            m.resolve(view(&me), view(&a), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(m.name(), "backoff");
+        assert_eq!(BackoffManager::factory()().name(), "backoff");
+    }
+}

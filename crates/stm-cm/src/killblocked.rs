@@ -1,0 +1,132 @@
+//! The KillBlocked contention manager (Scherer & Scott).
+//!
+//! The core heuristic is the one McWherter et al. observed for OLTP systems
+//! and the paper cites approvingly: *waiting transactions should not obstruct
+//! active transactions*. If the enemy is itself blocked (its public `waiting`
+//! flag is set) it is killed immediately; otherwise we wait, but only up to a
+//! patience bound, after which the enemy is killed anyway. "Aborting enemies
+//! after a time-out, as in the killBlocked, kindergarten, and timestamp
+//! managers, diminishes the probability of livelocks without however
+//! canceling it."
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use stm_core::manager::{factory, ManagerFactory};
+use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
+
+/// Kill enemies that are blocked; otherwise wait with bounded patience.
+#[derive(Debug, Clone)]
+pub struct KillBlockedManager {
+    quantum: Duration,
+    patience: u32,
+    waits: HashMap<u64, u32>,
+}
+
+impl Default for KillBlockedManager {
+    fn default() -> Self {
+        KillBlockedManager::new(Duration::from_micros(10), 4)
+    }
+}
+
+impl KillBlockedManager {
+    /// Creates a KillBlocked manager that waits in `quantum` slices and kills
+    /// a (non-blocked) enemy after `patience` slices.
+    pub fn new(quantum: Duration, patience: u32) -> Self {
+        KillBlockedManager {
+            quantum,
+            patience,
+            waits: HashMap::new(),
+        }
+    }
+
+    /// A per-thread factory with the default parameters.
+    pub fn factory() -> ManagerFactory {
+        factory(KillBlockedManager::default)
+    }
+}
+
+impl ContentionManager for KillBlockedManager {
+    fn name(&self) -> &'static str {
+        "killblocked"
+    }
+
+    fn begin(&mut self, _me: TxView<'_>) {
+        self.waits.clear();
+    }
+
+    fn resolve(&mut self, _me: TxView<'_>, other: TxView<'_>, _kind: ConflictKind) -> Resolution {
+        if other.is_waiting() {
+            // A blocked transaction must not obstruct an active one.
+            return Resolution::AbortOther;
+        }
+        let count = self.waits.entry(other.id()).or_insert(0);
+        if *count >= self.patience {
+            *count = 0;
+            return Resolution::AbortOther;
+        }
+        *count += 1;
+        Resolution::Wait(WaitSpec::bounded(self.quantum))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tx, view};
+
+    #[test]
+    fn blocked_enemy_is_killed_immediately() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        other.set_waiting(true);
+        let mut m = KillBlockedManager::default();
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn running_enemy_gets_patience_then_is_killed() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = KillBlockedManager::new(Duration::from_micros(1), 2);
+        assert!(matches!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert!(matches!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn patience_is_per_enemy_and_begin_resets() {
+        let me = tx(1, 1);
+        let a = tx(2, 2);
+        let b = tx(3, 3);
+        let mut m = KillBlockedManager::new(Duration::from_micros(1), 1);
+        let _ = m.resolve(view(&me), view(&a), ConflictKind::WriteWrite);
+        assert!(matches!(
+            m.resolve(view(&me), view(&b), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(
+            m.resolve(view(&me), view(&a), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+        m.begin(view(&me));
+        assert!(matches!(
+            m.resolve(view(&me), view(&a), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(m.name(), "killblocked");
+        assert_eq!(KillBlockedManager::factory()().name(), "killblocked");
+    }
+}

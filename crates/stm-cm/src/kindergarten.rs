@@ -1,0 +1,179 @@
+//! The Kindergarten contention manager (Scherer & Scott).
+//!
+//! "Take turns": the first time a transaction conflicts with a particular
+//! enemy it politely steps aside (aborts itself and retries after a short
+//! pause), remembering the enemy in a local *hit list*. If it later meets the
+//! same enemy again, it is that enemy's turn to step aside — the transaction
+//! aborts it. Aborting enemies after a time-out "diminishes the probability
+//! of livelocks without however canceling it" (paper, Section 6), so
+//! Kindergarten provides no deterministic guarantee.
+
+use std::collections::HashSet;
+use std::time::Duration;
+
+use stm_core::manager::{factory, ManagerFactory};
+use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
+
+/// Turn-taking contention manager.
+#[derive(Debug, Clone)]
+pub struct KindergartenManager {
+    /// Enemies we have already given way to once.
+    hit_list: HashSet<u64>,
+    /// Short pause before retrying after stepping aside.
+    pause: Duration,
+    /// Number of consecutive self-aborts against the same enemy after which
+    /// we stop being polite even if bookkeeping got confused (safety net).
+    max_yields: u32,
+    yields: u32,
+}
+
+impl Default for KindergartenManager {
+    fn default() -> Self {
+        KindergartenManager::new(Duration::from_micros(4), 8)
+    }
+}
+
+impl KindergartenManager {
+    /// Creates a Kindergarten manager.
+    pub fn new(pause: Duration, max_yields: u32) -> Self {
+        KindergartenManager {
+            hit_list: HashSet::new(),
+            pause,
+            max_yields,
+            yields: 0,
+        }
+    }
+
+    /// A per-thread factory with the default parameters.
+    pub fn factory() -> ManagerFactory {
+        factory(KindergartenManager::default)
+    }
+}
+
+impl ContentionManager for KindergartenManager {
+    fn name(&self) -> &'static str {
+        "kindergarten"
+    }
+
+    fn committed(&mut self, _me: TxView<'_>) {
+        self.hit_list.clear();
+        self.yields = 0;
+    }
+
+    fn resolve(&mut self, _me: TxView<'_>, other: TxView<'_>, _kind: ConflictKind) -> Resolution {
+        if self.hit_list.contains(&other.id()) || self.yields >= self.max_yields {
+            // We already gave way to this enemy once — now it is our turn.
+            self.yields = 0;
+            return Resolution::AbortOther;
+        }
+        // First encounter: remember the enemy, step aside briefly, and let the
+        // runtime retry the whole transaction.
+        self.hit_list.insert(other.id());
+        self.yields += 1;
+        // Wait a moment before self-aborting so the enemy actually gets a
+        // chance to move; the subsequent AbortSelf restarts us with the same
+        // timestamp and (crucially) the same hit list.
+        if self.pause.is_zero() {
+            Resolution::AbortSelf
+        } else {
+            // A bounded wait followed by the retry on the next resolution is
+            // closer to the published description than an immediate restart;
+            // we fold both into a single decision by pausing via AbortSelf's
+            // retry path only when the pause is zero.
+            Resolution::Wait(WaitSpec::bounded(self.pause))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tx, view};
+
+    #[test]
+    fn first_encounter_steps_aside_second_insists() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = KindergartenManager::new(Duration::from_micros(1), 8);
+        assert!(matches!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn zero_pause_variant_aborts_itself_first() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = KindergartenManager::new(Duration::ZERO, 8);
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortSelf
+        );
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn turns_are_tracked_per_enemy() {
+        let me = tx(1, 1);
+        let a = tx(2, 2);
+        let b = tx(3, 3);
+        let mut m = KindergartenManager::new(Duration::from_micros(1), 8);
+        let _ = m.resolve(view(&me), view(&a), ConflictKind::WriteWrite);
+        // b is a fresh enemy: we still step aside for it.
+        assert!(matches!(
+            m.resolve(view(&me), view(&b), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        // but a is on the hit list.
+        assert_eq!(
+            m.resolve(view(&me), view(&a), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn commit_clears_the_hit_list() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = KindergartenManager::new(Duration::from_micros(1), 8);
+        let _ = m.resolve(view(&me), view(&other), ConflictKind::WriteWrite);
+        m.committed(view(&me));
+        assert!(matches!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(m.name(), "kindergarten");
+        assert_eq!(KindergartenManager::factory()().name(), "kindergarten");
+    }
+
+    #[test]
+    fn safety_net_limits_consecutive_yields() {
+        let me = tx(1, 1);
+        let mut m = KindergartenManager::new(Duration::from_micros(1), 2);
+        // Meet a stream of distinct enemies; after `max_yields` consecutive
+        // yields the manager insists even on a first encounter.
+        let e1 = tx(10, 10);
+        let e2 = tx(11, 11);
+        let e3 = tx(12, 12);
+        assert!(matches!(
+            m.resolve(view(&me), view(&e1), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert!(matches!(
+            m.resolve(view(&me), view(&e2), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(
+            m.resolve(view(&me), view(&e3), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+}

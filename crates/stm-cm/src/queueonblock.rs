@@ -1,0 +1,118 @@
+//! The QueueOnBlock contention manager (Scherer & Scott).
+//!
+//! The conflicting transaction simply queues up behind its enemy and waits
+//! for it to finish. As the paper notes, "the queueOnBlock manager is prone
+//! to dependency cycles": if two transactions wait for each other nothing
+//! guarantees progress. The implementation here bounds each wait with a
+//! (long) safety time-out so that experiments terminate; the runtime also
+//! wakes a waiter whose enemy starts waiting itself, which converts would-be
+//! deadlocks into livelocks — still no progress guarantee, faithfully.
+
+use std::time::Duration;
+
+use stm_core::manager::{factory, ManagerFactory};
+use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
+
+/// Always wait for the enemy to finish.
+#[derive(Debug, Clone)]
+pub struct QueueOnBlockManager {
+    /// Safety bound on a single wait so that experiments cannot hang forever.
+    safety_timeout: Duration,
+    /// Number of expired safety time-outs against the same enemy after which
+    /// the enemy is killed (pure safety net; effectively never reached in the
+    /// benchmarks).
+    max_expiries: u32,
+    expiries: u32,
+    conflict_with: Option<u64>,
+}
+
+impl Default for QueueOnBlockManager {
+    fn default() -> Self {
+        QueueOnBlockManager::new(Duration::from_millis(2), 64)
+    }
+}
+
+impl QueueOnBlockManager {
+    /// Creates a QueueOnBlock manager with the given safety time-out.
+    pub fn new(safety_timeout: Duration, max_expiries: u32) -> Self {
+        QueueOnBlockManager {
+            safety_timeout,
+            max_expiries,
+            expiries: 0,
+            conflict_with: None,
+        }
+    }
+
+    /// A per-thread factory with the default parameters.
+    pub fn factory() -> ManagerFactory {
+        factory(QueueOnBlockManager::default)
+    }
+}
+
+impl ContentionManager for QueueOnBlockManager {
+    fn name(&self) -> &'static str {
+        "queueonblock"
+    }
+
+    fn begin(&mut self, _me: TxView<'_>) {
+        self.expiries = 0;
+        self.conflict_with = None;
+    }
+
+    fn resolve(&mut self, _me: TxView<'_>, other: TxView<'_>, _kind: ConflictKind) -> Resolution {
+        if self.conflict_with != Some(other.id()) {
+            self.conflict_with = Some(other.id());
+            self.expiries = 0;
+        }
+        if self.expiries >= self.max_expiries {
+            self.expiries = 0;
+            return Resolution::AbortOther;
+        }
+        self.expiries += 1;
+        Resolution::Wait(WaitSpec::bounded(self.safety_timeout))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tx, view};
+
+    #[test]
+    fn always_waits_under_the_safety_bound() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = QueueOnBlockManager::new(Duration::from_millis(1), 10);
+        for _ in 0..10 {
+            match m.resolve(view(&me), view(&other), ConflictKind::WriteWrite) {
+                Resolution::Wait(spec) => assert_eq!(spec.max, Some(Duration::from_millis(1))),
+                r => panic!("expected wait, got {r:?}"),
+            }
+        }
+        // Only after exhausting the safety net does it ever abort the enemy.
+        assert_eq!(
+            m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+            Resolution::AbortOther
+        );
+    }
+
+    #[test]
+    fn expiries_reset_per_enemy_and_on_begin() {
+        let me = tx(1, 1);
+        let a = tx(2, 2);
+        let b = tx(3, 3);
+        let mut m = QueueOnBlockManager::new(Duration::from_millis(1), 1);
+        let _ = m.resolve(view(&me), view(&a), ConflictKind::WriteWrite);
+        assert!(matches!(
+            m.resolve(view(&me), view(&b), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        m.begin(view(&me));
+        assert!(matches!(
+            m.resolve(view(&me), view(&a), ConflictKind::WriteWrite),
+            Resolution::Wait(_)
+        ));
+        assert_eq!(m.name(), "queueonblock");
+        assert_eq!(QueueOnBlockManager::factory()().name(), "queueonblock");
+    }
+}

@@ -1,0 +1,133 @@
+//! The randomized contention manager.
+//!
+//! On each conflict it flips a (biased) coin: abort the enemy, or back off
+//! for a small random interval and try again. The paper notes that "none of
+//! the polite or randomized managers provide any deterministic guarantee";
+//! the randomized manager is included as the simplest probabilistic
+//! symmetry-breaker.
+
+use std::time::Duration;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stm_core::manager::{factory, ManagerFactory};
+use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
+
+/// Coin-flipping contention manager.
+#[derive(Debug, Clone)]
+pub struct RandomizedManager {
+    /// Probability of aborting the enemy on any given conflict.
+    abort_probability: f64,
+    /// Maximum random backoff when choosing to wait.
+    max_backoff: Duration,
+    rng: SmallRng,
+}
+
+impl Default for RandomizedManager {
+    fn default() -> Self {
+        RandomizedManager::new(0.5, Duration::from_micros(64))
+    }
+}
+
+impl RandomizedManager {
+    /// Creates a randomized manager that aborts the enemy with probability
+    /// `abort_probability` and otherwise waits for a uniformly random
+    /// duration up to `max_backoff`.
+    pub fn new(abort_probability: f64, max_backoff: Duration) -> Self {
+        RandomizedManager {
+            abort_probability: abort_probability.clamp(0.0, 1.0),
+            max_backoff,
+            rng: SmallRng::from_entropy(),
+        }
+    }
+
+    /// Creates a randomized manager with a deterministic seed (used by tests
+    /// and reproducible benchmark runs).
+    pub fn with_seed(abort_probability: f64, max_backoff: Duration, seed: u64) -> Self {
+        RandomizedManager {
+            abort_probability: abort_probability.clamp(0.0, 1.0),
+            max_backoff,
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A per-thread factory with the default parameters.
+    pub fn factory() -> ManagerFactory {
+        factory(RandomizedManager::default)
+    }
+}
+
+impl ContentionManager for RandomizedManager {
+    fn name(&self) -> &'static str {
+        "randomized"
+    }
+
+    fn resolve(&mut self, _me: TxView<'_>, _other: TxView<'_>, _kind: ConflictKind) -> Resolution {
+        if self.rng.gen_bool(self.abort_probability) {
+            Resolution::AbortOther
+        } else {
+            let nanos = self.rng.gen_range(0..=self.max_backoff.as_nanos() as u64);
+            Resolution::Wait(WaitSpec::bounded(Duration::from_nanos(nanos.max(1))))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{tx, view};
+
+    #[test]
+    fn always_abort_when_probability_is_one() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = RandomizedManager::with_seed(1.0, Duration::from_micros(10), 42);
+        for _ in 0..32 {
+            assert_eq!(
+                m.resolve(view(&me), view(&other), ConflictKind::WriteWrite),
+                Resolution::AbortOther
+            );
+        }
+    }
+
+    #[test]
+    fn never_abort_when_probability_is_zero() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = RandomizedManager::with_seed(0.0, Duration::from_micros(10), 42);
+        for _ in 0..32 {
+            match m.resolve(view(&me), view(&other), ConflictKind::WriteWrite) {
+                Resolution::Wait(spec) => {
+                    assert!(spec.max.unwrap() <= Duration::from_micros(10));
+                }
+                r => panic!("expected wait, got {r:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_probability_produces_both_outcomes() {
+        let me = tx(1, 1);
+        let other = tx(2, 2);
+        let mut m = RandomizedManager::with_seed(0.5, Duration::from_micros(10), 7);
+        let mut aborts = 0;
+        let mut waits = 0;
+        for _ in 0..200 {
+            match m.resolve(view(&me), view(&other), ConflictKind::WriteWrite) {
+                Resolution::AbortOther => aborts += 1,
+                Resolution::Wait(_) => waits += 1,
+                Resolution::AbortSelf => panic!("randomized never aborts itself"),
+            }
+        }
+        assert!(aborts > 20, "expected a fair share of aborts, got {aborts}");
+        assert!(waits > 20, "expected a fair share of waits, got {waits}");
+    }
+
+    #[test]
+    fn probability_is_clamped() {
+        let m = RandomizedManager::new(7.0, Duration::from_micros(1));
+        assert!((m.abort_probability - 1.0).abs() < f64::EPSILON);
+        assert_eq!(m.name(), "randomized");
+        assert_eq!(RandomizedManager::factory()().name(), "randomized");
+    }
+}

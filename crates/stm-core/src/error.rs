@@ -1,0 +1,113 @@
+//! Error and abort-cause types.
+
+use std::fmt;
+
+/// Why a transaction attempt was aborted.
+///
+/// Abort causes are reported in [`StmError::Aborted`] and recorded in the
+/// runtime statistics; contention-manager experiments use them to
+/// distinguish aborts forced by enemies from self-aborts requested by the
+/// manager.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbortCause {
+    /// An enemy transaction won a conflict and CAS-ed our status to aborted.
+    KilledByEnemy,
+    /// The contention manager advised this transaction to abort itself.
+    ManagerSelfAbort,
+    /// Read-set validation failed (an object read earlier changed under us).
+    ValidationFailed,
+    /// The commit-time CAS from `Active` to `Committed` failed.
+    CommitFailed,
+    /// The user code called [`crate::Txn::abort`] explicitly.
+    Explicit,
+}
+
+impl fmt::Display for AbortCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbortCause::KilledByEnemy => "killed by an enemy transaction",
+            AbortCause::ManagerSelfAbort => "contention manager requested self-abort",
+            AbortCause::ValidationFailed => "read-set validation failed",
+            AbortCause::CommitFailed => "commit-time status CAS failed",
+            AbortCause::Explicit => "explicitly aborted by user code",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Errors surfaced by the STM runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StmError {
+    /// The current attempt aborted. Inside [`crate::ThreadCtx::atomically`]
+    /// this is control flow: the attempt is retried (the lineage keeps its
+    /// timestamp and priority). It only escapes to the caller when the
+    /// cause is [`AbortCause::Explicit`].
+    Aborted(AbortCause),
+    /// The configured retry limit was exhausted without a successful commit.
+    RetryLimitExceeded {
+        /// Number of attempts that were made.
+        attempts: u64,
+    },
+}
+
+impl StmError {
+    /// Returns the abort cause if this error is an abort.
+    pub fn abort_cause(&self) -> Option<AbortCause> {
+        match self {
+            StmError::Aborted(cause) => Some(*cause),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for StmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StmError::Aborted(cause) => write!(f, "transaction aborted: {cause}"),
+            StmError::RetryLimitExceeded { attempts } => {
+                write!(f, "transaction retry limit exceeded after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StmError {}
+
+/// Result alias used by transactional closures and [`crate::Txn`] methods.
+pub type TxResult<T> = Result<T, StmError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn abort_cause_accessor() {
+        let e = StmError::Aborted(AbortCause::KilledByEnemy);
+        assert_eq!(e.abort_cause(), Some(AbortCause::KilledByEnemy));
+        let e = StmError::RetryLimitExceeded { attempts: 3 };
+        assert_eq!(e.abort_cause(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = StmError::Aborted(AbortCause::ValidationFailed);
+        assert!(e.to_string().contains("validation"));
+        let e = StmError::RetryLimitExceeded { attempts: 7 };
+        assert!(e.to_string().contains('7'));
+        for cause in [
+            AbortCause::KilledByEnemy,
+            AbortCause::ManagerSelfAbort,
+            AbortCause::ValidationFailed,
+            AbortCause::CommitFailed,
+            AbortCause::Explicit,
+        ] {
+            assert!(!cause.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(StmError::Aborted(AbortCause::Explicit));
+        assert!(e.to_string().contains("aborted"));
+    }
+}

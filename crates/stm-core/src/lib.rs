@@ -1,0 +1,78 @@
+//! # stm-core
+//!
+//! An object-based, eagerly-acquiring software transactional memory (STM)
+//! runtime in the style of DSTM/SXM, built as the substrate for the
+//! reproduction of *"Toward a Theory of Transactional Contention Managers"*
+//! (Guerraoui, Herlihy, Pochon — PODC 2005).
+//!
+//! The runtime separates **safety** (serializability of transactions,
+//! enforced by the runtime itself) from **progress** (which transaction gets
+//! to proceed when two of them conflict), exactly as the paper advocates.
+//! Progress is delegated to a pluggable, fully decentralised
+//! [`ContentionManager`]: whenever a transaction `A` is about to perform an
+//! access that conflicts with a live transaction `B`, `A` asks *its own*
+//! contention manager whether to abort `B`, wait for `B`, or abort itself.
+//!
+//! ## Model
+//!
+//! * Shared state lives in [`TVar<T>`] cells ("transactional objects").
+//! * A [`Stm`] value owns the global timestamp clock and configuration.
+//! * Each thread obtains a [`ThreadCtx`] from the [`Stm`] and runs closures
+//!   atomically with [`ThreadCtx::atomically`]. Inside the closure a
+//!   [`Txn`] handle provides `read`, `write`, and `modify` operations.
+//! * A transaction's externally visible state is a [`TxShared`] descriptor:
+//!   a CAS-able status word ([`TxStatus`]), a public `waiting` flag, and the
+//!   persistent [`TxLineage`] (timestamp, karma, abort count) that survives
+//!   retries — the three ingredients the greedy manager needs.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use stm_core::{Stm, TVar};
+//!
+//! let stm = Stm::default();
+//! let account = TVar::new(100i64);
+//!
+//! let mut ctx = stm.thread();
+//! ctx.atomically(|tx| {
+//!     let balance = tx.read(&account)?;
+//!     tx.write(&account, balance + 42)?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! assert_eq!(stm.read_atomic(&account), 142);
+//! ```
+//!
+//! ## Relationship to the paper
+//!
+//! The contention-manager interface ([`ContentionManager`], [`Resolution`],
+//! [`ConflictKind`]) mirrors the interface of SXM / DSTM as described by
+//! Scherer & Scott and used by the paper's experiments. The greedy manager
+//! itself and the other managers from the literature live in the `stm-cm`
+//! crate; `stm-core` ships only the trivial [`manager::AggressiveManager`]
+//! and [`manager::PoliteManager`] used as defaults and in unit tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod clock;
+pub mod error;
+pub mod manager;
+pub mod stats;
+pub mod status;
+pub mod stm;
+pub mod tvar;
+pub mod txn;
+pub mod wait;
+
+pub use clock::TimestampClock;
+pub use error::{AbortCause, StmError, TxResult};
+pub use manager::{ConflictKind, ContentionManager, ManagerFactory, Resolution, TxView};
+pub use stats::{StmStats, TxnStats};
+pub use status::TxStatus;
+pub use stm::{ReadVisibility, Stm, StmBuilder, ThreadCtx};
+pub use tvar::TVar;
+pub use txn::{Txn, TxLineage, TxShared};
+pub use wait::WaitSpec;

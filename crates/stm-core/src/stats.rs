@@ -1,0 +1,239 @@
+//! Runtime statistics.
+//!
+//! Two levels of counters are maintained:
+//!
+//! * [`TxnStats`] — plain counters local to a single transaction attempt
+//!   (reads, writes, conflicts, waits). They cost nothing to update.
+//! * [`StmStats`] — atomic counters shared by every thread of an [`crate::Stm`].
+//!   Attempt-level counters are folded into them when the attempt commits or
+//!   aborts, so shared cache lines are touched once per attempt rather than
+//!   once per operation.
+//!
+//! The benchmark harness (`stm-bench`) derives committed-transactions-per-
+//! second figures — the metric of Figures 1–4 of the paper — from
+//! [`StmStats::snapshot`].
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters local to one transaction attempt.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TxnStats {
+    /// Number of transactional reads performed.
+    pub reads: u64,
+    /// Number of transactional writes performed.
+    pub writes: u64,
+    /// Number of conflicts encountered (each conflict may be resolved by
+    /// several contention-manager consultations).
+    pub conflicts: u64,
+    /// Number of times this attempt waited for an enemy.
+    pub waits: u64,
+    /// Number of times this attempt requested that an enemy be aborted.
+    pub enemy_aborts: u64,
+}
+
+impl TxnStats {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        TxnStats::default()
+    }
+
+    /// Total number of object opens (reads plus writes).
+    pub fn opens(&self) -> u64 {
+        self.reads + self.writes
+    }
+}
+
+/// Snapshot of the shared counters of an [`crate::Stm`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Transactions (lineages) started.
+    pub transactions: u64,
+    /// Attempts started (each retry is a new attempt).
+    pub attempts: u64,
+    /// Attempts that committed.
+    pub commits: u64,
+    /// Attempts that aborted.
+    pub aborts: u64,
+    /// Conflicts encountered.
+    pub conflicts: u64,
+    /// Waits performed on behalf of contention managers.
+    pub waits: u64,
+    /// Enemy aborts requested by contention managers.
+    pub enemy_aborts: u64,
+    /// Aborts caused by read-set validation failures.
+    pub validation_failures: u64,
+    /// Transactional reads.
+    pub reads: u64,
+    /// Transactional writes.
+    pub writes: u64,
+}
+
+impl StatsSnapshot {
+    /// Ratio of aborted attempts to all finished attempts, in `[0, 1]`.
+    pub fn abort_ratio(&self) -> f64 {
+        let finished = self.commits + self.aborts;
+        if finished == 0 {
+            0.0
+        } else {
+            self.aborts as f64 / finished as f64
+        }
+    }
+
+    /// Average number of attempts needed per committed transaction.
+    pub fn attempts_per_commit(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.attempts as f64 / self.commits as f64
+        }
+    }
+}
+
+impl fmt::Display for StatsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "txns={} attempts={} commits={} aborts={} (ratio {:.2}) conflicts={} waits={} enemy-aborts={}",
+            self.transactions,
+            self.attempts,
+            self.commits,
+            self.aborts,
+            self.abort_ratio(),
+            self.conflicts,
+            self.waits,
+            self.enemy_aborts,
+        )
+    }
+}
+
+/// Shared, thread-safe counters for one [`crate::Stm`] instance.
+#[derive(Debug, Default)]
+pub struct StmStats {
+    transactions: AtomicU64,
+    attempts: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    conflicts: AtomicU64,
+    waits: AtomicU64,
+    enemy_aborts: AtomicU64,
+    validation_failures: AtomicU64,
+    reads: AtomicU64,
+    writes: AtomicU64,
+}
+
+impl StmStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        StmStats::default()
+    }
+
+    pub(crate) fn note_transaction(&self) {
+        self.transactions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_attempt(&self) {
+        self.attempts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_commit(&self, local: &TxnStats) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.fold(local);
+    }
+
+    pub(crate) fn note_abort(&self, local: &TxnStats, validation_failure: bool) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+        if validation_failure {
+            self.validation_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        self.fold(local);
+    }
+
+    fn fold(&self, local: &TxnStats) {
+        self.conflicts.fetch_add(local.conflicts, Ordering::Relaxed);
+        self.waits.fetch_add(local.waits, Ordering::Relaxed);
+        self.enemy_aborts
+            .fetch_add(local.enemy_aborts, Ordering::Relaxed);
+        self.reads.fetch_add(local.reads, Ordering::Relaxed);
+        self.writes.fetch_add(local.writes, Ordering::Relaxed);
+    }
+
+    /// Takes a consistent-enough snapshot of all counters (individual loads
+    /// are relaxed; the snapshot is intended for reporting, not for
+    /// synchronization).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            transactions: self.transactions.load(Ordering::Relaxed),
+            attempts: self.attempts.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            aborts: self.aborts.load(Ordering::Relaxed),
+            conflicts: self.conflicts.load(Ordering::Relaxed),
+            waits: self.waits.load(Ordering::Relaxed),
+            enemy_aborts: self.enemy_aborts.load(Ordering::Relaxed),
+            validation_failures: self.validation_failures.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of committed attempts so far.
+    pub fn commits(&self) -> u64 {
+        self.commits.load(Ordering::Relaxed)
+    }
+
+    /// Number of aborted attempts so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_stats_opens() {
+        let s = TxnStats {
+            reads: 3,
+            writes: 2,
+            ..TxnStats::new()
+        };
+        assert_eq!(s.opens(), 5);
+    }
+
+    #[test]
+    fn snapshot_reflects_folds() {
+        let stats = StmStats::new();
+        stats.note_transaction();
+        stats.note_attempt();
+        let local = TxnStats {
+            reads: 4,
+            writes: 1,
+            conflicts: 2,
+            waits: 1,
+            enemy_aborts: 1,
+        };
+        stats.note_abort(&local, true);
+        stats.note_attempt();
+        stats.note_commit(&local);
+        let snap = stats.snapshot();
+        assert_eq!(snap.transactions, 1);
+        assert_eq!(snap.attempts, 2);
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts, 1);
+        assert_eq!(snap.validation_failures, 1);
+        assert_eq!(snap.reads, 8);
+        assert_eq!(snap.writes, 2);
+        assert_eq!(snap.conflicts, 4);
+        assert!((snap.abort_ratio() - 0.5).abs() < 1e-9);
+        assert!((snap.attempts_per_commit() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_snapshot_ratios_are_zero() {
+        let snap = StmStats::new().snapshot();
+        assert_eq!(snap.abort_ratio(), 0.0);
+        assert_eq!(snap.attempts_per_commit(), 0.0);
+        assert!(snap.to_string().contains("commits=0"));
+    }
+}

@@ -1,0 +1,492 @@
+//! The STM runtime: configuration, thread contexts, and the retry loop.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::TimestampClock;
+use crate::error::{AbortCause, StmError, TxResult};
+use crate::manager::{factory, ContentionManager, ManagerFactory, PoliteManager, TxView};
+use crate::stats::StmStats;
+use crate::tvar::TVar;
+use crate::txn::{TxLineage, TxShared, Txn};
+
+/// How transactional reads are made visible to conflicting writers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadVisibility {
+    /// Readers register themselves on the object; a writer that acquires the
+    /// object must arbitrate with every active reader through the contention
+    /// manager. This matches the model of the paper (a conflict exists as
+    /// soon as two transactions access the same object and one access is a
+    /// write) and gives full serializability. This is the default.
+    Visible,
+    /// Readers are invisible; they record the version they observed and
+    /// re-validate their read set on each subsequent open and at commit.
+    /// Cheaper per read, but writers cannot be asked to wait for readers and
+    /// concurrently committing read/write transactions may exhibit
+    /// write-skew (as in validation-based STMs). Provided for the read-
+    /// visibility ablation study.
+    Invisible,
+}
+
+/// Configuration of an [`Stm`] instance, assembled by [`StmBuilder`].
+#[derive(Clone)]
+pub(crate) struct StmConfig {
+    pub(crate) read_visibility: ReadVisibility,
+    pub(crate) validate_on_open: bool,
+    pub(crate) max_retries: Option<u64>,
+    pub(crate) manager_factory: ManagerFactory,
+}
+
+impl std::fmt::Debug for StmConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StmConfig")
+            .field("read_visibility", &self.read_visibility)
+            .field("validate_on_open", &self.validate_on_open)
+            .field("max_retries", &self.max_retries)
+            .finish()
+    }
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig {
+            read_visibility: ReadVisibility::Visible,
+            validate_on_open: true,
+            max_retries: None,
+            manager_factory: factory(PoliteManager::default),
+        }
+    }
+}
+
+/// Builder for [`Stm`].
+///
+/// ```
+/// use stm_core::{ReadVisibility, Stm};
+/// use stm_core::manager::{factory, AggressiveManager};
+///
+/// let stm = Stm::builder()
+///     .read_visibility(ReadVisibility::Invisible)
+///     .validate_on_open(true)
+///     .max_retries(Some(1_000))
+///     .manager(factory(AggressiveManager::new))
+///     .build();
+/// assert_eq!(stm.stats().snapshot().commits, 0);
+/// ```
+#[derive(Debug, Default)]
+pub struct StmBuilder {
+    config: StmConfig,
+}
+
+impl StmBuilder {
+    /// Sets the read-visibility mode (default: [`ReadVisibility::Visible`]).
+    pub fn read_visibility(mut self, mode: ReadVisibility) -> Self {
+        self.config.read_visibility = mode;
+        self
+    }
+
+    /// Enables or disables read-set validation after every open in invisible
+    /// mode (default: enabled, which provides opacity — transactions never
+    /// observe inconsistent snapshots mid-flight).
+    pub fn validate_on_open(mut self, enabled: bool) -> Self {
+        self.config.validate_on_open = enabled;
+        self
+    }
+
+    /// Limits the number of attempts per transaction. `None` (the default)
+    /// retries until the transaction commits.
+    pub fn max_retries(mut self, limit: Option<u64>) -> Self {
+        self.config.max_retries = limit;
+        self
+    }
+
+    /// Installs the contention-manager factory used for every thread context
+    /// created from this STM (default: [`PoliteManager`]).
+    pub fn manager(mut self, factory: ManagerFactory) -> Self {
+        self.config.manager_factory = factory;
+        self
+    }
+
+    /// Builds the [`Stm`].
+    pub fn build(self) -> Stm {
+        Stm {
+            clock: TimestampClock::new(),
+            next_tx_id: AtomicU64::new(1),
+            config: self.config,
+            stats: StmStats::new(),
+        }
+    }
+}
+
+/// A software-transactional-memory instance: timestamp clock, configuration
+/// and shared statistics.
+///
+/// `Stm` is `Sync`; share it by reference (or `Arc`) among the threads that
+/// participate in transactions, and give each thread its own [`ThreadCtx`].
+#[derive(Debug)]
+pub struct Stm {
+    clock: TimestampClock,
+    next_tx_id: AtomicU64,
+    config: StmConfig,
+    stats: StmStats,
+}
+
+impl Default for Stm {
+    fn default() -> Self {
+        Stm::builder().build()
+    }
+}
+
+impl Stm {
+    /// Starts building an [`Stm`] with non-default configuration.
+    pub fn builder() -> StmBuilder {
+        StmBuilder::default()
+    }
+
+    /// Creates a per-thread execution context using the configured
+    /// contention-manager factory.
+    pub fn thread(&self) -> ThreadCtx<'_> {
+        ThreadCtx {
+            stm: self,
+            manager: (self.config.manager_factory)(),
+        }
+    }
+
+    /// Creates a per-thread execution context with an explicit contention
+    /// manager, overriding the configured factory. Useful for comparing
+    /// managers within one program (see the `manager_showdown` example).
+    pub fn thread_with(&self, manager: Box<dyn ContentionManager>) -> ThreadCtx<'_> {
+        ThreadCtx { stm: self, manager }
+    }
+
+    /// Reads the latest committed value of a single [`TVar`] outside any
+    /// transaction.
+    pub fn read_atomic<T: Clone + Send + Sync>(&self, tvar: &TVar<T>) -> T {
+        tvar.load_committed()
+    }
+
+    /// The shared statistics of this STM instance.
+    pub fn stats(&self) -> &StmStats {
+        &self.stats
+    }
+
+    /// The timestamp clock (exposed for instrumentation and tests).
+    pub fn clock(&self) -> &TimestampClock {
+        &self.clock
+    }
+
+    pub(crate) fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    fn next_tx_id(&self) -> u64 {
+        self.next_tx_id.fetch_add(1, Ordering::Relaxed)
+    }
+}
+
+/// A per-thread handle used to run transactions against an [`Stm`].
+///
+/// The context owns the thread's contention-manager instance; managers are
+/// decentralised and never shared between threads.
+pub struct ThreadCtx<'stm> {
+    stm: &'stm Stm,
+    manager: Box<dyn ContentionManager>,
+}
+
+impl<'stm> std::fmt::Debug for ThreadCtx<'stm> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadCtx")
+            .field("manager", &self.manager.name())
+            .finish()
+    }
+}
+
+impl<'stm> ThreadCtx<'stm> {
+    /// The name of the contention manager driving this context.
+    pub fn manager_name(&self) -> &'static str {
+        self.manager.name()
+    }
+
+    /// The [`Stm`] this context belongs to.
+    pub fn stm(&self) -> &'stm Stm {
+        self.stm
+    }
+
+    /// Runs `body` atomically, retrying on conflict-induced aborts until it
+    /// commits (or until the configured retry limit is exhausted).
+    ///
+    /// The closure receives a [`Txn`] handle; every transactional operation
+    /// returns a [`TxResult`] whose error must be propagated (with `?`) so
+    /// the runtime can restart the attempt. The transaction keeps its
+    /// timestamp — and therefore its greedy priority — across restarts.
+    ///
+    /// # Errors
+    ///
+    /// * [`StmError::Aborted`] with [`AbortCause::Explicit`] if the closure
+    ///   called [`Txn::abort`].
+    /// * [`StmError::RetryLimitExceeded`] if a retry limit was configured and
+    ///   exhausted.
+    pub fn atomically<T, F>(&mut self, mut body: F) -> Result<T, StmError>
+    where
+        F: FnMut(&mut Txn<'_>) -> TxResult<T>,
+    {
+        let stm = self.stm;
+        let lineage = Arc::new(TxLineage::new(stm.next_tx_id(), stm.clock.next()));
+        stm.stats.note_transaction();
+        let mut attempt: u64 = 0;
+        loop {
+            attempt += 1;
+            stm.stats.note_attempt();
+            let shared = Arc::new(TxShared::new(Arc::clone(&lineage), attempt));
+            let manager: &mut dyn ContentionManager = self.manager.as_mut();
+            manager.begin(TxView::new(&shared));
+            let mut txn = Txn::new(stm, Arc::clone(&shared), manager);
+            match body(&mut txn) {
+                Ok(value) => {
+                    if txn.finish_commit() {
+                        return Ok(value);
+                    }
+                    let validation = txn.validation_failed();
+                    txn.finish_abort(validation);
+                }
+                Err(StmError::Aborted(AbortCause::Explicit)) => {
+                    txn.finish_abort(false);
+                    return Err(StmError::Aborted(AbortCause::Explicit));
+                }
+                Err(StmError::Aborted(cause)) => {
+                    txn.finish_abort(cause == AbortCause::ValidationFailed);
+                }
+                Err(other) => {
+                    txn.finish_abort(false);
+                    return Err(other);
+                }
+            }
+            if let Some(limit) = stm.config.max_retries {
+                if attempt >= limit {
+                    return Err(StmError::RetryLimitExceeded { attempts: attempt });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::AggressiveManager;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread;
+
+    #[test]
+    fn single_threaded_read_write() {
+        let stm = Stm::default();
+        let v = TVar::new(10i32);
+        let mut ctx = stm.thread();
+        let out = ctx
+            .atomically(|tx| {
+                let x = tx.read(&v)?;
+                tx.write(&v, x + 5)?;
+                tx.read(&v)
+            })
+            .unwrap();
+        assert_eq!(out, 15);
+        assert_eq!(stm.read_atomic(&v), 15);
+        let snap = stm.stats().snapshot();
+        assert_eq!(snap.commits, 1);
+        assert_eq!(snap.aborts, 0);
+    }
+
+    #[test]
+    fn modify_and_read_for_update() {
+        let stm = Stm::default();
+        let v = TVar::new(3u64);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| tx.modify(&v, |x| x * 2)).unwrap();
+        assert_eq!(stm.read_atomic(&v), 6);
+        let prev = ctx
+            .atomically(|tx| {
+                let prev = tx.read_for_update(&v)?;
+                tx.write(&v, prev + 1)?;
+                Ok(prev)
+            })
+            .unwrap();
+        assert_eq!(prev, 6);
+        assert_eq!(stm.read_atomic(&v), 7);
+    }
+
+    #[test]
+    fn multi_object_transaction_is_atomic() {
+        let stm = Stm::default();
+        let a = TVar::new(100i64);
+        let b = TVar::new(0i64);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            let x = tx.read(&a)?;
+            tx.write(&a, x - 40)?;
+            tx.modify(&b, |y| y + 40)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stm.read_atomic(&a), 60);
+        assert_eq!(stm.read_atomic(&b), 40);
+    }
+
+    #[test]
+    fn explicit_abort_escapes_and_has_no_effect() {
+        let stm = Stm::default();
+        let v = TVar::new(1u32);
+        let mut ctx = stm.thread();
+        let err = ctx
+            .atomically(|tx| {
+                tx.write(&v, 999)?;
+                tx.abort::<()>()
+            })
+            .unwrap_err();
+        assert_eq!(err.abort_cause(), Some(AbortCause::Explicit));
+        assert_eq!(stm.read_atomic(&v), 1);
+    }
+
+    #[test]
+    fn aborted_writes_are_invisible() {
+        let stm = Stm::default();
+        let v = TVar::new(5u32);
+        let mut ctx = stm.thread();
+        let _ = ctx.atomically(|tx| {
+            tx.write(&v, 50)?;
+            tx.abort::<()>()
+        });
+        assert_eq!(stm.read_atomic(&v), 5);
+        // A later transaction sees the original value and can update it.
+        ctx.atomically(|tx| tx.modify(&v, |x| x + 1)).unwrap();
+        assert_eq!(stm.read_atomic(&v), 6);
+    }
+
+    #[test]
+    fn read_your_own_writes() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            tx.write(&v, 7)?;
+            assert_eq!(tx.read(&v)?, 7);
+            tx.modify(&v, |x| x + 1)?;
+            assert_eq!(tx.read(&v)?, 8);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(stm.read_atomic(&v), 8);
+    }
+
+    #[test]
+    fn counter_increments_are_not_lost_across_threads() {
+        for visibility in [ReadVisibility::Visible, ReadVisibility::Invisible] {
+            let stm = Arc::new(
+                Stm::builder()
+                    .read_visibility(visibility)
+                    .manager(factory(AggressiveManager::new))
+                    .build(),
+            );
+            let counter = TVar::new(0u64);
+            let threads = 4;
+            let per_thread = 500u64;
+            thread::scope(|scope| {
+                for _ in 0..threads {
+                    let stm = Arc::clone(&stm);
+                    let counter = counter.clone();
+                    scope.spawn(move || {
+                        let mut ctx = stm.thread();
+                        for _ in 0..per_thread {
+                            ctx.atomically(|tx| tx.modify(&counter, |x| x + 1)).unwrap();
+                        }
+                    });
+                }
+            });
+            assert_eq!(stm.read_atomic(&counter), threads * per_thread);
+        }
+    }
+
+    #[test]
+    fn bank_invariant_preserved_under_contention() {
+        let stm = Arc::new(Stm::default());
+        let accounts: Vec<TVar<i64>> = (0..8).map(|_| TVar::new(1000)).collect();
+        let total: i64 = 8 * 1000;
+        thread::scope(|scope| {
+            for t in 0..4usize {
+                let stm = Arc::clone(&stm);
+                let accounts = accounts.clone();
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for i in 0..400usize {
+                        let from = (t + i) % accounts.len();
+                        let to = (t + i * 7 + 1) % accounts.len();
+                        if from == to {
+                            continue;
+                        }
+                        ctx.atomically(|tx| {
+                            let a = tx.read(&accounts[from])?;
+                            let b = tx.read(&accounts[to])?;
+                            tx.write(&accounts[from], a - 10)?;
+                            tx.write(&accounts[to], b + 10)?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        let sum: i64 = accounts.iter().map(|a| stm.read_atomic(a)).sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn retry_limit_is_enforced() {
+        let stm = Stm::builder().max_retries(Some(3)).build();
+        let v = TVar::new(0u32);
+        let mut ctx = stm.thread();
+        let calls = AtomicUsize::new(0);
+        // A body that always claims validation failure.
+        let err = ctx
+            .atomically(|tx| -> TxResult<()> {
+                calls.fetch_add(1, Ordering::Relaxed);
+                tx.write(&v, 1)?;
+                Err(StmError::Aborted(AbortCause::ValidationFailed))
+            })
+            .unwrap_err();
+        assert_eq!(err, StmError::RetryLimitExceeded { attempts: 3 });
+        assert_eq!(calls.load(Ordering::Relaxed), 3);
+        assert_eq!(stm.read_atomic(&v), 0);
+    }
+
+    #[test]
+    fn thread_ctx_reports_manager_name() {
+        let stm = Stm::default();
+        assert_eq!(stm.thread().manager_name(), "polite");
+        let ctx = stm.thread_with(Box::new(AggressiveManager::new()));
+        assert_eq!(ctx.manager_name(), "aggressive");
+    }
+
+    #[test]
+    fn timestamps_increase_per_transaction() {
+        let stm = Stm::default();
+        let mut ctx = stm.thread();
+        let t1 = ctx.atomically(|tx| Ok(tx.timestamp())).unwrap();
+        let t2 = ctx.atomically(|tx| Ok(tx.timestamp())).unwrap();
+        assert!(t2 > t1);
+        assert!(stm.clock().issued() >= 2);
+    }
+
+    #[test]
+    fn stats_track_commits_and_transactions() {
+        let stm = Stm::default();
+        let v = TVar::new(0u8);
+        let mut ctx = stm.thread();
+        for _ in 0..10 {
+            ctx.atomically(|tx| tx.modify(&v, |x| x.wrapping_add(1)))
+                .unwrap();
+        }
+        let snap = stm.stats().snapshot();
+        assert_eq!(snap.transactions, 10);
+        assert_eq!(snap.commits, 10);
+        assert!(snap.attempts >= 10);
+        assert!(snap.writes >= 10);
+    }
+}

@@ -1,0 +1,483 @@
+//! Transactional objects.
+//!
+//! A [`TVar<T>`] is an object-granularity transactional cell in the style of
+//! DSTM: its current state is described by a *locator* that records the
+//! transaction that most recently acquired the object for writing together
+//! with the object's value before (`old`) and after (`new`) that
+//! transaction. The logically current value is therefore a function of the
+//! owner's status word:
+//!
+//! | owner status | current value |
+//! |--------------|---------------|
+//! | none         | `new` (baseline) |
+//! | `Active`     | `old` (the writer has not committed yet) |
+//! | `Committed`  | `new` |
+//! | `Aborted`    | `old` |
+//!
+//! Acquiring an object means atomically replacing its locator with one that
+//! names the acquiring transaction; committing or aborting the transaction
+//! then flips the meaning of every locator it installed at once, via the
+//! single status-word CAS. This is what makes the design obstruction-free at
+//! the transaction level: no transaction ever holds a lock across user code.
+//!
+//! *Implementation note (documented substitution in DESIGN.md):* DSTM
+//! publishes locators with a raw pointer CAS and relies on garbage
+//! collection. Here locator publication is a compare-and-replace under a
+//! short `parking_lot::Mutex` critical section with `Arc` reclamation, which
+//! keeps the crate `forbid(unsafe_code)`. The transaction status word — the
+//! CAS the contention-management protocol actually relies on — remains a
+//! true lock-free CAS.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::txn::TxShared;
+
+static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// A locator names the last writer of an object together with the object
+/// value before and after that writer.
+#[derive(Debug)]
+pub(crate) struct Locator<T> {
+    owner: Option<Arc<TxShared>>,
+    old: Arc<T>,
+    new: Mutex<Arc<T>>,
+}
+
+impl<T> Locator<T> {
+    /// A locator for an object with no pending writer.
+    pub(crate) fn baseline(value: Arc<T>) -> Self {
+        Locator {
+            owner: None,
+            old: Arc::clone(&value),
+            new: Mutex::new(value),
+        }
+    }
+
+    /// A locator installed by `owner`, recording the pre-state `old` and the
+    /// tentative post-state `new`.
+    pub(crate) fn owned(owner: Arc<TxShared>, old: Arc<T>, new: Arc<T>) -> Self {
+        Locator {
+            owner: Some(owner),
+            old,
+            new: Mutex::new(new),
+        }
+    }
+
+    /// The transaction that installed this locator, if any.
+    pub(crate) fn owner(&self) -> Option<&Arc<TxShared>> {
+        self.owner.as_ref()
+    }
+
+    /// The tentative new value written by the owner.
+    pub(crate) fn new_value(&self) -> Arc<T> {
+        Arc::clone(&self.new.lock())
+    }
+
+    /// Replaces the tentative new value (only the owner does this, while it
+    /// is still active).
+    pub(crate) fn set_new_value(&self, value: Arc<T>) {
+        *self.new.lock() = value;
+    }
+
+    /// The logically current (most recently committed) value described by
+    /// this locator.
+    pub(crate) fn stable_value(&self) -> Arc<T> {
+        match &self.owner {
+            None => self.new_value(),
+            Some(owner) => {
+                if owner.is_committed() {
+                    self.new_value()
+                } else {
+                    Arc::clone(&self.old)
+                }
+            }
+        }
+    }
+}
+
+/// Shared interior of a [`TVar`].
+#[derive(Debug)]
+pub(crate) struct TVarInner<T> {
+    id: u64,
+    locator: Mutex<Arc<Locator<T>>>,
+    readers: Mutex<Vec<Arc<TxShared>>>,
+}
+
+impl<T> TVarInner<T> {
+    fn new(value: T) -> Self {
+        TVarInner {
+            id: OBJECT_IDS.fetch_add(1, Ordering::Relaxed),
+            locator: Mutex::new(Arc::new(Locator::baseline(Arc::new(value)))),
+            readers: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Loads the current locator.
+    pub(crate) fn load_locator(&self) -> Arc<Locator<T>> {
+        Arc::clone(&self.locator.lock())
+    }
+
+    /// Replaces the locator with `new` if the current locator is still
+    /// (pointer-)equal to `expected`. Returns `true` on success.
+    pub(crate) fn try_replace_locator(
+        &self,
+        expected: &Arc<Locator<T>>,
+        new: Arc<Locator<T>>,
+    ) -> bool {
+        let mut guard = self.locator.lock();
+        if Arc::ptr_eq(&guard, expected) {
+            *guard = new;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Registers `reader` as a visible reader. Returns `true` if it was not
+    /// already registered. Finished readers are pruned opportunistically.
+    pub(crate) fn register_reader(&self, reader: &Arc<TxShared>) -> bool {
+        let mut guard = self.readers.lock();
+        guard.retain(|r| r.is_active());
+        if guard.iter().any(|r| Arc::ptr_eq(r, reader)) {
+            false
+        } else {
+            guard.push(Arc::clone(reader));
+            true
+        }
+    }
+
+    /// Removes `reader` from the visible-reader list.
+    pub(crate) fn unregister_reader(&self, reader: &TxShared) {
+        let mut guard = self.readers.lock();
+        guard.retain(|r| !std::ptr::eq(Arc::as_ptr(r), reader) && r.is_active());
+    }
+
+    /// Returns the currently registered active readers other than `me`.
+    pub(crate) fn active_readers(&self, me: &Arc<TxShared>) -> Vec<Arc<TxShared>> {
+        let guard = self.readers.lock();
+        guard
+            .iter()
+            .filter(|r| !Arc::ptr_eq(r, me) && r.is_active())
+            .cloned()
+            .collect()
+    }
+
+    /// Number of registered readers (used in tests).
+    #[cfg(test)]
+    pub(crate) fn reader_count(&self) -> usize {
+        self.readers.lock().len()
+    }
+}
+
+/// A transactional memory cell holding a value of type `T`.
+///
+/// `TVar`s are cheap to clone (clones share the same underlying object) and
+/// are accessed inside transactions through [`crate::Txn::read`],
+/// [`crate::Txn::write`] and [`crate::Txn::modify`].
+///
+/// ```
+/// use stm_core::{Stm, TVar};
+/// let stm = Stm::default();
+/// let v = TVar::new(1u32);
+/// let mut ctx = stm.thread();
+/// ctx.atomically(|tx| tx.modify(&v, |x| x + 1)).unwrap();
+/// assert_eq!(stm.read_atomic(&v), 2);
+/// ```
+#[derive(Debug)]
+pub struct TVar<T> {
+    inner: Arc<TVarInner<T>>,
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Send + Sync> TVar<T> {
+    /// Creates a new transactional cell holding `value`.
+    pub fn new(value: T) -> Self {
+        TVar {
+            inner: Arc::new(TVarInner::new(value)),
+        }
+    }
+
+    /// A unique identity for this object (used by contention managers and
+    /// instrumentation).
+    pub fn id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    /// Returns `true` if `self` and `other` refer to the same object.
+    pub fn same_object(&self, other: &TVar<T>) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+
+    pub(crate) fn inner(&self) -> &Arc<TVarInner<T>> {
+        &self.inner
+    }
+}
+
+impl<T: Send + Sync> TVar<T> {
+    /// Reads the most recently committed value outside of any transaction.
+    ///
+    /// This is a single-object snapshot; it is linearizable for the one
+    /// object but offers no consistency across objects. Use a transaction
+    /// for multi-object reads.
+    pub fn load_committed_arc(&self) -> Arc<T> {
+        self.inner.load_locator().stable_value()
+    }
+}
+
+impl<T: Clone + Send + Sync> TVar<T> {
+    /// Like [`TVar::load_committed_arc`] but returns a clone of the value.
+    pub fn load_committed(&self) -> T {
+        (*self.load_committed_arc()).clone()
+    }
+}
+
+impl<T: Default + Send + Sync> Default for TVar<T> {
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+/// A read tracked by a transaction, for validation and cleanup.
+pub(crate) trait TrackedRead: Send {
+    /// Identity of the object read.
+    #[allow(dead_code)]
+    fn object_id(&self) -> u64;
+    /// Whether the value observed by the read is still the current value.
+    fn still_valid(&self) -> bool;
+    /// Releases any registration this read holds (visible-reader lists).
+    fn release(&self, me: &TxShared);
+}
+
+/// An invisible read: revalidated by comparing the current stable value with
+/// the value observed at read time.
+pub(crate) struct InvisibleRead<T> {
+    inner: Arc<TVarInner<T>>,
+    seen: Arc<T>,
+}
+
+impl<T> InvisibleRead<T> {
+    pub(crate) fn new(inner: Arc<TVarInner<T>>, seen: Arc<T>) -> Self {
+        InvisibleRead { inner, seen }
+    }
+}
+
+impl<T: Send + Sync> TrackedRead for InvisibleRead<T> {
+    fn object_id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    fn still_valid(&self) -> bool {
+        Arc::ptr_eq(&self.inner.load_locator().stable_value(), &self.seen)
+    }
+
+    fn release(&self, _me: &TxShared) {}
+}
+
+/// A visible read: registered in the object's reader list so writers must
+/// arbitrate with it; no validation is required.
+pub(crate) struct VisibleRead<T> {
+    inner: Arc<TVarInner<T>>,
+}
+
+impl<T> VisibleRead<T> {
+    pub(crate) fn new(inner: Arc<TVarInner<T>>) -> Self {
+        VisibleRead { inner }
+    }
+}
+
+impl<T: Send + Sync> TrackedRead for VisibleRead<T> {
+    fn object_id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    fn still_valid(&self) -> bool {
+        true
+    }
+
+    fn release(&self, me: &TxShared) {
+        self.inner.unregister_reader(me);
+    }
+}
+
+/// A write (acquisition) performed by a transaction.
+pub(crate) trait TrackedWrite: Send {
+    /// Identity of the object written.
+    #[allow(dead_code)]
+    fn object_id(&self) -> u64;
+    /// After commit, collapses the locator chain so later readers do not need
+    /// to chase the (now committed) owner's status.
+    fn detach_committed(&self);
+}
+
+/// The record of an object acquisition.
+pub(crate) struct OwnedWrite<T> {
+    inner: Arc<TVarInner<T>>,
+    locator: Arc<Locator<T>>,
+}
+
+impl<T> OwnedWrite<T> {
+    pub(crate) fn new(inner: Arc<TVarInner<T>>, locator: Arc<Locator<T>>) -> Self {
+        OwnedWrite { inner, locator }
+    }
+}
+
+impl<T: Send + Sync> TrackedWrite for OwnedWrite<T> {
+    fn object_id(&self) -> u64 {
+        self.inner.id()
+    }
+
+    fn detach_committed(&self) {
+        let value = self.locator.new_value();
+        let baseline = Arc::new(Locator::baseline(value));
+        // If another transaction already replaced our locator this is a no-op.
+        self.inner.try_replace_locator(&self.locator, baseline);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::txn::TxLineage;
+
+    fn fresh_shared() -> Arc<TxShared> {
+        let lineage = Arc::new(TxLineage::new(1, 1));
+        Arc::new(TxShared::new(lineage, 1))
+    }
+
+    #[test]
+    fn tvar_ids_are_unique() {
+        let a = TVar::new(0u8);
+        let b = TVar::new(0u8);
+        assert_ne!(a.id(), b.id());
+        assert!(a.same_object(&a.clone()));
+        assert!(!a.same_object(&b));
+    }
+
+    #[test]
+    fn baseline_locator_exposes_value() {
+        let v = TVar::new(41u32);
+        assert_eq!(v.load_committed(), 41);
+        assert_eq!(*v.load_committed_arc(), 41);
+    }
+
+    #[test]
+    fn default_tvar_uses_default_value() {
+        let v: TVar<u64> = TVar::default();
+        assert_eq!(v.load_committed(), 0);
+    }
+
+    #[test]
+    fn stable_value_follows_owner_status() {
+        let old = Arc::new(1u32);
+        let new = Arc::new(2u32);
+        let owner = fresh_shared();
+        let loc = Locator::owned(Arc::clone(&owner), Arc::clone(&old), Arc::clone(&new));
+        // Active owner: the old value is current.
+        assert_eq!(*loc.stable_value(), 1);
+        assert!(owner.try_commit());
+        assert_eq!(*loc.stable_value(), 2);
+
+        let owner2 = fresh_shared();
+        let loc2 = Locator::owned(Arc::clone(&owner2), old, new);
+        assert!(owner2.try_abort());
+        assert_eq!(*loc2.stable_value(), 1);
+    }
+
+    #[test]
+    fn set_new_value_changes_committed_result() {
+        let owner = fresh_shared();
+        let loc = Locator::owned(Arc::clone(&owner), Arc::new(1u32), Arc::new(1u32));
+        loc.set_new_value(Arc::new(99));
+        owner.try_commit();
+        assert_eq!(*loc.stable_value(), 99);
+    }
+
+    #[test]
+    fn try_replace_locator_is_conditional() {
+        let inner = TVarInner::new(5u32);
+        let current = inner.load_locator();
+        let replacement = Arc::new(Locator::baseline(Arc::new(6u32)));
+        assert!(inner.try_replace_locator(&current, Arc::clone(&replacement)));
+        // The original expectation is now stale.
+        let stale = Arc::new(Locator::baseline(Arc::new(7u32)));
+        assert!(!inner.try_replace_locator(&current, stale));
+        assert_eq!(*inner.load_locator().stable_value(), 6);
+    }
+
+    #[test]
+    fn reader_registration_dedupes_and_prunes() {
+        let inner = TVarInner::new(0u32);
+        let r1 = fresh_shared();
+        let r2 = fresh_shared();
+        assert!(inner.register_reader(&r1));
+        assert!(!inner.register_reader(&r1));
+        assert!(inner.register_reader(&r2));
+        assert_eq!(inner.reader_count(), 2);
+        assert_eq!(inner.active_readers(&r1).len(), 1);
+        // Finished readers are pruned on the next registration.
+        r2.try_abort();
+        let r3 = fresh_shared();
+        assert!(inner.register_reader(&r3));
+        assert!(inner
+            .active_readers(&r3)
+            .iter()
+            .all(|r| Arc::ptr_eq(r, &r1)));
+        inner.unregister_reader(&r1);
+        assert!(inner.active_readers(&r3).is_empty());
+    }
+
+    #[test]
+    fn detach_committed_collapses_locator() {
+        let inner = Arc::new(TVarInner::new(1u32));
+        let owner = fresh_shared();
+        let current = inner.load_locator();
+        let owned = Arc::new(Locator::owned(
+            Arc::clone(&owner),
+            current.stable_value(),
+            Arc::new(10u32),
+        ));
+        assert!(inner.try_replace_locator(&current, Arc::clone(&owned)));
+        owner.try_commit();
+        let write = OwnedWrite::new(Arc::clone(&inner), owned);
+        write.detach_committed();
+        let loc = inner.load_locator();
+        assert!(loc.owner().is_none());
+        assert_eq!(*loc.stable_value(), 10);
+    }
+
+    #[test]
+    fn invisible_read_validation() {
+        let inner = Arc::new(TVarInner::new(1u32));
+        let seen = inner.load_locator().stable_value();
+        let read = InvisibleRead::new(Arc::clone(&inner), seen);
+        assert!(read.still_valid());
+        // Another transaction commits a new value.
+        let owner = fresh_shared();
+        let current = inner.load_locator();
+        let owned = Arc::new(Locator::owned(
+            Arc::clone(&owner),
+            current.stable_value(),
+            Arc::new(2u32),
+        ));
+        inner.try_replace_locator(&current, owned);
+        // While the writer is active the read is still valid...
+        assert!(read.still_valid());
+        owner.try_commit();
+        // ...but once it commits, the read is stale.
+        assert!(!read.still_valid());
+    }
+}

@@ -1,0 +1,654 @@
+//! Transaction descriptors and the per-attempt transaction handle.
+//!
+//! Three layers of state make up a transaction:
+//!
+//! * [`TxLineage`] — state that survives aborts and restarts: the identity of
+//!   the logical transaction, the **timestamp** assigned when it first began
+//!   (the greedy manager's priority), and accumulated bookkeeping (karma,
+//!   abort counts) that managers such as Karma, Eruption and Polka consult.
+//! * [`TxShared`] — the descriptor of one *attempt*, visible to every other
+//!   thread: a CAS-able status word, the public `waiting` flag of the greedy
+//!   manager, and per-attempt counters. Enemy transactions hold `Arc`s to
+//!   this descriptor (through object locators or reader lists) and may abort
+//!   the attempt by CAS-ing its status.
+//! * [`Txn`] — the handle passed to the user's transactional closure. It
+//!   performs reads and writes, detects conflicts eagerly, and consults the
+//!   thread's contention manager to resolve them.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::error::{AbortCause, StmError, TxResult};
+use crate::manager::{ConflictKind, ContentionManager, Resolution, TxView};
+use crate::stats::TxnStats;
+use crate::status::{AtomicStatus, TxStatus};
+use crate::stm::{ReadVisibility, Stm};
+use crate::tvar::{InvisibleRead, Locator, OwnedWrite, TVar, TrackedRead, TrackedWrite, VisibleRead};
+use crate::wait::SpinWait;
+
+/// State of a logical transaction that persists across aborts and retries.
+///
+/// The paper's greedy manager requires that "when a transaction begins, it is
+/// given a timestamp which it retains even if it aborts and restarts"; the
+/// lineage is where that timestamp lives. Managers that accumulate priority
+/// over a transaction's lifetime (Karma, Eruption, Polka) store their
+/// accumulated priority here as well.
+#[derive(Debug)]
+pub struct TxLineage {
+    id: u64,
+    timestamp: u64,
+    karma: AtomicU64,
+    aborts: AtomicU64,
+    opened_total: AtomicU64,
+    born: Instant,
+}
+
+impl TxLineage {
+    /// Creates a new lineage with the given identity and timestamp.
+    pub fn new(id: u64, timestamp: u64) -> Self {
+        TxLineage {
+            id,
+            timestamp,
+            karma: AtomicU64::new(0),
+            aborts: AtomicU64::new(0),
+            opened_total: AtomicU64::new(0),
+            born: Instant::now(),
+        }
+    }
+
+    /// Identity of the logical transaction (unique per [`Stm`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The timestamp assigned when the transaction first began. Smaller
+    /// timestamps mean higher priority for the greedy manager.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Accumulated manager-defined priority ("karma").
+    pub fn karma(&self) -> u64 {
+        self.karma.load(Ordering::Relaxed)
+    }
+
+    /// Adds to the accumulated priority. Used by Karma/Eruption/Polka.
+    pub fn add_karma(&self, delta: u64) {
+        self.karma.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Resets the accumulated priority to zero (Karma does this on commit).
+    pub fn reset_karma(&self) {
+        self.karma.store(0, Ordering::Relaxed);
+    }
+
+    /// Number of aborted attempts so far.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.load(Ordering::Relaxed)
+    }
+
+    /// Number of attempts so far (aborts + the current/last attempt).
+    pub fn attempts(&self) -> u64 {
+        self.aborts() + 1
+    }
+
+    pub(crate) fn note_abort(&self) {
+        self.aborts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of objects opened across all attempts.
+    pub fn opened_total(&self) -> u64 {
+        self.opened_total.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_open(&self) {
+        self.opened_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Wall-clock age of the transaction since it first began.
+    pub fn age(&self) -> Duration {
+        self.born.elapsed()
+    }
+}
+
+/// The shared descriptor of one transaction attempt.
+///
+/// Other threads interact with a transaction exclusively through this
+/// structure: they inspect its priority and `waiting` flag, and they may
+/// abort it by CAS-ing the status word.
+#[derive(Debug)]
+pub struct TxShared {
+    lineage: Arc<TxLineage>,
+    attempt: u64,
+    status: AtomicStatus,
+    waiting: AtomicBool,
+    opened_this_attempt: AtomicU64,
+}
+
+impl TxShared {
+    /// Creates a descriptor for attempt number `attempt` of `lineage`.
+    pub fn new(lineage: Arc<TxLineage>, attempt: u64) -> Self {
+        TxShared {
+            lineage,
+            attempt,
+            status: AtomicStatus::new_active(),
+            waiting: AtomicBool::new(false),
+            opened_this_attempt: AtomicU64::new(0),
+        }
+    }
+
+    /// The persistent lineage of this attempt.
+    pub fn lineage(&self) -> &Arc<TxLineage> {
+        &self.lineage
+    }
+
+    /// Identity of the logical transaction.
+    pub fn id(&self) -> u64 {
+        self.lineage.id()
+    }
+
+    /// Attempt number, starting at 1.
+    pub fn attempt(&self) -> u64 {
+        self.attempt
+    }
+
+    /// The greedy-priority timestamp (smaller = older = higher priority).
+    pub fn timestamp(&self) -> u64 {
+        self.lineage.timestamp()
+    }
+
+    /// Current status of this attempt.
+    pub fn status(&self) -> TxStatus {
+        self.status.load()
+    }
+
+    /// Whether this attempt is still active.
+    pub fn is_active(&self) -> bool {
+        self.status().is_active()
+    }
+
+    /// Whether this attempt committed.
+    pub fn is_committed(&self) -> bool {
+        self.status().is_committed()
+    }
+
+    /// Whether this attempt aborted.
+    pub fn is_aborted(&self) -> bool {
+        self.status().is_aborted()
+    }
+
+    /// Attempts to abort this transaction attempt (CAS `Active -> Aborted`).
+    ///
+    /// This is the operation an enemy transaction performs when its
+    /// contention manager returns [`Resolution::AbortOther`]. Returns `true`
+    /// if this call performed the abort.
+    pub fn try_abort(&self) -> bool {
+        self.status.try_abort()
+    }
+
+    /// Attempts to commit this transaction attempt (CAS `Active ->
+    /// Committed`). Inside the STM runtime only the owning thread calls this
+    /// (after validating its reads); it is exposed publicly for execution
+    /// simulators that drive descriptors directly.
+    pub fn try_commit(&self) -> bool {
+        self.status.try_commit()
+    }
+
+    /// Whether the transaction is currently waiting for another transaction.
+    /// This is the public `waiting` field of the greedy manager's Rule 1.
+    pub fn is_waiting(&self) -> bool {
+        self.waiting.load(Ordering::Acquire)
+    }
+
+    /// Sets the public `waiting` flag. The runtime flips this around every
+    /// contention-manager wait; it is exposed publicly for contention-manager
+    /// unit tests and for execution simulators that drive descriptors
+    /// directly.
+    pub fn set_waiting(&self, value: bool) {
+        self.waiting.store(value, Ordering::Release);
+    }
+
+    /// Number of objects opened during this attempt.
+    pub fn opened_in_attempt(&self) -> u64 {
+        self.opened_this_attempt.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn note_open(&self) {
+        self.opened_this_attempt.fetch_add(1, Ordering::Relaxed);
+        self.lineage.note_open();
+    }
+}
+
+/// The handle through which a transactional closure reads and writes
+/// [`TVar`]s.
+///
+/// Obtained from [`crate::ThreadCtx::atomically`]; all operations may fail
+/// with [`StmError::Aborted`], in which case the error should simply be
+/// propagated with `?` — the runtime will retry the closure.
+pub struct Txn<'ctx> {
+    stm: &'ctx Stm,
+    shared: Arc<TxShared>,
+    manager: &'ctx mut dyn ContentionManager,
+    reads: Vec<Box<dyn TrackedRead>>,
+    writes: Vec<Box<dyn TrackedWrite>>,
+    stats: TxnStats,
+    validation_failed: bool,
+    finished: bool,
+}
+
+impl<'ctx> std::fmt::Debug for Txn<'ctx> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("id", &self.shared.id())
+            .field("attempt", &self.shared.attempt())
+            .field("timestamp", &self.shared.timestamp())
+            .field("status", &self.shared.status())
+            .finish()
+    }
+}
+
+impl<'ctx> Txn<'ctx> {
+    pub(crate) fn new(
+        stm: &'ctx Stm,
+        shared: Arc<TxShared>,
+        manager: &'ctx mut dyn ContentionManager,
+    ) -> Self {
+        Txn {
+            stm,
+            shared,
+            manager,
+            reads: Vec::new(),
+            writes: Vec::new(),
+            stats: TxnStats::new(),
+            validation_failed: false,
+            finished: false,
+        }
+    }
+
+    /// Identity of the logical transaction.
+    pub fn id(&self) -> u64 {
+        self.shared.id()
+    }
+
+    /// The greedy-priority timestamp of this transaction.
+    pub fn timestamp(&self) -> u64 {
+        self.shared.timestamp()
+    }
+
+    /// Attempt number, starting at 1.
+    pub fn attempt(&self) -> u64 {
+        self.shared.attempt()
+    }
+
+    /// Per-attempt statistics collected so far.
+    pub fn stats(&self) -> &TxnStats {
+        &self.stats
+    }
+
+    /// The shared descriptor of this attempt (mostly useful in tests and
+    /// instrumentation).
+    pub fn shared(&self) -> &Arc<TxShared> {
+        &self.shared
+    }
+
+    /// Explicitly aborts the transaction. The error returned must be
+    /// propagated out of the closure; [`crate::ThreadCtx::atomically`] then
+    /// reports it to the caller without retrying.
+    pub fn abort<T>(&mut self) -> TxResult<T> {
+        Err(StmError::Aborted(AbortCause::Explicit))
+    }
+
+    /// Reads the value of `tvar`, returning a clone.
+    pub fn read<T>(&mut self, tvar: &TVar<T>) -> TxResult<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.read_arc(tvar).map(|arc| (*arc).clone())
+    }
+
+    /// Reads the value of `tvar`, returning a shared handle to the version
+    /// observed (cheaper than [`Txn::read`] for large values).
+    pub fn read_arc<T>(&mut self, tvar: &TVar<T>) -> TxResult<Arc<T>>
+    where
+        T: Send + Sync + 'static,
+    {
+        self.ensure_active()?;
+        let visible = self.stm.config().read_visibility == ReadVisibility::Visible;
+        if visible {
+            let newly_registered = tvar.inner().register_reader(&self.shared);
+            if newly_registered {
+                self.reads
+                    .push(Box::new(VisibleRead::new(Arc::clone(tvar.inner()))));
+            }
+        }
+        loop {
+            self.ensure_active()?;
+            let loc = tvar.inner().load_locator();
+            if let Some(owner) = loc.owner() {
+                if Arc::ptr_eq(owner, &self.shared) {
+                    // Read-your-own-write.
+                    let value = loc.new_value();
+                    self.note_read(tvar.id());
+                    return Ok(value);
+                }
+                if owner.is_active() {
+                    let owner = Arc::clone(owner);
+                    self.resolve_conflict(&owner, ConflictKind::ReadWrite)?;
+                    continue;
+                }
+            }
+            let value = loc.stable_value();
+            // Opacity: re-check our own status *after* loading the value. An
+            // enemy that invalidates our earlier reads must abort us before it
+            // commits; if its commit preceded our load, its abort of us did
+            // too, so this check guarantees we never hand user code a value
+            // that is inconsistent with what it already read.
+            self.ensure_active()?;
+            if !visible {
+                self.reads.push(Box::new(InvisibleRead::new(
+                    Arc::clone(tvar.inner()),
+                    Arc::clone(&value),
+                )));
+                if self.stm.config().validate_on_open {
+                    self.validate_or_abort()?;
+                }
+            }
+            self.note_read(tvar.id());
+            return Ok(value);
+        }
+    }
+
+    /// Writes `value` into `tvar`.
+    pub fn write<T>(&mut self, tvar: &TVar<T>, value: T) -> TxResult<()>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.update(tvar, move |_| value)
+    }
+
+    /// Replaces the value of `tvar` with `f(current)`.
+    pub fn modify<T>(&mut self, tvar: &TVar<T>, f: impl FnOnce(&T) -> T) -> TxResult<()>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        self.update(tvar, f)
+    }
+
+    /// Reads `tvar` and acquires it for writing in one step, returning the
+    /// current value. Subsequent [`Txn::write`]s to the same `tvar` by this
+    /// transaction will not conflict with it again.
+    pub fn read_for_update<T>(&mut self, tvar: &TVar<T>) -> TxResult<T>
+    where
+        T: Clone + Send + Sync + 'static,
+    {
+        let mut out: Option<T> = None;
+        self.update(tvar, |current| {
+            out = Some(current.clone());
+            current.clone()
+        })?;
+        Ok(out.expect("update closure must run on success"))
+    }
+
+    fn update<T, F>(&mut self, tvar: &TVar<T>, f: F) -> TxResult<()>
+    where
+        T: Clone + Send + Sync + 'static,
+        F: FnOnce(&T) -> T,
+    {
+        self.ensure_active()?;
+        let visible = self.stm.config().read_visibility == ReadVisibility::Visible;
+        let mut f = Some(f);
+        loop {
+            self.ensure_active()?;
+            let loc = tvar.inner().load_locator();
+            if let Some(owner) = loc.owner() {
+                if Arc::ptr_eq(owner, &self.shared) {
+                    // Already acquired by this transaction: update in place.
+                    let func = f.take().expect("update closure already consumed");
+                    let current = loc.new_value();
+                    loc.set_new_value(Arc::new(func(&current)));
+                    self.note_write(tvar.id());
+                    return Ok(());
+                }
+                if owner.is_active() {
+                    let owner = Arc::clone(owner);
+                    self.resolve_conflict(&owner, ConflictKind::WriteWrite)?;
+                    continue;
+                }
+            }
+            // The object is unowned (or owned by a finished transaction):
+            // try to acquire it by installing a locator that names us.
+            let current = loc.stable_value();
+            // Same opacity re-check as in `read_arc`: never expose a value
+            // committed by an enemy that has already aborted us.
+            self.ensure_active()?;
+            let new_loc = Arc::new(Locator::owned(
+                Arc::clone(&self.shared),
+                Arc::clone(&current),
+                Arc::clone(&current),
+            ));
+            if !tvar.inner().try_replace_locator(&loc, Arc::clone(&new_loc)) {
+                continue;
+            }
+            self.writes.push(Box::new(OwnedWrite::new(
+                Arc::clone(tvar.inner()),
+                Arc::clone(&new_loc),
+            )));
+            if visible {
+                let readers = tvar.inner().active_readers(&self.shared);
+                self.arbitrate_readers(readers)?;
+            } else if self.stm.config().validate_on_open {
+                self.validate_or_abort()?;
+            }
+            let func = f.take().expect("update closure already consumed");
+            let base = new_loc.new_value();
+            new_loc.set_new_value(Arc::new(func(&base)));
+            self.note_write(tvar.id());
+            return Ok(());
+        }
+    }
+
+    /// A writer that just acquired an object must come to an arrangement with
+    /// every transaction currently reading it (visible-read mode): each
+    /// reader is either aborted or allowed to finish first, as decided by the
+    /// contention manager.
+    fn arbitrate_readers(&mut self, readers: Vec<Arc<TxShared>>) -> TxResult<()> {
+        for reader in readers {
+            loop {
+                if !reader.is_active() {
+                    break;
+                }
+                self.ensure_active()?;
+                self.resolve_conflict(&reader, ConflictKind::WriteRead)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn ensure_active(&self) -> TxResult<()> {
+        if self.shared.is_aborted() {
+            Err(StmError::Aborted(AbortCause::KilledByEnemy))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Asks the contention manager what to do about a conflict with `other`,
+    /// then carries out its decision.
+    fn resolve_conflict(&mut self, other: &Arc<TxShared>, kind: ConflictKind) -> TxResult<()> {
+        self.stats.conflicts += 1;
+        let resolution =
+            self.manager
+                .resolve(TxView::new(&self.shared), TxView::new(other), kind);
+        match resolution {
+            Resolution::AbortOther => {
+                self.stats.enemy_aborts += 1;
+                other.try_abort();
+                Ok(())
+            }
+            Resolution::AbortSelf => Err(StmError::Aborted(AbortCause::ManagerSelfAbort)),
+            Resolution::Wait(spec) => {
+                self.stats.waits += 1;
+                self.shared.set_waiting(true);
+                let deadline = spec.max.map(|d| Instant::now() + d);
+                let mut spin = SpinWait::new();
+                loop {
+                    if !other.is_active() || other.is_waiting() {
+                        break;
+                    }
+                    if self.shared.is_aborted() {
+                        break;
+                    }
+                    if let Some(deadline) = deadline {
+                        if Instant::now() >= deadline {
+                            break;
+                        }
+                    }
+                    spin.snooze();
+                }
+                self.shared.set_waiting(false);
+                if self.shared.is_aborted() {
+                    Err(StmError::Aborted(AbortCause::KilledByEnemy))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    fn validate(&mut self) -> bool {
+        if self.shared.is_aborted() {
+            return false;
+        }
+        let ok = self.reads.iter().all(|r| r.still_valid());
+        if !ok {
+            self.validation_failed = true;
+        }
+        ok
+    }
+
+    fn validate_or_abort(&mut self) -> TxResult<()> {
+        if self.validate() {
+            Ok(())
+        } else {
+            Err(StmError::Aborted(AbortCause::ValidationFailed))
+        }
+    }
+
+    fn note_read(&mut self, object_id: u64) {
+        self.stats.reads += 1;
+        self.shared.note_open();
+        self.manager.opened(TxView::new(&self.shared), object_id);
+    }
+
+    fn note_write(&mut self, object_id: u64) {
+        self.stats.writes += 1;
+        self.shared.note_open();
+        self.manager.opened(TxView::new(&self.shared), object_id);
+    }
+
+    /// Whether the most recent validation failure caused the abort.
+    pub(crate) fn validation_failed(&self) -> bool {
+        self.validation_failed
+    }
+
+    /// Validates the read set and attempts to commit. Returns `true` when
+    /// the attempt committed.
+    pub(crate) fn finish_commit(&mut self) -> bool {
+        debug_assert!(!self.finished, "finish_commit called twice");
+        if !self.validate() {
+            return false;
+        }
+        if !self.shared.try_commit() {
+            return false;
+        }
+        for write in &self.writes {
+            write.detach_committed();
+        }
+        for read in &self.reads {
+            read.release(&self.shared);
+        }
+        self.manager.committed(TxView::new(&self.shared));
+        self.stm.stats().note_commit(&self.stats);
+        self.finished = true;
+        true
+    }
+
+    /// Marks the attempt aborted and performs cleanup.
+    pub(crate) fn finish_abort(&mut self, validation_failure: bool) {
+        if self.finished {
+            return;
+        }
+        self.shared.try_abort();
+        for read in &self.reads {
+            read.release(&self.shared);
+        }
+        self.manager.aborted(TxView::new(&self.shared));
+        self.shared.lineage().note_abort();
+        self.stm
+            .stats()
+            .note_abort(&self.stats, validation_failure || self.validation_failed);
+        self.finished = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lineage_counters() {
+        let lineage = TxLineage::new(7, 42);
+        assert_eq!(lineage.id(), 7);
+        assert_eq!(lineage.timestamp(), 42);
+        assert_eq!(lineage.attempts(), 1);
+        lineage.note_abort();
+        lineage.note_abort();
+        assert_eq!(lineage.aborts(), 2);
+        assert_eq!(lineage.attempts(), 3);
+        lineage.add_karma(5);
+        lineage.add_karma(3);
+        assert_eq!(lineage.karma(), 8);
+        lineage.reset_karma();
+        assert_eq!(lineage.karma(), 0);
+        lineage.note_open();
+        assert_eq!(lineage.opened_total(), 1);
+        assert!(lineage.age() >= Duration::from_secs(0));
+    }
+
+    #[test]
+    fn shared_status_transitions() {
+        let lineage = Arc::new(TxLineage::new(1, 10));
+        let shared = TxShared::new(Arc::clone(&lineage), 1);
+        assert!(shared.is_active());
+        assert!(!shared.is_waiting());
+        shared.set_waiting(true);
+        assert!(shared.is_waiting());
+        shared.set_waiting(false);
+        assert!(shared.try_commit());
+        assert!(shared.is_committed());
+        assert!(!shared.try_abort());
+    }
+
+    #[test]
+    fn shared_abort_wins_over_commit() {
+        let lineage = Arc::new(TxLineage::new(2, 11));
+        let shared = TxShared::new(lineage, 1);
+        assert!(shared.try_abort());
+        assert!(shared.is_aborted());
+        assert!(!shared.try_commit());
+        assert_eq!(shared.timestamp(), 11);
+        assert_eq!(shared.id(), 2);
+        assert_eq!(shared.attempt(), 1);
+    }
+
+    #[test]
+    fn shared_open_counters() {
+        let lineage = Arc::new(TxLineage::new(3, 12));
+        let shared = TxShared::new(Arc::clone(&lineage), 2);
+        shared.note_open();
+        shared.note_open();
+        assert_eq!(shared.opened_in_attempt(), 2);
+        assert_eq!(lineage.opened_total(), 2);
+    }
+}

@@ -1,0 +1,57 @@
+//! # stm-sched
+//!
+//! The scheduling-theory half of the reproduction: everything needed to
+//! restate and check Section 4 of *"Toward a Theory of Transactional
+//! Contention Managers"* computationally.
+//!
+//! * [`tasks`] — Garey–Graham task systems: tasks with lengths and fractional
+//!   resource demands, plus the straightforward conversion from transaction
+//!   systems (writes demand a full object, reads demand `1/n`).
+//! * [`scheduler`] — list schedules (greedy, non-idling schedules driven by a
+//!   task ordering) and an optimal-list-schedule search for small instances.
+//!   Any list schedule is within a factor of `s + 1` of optimal (Garey &
+//!   Graham); computing the optimum is NP-complete, hence the exhaustive
+//!   search is bounded.
+//! * [`simulator`] — a discrete-time execution simulator that runs a set of
+//!   concurrent transactions under a *real* [`stm_core::ContentionManager`]
+//!   implementation (greedy, karma, aggressive, ...), producing the makespan,
+//!   abort counts, and a check of the *pending-commit property*.
+//! * [`adversarial`] — the paper's Section 4 chain construction on which the
+//!   greedy manager needs makespan `s + 1` while an optimal list schedule
+//!   finishes in `2`.
+//! * [`bounds`] — the closed-form bounds of Theorem 9 and of Garey–Graham.
+//!
+//! ```
+//! use stm_sched::adversarial::chain;
+//! use stm_sched::simulator::{simulate, SimConfig};
+//! use stm_sched::scheduler::optimal_list_schedule;
+//! use stm_sched::tasks::TaskSystem;
+//! use stm_cm::GreedyManager;
+//!
+//! let s = 4;
+//! let instance = chain(s, 10);
+//! let outcome = simulate(&instance.transactions, GreedyManager::factory(), SimConfig::default());
+//! let tasks = TaskSystem::from_transactions(&instance.transactions);
+//! let optimal = optimal_list_schedule(&tasks);
+//! // Greedy needs about s + 1 time units; the optimal schedule needs 2.
+//! assert!(outcome.makespan_units(10.0) >= (s as f64));
+//! assert!((optimal.makespan - 2.0 * 10.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod adversarial;
+pub mod bounds;
+pub mod random;
+pub mod scheduler;
+pub mod simulator;
+pub mod tasks;
+
+pub use adversarial::{chain, ChainInstance};
+pub use bounds::{garey_graham_bound, theorem9_bound};
+pub use random::{random_transaction_system, RandomSystemConfig};
+pub use scheduler::{list_schedule, optimal_list_schedule, ScheduleResult};
+pub use simulator::{simulate, SimAccess, SimConfig, SimOutcome, SimTransaction};
+pub use tasks::{Task, TaskSystem};

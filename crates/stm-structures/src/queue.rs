@@ -1,0 +1,171 @@
+//! A transactional FIFO queue (two-stack "banker's queue" representation).
+//!
+//! Used by the examples and the integration tests to exercise transactions
+//! whose read and write sets differ between operations (enqueues touch only
+//! the back stack, dequeues usually only the front stack, but occasionally a
+//! dequeue reverses the back stack, producing an irregularly long
+//! transaction — a miniature version of the red-black-forest effect).
+
+use stm_core::{Stm, TVar, TxResult, Txn};
+
+/// A transactional FIFO queue of 64-bit integers.
+#[derive(Debug, Clone, Default)]
+pub struct TxQueue {
+    /// Elements ready to be popped, front of the queue at the end.
+    front: TVar<Vec<i64>>,
+    /// Freshly pushed elements, newest at the end.
+    back: TVar<Vec<i64>>,
+}
+
+impl TxQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        TxQueue {
+            front: TVar::new(Vec::new()),
+            back: TVar::new(Vec::new()),
+        }
+    }
+
+    /// Appends `value` to the back of the queue.
+    pub fn enqueue(&self, tx: &mut Txn<'_>, value: i64) -> TxResult<()> {
+        tx.modify(&self.back, |b| {
+            let mut b = b.clone();
+            b.push(value);
+            b
+        })
+    }
+
+    /// Removes and returns the front element, or `None` if the queue is
+    /// empty.
+    pub fn dequeue(&self, tx: &mut Txn<'_>) -> TxResult<Option<i64>> {
+        let mut front = tx.read(&self.front)?;
+        if front.is_empty() {
+            let back = tx.read(&self.back)?;
+            if back.is_empty() {
+                return Ok(None);
+            }
+            front = back.into_iter().rev().collect();
+            tx.write(&self.back, Vec::new())?;
+        }
+        let value = front.pop();
+        tx.write(&self.front, front)?;
+        Ok(value)
+    }
+
+    /// Number of elements currently queued.
+    pub fn len(&self, tx: &mut Txn<'_>) -> TxResult<usize> {
+        Ok(tx.read(&self.front)?.len() + tx.read(&self.back)?.len())
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self, tx: &mut Txn<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+
+    /// Total number of queued elements, read non-transactionally (only
+    /// meaningful when no concurrent writers exist).
+    pub fn len_committed(&self, stm: &Stm) -> usize {
+        stm.read_atomic(&self.front).len() + stm.read_atomic(&self.back).len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+    use std::thread;
+    use stm_cm::KarmaManager;
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        let stm = Stm::default();
+        let q = TxQueue::new();
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            for i in 0..5 {
+                q.enqueue(tx, i)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let mut out = Vec::new();
+        while let Some(v) = ctx.atomically(|tx| q.dequeue(tx)).unwrap() {
+            out.push(v);
+        }
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+        assert!(ctx.atomically(|tx| q.is_empty(tx)).unwrap());
+    }
+
+    #[test]
+    fn dequeue_on_empty_returns_none() {
+        let stm = Stm::default();
+        let q = TxQueue::new();
+        let mut ctx = stm.thread();
+        assert_eq!(ctx.atomically(|tx| q.dequeue(tx)).unwrap(), None);
+        assert_eq!(ctx.atomically(|tx| q.len(tx)).unwrap(), 0);
+        assert_eq!(q.len_committed(&stm), 0);
+    }
+
+    #[test]
+    fn concurrent_producers_and_consumers_neither_lose_nor_duplicate() {
+        let stm = Arc::new(Stm::builder().manager(KarmaManager::factory()).build());
+        let q = TxQueue::new();
+        let producers = 3;
+        let per_producer = 200i64;
+        let consumed = thread::scope(|scope| {
+            for p in 0..producers {
+                let stm = Arc::clone(&stm);
+                let q = q.clone();
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for i in 0..per_producer {
+                        let value = p * per_producer + i;
+                        ctx.atomically(|tx| q.enqueue(tx, value)).unwrap();
+                    }
+                });
+            }
+            let mut handles = Vec::new();
+            for _ in 0..2 {
+                let stm = Arc::clone(&stm);
+                let q = q.clone();
+                handles.push(scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    let mut got = Vec::new();
+                    let mut empty_rounds = 0;
+                    while empty_rounds < 200 {
+                        match ctx.atomically(|tx| q.dequeue(tx)).unwrap() {
+                            Some(v) => {
+                                got.push(v);
+                                empty_rounds = 0;
+                            }
+                            None => {
+                                empty_rounds += 1;
+                                thread::yield_now();
+                            }
+                        }
+                    }
+                    got
+                }));
+            }
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect::<Vec<i64>>()
+        });
+        // Whatever remains in the queue plus what was consumed must be exactly
+        // the produced values, each exactly once.
+        let stm2 = Arc::clone(&stm);
+        let mut ctx = stm2.thread();
+        let mut remaining = Vec::new();
+        while let Some(v) = ctx.atomically(|tx| q.dequeue(tx)).unwrap() {
+            remaining.push(v);
+        }
+        let mut all: Vec<i64> = consumed.into_iter().chain(remaining).collect();
+        all.sort_unstable();
+        let expected: Vec<i64> = (0..producers * per_producer).collect();
+        assert_eq!(all.len(), expected.len(), "lost or duplicated elements");
+        assert_eq!(all.iter().copied().collect::<HashSet<_>>().len(), all.len());
+        assert_eq!(all, expected);
+    }
+}

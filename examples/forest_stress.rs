@@ -1,0 +1,131 @@
+//! The red-black forest workload (Figure 4): transactions of wildly varying
+//! length — most touch one tree, a few touch all fifty — which is exactly
+//! where short transactions can starve long ones under naive contention
+//! management. Prints per-manager throughput *and* how the long (all-tree)
+//! transactions fared.
+//!
+//! ```sh
+//! cargo run --release --example forest_stress
+//! ```
+
+use greedy_stm::cm::ManagerKind;
+use greedy_stm::prelude::*;
+use greedy_stm::structures::forest::UpdateScope;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+const TREES: usize = 50;
+const THREADS: usize = 6;
+const KEY_RANGE: i64 = 256;
+const RUN_FOR: Duration = Duration::from_millis(400);
+
+struct Outcome {
+    manager: &'static str,
+    short_commits: u64,
+    long_commits: u64,
+    worst_long_latency: Duration,
+    abort_ratio: f64,
+}
+
+fn run(kind: ManagerKind) -> Outcome {
+    let stm = Arc::new(Stm::builder().manager(kind.factory()).build());
+    let forest = TxRbForest::new(TREES);
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut short_commits = 0u64;
+    let mut long_commits = 0u64;
+    let mut worst_long_latency = Duration::ZERO;
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..THREADS {
+            let stm = Arc::clone(&stm);
+            let forest = forest.clone();
+            let stop = Arc::clone(&stop);
+            handles.push(scope.spawn(move || {
+                let mut ctx = stm.thread();
+                let mut seed = (t as u64).wrapping_mul(0x2545F4914F6CDD1D) | 1;
+                let mut short = 0u64;
+                let mut long = 0u64;
+                let mut worst = Duration::ZERO;
+                while !stop.load(Ordering::Relaxed) {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = ((seed >> 33) % KEY_RANGE as u64) as i64;
+                    let insert = (seed >> 11) & 1 == 0;
+                    let all_trees = (seed >> 3) % 10 == 0; // ~10% long transactions
+                    let scope_choice = if all_trees {
+                        UpdateScope::All
+                    } else {
+                        UpdateScope::One(((seed >> 17) % TREES as u64) as usize)
+                    };
+                    let started = Instant::now();
+                    let ok = ctx
+                        .atomically(|tx| {
+                            if insert {
+                                forest.insert(tx, scope_choice, key)?;
+                            } else {
+                                forest.remove(tx, scope_choice, key)?;
+                            }
+                            Ok(())
+                        })
+                        .is_ok();
+                    if ok {
+                        if all_trees {
+                            long += 1;
+                            worst = worst.max(started.elapsed());
+                        } else {
+                            short += 1;
+                        }
+                    }
+                }
+                (short, long, worst)
+            }));
+        }
+        thread::sleep(RUN_FOR);
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            let (s, l, w) = handle.join().unwrap();
+            short_commits += s;
+            long_commits += l;
+            worst_long_latency = worst_long_latency.max(w);
+        }
+    });
+    Outcome {
+        manager: kind.name(),
+        short_commits,
+        long_commits,
+        worst_long_latency,
+        abort_ratio: stm.stats().snapshot().abort_ratio(),
+    }
+}
+
+fn main() {
+    println!(
+        "red-black forest: {TREES} trees, {THREADS} threads, {KEY_RANGE} keys, ~10% all-tree transactions, {RUN_FOR:?} per manager\n"
+    );
+    println!(
+        "{:>14} {:>14} {:>12} {:>18} {:>12}",
+        "manager", "short-commits", "long-commits", "worst-long-latency", "abort-ratio"
+    );
+    for kind in [
+        ManagerKind::Greedy,
+        ManagerKind::GreedyTimeout,
+        ManagerKind::Karma,
+        ManagerKind::Polka,
+        ManagerKind::Eruption,
+        ManagerKind::Backoff,
+        ManagerKind::Aggressive,
+        ManagerKind::Timestamp,
+    ] {
+        let o = run(kind);
+        println!(
+            "{:>14} {:>14} {:>12} {:>18.1?} {:>11.1}%",
+            o.manager,
+            o.short_commits,
+            o.long_commits,
+            o.worst_long_latency,
+            o.abort_ratio * 100.0
+        );
+    }
+    println!("\nA manager that starves the long all-tree transactions shows `long-commits = 0`.");
+}

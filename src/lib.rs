@@ -1,0 +1,125 @@
+//! # greedy-stm
+//!
+//! An obstruction-free, object-based software transactional memory with
+//! pluggable contention management, centred on the **greedy contention
+//! manager** of Guerraoui, Herlihy and Pochon (*"Toward a Theory of
+//! Transactional Contention Managers"*, PODC 2005) — the first contention
+//! manager that combines non-trivial provable properties (bounded commit
+//! delay for every transaction; makespan within `s(s+1)+2` of an optimal
+//! off-line list schedule) with competitive practical performance.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`](stm_core) | the STM runtime: [`Stm`], [`TVar`], [`Txn`], the [`ContentionManager`] interface |
+//! | [`cm`](stm_cm) | the greedy manager plus twelve managers from the literature |
+//! | [`structures`](stm_structures) | transactional list, skiplist, red-black tree, forest, counter, queue |
+//! | [`sched`](stm_sched) | Garey–Graham task systems, list/optimal schedulers, execution simulator |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use greedy_stm::prelude::*;
+//!
+//! // An STM whose threads arbitrate conflicts with the greedy manager.
+//! let stm = Stm::builder().manager(GreedyManager::factory()).build();
+//!
+//! let checking = TVar::new(90i64);
+//! let savings = TVar::new(10i64);
+//!
+//! let mut ctx = stm.thread();
+//! ctx.atomically(|tx| {
+//!     let amount = 25;
+//!     tx.modify(&checking, |b| b - amount)?;
+//!     tx.modify(&savings, |b| b + amount)?;
+//!     Ok(())
+//! })
+//! .unwrap();
+//!
+//! assert_eq!(stm.read_atomic(&checking) + stm.read_atomic(&savings), 100);
+//! ```
+//!
+//! ## Picking a contention manager
+//!
+//! Every thread owns a contention-manager instance created from the factory
+//! installed on the [`Stm`]. The [`stm_cm::ManagerKind`] registry lists all
+//! thirteen by name:
+//!
+//! ```
+//! use greedy_stm::prelude::*;
+//! use greedy_stm::cm::ManagerKind;
+//!
+//! for kind in ManagerKind::ALL {
+//!     let stm = Stm::builder().manager(kind.factory()).build();
+//!     let cell = TVar::new(0u32);
+//!     let mut ctx = stm.thread();
+//!     ctx.atomically(|tx| tx.modify(&cell, |v| v + 1)).unwrap();
+//!     assert_eq!(stm.read_atomic(&cell), 1, "manager {kind} must make progress");
+//! }
+//! ```
+//!
+//! ## Reproducing the paper
+//!
+//! * `cargo run --release -p stm-bench --bin figures -- all` regenerates the
+//!   throughput figures (Figures 1–4), the adversarial-chain and Theorem 9
+//!   experiments, and the starvation check.
+//! * `cargo bench --workspace` runs the Criterion benches (one per figure
+//!   plus the theory and substrate micro-benches).
+//! * `EXPERIMENTS.md` records paper-versus-measured outcomes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+/// The STM runtime (re-export of `stm-core`).
+pub use stm_core as core;
+
+/// Contention managers (re-export of `stm-cm`).
+pub use stm_cm as cm;
+
+/// Transactional data structures (re-export of `stm-structures`).
+pub use stm_structures as structures;
+
+/// Scheduling theory and the execution simulator (re-export of `stm-sched`).
+pub use stm_sched as sched;
+
+pub use stm_cm::{GreedyManager, GreedyTimeoutManager};
+pub use stm_core::{
+    AbortCause, ConflictKind, ContentionManager, ReadVisibility, Resolution, Stm, StmBuilder,
+    StmError, TVar, ThreadCtx, TxResult, TxView, Txn, WaitSpec,
+};
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::cm::{
+        AggressiveManager, BackoffManager, EruptionManager, GreedyManager, GreedyTimeoutManager,
+        KarmaManager, ManagerKind, PoliteManager, PolkaManager, TimestampManager,
+    };
+    pub use crate::structures::{
+        TxCounter, TxList, TxQueue, TxRbForest, TxRbTree, TxSet, TxSkipList,
+    };
+    pub use stm_core::{
+        AbortCause, ContentionManager, ReadVisibility, Resolution, Stm, StmError, TVar, TxResult,
+        Txn,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_reexports_work_together() {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let list = TxList::new();
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            list.insert(tx, 1)?;
+            list.insert(tx, 2)?;
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(ctx.atomically(|tx| list.len(tx)).unwrap(), 2);
+    }
+}

@@ -1,0 +1,135 @@
+//! Every contention manager in the registry must drive contended workloads
+//! to completion (this is a liveness smoke test, not a performance claim —
+//! the theory chapter is precise about which managers have *provable*
+//! progress guarantees).
+
+use greedy_stm::cm::ManagerKind;
+use greedy_stm::prelude::*;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+use stm_bench::{run_workload, StructureKind, WorkloadConfig};
+
+#[test]
+fn all_managers_complete_a_contended_list_workload() {
+    for kind in ManagerKind::ALL {
+        let cfg = WorkloadConfig {
+            threads: 4,
+            key_range: 24, // small key range to force conflicts
+            duration: Duration::from_millis(60),
+            local_work: 0,
+            seed: 0xc0ffee,
+        };
+        let result = run_workload(kind, &StructureKind::List, &cfg);
+        assert!(
+            result.commits > 0,
+            "manager {kind} committed nothing on the list workload"
+        );
+    }
+}
+
+#[test]
+fn all_managers_complete_a_contended_rbtree_workload() {
+    for kind in ManagerKind::ALL {
+        let cfg = WorkloadConfig {
+            threads: 3,
+            key_range: 32,
+            duration: Duration::from_millis(50),
+            local_work: 0,
+            seed: 0xabcd,
+        };
+        let result = run_workload(kind, &StructureKind::RbTree, &cfg);
+        assert!(
+            result.commits > 0,
+            "manager {kind} committed nothing on the red-black tree workload"
+        );
+    }
+}
+
+#[test]
+fn greedy_and_greedy_timeout_complete_long_vs_short_mix() {
+    for kind in [ManagerKind::Greedy, ManagerKind::GreedyTimeout] {
+        let stm = Arc::new(Stm::builder().manager(kind.factory()).build());
+        let counters: Arc<Vec<TxCounter>> = Arc::new((0..8).map(|_| TxCounter::new()).collect());
+        thread::scope(|scope| {
+            // Long transactions over all counters.
+            {
+                let stm = Arc::clone(&stm);
+                let counters = Arc::clone(&counters);
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for _ in 0..50 {
+                        ctx.atomically(|tx| {
+                            for counter in counters.iter() {
+                                counter.increment(tx)?;
+                            }
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+            // Short transactions on single counters.
+            for t in 0..3usize {
+                let stm = Arc::clone(&stm);
+                let counters = Arc::clone(&counters);
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for i in 0..600usize {
+                        let idx = (t + i) % counters.len();
+                        ctx.atomically(|tx| counters[idx].increment(tx)).unwrap();
+                    }
+                });
+            }
+        });
+        // Long thread added 50 to every counter; short threads added 1800 in
+        // total across counters.
+        let total: i64 = counters.iter().map(|c| c.load(&stm)).sum();
+        assert_eq!(total, 8 * 50 + 3 * 600, "updates lost under {kind}");
+    }
+}
+
+#[test]
+fn per_thread_manager_override_is_respected() {
+    let stm = Stm::builder().manager(ManagerKind::Aggressive.factory()).build();
+    assert_eq!(stm.thread().manager_name(), "aggressive");
+    let ctx = stm.thread_with(Box::new(GreedyManager::new()));
+    assert_eq!(ctx.manager_name(), "greedy");
+    // Mixed-manager threads still cooperate correctly.
+    let stm = Arc::new(stm);
+    let counter = TxCounter::new();
+    thread::scope(|scope| {
+        for i in 0..4usize {
+            let stm = Arc::clone(&stm);
+            let counter = counter.clone();
+            scope.spawn(move || {
+                let mut ctx = if i % 2 == 0 {
+                    stm.thread_with(Box::new(GreedyManager::new()))
+                } else {
+                    stm.thread()
+                };
+                for _ in 0..200 {
+                    ctx.atomically(|tx| counter.increment(tx)).unwrap();
+                }
+            });
+        }
+    });
+    assert_eq!(counter.load(&stm), 800);
+}
+
+#[test]
+fn retry_limit_surfaces_instead_of_spinning_forever() {
+    // With a retry limit of 1 and a body that always reports a validation
+    // failure, the runtime must give up rather than loop.
+    let stm = Stm::builder()
+        .manager(ManagerKind::Greedy.factory())
+        .max_retries(Some(2))
+        .build();
+    let mut ctx = stm.thread();
+    let err = ctx
+        .atomically(|_tx| -> TxResult<()> {
+            Err(StmError::Aborted(AbortCause::ValidationFailed))
+        })
+        .unwrap_err();
+    assert!(matches!(err, StmError::RetryLimitExceeded { attempts: 2 }));
+}

@@ -1,0 +1,223 @@
+//! Cross-crate integration tests: atomicity and serializability of the STM
+//! under concurrent workloads, for both read-visibility modes and several
+//! contention managers.
+
+use greedy_stm::cm::ManagerKind;
+use greedy_stm::prelude::*;
+use std::sync::Arc;
+use std::thread;
+
+fn stm_with(kind: ManagerKind, visibility: ReadVisibility) -> Stm {
+    Stm::builder()
+        .manager(kind.factory())
+        .read_visibility(visibility)
+        .build()
+}
+
+#[test]
+fn counter_is_exact_for_every_manager() {
+    for kind in ManagerKind::ALL {
+        let stm = Arc::new(stm_with(kind, ReadVisibility::Visible));
+        let counter = TxCounter::new();
+        let threads = 4;
+        let per_thread = 300;
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let stm = Arc::clone(&stm);
+                let counter = counter.clone();
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for _ in 0..per_thread {
+                        ctx.atomically(|tx| counter.increment(tx)).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            counter.load(&stm),
+            threads * per_thread,
+            "lost updates under manager {kind}"
+        );
+    }
+}
+
+#[test]
+fn bank_conservation_under_greedy_and_karma_both_visibilities() {
+    for kind in [ManagerKind::Greedy, ManagerKind::Karma] {
+        for visibility in [ReadVisibility::Visible, ReadVisibility::Invisible] {
+            let stm = Arc::new(stm_with(kind, visibility));
+            let accounts: Vec<TVar<i64>> = (0..16).map(|_| TVar::new(500)).collect();
+            let expected: i64 = 16 * 500;
+            thread::scope(|scope| {
+                for t in 0..4usize {
+                    let stm = Arc::clone(&stm);
+                    let accounts = accounts.clone();
+                    scope.spawn(move || {
+                        let mut ctx = stm.thread();
+                        let mut seed = (t as u64) * 77 + 1;
+                        for _ in 0..500 {
+                            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                            let from = (seed >> 33) as usize % accounts.len();
+                            let to = (seed >> 13) as usize % accounts.len();
+                            if from == to {
+                                continue;
+                            }
+                            ctx.atomically(|tx| {
+                                let a = tx.read(&accounts[from])?;
+                                let b = tx.read(&accounts[to])?;
+                                tx.write(&accounts[from], a - 7)?;
+                                tx.write(&accounts[to], b + 7)?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+            let total: i64 = accounts.iter().map(|a| stm.read_atomic(a)).sum();
+            assert_eq!(total, expected, "conservation violated ({kind}, {visibility:?})");
+        }
+    }
+}
+
+#[test]
+fn write_skew_is_prevented_with_visible_reads() {
+    // Classic write-skew shape: invariant x + y >= 0; each transaction reads
+    // both variables and decrements one of them only if the sum allows it.
+    // With visible reads (the default) the runtime forces the two
+    // transactions to arbitrate, so the invariant must hold.
+    let stm = Arc::new(stm_with(ManagerKind::Greedy, ReadVisibility::Visible));
+    let x = TVar::new(1i64);
+    let y = TVar::new(1i64);
+    for _ in 0..200 {
+        // Reset.
+        {
+            let mut ctx = stm.thread();
+            ctx.atomically(|tx| {
+                tx.write(&x, 1)?;
+                tx.write(&y, 1)?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        thread::scope(|scope| {
+            let stm_a = Arc::clone(&stm);
+            let (xa, ya) = (x.clone(), y.clone());
+            scope.spawn(move || {
+                let mut ctx = stm_a.thread();
+                ctx.atomically(|tx| {
+                    let sum = tx.read(&xa)? + tx.read(&ya)?;
+                    if sum >= 2 {
+                        tx.modify(&xa, |v| v - 2)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            });
+            let stm_b = Arc::clone(&stm);
+            let (xb, yb) = (x.clone(), y.clone());
+            scope.spawn(move || {
+                let mut ctx = stm_b.thread();
+                ctx.atomically(|tx| {
+                    let sum = tx.read(&xb)? + tx.read(&yb)?;
+                    if sum >= 2 {
+                        tx.modify(&yb, |v| v - 2)?;
+                    }
+                    Ok(())
+                })
+                .unwrap();
+            });
+        });
+        let total = stm.read_atomic(&x) + stm.read_atomic(&y);
+        assert!(total >= 0, "write skew produced an invalid state: {total}");
+    }
+}
+
+#[test]
+fn multi_structure_transactions_are_atomic_under_contention() {
+    let stm = Arc::new(stm_with(ManagerKind::Greedy, ReadVisibility::Visible));
+    let tree = TxRbTree::new();
+    let list = TxList::new();
+    // Invariant: tree and list always contain exactly the same elements.
+    thread::scope(|scope| {
+        for t in 0..4i64 {
+            let stm = Arc::clone(&stm);
+            let tree = tree.clone();
+            let list = list.clone();
+            scope.spawn(move || {
+                let mut ctx = stm.thread();
+                let mut seed = (t as u64) | 1;
+                for _ in 0..300 {
+                    seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    let key = ((seed >> 33) % 48) as i64;
+                    let insert = (seed >> 9) & 1 == 0;
+                    ctx.atomically(|tx| {
+                        if insert {
+                            let a = tree.insert(tx, key)?;
+                            let b = list.insert(tx, key)?;
+                            assert_eq!(a, b, "structures diverged inside a transaction");
+                        } else {
+                            let a = tree.remove(tx, key)?;
+                            let b = list.remove(tx, key)?;
+                            assert_eq!(a, b, "structures diverged inside a transaction");
+                        }
+                        Ok(())
+                    })
+                    .unwrap();
+                }
+            });
+        }
+    });
+    let mut ctx = stm.thread();
+    let (tree_contents, list_contents) = ctx
+        .atomically(|tx| Ok((tree.to_vec(tx)?, list.to_vec(tx)?)))
+        .unwrap();
+    assert_eq!(tree_contents, list_contents);
+    ctx.atomically(|tx| tree.check_invariants(tx)).unwrap();
+}
+
+#[test]
+fn queue_transfers_preserve_items_under_contention() {
+    let stm = Arc::new(stm_with(ManagerKind::Polka, ReadVisibility::Visible));
+    let source = TxQueue::new();
+    let sink = TxQueue::new();
+    {
+        let mut ctx = stm.thread();
+        for i in 0..400 {
+            ctx.atomically(|tx| source.enqueue(tx, i)).unwrap();
+        }
+    }
+    thread::scope(|scope| {
+        for _ in 0..4 {
+            let stm = Arc::clone(&stm);
+            let source = source.clone();
+            let sink = sink.clone();
+            scope.spawn(move || {
+                let mut ctx = stm.thread();
+                loop {
+                    let moved = ctx
+                        .atomically(|tx| {
+                            if let Some(v) = source.dequeue(tx)? {
+                                sink.enqueue(tx, v)?;
+                                Ok(true)
+                            } else {
+                                Ok(false)
+                            }
+                        })
+                        .unwrap();
+                    if !moved {
+                        break;
+                    }
+                }
+            });
+        }
+    });
+    let mut ctx = stm.thread();
+    let mut drained = Vec::new();
+    while let Some(v) = ctx.atomically(|tx| sink.dequeue(tx)).unwrap() {
+        drained.push(v);
+    }
+    drained.sort_unstable();
+    assert_eq!(drained, (0..400).collect::<Vec<i64>>());
+    assert!(ctx.atomically(|tx| source.is_empty(tx)).unwrap());
+}

@@ -1,0 +1,151 @@
+//! Property-based tests of the STM runtime semantics themselves: sequences
+//! of committed and explicitly-aborted transactions over a small heap of
+//! `TVar`s must behave exactly like the same sequence applied to a plain
+//! `Vec` model (aborted transactions contributing nothing), in both
+//! read-visibility modes.
+
+use greedy_stm::prelude::*;
+use proptest::prelude::*;
+
+/// One primitive action inside a generated transaction.
+#[derive(Debug, Clone, Copy)]
+enum Action {
+    /// Write `value` to the variable at `slot`.
+    Write { slot: usize, value: i64 },
+    /// Add the value at `from` to the variable at `to`.
+    AddFrom { from: usize, to: usize },
+    /// Multiply the variable at `slot` by two.
+    Double { slot: usize },
+}
+
+/// A generated transaction: a list of actions plus whether it aborts at the
+/// end instead of committing.
+#[derive(Debug, Clone)]
+struct GenTxn {
+    actions: Vec<Action>,
+    abort: bool,
+}
+
+const SLOTS: usize = 6;
+
+fn action_strategy() -> impl Strategy<Value = Action> {
+    prop_oneof![
+        (0..SLOTS, -100i64..100).prop_map(|(slot, value)| Action::Write { slot, value }),
+        (0..SLOTS, 0..SLOTS).prop_map(|(from, to)| Action::AddFrom { from, to }),
+        (0..SLOTS).prop_map(|slot| Action::Double { slot }),
+    ]
+}
+
+fn txn_strategy() -> impl Strategy<Value = GenTxn> {
+    (proptest::collection::vec(action_strategy(), 0..12), proptest::bool::weighted(0.2))
+        .prop_map(|(actions, abort)| GenTxn { actions, abort })
+}
+
+fn apply_model(model: &mut [i64], txn: &GenTxn) {
+    if txn.abort {
+        return;
+    }
+    for action in &txn.actions {
+        match *action {
+            Action::Write { slot, value } => model[slot] = value,
+            Action::AddFrom { from, to } => model[to] = model[to].wrapping_add(model[from]),
+            Action::Double { slot } => model[slot] = model[slot].wrapping_mul(2),
+        }
+    }
+}
+
+fn run_scenario(visibility: ReadVisibility, txns: &[GenTxn]) {
+    let stm = Stm::builder()
+        .manager(GreedyManager::factory())
+        .read_visibility(visibility)
+        .build();
+    let vars: Vec<TVar<i64>> = (0..SLOTS).map(|i| TVar::new(i as i64)).collect();
+    let mut model: Vec<i64> = (0..SLOTS as i64).collect();
+    let mut ctx = stm.thread();
+    for txn in txns {
+        let outcome = ctx.atomically(|tx| {
+            for action in &txn.actions {
+                match *action {
+                    Action::Write { slot, value } => tx.write(&vars[slot], value)?,
+                    Action::AddFrom { from, to } => {
+                        let add = tx.read(&vars[from])?;
+                        tx.modify(&vars[to], |v| v.wrapping_add(add))?;
+                    }
+                    Action::Double { slot } => tx.modify(&vars[slot], |v| v.wrapping_mul(2))?,
+                }
+            }
+            if txn.abort {
+                tx.abort::<()>()
+            } else {
+                Ok(())
+            }
+        });
+        if txn.abort {
+            assert_eq!(
+                outcome.unwrap_err().abort_cause(),
+                Some(AbortCause::Explicit)
+            );
+        } else {
+            outcome.unwrap();
+        }
+        apply_model(&mut model, txn);
+        // After every transaction the committed state matches the model.
+        let state: Vec<i64> = vars.iter().map(|v| stm.read_atomic(v)).collect();
+        assert_eq!(state, model, "state diverged (visibility {visibility:?})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn sequential_transactions_match_the_model_visible(
+        txns in proptest::collection::vec(txn_strategy(), 0..40)
+    ) {
+        run_scenario(ReadVisibility::Visible, &txns);
+    }
+
+    #[test]
+    fn sequential_transactions_match_the_model_invisible(
+        txns in proptest::collection::vec(txn_strategy(), 0..40)
+    ) {
+        run_scenario(ReadVisibility::Invisible, &txns);
+    }
+
+    #[test]
+    fn read_your_own_writes_holds_for_arbitrary_action_sequences(
+        actions in proptest::collection::vec(action_strategy(), 1..20)
+    ) {
+        // Inside one transaction, reads must always observe the effect of the
+        // transaction's own earlier writes, for arbitrary interleavings of
+        // writes and read-modify-writes.
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let vars: Vec<TVar<i64>> = (0..SLOTS).map(|_| TVar::new(0)).collect();
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            let mut shadow = vec![0i64; SLOTS];
+            for action in &actions {
+                match *action {
+                    Action::Write { slot, value } => {
+                        tx.write(&vars[slot], value)?;
+                        shadow[slot] = value;
+                    }
+                    Action::AddFrom { from, to } => {
+                        let add = tx.read(&vars[from])?;
+                        assert_eq!(add, shadow[from]);
+                        tx.modify(&vars[to], |v| v.wrapping_add(add))?;
+                        shadow[to] = shadow[to].wrapping_add(add);
+                    }
+                    Action::Double { slot } => {
+                        tx.modify(&vars[slot], |v| v.wrapping_mul(2))?;
+                        shadow[slot] = shadow[slot].wrapping_mul(2);
+                    }
+                }
+            }
+            for (var, expected) in vars.iter().zip(&shadow) {
+                assert_eq!(tx.read(var)?, *expected);
+            }
+            Ok(())
+        }).unwrap();
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests: every transactional set implementation must behave
+//! exactly like a reference `BTreeSet` for arbitrary operation sequences, and
+//! the red-black tree must maintain its structural invariants throughout.
+
+use std::collections::BTreeSet;
+
+use greedy_stm::prelude::*;
+use proptest::prelude::*;
+
+/// A single set operation drawn by proptest.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Insert(i64),
+    Remove(i64),
+    Contains(i64),
+}
+
+fn op_strategy(key_range: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..key_range).prop_map(Op::Insert),
+        (0..key_range).prop_map(Op::Remove),
+        (0..key_range).prop_map(Op::Contains),
+    ]
+}
+
+fn check_against_model<S: TxSet>(set: &S, ops: &[Op]) {
+    let stm = Stm::builder().manager(GreedyManager::factory()).build();
+    let mut ctx = stm.thread();
+    let mut model = BTreeSet::new();
+    for (step, op) in ops.iter().enumerate() {
+        match *op {
+            Op::Insert(k) => {
+                let expected = model.insert(k);
+                let actual = ctx.atomically(|tx| set.insert(tx, k)).unwrap();
+                assert_eq!(expected, actual, "insert({k}) diverged at step {step}");
+            }
+            Op::Remove(k) => {
+                let expected = model.remove(&k);
+                let actual = ctx.atomically(|tx| set.remove(tx, k)).unwrap();
+                assert_eq!(expected, actual, "remove({k}) diverged at step {step}");
+            }
+            Op::Contains(k) => {
+                let expected = model.contains(&k);
+                let actual = ctx.atomically(|tx| set.contains(tx, k)).unwrap();
+                assert_eq!(expected, actual, "contains({k}) diverged at step {step}");
+            }
+        }
+    }
+    let contents = ctx.atomically(|tx| set.to_vec(tx)).unwrap();
+    assert_eq!(contents, model.iter().copied().collect::<Vec<_>>());
+    assert_eq!(
+        ctx.atomically(|tx| set.len(tx)).unwrap(),
+        model.len(),
+        "length diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn list_matches_btreeset(ops in proptest::collection::vec(op_strategy(48), 0..200)) {
+        check_against_model(&TxList::new(), &ops);
+    }
+
+    #[test]
+    fn skiplist_matches_btreeset(ops in proptest::collection::vec(op_strategy(64), 0..200)) {
+        check_against_model(&TxSkipList::new(), &ops);
+    }
+
+    #[test]
+    fn rbtree_matches_btreeset(ops in proptest::collection::vec(op_strategy(96), 0..250)) {
+        check_against_model(&TxRbTree::new(), &ops);
+    }
+
+    #[test]
+    fn rbtree_invariants_hold_throughout(ops in proptest::collection::vec(op_strategy(32), 0..120)) {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let tree = TxRbTree::new();
+        let mut ctx = stm.thread();
+        let mut model = BTreeSet::new();
+        for op in &ops {
+            match *op {
+                Op::Insert(k) => {
+                    model.insert(k);
+                    ctx.atomically(|tx| tree.insert(tx, k)).unwrap();
+                }
+                Op::Remove(k) => {
+                    model.remove(&k);
+                    ctx.atomically(|tx| tree.remove(tx, k)).unwrap();
+                }
+                Op::Contains(k) => {
+                    ctx.atomically(|tx| tree.contains(tx, k)).unwrap();
+                }
+            }
+            // The red-black invariants (BST order, no red-red edge, equal
+            // black heights, black root) must hold after every operation.
+            let count = ctx.atomically(|tx| tree.check_invariants(tx)).unwrap();
+            prop_assert_eq!(count, model.len());
+        }
+    }
+
+    #[test]
+    fn queue_behaves_like_vecdeque(ops in proptest::collection::vec(
+        prop_oneof![
+            (0i64..1000).prop_map(Some),   // enqueue
+            Just(None),                     // dequeue
+        ],
+        0..200,
+    )) {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let queue = TxQueue::new();
+        let mut ctx = stm.thread();
+        let mut model = std::collections::VecDeque::new();
+        for op in ops {
+            match op {
+                Some(v) => {
+                    model.push_back(v);
+                    ctx.atomically(|tx| queue.enqueue(tx, v)).unwrap();
+                }
+                None => {
+                    let expected = model.pop_front();
+                    let actual = ctx.atomically(|tx| queue.dequeue(tx)).unwrap();
+                    prop_assert_eq!(expected, actual);
+                }
+            }
+            let len = ctx.atomically(|tx| queue.len(tx)).unwrap();
+            prop_assert_eq!(len, model.len());
+        }
+    }
+
+    #[test]
+    fn composed_transactions_keep_two_sets_identical(
+        ops in proptest::collection::vec(op_strategy(32), 0..100)
+    ) {
+        // Applying each operation to a list and a tree inside one transaction
+        // must keep them permanently identical — even though their internal
+        // read/write sets are completely different.
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let list = TxList::new();
+        let tree = TxRbTree::new();
+        let mut ctx = stm.thread();
+        for op in &ops {
+            ctx.atomically(|tx| {
+                match *op {
+                    Op::Insert(k) => {
+                        list.insert(tx, k)?;
+                        tree.insert(tx, k)?;
+                    }
+                    Op::Remove(k) => {
+                        list.remove(tx, k)?;
+                        tree.remove(tx, k)?;
+                    }
+                    Op::Contains(k) => {
+                        let a = list.contains(tx, k)?;
+                        let b = tree.contains(tx, k)?;
+                        assert_eq!(a, b);
+                    }
+                }
+                Ok(())
+            }).unwrap();
+        }
+        let (a, b) = ctx.atomically(|tx| Ok((list.to_vec(tx)?, tree.to_vec(tx)?))).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
