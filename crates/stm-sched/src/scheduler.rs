@@ -71,8 +71,8 @@ pub fn list_schedule(tasks: &TaskSystem, order: &[usize]) -> ScheduleResult {
                     start_times[candidate] = now;
                     finish_times[candidate] = now + task.length;
                     makespan = makespan.max(finish_times[candidate]);
-                    for r in 0..tasks.num_resources() {
-                        usage[r] += task.demand(r);
+                    for (r, used) in usage.iter_mut().enumerate() {
+                        *used += task.demand(r);
                     }
                     running.push(candidate);
                     progressed = true;
@@ -99,8 +99,8 @@ pub fn list_schedule(tasks: &TaskSystem, order: &[usize]) -> ScheduleResult {
         running.swap_remove(pos);
         finished[next_idx] = true;
         let task = &tasks.tasks()[next_idx];
-        for r in 0..tasks.num_resources() {
-            usage[r] = (usage[r] - task.demand(r)).max(0.0);
+        for (r, used) in usage.iter_mut().enumerate() {
+            *used = (*used - task.demand(r)).max(0.0);
         }
         // Also retire any other task finishing at exactly the same time.
         let mut i = 0;
@@ -109,8 +109,8 @@ pub fn list_schedule(tasks: &TaskSystem, order: &[usize]) -> ScheduleResult {
                 let idx = running.swap_remove(i);
                 finished[idx] = true;
                 let t = &tasks.tasks()[idx];
-                for r in 0..tasks.num_resources() {
-                    usage[r] = (usage[r] - t.demand(r)).max(0.0);
+                for (r, used) in usage.iter_mut().enumerate() {
+                    *used = (*used - t.demand(r)).max(0.0);
                 }
             } else {
                 i += 1;

@@ -191,23 +191,23 @@ pub fn simulate(
             break;
         }
         // Phase A: clean up transactions that were aborted, restart them.
-        for i in 0..n {
-            if txs[i].committed_at.is_some() {
+        for (i, tx) in txs.iter_mut().enumerate() {
+            if tx.committed_at.is_some() {
                 continue;
             }
-            if txs[i].shared.is_aborted() {
+            if tx.shared.is_aborted() {
                 release_objects(&mut objects, i);
-                let old_shared = Arc::clone(&txs[i].shared);
-                txs[i].manager.aborted(TxView::new(&old_shared));
-                txs[i].aborts += 1;
-                let attempt = txs[i].aborts + 1;
-                let shared = Arc::new(TxShared::new(Arc::clone(&txs[i].lineage), attempt));
-                txs[i].manager.begin(TxView::new(&shared));
-                txs[i].shared = shared;
-                txs[i].progress = 0;
-                txs[i].next_access = 0;
-                txs[i].waiting_on = None;
-                txs[i].uninterrupted_from = tick;
+                let old_shared = Arc::clone(&tx.shared);
+                tx.manager.aborted(TxView::new(&old_shared));
+                tx.aborts += 1;
+                let attempt = tx.aborts + 1;
+                let shared = Arc::new(TxShared::new(Arc::clone(&tx.lineage), attempt));
+                tx.manager.begin(TxView::new(&shared));
+                tx.shared = shared;
+                tx.progress = 0;
+                tx.next_access = 0;
+                tx.waiting_on = None;
+                tx.uninterrupted_from = tick;
             }
         }
         // Phase B: wake waiters whose enemy is gone or itself waiting.

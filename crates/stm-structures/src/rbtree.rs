@@ -202,10 +202,8 @@ impl TxRbTree {
         mut path: Vec<PathEntry>,
         mut _z: TVar<Node>,
     ) -> TxResult<()> {
-        loop {
-            let Some((parent_var, parent_dir)) = path.last().cloned() else {
-                break; // z is the root; blacken_root will finish the job.
-            };
+        // When the path is exhausted, z is the root; blacken_root finishes.
+        while let Some((parent_var, parent_dir)) = path.last().cloned() {
             let parent = Self::read_node(tx, &parent_var)?;
             if parent.color == Color::Black {
                 break;

@@ -52,7 +52,7 @@ fn run(kind: ManagerKind) -> Outcome {
                     seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
                     let key = ((seed >> 33) % KEY_RANGE as u64) as i64;
                     let insert = (seed >> 11) & 1 == 0;
-                    let all_trees = (seed >> 3) % 10 == 0; // ~10% long transactions
+                    let all_trees = (seed >> 3).is_multiple_of(10); // ~10% long transactions
                     let scope_choice = if all_trees {
                         UpdateScope::All
                     } else {

@@ -221,3 +221,79 @@ fn queue_transfers_preserve_items_under_contention() {
     assert_eq!(drained, (0..400).collect::<Vec<i64>>());
     assert!(ctx.atomically(|tx| source.is_empty(tx)).unwrap());
 }
+
+/// Property-based conservation check (seeded PRNG, no external dependency):
+/// random interleaved transfers over a heap of `TVar` accounts must conserve
+/// the total balance under every manager the paper benchmarks head-to-head.
+///
+/// Each thread draws its own deterministic stream of (from, to, amount)
+/// triples and commits them concurrently with the others; any lost update,
+/// dirty read, or torn transfer shows up as a drifting total. A final audit
+/// transaction re-reads every account to cross-check `read_atomic`.
+#[test]
+fn random_transfers_conserve_total_for_literature_managers() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const ACCOUNTS: usize = 12;
+    const INITIAL: i64 = 1_000;
+    const TRANSFERS_PER_THREAD: usize = 400;
+    const THREADS: usize = 4;
+
+    for kind in [
+        ManagerKind::Greedy,
+        ManagerKind::Karma,
+        ManagerKind::Polka,
+        ManagerKind::Timestamp,
+    ] {
+        for visibility in [ReadVisibility::Visible, ReadVisibility::Invisible] {
+            let stm = Arc::new(stm_with(kind, visibility));
+            let accounts: Vec<TVar<i64>> = (0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect();
+            let expected = (ACCOUNTS as i64) * INITIAL;
+
+            thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let stm = Arc::clone(&stm);
+                    let accounts = accounts.clone();
+                    scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(0xacc7_0000 + t as u64);
+                        let mut ctx = stm.thread();
+                        for _ in 0..TRANSFERS_PER_THREAD {
+                            let from = rng.gen_range(0..ACCOUNTS);
+                            let to = rng.gen_range(0..ACCOUNTS);
+                            let amount = rng.gen_range(1i64..=75);
+                            ctx.atomically(|tx| {
+                                // Overdrafts allowed: conservation is the
+                                // invariant under test, not solvency.
+                                tx.modify(&accounts[from], |b| b - amount)?;
+                                tx.modify(&accounts[to], |b| b + amount)?;
+                                Ok(())
+                            })
+                            .unwrap();
+                        }
+                    });
+                }
+            });
+
+            let direct: i64 = accounts.iter().map(|a| stm.read_atomic(a)).sum();
+            assert_eq!(
+                direct, expected,
+                "manager {kind} ({visibility:?}): total drifted after random transfers"
+            );
+            let mut ctx = stm.thread();
+            let audited: i64 = ctx
+                .atomically(|tx| {
+                    let mut sum = 0;
+                    for account in &accounts {
+                        sum += tx.read(account)?;
+                    }
+                    Ok(sum)
+                })
+                .unwrap();
+            assert_eq!(
+                audited, expected,
+                "manager {kind} ({visibility:?}): transactional audit disagrees"
+            );
+        }
+    }
+}

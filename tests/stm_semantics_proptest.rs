@@ -2,10 +2,12 @@
 //! of committed and explicitly-aborted transactions over a small heap of
 //! `TVar`s must behave exactly like the same sequence applied to a plain
 //! `Vec` model (aborted transactions contributing nothing), in both
-//! read-visibility modes.
+//! read-visibility modes. Cases are drawn from a seeded PRNG so failures
+//! reproduce deterministically.
 
 use greedy_stm::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 /// One primitive action inside a generated transaction.
 #[derive(Debug, Clone, Copy)]
@@ -28,17 +30,30 @@ struct GenTxn {
 
 const SLOTS: usize = 6;
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
-        (0..SLOTS, -100i64..100).prop_map(|(slot, value)| Action::Write { slot, value }),
-        (0..SLOTS, 0..SLOTS).prop_map(|(from, to)| Action::AddFrom { from, to }),
-        (0..SLOTS).prop_map(|slot| Action::Double { slot }),
-    ]
+fn random_action(rng: &mut SmallRng) -> Action {
+    match rng.gen_range(0u32..3) {
+        0 => Action::Write {
+            slot: rng.gen_range(0..SLOTS),
+            value: rng.gen_range(-100i64..100),
+        },
+        1 => Action::AddFrom {
+            from: rng.gen_range(0..SLOTS),
+            to: rng.gen_range(0..SLOTS),
+        },
+        _ => Action::Double {
+            slot: rng.gen_range(0..SLOTS),
+        },
+    }
 }
 
-fn txn_strategy() -> impl Strategy<Value = GenTxn> {
-    (proptest::collection::vec(action_strategy(), 0..12), proptest::bool::weighted(0.2))
-        .prop_map(|(actions, abort)| GenTxn { actions, abort })
+fn random_txn(rng: &mut SmallRng) -> GenTxn {
+    let actions = (0..rng.gen_range(0usize..12))
+        .map(|_| random_action(rng))
+        .collect();
+    GenTxn {
+        actions,
+        abort: rng.gen_bool(0.2),
+    }
 }
 
 fn apply_model(model: &mut [i64], txn: &GenTxn) {
@@ -95,27 +110,35 @@ fn run_scenario(visibility: ReadVisibility, txns: &[GenTxn]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn sequential_transactions_match_the_model_visible(
-        txns in proptest::collection::vec(txn_strategy(), 0..40)
-    ) {
+#[test]
+fn sequential_transactions_match_the_model_visible() {
+    let mut rng = SmallRng::seed_from_u64(0x5eed_000a);
+    for _case in 0..64 {
+        let txns: Vec<GenTxn> = (0..rng.gen_range(0usize..40))
+            .map(|_| random_txn(&mut rng))
+            .collect();
         run_scenario(ReadVisibility::Visible, &txns);
     }
+}
 
-    #[test]
-    fn sequential_transactions_match_the_model_invisible(
-        txns in proptest::collection::vec(txn_strategy(), 0..40)
-    ) {
+#[test]
+fn sequential_transactions_match_the_model_invisible() {
+    let mut rng = SmallRng::seed_from_u64(0x1b_5eed);
+    for _case in 0..64 {
+        let txns: Vec<GenTxn> = (0..rng.gen_range(0usize..40))
+            .map(|_| random_txn(&mut rng))
+            .collect();
         run_scenario(ReadVisibility::Invisible, &txns);
     }
+}
 
-    #[test]
-    fn read_your_own_writes_holds_for_arbitrary_action_sequences(
-        actions in proptest::collection::vec(action_strategy(), 1..20)
-    ) {
+#[test]
+fn read_your_own_writes_holds_for_arbitrary_action_sequences() {
+    let mut rng = SmallRng::seed_from_u64(0x0444_5eed);
+    for _case in 0..64 {
+        let actions: Vec<Action> = (0..rng.gen_range(1usize..20))
+            .map(|_| random_action(&mut rng))
+            .collect();
         // Inside one transaction, reads must always observe the effect of the
         // transaction's own earlier writes, for arbitrary interleavings of
         // writes and read-modify-writes.
@@ -146,6 +169,7 @@ proptest! {
                 assert_eq!(tx.read(var)?, *expected);
             }
             Ok(())
-        }).unwrap();
+        })
+        .unwrap();
     }
 }

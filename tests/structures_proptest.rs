@@ -1,13 +1,16 @@
 //! Property-based tests: every transactional set implementation must behave
 //! exactly like a reference `BTreeSet` for arbitrary operation sequences, and
 //! the red-black tree must maintain its structural invariants throughout.
+//! Operation sequences are drawn from a seeded PRNG so failures reproduce
+//! deterministically.
 
 use std::collections::BTreeSet;
 
 use greedy_stm::prelude::*;
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
-/// A single set operation drawn by proptest.
+/// A single randomly drawn set operation.
 #[derive(Debug, Clone, Copy)]
 enum Op {
     Insert(i64),
@@ -15,12 +18,19 @@ enum Op {
     Contains(i64),
 }
 
-fn op_strategy(key_range: i64) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..key_range).prop_map(Op::Insert),
-        (0..key_range).prop_map(Op::Remove),
-        (0..key_range).prop_map(Op::Contains),
-    ]
+fn random_op(rng: &mut SmallRng, key_range: i64) -> Op {
+    let key = rng.gen_range(0..key_range);
+    match rng.gen_range(0u32..3) {
+        0 => Op::Insert(key),
+        1 => Op::Remove(key),
+        _ => Op::Contains(key),
+    }
+}
+
+fn random_ops(rng: &mut SmallRng, key_range: i64, max_len: usize) -> Vec<Op> {
+    (0..rng.gen_range(0..max_len))
+        .map(|_| random_op(rng, key_range))
+        .collect()
 }
 
 fn check_against_model<S: TxSet>(set: &S, ops: &[Op]) {
@@ -55,26 +65,35 @@ fn check_against_model<S: TxSet>(set: &S, ops: &[Op]) {
     );
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn list_matches_btreeset(ops in proptest::collection::vec(op_strategy(48), 0..200)) {
-        check_against_model(&TxList::new(), &ops);
+#[test]
+fn list_matches_btreeset() {
+    let mut rng = SmallRng::seed_from_u64(0x11_57);
+    for _case in 0..48 {
+        check_against_model(&TxList::new(), &random_ops(&mut rng, 48, 200));
     }
+}
 
-    #[test]
-    fn skiplist_matches_btreeset(ops in proptest::collection::vec(op_strategy(64), 0..200)) {
-        check_against_model(&TxSkipList::new(), &ops);
+#[test]
+fn skiplist_matches_btreeset() {
+    let mut rng = SmallRng::seed_from_u64(0x5_c1b);
+    for _case in 0..48 {
+        check_against_model(&TxSkipList::new(), &random_ops(&mut rng, 64, 200));
     }
+}
 
-    #[test]
-    fn rbtree_matches_btreeset(ops in proptest::collection::vec(op_strategy(96), 0..250)) {
-        check_against_model(&TxRbTree::new(), &ops);
+#[test]
+fn rbtree_matches_btreeset() {
+    let mut rng = SmallRng::seed_from_u64(0x4b_74e3);
+    for _case in 0..48 {
+        check_against_model(&TxRbTree::new(), &random_ops(&mut rng, 96, 250));
     }
+}
 
-    #[test]
-    fn rbtree_invariants_hold_throughout(ops in proptest::collection::vec(op_strategy(32), 0..120)) {
+#[test]
+fn rbtree_invariants_hold_throughout() {
+    let mut rng = SmallRng::seed_from_u64(0x4b_114a);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng, 32, 120);
         let stm = Stm::builder().manager(GreedyManager::factory()).build();
         let tree = TxRbTree::new();
         let mut ctx = stm.thread();
@@ -96,18 +115,25 @@ proptest! {
             // The red-black invariants (BST order, no red-red edge, equal
             // black heights, black root) must hold after every operation.
             let count = ctx.atomically(|tx| tree.check_invariants(tx)).unwrap();
-            prop_assert_eq!(count, model.len());
+            assert_eq!(count, model.len());
         }
     }
+}
 
-    #[test]
-    fn queue_behaves_like_vecdeque(ops in proptest::collection::vec(
-        prop_oneof![
-            (0i64..1000).prop_map(Some),   // enqueue
-            Just(None),                     // dequeue
-        ],
-        0..200,
-    )) {
+#[test]
+fn queue_behaves_like_vecdeque() {
+    let mut rng = SmallRng::seed_from_u64(0x40e0e);
+    for _case in 0..48 {
+        // `Some(v)` enqueues, `None` dequeues.
+        let ops: Vec<Option<i64>> = (0..rng.gen_range(0usize..200))
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Some(rng.gen_range(0i64..1000))
+                } else {
+                    None
+                }
+            })
+            .collect();
         let stm = Stm::builder().manager(GreedyManager::factory()).build();
         let queue = TxQueue::new();
         let mut ctx = stm.thread();
@@ -121,18 +147,20 @@ proptest! {
                 None => {
                     let expected = model.pop_front();
                     let actual = ctx.atomically(|tx| queue.dequeue(tx)).unwrap();
-                    prop_assert_eq!(expected, actual);
+                    assert_eq!(expected, actual);
                 }
             }
             let len = ctx.atomically(|tx| queue.len(tx)).unwrap();
-            prop_assert_eq!(len, model.len());
+            assert_eq!(len, model.len());
         }
     }
+}
 
-    #[test]
-    fn composed_transactions_keep_two_sets_identical(
-        ops in proptest::collection::vec(op_strategy(32), 0..100)
-    ) {
+#[test]
+fn composed_transactions_keep_two_sets_identical() {
+    let mut rng = SmallRng::seed_from_u64(0xc046_05ed);
+    for _case in 0..48 {
+        let ops = random_ops(&mut rng, 32, 100);
         // Applying each operation to a list and a tree inside one transaction
         // must keep them permanently identical — even though their internal
         // read/write sets are completely different.
@@ -158,9 +186,12 @@ proptest! {
                     }
                 }
                 Ok(())
-            }).unwrap();
+            })
+            .unwrap();
         }
-        let (a, b) = ctx.atomically(|tx| Ok((list.to_vec(tx)?, tree.to_vec(tx)?))).unwrap();
-        prop_assert_eq!(a, b);
+        let (a, b) = ctx
+            .atomically(|tx| Ok((list.to_vec(tx)?, tree.to_vec(tx)?)))
+            .unwrap();
+        assert_eq!(a, b);
     }
 }

@@ -6,7 +6,8 @@ use greedy_stm::sched::{
     chain, garey_graham_bound, list_schedule, optimal_list_schedule, random_transaction_system,
     simulate, theorem9_bound, RandomSystemConfig, SimConfig, TaskSystem,
 };
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn paper_example_greedy_is_s_plus_one_and_optimal_is_two() {
@@ -98,17 +99,15 @@ fn greedy_respects_theorem9_on_random_instances() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Garey & Graham: *every* list order is within (s + 1)× of the best list
-    /// order found (which itself upper-bounds the optimum).
-    #[test]
-    fn any_list_order_is_within_garey_graham_of_the_best(
-        seed in 0u64..1000,
-        n in 3usize..7,
-        s in 1usize..4,
-    ) {
+/// Garey & Graham: *every* list order is within (s + 1)× of the best list
+/// order found (which itself upper-bounds the optimum).
+#[test]
+fn any_list_order_is_within_garey_graham_of_the_best() {
+    let mut rng = SmallRng::seed_from_u64(0x6a7e_1157);
+    for case in 0..24 {
+        let seed = rng.gen_range(0u64..1000);
+        let n = rng.gen_range(3usize..7);
+        let s = rng.gen_range(1usize..4);
         let config = RandomSystemConfig {
             transactions: n,
             objects: s,
@@ -124,21 +123,26 @@ proptest! {
         let reversed: Vec<usize> = identity.iter().rev().copied().collect();
         for order in [identity, reversed] {
             let m = list_schedule(&tasks, &order).makespan;
-            prop_assert!(m <= garey_graham_bound(s) * best.makespan + 1e-6);
-            prop_assert!(m + 1e-9 >= best.makespan);
-            prop_assert!(m + 1e-9 >= tasks.makespan_lower_bound());
+            assert!(
+                m <= garey_graham_bound(s) * best.makespan + 1e-6,
+                "case {case} (seed {seed}, n {n}, s {s}): {m} exceeds bound"
+            );
+            assert!(m + 1e-9 >= best.makespan, "case {case}: beat the best order");
+            assert!(m + 1e-9 >= tasks.makespan_lower_bound(), "case {case}: beat the lower bound");
         }
     }
+}
 
-    /// The simulated greedy makespan never exceeds the serial execution of
-    /// all transactions (a loose but absolute sanity bound), and Theorem 1
-    /// holds: every transaction commits.
-    #[test]
-    fn greedy_simulation_terminates_within_serial_time(
-        seed in 0u64..1000,
-        n in 2usize..8,
-        s in 1usize..5,
-    ) {
+/// The simulated greedy makespan never exceeds the serial execution of
+/// all transactions (a loose but absolute sanity bound), and Theorem 1
+/// holds: every transaction commits.
+#[test]
+fn greedy_simulation_terminates_within_serial_time() {
+    let mut rng = SmallRng::seed_from_u64(0x005e_71a1);
+    for case in 0..24 {
+        let seed = rng.gen_range(0u64..1000);
+        let n = rng.gen_range(2usize..8);
+        let s = rng.gen_range(1usize..5);
         let config = RandomSystemConfig {
             transactions: n,
             objects: s,
@@ -150,16 +154,24 @@ proptest! {
         let txns = random_transaction_system(&config, seed);
         let outcome = simulate(&txns, ManagerKind::Greedy.factory(), SimConfig::default());
         let makespan = outcome.makespan_ticks.expect("greedy always terminates");
-        prop_assert!(outcome.commit_ticks.iter().all(|&t| t != u64::MAX));
+        assert!(
+            outcome.commit_ticks.iter().all(|&t| t != u64::MAX),
+            "case {case} (seed {seed}): a transaction never committed"
+        );
         // Under greedy, work is never wasted forever: the makespan is at most
         // the total serial duration times (1 + total number of aborts).
         let serial: u64 = txns.iter().map(|t| t.duration).sum();
-        prop_assert!(makespan <= serial * (1 + outcome.total_aborts()) + serial);
+        assert!(
+            makespan <= serial * (1 + outcome.total_aborts()) + serial,
+            "case {case} (seed {seed}): makespan {makespan} exceeds abort-adjusted serial time"
+        );
     }
+}
 
-    /// The chain construction scales: greedy lands on s + 1 for arbitrary s.
-    #[test]
-    fn chain_scales_with_s(s in 2usize..10) {
+/// The chain construction scales: greedy lands on s + 1 for arbitrary s.
+#[test]
+fn chain_scales_with_s() {
+    for s in 2usize..10 {
         let ticks = 10u64;
         let instance = chain(s, ticks);
         let outcome = simulate(
@@ -168,7 +180,11 @@ proptest! {
             SimConfig::default(),
         );
         let makespan = outcome.makespan_units(ticks as f64);
-        prop_assert!((makespan - (s as f64 + 1.0)).abs() < 0.2);
-        prop_assert!(makespan / 2.0 <= theorem9_bound(s));
+        assert!(
+            (makespan - (s as f64 + 1.0)).abs() < 0.2,
+            "s {s}: greedy makespan {makespan}, expected ~{}",
+            s + 1
+        );
+        assert!(makespan / 2.0 <= theorem9_bound(s), "s {s}: ratio exceeds Theorem 9");
     }
 }

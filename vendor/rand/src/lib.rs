@@ -1,0 +1,283 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this vendored crate
+//! provides exactly the subset of the `rand` 0.8 API the workspace uses:
+//! [`rngs::SmallRng`], the [`Rng`] and [`SeedableRng`] traits, `gen`,
+//! `gen_bool`, and `gen_range` over integer ranges. The generator is
+//! xoshiro256++ seeded through splitmix64 — deterministic for a given seed,
+//! which is all the benchmarks and tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Named random number generators.
+pub mod rngs {
+    pub use crate::SmallRng;
+}
+
+/// A small, fast, deterministic generator (xoshiro256++).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    fn next(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Core trait: a source of uniformly distributed 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl RngCore for SmallRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next()
+    }
+}
+
+/// Seeding constructors (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed, deterministically.
+    fn seed_from_u64(seed: u64) -> Self;
+
+    /// Creates a generator from ambient entropy (wall clock mixed with a
+    /// process-global counter, so constructions landing in the same clock
+    /// tick — e.g. one manager per thread spawned in a tight loop — still
+    /// get distinct streams). Not cryptographic — fine for
+    /// contention-manager coin flips.
+    fn from_entropy() -> Self {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed_5eed);
+        let unique = COUNTER.fetch_add(1, Ordering::Relaxed);
+        Self::seed_from_u64(nanos ^ unique.rotate_left(32) ^ 0xa076_1d64_78bd_642f)
+    }
+}
+
+impl SeedableRng for SmallRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut state = seed;
+        let s = [
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+            splitmix64(&mut state),
+        ];
+        SmallRng { s }
+    }
+}
+
+/// Types producible by [`Rng::gen`] (subset of the `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly random mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn draw<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges acceptable to [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                (start as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_signed_range!(i32, i64, isize);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::draw(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience methods over any [`RngCore`] (subset of `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a uniformly distributed value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::draw(self) < p.clamp(0.0, 1.0)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        let mut c = SmallRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.gen()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(3usize..=5);
+            assert!((3..=5).contains(&y));
+            let z = rng.gen_range(-4i64..4);
+            assert!((-4..4).contains(&z));
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn from_entropy_streams_are_distinct_within_one_clock_tick() {
+        // Back-to-back constructions can land in the same SystemTime tick;
+        // the global counter must still separate their streams.
+        let mut rngs: Vec<SmallRng> = (0..8).map(|_| SmallRng::from_entropy()).collect();
+        let firsts: std::collections::HashSet<u64> =
+            rngs.iter_mut().map(|r| r.next_u64()).collect();
+        assert_eq!(firsts.len(), 8, "correlated from_entropy streams");
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((700..1300).contains(&heads), "suspicious coin: {heads}");
+    }
+}

@@ -1,0 +1,196 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for the shapes this workspace actually
+//! uses — structs with named fields, and enums whose variants are either
+//! unit variants or have named fields — without `syn`/`quote` (neither is
+//! available offline). The input token stream is parsed by hand and the
+//! generated impl is emitted as source text, mirroring serde's externally
+//! tagged representation (`"Variant"` for unit variants, `{"Variant":
+//! {...}}` for struct variants).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored stand-in trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("derive(Serialize): expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(ident) => ident.to_string(),
+        other => panic!("derive(Serialize): expected type name, got {other}"),
+    };
+    i += 1;
+
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive(Serialize) stand-in does not support generic types ({name})");
+    }
+
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            Some(_) => i += 1,
+            None => panic!("derive(Serialize): no braced body found for {name}"),
+        }
+    };
+
+    let generated = match kind.as_str() {
+        "struct" => derive_for_struct(&name, body),
+        "enum" => derive_for_enum(&name, body),
+        other => panic!("derive(Serialize): unsupported item kind `{other}`"),
+    };
+    generated
+        .parse()
+        .expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Advances past leading attributes (`#[...]`) and visibility (`pub`,
+/// `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Splits a `{...}` body at commas that sit outside any `<...>` nesting.
+/// (Bracketed/braced/parenthesised nesting is already opaque: those are
+/// `Group` tokens.)
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0usize;
+    for token in stream {
+        match &token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth = angle_depth.saturating_sub(1)
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                chunks.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        chunks.last_mut().expect("non-empty").push(token);
+    }
+    chunks.retain(|c| !c.is_empty());
+    chunks
+}
+
+/// Extracts the field name from one field chunk (`[attrs] [vis] name : ty`).
+fn field_name(chunk: &[TokenTree]) -> String {
+    let mut i = 0;
+    skip_attrs_and_vis(chunk, &mut i);
+    match chunk.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("derive(Serialize): expected field name, got {other:?}"),
+    }
+}
+
+fn derive_for_struct(name: &str, body: TokenStream) -> String {
+    let fields: Vec<String> = split_top_level(body).iter().map(|c| field_name(c)).collect();
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_json_value(&self) -> ::serde::Value {{\n\
+         \t\t::serde::Value::Object(vec![{}])\n\
+         \t}}\n\
+         }}",
+        entries.join(", ")
+    )
+}
+
+fn derive_for_enum(name: &str, body: TokenStream) -> String {
+    let mut arms = Vec::new();
+    for chunk in split_top_level(body) {
+        let mut i = 0;
+        skip_attrs_and_vis(&chunk, &mut i);
+        let variant = match chunk.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            other => panic!("derive(Serialize): expected variant name, got {other:?}"),
+        };
+        i += 1;
+        match chunk.get(i) {
+            None => {
+                // Unit variant: externally tagged as just the variant name.
+                arms.push(format!(
+                    "{name}::{variant} => ::serde::Value::String(\"{variant}\".to_string()),"
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields: Vec<String> =
+                    split_top_level(g.stream()).iter().map(|c| field_name(c)).collect();
+                let bindings = fields.join(", ");
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{f}\".to_string(), ::serde::Serialize::to_json_value({f}))"
+                        )
+                    })
+                    .collect();
+                arms.push(format!(
+                    "{name}::{variant} {{ {bindings} }} => ::serde::Value::Object(vec![\
+                     (\"{variant}\".to_string(), ::serde::Value::Object(vec![{}]))]),",
+                    entries.join(", ")
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = split_top_level(g.stream()).len();
+                let bindings: Vec<String> = (0..arity).map(|k| format!("f{k}")).collect();
+                let entries: Vec<String> = bindings
+                    .iter()
+                    .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                    .collect();
+                let inner = if arity == 1 {
+                    entries[0].clone()
+                } else {
+                    format!("::serde::Value::Array(vec![{}])", entries.join(", "))
+                };
+                arms.push(format!(
+                    "{name}::{variant}({}) => ::serde::Value::Object(vec![\
+                     (\"{variant}\".to_string(), {inner})]),",
+                    bindings.join(", ")
+                ));
+            }
+            other => panic!("derive(Serialize): unsupported variant shape {other:?}"),
+        }
+    }
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         \tfn to_json_value(&self) -> ::serde::Value {{\n\
+         \t\tmatch self {{\n{}\n\t\t}}\n\
+         \t}}\n\
+         }}",
+        arms.join("\n")
+    )
+}
