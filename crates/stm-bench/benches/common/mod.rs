@@ -32,6 +32,7 @@ pub fn bench_structure(c: &mut Criterion, group_name: &str, structure: Structure
         duration: Duration::from_millis(0),
         local_work,
         seed: 0xbe9c,
+        ..WorkloadConfig::default()
     };
     for manager in ManagerKind::FIGURE_SET {
         group.bench_with_input(

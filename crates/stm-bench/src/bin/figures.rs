@@ -5,34 +5,80 @@
 //! cargo run --release -p stm-bench --bin figures -- fig1 --quick
 //! cargo run --release -p stm-bench --bin figures -- chain bound starvation
 //! cargo run --release -p stm-bench --bin figures -- fig2 --json
+//! cargo run --release -p stm-bench --bin figures -- --sweep machine
+//! cargo run --release -p stm-bench --bin figures -- --sweep smoke
 //! ```
 //!
 //! Available experiments: `fig1` `fig2` `fig3` `fig4` (throughput sweeps),
-//! `chain` (the Section 4 adversarial chain), `bound` (Theorem 9 ratio sweep),
-//! `starvation` (Theorem 1), `ablation-reads` (visible vs invisible reads),
-//! `all`. Flags: `--quick` shrinks the sweeps, `--json` prints raw JSON
-//! instead of tables.
+//! `matrix` (the workload matrix: structures × op mixes × managers ×
+//! threads), `chain` (the Section 4 adversarial chain), `bound` (Theorem 9
+//! ratio sweep), `starvation` (Theorem 1), `ablation-reads` (visible vs
+//! invisible reads), `all` (everything except `matrix`).
+//!
+//! Flags: `--sweep paper|quick|smoke|machine` selects the sweep size —
+//! `machine` sizes the thread axis to the host (1..=2× available
+//! parallelism) and emits one JSON record per matrix cell; `smoke` is the
+//! seconds-long CI sanity pass. `--quick` is shorthand for `--sweep quick`;
+//! `--json` prints raw JSON instead of tables. With `--sweep machine` or
+//! `--sweep smoke` and no experiment named, the workload matrix runs.
 
 use std::time::Duration;
 
 use stm_bench::{
     bound_experiment, chain_experiment, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest,
-    render_figure_table, render_rows, run_workload, starvation_experiment, StructureKind,
-    SweepConfig, WorkloadConfig,
+    matrix_structures, render_figure_table, render_matrix_table, render_rows, run_workload,
+    starvation_experiment, workload_matrix, OpMix, StructureKind, SweepConfig, WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
-    let mut experiments: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .cloned()
-        .collect();
-    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+    let mut sweep_mode: Option<String> = None;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--json" => {}
+            "--quick" => {
+                sweep_mode.get_or_insert_with(|| "quick".to_string());
+            }
+            "--sweep" => {
+                i += 1;
+                let Some(mode) = args.get(i) else {
+                    eprintln!("--sweep needs a mode: paper, quick, smoke or machine");
+                    std::process::exit(2);
+                };
+                sweep_mode = Some(mode.clone());
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("ignoring unknown flag '{flag}'");
+            }
+            name => experiments.push(name.to_string()),
+        }
+        i += 1;
+    }
+    let mode = sweep_mode.unwrap_or_else(|| "paper".to_string());
+    let sweep = match mode.as_str() {
+        "paper" => SweepConfig::paper_defaults(),
+        "quick" => SweepConfig::quick(),
+        "smoke" => SweepConfig::smoke(),
+        "machine" => SweepConfig::machine(),
+        other => {
+            eprintln!("unknown sweep mode '{other}'; expected paper, quick, smoke or machine");
+            std::process::exit(2);
+        }
+    };
+    let quick = matches!(mode.as_str(), "quick" | "smoke");
+    if experiments.is_empty() {
+        experiments = if matches!(mode.as_str(), "machine" | "smoke") {
+            vec!["matrix".into()]
+        } else {
+            vec!["all".into()]
+        };
+    }
+    if experiments.iter().any(|e| e == "all") {
         experiments = vec![
             "fig1".into(),
             "fig2".into(),
@@ -44,17 +90,28 @@ fn main() {
             "ablation-reads".into(),
         ];
     }
-    let sweep = if quick {
-        SweepConfig::quick()
-    } else {
-        SweepConfig::paper_defaults()
-    };
     for experiment in experiments {
         match experiment.as_str() {
             "fig1" => emit_figure(fig1_list(&sweep), json),
             "fig2" => emit_figure(fig2_skiplist(&sweep), json),
             "fig3" => emit_figure(fig3_rbtree(&sweep), json),
             "fig4" => emit_figure(fig4_forest(&sweep), json),
+            "matrix" => {
+                // The matrix always covers the three standard mixes, even
+                // under the single-mix paper/quick sweeps.
+                let mut matrix_sweep = sweep.clone();
+                if matrix_sweep.mixes.len() < 2 {
+                    matrix_sweep.mixes = OpMix::standard_matrix();
+                }
+                let cells = workload_matrix(&matrix_structures(), &matrix_sweep);
+                // `--sweep machine` exists to feed post-processing, so it
+                // always emits one JSON record per cell.
+                if json || mode == "machine" {
+                    println!("{}", render_rows(&cells));
+                } else {
+                    println!("{}", render_matrix_table(&cells));
+                }
+            }
             "chain" => {
                 let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
                 let managers = [
@@ -178,6 +235,7 @@ fn ablation_reads(quick: bool, json: bool) {
         },
         local_work: 0,
         seed: 0xab1a,
+        ..WorkloadConfig::default()
     };
     // run_workload always uses the default (visible) mode; for the ablation we
     // drive the list directly with both visibilities.

@@ -1,4 +1,6 @@
-//! Figure generators: one function per figure of the paper's Section 5.
+//! Figure generators: one function per figure of the paper's Section 5, plus
+//! the machine-sized workload matrix over (structure × mix × manager ×
+//! threads) cells.
 
 use serde::Serialize;
 
@@ -124,10 +126,42 @@ pub fn fig4_forest(cfg: &SweepConfig) -> FigureData {
     )
 }
 
+/// The structures the workload matrix sweeps. The forest is excluded: its
+/// irregular transaction lengths already have a dedicated figure and would
+/// dominate the matrix's wall-clock budget.
+pub fn matrix_structures() -> Vec<StructureKind> {
+    vec![
+        StructureKind::List,
+        StructureKind::SkipList,
+        StructureKind::RbTree,
+    ]
+}
+
+/// Runs the full workload matrix: one [`WorkloadResult`] cell per
+/// (structure × mix × thread count × manager) combination, in that nesting
+/// order. `cfg.mixes` supplies the mix axis; `cfg.base.mix` is overridden
+/// per cell.
+pub fn workload_matrix(structures: &[StructureKind], cfg: &SweepConfig) -> Vec<WorkloadResult> {
+    let mut cells = Vec::new();
+    for structure in structures {
+        for mix in &cfg.mixes {
+            for &threads in &cfg.thread_counts {
+                for manager in &cfg.managers {
+                    let mut run_cfg = cfg.base;
+                    run_cfg.threads = threads;
+                    run_cfg.mix = *mix;
+                    cells.push(run_workload(*manager, structure, &run_cfg));
+                }
+            }
+        }
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::workload::WorkloadConfig;
+    use crate::workload::{OpMix, WorkloadConfig};
     use std::time::Duration;
     use stm_cm::ManagerKind;
 
@@ -135,6 +169,7 @@ mod tests {
         SweepConfig {
             thread_counts: vec![1, 2],
             managers: vec![ManagerKind::Greedy, ManagerKind::Karma],
+            mixes: vec![OpMix::update_only()],
             base: WorkloadConfig {
                 key_range: 32,
                 duration: Duration::from_millis(30),
@@ -173,6 +208,33 @@ mod tests {
         assert_eq!(data.structure, "rbforest");
         assert_eq!(data.series.len(), 1);
         assert!(data.series[0].points[0].1 > 0.0);
+    }
+
+    #[test]
+    fn workload_matrix_covers_every_cell() {
+        let mut cfg = smoke_cfg();
+        cfg.thread_counts = vec![1];
+        cfg.mixes = vec![OpMix::update_only(), OpMix::range_heavy()];
+        cfg.base.duration = Duration::from_millis(15);
+        let structures = [StructureKind::List, StructureKind::SkipList];
+        let cells = workload_matrix(&structures, &cfg);
+        // 2 structures × 2 mixes × 1 thread count × 2 managers.
+        assert_eq!(cells.len(), 8);
+        for cell in &cells {
+            assert!(cell.commits > 0, "empty cell: {cell:?}");
+        }
+        let mixes: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.mix.as_str()).collect();
+        assert_eq!(mixes.len(), 2);
+        let structures_seen: std::collections::BTreeSet<&str> =
+            cells.iter().map(|c| c.structure.as_str()).collect();
+        assert_eq!(structures_seen.len(), 2);
+    }
+
+    #[test]
+    fn matrix_structures_exclude_the_forest() {
+        let names: Vec<&str> = matrix_structures().iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["list", "skiplist", "rbtree"]);
     }
 
     #[test]

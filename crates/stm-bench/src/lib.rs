@@ -12,15 +12,19 @@
 //! | E5 | Section 4 adversarial chain | [`theory::chain_experiment`] |
 //! | E6 | Theorem 9 competitive-ratio check | [`theory::bound_experiment`] |
 //! | E7 | Theorem 1 starvation / bounded commit delay | [`starvation::starvation_experiment`] |
+//! | E8 | Workload matrix — mixes × structures × managers × threads | [`figures::workload_matrix`] |
 //!
 //! The paper measures committed transactions per second as a function of the
 //! number of threads (1–32) on a 256-key integer set with a 100% update mix;
-//! [`workload`] implements exactly that driver, generically over the
-//! benchmark structure and the contention manager.
+//! [`workload`] implements that driver generically over the benchmark
+//! structure, the contention manager, and an [`workload::OpMix`] operation
+//! distribution (update-only, read-mostly, range-heavy, or any custom
+//! weighting), so the same harness also covers the read-dominated and
+//! range-query scenarios beyond the paper's Section 5.
 //!
 //! Throughput numbers depend on the host; what is expected to reproduce is
 //! the *shape* of the comparison (which manager wins under which contention
-//! pattern), recorded in the repository's `EXPERIMENTS.md`.
+//! pattern), recorded in `EXPERIMENTS.md` at the repository root.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -32,10 +36,14 @@ pub mod starvation;
 pub mod theory;
 pub mod workload;
 
-pub use figures::{fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, FigureData, Series};
-pub use report::{render_figure_table, render_rows};
+pub use figures::{
+    fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, matrix_structures, workload_matrix,
+    FigureData, Series,
+};
+pub use report::{render_figure_table, render_matrix_table, render_rows};
 pub use starvation::{starvation_experiment, StarvationResult};
 pub use theory::{bound_experiment, chain_experiment, BoundRow, ChainRow};
 pub use workload::{
-    run_fixed_ops, run_workload, StructureKind, SweepConfig, WorkloadConfig, WorkloadResult,
+    run_fixed_ops, run_workload, OpKind, OpMix, StructureKind, SweepConfig, WorkloadConfig,
+    WorkloadResult,
 };

@@ -1,7 +1,8 @@
 //! Plain-text rendering of benchmark results (the tables printed by the
-//! `figures` binary and recorded in `EXPERIMENTS.md`).
+//! `figures` binary and recorded in the repository's `EXPERIMENTS.md`).
 
 use crate::figures::FigureData;
+use crate::workload::WorkloadResult;
 
 /// Renders a figure as a text table: one row per thread count, one column per
 /// contention manager, values in committed transactions per second.
@@ -36,6 +37,59 @@ pub fn render_figure_table(figure: &FigureData) -> String {
     }
     if let Some(winner) = figure.winner_at_max_threads() {
         out.push_str(&format!("best at max threads: {winner}\n"));
+    }
+    out
+}
+
+/// Renders workload-matrix cells as text tables: one block per
+/// (structure, mix) pair, one row per thread count, one column per manager,
+/// values in committed transactions per second.
+pub fn render_matrix_table(cells: &[WorkloadResult]) -> String {
+    // Group keys in first-appearance order (the matrix emits cells grouped
+    // already; this keeps the renderer independent of that ordering).
+    let mut groups: Vec<(String, String)> = Vec::new();
+    for cell in cells {
+        let key = (cell.structure.clone(), cell.mix.clone());
+        if !groups.contains(&key) {
+            groups.push(key);
+        }
+    }
+    let mut out = String::new();
+    for (structure, mix) in groups {
+        let block: Vec<&WorkloadResult> = cells
+            .iter()
+            .filter(|c| c.structure == structure && c.mix == mix)
+            .collect();
+        let mut managers: Vec<&str> = Vec::new();
+        let mut threads: Vec<usize> = Vec::new();
+        for cell in &block {
+            if !managers.contains(&cell.manager.as_str()) {
+                managers.push(cell.manager.as_str());
+            }
+            if !threads.contains(&cell.threads) {
+                threads.push(cell.threads);
+            }
+        }
+        threads.sort_unstable();
+        out.push_str(&format!("# matrix — {structure} / {mix} (commits/sec)\n"));
+        out.push_str(&format!("{:>8}", "threads"));
+        for manager in &managers {
+            out.push_str(&format!("{manager:>14}"));
+        }
+        out.push('\n');
+        for t in threads {
+            out.push_str(&format!("{t:>8}"));
+            for manager in &managers {
+                let value = block
+                    .iter()
+                    .find(|c| c.threads == t && c.manager == *manager)
+                    .map(|c| c.throughput)
+                    .unwrap_or(f64::NAN);
+                out.push_str(&format!("{value:>14.0}"));
+            }
+            out.push('\n');
+        }
+        out.push('\n');
     }
     out
 }
@@ -78,6 +132,39 @@ mod tests {
         assert!(table.contains("karma"));
         assert!(table.contains("1000"));
         assert!(table.contains("best at max threads: karma"));
+    }
+
+    #[test]
+    fn matrix_table_groups_by_structure_and_mix() {
+        use std::time::Duration;
+        let cell = |structure: &str, mix: &str, manager: &str, threads: usize, tput: f64| {
+            WorkloadResult {
+                manager: manager.to_string(),
+                structure: structure.to_string(),
+                mix: mix.to_string(),
+                threads,
+                commits: (tput as u64) / 10,
+                aborts: 3,
+                elapsed: Duration::from_millis(100),
+                throughput: tput,
+                abort_ratio: 0.1,
+            }
+        };
+        let cells = vec![
+            cell("list", "update-only", "greedy", 1, 1000.0),
+            cell("list", "update-only", "karma", 1, 900.0),
+            cell("list", "update-only", "greedy", 2, 1500.0),
+            cell("list", "update-only", "karma", 2, 1600.0),
+            cell("list", "read-mostly-90", "greedy", 1, 4000.0),
+            cell("list", "read-mostly-90", "karma", 1, 3900.0),
+        ];
+        let table = render_matrix_table(&cells);
+        assert!(table.contains("list / update-only"));
+        assert!(table.contains("list / read-mostly-90"));
+        assert!(table.contains("greedy"));
+        assert!(table.contains("4000"));
+        // Two blocks, each with a header + manager row + thread rows.
+        assert_eq!(table.matches("# matrix —").count(), 2);
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! update rate of 100%". Each thread runs transactions back-to-back for a
 //! fixed wall-clock interval; the metric is committed transactions per
 //! second.
+//!
+//! The paper's fixed 100%-update mix is one point of an [`OpMix`]
+//! distribution: every workload draws its operations from a weighted mix of
+//! inserts, removes, point lookups and range queries, so the same driver also
+//! produces the read-mostly and range-heavy scenarios that stress the
+//! invisible-read design (see `EXPERIMENTS.md` at the repository root).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
@@ -59,6 +65,162 @@ impl StructureKind {
     }
 }
 
+/// The operation categories a workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum OpKind {
+    /// Insert a random key.
+    Insert,
+    /// Remove a random key.
+    Remove,
+    /// Point membership lookup of a random key.
+    Lookup,
+    /// Range query over a random interval of `range_span` keys.
+    Range,
+}
+
+/// A weighted distribution over the four operation categories.
+///
+/// Weights need not sum to one — they are normalized when drawing. The
+/// paper's Section 5 experiments use [`OpMix::update_only`]; the read-mostly
+/// and range-heavy mixes extend the evaluation to the scenarios where
+/// invisible reads dominate.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct OpMix {
+    /// Weight of insert operations.
+    pub insert: f64,
+    /// Weight of remove operations.
+    pub remove: f64,
+    /// Weight of point lookups.
+    pub lookup: f64,
+    /// Weight of range queries.
+    pub range: f64,
+}
+
+impl OpMix {
+    /// The paper's mix: 100% updates, split evenly between inserts and
+    /// removes.
+    pub fn update_only() -> Self {
+        OpMix {
+            insert: 0.5,
+            remove: 0.5,
+            lookup: 0.0,
+            range: 0.0,
+        }
+    }
+
+    /// A read-dominated mix: 90% point lookups, updates split evenly.
+    pub fn read_mostly() -> Self {
+        OpMix {
+            insert: 0.05,
+            remove: 0.05,
+            lookup: 0.9,
+            range: 0.0,
+        }
+    }
+
+    /// A range-heavy mix: long invisible-read sets from range scans on top
+    /// of a half-update base load.
+    pub fn range_heavy() -> Self {
+        OpMix {
+            insert: 0.25,
+            remove: 0.25,
+            lookup: 0.2,
+            range: 0.3,
+        }
+    }
+
+    /// A pure read-fraction point on the lookup axis: `read` of the
+    /// operations are lookups, the rest are updates split evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= read <= 1.0`.
+    pub fn with_read_fraction(read: f64) -> Self {
+        assert!((0.0..=1.0).contains(&read), "read fraction must be in 0..=1");
+        let update = (1.0 - read) / 2.0;
+        OpMix {
+            insert: update,
+            remove: update,
+            lookup: read,
+            range: 0.0,
+        }
+    }
+
+    /// The three mixes every workload-matrix sweep covers.
+    pub fn standard_matrix() -> Vec<OpMix> {
+        vec![
+            OpMix::update_only(),
+            OpMix::read_mostly(),
+            OpMix::range_heavy(),
+        ]
+    }
+
+    /// Short name used in reports (`"update-only"`, `"read-mostly-90"`,
+    /// `"range-heavy"`, or the weight vector for custom mixes).
+    pub fn label(&self) -> String {
+        if *self == OpMix::update_only() {
+            "update-only".to_string()
+        } else if *self == OpMix::read_mostly() {
+            "read-mostly-90".to_string()
+        } else if *self == OpMix::range_heavy() {
+            "range-heavy".to_string()
+        } else {
+            let total = self.total();
+            format!(
+                "i{:02.0}-r{:02.0}-l{:02.0}-g{:02.0}",
+                100.0 * self.insert / total,
+                100.0 * self.remove / total,
+                100.0 * self.lookup / total,
+                100.0 * self.range / total,
+            )
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.insert + self.remove + self.lookup + self.range
+    }
+
+    /// Maps a uniform `roll` in `[0, 1]` to an operation category.
+    ///
+    /// # Panics
+    ///
+    /// Panics if every weight is zero (or any is negative enough to cancel
+    /// the total).
+    pub fn pick(&self, roll: f64) -> OpKind {
+        let total = self.total();
+        assert!(total > 0.0, "op mix must have positive total weight");
+        let mut r = roll.clamp(0.0, 1.0) * total;
+        for (weight, kind) in [
+            (self.insert, OpKind::Insert),
+            (self.remove, OpKind::Remove),
+            (self.lookup, OpKind::Lookup),
+            (self.range, OpKind::Range),
+        ] {
+            if r < weight {
+                return kind;
+            }
+            r -= weight;
+        }
+        // roll == 1.0 lands exactly on the upper edge of the last
+        // positively-weighted category.
+        if self.range > 0.0 {
+            OpKind::Range
+        } else if self.lookup > 0.0 {
+            OpKind::Lookup
+        } else if self.remove > 0.0 {
+            OpKind::Remove
+        } else {
+            OpKind::Insert
+        }
+    }
+}
+
+impl Default for OpMix {
+    fn default() -> Self {
+        OpMix::update_only()
+    }
+}
+
 /// Parameters of one workload run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct WorkloadConfig {
@@ -73,6 +235,10 @@ pub struct WorkloadConfig {
     pub local_work: u64,
     /// Seed for the per-thread operation generators.
     pub seed: u64,
+    /// Distribution over operation categories each thread draws from.
+    pub mix: OpMix,
+    /// Width of the key interval scanned by a [`OpKind::Range`] query.
+    pub range_span: i64,
 }
 
 impl Default for WorkloadConfig {
@@ -83,6 +249,8 @@ impl Default for WorkloadConfig {
             duration: Duration::from_millis(200),
             local_work: 0,
             seed: 0x5eed,
+            mix: OpMix::update_only(),
+            range_span: 32,
         }
     }
 }
@@ -94,6 +262,8 @@ pub struct WorkloadResult {
     pub manager: String,
     /// Structure exercised.
     pub structure: String,
+    /// Operation mix driven (label of the [`OpMix`]).
+    pub mix: String,
     /// Number of worker threads.
     pub threads: usize,
     /// Committed transactions across all threads.
@@ -109,14 +279,20 @@ pub struct WorkloadResult {
     pub abort_ratio: f64,
 }
 
-/// A sweep over thread counts for a set of managers (one paper figure).
+/// A sweep over thread counts for a set of managers (one paper figure), and —
+/// for the workload matrix — over operation mixes.
 #[derive(Debug, Clone)]
 pub struct SweepConfig {
     /// Thread counts to sweep (the paper sweeps 1..=32).
     pub thread_counts: Vec<usize>,
     /// Managers to compare.
     pub managers: Vec<ManagerKind>,
-    /// Per-run parameters (the thread count is overridden per point).
+    /// Operation mixes the workload matrix covers. The single-figure sweeps
+    /// (Figures 1–4) use `base.mix` instead, which stays at the paper's
+    /// update-only mix.
+    pub mixes: Vec<OpMix>,
+    /// Per-run parameters (thread count — and, in the matrix, the mix — are
+    /// overridden per point).
     pub base: WorkloadConfig,
 }
 
@@ -127,6 +303,7 @@ impl SweepConfig {
         SweepConfig {
             thread_counts: vec![1, 2, 4, 8, 16, 32],
             managers: ManagerKind::FIGURE_SET.to_vec(),
+            mixes: vec![OpMix::update_only()],
             base: WorkloadConfig::default(),
         }
     }
@@ -136,8 +313,54 @@ impl SweepConfig {
         SweepConfig {
             thread_counts: vec![1, 2, 4],
             managers: vec![ManagerKind::Greedy, ManagerKind::Karma, ManagerKind::Aggressive],
+            mixes: vec![OpMix::update_only()],
             base: WorkloadConfig {
                 duration: Duration::from_millis(60),
+                ..WorkloadConfig::default()
+            },
+        }
+    }
+
+    /// A machine-sized sweep: thread counts from 1 up to twice the host's
+    /// available parallelism (powers of two plus the `2 × cores` endpoint),
+    /// the paper's figure-set managers, and the three standard mixes.
+    pub fn machine() -> Self {
+        let cores = thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        let mut thread_counts = Vec::new();
+        let mut t = 1;
+        while t < 2 * cores {
+            thread_counts.push(t);
+            t *= 2;
+        }
+        thread_counts.push(2 * cores);
+        SweepConfig {
+            thread_counts,
+            managers: ManagerKind::FIGURE_SET.to_vec(),
+            mixes: OpMix::standard_matrix(),
+            base: WorkloadConfig {
+                duration: Duration::from_millis(150),
+                ..WorkloadConfig::default()
+            },
+        }
+    }
+
+    /// A seconds-long sanity pass over the full (structure × mix × manager)
+    /// matrix, small enough to run in CI on every push.
+    pub fn smoke() -> Self {
+        SweepConfig {
+            thread_counts: vec![1, 2],
+            managers: vec![
+                ManagerKind::Greedy,
+                ManagerKind::Karma,
+                ManagerKind::Timestamp,
+                ManagerKind::Polka,
+            ],
+            mixes: OpMix::standard_matrix(),
+            base: WorkloadConfig {
+                key_range: 64,
+                duration: Duration::from_millis(20),
                 ..WorkloadConfig::default()
             },
         }
@@ -179,46 +402,65 @@ fn local_work(iterations: u64, seed: u64) -> u64 {
     acc
 }
 
-fn one_op(
-    tx: &mut Txn<'_>,
-    built: &Built,
-    rng_key: i64,
-    insert: bool,
+/// One drawn operation: category, key, the forest's scope roll, and the seed
+/// for the uncontended local-work tail.
+#[derive(Debug, Clone, Copy)]
+struct OpDraw {
+    op: OpKind,
+    key: i64,
     scope_roll: f64,
-    work: u64,
-    seed: u64,
-) -> TxResult<u64> {
-    match built {
-        Built::Set(set) => {
-            if insert {
-                set.insert(tx, rng_key)?;
-            } else {
-                set.remove(tx, rng_key)?;
-            }
-        }
+    work_seed: u64,
+}
+
+fn draw_op(rng: &mut SmallRng, cfg: &WorkloadConfig) -> OpDraw {
+    OpDraw {
+        key: rng.gen_range(0..cfg.key_range),
+        op: cfg.mix.pick(rng.gen()),
+        scope_roll: rng.gen(),
+        work_seed: rng.gen(),
+    }
+}
+
+fn one_op(tx: &mut Txn<'_>, built: &Built, draw: &OpDraw, cfg: &WorkloadConfig) -> TxResult<u64> {
+    let hi = draw.key + cfg.range_span;
+    let observed = match built {
+        Built::Set(set) => match draw.op {
+            OpKind::Insert => u64::from(set.insert(tx, draw.key)?),
+            OpKind::Remove => u64::from(set.remove(tx, draw.key)?),
+            OpKind::Lookup => u64::from(set.contains(tx, draw.key)?),
+            OpKind::Range => set.range(tx, draw.key, hi)?.len() as u64,
+        },
         Built::Forest {
             forest,
             all_probability,
         } => {
-            let scope = if scope_roll < *all_probability {
-                UpdateScope::All
-            } else {
-                let tree = (rng_key.unsigned_abs() as usize) % forest.num_trees();
-                UpdateScope::One(tree)
-            };
-            if insert {
-                forest.insert(tx, scope, rng_key)?;
-            } else {
-                forest.remove(tx, scope, rng_key)?;
+            let tree = (draw.key.unsigned_abs() as usize) % forest.num_trees();
+            match draw.op {
+                OpKind::Insert | OpKind::Remove => {
+                    let scope = if draw.scope_roll < *all_probability {
+                        UpdateScope::All
+                    } else {
+                        UpdateScope::One(tree)
+                    };
+                    if draw.op == OpKind::Insert {
+                        forest.insert(tx, scope, draw.key)? as u64
+                    } else {
+                        forest.remove(tx, scope, draw.key)? as u64
+                    }
+                }
+                OpKind::Lookup => u64::from(forest.contains_in(tx, tree, draw.key)?),
+                OpKind::Range => forest.range_in(tx, tree, draw.key, hi)?.len() as u64,
             }
         }
-    }
-    Ok(local_work(work, seed))
+    };
+    // Fold the observation into the local-work accumulator so the optimizer
+    // cannot discard read-only operations.
+    Ok(local_work(cfg.local_work, draw.work_seed).wrapping_add(observed))
 }
 
-/// Runs the throughput workload: `cfg.threads` threads continuously insert
-/// and remove random keys for `cfg.duration`, under the contention manager
-/// `manager`.
+/// Runs the throughput workload: `cfg.threads` threads continuously draw
+/// operations (insert, remove, lookup or range, weighted by `cfg.mix`) over
+/// random keys for `cfg.duration`, under the contention manager `manager`.
 pub fn run_workload(
     manager: ManagerKind,
     structure: &StructureKind,
@@ -248,13 +490,8 @@ pub fn run_workload(
                 let mut commits = 0u64;
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
-                    let key = rng.gen_range(0..cfg.key_range);
-                    let insert = rng.gen_bool(0.5);
-                    let scope_roll: f64 = rng.gen();
-                    let work_seed: u64 = rng.gen();
-                    let outcome = ctx.atomically(|tx| {
-                        one_op(tx, &built, key, insert, scope_roll, cfg.local_work, work_seed)
-                    });
+                    let draw = draw_op(&mut rng, &cfg);
+                    let outcome = ctx.atomically(|tx| one_op(tx, &built, &draw, &cfg));
                     if outcome.is_ok() {
                         commits += 1;
                     }
@@ -277,6 +514,7 @@ pub fn run_workload(
     WorkloadResult {
         manager: manager.name().to_string(),
         structure: structure.name().to_string(),
+        mix: cfg.mix.label(),
         threads: cfg.threads,
         commits: commits_total,
         aborts: snapshot.aborts,
@@ -313,13 +551,8 @@ pub fn run_fixed_ops(
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x517c));
                 barrier.wait();
                 for _ in 0..ops_per_thread {
-                    let key = rng.gen_range(0..cfg.key_range);
-                    let insert = rng.gen_bool(0.5);
-                    let scope_roll: f64 = rng.gen();
-                    let work_seed: u64 = rng.gen();
-                    let _ = ctx.atomically(|tx| {
-                        one_op(tx, &built, key, insert, scope_roll, cfg.local_work, work_seed)
-                    });
+                    let draw = draw_op(&mut rng, &cfg);
+                    let _ = ctx.atomically(|tx| one_op(tx, &built, &draw, &cfg));
                 }
             });
         }
@@ -359,6 +592,7 @@ mod tests {
             duration: Duration::from_millis(40),
             local_work: 0,
             seed: 1,
+            ..WorkloadConfig::default()
         }
     }
 
@@ -438,7 +672,111 @@ mod tests {
         let sweep = SweepConfig::paper_defaults();
         assert_eq!(sweep.thread_counts.last(), Some(&32));
         assert_eq!(sweep.managers.len(), 5);
+        assert_eq!(sweep.mixes, vec![OpMix::update_only()]);
         let quick = SweepConfig::quick();
         assert!(quick.thread_counts.len() < sweep.thread_counts.len());
+    }
+
+    #[test]
+    fn op_mix_pick_respects_the_weights() {
+        let update = OpMix::update_only();
+        assert_eq!(update.pick(0.0), OpKind::Insert);
+        assert_eq!(update.pick(0.49), OpKind::Insert);
+        assert_eq!(update.pick(0.51), OpKind::Remove);
+        assert_eq!(update.pick(1.0), OpKind::Remove);
+
+        let reads = OpMix::read_mostly();
+        assert_eq!(reads.pick(0.02), OpKind::Insert);
+        assert_eq!(reads.pick(0.07), OpKind::Remove);
+        assert_eq!(reads.pick(0.5), OpKind::Lookup);
+        assert_eq!(reads.pick(1.0), OpKind::Lookup);
+
+        let ranges = OpMix::range_heavy();
+        assert_eq!(ranges.pick(0.8), OpKind::Range);
+        assert_eq!(ranges.pick(1.0), OpKind::Range);
+
+        // Unnormalized weights behave like their normalized counterparts.
+        let lopsided = OpMix {
+            insert: 2.0,
+            remove: 0.0,
+            lookup: 6.0,
+            range: 0.0,
+        };
+        assert_eq!(lopsided.pick(0.2), OpKind::Insert);
+        assert_eq!(lopsided.pick(0.3), OpKind::Lookup);
+    }
+
+    #[test]
+    fn op_mix_labels_and_read_fraction() {
+        assert_eq!(OpMix::update_only().label(), "update-only");
+        assert_eq!(OpMix::read_mostly().label(), "read-mostly-90");
+        assert_eq!(OpMix::range_heavy().label(), "range-heavy");
+        assert_eq!(OpMix::standard_matrix().len(), 3);
+        let half = OpMix::with_read_fraction(0.5);
+        assert_eq!(half.label(), "i25-r25-l50-g00");
+        assert_eq!(OpMix::with_read_fraction(0.0), OpMix::update_only());
+        assert_eq!(OpMix::default(), OpMix::update_only());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive total weight")]
+    fn zero_weight_mix_is_rejected() {
+        let mix = OpMix {
+            insert: 0.0,
+            remove: 0.0,
+            lookup: 0.0,
+            range: 0.0,
+        };
+        let _ = mix.pick(0.5);
+    }
+
+    #[test]
+    fn read_mostly_and_range_mixes_produce_commits_on_every_structure() {
+        for mix in [OpMix::read_mostly(), OpMix::range_heavy()] {
+            for structure in [
+                StructureKind::List,
+                StructureKind::SkipList,
+                StructureKind::RbTree,
+                StructureKind::Forest {
+                    trees: 5,
+                    all_probability: 0.2,
+                },
+            ] {
+                let cfg = WorkloadConfig {
+                    mix,
+                    range_span: 8,
+                    ..tiny_cfg(2)
+                };
+                let result = run_workload(ManagerKind::Greedy, &structure, &cfg);
+                assert!(
+                    result.commits > 0,
+                    "no commits for {} under {}",
+                    structure.name(),
+                    mix.label()
+                );
+                assert_eq!(result.mix, mix.label());
+            }
+        }
+    }
+
+    #[test]
+    fn machine_and_smoke_sweeps_are_well_formed() {
+        let machine = SweepConfig::machine();
+        assert!(!machine.thread_counts.is_empty());
+        assert!(machine
+            .thread_counts
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        assert_eq!(machine.thread_counts.last(), Some(&(2 * cores)));
+        assert_eq!(machine.mixes.len(), 3);
+        assert!(machine.managers.len() >= 4);
+
+        let smoke = SweepConfig::smoke();
+        assert_eq!(smoke.mixes.len(), 3);
+        assert!(smoke.managers.len() >= 4);
+        assert!(smoke.base.duration <= Duration::from_millis(50));
     }
 }

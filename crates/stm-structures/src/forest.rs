@@ -109,6 +109,16 @@ impl TxRbForest {
         self.trees[index].contains(tx, key)
     }
 
+    /// The keys in `lo..=hi` of the tree with index `index`, in ascending
+    /// order (see [`TxSet::range`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn range_in(&self, tx: &mut Txn<'_>, index: usize, lo: i64, hi: i64) -> TxResult<Vec<i64>> {
+        self.trees[index].range(tx, lo, hi)
+    }
+
     /// Total number of elements across all trees.
     pub fn total_len(&self, tx: &mut Txn<'_>) -> TxResult<usize> {
         let mut total = 0;
@@ -154,6 +164,14 @@ mod tests {
             .atomically(|tx| forest.contains_in(tx, 0, 7))
             .unwrap());
         assert_eq!(ctx.atomically(|tx| forest.total_len(tx)).unwrap(), 1);
+        assert_eq!(
+            ctx.atomically(|tx| forest.range_in(tx, 2, 0, 10)).unwrap(),
+            vec![7]
+        );
+        assert_eq!(
+            ctx.atomically(|tx| forest.range_in(tx, 0, 0, 10)).unwrap(),
+            Vec::<i64>::new()
+        );
     }
 
     #[test]

@@ -69,6 +69,24 @@ impl TxList {
             pred = curr;
         }
     }
+
+    /// Materializes the whole list inside the caller's transaction.
+    ///
+    /// A snapshot is a single pass whose read set covers every node — the
+    /// longest invisible-read chain any benchmark structure produces — so it
+    /// is the list's entry in the range-query workloads: any concurrent
+    /// update to any node conflicts with it.
+    pub fn snapshot(&self, tx: &mut Txn<'_>) -> TxResult<Vec<i64>> {
+        let mut out = Vec::new();
+        let mut node = tx.read(&self.head)?;
+        while let Some(next_var) = node.next.clone() {
+            node = tx.read(&next_var)?;
+            if node.key != i64::MAX {
+                out.push(node.key);
+            }
+        }
+        Ok(out)
+    }
 }
 
 impl TxSet for TxList {
@@ -116,11 +134,21 @@ impl TxSet for TxList {
     }
 
     fn to_vec(&self, tx: &mut Txn<'_>) -> TxResult<Vec<i64>> {
+        self.snapshot(tx)
+    }
+
+    /// Walks from the head and stops at the first key past `hi`, so the read
+    /// set covers only the prefix up to the end of the interval (the list
+    /// cannot skip the prefix below `lo`).
+    fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<i64>> {
         let mut out = Vec::new();
         let mut node = tx.read(&self.head)?;
         while let Some(next_var) = node.next.clone() {
             node = tx.read(&next_var)?;
-            if node.key != i64::MAX {
+            if node.key == i64::MAX || node.key > hi {
+                break;
+            }
+            if node.key >= lo {
                 out.push(node.key);
             }
         }
@@ -192,6 +220,40 @@ mod tests {
             }
             let contents = ctx.atomically(|tx| list.to_vec(tx)).unwrap();
             assert_eq!(contents, model.iter().copied().collect::<Vec<_>>());
+        });
+    }
+
+    #[test]
+    fn snapshot_and_range_agree_with_to_vec() {
+        with_list(|stm, list| {
+            let mut ctx = stm.thread();
+            for key in [4, 1, 9, 6, 2] {
+                ctx.atomically(|tx| list.insert(tx, key)).unwrap();
+            }
+            assert_eq!(
+                ctx.atomically(|tx| list.snapshot(tx)).unwrap(),
+                vec![1, 2, 4, 6, 9]
+            );
+            assert_eq!(
+                ctx.atomically(|tx| list.range(tx, 2, 6)).unwrap(),
+                vec![2, 4, 6]
+            );
+            assert_eq!(
+                ctx.atomically(|tx| list.range(tx, 5, 5)).unwrap(),
+                Vec::<i64>::new()
+            );
+            assert_eq!(
+                ctx.atomically(|tx| list.range(tx, -100, 100)).unwrap(),
+                vec![1, 2, 4, 6, 9]
+            );
+            // A range sees writes of its own transaction.
+            let in_tx = ctx
+                .atomically(|tx| {
+                    list.insert(tx, 3)?;
+                    list.range(tx, 1, 4)
+                })
+                .unwrap();
+            assert_eq!(in_tx, vec![1, 2, 3, 4]);
         });
     }
 

@@ -340,6 +340,32 @@ impl TxRbTree {
         self.blacken_root(tx)
     }
 
+    /// In-order walk pruned to `lo..=hi`: subtrees that cannot intersect the
+    /// interval are never read, so the transaction's read set is the two
+    /// boundary search paths plus the nodes inside the interval.
+    fn range_walk(
+        tx: &mut Txn<'_>,
+        link: &Link,
+        lo: i64,
+        hi: i64,
+        out: &mut Vec<i64>,
+    ) -> TxResult<()> {
+        let Some(var) = link else {
+            return Ok(());
+        };
+        let node = tx.read(var)?;
+        if node.key > lo {
+            Self::range_walk(tx, &node.left, lo, hi, out)?;
+        }
+        if (lo..=hi).contains(&node.key) {
+            out.push(node.key);
+        }
+        if node.key < hi {
+            Self::range_walk(tx, &node.right, lo, hi, out)?;
+        }
+        Ok(())
+    }
+
     /// Validates the red-black invariants (binary-search-tree order, no
     /// red node with a red child, equal black heights) and returns the
     /// number of nodes. Intended for tests and debugging.
@@ -491,6 +517,15 @@ impl TxSet for TxRbTree {
         Ok(out)
     }
 
+    fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<i64>> {
+        let mut out = Vec::new();
+        if lo <= hi {
+            let root = tx.read(&self.root)?;
+            Self::range_walk(tx, &root, lo, hi, &mut out)?;
+        }
+        Ok(out)
+    }
+
     fn structure_name(&self) -> &'static str {
         "rbtree"
     }
@@ -614,6 +649,41 @@ mod tests {
             model.iter().copied().collect::<Vec<_>>()
         );
         ctx.atomically(|tx| tree.check_invariants(tx)).unwrap();
+    }
+
+    #[test]
+    fn range_matches_a_model_over_random_intervals() {
+        let stm = new_stm();
+        let tree = TxRbTree::new();
+        let mut ctx = stm.thread();
+        let mut model = BTreeSet::new();
+        let mut seed = 0x7a3e_11d5_90cc_4b01u64;
+        for _ in 0..500 {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = ((seed >> 33) % 128) as i64;
+            if (seed >> 11) & 1 == 0 {
+                model.insert(key);
+                ctx.atomically(|tx| tree.insert(tx, key)).unwrap();
+            } else {
+                model.remove(&key);
+                ctx.atomically(|tx| tree.remove(tx, key)).unwrap();
+            }
+            let a = ((seed >> 5) % 128) as i64;
+            let b = ((seed >> 21) % 128) as i64;
+            let (lo, hi) = (a.min(b), a.max(b));
+            let got = ctx.atomically(|tx| tree.range(tx, lo, hi)).unwrap();
+            let want: Vec<i64> = model.range(lo..=hi).copied().collect();
+            assert_eq!(got, want, "range({lo}, {hi}) diverged");
+        }
+        // Inverted and empty intervals.
+        assert_eq!(
+            ctx.atomically(|tx| tree.range(tx, 10, 5)).unwrap(),
+            Vec::<i64>::new()
+        );
+        assert_eq!(
+            ctx.atomically(|tx| tree.range(tx, 1000, 2000)).unwrap(),
+            Vec::<i64>::new()
+        );
     }
 
     #[test]

@@ -30,6 +30,23 @@ pub trait TxSet: Send + Sync {
     /// The set's elements in ascending order.
     fn to_vec(&self, tx: &mut Txn<'_>) -> TxResult<Vec<i64>>;
 
+    /// The set's elements in `lo..=hi`, in ascending order.
+    ///
+    /// Range queries run entirely inside the caller's transaction, so the
+    /// whole interval is observed as one consistent snapshot; on structures
+    /// with invisible reads the accumulated read set is what the paper's
+    /// read-dominated workloads stress. The default implementation
+    /// materializes the full set via [`TxSet::to_vec`] and filters;
+    /// implementations override it with a bounded walk that reads only the
+    /// search path to `lo` plus the interval itself.
+    fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<i64>> {
+        Ok(self
+            .to_vec(tx)?
+            .into_iter()
+            .filter(|key| (lo..=hi).contains(key))
+            .collect())
+    }
+
     /// A short name for reports ("list", "skiplist", "rbtree", ...).
     fn structure_name(&self) -> &'static str;
 }

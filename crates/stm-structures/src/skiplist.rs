@@ -171,6 +171,50 @@ impl TxSet for TxSkipList {
         Ok(self.to_vec(tx)?.len())
     }
 
+    /// Uses the forward pointers to skip the prefix below `lo`, then walks
+    /// level 0 until the first key past `hi`: the transaction's read set is
+    /// the `O(log n)` descent plus exactly the interval — the long
+    /// invisible-read pattern the range workloads stress.
+    fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<i64>> {
+        // Unlike `locate`, sentinel-valued bounds are fine here: the descent
+        // never advances past a key >= lo, and the tail check below fires
+        // before the `> hi` comparison.
+        if lo > hi {
+            return Ok(Vec::new());
+        }
+        // Descend to the level-0 predecessor of `lo` (same walk as `locate`,
+        // without recording the per-level predecessors).
+        let mut current = tx.read(&self.head)?;
+        for level in (0..MAX_LEVEL).rev() {
+            loop {
+                let next_var = current.forward[level]
+                    .clone()
+                    .expect("interior levels always point at the tail sentinel");
+                let next = tx.read(&next_var)?;
+                if next.key < lo {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut out = Vec::new();
+        let mut node_var = current.forward[0]
+            .clone()
+            .expect("level-0 predecessor always has a successor");
+        loop {
+            let node = tx.read(&node_var)?;
+            if node.key == i64::MAX || node.key > hi {
+                break;
+            }
+            out.push(node.key);
+            node_var = node.forward[0]
+                .clone()
+                .expect("interior nodes always have a level-0 successor");
+        }
+        Ok(out)
+    }
+
     fn to_vec(&self, tx: &mut Txn<'_>) -> TxResult<Vec<i64>> {
         let mut out = Vec::new();
         let mut node = tx.read(&self.head)?;
@@ -266,6 +310,45 @@ mod tests {
         }
         let contents = ctx.atomically(|tx| set.to_vec(tx)).unwrap();
         assert_eq!(contents, model.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_returns_the_requested_interval() {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let set = TxSkipList::new();
+        let mut ctx = stm.thread();
+        for key in (0..64i64).step_by(3) {
+            ctx.atomically(|tx| set.insert(tx, key)).unwrap();
+        }
+        assert_eq!(
+            ctx.atomically(|tx| set.range(tx, 10, 25)).unwrap(),
+            vec![12, 15, 18, 21, 24]
+        );
+        assert_eq!(
+            ctx.atomically(|tx| set.range(tx, 0, 0)).unwrap(),
+            vec![0]
+        );
+        assert_eq!(
+            ctx.atomically(|tx| set.range(tx, 64, 100)).unwrap(),
+            Vec::<i64>::new()
+        );
+        assert_eq!(
+            ctx.atomically(|tx| set.range(tx, 25, 10)).unwrap(),
+            Vec::<i64>::new()
+        );
+        // Sentinel-valued bounds are a full-set scan, not a panic.
+        assert_eq!(
+            ctx.atomically(|tx| set.range(tx, i64::MIN, i64::MAX)).unwrap(),
+            ctx.atomically(|tx| set.to_vec(tx)).unwrap()
+        );
+        // A range sees writes of its own transaction.
+        let in_tx = ctx
+            .atomically(|tx| {
+                set.insert(tx, 13)?;
+                set.range(tx, 12, 15)
+            })
+            .unwrap();
+        assert_eq!(in_tx, vec![12, 13, 15]);
     }
 
     #[test]

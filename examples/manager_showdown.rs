@@ -37,6 +37,7 @@ fn main() {
         duration: Duration::from_millis(400),
         local_work: 0,
         seed: 0x5140,
+        ..WorkloadConfig::default()
     };
     println!(
         "structure = {}, threads = {}, keys = {}, duration = {:?}, 100% updates\n",

@@ -64,9 +64,14 @@
 //! * `cargo run --release -p stm-bench --bin figures -- all` regenerates the
 //!   throughput figures (Figures 1–4), the adversarial-chain and Theorem 9
 //!   experiments, and the starvation check.
+//! * `cargo run --release -p stm-bench --bin figures -- --sweep machine`
+//!   runs the workload matrix — update-only, read-mostly and range-heavy
+//!   `OpMix` mixes over every structure and figure-set manager, with the
+//!   thread axis sized to the host — emitting one JSON record per cell.
 //! * `cargo bench --workspace` runs the Criterion benches (one per figure
 //!   plus the theory and substrate micro-benches).
-//! * `EXPERIMENTS.md` records paper-versus-measured outcomes.
+//! * `EXPERIMENTS.md` at the repository root records paper-versus-measured
+//!   outcomes, including the workload matrix's shapes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

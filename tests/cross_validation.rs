@@ -1,0 +1,219 @@
+//! Theory-vs-implementation cross-validation.
+//!
+//! `stm_sched::simulate` and the real `stm-core` runtime implement the same
+//! contention-management protocol at two fidelities: the simulator takes the
+//! paper's abstract model literally (discrete ticks, all transactions start
+//! at time 0), while the runtime arbitrates real threads over real `TVar`s.
+//! These tests run the same instances — the Section 4 adversarial chain and
+//! seeded random transaction systems — through *both* and assert that the
+//! shapes agree, catching drift between the theory crates and the runtime:
+//!
+//! * Simulator side (deterministic): greedy needs `s + 1` time units on the
+//!   chain while the optimal list schedule needs `2`, the ratio grows with
+//!   `s` and stays under Theorem 9's `s(s+1) + 2` bound, and the
+//!   pending-commit property holds.
+//! * Runtime side: the same instance, executed by real threads that replay
+//!   each transaction's access pattern on a tick grid, commits every
+//!   transaction (Theorem 1's bounded commit delay), is serializable (each
+//!   object's final value equals its total write count), and finishes within
+//!   the theorem's makespan envelope.
+
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use greedy_stm::prelude::*;
+use greedy_stm::sched::{
+    chain, optimal_list_schedule, random_transaction_system, simulate, RandomSystemConfig,
+    SimConfig, SimTransaction, TaskSystem,
+};
+
+/// Wall-clock length of one simulator tick when an instance is replayed on
+/// the real runtime. Coarse enough that thread scheduling noise stays well
+/// below a tick, fine enough that the tests finish quickly.
+const TICK: Duration = Duration::from_millis(2);
+
+struct RuntimeOutcome {
+    /// Wall-clock time from the start barrier to the last commit.
+    wall: Duration,
+    /// Final value of each object's `TVar` (each write increments by one).
+    object_values: Vec<i64>,
+    /// Total aborts observed by the runtime's statistics.
+    aborts: u64,
+}
+
+/// Replays a simulated transaction system on the real STM under the greedy
+/// manager: one thread per transaction, each performing its accesses (writes
+/// increment the object's `TVar`, reads just read it) at their tick offsets,
+/// then holding the transaction open until its full duration has elapsed.
+/// Aborted attempts restart from scratch, re-spinning their offsets — the
+/// same restart semantics the simulator models.
+fn run_on_runtime(txns: &[SimTransaction], objects: usize) -> RuntimeOutcome {
+    let stm = Arc::new(Stm::builder().manager(GreedyManager::factory()).build());
+    let vars: Vec<TVar<i64>> = (0..objects).map(|_| TVar::new(0)).collect();
+    let barrier = Arc::new(Barrier::new(txns.len() + 1));
+    let mut started = Instant::now();
+    thread::scope(|scope| {
+        for txn in txns {
+            let stm = Arc::clone(&stm);
+            let vars = vars.clone();
+            let barrier = Arc::clone(&barrier);
+            scope.spawn(move || {
+                let mut ctx = stm.thread();
+                barrier.wait();
+                ctx.atomically(|tx| {
+                    let begin = Instant::now();
+                    for access in &txn.accesses {
+                        let due = TICK * access.offset as u32;
+                        while begin.elapsed() < due {
+                            thread::yield_now();
+                        }
+                        if access.write {
+                            tx.modify(&vars[access.object], |v| v + 1)?;
+                        } else {
+                            let _ = tx.read(&vars[access.object])?;
+                        }
+                    }
+                    let full = TICK * txn.duration as u32;
+                    while begin.elapsed() < full {
+                        thread::yield_now();
+                    }
+                    Ok(())
+                })
+                .expect("every transaction must eventually commit under greedy");
+            });
+        }
+        // Release the workers and start the clock; the scope's implicit join
+        // (when this closure returns) waits for the last commit.
+        barrier.wait();
+        started = Instant::now();
+    });
+    RuntimeOutcome {
+        wall: started.elapsed(),
+        object_values: vars.iter().map(|v| stm.read_atomic(v)).collect(),
+        aborts: stm.stats().snapshot().aborts,
+    }
+}
+
+/// Expected final value of every object: the number of write accesses it
+/// receives across the whole system (each transaction commits exactly once).
+fn expected_write_counts(txns: &[SimTransaction], objects: usize) -> Vec<i64> {
+    let mut counts = vec![0i64; objects];
+    for txn in txns {
+        for access in &txn.accesses {
+            if access.write {
+                counts[access.object] += 1;
+            }
+        }
+    }
+    counts
+}
+
+#[test]
+fn chain_shapes_agree_between_simulator_and_runtime() {
+    let ticks_per_unit = 10u64;
+    let mut previous_makespan = 0.0f64;
+    let mut total_runtime_aborts = 0u64;
+    for s in [2usize, 3, 4] {
+        let instance = chain(s, ticks_per_unit);
+
+        // Simulator: greedy needs s + 1 units, the optimal schedule 2.
+        let outcome = simulate(
+            &instance.transactions,
+            GreedyManager::factory(),
+            SimConfig::default(),
+        );
+        let sim_makespan = outcome.makespan_units(ticks_per_unit as f64);
+        assert!(
+            (sim_makespan - instance.expected_greedy_makespan()).abs() < 0.2,
+            "s = {s}: simulated greedy makespan {sim_makespan}, expected {}",
+            instance.expected_greedy_makespan()
+        );
+        assert!(outcome.pending_commit_held, "s = {s}: pending commit violated");
+        assert!(
+            sim_makespan > previous_makespan,
+            "s = {s}: the chain's makespan must grow with s"
+        );
+        previous_makespan = sim_makespan;
+
+        let tasks = TaskSystem::from_transactions(&instance.transactions);
+        let optimal_units = optimal_list_schedule(&tasks).makespan / ticks_per_unit as f64;
+        assert!(
+            (optimal_units - instance.expected_optimal_makespan()).abs() < 1e-9,
+            "s = {s}: optimal list schedule is {optimal_units}, expected 2"
+        );
+
+        // Runtime: same instance on real threads. Every transaction commits,
+        // the execution is serializable (each of the s objects is written by
+        // exactly two transactions), and the wall-clock makespan stays inside
+        // Theorem 9's envelope around the optimal schedule.
+        let runtime = run_on_runtime(&instance.transactions, s);
+        assert_eq!(
+            runtime.object_values,
+            expected_write_counts(&instance.transactions, s),
+            "s = {s}: runtime execution lost or duplicated writes"
+        );
+        total_runtime_aborts += runtime.aborts;
+        let bound = greedy_stm::sched::theorem9_bound(s);
+        let envelope = TICK * (ticks_per_unit as u32) * ((bound * optimal_units) as u32 + 5);
+        assert!(
+            runtime.wall <= envelope,
+            "s = {s}: runtime makespan {:?} exceeds the Theorem 9 envelope {:?}",
+            runtime.wall,
+            envelope
+        );
+    }
+    // The chain is built to make greedy abort victims; replayed with real
+    // overlap (start barrier + multi-tick durations), at least one of the
+    // three instances must have produced an abort.
+    assert!(
+        total_runtime_aborts > 0,
+        "the adversarial chain never caused a single runtime abort"
+    );
+}
+
+#[test]
+fn random_instances_agree_between_simulator_and_runtime() {
+    let config = RandomSystemConfig {
+        transactions: 6,
+        objects: 3,
+        min_duration: 4,
+        max_duration: 12,
+        accesses_per_transaction: 2,
+        write_fraction: 1.0,
+    };
+    let bound = greedy_stm::sched::theorem9_bound(config.objects);
+    for seed in 0..6u64 {
+        let txns = random_transaction_system(&config, 0xc0de_0000 + seed);
+
+        // Simulator side: greedy finishes, within the Theorem 9 bound.
+        let outcome = simulate(&txns, GreedyManager::factory(), SimConfig::default());
+        let sim_ticks = outcome
+            .makespan_ticks
+            .expect("greedy always finishes the random instances") as f64;
+        let tasks = TaskSystem::from_transactions(&txns);
+        let optimal_ticks = optimal_list_schedule(&tasks).makespan;
+        assert!(
+            sim_ticks <= bound * optimal_ticks + 1e-6,
+            "seed {seed}: simulated makespan {sim_ticks} exceeds bound × optimal"
+        );
+        assert!(outcome.pending_commit_held, "seed {seed}: pending commit violated");
+
+        // Runtime side: serializable, every transaction commits, and the
+        // wall-clock stays within the same envelope (scaled to wall ticks,
+        // with slack for thread scheduling).
+        let runtime = run_on_runtime(&txns, config.objects);
+        assert_eq!(
+            runtime.object_values,
+            expected_write_counts(&txns, config.objects),
+            "seed {seed}: runtime execution lost or duplicated writes"
+        );
+        let envelope = TICK * ((bound * optimal_ticks) as u32 + 50);
+        assert!(
+            runtime.wall <= envelope,
+            "seed {seed}: runtime makespan {:?} exceeds envelope {:?}",
+            runtime.wall,
+            envelope
+        );
+    }
+}

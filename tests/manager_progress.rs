@@ -19,6 +19,7 @@ fn all_managers_complete_a_contended_list_workload() {
             duration: Duration::from_millis(60),
             local_work: 0,
             seed: 0xc0ffee,
+            ..WorkloadConfig::default()
         };
         let result = run_workload(kind, &StructureKind::List, &cfg);
         assert!(
@@ -37,6 +38,7 @@ fn all_managers_complete_a_contended_rbtree_workload() {
             duration: Duration::from_millis(50),
             local_work: 0,
             seed: 0xabcd,
+            ..WorkloadConfig::default()
         };
         let result = run_workload(kind, &StructureKind::RbTree, &cfg);
         assert!(

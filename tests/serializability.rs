@@ -297,3 +297,85 @@ fn random_transfers_conserve_total_for_literature_managers() {
         }
     }
 }
+
+/// Read-mostly extension of the conservation check: 90% of each thread's
+/// transactions are pure lookups that sum every account *inside* the
+/// transaction and assert the invariant on the spot — a lookup that
+/// interleaves with a half-committed transfer would observe a torn balance
+/// immediately. The remaining 10% are the usual random transfers.
+#[test]
+fn read_mostly_lookups_never_observe_a_torn_balance() {
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    const ACCOUNTS: usize = 12;
+    const INITIAL: i64 = 1_000;
+    const OPS_PER_THREAD: usize = 400;
+    const THREADS: usize = 4;
+
+    for kind in [
+        ManagerKind::Greedy,
+        ManagerKind::Karma,
+        ManagerKind::Polka,
+        ManagerKind::Timestamp,
+    ] {
+        for visibility in [ReadVisibility::Visible, ReadVisibility::Invisible] {
+            let stm = Arc::new(stm_with(kind, visibility));
+            let accounts: Vec<TVar<i64>> = (0..ACCOUNTS).map(|_| TVar::new(INITIAL)).collect();
+            let expected = (ACCOUNTS as i64) * INITIAL;
+
+            thread::scope(|scope| {
+                for t in 0..THREADS {
+                    let stm = Arc::clone(&stm);
+                    let accounts = accounts.clone();
+                    scope.spawn(move || {
+                        let mut rng = SmallRng::seed_from_u64(0x4ead_0000 + t as u64);
+                        let mut ctx = stm.thread();
+                        let mut lookups = 0usize;
+                        for _ in 0..OPS_PER_THREAD {
+                            if rng.gen_bool(0.9) {
+                                // Lookup: a long read-only transaction over
+                                // every account (invisible to writers in
+                                // Invisible mode); the sum must be exact at
+                                // the instant the transaction (logically)
+                                // executes.
+                                let observed: i64 = ctx
+                                    .atomically(|tx| {
+                                        let mut sum = 0;
+                                        for account in &accounts {
+                                            sum += tx.read(account)?;
+                                        }
+                                        Ok(sum)
+                                    })
+                                    .unwrap();
+                                assert_eq!(
+                                    observed, expected,
+                                    "manager {kind} ({visibility:?}): lookup observed a torn balance"
+                                );
+                                lookups += 1;
+                            } else {
+                                let from = rng.gen_range(0..ACCOUNTS);
+                                let to = rng.gen_range(0..ACCOUNTS);
+                                let amount = rng.gen_range(1i64..=50);
+                                ctx.atomically(|tx| {
+                                    tx.modify(&accounts[from], |b| b - amount)?;
+                                    tx.modify(&accounts[to], |b| b + amount)?;
+                                    Ok(())
+                                })
+                                .unwrap();
+                            }
+                        }
+                        // The 90/10 split must actually be read-dominated.
+                        assert!(lookups > OPS_PER_THREAD / 2);
+                    });
+                }
+            });
+
+            let total: i64 = accounts.iter().map(|a| stm.read_atomic(a)).sum();
+            assert_eq!(
+                total, expected,
+                "manager {kind} ({visibility:?}): total drifted in the read-mostly mix"
+            );
+        }
+    }
+}

@@ -120,6 +120,190 @@ fn rbtree_invariants_hold_throughout() {
     }
 }
 
+/// Seeded property test for `TxSet::range` / `TxList::snapshot`: under a
+/// stream of interleaved insert/remove transactions, every range query must
+/// return exactly the model `BTreeSet`'s interval — sorted and
+/// duplicate-free by construction of the model comparison, and asserted
+/// explicitly as well.
+fn check_range_against_model<S: TxSet>(make: impl Fn() -> S, seed: u64, key_range: i64) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for _case in 0..16 {
+        let stm = Stm::builder().manager(GreedyManager::factory()).build();
+        let set = make();
+        let mut ctx = stm.thread();
+        let mut model = BTreeSet::new();
+        for _round in 0..24 {
+            // A batch of interleaved insert/remove transactions.
+            for _ in 0..10 {
+                let key = rng.gen_range(0..key_range);
+                if rng.gen_bool(0.5) {
+                    model.insert(key);
+                    ctx.atomically(|tx| set.insert(tx, key)).unwrap();
+                } else {
+                    model.remove(&key);
+                    ctx.atomically(|tx| set.remove(tx, key)).unwrap();
+                }
+            }
+            // A range query over a random interval (occasionally inverted).
+            let a = rng.gen_range(0..key_range);
+            let b = rng.gen_range(0..key_range);
+            let (lo, hi) = if rng.gen_bool(0.9) {
+                (a.min(b), a.max(b))
+            } else {
+                (a.max(b), a.min(b)) // inverted: must come back empty
+            };
+            let got = ctx.atomically(|tx| set.range(tx, lo, hi)).unwrap();
+            let want: Vec<i64> = model.range(lo.min(hi)..=hi.max(lo)).copied().collect();
+            if lo <= hi {
+                assert_eq!(got, want, "range({lo}, {hi}) diverged from the model");
+            } else {
+                assert!(got.is_empty(), "inverted range({lo}, {hi}) must be empty");
+            }
+            assert!(
+                got.windows(2).all(|w| w[0] < w[1]),
+                "range({lo}, {hi}) not sorted / contains duplicates: {got:?}"
+            );
+            // A mutation and a range inside one transaction observe each
+            // other (ranges see the transaction's own writes).
+            let probe = rng.gen_range(0..key_range);
+            let model_after = {
+                let mut m = model.clone();
+                m.insert(probe);
+                m.range(0..=key_range).copied().collect::<Vec<_>>()
+            };
+            let got_in_tx = ctx
+                .atomically(|tx| {
+                    set.insert(tx, probe)?;
+                    set.range(tx, 0, key_range)
+                })
+                .unwrap();
+            assert_eq!(got_in_tx, model_after, "in-transaction range missed its own insert");
+            model.insert(probe);
+        }
+    }
+}
+
+#[test]
+fn skiplist_range_matches_btreeset() {
+    check_range_against_model(TxSkipList::new, 0x3a9e_0001, 96);
+}
+
+#[test]
+fn rbtree_range_matches_btreeset() {
+    check_range_against_model(TxRbTree::new, 0x3a9e_0002, 96);
+}
+
+#[test]
+fn list_range_and_snapshot_match_btreeset() {
+    check_range_against_model(TxList::new, 0x3a9e_0003, 48);
+    // `snapshot` is the list's full-structure read; it must equal `to_vec`.
+    let stm = Stm::builder().manager(GreedyManager::factory()).build();
+    let list = TxList::new();
+    let mut ctx = stm.thread();
+    let mut rng = SmallRng::seed_from_u64(0x3a9e_0004);
+    for _ in 0..200 {
+        let key = rng.gen_range(0i64..64);
+        if rng.gen_bool(0.6) {
+            ctx.atomically(|tx| list.insert(tx, key)).unwrap();
+        } else {
+            ctx.atomically(|tx| list.remove(tx, key)).unwrap();
+        }
+        let (snap, vec) = ctx
+            .atomically(|tx| Ok((list.snapshot(tx)?, list.to_vec(tx)?)))
+            .unwrap();
+        assert_eq!(snap, vec);
+    }
+}
+
+/// Concurrent snapshot consistency: writers insert and remove keys strictly
+/// in `(2k, 2k + 1)` pairs, each pair inside one transaction, while readers
+/// run range queries over the whole key space. Because pair updates are
+/// atomic, any range covering both keys must observe both or neither — a
+/// torn pair means the range walk read across a commit.
+fn check_concurrent_range_snapshots<S: TxSet + Clone + 'static>(set: S, seed: u64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::thread;
+
+    const PAIRS: i64 = 24;
+    let stm = Arc::new(Stm::builder().manager(GreedyManager::factory()).build());
+    let stop = Arc::new(AtomicBool::new(false));
+    thread::scope(|scope| {
+        for w in 0..2u64 {
+            let stm = Arc::clone(&stm);
+            let stop = Arc::clone(&stop);
+            let set = set.clone();
+            scope.spawn(move || {
+                let mut ctx = stm.thread();
+                let mut rng = SmallRng::seed_from_u64(seed ^ (w + 1));
+                while !stop.load(Ordering::Relaxed) {
+                    let pair = rng.gen_range(0..PAIRS);
+                    let (lo_key, hi_key) = (2 * pair, 2 * pair + 1);
+                    if rng.gen_bool(0.5) {
+                        ctx.atomically(|tx| {
+                            set.insert(tx, lo_key)?;
+                            set.insert(tx, hi_key)?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    } else {
+                        ctx.atomically(|tx| {
+                            set.remove(tx, lo_key)?;
+                            set.remove(tx, hi_key)?;
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                }
+            });
+        }
+        let stm_reader = Arc::clone(&stm);
+        let stop_reader = Arc::clone(&stop);
+        let set_reader = set.clone();
+        scope.spawn(move || {
+            // Release the writers even if an assertion below panics —
+            // otherwise they spin on `stop` forever and the failure becomes
+            // a hang instead of a test failure.
+            struct StopOnExit(Arc<AtomicBool>);
+            impl Drop for StopOnExit {
+                fn drop(&mut self) {
+                    self.0.store(true, Ordering::Relaxed);
+                }
+            }
+            let _guard = StopOnExit(Arc::clone(&stop_reader));
+            let mut ctx = stm_reader.thread();
+            for _ in 0..150 {
+                let snapshot = ctx
+                    .atomically(|tx| set_reader.range(tx, 0, 2 * PAIRS - 1))
+                    .unwrap();
+                assert!(
+                    snapshot.windows(2).all(|w| w[0] < w[1]),
+                    "range result not sorted / has duplicates: {snapshot:?}"
+                );
+                let present: BTreeSet<i64> = snapshot.iter().copied().collect();
+                for pair in 0..PAIRS {
+                    let lo_in = present.contains(&(2 * pair));
+                    let hi_in = present.contains(&(2 * pair + 1));
+                    assert_eq!(
+                        lo_in, hi_in,
+                        "torn pair {pair}: range observed a half-committed update"
+                    );
+                }
+            }
+        });
+    });
+}
+
+#[test]
+fn skiplist_concurrent_ranges_see_consistent_snapshots() {
+    check_concurrent_range_snapshots(TxSkipList::new(), 0x51ab_0001);
+}
+
+#[test]
+fn rbtree_concurrent_ranges_see_consistent_snapshots() {
+    check_concurrent_range_snapshots(TxRbTree::new(), 0x51ab_0002);
+}
+
 #[test]
 fn queue_behaves_like_vecdeque() {
     let mut rng = SmallRng::seed_from_u64(0x40e0e);
