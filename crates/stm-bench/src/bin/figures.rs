@@ -11,9 +11,12 @@
 //!
 //! Available experiments: `fig1` `fig2` `fig3` `fig4` (throughput sweeps),
 //! `matrix` (the workload matrix: structures × op mixes × managers ×
-//! threads), `chain` (the Section 4 adversarial chain), `bound` (Theorem 9
-//! ratio sweep), `starvation` (Theorem 1), `ablation-reads` (visible vs
-//! invisible reads), `all` (everything except `matrix`).
+//! threads), `readfrac` (throughput vs. read fraction 0..=1), `server`
+//! (over-the-wire `stm-kv` cells: one live server per manager, driven by
+//! the closed-loop network client), `chain` (the Section 4 adversarial
+//! chain), `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
+//! `ablation-reads` (visible vs invisible reads), `all` (everything except
+//! `matrix`, `readfrac` and `server`).
 //!
 //! Flags: `--sweep paper|quick|smoke|machine` selects the sweep size —
 //! `machine` sizes the thread axis to the host (1..=2× available
@@ -25,12 +28,15 @@
 use std::time::Duration;
 
 use stm_bench::{
-    bound_experiment, chain_experiment, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest,
-    matrix_structures, render_figure_table, render_matrix_table, render_rows, run_workload,
-    starvation_experiment, workload_matrix, OpMix, StructureKind, SweepConfig, WorkloadConfig,
+    bound_experiment, chain_experiment, default_read_fractions, fig1_list, fig2_skiplist,
+    fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, render_figure_table,
+    render_matrix_table, render_op_breakdown, render_read_fraction_table, render_rows,
+    run_netload, run_workload, starvation_experiment, workload_matrix, NetLoadConfig, OpMix,
+    StructureKind, SweepConfig, WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
+use stm_kv::{KvServer, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -110,6 +116,63 @@ fn main() {
                     println!("{}", render_rows(&cells));
                 } else {
                     println!("{}", render_matrix_table(&cells));
+                }
+            }
+            "readfrac" => {
+                let fractions = if quick {
+                    vec![0.0, 0.5, 1.0]
+                } else {
+                    default_read_fractions()
+                };
+                let data = read_fraction_sweep(StructureKind::RbTree, &fractions, &sweep);
+                if json {
+                    println!("{}", render_rows(&data));
+                } else {
+                    println!("{}", render_read_fraction_table(&data));
+                }
+            }
+            "server" => {
+                // One live stm-kv server per manager, driven over loopback by
+                // the closed-loop client; cells mirror the in-process sweeps.
+                let connections = 4usize;
+                let cfg = NetLoadConfig {
+                    connections,
+                    key_range: sweep.base.key_range.min(4096),
+                    duration: if quick {
+                        Duration::from_millis(80)
+                    } else {
+                        sweep.base.duration.max(Duration::from_millis(150))
+                    },
+                    mix: OpMix::read_mostly(),
+                    range_span: sweep.base.range_span,
+                    ..NetLoadConfig::default()
+                };
+                let mut cells = Vec::new();
+                for manager in &sweep.managers {
+                    let mut server = match KvServer::start(ServerConfig {
+                        manager: *manager,
+                        capacity: cfg.key_range,
+                        shards: 8,
+                        workers: connections + 1,
+                        ..ServerConfig::default()
+                    }) {
+                        Ok(server) => server,
+                        Err(err) => {
+                            eprintln!("cannot start server for {manager}: {err}");
+                            continue;
+                        }
+                    };
+                    match run_netload(server.addr(), manager.name(), &cfg) {
+                        Ok(cell) => cells.push(cell),
+                        Err(err) => eprintln!("netload against {manager} failed: {err}"),
+                    }
+                    server.shutdown();
+                }
+                if json {
+                    println!("{}", render_rows(&cells));
+                } else {
+                    println!("{}", render_matrix_table(&cells));
+                    println!("{}", render_op_breakdown(&cells));
                 }
             }
             "chain" => {

@@ -126,6 +126,74 @@ pub fn fig4_forest(cfg: &SweepConfig) -> FigureData {
     )
 }
 
+/// One manager's throughput curve over the read-fraction axis.
+#[derive(Debug, Clone, Serialize)]
+pub struct FractionSeries {
+    /// Contention manager name.
+    pub manager: String,
+    /// `(read fraction, committed transactions per second)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// The data behind the read-fraction sweep figure: throughput as the lookup
+/// share of the mix moves from 0% (the paper's update-only mix) to 100%.
+#[derive(Debug, Clone, Serialize)]
+pub struct ReadFractionSweep {
+    /// Benchmark structure exercised.
+    pub structure: String,
+    /// Thread count every point runs at.
+    pub threads: usize,
+    /// The swept read fractions, ascending.
+    pub fractions: Vec<f64>,
+    /// One series per contention manager.
+    pub series: Vec<FractionSeries>,
+    /// The raw per-run results (per-op breakdowns included).
+    pub raw: Vec<WorkloadResult>,
+}
+
+/// The read fractions the default sweep covers.
+pub fn default_read_fractions() -> Vec<f64> {
+    vec![0.0, 0.25, 0.5, 0.75, 0.9, 1.0]
+}
+
+/// Runs the read-fraction sweep: for every manager in `cfg.managers` and
+/// every fraction, an [`OpMix::with_read_fraction`] workload on `structure`
+/// at the largest thread count of `cfg` (the most contended point of the
+/// sweep, where the managers separate).
+pub fn read_fraction_sweep(
+    structure: StructureKind,
+    fractions: &[f64],
+    cfg: &SweepConfig,
+) -> ReadFractionSweep {
+    let threads = cfg.thread_counts.iter().copied().max().unwrap_or(1);
+    let mut raw = Vec::new();
+    let mut series: Vec<FractionSeries> = cfg
+        .managers
+        .iter()
+        .map(|m| FractionSeries {
+            manager: m.name().to_string(),
+            points: Vec::new(),
+        })
+        .collect();
+    for &fraction in fractions {
+        for (idx, manager) in cfg.managers.iter().enumerate() {
+            let mut run_cfg = cfg.base;
+            run_cfg.threads = threads;
+            run_cfg.mix = crate::workload::OpMix::with_read_fraction(fraction);
+            let result = run_workload(*manager, &structure, &run_cfg);
+            series[idx].points.push((fraction, result.throughput));
+            raw.push(result);
+        }
+    }
+    ReadFractionSweep {
+        structure: structure.name().to_string(),
+        threads,
+        fractions: fractions.to_vec(),
+        series,
+        raw,
+    }
+}
+
 /// The structures the workload matrix sweeps. The forest is excluded: its
 /// irregular transaction lengths already have a dedicated figure and would
 /// dominate the matrix's wall-clock budget.
@@ -229,6 +297,33 @@ mod tests {
         let structures_seen: std::collections::BTreeSet<&str> =
             cells.iter().map(|c| c.structure.as_str()).collect();
         assert_eq!(structures_seen.len(), 2);
+    }
+
+    #[test]
+    fn read_fraction_sweep_covers_every_fraction_and_manager() {
+        let mut cfg = smoke_cfg();
+        cfg.thread_counts = vec![1, 2];
+        cfg.base.duration = Duration::from_millis(15);
+        let fractions = [0.0, 1.0];
+        let sweep = read_fraction_sweep(StructureKind::RbTree, &fractions, &cfg);
+        assert_eq!(sweep.structure, "rbtree");
+        assert_eq!(sweep.threads, 2, "sweep runs at the largest thread count");
+        assert_eq!(sweep.fractions, vec![0.0, 1.0]);
+        assert_eq!(sweep.series.len(), 2);
+        for series in &sweep.series {
+            assert_eq!(series.points.len(), 2);
+            assert!(series.points.iter().all(|p| p.1 > 0.0));
+        }
+        assert_eq!(sweep.raw.len(), 4);
+        // fraction 0 is the update-only mix; fraction 1 is pure lookups.
+        assert!(sweep.raw[0].mix.contains("update-only"));
+        let pure_reads = &sweep.raw[sweep.raw.len() - 1];
+        assert!(
+            pure_reads.per_op.iter().all(|o| o.op == "lookup"),
+            "fraction 1.0 must be lookups only: {:?}",
+            pure_reads.per_op
+        );
+        assert!(!default_read_fractions().is_empty());
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! | E6 | Theorem 9 competitive-ratio check | [`theory::bound_experiment`] |
 //! | E7 | Theorem 1 starvation / bounded commit delay | [`starvation::starvation_experiment`] |
 //! | E8 | Workload matrix — mixes × structures × managers × threads | [`figures::workload_matrix`] |
+//! | E9 | Read-fraction sweep — throughput vs lookup share 0..=1 | [`figures::read_fraction_sweep`] |
+//! | E10 | Served load — closed-loop TCP clients vs a live `stm-kv` server | [`netload::run_netload`] |
 //!
 //! The paper measures committed transactions per second as a function of the
 //! number of threads (1–32) on a 256-key integer set with a 100% update mix;
@@ -31,19 +33,25 @@
 #![warn(rust_2018_idioms)]
 
 pub mod figures;
+pub mod netload;
 pub mod report;
 pub mod starvation;
 pub mod theory;
 pub mod workload;
 
 pub use figures::{
-    fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, matrix_structures, workload_matrix,
-    FigureData, Series,
+    default_read_fractions, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest,
+    matrix_structures, read_fraction_sweep, workload_matrix, FigureData, FractionSeries,
+    ReadFractionSweep, Series,
 };
-pub use report::{render_figure_table, render_matrix_table, render_rows};
+pub use netload::{run_netload, NetLoadConfig};
+pub use report::{
+    render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
+    render_rows,
+};
 pub use starvation::{starvation_experiment, StarvationResult};
 pub use theory::{bound_experiment, chain_experiment, BoundRow, ChainRow};
 pub use workload::{
-    run_fixed_ops, run_workload, OpKind, OpMix, StructureKind, SweepConfig, WorkloadConfig,
-    WorkloadResult,
+    run_fixed_ops, run_workload, OpKind, OpMix, OpStats, StructureKind, SweepConfig,
+    WorkloadConfig, WorkloadResult,
 };

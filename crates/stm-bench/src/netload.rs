@@ -1,0 +1,253 @@
+//! Closed-loop network load generator for the `stm-kv` server.
+//!
+//! Drives `connections` client connections against a live server, each
+//! issuing operations drawn from the same [`OpMix`] distribution the
+//! in-process workloads use — `insert`/`remove`/`lookup`/`range` become
+//! `PUT`/`DEL`/`GET`/`RANGE` on the wire — plus an optional fraction of
+//! `BEGIN`/`EXEC` transfer batches (two `ADD`s moving an amount between two
+//! random keys), the multi-key serializable path.
+//!
+//! The generator is *closed-loop*: every connection waits for each reply
+//! before issuing its next request, so throughput measures the full
+//! request → transaction → reply round trip and latency percentiles are
+//! per-request. Results are emitted as the same [`WorkloadResult`] cells as
+//! the in-process sweeps (structure `"stm-kv"`), so over-the-wire and
+//! in-process numbers for one manager land in one figure.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use stm_kv::{BatchOp, KvClient};
+
+use crate::workload::{OpKind, OpMix, OpRecorder, WorkloadResult};
+
+/// Parameters of one network load run.
+#[derive(Debug, Clone, Copy)]
+pub struct NetLoadConfig {
+    /// Concurrent client connections (one thread each). The server must be
+    /// running with at least this many workers or connections will queue.
+    pub connections: usize,
+    /// Keys are drawn uniformly from `0..key_range` (must not exceed the
+    /// server's capacity).
+    pub key_range: i64,
+    /// Wall-clock measurement interval.
+    pub duration: Duration,
+    /// Seed for the per-connection operation generators.
+    pub seed: u64,
+    /// Distribution over single-op categories.
+    pub mix: OpMix,
+    /// Width of the interval scanned by a `RANGE` request.
+    pub range_span: i64,
+    /// Fraction of iterations that issue a `BEGIN`/`EXEC` transfer batch
+    /// instead of a single operation, in `[0, 1]`.
+    pub batch_fraction: f64,
+}
+
+impl Default for NetLoadConfig {
+    fn default() -> Self {
+        NetLoadConfig {
+            connections: 4,
+            key_range: 256,
+            duration: Duration::from_millis(200),
+            seed: 0x6e65,
+            mix: OpMix::update_only(),
+            range_span: 32,
+            batch_fraction: 0.2,
+        }
+    }
+}
+
+/// Runs the closed-loop load against a live server and returns one
+/// [`WorkloadResult`] cell (`structure = "stm-kv"`, `threads` = client
+/// connections). `manager` labels the cell — pass the manager the server
+/// was started with.
+///
+/// Commits count client-visible completed operations; aborts and the abort
+/// ratio come from the server's `STATS` delta over the run, so they include
+/// retries performed on behalf of these requests.
+///
+/// # Errors
+///
+/// Propagates connection and protocol errors.
+///
+/// # Panics
+///
+/// Panics when a load connection fails mid-run (a dead server mid-benchmark
+/// has no meaningful partial result).
+pub fn run_netload(
+    addr: SocketAddr,
+    manager: &str,
+    cfg: &NetLoadConfig,
+) -> std::io::Result<WorkloadResult> {
+    assert!(cfg.connections > 0, "need at least one connection");
+    assert!(cfg.key_range > 0, "key range must be positive");
+    assert!(
+        (0.0..=1.0).contains(&cfg.batch_fraction),
+        "batch fraction must be in 0..=1"
+    );
+
+    // Prefill every other key (mirrors the in-process harness) and snapshot
+    // the server counters before the measured interval.
+    let mut setup = KvClient::connect(addr)?;
+    for key in (0..cfg.key_range).step_by(2) {
+        setup.put(key, key)?;
+    }
+    let before = setup.stats()?;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let barrier = Arc::new(Barrier::new(cfg.connections + 1));
+    // Overwritten at the start barrier so spawn/connect time stays out of
+    // the throughput denominator.
+    let mut started = Instant::now();
+    let mut commits_total = 0u64;
+    // insert/remove/lookup/range single ops + the batch category.
+    let mut recorders: [OpRecorder; 5] = Default::default();
+    thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for c in 0..cfg.connections {
+            let stop = Arc::clone(&stop);
+            let barrier = Arc::clone(&barrier);
+            let cfg = *cfg;
+            handles.push(scope.spawn(move || {
+                let mut client =
+                    KvClient::connect(addr).expect("load connection must connect");
+                let mut rng =
+                    SmallRng::seed_from_u64(cfg.seed ^ (c as u64).wrapping_mul(0x9e37));
+                let mut commits = 0u64;
+                let mut local: [OpRecorder; 5] = Default::default();
+                barrier.wait();
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..cfg.key_range);
+                    let issued = Instant::now();
+                    let slot = if rng.gen::<f64>() < cfg.batch_fraction {
+                        let to = rng.gen_range(0..cfg.key_range);
+                        let amount = rng.gen_range(1..16i64);
+                        client
+                            .batch(&[BatchOp::Add(key, -amount), BatchOp::Add(to, amount)])
+                            .expect("transfer batch must execute");
+                        4
+                    } else {
+                        let op = cfg.mix.pick(rng.gen());
+                        match op {
+                            OpKind::Insert => {
+                                client.put(key, key).expect("PUT must execute");
+                            }
+                            OpKind::Remove => {
+                                client.del(key).expect("DEL must execute");
+                            }
+                            OpKind::Lookup => {
+                                client.get(key).expect("GET must execute");
+                            }
+                            OpKind::Range => {
+                                client
+                                    .range(key, key + cfg.range_span)
+                                    .expect("RANGE must execute");
+                            }
+                        }
+                        op.index()
+                    };
+                    local[slot].record(issued.elapsed(), 0);
+                    commits += 1;
+                }
+                let _ = client.quit();
+                (commits, local)
+            }));
+        }
+        barrier.wait();
+        started = Instant::now();
+        let deadline = started + cfg.duration;
+        while Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        stop.store(true, Ordering::Relaxed);
+        for handle in handles {
+            let (commits, local) = handle.join().expect("load connection panicked");
+            commits_total += commits;
+            for (merged, thread_local) in recorders.iter_mut().zip(local) {
+                merged.merge(thread_local);
+            }
+        }
+    });
+    let elapsed = started.elapsed();
+    let after = setup.stats()?;
+    setup.quit()?;
+
+    let aborts = after.aborts.saturating_sub(before.aborts);
+    let server_commits = after.commits.saturating_sub(before.commits);
+    let finished = server_commits + aborts;
+    let wire_labels = ["put", "del", "get", "range", "batch"];
+    let per_op = wire_labels
+        .into_iter()
+        .zip(recorders)
+        .filter_map(|(label, recorder)| recorder.finish(label))
+        .collect();
+    Ok(WorkloadResult {
+        manager: manager.to_string(),
+        structure: "stm-kv".to_string(),
+        mix: cfg.mix.label(),
+        threads: cfg.connections,
+        commits: commits_total,
+        aborts,
+        elapsed,
+        throughput: commits_total as f64 / elapsed.as_secs_f64(),
+        abort_ratio: if finished == 0 {
+            0.0
+        } else {
+            aborts as f64 / finished as f64
+        },
+        per_op,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_cm::ManagerKind;
+    use stm_kv::{KvServer, ServerConfig};
+
+    #[test]
+    fn netload_produces_a_cell_against_a_live_server() {
+        let server = KvServer::start(ServerConfig {
+            manager: ManagerKind::Greedy,
+            capacity: 64,
+            shards: 4,
+            workers: 3,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let cfg = NetLoadConfig {
+            connections: 2,
+            key_range: 64,
+            duration: Duration::from_millis(60),
+            mix: OpMix::read_mostly(),
+            range_span: 8,
+            batch_fraction: 0.3,
+            ..NetLoadConfig::default()
+        };
+        let cell = run_netload(server.addr(), "greedy", &cfg).unwrap();
+        assert_eq!(cell.structure, "stm-kv");
+        assert_eq!(cell.manager, "greedy");
+        assert_eq!(cell.threads, 2);
+        assert!(cell.commits > 0);
+        assert!(cell.throughput > 0.0);
+        assert!(!cell.per_op.is_empty());
+        assert!(
+            cell.per_op.iter().any(|o| o.op == "batch"),
+            "30% batches must register: {:?}",
+            cell.per_op
+        );
+        for op in &cell.per_op {
+            assert!(op.p99_us >= op.p50_us);
+        }
+        // The cells serialize with the same shape as in-process cells.
+        let json = crate::report::render_rows(&vec![cell]);
+        assert!(json.contains("\"structure\": \"stm-kv\""));
+        assert!(json.contains("\"per_op\""));
+    }
+}

@@ -94,6 +94,62 @@ pub fn render_matrix_table(cells: &[WorkloadResult]) -> String {
     out
 }
 
+/// Renders the per-op latency/abort breakdown of a set of workload cells:
+/// one block per cell, one row per operation category, with completed-op
+/// counts, attributed aborts, and mean/p50/p99 latency in microseconds.
+pub fn render_op_breakdown(cells: &[WorkloadResult]) -> String {
+    let mut out = String::new();
+    for cell in cells {
+        if cell.per_op.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "# per-op — {} / {} / {} @ {} threads\n",
+            cell.structure, cell.mix, cell.manager, cell.threads
+        ));
+        out.push_str(&format!(
+            "{:>8} {:>10} {:>8} {:>10} {:>10} {:>10}\n",
+            "op", "ops", "aborts", "mean-us", "p50-us", "p99-us"
+        ));
+        for op in &cell.per_op {
+            out.push_str(&format!(
+                "{:>8} {:>10} {:>8} {:>10.1} {:>10.1} {:>10.1}\n",
+                op.op, op.ops, op.aborts, op.mean_us, op.p50_us, op.p99_us
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a read-fraction sweep as a text table: one row per fraction, one
+/// column per manager, values in committed transactions per second.
+pub fn render_read_fraction_table(sweep: &crate::figures::ReadFractionSweep) -> String {
+    let mut out = format!(
+        "# read-fraction sweep — {} @ {} threads (commits/sec)\n",
+        sweep.structure, sweep.threads
+    );
+    out.push_str(&format!("{:>10}", "read-frac"));
+    for series in &sweep.series {
+        out.push_str(&format!("{:>14}", series.manager));
+    }
+    out.push('\n');
+    for &fraction in &sweep.fractions {
+        out.push_str(&format!("{fraction:>10.2}"));
+        for series in &sweep.series {
+            let value = series
+                .points
+                .iter()
+                .find(|p| (p.0 - fraction).abs() < 1e-9)
+                .map(|p| p.1)
+                .unwrap_or(f64::NAN);
+            out.push_str(&format!("{value:>14.0}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders a list of serializable rows as pretty JSON (used by the binary's
 /// `--json` mode so results can be post-processed or plotted elsewhere).
 pub fn render_rows<T: serde::Serialize>(rows: &T) -> String {
@@ -148,6 +204,7 @@ mod tests {
                 elapsed: Duration::from_millis(100),
                 throughput: tput,
                 abort_ratio: 0.1,
+                per_op: Vec::new(),
             }
         };
         let cells = vec![
@@ -165,6 +222,63 @@ mod tests {
         assert!(table.contains("4000"));
         // Two blocks, each with a header + manager row + thread rows.
         assert_eq!(table.matches("# matrix —").count(), 2);
+    }
+
+    #[test]
+    fn op_breakdown_renders_rows_and_skips_empty_cells() {
+        use crate::workload::OpStats;
+        use std::time::Duration;
+        let mut cell = WorkloadResult {
+            manager: "greedy".to_string(),
+            structure: "list".to_string(),
+            mix: "update-only".to_string(),
+            threads: 2,
+            commits: 10,
+            aborts: 2,
+            elapsed: Duration::from_millis(100),
+            throughput: 100.0,
+            abort_ratio: 0.2,
+            per_op: vec![OpStats {
+                op: "insert".to_string(),
+                ops: 10,
+                aborts: 2,
+                mean_us: 11.5,
+                p50_us: 10.0,
+                p99_us: 31.0,
+            }],
+        };
+        let table = render_op_breakdown(std::slice::from_ref(&cell));
+        assert!(table.contains("per-op — list / update-only / greedy @ 2 threads"));
+        assert!(table.contains("insert"));
+        assert!(table.contains("31.0"));
+        cell.per_op.clear();
+        assert!(render_op_breakdown(&[cell]).is_empty());
+    }
+
+    #[test]
+    fn read_fraction_table_has_one_row_per_fraction() {
+        use crate::figures::{FractionSeries, ReadFractionSweep};
+        let sweep = ReadFractionSweep {
+            structure: "rbtree".to_string(),
+            threads: 4,
+            fractions: vec![0.0, 0.5, 1.0],
+            series: vec![
+                FractionSeries {
+                    manager: "greedy".to_string(),
+                    points: vec![(0.0, 100.0), (0.5, 200.0), (1.0, 400.0)],
+                },
+                FractionSeries {
+                    manager: "karma".to_string(),
+                    points: vec![(0.0, 90.0), (0.5, 210.0), (1.0, 390.0)],
+                },
+            ],
+            raw: Vec::new(),
+        };
+        let table = render_read_fraction_table(&sweep);
+        assert!(table.contains("rbtree @ 4 threads"));
+        assert_eq!(table.lines().count(), 2 + 3, "header + manager row + 3 fractions");
+        assert!(table.contains("0.50"));
+        assert!(table.contains("400"));
     }
 
     #[test]

@@ -78,6 +78,30 @@ pub enum OpKind {
     Range,
 }
 
+impl OpKind {
+    /// All categories, in reporting order.
+    pub const ALL: [OpKind; 4] = [OpKind::Insert, OpKind::Remove, OpKind::Lookup, OpKind::Range];
+
+    /// Label used in per-op breakdowns.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Insert => "insert",
+            OpKind::Remove => "remove",
+            OpKind::Lookup => "lookup",
+            OpKind::Range => "range",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            OpKind::Insert => 0,
+            OpKind::Remove => 1,
+            OpKind::Lookup => 2,
+            OpKind::Range => 3,
+        }
+    }
+}
+
 /// A weighted distribution over the four operation categories.
 ///
 /// Weights need not sum to one — they are normalized when drawing. The
@@ -255,6 +279,67 @@ impl Default for WorkloadConfig {
     }
 }
 
+/// Latency and abort accounting for one operation category of a workload
+/// run (the per-op breakdown carried by [`WorkloadResult::per_op`]).
+#[derive(Debug, Clone, Serialize)]
+pub struct OpStats {
+    /// Operation label (`"insert"`, `"lookup"`, ... — or the wire verbs
+    /// `"put"`, `"get"`, `"batch"` for the network driver).
+    pub op: String,
+    /// Completed operations of this category.
+    pub ops: u64,
+    /// Aborted attempts charged to this category (0 for drivers that cannot
+    /// attribute aborts per operation).
+    pub aborts: u64,
+    /// Mean completion latency in microseconds.
+    pub mean_us: f64,
+    /// Median completion latency in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile completion latency in microseconds.
+    pub p99_us: f64,
+}
+
+/// Accumulates latency samples and abort counts for one operation category.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct OpRecorder {
+    latencies_ns: Vec<u64>,
+    aborts: u64,
+}
+
+impl OpRecorder {
+    pub(crate) fn record(&mut self, latency: Duration, aborts: u64) {
+        self.latencies_ns.push(latency.as_nanos() as u64);
+        self.aborts += aborts;
+    }
+
+    pub(crate) fn merge(&mut self, other: OpRecorder) {
+        self.latencies_ns.extend(other.latencies_ns);
+        self.aborts += other.aborts;
+    }
+
+    pub(crate) fn finish(mut self, op: &str) -> Option<OpStats> {
+        if self.latencies_ns.is_empty() {
+            return None;
+        }
+        self.latencies_ns.sort_unstable();
+        let n = self.latencies_ns.len();
+        let percentile = |p: f64| -> f64 {
+            let idx = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
+            self.latencies_ns[idx.min(n - 1)] as f64 / 1_000.0
+        };
+        let mean_us =
+            self.latencies_ns.iter().sum::<u64>() as f64 / n as f64 / 1_000.0;
+        Some(OpStats {
+            op: op.to_string(),
+            ops: n as u64,
+            aborts: self.aborts,
+            mean_us,
+            p50_us: percentile(50.0),
+            p99_us: percentile(99.0),
+        })
+    }
+}
+
 /// The outcome of a workload run.
 #[derive(Debug, Clone, Serialize)]
 pub struct WorkloadResult {
@@ -277,6 +362,8 @@ pub struct WorkloadResult {
     pub throughput: f64,
     /// Fraction of attempts that aborted.
     pub abort_ratio: f64,
+    /// Per-operation latency (p50/p99) and abort breakdown.
+    pub per_op: Vec<OpStats>,
 }
 
 /// A sweep over thread counts for a set of managers (one paper figure), and —
@@ -474,8 +561,11 @@ pub fn run_workload(
 
     let stop = Arc::new(AtomicBool::new(false));
     let barrier = Arc::new(Barrier::new(cfg.threads + 1));
-    let started = Instant::now();
+    // Overwritten at the start barrier so thread-spawn time stays out of the
+    // throughput denominator.
+    let mut started = Instant::now();
     let mut commits_total = 0u64;
+    let mut recorders: [OpRecorder; 4] = Default::default();
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for t in 0..cfg.threads {
@@ -488,29 +578,43 @@ pub fn run_workload(
                 let mut ctx = stm.thread();
                 let mut rng = SmallRng::seed_from_u64(cfg.seed ^ (t as u64).wrapping_mul(0x9e37));
                 let mut commits = 0u64;
+                let mut local: [OpRecorder; 4] = Default::default();
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
                     let draw = draw_op(&mut rng, &cfg);
-                    let outcome = ctx.atomically(|tx| one_op(tx, &built, &draw, &cfg));
+                    let op_started = Instant::now();
+                    let (outcome, report) =
+                        ctx.atomically_traced(|tx| one_op(tx, &built, &draw, &cfg));
                     if outcome.is_ok() {
                         commits += 1;
+                        local[draw.op.index()].record(op_started.elapsed(), report.aborts);
                     }
                 }
-                commits
+                (commits, local)
             }));
         }
         barrier.wait();
-        let deadline = Instant::now() + cfg.duration;
+        started = Instant::now();
+        let deadline = started + cfg.duration;
         while Instant::now() < deadline {
             thread::sleep(Duration::from_millis(5));
         }
         stop.store(true, Ordering::Relaxed);
         for handle in handles {
-            commits_total += handle.join().expect("worker thread panicked");
+            let (commits, local) = handle.join().expect("worker thread panicked");
+            commits_total += commits;
+            for (merged, thread_local) in recorders.iter_mut().zip(local) {
+                merged.merge(thread_local);
+            }
         }
     });
     let elapsed = started.elapsed();
     let snapshot = stm.stats().snapshot();
+    let per_op = OpKind::ALL
+        .into_iter()
+        .zip(recorders)
+        .filter_map(|(kind, recorder)| recorder.finish(kind.label()))
+        .collect();
     WorkloadResult {
         manager: manager.name().to_string(),
         structure: structure.name().to_string(),
@@ -521,6 +625,7 @@ pub fn run_workload(
         elapsed,
         throughput: commits_total as f64 / elapsed.as_secs_f64(),
         abort_ratio: snapshot.abort_ratio(),
+        per_op,
     }
 }
 
@@ -651,6 +756,47 @@ mod tests {
             heavy_work.throughput,
             no_work.throughput
         );
+    }
+
+    #[test]
+    fn per_op_breakdown_covers_the_mix() {
+        let cfg = WorkloadConfig {
+            mix: OpMix::range_heavy(),
+            range_span: 8,
+            ..tiny_cfg(2)
+        };
+        let result = run_workload(ManagerKind::Greedy, &StructureKind::RbTree, &cfg);
+        // All four categories appear under the range-heavy mix.
+        let labels: Vec<&str> = result.per_op.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(labels, vec!["insert", "remove", "lookup", "range"]);
+        let total_ops: u64 = result.per_op.iter().map(|o| o.ops).sum();
+        assert_eq!(total_ops, result.commits);
+        for op in &result.per_op {
+            assert!(op.p50_us > 0.0, "{}: zero p50", op.op);
+            assert!(op.p99_us >= op.p50_us, "{}: p99 below p50", op.op);
+            assert!(op.mean_us > 0.0);
+        }
+        // An update-only mix reports exactly the two update categories.
+        let update = run_workload(ManagerKind::Greedy, &StructureKind::List, &tiny_cfg(1));
+        let labels: Vec<&str> = update.per_op.iter().map(|o| o.op.as_str()).collect();
+        assert_eq!(labels, vec!["insert", "remove"]);
+        // Single-threaded runs never abort, and the breakdown agrees.
+        assert_eq!(update.per_op.iter().map(|o| o.aborts).sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn op_recorder_percentiles_are_exact_on_known_samples() {
+        let mut recorder = OpRecorder::default();
+        for micros in 1..=100u64 {
+            recorder.record(Duration::from_micros(micros), 1);
+        }
+        let stats = recorder.finish("lookup").unwrap();
+        assert_eq!(stats.ops, 100);
+        assert_eq!(stats.aborts, 100);
+        assert!((stats.p50_us - 50.0).abs() < 1.01, "p50 {}", stats.p50_us);
+        assert!((stats.p99_us - 99.0).abs() < 1.01, "p99 {}", stats.p99_us);
+        assert!((stats.mean_us - 50.5).abs() < 0.01);
+        assert!(OpRecorder::default().finish("empty").is_none());
     }
 
     #[test]

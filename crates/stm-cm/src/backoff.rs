@@ -13,6 +13,13 @@ use std::time::Duration;
 use stm_core::manager::{factory, ManagerFactory};
 use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
 
+/// Default initial backoff interval.
+pub const DEFAULT_BACKOFF_BASE: Duration = Duration::from_micros(2);
+/// Default maximum backoff interval.
+pub const DEFAULT_BACKOFF_CAP: Duration = Duration::from_millis(1);
+/// Default backoff rounds against one enemy before the enemy is aborted.
+pub const DEFAULT_BACKOFF_MAX_ROUNDS: u32 = 12;
+
 /// Exponential-backoff contention manager.
 #[derive(Debug, Clone)]
 pub struct BackoffManager {
@@ -25,7 +32,11 @@ pub struct BackoffManager {
 
 impl Default for BackoffManager {
     fn default() -> Self {
-        BackoffManager::new(Duration::from_micros(2), Duration::from_millis(1), 12)
+        BackoffManager::new(
+            DEFAULT_BACKOFF_BASE,
+            DEFAULT_BACKOFF_CAP,
+            DEFAULT_BACKOFF_MAX_ROUNDS,
+        )
     }
 }
 

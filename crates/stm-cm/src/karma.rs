@@ -19,10 +19,17 @@ use std::time::Duration;
 use stm_core::manager::{factory, ManagerFactory};
 use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
 
+/// Default inter-round backoff while the karma gap is open.
+pub const DEFAULT_KARMA_BACKOFF: Duration = Duration::from_micros(4);
+/// Default karma earned per object opened.
+pub const DEFAULT_KARMA_INCREMENT: u64 = 1;
+
 /// Work-based priority contention manager.
 #[derive(Debug, Clone)]
 pub struct KarmaManager {
     backoff: Duration,
+    /// Karma earned per object opened (1 in Scherer & Scott's formulation).
+    increment: u64,
     /// Retry counter for the conflict currently being fought.
     attempts: u64,
     conflict_with: Option<u64>,
@@ -30,16 +37,24 @@ pub struct KarmaManager {
 
 impl Default for KarmaManager {
     fn default() -> Self {
-        KarmaManager::new(Duration::from_micros(4))
+        KarmaManager::new(DEFAULT_KARMA_BACKOFF)
     }
 }
 
 impl KarmaManager {
     /// Creates a Karma manager that backs off for `backoff` between
-    /// unsuccessful conflict rounds.
+    /// unsuccessful conflict rounds, earning one karma per object opened.
     pub fn new(backoff: Duration) -> Self {
+        KarmaManager::with_params(backoff, DEFAULT_KARMA_INCREMENT)
+    }
+
+    /// Creates a Karma manager with an explicit per-open karma increment
+    /// (the ablation knob: larger increments weigh invested work more
+    /// heavily against retry seniority).
+    pub fn with_params(backoff: Duration, increment: u64) -> Self {
         KarmaManager {
             backoff,
+            increment,
             attempts: 0,
             conflict_with: None,
         }
@@ -57,9 +72,9 @@ impl ContentionManager for KarmaManager {
     }
 
     fn opened(&mut self, me: TxView<'_>, _object_id: u64) {
-        // One unit of karma per object opened; accumulated in the lineage so
-        // it survives aborts.
-        me.add_karma(1);
+        // `increment` units of karma per object opened; accumulated in the
+        // lineage so it survives aborts.
+        me.add_karma(self.increment);
     }
 
     fn committed(&mut self, me: TxView<'_>) {

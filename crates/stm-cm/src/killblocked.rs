@@ -23,9 +23,14 @@ pub struct KillBlockedManager {
     waits: HashMap<u64, u32>,
 }
 
+/// Default length of one bounded wait slice.
+pub const DEFAULT_KILLBLOCKED_QUANTUM: Duration = Duration::from_micros(10);
+/// Default wait slices granted to a running (non-blocked) enemy.
+pub const DEFAULT_KILLBLOCKED_PATIENCE: u32 = 4;
+
 impl Default for KillBlockedManager {
     fn default() -> Self {
-        KillBlockedManager::new(Duration::from_micros(10), 4)
+        KillBlockedManager::new(DEFAULT_KILLBLOCKED_QUANTUM, DEFAULT_KILLBLOCKED_PATIENCE)
     }
 }
 

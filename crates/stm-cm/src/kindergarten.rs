@@ -27,9 +27,14 @@ pub struct KindergartenManager {
     yields: u32,
 }
 
+/// Default pause before re-examining a conflict.
+pub const DEFAULT_KINDERGARTEN_PAUSE: Duration = Duration::from_micros(4);
+/// Default number of times we give way to one enemy before insisting.
+pub const DEFAULT_KINDERGARTEN_MAX_YIELDS: u32 = 8;
+
 impl Default for KindergartenManager {
     fn default() -> Self {
-        KindergartenManager::new(Duration::from_micros(4), 8)
+        KindergartenManager::new(DEFAULT_KINDERGARTEN_PAUSE, DEFAULT_KINDERGARTEN_MAX_YIELDS)
     }
 }
 

@@ -72,7 +72,9 @@ pub use killblocked::KillBlockedManager;
 pub use polka::PolkaManager;
 pub use queueonblock::QueueOnBlockManager;
 pub use randomized::RandomizedManager;
-pub use registry::{all_manager_names, default_manager_names, factory_by_name, ManagerKind};
+pub use registry::{
+    all_manager_names, default_manager_names, factory_by_name, ManagerKind, ManagerParams,
+};
 pub use timestamp::TimestampManager;
 
 // Re-export the two managers that live in stm-core so users have one place to

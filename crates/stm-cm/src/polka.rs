@@ -14,6 +14,13 @@ use std::time::Duration;
 use stm_core::manager::{factory, ManagerFactory};
 use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
 
+/// Default initial backoff interval.
+pub const DEFAULT_POLKA_BASE: Duration = Duration::from_micros(2);
+/// Default maximum backoff interval.
+pub const DEFAULT_POLKA_CAP: Duration = Duration::from_millis(1);
+/// Default hard cap on backoff rounds regardless of the karma gap.
+pub const DEFAULT_POLKA_MAX_ROUNDS: u32 = 16;
+
 /// Polite + Karma: karma-difference many exponential backoffs, then abort.
 #[derive(Debug, Clone)]
 pub struct PolkaManager {
@@ -22,23 +29,31 @@ pub struct PolkaManager {
     /// Hard upper bound on backoff rounds regardless of the karma gap (keeps
     /// the tail bounded when the enemy is vastly richer).
     max_rounds: u32,
+    /// Karma earned per object opened.
+    increment: u64,
     round: u32,
     conflict_with: Option<u64>,
 }
 
 impl Default for PolkaManager {
     fn default() -> Self {
-        PolkaManager::new(Duration::from_micros(2), Duration::from_millis(1), 16)
+        PolkaManager::new(DEFAULT_POLKA_BASE, DEFAULT_POLKA_CAP, DEFAULT_POLKA_MAX_ROUNDS)
     }
 }
 
 impl PolkaManager {
-    /// Creates a Polka manager.
+    /// Creates a Polka manager earning one karma per object opened.
     pub fn new(base: Duration, cap: Duration, max_rounds: u32) -> Self {
+        PolkaManager::with_params(base, cap, max_rounds, 1)
+    }
+
+    /// Creates a Polka manager with an explicit per-open karma increment.
+    pub fn with_params(base: Duration, cap: Duration, max_rounds: u32, increment: u64) -> Self {
         PolkaManager {
             base,
             cap,
             max_rounds,
+            increment,
             round: 0,
             conflict_with: None,
         }
@@ -61,7 +76,7 @@ impl ContentionManager for PolkaManager {
     }
 
     fn opened(&mut self, me: TxView<'_>, _object_id: u64) {
-        me.add_karma(1);
+        me.add_karma(self.increment);
     }
 
     fn committed(&mut self, me: TxView<'_>) {

@@ -26,9 +26,17 @@ pub struct QueueOnBlockManager {
     conflict_with: Option<u64>,
 }
 
+/// Default safety time-out bounding each wait on the enemy.
+pub const DEFAULT_QUEUEONBLOCK_SAFETY_TIMEOUT: Duration = Duration::from_millis(2);
+/// Default expired safety time-outs before the enemy is killed.
+pub const DEFAULT_QUEUEONBLOCK_MAX_EXPIRIES: u32 = 64;
+
 impl Default for QueueOnBlockManager {
     fn default() -> Self {
-        QueueOnBlockManager::new(Duration::from_millis(2), 64)
+        QueueOnBlockManager::new(
+            DEFAULT_QUEUEONBLOCK_SAFETY_TIMEOUT,
+            DEFAULT_QUEUEONBLOCK_MAX_EXPIRIES,
+        )
     }
 }
 

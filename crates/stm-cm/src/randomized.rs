@@ -23,9 +23,17 @@ pub struct RandomizedManager {
     rng: SmallRng,
 }
 
+/// Default probability of aborting the enemy instead of waiting.
+pub const DEFAULT_RANDOMIZED_ABORT_PROBABILITY: f64 = 0.5;
+/// Default upper bound of the random wait.
+pub const DEFAULT_RANDOMIZED_MAX_BACKOFF: Duration = Duration::from_micros(64);
+
 impl Default for RandomizedManager {
     fn default() -> Self {
-        RandomizedManager::new(0.5, Duration::from_micros(64))
+        RandomizedManager::new(
+            DEFAULT_RANDOMIZED_ABORT_PROBABILITY,
+            DEFAULT_RANDOMIZED_MAX_BACKOFF,
+        )
     }
 }
 

@@ -15,6 +15,11 @@ use std::time::Duration;
 use stm_core::manager::{factory, ManagerFactory};
 use stm_core::{ConflictKind, ContentionManager, Resolution, TxView, WaitSpec};
 
+/// Default length of one bounded wait quantum.
+pub const DEFAULT_TIMESTAMP_QUANTUM: Duration = Duration::from_micros(20);
+/// Default expired quanta before an older enemy is presumed defunct.
+pub const DEFAULT_TIMESTAMP_PATIENCE: u32 = 8;
+
 /// Timestamp-priority contention manager with suspect-and-kill patience.
 #[derive(Debug, Clone)]
 pub struct TimestampManager {
@@ -25,7 +30,7 @@ pub struct TimestampManager {
 
 impl Default for TimestampManager {
     fn default() -> Self {
-        TimestampManager::new(Duration::from_micros(20), 8)
+        TimestampManager::new(DEFAULT_TIMESTAMP_QUANTUM, DEFAULT_TIMESTAMP_PATIENCE)
     }
 }
 

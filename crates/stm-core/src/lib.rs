@@ -70,7 +70,7 @@ pub mod wait;
 pub use clock::TimestampClock;
 pub use error::{AbortCause, StmError, TxResult};
 pub use manager::{ConflictKind, ContentionManager, ManagerFactory, Resolution, TxView};
-pub use stats::{StmStats, TxnStats};
+pub use stats::{StmStats, TxRunReport, TxnStats};
 pub use status::TxStatus;
 pub use stm::{ReadVisibility, Stm, StmBuilder, ThreadCtx};
 pub use tvar::TVar;

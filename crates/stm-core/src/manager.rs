@@ -236,6 +236,11 @@ impl ContentionManager for AggressiveManager {
     }
 }
 
+/// Default backoff rounds of [`PoliteManager`] before aborting the enemy.
+pub const DEFAULT_POLITE_MAX_ROUNDS: u32 = 8;
+/// Default base backoff interval of [`PoliteManager`].
+pub const DEFAULT_POLITE_BASE: Duration = Duration::from_micros(4);
+
 /// The *polite* manager: exponential backoff for a bounded number of rounds,
 /// then abort the enemy.
 #[derive(Debug, Clone)]
@@ -250,7 +255,7 @@ pub struct PoliteManager {
 
 impl Default for PoliteManager {
     fn default() -> Self {
-        PoliteManager::new(8, Duration::from_micros(4))
+        PoliteManager::new(DEFAULT_POLITE_MAX_ROUNDS, DEFAULT_POLITE_BASE)
     }
 }
 

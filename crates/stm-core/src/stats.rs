@@ -44,6 +44,42 @@ impl TxnStats {
     }
 }
 
+/// The accounting of one complete [`crate::ThreadCtx::atomically`] call —
+/// every attempt of one logical transaction, folded together.
+///
+/// Returned by [`crate::ThreadCtx::atomically_traced`] so callers that serve
+/// independent requests (the `stm-kv` server, the benchmark drivers) can
+/// attribute retries, conflicts and waits to the request that caused them
+/// instead of reading the process-wide [`StmStats`] aggregate.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TxRunReport {
+    /// Attempts made (1 = committed first try).
+    pub attempts: u64,
+    /// Aborted attempts (`attempts - 1` when the call ultimately committed).
+    pub aborts: u64,
+    /// Conflicts encountered across all attempts.
+    pub conflicts: u64,
+    /// Contention-manager waits performed across all attempts.
+    pub waits: u64,
+    /// Enemy aborts requested across all attempts.
+    pub enemy_aborts: u64,
+    /// Transactional reads across all attempts.
+    pub reads: u64,
+    /// Transactional writes across all attempts.
+    pub writes: u64,
+}
+
+impl TxRunReport {
+    /// Folds one attempt's local counters into the report.
+    pub(crate) fn absorb_attempt(&mut self, local: &TxnStats) {
+        self.conflicts += local.conflicts;
+        self.waits += local.waits;
+        self.enemy_aborts += local.enemy_aborts;
+        self.reads += local.reads;
+        self.writes += local.writes;
+    }
+}
+
 /// Snapshot of the shared counters of an [`crate::Stm`].
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct StatsSnapshot {

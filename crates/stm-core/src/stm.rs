@@ -6,7 +6,7 @@ use std::sync::Arc;
 use crate::clock::TimestampClock;
 use crate::error::{AbortCause, StmError, TxResult};
 use crate::manager::{factory, ContentionManager, ManagerFactory, PoliteManager, TxView};
-use crate::stats::StmStats;
+use crate::stats::{StmStats, TxRunReport};
 use crate::tvar::TVar;
 use crate::txn::{TxLineage, TxShared, Txn};
 
@@ -225,44 +225,63 @@ impl<'stm> ThreadCtx<'stm> {
     ///   called [`Txn::abort`].
     /// * [`StmError::RetryLimitExceeded`] if a retry limit was configured and
     ///   exhausted.
-    pub fn atomically<T, F>(&mut self, mut body: F) -> Result<T, StmError>
+    pub fn atomically<T, F>(&mut self, body: F) -> Result<T, StmError>
+    where
+        F: FnMut(&mut Txn<'_>) -> TxResult<T>,
+    {
+        self.atomically_traced(body).0
+    }
+
+    /// Like [`ThreadCtx::atomically`], but also returns a [`TxRunReport`]
+    /// accounting for every attempt of this one call: attempts, aborts,
+    /// conflicts, waits. Request-serving callers (the `stm-kv` server, the
+    /// benchmark drivers) use this to attribute contention to the individual
+    /// request instead of the process-wide [`crate::StmStats`] aggregate.
+    pub fn atomically_traced<T, F>(&mut self, mut body: F) -> (Result<T, StmError>, TxRunReport)
     where
         F: FnMut(&mut Txn<'_>) -> TxResult<T>,
     {
         let stm = self.stm;
         let lineage = Arc::new(TxLineage::new(stm.next_tx_id(), stm.clock.next()));
         stm.stats.note_transaction();
+        let mut report = TxRunReport::default();
         let mut attempt: u64 = 0;
         loop {
             attempt += 1;
+            report.attempts = attempt;
             stm.stats.note_attempt();
             let shared = Arc::new(TxShared::new(Arc::clone(&lineage), attempt));
             let manager: &mut dyn ContentionManager = self.manager.as_mut();
             manager.begin(TxView::new(&shared));
             let mut txn = Txn::new(stm, Arc::clone(&shared), manager);
-            match body(&mut txn) {
+            let outcome = body(&mut txn);
+            report.absorb_attempt(txn.stats());
+            match outcome {
                 Ok(value) => {
                     if txn.finish_commit() {
-                        return Ok(value);
+                        return (Ok(value), report);
                     }
                     let validation = txn.validation_failed();
                     txn.finish_abort(validation);
                 }
                 Err(StmError::Aborted(AbortCause::Explicit)) => {
                     txn.finish_abort(false);
-                    return Err(StmError::Aborted(AbortCause::Explicit));
+                    report.aborts = attempt;
+                    return (Err(StmError::Aborted(AbortCause::Explicit)), report);
                 }
                 Err(StmError::Aborted(cause)) => {
                     txn.finish_abort(cause == AbortCause::ValidationFailed);
                 }
                 Err(other) => {
                     txn.finish_abort(false);
-                    return Err(other);
+                    report.aborts = attempt;
+                    return (Err(other), report);
                 }
             }
+            report.aborts = attempt;
             if let Some(limit) = stm.config.max_retries {
                 if attempt >= limit {
-                    return Err(StmError::RetryLimitExceeded { attempts: attempt });
+                    return (Err(StmError::RetryLimitExceeded { attempts: attempt }), report);
                 }
             }
         }
@@ -454,6 +473,45 @@ mod tests {
         assert_eq!(err, StmError::RetryLimitExceeded { attempts: 3 });
         assert_eq!(calls.load(Ordering::Relaxed), 3);
         assert_eq!(stm.read_atomic(&v), 0);
+    }
+
+    #[test]
+    fn traced_run_accounts_attempts_and_aborts() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        let mut ctx = stm.thread();
+        // First-try commit: one attempt, no aborts, one read + one write.
+        let (result, report) = ctx.atomically_traced(|tx| tx.modify(&v, |x| x + 1));
+        assert!(result.is_ok());
+        assert_eq!(report.attempts, 1);
+        assert_eq!(report.aborts, 0);
+        assert_eq!(report.writes, 1);
+        // A body that fails twice before committing: three attempts, two
+        // aborts, and the per-attempt counters folded across all attempts.
+        let failures = AtomicUsize::new(2);
+        let (result, report) = ctx.atomically_traced(|tx| {
+            tx.modify(&v, |x| x + 1)?;
+            if failures.load(Ordering::Relaxed) > 0 {
+                failures.fetch_sub(1, Ordering::Relaxed);
+                return Err(StmError::Aborted(AbortCause::ValidationFailed));
+            }
+            Ok(())
+        });
+        assert!(result.is_ok());
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.aborts, 2);
+        assert_eq!(report.writes, 3);
+        assert_eq!(stm.read_atomic(&v), 2);
+        // Retry-limit exhaustion reports every attempt as aborted.
+        let stm = Stm::builder().max_retries(Some(2)).build();
+        let mut ctx = stm.thread();
+        let (result, report) =
+            ctx.atomically_traced(|_tx| -> TxResult<()> {
+                Err(StmError::Aborted(AbortCause::ValidationFailed))
+            });
+        assert_eq!(result, Err(StmError::RetryLimitExceeded { attempts: 2 }));
+        assert_eq!(report.attempts, 2);
+        assert_eq!(report.aborts, 2);
     }
 
     #[test]

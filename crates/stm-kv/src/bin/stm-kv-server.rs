@@ -1,0 +1,85 @@
+//! `stm-kv-server` — run a transactional key-value server from the
+//! command line.
+//!
+//! ```text
+//! cargo run --release -p stm-kv --bin stm-kv-server -- \
+//!     --addr 127.0.0.1:7878 --manager greedy --capacity 65536 --shards 16
+//! ```
+//!
+//! Talk to it with any line client:
+//!
+//! ```text
+//! $ nc 127.0.0.1 7878
+//! PUT 1 100
+//! OK
+//! BEGIN
+//! OK
+//! ADD 1 -25
+//! QUEUED
+//! ADD 2 25
+//! QUEUED
+//! EXEC
+//! EXEC 2
+//! VALUE 75
+//! VALUE 25
+//! ```
+
+use std::time::Duration;
+
+use stm_cm::ManagerKind;
+use stm_kv::{KvServer, ServerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: stm-kv-server [--addr HOST:PORT] [--manager NAME] \
+         [--capacity N] [--shards N] [--workers N]\n\
+         managers: {}",
+        stm_cm::all_manager_names().join(", ")
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut config = ServerConfig {
+        addr: "127.0.0.1:7878".to_string(),
+        ..ServerConfig::default()
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        let Some(value) = args.get(i) else { usage() };
+        i += 1;
+        match flag {
+            "--addr" => config.addr = value.clone(),
+            "--manager" => match value.parse::<ManagerKind>() {
+                Ok(kind) => config.manager = kind,
+                Err(err) => {
+                    eprintln!("{err}");
+                    usage();
+                }
+            },
+            "--capacity" => config.capacity = value.parse().unwrap_or_else(|_| usage()),
+            "--shards" => config.shards = value.parse().unwrap_or_else(|_| usage()),
+            "--workers" => config.workers = value.parse().unwrap_or_else(|_| usage()),
+            _ => usage(),
+        }
+    }
+    let server = match KvServer::start(config) {
+        Ok(server) => server,
+        Err(err) => {
+            eprintln!("failed to start: {err}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "stm-kv listening on {} (manager: {})",
+        server.addr(),
+        server.manager().name()
+    );
+    // Serve until killed.
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}

@@ -1,0 +1,444 @@
+//! A small blocking client for the `stm-kv` protocol.
+//!
+//! One [`KvClient`] owns one TCP connection and issues one request at a
+//! time (batches are pipelined: all batch lines are written in one syscall,
+//! then all replies are read back). The client is used by the integration
+//! tests, the `stm_kv_demo` example, and the closed-loop network load
+//! generator in `stm-bench`.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{parse_reply, render_request, Reply, Request};
+
+/// A data operation inside a [`KvClient::batch`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchOp {
+    /// Read one key.
+    Get(i64),
+    /// Store a value.
+    Put(i64, i64),
+    /// Remove a key.
+    Del(i64),
+    /// Add a delta to a key's value.
+    Add(i64, i64),
+    /// Keys and values in `lo..=hi`.
+    Range(i64, i64),
+    /// Sum + count of the values in `lo..=hi`.
+    Sum(i64, i64),
+}
+
+impl BatchOp {
+    fn to_request(&self) -> Request {
+        match *self {
+            BatchOp::Get(k) => Request::Get(k),
+            BatchOp::Put(k, v) => Request::Put(k, v),
+            BatchOp::Del(k) => Request::Del(k),
+            BatchOp::Add(k, d) => Request::Add(k, d),
+            BatchOp::Range(lo, hi) => Request::Range(lo, hi),
+            BatchOp::Sum(lo, hi) => Request::Sum(lo, hi),
+        }
+    }
+}
+
+/// The parsed payload of a `STATS` reply.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStatsSnapshot {
+    /// Committed transaction attempts on the server's STM.
+    pub commits: u64,
+    /// Aborted transaction attempts on the server's STM.
+    pub aborts: u64,
+    /// Single data requests executed.
+    pub requests: u64,
+    /// `BEGIN`/`EXEC` batches executed.
+    pub batches: u64,
+    /// Aborted attempts attributed to client requests.
+    pub retries: u64,
+    /// `ERR` replies sent.
+    pub errors: u64,
+    /// Connections accepted.
+    pub connections: u64,
+}
+
+/// A blocking connection to an `stm-kv` server.
+#[derive(Debug)]
+pub struct KvClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn proto_err(message: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+impl KvClient {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<KvClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(KvClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_reply_line(&mut self) -> io::Result<String> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    fn read_reply(&mut self) -> io::Result<Reply> {
+        let line = self.read_reply_line()?;
+        parse_reply(&line).map_err(proto_err)
+    }
+
+    /// Sends one request and reads one reply, surfacing `ERR` as an error.
+    fn roundtrip(&mut self, request: &Request) -> io::Result<Reply> {
+        self.send_line(&render_request(request))?;
+        match self.read_reply()? {
+            Reply::Err(message) => Err(proto_err(format!("server error: {message}"))),
+            reply => Ok(reply),
+        }
+    }
+
+    /// Reads one key.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn get(&mut self, key: i64) -> io::Result<Option<i64>> {
+        match self.roundtrip(&Request::Get(key))? {
+            Reply::Value(v) => Ok(Some(v)),
+            Reply::Nil => Ok(None),
+            other => Err(proto_err(format!("unexpected reply {other:?} to GET"))),
+        }
+    }
+
+    /// Stores a value.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn put(&mut self, key: i64, value: i64) -> io::Result<()> {
+        match self.roundtrip(&Request::Put(key, value))? {
+            Reply::Ok => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?} to PUT"))),
+        }
+    }
+
+    /// Removes a key; `true` when it was present.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn del(&mut self, key: i64) -> io::Result<bool> {
+        match self.roundtrip(&Request::Del(key))? {
+            Reply::OkN(n) => Ok(n != 0),
+            other => Err(proto_err(format!("unexpected reply {other:?} to DEL"))),
+        }
+    }
+
+    /// Adds `delta` to a key's value, returning the new value.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn add(&mut self, key: i64, delta: i64) -> io::Result<i64> {
+        match self.roundtrip(&Request::Add(key, delta))? {
+            Reply::Value(v) => Ok(v),
+            other => Err(proto_err(format!("unexpected reply {other:?} to ADD"))),
+        }
+    }
+
+    /// The present keys in `lo..=hi` with their values.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn range(&mut self, lo: i64, hi: i64) -> io::Result<Vec<(i64, i64)>> {
+        match self.roundtrip(&Request::Range(lo, hi))? {
+            Reply::Range(pairs) => Ok(pairs),
+            other => Err(proto_err(format!("unexpected reply {other:?} to RANGE"))),
+        }
+    }
+
+    /// Atomic `(sum, count)` of the values in `lo..=hi`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn sum(&mut self, lo: i64, hi: i64) -> io::Result<(i64, usize)> {
+        match self.roundtrip(&Request::Sum(lo, hi))? {
+            Reply::Sum(total, count) => Ok((total, count)),
+            other => Err(proto_err(format!("unexpected reply {other:?} to SUM"))),
+        }
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn ping(&mut self) -> io::Result<()> {
+        match self.roundtrip(&Request::Ping)? {
+            Reply::Pong => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?} to PING"))),
+        }
+    }
+
+    /// Fetches and parses the server's `STATS` counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed `STATS` lines.
+    pub fn stats(&mut self) -> io::Result<ServerStatsSnapshot> {
+        self.send_line("STATS")?;
+        let line = self.read_reply_line()?;
+        let payload = line
+            .strip_prefix("STATS ")
+            .ok_or_else(|| proto_err(format!("unexpected reply '{line}' to STATS")))?;
+        let mut stats = ServerStatsSnapshot::default();
+        for pair in payload.split_whitespace() {
+            let Some((key, value)) = pair.split_once('=') else {
+                return Err(proto_err(format!("malformed STATS pair '{pair}'")));
+            };
+            let value: u64 = value
+                .parse()
+                .map_err(|_| proto_err(format!("malformed STATS value '{pair}'")))?;
+            match key {
+                "commits" => stats.commits = value,
+                "aborts" => stats.aborts = value,
+                "requests" => stats.requests = value,
+                "batches" => stats.batches = value,
+                "retries" => stats.retries = value,
+                "errors" => stats.errors = value,
+                "connections" => stats.connections = value,
+                _ => {} // forward-compatible: ignore unknown counters
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Executes `ops` as one atomic `BEGIN`/`EXEC` batch and returns one
+    /// reply per operation. The whole batch is pipelined: every line is
+    /// written before any reply is read.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server `ERR` replies (the batch is discarded
+    /// server-side), and framing violations.
+    pub fn batch(&mut self, ops: &[BatchOp]) -> io::Result<Vec<Reply>> {
+        let mut script = String::from("BEGIN\n");
+        for op in ops {
+            script.push_str(&render_request(&op.to_request()));
+            script.push('\n');
+        }
+        script.push_str("EXEC\n");
+        self.writer.write_all(script.as_bytes())?;
+        self.writer.flush()?;
+
+        // The whole batch is already on the wire, so a refused BEGIN or a
+        // refused queued op must still drain every remaining pipelined reply
+        // (including the EXEC response) before surfacing the error —
+        // otherwise the connection's request/reply framing desyncs and every
+        // later call reads some earlier op's answer.
+        let mut first_error: Option<io::Error> = None;
+        match self.read_reply()? {
+            Reply::Ok => {}
+            Reply::Err(m) => first_error = Some(proto_err(format!("BEGIN refused: {m}"))),
+            other => {
+                first_error = Some(proto_err(format!("unexpected reply {other:?} to BEGIN")))
+            }
+        }
+        for op in ops {
+            match self.read_reply()? {
+                Reply::Queued => {}
+                Reply::Err(m) => {
+                    first_error.get_or_insert_with(|| {
+                        proto_err(format!("batch op {op:?} refused: {m}"))
+                    });
+                }
+                other => {
+                    first_error.get_or_insert_with(|| {
+                        proto_err(format!("unexpected reply {other:?} to {op:?}"))
+                    });
+                }
+            }
+        }
+        let header = self.read_reply_line()?;
+        if let Some(error) = first_error {
+            // The server poisons a failed batch, so its EXEC reply is a
+            // single ERR line — but drain result lines defensively if it
+            // somehow executed.
+            if let Some(count) = header
+                .strip_prefix("EXEC ")
+                .and_then(|n| n.parse::<usize>().ok())
+            {
+                for _ in 0..count {
+                    self.read_reply_line()?;
+                }
+            }
+            return Err(error);
+        }
+        let count: usize = header
+            .strip_prefix("EXEC ")
+            .and_then(|n| n.parse().ok())
+            .ok_or_else(|| {
+                proto_err(match header.strip_prefix("ERR ") {
+                    Some(message) => format!("batch failed: {message}"),
+                    None => format!("unexpected reply '{header}' to EXEC"),
+                })
+            })?;
+        if count != ops.len() {
+            return Err(proto_err(format!(
+                "EXEC returned {count} replies for {} ops",
+                ops.len()
+            )));
+        }
+        let mut replies = Vec::with_capacity(count);
+        for _ in 0..count {
+            replies.push(self.read_reply()?);
+        }
+        Ok(replies)
+    }
+
+    /// Atomically moves `amount` from `from` to `to` (both treated as `0`
+    /// when absent) — the conservation workload's primitive, built from one
+    /// `BEGIN`/`EXEC` batch of two `ADD`s.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies.
+    pub fn transfer(&mut self, from: i64, to: i64, amount: i64) -> io::Result<()> {
+        let replies = self.batch(&[BatchOp::Add(from, -amount), BatchOp::Add(to, amount)])?;
+        if replies.len() == 2 {
+            Ok(())
+        } else {
+            Err(proto_err("transfer batch returned a partial reply"))
+        }
+    }
+
+    /// Says goodbye and closes the connection.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures before `BYE` arrives.
+    pub fn quit(mut self) -> io::Result<()> {
+        self.send_line("QUIT")?;
+        match self.read_reply()? {
+            Reply::Bye => Ok(()),
+            other => Err(proto_err(format!("unexpected reply {other:?} to QUIT"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{KvServer, ServerConfig};
+
+    fn test_server() -> KvServer {
+        KvServer::start(ServerConfig {
+            capacity: 64,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn typed_client_round_trips() {
+        let server = test_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        client.ping().unwrap();
+        assert_eq!(client.get(1).unwrap(), None);
+        client.put(1, 11).unwrap();
+        client.put(2, 22).unwrap();
+        assert_eq!(client.get(1).unwrap(), Some(11));
+        assert_eq!(client.add(1, -1).unwrap(), 10);
+        assert_eq!(client.range(0, 63).unwrap(), vec![(1, 10), (2, 22)]);
+        assert_eq!(client.sum(0, 63).unwrap(), (32, 2));
+        assert!(client.del(2).unwrap());
+        assert!(!client.del(2).unwrap());
+        let err = client.get(1000).unwrap_err();
+        assert!(err.to_string().contains("outside keyspace"), "{err}");
+        // The connection survives an ERR.
+        client.ping().unwrap();
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn failed_batch_applies_nothing_and_connection_stays_in_sync() {
+        let server = test_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        client.put(3, 30).unwrap();
+        // First op is out of range: the server poisons the batch, so the
+        // second (valid) ADD must NOT execute, and the pipelined replies
+        // must be fully drained.
+        let err = client
+            .batch(&[BatchOp::Add(1000, -10), BatchOp::Add(3, 10)])
+            .unwrap_err();
+        assert!(err.to_string().contains("outside keyspace"), "{err}");
+        // All-or-nothing: key 3 is untouched by the failed batch.
+        assert_eq!(client.get(3).unwrap(), Some(30));
+        // Framing survives: the next requests get their own replies.
+        client.ping().unwrap();
+        assert_eq!(client.sum(0, 63).unwrap(), (30, 1));
+        // And a fresh batch on the same connection works.
+        let replies = client.batch(&[BatchOp::Add(3, 1)]).unwrap();
+        assert_eq!(replies, vec![Reply::Value(31)]);
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn batches_execute_atomically_and_report_per_op() {
+        let server = test_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        client.put(10, 100).unwrap();
+        let replies = client
+            .batch(&[
+                BatchOp::Add(10, -40),
+                BatchOp::Add(11, 40),
+                BatchOp::Get(10),
+                BatchOp::Sum(0, 63),
+                BatchOp::Del(12),
+                BatchOp::Range(10, 11),
+            ])
+            .unwrap();
+        assert_eq!(
+            replies,
+            vec![
+                Reply::Value(60),
+                Reply::Value(40),
+                Reply::Value(60),
+                Reply::Sum(100, 2),
+                Reply::OkN(0),
+                Reply::Range(vec![(10, 60), (11, 40)]),
+            ]
+        );
+        client.transfer(10, 11, 10).unwrap();
+        assert_eq!(client.sum(0, 63).unwrap(), (100, 2));
+        assert_eq!(client.get(10).unwrap(), Some(50));
+        let stats = client.stats().unwrap();
+        assert!(stats.commits > 0);
+        assert!(stats.batches >= 2);
+        client.quit().unwrap();
+    }
+}

@@ -1,0 +1,64 @@
+//! # stm-kv
+//!
+//! A networked transactional key-value service built on the `stm-core`
+//! runtime — the serving surface that turns the contention-manager study
+//! into something real clients can contend over.
+//!
+//! The paper's experiments (and the in-process `stm-bench` harness) drive
+//! transactions from threads inside one address space; `stm-kv` puts the
+//! same runtime behind a TCP wire so the interesting latency/throughput
+//! behaviour of a contention manager shows up under real client load:
+//!
+//! * **Storage** ([`KvStore`]) — a fixed-capacity `i64 → i64` keyspace. The
+//!   membership index is a [`stm_structures::ShardedTxSet`] over red-black
+//!   trees, and every key's value lives in its own [`stm_core::TVar`], so
+//!   transactions that touch different keys share no state beyond the index
+//!   path they traverse.
+//! * **Protocol** ([`proto`]) — a line-based text protocol: `GET`, `PUT`,
+//!   `DEL`, `ADD` (atomic read-modify-write), `RANGE`, `SUM`, plus
+//!   `BEGIN`/`EXEC` multi-key atomic batches and `PING`/`STATS`/`QUIT`.
+//! * **Server** ([`KvServer`]) — `std::net::TcpListener` + a worker-thread
+//!   pool, no dependencies beyond the workspace. Every request executes as
+//!   one STM transaction under the [`stm_cm::ManagerKind`] chosen at server
+//!   start, so multi-key batches are serializable across clients by
+//!   construction.
+//! * **Client** ([`KvClient`]) — a small blocking client used by the
+//!   integration tests, the `stm_kv_demo` example, and the `stm-bench`
+//!   closed-loop network load generator.
+//!
+//! ```
+//! use stm_cm::ManagerKind;
+//! use stm_kv::{KvClient, KvServer, ServerConfig};
+//!
+//! let server = KvServer::start(ServerConfig {
+//!     manager: ManagerKind::Greedy,
+//!     capacity: 128,
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let mut client = KvClient::connect(server.addr()).unwrap();
+//! client.put(1, 100).unwrap();
+//! client.put(2, 100).unwrap();
+//! // Atomically move 25 from key 1 to key 2.
+//! client
+//!     .transfer(1, 2, 25)
+//!     .unwrap();
+//! assert_eq!(client.get(1).unwrap(), Some(75));
+//! assert_eq!(client.sum(0, 127).unwrap(), (200, 2));
+//! client.quit().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod client;
+pub mod proto;
+pub mod server;
+pub mod store;
+
+pub use client::{BatchOp, KvClient, ServerStatsSnapshot};
+pub use proto::{parse_reply, parse_request, render_reply, Reply, Request};
+pub use server::{KvServer, ServerConfig};
+pub use store::KvStore;

@@ -1,0 +1,362 @@
+//! The wire protocol: line-based, text, symmetric.
+//!
+//! Every request and every reply is one `\n`-terminated line of ASCII
+//! text, so the protocol can be driven from `nc` and framed trivially by
+//! any client. The grammar:
+//!
+//! | Request | Reply |
+//! |---------|-------|
+//! | `GET <key>` | `VALUE <v>` or `NIL` |
+//! | `PUT <key> <value>` | `OK` |
+//! | `DEL <key>` | `OK 1` (removed) or `OK 0` |
+//! | `ADD <key> <delta>` | `VALUE <new>` (absent keys start at 0) |
+//! | `RANGE <lo> <hi>` | `RANGE <n> k1=v1 k2=v2 ...` |
+//! | `SUM <lo> <hi>` | `SUM <total> <count>` |
+//! | `BEGIN` | `OK`; subsequent data ops reply `QUEUED` |
+//! | `EXEC` | `EXEC <n>` followed by the `n` queued replies, one per line |
+//! | `PING` | `PONG` |
+//! | `STATS` | `STATS <key>=<value> ...` |
+//! | `QUIT` | `BYE`, then the connection closes |
+//!
+//! Any failure — unknown verb, malformed integer, key outside the server's
+//! keyspace, transaction failure — is reported as `ERR <message>` and
+//! leaves the connection usable. A failure while a batch is open discards
+//! the batch (the client must re-issue `BEGIN`).
+//!
+//! Both directions are implemented here ([`parse_request`]/[`render_reply`]
+//! for the server, [`render_request`]/[`parse_reply`] for the client), so a
+//! single test suite pins the grammar from both sides.
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Read one key.
+    Get(i64),
+    /// Store a value (creating or overwriting the key).
+    Put(i64, i64),
+    /// Remove a key.
+    Del(i64),
+    /// Add a delta to a key's value (absent keys start at 0).
+    Add(i64, i64),
+    /// The present keys in `lo..=hi` with their values.
+    Range(i64, i64),
+    /// Atomic sum + count of the values in `lo..=hi`.
+    Sum(i64, i64),
+    /// Open a batch: queue data operations until `EXEC`.
+    Begin,
+    /// Execute the queued batch as one atomic transaction.
+    Exec,
+    /// Liveness probe.
+    Ping,
+    /// Server statistics.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+impl Request {
+    /// Whether this request is a data operation that may appear inside a
+    /// `BEGIN`/`EXEC` batch.
+    pub fn is_data_op(&self) -> bool {
+        matches!(
+            self,
+            Request::Get(_)
+                | Request::Put(..)
+                | Request::Del(_)
+                | Request::Add(..)
+                | Request::Range(..)
+                | Request::Sum(..)
+        )
+    }
+}
+
+/// A server reply to one request (or one queued batch operation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// A value (`GET` hit, `ADD` result).
+    Value(i64),
+    /// Key absent.
+    Nil,
+    /// Success without a payload (`PUT`, `BEGIN`).
+    Ok,
+    /// Success with a small integer payload (`DEL` → removed count).
+    OkN(i64),
+    /// Key/value pairs from a `RANGE`.
+    Range(Vec<(i64, i64)>),
+    /// Sum and count from a `SUM`.
+    Sum(i64, usize),
+    /// Operation queued inside an open batch.
+    Queued,
+    /// Reply to `PING`.
+    Pong,
+    /// Connection closing.
+    Bye,
+    /// Failure.
+    Err(String),
+}
+
+fn parse_int(token: &str, what: &str) -> Result<i64, String> {
+    token
+        .parse::<i64>()
+        .map_err(|_| format!("{what} must be an integer, got '{token}'"))
+}
+
+/// Parses one request line (without its trailing newline).
+///
+/// Verbs are case-insensitive; arguments are whitespace-separated signed
+/// 64-bit integers.
+///
+/// # Errors
+///
+/// Returns a human-readable message (sent back as `ERR <message>`) for an
+/// unknown verb or a malformed argument list.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut tokens = line.split_whitespace();
+    let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    let args: Vec<&str> = tokens.collect();
+    let arity = |n: usize| -> Result<(), String> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} takes {} argument{}, got {}",
+                verb.to_ascii_uppercase(),
+                n,
+                if n == 1 { "" } else { "s" },
+                args.len()
+            ))
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "GET" => {
+            arity(1)?;
+            Ok(Request::Get(parse_int(args[0], "key")?))
+        }
+        "PUT" => {
+            arity(2)?;
+            Ok(Request::Put(
+                parse_int(args[0], "key")?,
+                parse_int(args[1], "value")?,
+            ))
+        }
+        "DEL" => {
+            arity(1)?;
+            Ok(Request::Del(parse_int(args[0], "key")?))
+        }
+        "ADD" => {
+            arity(2)?;
+            Ok(Request::Add(
+                parse_int(args[0], "key")?,
+                parse_int(args[1], "delta")?,
+            ))
+        }
+        "RANGE" => {
+            arity(2)?;
+            Ok(Request::Range(
+                parse_int(args[0], "lo")?,
+                parse_int(args[1], "hi")?,
+            ))
+        }
+        "SUM" => {
+            arity(2)?;
+            Ok(Request::Sum(
+                parse_int(args[0], "lo")?,
+                parse_int(args[1], "hi")?,
+            ))
+        }
+        "BEGIN" => {
+            arity(0)?;
+            Ok(Request::Begin)
+        }
+        "EXEC" => {
+            arity(0)?;
+            Ok(Request::Exec)
+        }
+        "PING" => {
+            arity(0)?;
+            Ok(Request::Ping)
+        }
+        "STATS" => {
+            arity(0)?;
+            Ok(Request::Stats)
+        }
+        "QUIT" => {
+            arity(0)?;
+            Ok(Request::Quit)
+        }
+        other => Err(format!("unknown command '{other}'")),
+    }
+}
+
+/// Renders a request as its wire line (without the trailing newline).
+pub fn render_request(request: &Request) -> String {
+    match request {
+        Request::Get(k) => format!("GET {k}"),
+        Request::Put(k, v) => format!("PUT {k} {v}"),
+        Request::Del(k) => format!("DEL {k}"),
+        Request::Add(k, d) => format!("ADD {k} {d}"),
+        Request::Range(lo, hi) => format!("RANGE {lo} {hi}"),
+        Request::Sum(lo, hi) => format!("SUM {lo} {hi}"),
+        Request::Begin => "BEGIN".to_string(),
+        Request::Exec => "EXEC".to_string(),
+        Request::Ping => "PING".to_string(),
+        Request::Stats => "STATS".to_string(),
+        Request::Quit => "QUIT".to_string(),
+    }
+}
+
+/// Renders a reply as its wire line (without the trailing newline).
+pub fn render_reply(reply: &Reply) -> String {
+    match reply {
+        Reply::Value(v) => format!("VALUE {v}"),
+        Reply::Nil => "NIL".to_string(),
+        Reply::Ok => "OK".to_string(),
+        Reply::OkN(n) => format!("OK {n}"),
+        Reply::Range(pairs) => {
+            let mut out = format!("RANGE {}", pairs.len());
+            for (k, v) in pairs {
+                out.push_str(&format!(" {k}={v}"));
+            }
+            out
+        }
+        Reply::Sum(total, count) => format!("SUM {total} {count}"),
+        Reply::Queued => "QUEUED".to_string(),
+        Reply::Pong => "PONG".to_string(),
+        Reply::Bye => "BYE".to_string(),
+        Reply::Err(message) => format!("ERR {}", message.replace('\n', " ")),
+    }
+}
+
+/// Parses one reply line (without its trailing newline) — the client side
+/// of [`render_reply`].
+///
+/// # Errors
+///
+/// Returns a message describing the framing violation when the line does
+/// not match the reply grammar.
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let line = line.trim_end();
+    if let Some(message) = line.strip_prefix("ERR ") {
+        return Ok(Reply::Err(message.to_string()));
+    }
+    let mut tokens = line.split_whitespace();
+    let head = tokens.next().ok_or_else(|| "empty reply".to_string())?;
+    let rest: Vec<&str> = tokens.collect();
+    match head {
+        "VALUE" if rest.len() == 1 => Ok(Reply::Value(parse_int(rest[0], "value")?)),
+        "NIL" if rest.is_empty() => Ok(Reply::Nil),
+        "OK" if rest.is_empty() => Ok(Reply::Ok),
+        "OK" if rest.len() == 1 => Ok(Reply::OkN(parse_int(rest[0], "count")?)),
+        "RANGE" if !rest.is_empty() => {
+            let n = parse_int(rest[0], "pair count")? as usize;
+            if rest.len() != n + 1 {
+                return Err(format!("RANGE announced {n} pairs, carried {}", rest.len() - 1));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for pair in &rest[1..] {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("malformed pair '{pair}'"))?;
+                pairs.push((parse_int(k, "key")?, parse_int(v, "value")?));
+            }
+            Ok(Reply::Range(pairs))
+        }
+        "SUM" if rest.len() == 2 => Ok(Reply::Sum(
+            parse_int(rest[0], "total")?,
+            parse_int(rest[1], "count")? as usize,
+        )),
+        "QUEUED" if rest.is_empty() => Ok(Reply::Queued),
+        "PONG" if rest.is_empty() => Ok(Reply::Pong),
+        "BYE" if rest.is_empty() => Ok(Reply::Bye),
+        "ERR" => Ok(Reply::Err(String::new())),
+        _ => Err(format!("unrecognized reply '{line}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_render_and_parse() {
+        let requests = vec![
+            Request::Get(3),
+            Request::Put(-1, 42),
+            Request::Del(0),
+            Request::Add(7, -5),
+            Request::Range(0, 255),
+            Request::Sum(-10, 10),
+            Request::Begin,
+            Request::Exec,
+            Request::Ping,
+            Request::Stats,
+            Request::Quit,
+        ];
+        for request in requests {
+            let line = render_request(&request);
+            assert_eq!(parse_request(&line).unwrap(), request, "line '{line}'");
+        }
+    }
+
+    #[test]
+    fn verbs_are_case_insensitive_and_whitespace_tolerant() {
+        assert_eq!(parse_request("get 5").unwrap(), Request::Get(5));
+        assert_eq!(parse_request("  PuT   1   2  ").unwrap(), Request::Put(1, 2));
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_with_messages() {
+        assert!(parse_request("").unwrap_err().contains("empty"));
+        assert!(parse_request("FLY 1").unwrap_err().contains("unknown command"));
+        assert!(parse_request("GET").unwrap_err().contains("takes 1 argument"));
+        assert!(parse_request("GET x").unwrap_err().contains("integer"));
+        assert!(parse_request("PUT 1").unwrap_err().contains("takes 2 arguments"));
+        assert!(parse_request("PING 1").unwrap_err().contains("takes 0 arguments"));
+    }
+
+    #[test]
+    fn replies_round_trip_through_render_and_parse() {
+        let replies = vec![
+            Reply::Value(-3),
+            Reply::Nil,
+            Reply::Ok,
+            Reply::OkN(1),
+            Reply::Range(vec![(1, 10), (2, -20)]),
+            Reply::Range(Vec::new()),
+            Reply::Sum(-5, 3),
+            Reply::Queued,
+            Reply::Pong,
+            Reply::Bye,
+            Reply::Err("boom with spaces".to_string()),
+        ];
+        for reply in replies {
+            let line = render_reply(&reply);
+            assert_eq!(parse_reply(&line).unwrap(), reply, "line '{line}'");
+        }
+    }
+
+    #[test]
+    fn reply_parser_rejects_frame_violations() {
+        assert!(parse_reply("").is_err());
+        assert!(parse_reply("WAT 1").is_err());
+        assert!(parse_reply("RANGE 2 1=1").unwrap_err().contains("announced"));
+        assert!(parse_reply("RANGE 1 nope").unwrap_err().contains("malformed pair"));
+    }
+
+    #[test]
+    fn data_op_classification_gates_batches() {
+        assert!(Request::Get(1).is_data_op());
+        assert!(Request::Sum(0, 1).is_data_op());
+        for request in [Request::Begin, Request::Exec, Request::Ping, Request::Stats, Request::Quit]
+        {
+            assert!(!request.is_data_op(), "{request:?}");
+        }
+    }
+
+    #[test]
+    fn err_rendering_strips_newlines() {
+        let line = render_reply(&Reply::Err("two\nlines".to_string()));
+        assert!(!line.contains('\n'));
+        assert_eq!(parse_reply(&line).unwrap(), Reply::Err("two lines".to_string()));
+    }
+}

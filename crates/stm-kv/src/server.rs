@@ -1,0 +1,593 @@
+//! The TCP server: a listener, a worker-thread pool, and one STM
+//! transaction per request.
+//!
+//! The server is deliberately std-only (`std::net::TcpListener`, blocking
+//! I/O, a `mpsc` hand-off queue): the point of `stm-kv` is to measure the
+//! *runtime's* behaviour under wire-driven contention, not to benchmark an
+//! async reactor. Each worker thread owns a [`stm_core::ThreadCtx`] — and
+//! therefore its own contention-manager instance, keeping managers
+//! decentralised exactly as in the in-process harness — and handles one
+//! connection at a time to completion.
+//!
+//! Every data request executes as one `atomically` call; a `BEGIN`/`EXEC`
+//! batch executes all of its queued operations inside a single
+//! `atomically` call, which is what makes multi-key batches serializable
+//! across clients by construction: the runtime provides safety, and the
+//! [`ManagerKind`] chosen at server start provides progress.
+//!
+//! Reads use a short socket timeout so workers notice a shutdown request
+//! even while a client connection sits idle; [`KvServer::shutdown`] stops
+//! the pool, unblocks the acceptor with a loopback connection, and joins
+//! every thread.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use stm_cm::{ManagerKind, ManagerParams};
+use stm_core::{Stm, ThreadCtx, TxResult, Txn};
+
+use crate::proto::{parse_request, render_reply, Reply, Request};
+use crate::store::KvStore;
+
+/// How long a worker blocks on a socket read (or on the connection queue)
+/// before re-checking the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Configuration of a [`KvServer`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address. The default binds an ephemeral loopback port; read the
+    /// actual address back with [`KvServer::addr`].
+    pub addr: String,
+    /// Contention manager arbitrating every transaction on this server.
+    pub manager: ManagerKind,
+    /// Manager parameters (defaults reproduce the registry defaults).
+    pub params: ManagerParams,
+    /// Keyspace size: keys are `0..capacity`.
+    pub capacity: i64,
+    /// Number of index shards in the store.
+    pub shards: usize,
+    /// Worker threads. Each worker serves one connection at a time, so this
+    /// is also the number of concurrently served clients.
+    pub workers: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        let parallelism = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            manager: ManagerKind::Greedy,
+            params: ManagerParams::default(),
+            capacity: 65_536,
+            shards: 16,
+            workers: (2 * parallelism).max(4),
+        }
+    }
+}
+
+/// Shared request counters, folded into the `STATS` reply next to the STM's
+/// own commit/abort counters.
+#[derive(Debug, Default)]
+pub(crate) struct ServerCounters {
+    /// Client connections accepted.
+    pub(crate) connections: AtomicU64,
+    /// Requests executed (single data ops; a batch counts once).
+    pub(crate) requests: AtomicU64,
+    /// `BEGIN`/`EXEC` batches executed.
+    pub(crate) batches: AtomicU64,
+    /// Aborted attempts across all request transactions (per-request
+    /// accounting from [`stm_core::TxRunReport`]).
+    pub(crate) retries: AtomicU64,
+    /// `ERR` replies sent.
+    pub(crate) errors: AtomicU64,
+}
+
+/// A running key-value server. Dropping it shuts it down.
+pub struct KvServer {
+    addr: SocketAddr,
+    manager: ManagerKind,
+    stm: Arc<Stm>,
+    store: Arc<KvStore>,
+    counters: Arc<ServerCounters>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for KvServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("KvServer")
+            .field("addr", &self.addr)
+            .field("manager", &self.manager.name())
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl KvServer {
+    /// Binds the listener and spawns the acceptor and the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error when the address cannot be bound.
+    pub fn start(config: ServerConfig) -> std::io::Result<KvServer> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stm = Arc::new(
+            Stm::builder()
+                .manager(config.manager.factory_with(config.params))
+                .build(),
+        );
+        let store = Arc::new(KvStore::new(config.capacity, config.shards));
+        let counters = Arc::new(ServerCounters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        for worker_id in 0..config.workers.max(1) {
+            let stm = Arc::clone(&stm);
+            let store = Arc::clone(&store);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            let conn_rx = Arc::clone(&conn_rx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("stm-kv-worker-{worker_id}"))
+                    .spawn(move || {
+                        let mut ctx = stm.thread();
+                        loop {
+                            if stop.load(Ordering::Relaxed) {
+                                return;
+                            }
+                            let next = conn_rx
+                                .lock()
+                                .expect("connection queue lock poisoned")
+                                .recv_timeout(POLL_INTERVAL);
+                            match next {
+                                Ok(stream) => {
+                                    serve_connection(stream, &mut ctx, &store, &counters, &stop);
+                                }
+                                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                            }
+                        }
+                    })
+                    .expect("spawn worker thread"),
+            );
+        }
+
+        let acceptor = {
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("stm-kv-acceptor".to_string())
+                .spawn(move || {
+                    // `conn_tx` moves in here; dropping it on exit tells idle
+                    // workers the server is gone.
+                    for stream in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        counters.connections.fetch_add(1, Ordering::Relaxed);
+                        if conn_tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn acceptor thread")
+        };
+
+        Ok(KvServer {
+            addr,
+            manager: config.manager,
+            stm,
+            store,
+            counters,
+            stop,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The contention manager this server runs under.
+    pub fn manager(&self) -> ManagerKind {
+        self.manager
+    }
+
+    /// Snapshot of the underlying STM's statistics.
+    pub fn stm_stats(&self) -> stm_core::stats::StatsSnapshot {
+        self.stm.stats().snapshot()
+    }
+
+    /// The underlying store (for in-process audits in tests and examples;
+    /// run transactions against it via [`KvServer::stm`]).
+    pub fn store(&self) -> &Arc<KvStore> {
+        &self.store
+    }
+
+    /// The underlying STM instance.
+    pub fn stm(&self) -> &Arc<Stm> {
+        &self.stm
+    }
+
+    /// Total aborted attempts attributed to client requests so far.
+    pub fn request_retries(&self) -> u64 {
+        self.counters.retries.load(Ordering::Relaxed)
+    }
+
+    /// Stops accepting, drains the pool, and joins every thread. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn shutdown(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Unblock the acceptor's `incoming()` with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for KvServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Applies one data operation inside the caller's transaction.
+fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request) -> TxResult<Reply> {
+    Ok(match *request {
+        Request::Get(key) => match store.get(tx, key)? {
+            Some(value) => Reply::Value(value),
+            None => Reply::Nil,
+        },
+        Request::Put(key, value) => {
+            store.put(tx, key, value)?;
+            Reply::Ok
+        }
+        Request::Del(key) => Reply::OkN(i64::from(store.del(tx, key)?.is_some())),
+        Request::Add(key, delta) => Reply::Value(store.add(tx, key, delta)?),
+        Request::Range(lo, hi) => Reply::Range(store.range(tx, lo, hi)?),
+        Request::Sum(lo, hi) => {
+            let (total, count) = store.sum(tx, lo, hi)?;
+            Reply::Sum(total, count)
+        }
+        // Non-data requests never reach `apply`.
+        Request::Begin
+        | Request::Exec
+        | Request::Ping
+        | Request::Stats
+        | Request::Quit => Reply::Err("internal: non-data op in transaction".to_string()),
+    })
+}
+
+/// Rejects keys outside the store before any transaction starts.
+fn validate(store: &KvStore, request: &Request) -> Result<(), String> {
+    let key = match *request {
+        Request::Get(key) | Request::Del(key) | Request::Put(key, _) | Request::Add(key, _) => key,
+        // Range bounds are clamped by the store instead.
+        _ => return Ok(()),
+    };
+    if store.key_in_range(key) {
+        Ok(())
+    } else {
+        Err(format!("key {key} outside keyspace 0..{}", store.capacity()))
+    }
+}
+
+/// The `STATS` reply line: stable `key=value` pairs so clients can parse it.
+fn render_stats(stm: &Stm, counters: &ServerCounters) -> String {
+    let snapshot = stm.stats().snapshot();
+    format!(
+        "STATS commits={} aborts={} requests={} batches={} retries={} errors={} connections={}",
+        snapshot.commits,
+        snapshot.aborts,
+        counters.requests.load(Ordering::Relaxed),
+        counters.batches.load(Ordering::Relaxed),
+        counters.retries.load(Ordering::Relaxed),
+        counters.errors.load(Ordering::Relaxed),
+        counters.connections.load(Ordering::Relaxed),
+    )
+}
+
+/// Per-connection `BEGIN`/`EXEC` state.
+///
+/// A failure while a batch is open (bad key, unknown verb, disallowed
+/// command) moves the batch to `Poisoned` instead of discarding it: clients
+/// pipeline entire batches before reading any reply, so the already-sent
+/// tail of a discarded batch would otherwise execute as standalone
+/// transactions — silently breaking the batch's all-or-nothing contract.
+/// A poisoned batch swallows every further data op (with an `ERR`) until
+/// `EXEC`, which reports the failure and clears the state.
+enum Batch {
+    None,
+    Open(Vec<Request>),
+    Poisoned,
+}
+
+/// Serves one connection until the peer quits, disconnects, or the server
+/// shuts down.
+fn serve_connection(
+    stream: TcpStream,
+    ctx: &mut ThreadCtx<'_>,
+    store: &KvStore,
+    counters: &ServerCounters,
+    stop: &AtomicBool,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    let mut batch = Batch::None;
+
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(err)
+                if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
+            {
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(_) => return,
+        }
+        let request = parse_request(&line);
+        line.clear();
+        let in_batch = !matches!(batch, Batch::None);
+        let mut out;
+        let mut quit = false;
+        match request {
+            Err(message) => {
+                counters.errors.fetch_add(1, Ordering::Relaxed);
+                if in_batch {
+                    batch = Batch::Poisoned;
+                }
+                out = render_reply(&Reply::Err(message));
+            }
+            Ok(request) => match request {
+                Request::Quit => {
+                    out = render_reply(&Reply::Bye);
+                    quit = true;
+                }
+                Request::Ping if !in_batch => out = render_reply(&Reply::Pong),
+                Request::Stats if !in_batch => {
+                    out = render_stats(ctx.stm(), counters);
+                }
+                Request::Begin if !in_batch => {
+                    batch = Batch::Open(Vec::new());
+                    out = render_reply(&Reply::Ok);
+                }
+                Request::Begin | Request::Ping | Request::Stats => {
+                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                    batch = Batch::Poisoned;
+                    out = render_reply(&Reply::Err(
+                        "command not allowed inside BEGIN/EXEC batch".to_string(),
+                    ));
+                }
+                Request::Exec => match std::mem::replace(&mut batch, Batch::None) {
+                    Batch::None => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        out = render_reply(&Reply::Err("EXEC without BEGIN".to_string()));
+                    }
+                    Batch::Poisoned => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        out = render_reply(&Reply::Err(
+                            "batch aborted by an earlier error; nothing executed".to_string(),
+                        ));
+                    }
+                    Batch::Open(ops) => {
+                        counters.batches.fetch_add(1, Ordering::Relaxed);
+                        let (result, report) = ctx.atomically_traced(|tx| {
+                            let mut replies = Vec::with_capacity(ops.len());
+                            for op in &ops {
+                                replies.push(apply(store, tx, op)?);
+                            }
+                            Ok(replies)
+                        });
+                        counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
+                        match result {
+                            Ok(replies) => {
+                                out = format!("EXEC {}", replies.len());
+                                for reply in &replies {
+                                    out.push('\n');
+                                    out.push_str(&render_reply(reply));
+                                }
+                            }
+                            Err(err) => {
+                                counters.errors.fetch_add(1, Ordering::Relaxed);
+                                out = render_reply(&Reply::Err(format!(
+                                    "batch failed: {err}"
+                                )));
+                            }
+                        }
+                    }
+                },
+                data_op => match validate(store, &data_op) {
+                    Err(message) => {
+                        counters.errors.fetch_add(1, Ordering::Relaxed);
+                        if in_batch {
+                            batch = Batch::Poisoned;
+                        }
+                        out = render_reply(&Reply::Err(message));
+                    }
+                    Ok(()) => match &mut batch {
+                        Batch::Open(ops) => {
+                            ops.push(data_op);
+                            out = render_reply(&Reply::Queued);
+                        }
+                        Batch::Poisoned => {
+                            // Swallow without executing: the client already
+                            // pipelined this op as part of the failed batch.
+                            counters.errors.fetch_add(1, Ordering::Relaxed);
+                            out = render_reply(&Reply::Err(
+                                "batch aborted by an earlier error".to_string(),
+                            ));
+                        }
+                        Batch::None => {
+                            counters.requests.fetch_add(1, Ordering::Relaxed);
+                            let (result, report) =
+                                ctx.atomically_traced(|tx| apply(store, tx, &data_op));
+                            counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
+                            out = match result {
+                                Ok(reply) => render_reply(&reply),
+                                Err(err) => {
+                                    counters.errors.fetch_add(1, Ordering::Relaxed);
+                                    render_reply(&Reply::Err(format!(
+                                        "transaction failed: {err}"
+                                    )))
+                                }
+                            };
+                        }
+                    },
+                },
+            },
+        }
+        out.push('\n');
+        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+            return;
+        }
+        if quit {
+            return;
+        }
+        // Bounded shutdown even against a client that never stops sending:
+        // the flag is also honoured between fully-served requests, not only
+        // on idle reads.
+        if stop.load(Ordering::Relaxed) {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn server_starts_and_shuts_down_cleanly() {
+        let mut server = KvServer::start(ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        assert_eq!(server.manager(), ManagerKind::Greedy);
+        assert!(server.addr().port() != 0);
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn shutdown_returns_while_a_client_keeps_sending() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let mut server = KvServer::start(ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let addr = server.addr();
+        let done = Arc::new(AtomicBool::new(false));
+        let hammer = {
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                // A closed-loop client that never goes idle: the worker's
+                // reads keep returning data, so shutdown must be honoured
+                // between requests, not only on read timeouts.
+                let Ok(stream) = TcpStream::connect(addr) else { return };
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                let mut reply = String::new();
+                while !done.load(Ordering::Relaxed) {
+                    if writer.write_all(b"PING\n").is_err() {
+                        break;
+                    }
+                    reply.clear();
+                    if reader.read_line(&mut reply).unwrap_or(0) == 0 {
+                        break;
+                    }
+                }
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        server.shutdown(); // must join every worker despite the busy client
+        done.store(true, Ordering::Relaxed);
+        hammer.join().unwrap();
+    }
+
+    #[test]
+    fn raw_socket_session_speaks_the_protocol() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 32,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut say = |cmd: &str, reader: &mut BufReader<TcpStream>| -> String {
+            writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        assert_eq!(say("PING", &mut reader), "PONG");
+        assert_eq!(say("PUT 3 30", &mut reader), "OK");
+        assert_eq!(say("GET 3", &mut reader), "VALUE 30");
+        assert_eq!(say("GET 4", &mut reader), "NIL");
+        assert_eq!(say("ADD 4 5", &mut reader), "VALUE 5");
+        assert_eq!(say("RANGE 0 31", &mut reader), "RANGE 2 3=30 4=5");
+        assert_eq!(say("SUM 0 31", &mut reader), "SUM 35 2");
+        assert_eq!(say("DEL 3", &mut reader), "OK 1");
+        assert_eq!(say("DEL 3", &mut reader), "OK 0");
+        assert!(say("GET 99", &mut reader).starts_with("ERR key 99 outside"));
+        assert!(say("NOPE", &mut reader).starts_with("ERR unknown command"));
+        // A batch: two queued ops executed atomically.
+        assert_eq!(say("BEGIN", &mut reader), "OK");
+        assert_eq!(say("ADD 4 -5", &mut reader), "QUEUED");
+        assert_eq!(say("ADD 5 5", &mut reader), "QUEUED");
+        assert_eq!(say("EXEC", &mut reader), "EXEC 2");
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        assert_eq!(l.trim_end(), "VALUE 0");
+        l.clear();
+        reader.read_line(&mut l).unwrap();
+        assert_eq!(l.trim_end(), "VALUE 5");
+        assert_eq!(say("EXEC", &mut reader), "ERR EXEC without BEGIN");
+        let stats = say("STATS", &mut reader);
+        assert!(stats.starts_with("STATS commits="), "got '{stats}'");
+        assert_eq!(say("QUIT", &mut reader), "BYE");
+    }
+}

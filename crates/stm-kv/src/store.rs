@@ -1,0 +1,232 @@
+//! The transactional keyspace behind the server.
+//!
+//! A [`KvStore`] is a fixed-capacity map from keys `0..capacity` to `i64`
+//! values. Presence is tracked by a sharded red-black-tree index
+//! ([`ShardedTxSet`]); each key's value lives in its own [`TVar`]. The
+//! split matters for contention: a `PUT`/`ADD` conflicts with another
+//! transaction only when both touch the same key's value cell or the same
+//! index path inside one shard — transactions on different shards are
+//! disjoint by construction.
+//!
+//! All operations run inside the caller's transaction and compose: the
+//! server's `BEGIN`/`EXEC` batches simply run several store operations in
+//! one `atomically` closure, which is what makes multi-key batches
+//! serializable across clients.
+//!
+//! The keyspace is pre-allocated (one `TVar` per possible key) rather than
+//! grown dynamically: the STM arbitrates per-object, and materialising the
+//! cells up front keeps the hot path free of allocation and of a
+//! create-on-first-use race that would otherwise need its own
+//! synchronisation. Capacity is a server-start parameter; requests outside
+//! `0..capacity` are rejected at the protocol layer before any transaction
+//! starts.
+
+use stm_core::{TVar, TxResult, Txn};
+use stm_structures::{ShardedTxSet, TxSet};
+
+/// A fixed-capacity transactional `i64 → i64` key-value store.
+#[derive(Debug, Clone)]
+pub struct KvStore {
+    capacity: i64,
+    index: ShardedTxSet,
+    values: Vec<TVar<i64>>,
+}
+
+impl KvStore {
+    /// Creates a store for keys `0..capacity`, with the membership index
+    /// partitioned over `shards` red-black trees.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity <= 0` or `shards == 0`.
+    pub fn new(capacity: i64, shards: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        assert!(shards > 0, "need at least one shard");
+        KvStore {
+            capacity,
+            index: ShardedTxSet::rbtree(shards),
+            values: (0..capacity).map(|_| TVar::new(0)).collect(),
+        }
+    }
+
+    /// The exclusive upper bound of the keyspace.
+    pub fn capacity(&self) -> i64 {
+        self.capacity
+    }
+
+    /// Number of index shards.
+    pub fn num_shards(&self) -> usize {
+        self.index.num_shards()
+    }
+
+    /// Whether `key` is inside the keyspace.
+    pub fn key_in_range(&self, key: i64) -> bool {
+        (0..self.capacity).contains(&key)
+    }
+
+    fn assert_key(&self, key: i64) {
+        assert!(
+            self.key_in_range(key),
+            "key {key} outside keyspace 0..{} (the server validates keys before \
+             starting a transaction)",
+            self.capacity
+        );
+    }
+
+    /// Reads the value at `key`, or `None` when the key is absent.
+    pub fn get(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<i64>> {
+        self.assert_key(key);
+        if self.index.contains(tx, key)? {
+            Ok(Some(tx.read(&self.values[key as usize])?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Stores `value` at `key`, returning the previous value if the key was
+    /// present.
+    pub fn put(&self, tx: &mut Txn<'_>, key: i64, value: i64) -> TxResult<Option<i64>> {
+        self.assert_key(key);
+        let was_present = !self.index.insert(tx, key)?;
+        let cell = &self.values[key as usize];
+        let previous = if was_present {
+            Some(tx.read(cell)?)
+        } else {
+            None
+        };
+        tx.write(cell, value)?;
+        Ok(previous)
+    }
+
+    /// Removes `key`, returning its value if it was present.
+    pub fn del(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<i64>> {
+        self.assert_key(key);
+        if self.index.remove(tx, key)? {
+            Ok(Some(tx.read(&self.values[key as usize])?))
+        } else {
+            Ok(None)
+        }
+    }
+
+    /// Adds `delta` to the value at `key` (treating an absent key as `0` and
+    /// inserting it), returning the new value. This is the closed
+    /// read-modify-write the `BEGIN`/`EXEC` transfer batches are built from.
+    pub fn add(&self, tx: &mut Txn<'_>, key: i64, delta: i64) -> TxResult<i64> {
+        self.assert_key(key);
+        let cell = &self.values[key as usize];
+        let current = if self.index.insert(tx, key)? {
+            // Newly created: the stale cell content is not part of the map.
+            0
+        } else {
+            tx.read(cell)?
+        };
+        let next = current.wrapping_add(delta);
+        tx.write(cell, next)?;
+        Ok(next)
+    }
+
+    /// The present keys in `lo..=hi` with their values, ascending. Bounds
+    /// are clamped to the keyspace.
+    pub fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<(i64, i64)>> {
+        let lo = lo.max(0);
+        let hi = hi.min(self.capacity - 1);
+        let mut pairs = Vec::new();
+        if lo > hi {
+            return Ok(pairs);
+        }
+        for key in self.index.range(tx, lo, hi)? {
+            pairs.push((key, tx.read(&self.values[key as usize])?));
+        }
+        Ok(pairs)
+    }
+
+    /// The sum and count of the values present in `lo..=hi`, observed as one
+    /// consistent snapshot — the conservation audit the serializability
+    /// tests run over the wire.
+    pub fn sum(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<(i64, usize)> {
+        let pairs = self.range(tx, lo, hi)?;
+        let total = pairs.iter().map(|(_, v)| *v).fold(0i64, i64::wrapping_add);
+        Ok((total, pairs.len()))
+    }
+
+    /// Number of present keys.
+    pub fn len(&self, tx: &mut Txn<'_>) -> TxResult<usize> {
+        self.index.len(tx)
+    }
+
+    /// Whether the store holds no keys.
+    pub fn is_empty(&self, tx: &mut Txn<'_>) -> TxResult<bool> {
+        Ok(self.len(tx)? == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::Stm;
+
+    #[test]
+    fn get_put_del_add_round_trip() {
+        let stm = Stm::default();
+        let store = KvStore::new(64, 4);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            assert_eq!(store.get(tx, 5)?, None);
+            assert_eq!(store.put(tx, 5, 50)?, None);
+            assert_eq!(store.get(tx, 5)?, Some(50));
+            assert_eq!(store.put(tx, 5, 60)?, Some(50));
+            assert_eq!(store.add(tx, 5, -10)?, 50);
+            assert_eq!(store.add(tx, 9, 7)?, 7, "add creates absent keys at 0");
+            assert_eq!(store.del(tx, 5)?, Some(50));
+            assert_eq!(store.del(tx, 5)?, None);
+            assert_eq!(store.len(tx)?, 1);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deleted_key_recreated_by_add_starts_at_zero() {
+        let stm = Stm::default();
+        let store = KvStore::new(16, 2);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            store.put(tx, 3, 99)?;
+            store.del(tx, 3)?;
+            // The old cell content must not leak back into the map.
+            assert_eq!(store.add(tx, 3, 1)?, 1);
+            assert_eq!(store.get(tx, 3)?, Some(1));
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn range_and_sum_clamp_and_snapshot() {
+        let stm = Stm::default();
+        let store = KvStore::new(32, 4);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            for key in [2i64, 7, 11, 30] {
+                store.put(tx, key, key * 10)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+        let pairs = ctx.atomically(|tx| store.range(tx, -100, 100)).unwrap();
+        assert_eq!(pairs, vec![(2, 20), (7, 70), (11, 110), (30, 300)]);
+        let window = ctx.atomically(|tx| store.range(tx, 3, 11)).unwrap();
+        assert_eq!(window, vec![(7, 70), (11, 110)]);
+        assert_eq!(ctx.atomically(|tx| store.sum(tx, 0, 31)).unwrap(), (500, 4));
+        assert_eq!(ctx.atomically(|tx| store.sum(tx, 12, 3)).unwrap(), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside keyspace")]
+    fn out_of_range_key_panics() {
+        let stm = Stm::default();
+        let store = KvStore::new(8, 2);
+        let mut ctx = stm.thread();
+        let _ = ctx.atomically(|tx| store.get(tx, 8));
+    }
+}

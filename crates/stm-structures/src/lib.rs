@@ -50,6 +50,7 @@ pub mod list;
 pub mod queue;
 pub mod rbtree;
 pub mod set;
+pub mod sharded;
 pub mod skiplist;
 
 pub use counter::TxCounter;
@@ -58,4 +59,5 @@ pub use list::TxList;
 pub use queue::TxQueue;
 pub use rbtree::TxRbTree;
 pub use set::TxSet;
+pub use sharded::ShardedTxSet;
 pub use skiplist::TxSkipList;

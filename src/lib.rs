@@ -14,8 +14,9 @@
 //! |-------|----------|
 //! | [`core`](stm_core) | the STM runtime: [`Stm`], [`TVar`], [`Txn`], the [`ContentionManager`] interface |
 //! | [`cm`](stm_cm) | the greedy manager plus twelve managers from the literature |
-//! | [`structures`](stm_structures) | transactional list, skiplist, red-black tree, forest, counter, queue |
+//! | [`structures`](stm_structures) | transactional list, skiplist, red-black tree, forest, sharded set, counter, queue |
 //! | [`sched`](stm_sched) | Garey–Graham task systems, list/optimal schedulers, execution simulator |
+//! | [`kv`](stm_kv) | the networked transactional key-value service: server, wire protocol, client |
 //!
 //! ## Quickstart
 //!
@@ -89,6 +90,9 @@ pub use stm_structures as structures;
 /// Scheduling theory and the execution simulator (re-export of `stm-sched`).
 pub use stm_sched as sched;
 
+/// The networked transactional key-value service (re-export of `stm-kv`).
+pub use stm_kv as kv;
+
 pub use stm_cm::{GreedyManager, GreedyTimeoutManager};
 pub use stm_core::{
     AbortCause, ConflictKind, ContentionManager, ReadVisibility, Resolution, Stm, StmBuilder,
@@ -101,8 +105,9 @@ pub mod prelude {
         AggressiveManager, BackoffManager, EruptionManager, GreedyManager, GreedyTimeoutManager,
         KarmaManager, ManagerKind, PoliteManager, PolkaManager, TimestampManager,
     };
+    pub use crate::kv::{KvClient, KvServer, KvStore, ServerConfig};
     pub use crate::structures::{
-        TxCounter, TxList, TxQueue, TxRbForest, TxRbTree, TxSet, TxSkipList,
+        ShardedTxSet, TxCounter, TxList, TxQueue, TxRbForest, TxRbTree, TxSet, TxSkipList,
     };
     pub use stm_core::{
         AbortCause, ContentionManager, ReadVisibility, Resolution, Stm, StmError, TVar, TxResult,

@@ -1,0 +1,186 @@
+//! End-to-end tests of the `stm-kv` server: concurrent clients drive
+//! multi-key `BEGIN`/`EXEC` batches through a live TCP server and the
+//! executions must be serializable under **every** contention manager.
+//!
+//! The serializability witness is balance conservation: the keyspace is
+//! seeded with a fixed total, every batch is a closed transfer (two `ADD`s
+//! summing to zero), and every `SUM` audit — issued concurrently with the
+//! transfers — must observe exactly the seeded total. A torn or
+//! non-serializable execution shows up as a drifted sum either mid-run or
+//! at the end.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use greedy_stm::cm::ManagerKind;
+use greedy_stm::kv::{KvClient, KvServer, ServerConfig};
+
+const KEYS: i64 = 16;
+const SEED_BALANCE: i64 = 100;
+const TOTAL: i64 = KEYS * SEED_BALANCE;
+
+fn start_server(manager: ManagerKind, workers: usize) -> KvServer {
+    KvServer::start(ServerConfig {
+        manager,
+        capacity: KEYS,
+        shards: 4,
+        workers,
+        ..ServerConfig::default()
+    })
+    .expect("server must start")
+}
+
+fn seed_balances(addr: std::net::SocketAddr) {
+    let mut client = KvClient::connect(addr).unwrap();
+    for key in 0..KEYS {
+        client.put(key, SEED_BALANCE).unwrap();
+    }
+    assert_eq!(client.sum(0, KEYS - 1).unwrap(), (TOTAL, KEYS as usize));
+    client.quit().unwrap();
+}
+
+/// A deterministic little generator so the test needs no RNG plumbing.
+fn scramble(x: u64) -> u64 {
+    let mut x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    x ^= x >> 31;
+    x.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+}
+
+#[test]
+fn concurrent_batches_are_serializable_under_every_manager() {
+    for manager in ManagerKind::ALL {
+        let clients = 4usize;
+        let batches_per_client = 30usize;
+        let mut server = start_server(manager, clients + 1);
+        let addr = server.addr();
+        seed_balances(addr);
+
+        let audits_ok = Arc::new(AtomicU64::new(0));
+        thread::scope(|scope| {
+            for c in 0..clients {
+                let audits_ok = Arc::clone(&audits_ok);
+                scope.spawn(move || {
+                    let mut client = KvClient::connect(addr).unwrap();
+                    for i in 0..batches_per_client {
+                        let roll = scramble((c * batches_per_client + i) as u64);
+                        let from = (roll % KEYS as u64) as i64;
+                        let to = ((roll >> 8) % KEYS as u64) as i64;
+                        let amount = ((roll >> 16) % 40) as i64 + 1;
+                        client
+                            .transfer(from, to, amount)
+                            .unwrap_or_else(|e| panic!("{manager}: transfer failed: {e}"));
+                        // Interleave atomic audits with the transfers: each
+                        // must observe the conserved total even while other
+                        // clients' batches are in flight.
+                        if i % 5 == 0 {
+                            let (sum, count) = client
+                                .sum(0, KEYS - 1)
+                                .unwrap_or_else(|e| panic!("{manager}: SUM failed: {e}"));
+                            assert_eq!(
+                                sum, TOTAL,
+                                "{manager}: mid-run audit observed a torn total"
+                            );
+                            assert_eq!(count, KEYS as usize);
+                            audits_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    client.quit().unwrap();
+                });
+            }
+        });
+        assert!(
+            audits_ok.load(Ordering::Relaxed) >= (clients * batches_per_client / 5) as u64,
+            "{manager}: audits did not run"
+        );
+
+        // Final audit over a fresh connection, then an in-process audit
+        // through the server's own store handle — both must agree.
+        let mut auditor = KvClient::connect(addr).unwrap();
+        assert_eq!(
+            auditor.sum(0, KEYS - 1).unwrap(),
+            (TOTAL, KEYS as usize),
+            "{manager}: wire-level final total drifted"
+        );
+        let stats = auditor.stats().unwrap();
+        assert!(
+            stats.batches >= (clients * batches_per_client) as u64,
+            "{manager}: server executed {} batches, expected at least {}",
+            stats.batches,
+            clients * batches_per_client
+        );
+        auditor.quit().unwrap();
+        let in_process = {
+            let stm = Arc::clone(server.stm());
+            let store = Arc::clone(server.store());
+            let mut ctx = stm.thread();
+            ctx.atomically(|tx| store.sum(tx, 0, KEYS - 1)).unwrap()
+        };
+        assert_eq!(
+            in_process,
+            (TOTAL, KEYS as usize),
+            "{manager}: in-process final total drifted"
+        );
+
+        // Clean shutdown: joins the acceptor and every worker.
+        server.shutdown();
+    }
+}
+
+#[test]
+fn server_survives_client_errors_and_disconnects() {
+    let mut server = start_server(ManagerKind::GreedyTimeout, 3);
+    let addr = server.addr();
+
+    // A client that vanishes mid-batch must not wedge a worker.
+    {
+        let mut rude = KvClient::connect(addr).unwrap();
+        rude.put(0, 1).unwrap();
+        drop(rude); // no QUIT
+    }
+    // A client that sends garbage keeps its connection and the server alive.
+    let mut client = KvClient::connect(addr).unwrap();
+    assert!(client.get(KEYS * 10).is_err(), "out-of-range key must ERR");
+    client.ping().unwrap();
+    assert_eq!(client.get(0).unwrap(), Some(1));
+    client.quit().unwrap();
+    server.shutdown();
+}
+
+#[test]
+fn bench_client_emits_throughput_latency_json_per_manager() {
+    // The acceptance criterion: the closed-loop bench client drives a live
+    // server per manager and emits the same JSON cells as the in-process
+    // sweeps, with throughput and per-op latency populated.
+    let mut cells = Vec::new();
+    for manager in [ManagerKind::Greedy, ManagerKind::Karma] {
+        let mut server = start_server(manager, 3);
+        let cfg = stm_bench::NetLoadConfig {
+            connections: 2,
+            key_range: KEYS,
+            duration: Duration::from_millis(60),
+            mix: stm_bench::OpMix::read_mostly(),
+            range_span: 4,
+            batch_fraction: 0.25,
+            ..stm_bench::NetLoadConfig::default()
+        };
+        let cell = stm_bench::run_netload(server.addr(), manager.name(), &cfg).unwrap();
+        assert_eq!(cell.manager, manager.name());
+        assert_eq!(cell.structure, "stm-kv");
+        assert!(cell.commits > 0, "{manager}: no completed requests");
+        assert!(cell.throughput > 0.0);
+        assert!(!cell.per_op.is_empty(), "{manager}: no latency breakdown");
+        cells.push(cell);
+        server.shutdown();
+    }
+    let json = stm_bench::render_rows(&cells);
+    for manager in ["greedy", "karma"] {
+        assert!(
+            json.contains(&format!("\"manager\": \"{manager}\"")),
+            "JSON missing {manager} cell"
+        );
+    }
+    assert!(json.contains("\"throughput\""));
+    assert!(json.contains("\"p99_us\""));
+}

@@ -90,6 +90,19 @@ fn rbtree_matches_btreeset() {
 }
 
 #[test]
+fn sharded_set_matches_btreeset_across_shard_counts() {
+    let mut rng = SmallRng::seed_from_u64(0x5a4d_1234);
+    for shards in [1usize, 2, 7, 16] {
+        for _case in 0..12 {
+            check_against_model(
+                &ShardedTxSet::rbtree(shards),
+                &random_ops(&mut rng, 96, 250),
+            );
+        }
+    }
+}
+
+#[test]
 fn rbtree_invariants_hold_throughout() {
     let mut rng = SmallRng::seed_from_u64(0x4b_114a);
     for _case in 0..48 {
@@ -191,6 +204,12 @@ fn skiplist_range_matches_btreeset() {
 #[test]
 fn rbtree_range_matches_btreeset() {
     check_range_against_model(TxRbTree::new, 0x3a9e_0002, 96);
+}
+
+#[test]
+fn sharded_range_merges_shards_in_order() {
+    // Cross-shard ranges must interleave the per-shard runs correctly.
+    check_range_against_model(|| ShardedTxSet::rbtree(5), 0x3a9e_0004, 96);
 }
 
 #[test]
