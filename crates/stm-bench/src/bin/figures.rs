@@ -13,10 +13,13 @@
 //! `matrix` (the workload matrix: structures × op mixes × managers ×
 //! threads), `readfrac` (throughput vs. read fraction 0..=1), `server`
 //! (over-the-wire `stm-kv` cells: one live server per manager, driven by
-//! the closed-loop network client), `chain` (the Section 4 adversarial
-//! chain), `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
+//! the closed-loop network client), `durability` (E11: fsync policy ×
+//! manager over a WAL-backed server, volatile baseline included), `ablate`
+//! (E12: one `ManagerParams` knob per figure — greedy timeout, karma
+//! increment, backoff cap), `chain` (the Section 4 adversarial chain),
+//! `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
 //! `ablation-reads` (visible vs invisible reads), `all` (everything except
-//! `matrix`, `readfrac` and `server`).
+//! `matrix`, `readfrac`, `server`, `durability` and `ablate`).
 //!
 //! Flags: `--sweep paper|quick|smoke|machine` selects the sweep size —
 //! `machine` sizes the thread axis to the host (1..=2× available
@@ -28,11 +31,12 @@
 use std::time::Duration;
 
 use stm_bench::{
-    bound_experiment, chain_experiment, default_read_fractions, fig1_list, fig2_skiplist,
-    fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, render_figure_table,
-    render_matrix_table, render_op_breakdown, render_read_fraction_table, render_rows,
-    run_netload, run_workload, starvation_experiment, workload_matrix, NetLoadConfig, OpMix,
-    StructureKind, SweepConfig, WorkloadConfig,
+    ablation_sweep, bound_experiment, chain_experiment, default_ablation_knobs,
+    default_durability_policies, default_read_fractions, durability_matrix, fig1_list,
+    fig2_skiplist, fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep,
+    render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
+    render_rows, run_netload, run_workload, starvation_experiment, workload_matrix,
+    NetLoadConfig, OpMix, StructureKind, SweepConfig, WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
@@ -173,6 +177,52 @@ fn main() {
                 } else {
                     println!("{}", render_matrix_table(&cells));
                     println!("{}", render_op_breakdown(&cells));
+                }
+            }
+            "durability" => {
+                // E11: fsync policy × manager over a live WAL-backed server
+                // (plus the volatile baseline), temp dirs per cell.
+                let connections = 4usize;
+                let cfg = NetLoadConfig {
+                    connections,
+                    key_range: sweep.base.key_range.min(4096),
+                    duration: if quick {
+                        Duration::from_millis(80)
+                    } else {
+                        sweep.base.duration.max(Duration::from_millis(150))
+                    },
+                    mix: OpMix::update_only(), // every op logs: worst case
+                    range_span: sweep.base.range_span,
+                    batch_fraction: 0.2,
+                    ..NetLoadConfig::default()
+                };
+                let policies = default_durability_policies();
+                let managers: Vec<_> = if quick {
+                    vec![stm_cm::ManagerKind::Greedy, stm_cm::ManagerKind::Karma]
+                } else {
+                    sweep.managers.clone()
+                };
+                let cells = durability_matrix(&policies, &managers, &cfg);
+                if json {
+                    println!("{}", render_rows(&cells));
+                } else {
+                    println!("{}", render_matrix_table(&cells));
+                    println!("{}", render_op_breakdown(&cells));
+                }
+            }
+            "ablate" => {
+                // E12: one ManagerParams knob per figure, varied around the
+                // historical default at the most contended thread count.
+                let mut ablate_sweep = sweep.clone();
+                if quick {
+                    ablate_sweep.base.duration = Duration::from_millis(40);
+                }
+                let cells =
+                    ablation_sweep(StructureKind::List, &default_ablation_knobs(), &ablate_sweep);
+                if json {
+                    println!("{}", render_rows(&cells));
+                } else {
+                    println!("{}", render_matrix_table(&cells));
                 }
             }
             "chain" => {

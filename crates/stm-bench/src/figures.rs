@@ -1,10 +1,13 @@
 //! Figure generators: one function per figure of the paper's Section 5, plus
 //! the machine-sized workload matrix over (structure × mix × manager ×
-//! threads) cells.
+//! threads) cells and the manager-parameter ablation sweep.
+
+use std::time::Duration;
 
 use serde::Serialize;
+use stm_cm::{ManagerKind, ManagerParams};
 
-use crate::workload::{run_workload, StructureKind, SweepConfig, WorkloadResult};
+use crate::workload::{run_workload, run_workload_with, StructureKind, SweepConfig, WorkloadResult};
 
 /// One manager's throughput curve: committed transactions per second as a
 /// function of the thread count.
@@ -226,11 +229,115 @@ pub fn workload_matrix(structures: &[StructureKind], cfg: &SweepConfig) -> Vec<W
     cells
 }
 
+/// One knob of the [`ManagerParams`] ablation: which manager it applies to,
+/// the knob's name, and the values to sweep (defaults included).
+#[derive(Debug, Clone)]
+pub struct AblationKnob {
+    /// Manager whose behaviour the knob changes.
+    pub manager: ManagerKind,
+    /// Stable knob name (used in the cell's manager label).
+    pub knob: &'static str,
+    /// `(value label, params)` points, ascending by value.
+    pub points: Vec<(String, ManagerParams)>,
+}
+
+/// The default ablation: one figure per knob, each varying a single
+/// [`ManagerParams`] field around its historical default — the knobs the
+/// paper's Section 6 discussion predicts crossovers for.
+///
+/// * `greedy_timeout` (greedy-timeout): the initial presumed-halt time-out.
+///   Too short kills healthy enemies spuriously; too long stalls behind
+///   genuinely dead ones.
+/// * `karma_increment` (karma): priority earned per object opened. Larger
+///   increments separate long transactions from short ones faster, at the
+///   cost of starving newcomers longer.
+/// * `backoff_cap` (backoff): the exponential-backoff ceiling. A small cap
+///   degenerates toward aggressive retry; a large cap toward politeness.
+pub fn default_ablation_knobs() -> Vec<AblationKnob> {
+    let us = Duration::from_micros;
+    let timeout_values = [us(10), us(50), us(250), us(1_000)];
+    let increment_values = [1u64, 4, 16, 64];
+    let cap_values = [us(100), us(1_000), us(10_000)];
+    vec![
+        AblationKnob {
+            manager: ManagerKind::GreedyTimeout,
+            knob: "greedy_timeout",
+            points: timeout_values
+                .iter()
+                .map(|&value| {
+                    (
+                        format!("{}us", value.as_micros()),
+                        ManagerParams {
+                            greedy_timeout: value,
+                            ..ManagerParams::default()
+                        },
+                    )
+                })
+                .collect(),
+        },
+        AblationKnob {
+            manager: ManagerKind::Karma,
+            knob: "karma_increment",
+            points: increment_values
+                .iter()
+                .map(|&value| {
+                    (
+                        value.to_string(),
+                        ManagerParams {
+                            karma_increment: value,
+                            ..ManagerParams::default()
+                        },
+                    )
+                })
+                .collect(),
+        },
+        AblationKnob {
+            manager: ManagerKind::Backoff,
+            knob: "backoff_cap",
+            points: cap_values
+                .iter()
+                .map(|&value| {
+                    (
+                        format!("{}us", value.as_micros()),
+                        ManagerParams {
+                            backoff_cap: value,
+                            ..ManagerParams::default()
+                        },
+                    )
+                })
+                .collect(),
+        },
+    ]
+}
+
+/// Runs the parameter-ablation sweep: for every knob and every value, one
+/// workload at the largest thread count of `cfg` (the contended point where
+/// the knobs matter). Cells are the standard [`WorkloadResult`] JSON rows;
+/// the manager field carries the knob setting, e.g.
+/// `karma[karma_increment=16]`, so one figure groups by knob value.
+pub fn ablation_sweep(
+    structure: StructureKind,
+    knobs: &[AblationKnob],
+    cfg: &SweepConfig,
+) -> Vec<WorkloadResult> {
+    let threads = cfg.thread_counts.iter().copied().max().unwrap_or(1);
+    let mut cells = Vec::new();
+    for knob in knobs {
+        for (label, params) in &knob.points {
+            let mut run_cfg = cfg.base;
+            run_cfg.threads = threads;
+            let mut cell = run_workload_with(knob.manager, *params, &structure, &run_cfg);
+            cell.manager = format!("{}[{}={}]", knob.manager.name(), knob.knob, label);
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::workload::{OpMix, WorkloadConfig};
-    use std::time::Duration;
     use stm_cm::ManagerKind;
 
     fn smoke_cfg() -> SweepConfig {
@@ -330,6 +437,51 @@ mod tests {
     fn matrix_structures_exclude_the_forest() {
         let names: Vec<&str> = matrix_structures().iter().map(|s| s.name()).collect();
         assert_eq!(names, vec!["list", "skiplist", "rbtree"]);
+    }
+
+    #[test]
+    fn ablation_sweep_labels_every_knob_value() {
+        let mut cfg = smoke_cfg();
+        cfg.thread_counts = vec![2];
+        cfg.base.duration = Duration::from_millis(15);
+        cfg.base.key_range = 32;
+        // One two-point knob keeps the test fast; the default knob set is
+        // validated structurally below.
+        let knob = AblationKnob {
+            manager: ManagerKind::Karma,
+            knob: "karma_increment",
+            points: [1u64, 8]
+                .iter()
+                .map(|&v| {
+                    (
+                        v.to_string(),
+                        ManagerParams {
+                            karma_increment: v,
+                            ..ManagerParams::default()
+                        },
+                    )
+                })
+                .collect(),
+        };
+        let cells = ablation_sweep(StructureKind::List, &[knob], &cfg);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].manager, "karma[karma_increment=1]");
+        assert_eq!(cells[1].manager, "karma[karma_increment=8]");
+        for cell in &cells {
+            assert!(cell.commits > 0, "empty ablation cell: {cell:?}");
+            assert_eq!(cell.threads, 2);
+        }
+        let defaults = default_ablation_knobs();
+        assert_eq!(defaults.len(), 3, "greedy_timeout, karma_increment, backoff_cap");
+        for knob in &defaults {
+            assert!(knob.points.len() >= 3, "{}: too few points", knob.knob);
+            // Every knob set must include the historical default value.
+            assert!(
+                knob.points.iter().any(|(_, p)| *p == ManagerParams::default()),
+                "{}: default value missing from sweep",
+                knob.knob
+            );
+        }
     }
 
     #[test]

@@ -15,6 +15,8 @@
 //! | E8 | Workload matrix — mixes × structures × managers × threads | [`figures::workload_matrix`] |
 //! | E9 | Read-fraction sweep — throughput vs lookup share 0..=1 | [`figures::read_fraction_sweep`] |
 //! | E10 | Served load — closed-loop TCP clients vs a live `stm-kv` server | [`netload::run_netload`] |
+//! | E11 | Durability overhead — fsync policy × manager over a WAL-backed server | [`netload::durability_matrix`] |
+//! | E12 | Manager-parameter ablation — one `ManagerParams` knob per figure | [`figures::ablation_sweep`] |
 //!
 //! The paper measures committed transactions per second as a function of the
 //! number of threads (1–32) on a 256-key integer set with a 100% update mix;
@@ -40,11 +42,11 @@ pub mod theory;
 pub mod workload;
 
 pub use figures::{
-    default_read_fractions, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest,
-    matrix_structures, read_fraction_sweep, workload_matrix, FigureData, FractionSeries,
-    ReadFractionSweep, Series,
+    ablation_sweep, default_ablation_knobs, default_read_fractions, fig1_list, fig2_skiplist,
+    fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, workload_matrix,
+    AblationKnob, FigureData, FractionSeries, ReadFractionSweep, Series,
 };
-pub use netload::{run_netload, NetLoadConfig};
+pub use netload::{default_durability_policies, durability_matrix, run_netload, NetLoadConfig};
 pub use report::{
     render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
     render_rows,
@@ -52,6 +54,6 @@ pub use report::{
 pub use starvation::{starvation_experiment, StarvationResult};
 pub use theory::{bound_experiment, chain_experiment, BoundRow, ChainRow};
 pub use workload::{
-    run_fixed_ops, run_workload, OpKind, OpMix, OpStats, StructureKind, SweepConfig,
-    WorkloadConfig, WorkloadResult,
+    run_fixed_ops, run_workload, run_workload_with, OpKind, OpMix, OpStats, StructureKind,
+    SweepConfig, WorkloadConfig, WorkloadResult,
 };

@@ -15,6 +15,7 @@
 //! in-process numbers for one manager land in one figure.
 
 use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Barrier};
 use std::thread;
@@ -23,7 +24,9 @@ use std::time::{Duration, Instant};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
-use stm_kv::{BatchOp, KvClient};
+use stm_cm::ManagerKind;
+use stm_kv::{BatchOp, KvClient, KvServer, ServerConfig};
+use stm_log::FsyncPolicy;
 
 use crate::workload::{OpKind, OpMix, OpRecorder, WorkloadResult};
 
@@ -205,11 +208,86 @@ pub fn run_netload(
     })
 }
 
+/// The fsync policies the durability experiment (E11) compares: synchronous
+/// durability, a 64-commit loss window, and a 5 ms loss window — plus the
+/// volatile baseline (`None`).
+pub fn default_durability_policies() -> Vec<Option<FsyncPolicy>> {
+    vec![
+        None,
+        Some(FsyncPolicy::EveryCommit),
+        Some(FsyncPolicy::EveryN(64)),
+        Some(FsyncPolicy::EveryMs(5)),
+    ]
+}
+
+/// Runs the durability netload matrix (E11): one live server per
+/// (fsync policy × manager) cell — each durable server on a fresh temporary
+/// WAL directory — driven by the closed-loop client. Fsync batching sits in
+/// the commit path, so it stretches transaction hold times and therefore
+/// conflict windows; comparing managers across policies shows how each one
+/// absorbs that shift. Cells carry the policy in the structure label
+/// (`stm-kv` for volatile, `stm-kv+wal[every]` etc. for durable), so the
+/// JSON groups naturally next to the E10 cells.
+///
+/// Servers that fail to start (or runs that fail mid-load) are skipped with
+/// a note on stderr; the returned cells cover everything that ran.
+pub fn durability_matrix(
+    policies: &[Option<FsyncPolicy>],
+    managers: &[ManagerKind],
+    cfg: &NetLoadConfig,
+) -> Vec<WorkloadResult> {
+    let mut cells = Vec::new();
+    for policy in policies {
+        for manager in managers {
+            let wal_dir = policy.map(|p| temp_wal_dir(*manager, p));
+            let mut server = match KvServer::start(ServerConfig {
+                manager: *manager,
+                capacity: cfg.key_range,
+                shards: 8,
+                workers: cfg.connections + 1,
+                wal_dir: wal_dir.clone(),
+                fsync: policy.unwrap_or(FsyncPolicy::EveryCommit),
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(err) => {
+                    eprintln!("E11: cannot start server for {manager}/{policy:?}: {err}");
+                    continue;
+                }
+            };
+            match run_netload(server.addr(), manager.name(), cfg) {
+                Ok(mut cell) => {
+                    cell.structure = match policy {
+                        None => "stm-kv".to_string(),
+                        Some(p) => format!("stm-kv+wal[{}]", p.label()),
+                    };
+                    cells.push(cell);
+                }
+                Err(err) => eprintln!("E11: netload against {manager}/{policy:?} failed: {err}"),
+            }
+            server.shutdown();
+            if let Some(dir) = wal_dir {
+                let _ = std::fs::remove_dir_all(dir);
+            }
+        }
+    }
+    cells
+}
+
+fn temp_wal_dir(manager: ManagerKind, policy: FsyncPolicy) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "stm-bench-e11-{}-{}-{}",
+        manager.name(),
+        policy.label().replace('=', "-"),
+        std::process::id(),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use stm_cm::ManagerKind;
-    use stm_kv::{KvServer, ServerConfig};
 
     #[test]
     fn netload_produces_a_cell_against_a_live_server() {
@@ -249,5 +327,28 @@ mod tests {
         let json = crate::report::render_rows(&vec![cell]);
         assert!(json.contains("\"structure\": \"stm-kv\""));
         assert!(json.contains("\"per_op\""));
+    }
+
+    #[test]
+    fn durability_matrix_covers_policies_and_labels_cells() {
+        let cfg = NetLoadConfig {
+            connections: 2,
+            key_range: 64,
+            duration: Duration::from_millis(40),
+            mix: OpMix::update_only(),
+            batch_fraction: 0.3,
+            ..NetLoadConfig::default()
+        };
+        let policies = [None, Some(FsyncPolicy::EveryN(16))];
+        let cells = durability_matrix(&policies, &[ManagerKind::Greedy], &cfg);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].structure, "stm-kv");
+        assert_eq!(cells[1].structure, "stm-kv+wal[n=16]");
+        for cell in &cells {
+            assert_eq!(cell.manager, "greedy");
+            assert!(cell.commits > 0, "empty E11 cell: {cell:?}");
+            assert!(cell.throughput > 0.0);
+        }
+        assert_eq!(default_durability_policies().len(), 4);
     }
 }

@@ -22,7 +22,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::Serialize;
 
-use stm_cm::ManagerKind;
+use stm_cm::{ManagerKind, ManagerParams};
 use stm_core::{Stm, TxResult, Txn};
 use stm_structures::forest::UpdateScope;
 use stm_structures::{TxList, TxRbForest, TxRbTree, TxSet, TxSkipList};
@@ -553,9 +553,21 @@ pub fn run_workload(
     structure: &StructureKind,
     cfg: &WorkloadConfig,
 ) -> WorkloadResult {
+    run_workload_with(manager, ManagerParams::default(), structure, cfg)
+}
+
+/// Like [`run_workload`], but with explicit [`ManagerParams`] — the entry
+/// point of the parameter-ablation sweeps, which vary one knob at a time
+/// around the historical defaults.
+pub fn run_workload_with(
+    manager: ManagerKind,
+    params: ManagerParams,
+    structure: &StructureKind,
+    cfg: &WorkloadConfig,
+) -> WorkloadResult {
     assert!(cfg.threads > 0, "need at least one thread");
     assert!(cfg.key_range > 0, "key range must be positive");
-    let stm = Arc::new(Stm::builder().manager(manager.factory()).build());
+    let stm = Arc::new(Stm::builder().manager(manager.factory_with(params)).build());
     let built = Arc::new(build_structure(structure));
     prefill(&stm, &built, cfg.key_range);
 

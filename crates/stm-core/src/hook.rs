@@ -1,0 +1,235 @@
+//! Commit observation: publishing a transaction's write-set atomically at
+//! commit time.
+//!
+//! A durable service built on the STM (the `stm-kv` server with its
+//! `stm-log` write-ahead log) needs every committed transaction to hand its
+//! write-set to a logger **in serialization order** — otherwise a replay of
+//! the log could apply two writes to the same object in the wrong order and
+//! recover a state no serial execution produced.
+//!
+//! The runtime makes that possible with a [`CommitHook`]: a closure running
+//! inside [`crate::ThreadCtx::atomically`] calls [`crate::Txn::publish`]
+//! with [`CommitOp`]s describing the application-level effect of its writes,
+//! and the hook installed via [`crate::StmBuilder::commit_hook`] is handed
+//! those ops **wrapped around the commit linearization point**: the hook
+//! receives a `commit` closure that performs the attempt's status CAS and
+//! must invoke it exactly once, recording the ops only when it returns
+//! `true`. A hook that assigns sequence numbers and buffers records under
+//! one internal lock held across the `commit()` call therefore observes
+//! exactly the serialization order of the transactions it logs:
+//!
+//! * if transaction `B` reads or overwrites an object `A` wrote, `B` can
+//!   only acquire the object after `A`'s status CAS — which happened inside
+//!   `A`'s critical section — so `B` enters the hook strictly after `A`;
+//! * transactions that never conflict may be logged in either order, and
+//!   either order is a correct serialization.
+//!
+//! Transactions that publish nothing bypass the hook entirely (their commit
+//! is the plain uncontended CAS), so a read-only request costs nothing
+//! extra. [`crate::ThreadCtx::atomically_logged`] forces even an empty
+//! write-set through the hook — that is how a snapshotter obtains a
+//! sequence number marking a consistent cut of the log.
+
+/// One entry of a committed transaction's published write-set: an
+/// application-defined object id and its new state.
+///
+/// The ids are chosen by the publisher (the `stm-kv` store publishes its
+/// keys), not by the runtime; the runtime only guarantees ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CommitOp {
+    /// Object `id` now holds `value`.
+    Put {
+        /// Application-defined object id.
+        id: i64,
+        /// The committed value.
+        value: i64,
+    },
+    /// Object `id` was removed.
+    Del {
+        /// Application-defined object id.
+        id: i64,
+    },
+}
+
+impl CommitOp {
+    /// The object id this op touches.
+    pub fn id(&self) -> i64 {
+        match *self {
+            CommitOp::Put { id, .. } | CommitOp::Del { id } => id,
+        }
+    }
+}
+
+/// A commit observer installed on an [`crate::Stm`] via
+/// [`crate::StmBuilder::commit_hook`].
+///
+/// See the [module documentation](self) for the ordering contract.
+pub trait CommitHook: Send + Sync {
+    /// Wraps the linearization point of one attempt's commit.
+    ///
+    /// `ops` is the write-set the transaction published (possibly empty when
+    /// the caller used [`crate::ThreadCtx::atomically_logged`]); `commit`
+    /// performs the attempt's `Active → Committed` status CAS.
+    /// Implementations **must call `commit` exactly once**. When it returns
+    /// `true` the implementation records `ops`, assigns them a sequence
+    /// number and returns it — holding one internal lock across the
+    /// `commit()` call and the recording so record order matches commit
+    /// order. When `commit` returns `false` (an enemy aborted the attempt
+    /// first) the implementation records nothing and returns `None`.
+    fn on_commit(&self, ops: &[CommitOp], commit: &mut dyn FnMut() -> bool) -> Option<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Stm, TVar};
+    use std::sync::{Arc, Mutex};
+
+    /// One `(seq, write-set)` record a test hook captured.
+    type Recorded = (u64, Vec<CommitOp>);
+
+    /// A hook that implements the intended locking discipline and remembers
+    /// every record in order.
+    #[derive(Default)]
+    struct RecordingHook {
+        log: Mutex<(u64, Vec<Recorded>)>,
+    }
+
+    impl CommitHook for RecordingHook {
+        fn on_commit(&self, ops: &[CommitOp], commit: &mut dyn FnMut() -> bool) -> Option<u64> {
+            let mut log = self.log.lock().unwrap();
+            if !commit() {
+                return None;
+            }
+            log.0 += 1;
+            let seq = log.0;
+            log.1.push((seq, ops.to_vec()));
+            Some(seq)
+        }
+    }
+
+    #[test]
+    fn published_ops_reach_the_hook_in_commit_order() {
+        let hook = Arc::new(RecordingHook::default());
+        let stm = Stm::builder().commit_hook(hook.clone()).build();
+        let v = TVar::new(0i64);
+        let mut ctx = stm.thread();
+        for i in 1..=3i64 {
+            let (result, report) = ctx.atomically_traced(|tx| {
+                tx.write(&v, i)?;
+                tx.publish(CommitOp::Put { id: 7, value: i });
+                Ok(())
+            });
+            result.unwrap();
+            assert_eq!(report.commit_seq, Some(i as u64));
+        }
+        let log = hook.log.lock().unwrap();
+        assert_eq!(
+            log.1,
+            vec![
+                (1, vec![CommitOp::Put { id: 7, value: 1 }]),
+                (2, vec![CommitOp::Put { id: 7, value: 2 }]),
+                (3, vec![CommitOp::Put { id: 7, value: 3 }]),
+            ]
+        );
+    }
+
+    #[test]
+    fn unpublished_transactions_bypass_the_hook() {
+        let hook = Arc::new(RecordingHook::default());
+        let stm = Stm::builder().commit_hook(hook.clone()).build();
+        let v = TVar::new(0i64);
+        let mut ctx = stm.thread();
+        let (result, report) = ctx.atomically_traced(|tx| tx.read(&v));
+        assert_eq!(result.unwrap(), 0);
+        assert_eq!(report.commit_seq, None);
+        assert!(hook.log.lock().unwrap().1.is_empty());
+    }
+
+    #[test]
+    fn atomically_logged_forces_an_empty_record_through() {
+        let hook = Arc::new(RecordingHook::default());
+        let stm = Stm::builder().commit_hook(hook.clone()).build();
+        let v = TVar::new(5i64);
+        let mut ctx = stm.thread();
+        let (result, report) = ctx.atomically_logged(|tx| tx.read(&v));
+        assert_eq!(result.unwrap(), 5);
+        assert_eq!(report.commit_seq, Some(1));
+        assert_eq!(hook.log.lock().unwrap().1, vec![(1, Vec::new())]);
+    }
+
+    #[test]
+    fn only_the_committing_attempt_is_logged() {
+        use crate::error::{AbortCause, StmError};
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let hook = Arc::new(RecordingHook::default());
+        let stm = Stm::builder().commit_hook(hook.clone()).build();
+        let v = TVar::new(0i64);
+        let failures = AtomicU64::new(2);
+        let mut ctx = stm.thread();
+        let (result, report) = ctx.atomically_traced(|tx| {
+            let next = tx.read(&v)? + 1;
+            tx.write(&v, next)?;
+            tx.publish(CommitOp::Put { id: 0, value: next });
+            if failures.load(Ordering::Relaxed) > 0 {
+                failures.fetch_sub(1, Ordering::Relaxed);
+                return Err(StmError::Aborted(AbortCause::ValidationFailed));
+            }
+            Ok(())
+        });
+        result.unwrap();
+        assert_eq!(report.attempts, 3);
+        assert_eq!(report.commit_seq, Some(1));
+        // The two aborted attempts published too, but never reached the hook.
+        assert_eq!(
+            hook.log.lock().unwrap().1,
+            vec![(1, vec![CommitOp::Put { id: 0, value: 1 }])]
+        );
+        assert_eq!(stm.read_atomic(&v), 1);
+    }
+
+    #[test]
+    fn replaying_the_log_reproduces_contended_final_state() {
+        use std::thread;
+        let hook = Arc::new(RecordingHook::default());
+        let stm = Arc::new(Stm::builder().commit_hook(hook.clone()).build());
+        let cells: Vec<TVar<i64>> = (0..4).map(|_| TVar::new(0)).collect();
+        thread::scope(|scope| {
+            for t in 0..4usize {
+                let stm = Arc::clone(&stm);
+                let cells = cells.clone();
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for i in 0..100u64 {
+                        let id = ((t as u64 + i) % 4) as usize;
+                        ctx.atomically(|tx| {
+                            let next = tx.read(&cells[id])? + 1;
+                            tx.write(&cells[id], next)?;
+                            tx.publish(CommitOp::Put {
+                                id: id as i64,
+                                value: next,
+                            });
+                            Ok(())
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        // Replay: the last Put per id in log order must equal the final
+        // committed state — the property WAL recovery depends on.
+        let log = hook.log.lock().unwrap();
+        assert_eq!(log.1.len(), 400);
+        let mut replayed = [0i64; 4];
+        for (_, ops) in &log.1 {
+            for op in ops {
+                if let CommitOp::Put { id, value } = op {
+                    replayed[*id as usize] = *value;
+                }
+            }
+        }
+        for (id, cell) in cells.iter().enumerate() {
+            assert_eq!(replayed[id], stm.read_atomic(cell), "object {id} diverged");
+        }
+    }
+}

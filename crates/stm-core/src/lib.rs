@@ -59,6 +59,7 @@
 
 pub mod clock;
 pub mod error;
+pub mod hook;
 pub mod manager;
 pub mod stats;
 pub mod status;
@@ -69,6 +70,7 @@ pub mod wait;
 
 pub use clock::TimestampClock;
 pub use error::{AbortCause, StmError, TxResult};
+pub use hook::{CommitHook, CommitOp};
 pub use manager::{ConflictKind, ContentionManager, ManagerFactory, Resolution, TxView};
 pub use stats::{StmStats, TxRunReport, TxnStats};
 pub use status::TxStatus;

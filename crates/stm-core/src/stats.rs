@@ -67,6 +67,11 @@ pub struct TxRunReport {
     pub reads: u64,
     /// Transactional writes across all attempts.
     pub writes: u64,
+    /// Sequence number the [`crate::CommitHook`] assigned to the committed
+    /// attempt's published write-set (`None` without a hook, when nothing
+    /// was published, or when the call did not commit). Durable callers
+    /// wait on this to know their log record reached stable storage.
+    pub commit_seq: Option<u64>,
 }
 
 impl TxRunReport {

@@ -5,6 +5,7 @@ use std::sync::Arc;
 
 use crate::clock::TimestampClock;
 use crate::error::{AbortCause, StmError, TxResult};
+use crate::hook::CommitHook;
 use crate::manager::{factory, ContentionManager, ManagerFactory, PoliteManager, TxView};
 use crate::stats::{StmStats, TxRunReport};
 use crate::tvar::TVar;
@@ -35,6 +36,7 @@ pub(crate) struct StmConfig {
     pub(crate) validate_on_open: bool,
     pub(crate) max_retries: Option<u64>,
     pub(crate) manager_factory: ManagerFactory,
+    pub(crate) commit_hook: Option<Arc<dyn CommitHook>>,
 }
 
 impl std::fmt::Debug for StmConfig {
@@ -43,6 +45,7 @@ impl std::fmt::Debug for StmConfig {
             .field("read_visibility", &self.read_visibility)
             .field("validate_on_open", &self.validate_on_open)
             .field("max_retries", &self.max_retries)
+            .field("commit_hook", &self.commit_hook.is_some())
             .finish()
     }
 }
@@ -54,6 +57,7 @@ impl Default for StmConfig {
             validate_on_open: true,
             max_retries: None,
             manager_factory: factory(PoliteManager::default),
+            commit_hook: None,
         }
     }
 }
@@ -103,6 +107,14 @@ impl StmBuilder {
     /// created from this STM (default: [`PoliteManager`]).
     pub fn manager(mut self, factory: ManagerFactory) -> Self {
         self.config.manager_factory = factory;
+        self
+    }
+
+    /// Installs a [`CommitHook`] observing every committed transaction that
+    /// published a write-set (default: none). See [`crate::hook`] for the
+    /// ordering contract the runtime provides.
+    pub fn commit_hook(mut self, hook: Arc<dyn CommitHook>) -> Self {
+        self.config.commit_hook = Some(hook);
         self
     }
 
@@ -237,7 +249,32 @@ impl<'stm> ThreadCtx<'stm> {
     /// conflicts, waits. Request-serving callers (the `stm-kv` server, the
     /// benchmark drivers) use this to attribute contention to the individual
     /// request instead of the process-wide [`crate::StmStats`] aggregate.
-    pub fn atomically_traced<T, F>(&mut self, mut body: F) -> (Result<T, StmError>, TxRunReport)
+    pub fn atomically_traced<T, F>(&mut self, body: F) -> (Result<T, StmError>, TxRunReport)
+    where
+        F: FnMut(&mut Txn<'_>) -> TxResult<T>,
+    {
+        self.run(body, false)
+    }
+
+    /// Like [`ThreadCtx::atomically_traced`], but every committed attempt
+    /// passes through the [`crate::StmBuilder::commit_hook`] even when the
+    /// closure published no [`crate::CommitOp`]s, and the sequence number
+    /// the hook assigned lands in [`TxRunReport::commit_seq`].
+    ///
+    /// Durable request-serving callers use this for two things: waiting for
+    /// a write to become durable (`commit_seq` names the log record to wait
+    /// for) and obtaining a *consistent cut* — a read-only transaction run
+    /// through `atomically_logged` gets a sequence number `S` such that the
+    /// state it observed is exactly the replay of log records `1..=S`, which
+    /// is what makes point-in-time snapshots of a live keyspace correct.
+    pub fn atomically_logged<T, F>(&mut self, body: F) -> (Result<T, StmError>, TxRunReport)
+    where
+        F: FnMut(&mut Txn<'_>) -> TxResult<T>,
+    {
+        self.run(body, true)
+    }
+
+    fn run<T, F>(&mut self, mut body: F, force_publish: bool) -> (Result<T, StmError>, TxRunReport)
     where
         F: FnMut(&mut Txn<'_>) -> TxResult<T>,
     {
@@ -254,11 +291,15 @@ impl<'stm> ThreadCtx<'stm> {
             let manager: &mut dyn ContentionManager = self.manager.as_mut();
             manager.begin(TxView::new(&shared));
             let mut txn = Txn::new(stm, Arc::clone(&shared), manager);
+            if force_publish {
+                txn.publish_marker();
+            }
             let outcome = body(&mut txn);
             report.absorb_attempt(txn.stats());
             match outcome {
                 Ok(value) => {
                     if txn.finish_commit() {
+                        report.commit_seq = txn.commit_seq();
                         return (Ok(value), report);
                     }
                     let validation = txn.validation_failed();

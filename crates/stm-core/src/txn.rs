@@ -20,6 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::error::{AbortCause, StmError, TxResult};
+use crate::hook::CommitOp;
 use crate::manager::{ConflictKind, ContentionManager, Resolution, TxView};
 use crate::stats::TxnStats;
 use crate::status::{AtomicStatus, TxStatus};
@@ -233,6 +234,9 @@ pub struct Txn<'ctx> {
     reads: Vec<Box<dyn TrackedRead>>,
     writes: Vec<Box<dyn TrackedWrite>>,
     stats: TxnStats,
+    published: Vec<CommitOp>,
+    publish_forced: bool,
+    commit_seq: Option<u64>,
     validation_failed: bool,
     finished: bool,
 }
@@ -261,6 +265,9 @@ impl<'ctx> Txn<'ctx> {
             reads: Vec::new(),
             writes: Vec::new(),
             stats: TxnStats::new(),
+            published: Vec::new(),
+            publish_forced: false,
+            commit_seq: None,
             validation_failed: false,
             finished: false,
         }
@@ -297,6 +304,29 @@ impl<'ctx> Txn<'ctx> {
     /// reports it to the caller without retrying.
     pub fn abort<T>(&mut self) -> TxResult<T> {
         Err(StmError::Aborted(AbortCause::Explicit))
+    }
+
+    /// Publishes one [`CommitOp`] to the [`crate::CommitHook`] installed on
+    /// the [`Stm`]. Ops accumulate in publish order and are handed to the
+    /// hook atomically at this attempt's commit point; an aborted attempt
+    /// publishes nothing (the retry starts with an empty set). A no-op when
+    /// no hook is installed.
+    pub fn publish(&mut self, op: CommitOp) {
+        self.published.push(op);
+    }
+
+    /// Forces this transaction through the commit hook even when nothing
+    /// was published, so its commit receives a sequence number — the
+    /// consistent-cut marker [`crate::ThreadCtx::atomically_logged`] uses.
+    pub fn publish_marker(&mut self) {
+        self.publish_forced = true;
+    }
+
+    /// The sequence number the commit hook assigned to this transaction's
+    /// published write-set (`None` before commit, without a hook, or when
+    /// nothing was published and no marker was requested).
+    pub fn commit_seq(&self) -> Option<u64> {
+        self.commit_seq
     }
 
     /// Reads the value of `tvar`, returning a clone.
@@ -559,7 +589,26 @@ impl<'ctx> Txn<'ctx> {
         if !self.validate() {
             return false;
         }
-        if !self.shared.try_commit() {
+        let hook = self
+            .stm
+            .config()
+            .commit_hook
+            .clone()
+            .filter(|_| self.publish_forced || !self.published.is_empty());
+        let committed = match hook {
+            Some(hook) => {
+                // The hook wraps the linearization point: it performs the
+                // status CAS under its own ordering lock and records the
+                // published ops only when the CAS succeeds, so log order
+                // matches serialization order (see `crate::hook`).
+                let shared = Arc::clone(&self.shared);
+                let seq = hook.on_commit(&self.published, &mut || shared.try_commit());
+                self.commit_seq = seq;
+                seq.is_some()
+            }
+            None => self.shared.try_commit(),
+        };
+        if !committed {
             return false;
         }
         for write in &self.writes {

@@ -32,8 +32,13 @@ use stm_kv::{KvServer, ServerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: stm-kv-server [--addr HOST:PORT] [--manager NAME] \
-         [--capacity N] [--shards N] [--workers N]\n\
-         managers: {}",
+         [--capacity N] [--shards N] [--workers N] \
+         [--wal-dir PATH] [--fsync every|n=COUNT|ms=MILLIS] [--snapshot-every N]\n\
+         managers: {}\n\
+         --wal-dir enables durability: the keyspace is recovered from PATH on \
+         start and every mutating request is logged; --fsync picks the group-\
+         commit policy (default every); --snapshot-every takes a snapshot per \
+         N logged records (default 0 = only on SNAPSHOT)",
         stm_cm::all_manager_names().join(", ")
     );
     std::process::exit(2);
@@ -63,6 +68,17 @@ fn main() {
             "--capacity" => config.capacity = value.parse().unwrap_or_else(|_| usage()),
             "--shards" => config.shards = value.parse().unwrap_or_else(|_| usage()),
             "--workers" => config.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--wal-dir" => config.wal_dir = Some(value.into()),
+            "--fsync" => match value.parse() {
+                Ok(policy) => config.fsync = policy,
+                Err(err) => {
+                    eprintln!("{err}");
+                    usage();
+                }
+            },
+            "--snapshot-every" => {
+                config.snapshot_every = value.parse().unwrap_or_else(|_| usage());
+            }
             _ => usage(),
         }
     }
@@ -73,11 +89,20 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!(
-        "stm-kv listening on {} (manager: {})",
-        server.addr(),
-        server.manager().name()
-    );
+    match server.wal() {
+        Some(wal) => println!(
+            "stm-kv listening on {} (manager: {}, wal: {} fsync={})",
+            server.addr(),
+            server.manager().name(),
+            wal.dir().display(),
+            wal.policy()
+        ),
+        None => println!(
+            "stm-kv listening on {} (manager: {}, volatile)",
+            server.addr(),
+            server.manager().name()
+        ),
+    }
     // Serve until killed.
     loop {
         std::thread::sleep(Duration::from_secs(3600));

@@ -60,6 +60,34 @@ pub struct ServerStatsSnapshot {
     pub connections: u64,
 }
 
+/// The parsed payload of a `WALSTATS` reply (durable servers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalStatsSnapshot {
+    /// Fsync policy label (`every`, `n=<count>`, `ms=<millis>`).
+    pub policy: String,
+    /// Next commit sequence number the log will assign.
+    pub next_seq: u64,
+    /// Highest sequence number covered by an fsync.
+    pub durable_seq: u64,
+    /// Records appended since the server started.
+    pub records: u64,
+    /// Bytes written to segment files since the server started.
+    pub bytes: u64,
+    /// fsync calls issued since the server started.
+    pub fsyncs: u64,
+    /// Segment files on disk.
+    pub segments: u64,
+    /// Snapshots written since the server started.
+    pub snapshots: u64,
+    /// Sequence number of the latest snapshot (0 = none).
+    pub last_snapshot_seq: u64,
+    /// Records appended since the latest snapshot.
+    pub since_snapshot: u64,
+    /// Whether the server's log writer stopped on an unrecoverable
+    /// filesystem error (durability disabled from that point).
+    pub failed: bool,
+}
+
 /// A blocking connection to an `stm-kv` server.
 #[derive(Debug)]
 pub struct KvClient {
@@ -69,6 +97,16 @@ pub struct KvClient {
 
 fn proto_err(message: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message.into())
+}
+
+fn parse_counter_pair(pair: &str) -> io::Result<(&str, u64)> {
+    let (key, value) = pair
+        .split_once('=')
+        .ok_or_else(|| proto_err(format!("malformed counter pair '{pair}'")))?;
+    let value: u64 = value
+        .parse()
+        .map_err(|_| proto_err(format!("malformed counter value '{pair}'")))?;
+    Ok((key, value))
 }
 
 impl KvClient {
@@ -215,12 +253,7 @@ impl KvClient {
             .ok_or_else(|| proto_err(format!("unexpected reply '{line}' to STATS")))?;
         let mut stats = ServerStatsSnapshot::default();
         for pair in payload.split_whitespace() {
-            let Some((key, value)) = pair.split_once('=') else {
-                return Err(proto_err(format!("malformed STATS pair '{pair}'")));
-            };
-            let value: u64 = value
-                .parse()
-                .map_err(|_| proto_err(format!("malformed STATS value '{pair}'")))?;
+            let (key, value) = parse_counter_pair(pair)?;
             match key {
                 "commits" => stats.commits = value,
                 "aborts" => stats.aborts = value,
@@ -229,6 +262,60 @@ impl KvClient {
                 "retries" => stats.retries = value,
                 "errors" => stats.errors = value,
                 "connections" => stats.connections = value,
+                _ => {} // forward-compatible: ignore unknown counters
+            }
+        }
+        Ok(stats)
+    }
+
+    /// Forces a point-in-time snapshot on a durable server, returning the
+    /// cut sequence number and the number of keys persisted.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server `ERR` replies (e.g. a volatile server).
+    pub fn snapshot(&mut self) -> io::Result<(u64, usize)> {
+        match self.roundtrip(&Request::Snapshot)? {
+            Reply::Snapshot(seq, keys) => Ok((seq, keys)),
+            other => Err(proto_err(format!("unexpected reply {other:?} to SNAPSHOT"))),
+        }
+    }
+
+    /// Fetches and parses a durable server's `WALSTATS` counters.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server `ERR` replies (e.g. a volatile server), and
+    /// malformed `WALSTATS` lines.
+    pub fn walstats(&mut self) -> io::Result<WalStatsSnapshot> {
+        self.send_line("WALSTATS")?;
+        let line = self.read_reply_line()?;
+        if let Some(message) = line.strip_prefix("ERR ") {
+            return Err(proto_err(format!("server error: {message}")));
+        }
+        let payload = line
+            .strip_prefix("WALSTATS ")
+            .ok_or_else(|| proto_err(format!("unexpected reply '{line}' to WALSTATS")))?;
+        let mut stats = WalStatsSnapshot::default();
+        for pair in payload.split_whitespace() {
+            // `policy` is the one non-numeric pair (its value may itself
+            // contain '=', e.g. `policy=n=64`).
+            if let Some(policy) = pair.strip_prefix("policy=") {
+                stats.policy = policy.to_string();
+                continue;
+            }
+            let (key, value) = parse_counter_pair(pair)?;
+            match key {
+                "next_seq" => stats.next_seq = value,
+                "durable_seq" => stats.durable_seq = value,
+                "records" => stats.records = value,
+                "bytes" => stats.bytes = value,
+                "fsyncs" => stats.fsyncs = value,
+                "segments" => stats.segments = value,
+                "snapshots" => stats.snapshots = value,
+                "last_snapshot_seq" => stats.last_snapshot_seq = value,
+                "since_snapshot" => stats.since_snapshot = value,
+                "failed" => stats.failed = value != 0,
                 _ => {} // forward-compatible: ignore unknown counters
             }
         }
@@ -377,33 +464,18 @@ mod tests {
         assert_eq!(client.sum(0, 63).unwrap(), (32, 2));
         assert!(client.del(2).unwrap());
         assert!(!client.del(2).unwrap());
-        let err = client.get(1000).unwrap_err();
-        assert!(err.to_string().contains("outside keyspace"), "{err}");
-        // The connection survives an ERR.
+        // The keyspace is dynamic: any i64 key is addressable.
+        assert_eq!(client.get(1_000_000).unwrap(), None);
+        client.put(-5, 7).unwrap();
+        assert_eq!(client.get(-5).unwrap(), Some(7));
+        assert!(client.del(-5).unwrap());
+        // Durability commands surface the server's polite refusal when the
+        // server is volatile — and the connection survives the ERR.
+        let err = client.snapshot().unwrap_err();
+        assert!(err.to_string().contains("durability disabled"), "{err}");
+        let err = client.walstats().unwrap_err();
+        assert!(err.to_string().contains("durability disabled"), "{err}");
         client.ping().unwrap();
-        client.quit().unwrap();
-    }
-
-    #[test]
-    fn failed_batch_applies_nothing_and_connection_stays_in_sync() {
-        let server = test_server();
-        let mut client = KvClient::connect(server.addr()).unwrap();
-        client.put(3, 30).unwrap();
-        // First op is out of range: the server poisons the batch, so the
-        // second (valid) ADD must NOT execute, and the pipelined replies
-        // must be fully drained.
-        let err = client
-            .batch(&[BatchOp::Add(1000, -10), BatchOp::Add(3, 10)])
-            .unwrap_err();
-        assert!(err.to_string().contains("outside keyspace"), "{err}");
-        // All-or-nothing: key 3 is untouched by the failed batch.
-        assert_eq!(client.get(3).unwrap(), Some(30));
-        // Framing survives: the next requests get their own replies.
-        client.ping().unwrap();
-        assert_eq!(client.sum(0, 63).unwrap(), (30, 1));
-        // And a fresh batch on the same connection works.
-        let replies = client.batch(&[BatchOp::Add(3, 1)]).unwrap();
-        assert_eq!(replies, vec![Reply::Value(31)]);
         client.quit().unwrap();
     }
 

@@ -9,19 +9,25 @@
 //! same runtime behind a TCP wire so the interesting latency/throughput
 //! behaviour of a contention manager shows up under real client load:
 //!
-//! * **Storage** ([`KvStore`]) — a fixed-capacity `i64 → i64` keyspace. The
+//! * **Storage** ([`KvStore`]) — a dynamic `i64 → i64` keyspace. The
 //!   membership index is a [`stm_structures::ShardedTxSet`] over red-black
-//!   trees, and every key's value lives in its own [`stm_core::TVar`], so
+//!   trees, and every key's value lives in its own [`stm_core::TVar`]
+//!   (materialised on first touch, so any key is addressable), so
 //!   transactions that touch different keys share no state beyond the index
 //!   path they traverse.
-//! * **Protocol** ([`proto`]) — a line-based text protocol: `GET`, `PUT`,
-//!   `DEL`, `ADD` (atomic read-modify-write), `RANGE`, `SUM`, plus
-//!   `BEGIN`/`EXEC` multi-key atomic batches and `PING`/`STATS`/`QUIT`.
+//! * **Protocol** ([`proto`]) — a line-based, pipelinable text protocol:
+//!   `GET`, `PUT`, `DEL`, `ADD` (atomic read-modify-write), `RANGE`, `SUM`,
+//!   plus `BEGIN`/`EXEC` multi-key atomic batches,
+//!   `PING`/`STATS`/`SNAPSHOT`/`WALSTATS`/`QUIT`.
 //! * **Server** ([`KvServer`]) — `std::net::TcpListener` + a worker-thread
 //!   pool, no dependencies beyond the workspace. Every request executes as
 //!   one STM transaction under the [`stm_cm::ManagerKind`] chosen at server
 //!   start, so multi-key batches are serializable across clients by
-//!   construction.
+//!   construction. With [`ServerConfig::wal_dir`] set the server is
+//!   **durable**: every mutating request's write-set is appended to an
+//!   `stm-log` write-ahead log in serialization order (fsync policy
+//!   `every` / `n=` / `ms=`), point-in-time snapshots bound recovery, and a
+//!   restart replays snapshot + log tail before accepting connections.
 //! * **Client** ([`KvClient`]) — a small blocking client used by the
 //!   integration tests, the `stm_kv_demo` example, and the `stm-bench`
 //!   closed-loop network load generator.
@@ -58,7 +64,7 @@ pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use client::{BatchOp, KvClient, ServerStatsSnapshot};
+pub use client::{BatchOp, KvClient, ServerStatsSnapshot, WalStatsSnapshot};
 pub use proto::{parse_reply, parse_request, render_reply, Reply, Request};
 pub use server::{KvServer, ServerConfig};
 pub use store::KvStore;

@@ -16,12 +16,16 @@
 //! | `EXEC` | `EXEC <n>` followed by the `n` queued replies, one per line |
 //! | `PING` | `PONG` |
 //! | `STATS` | `STATS <key>=<value> ...` |
+//! | `SNAPSHOT` | `SNAPSHOT <seq> <keys>` (durable servers only) |
+//! | `WALSTATS` | `WALSTATS <key>=<value> ...` (durable servers only) |
 //! | `QUIT` | `BYE`, then the connection closes |
 //!
-//! Any failure — unknown verb, malformed integer, key outside the server's
-//! keyspace, transaction failure — is reported as `ERR <message>` and
-//! leaves the connection usable. A failure while a batch is open discards
-//! the batch (the client must re-issue `BEGIN`).
+//! Any failure — unknown verb, malformed integer, transaction failure — is
+//! reported as `ERR <message>` and leaves the connection usable. A failure
+//! while a batch is open discards the batch (the client must re-issue
+//! `BEGIN`). Requests may be **pipelined**: the server parses every
+//! complete line it has buffered before replying, executes them in order,
+//! and writes all the replies back in one flush.
 //!
 //! Both directions are implemented here ([`parse_request`]/[`render_reply`]
 //! for the server, [`render_request`]/[`parse_reply`] for the client), so a
@@ -50,6 +54,10 @@ pub enum Request {
     Ping,
     /// Server statistics.
     Stats,
+    /// Force a point-in-time snapshot of the keyspace (durable servers).
+    Snapshot,
+    /// Write-ahead-log statistics (durable servers).
+    WalStats,
     /// Close the connection.
     Quit,
 }
@@ -87,6 +95,8 @@ pub enum Reply {
     Sum(i64, usize),
     /// Operation queued inside an open batch.
     Queued,
+    /// A snapshot was written: its cut sequence number and key count.
+    Snapshot(u64, usize),
     /// Reply to `PING`.
     Pong,
     /// Connection closing.
@@ -180,6 +190,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             arity(0)?;
             Ok(Request::Stats)
         }
+        "SNAPSHOT" => {
+            arity(0)?;
+            Ok(Request::Snapshot)
+        }
+        "WALSTATS" => {
+            arity(0)?;
+            Ok(Request::WalStats)
+        }
         "QUIT" => {
             arity(0)?;
             Ok(Request::Quit)
@@ -201,6 +219,8 @@ pub fn render_request(request: &Request) -> String {
         Request::Exec => "EXEC".to_string(),
         Request::Ping => "PING".to_string(),
         Request::Stats => "STATS".to_string(),
+        Request::Snapshot => "SNAPSHOT".to_string(),
+        Request::WalStats => "WALSTATS".to_string(),
         Request::Quit => "QUIT".to_string(),
     }
 }
@@ -221,6 +241,7 @@ pub fn render_reply(reply: &Reply) -> String {
         }
         Reply::Sum(total, count) => format!("SUM {total} {count}"),
         Reply::Queued => "QUEUED".to_string(),
+        Reply::Snapshot(seq, keys) => format!("SNAPSHOT {seq} {keys}"),
         Reply::Pong => "PONG".to_string(),
         Reply::Bye => "BYE".to_string(),
         Reply::Err(message) => format!("ERR {}", message.replace('\n', " ")),
@@ -266,6 +287,12 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
             parse_int(rest[1], "count")? as usize,
         )),
         "QUEUED" if rest.is_empty() => Ok(Reply::Queued),
+        "SNAPSHOT" if rest.len() == 2 => Ok(Reply::Snapshot(
+            rest[0]
+                .parse::<u64>()
+                .map_err(|_| format!("malformed snapshot seq '{}'", rest[0]))?,
+            parse_int(rest[1], "key count")? as usize,
+        )),
         "PONG" if rest.is_empty() => Ok(Reply::Pong),
         "BYE" if rest.is_empty() => Ok(Reply::Bye),
         "ERR" => Ok(Reply::Err(String::new())),
@@ -290,6 +317,8 @@ mod tests {
             Request::Exec,
             Request::Ping,
             Request::Stats,
+            Request::Snapshot,
+            Request::WalStats,
             Request::Quit,
         ];
         for request in requests {
@@ -325,6 +354,7 @@ mod tests {
             Reply::Range(Vec::new()),
             Reply::Sum(-5, 3),
             Reply::Queued,
+            Reply::Snapshot(17, 4096),
             Reply::Pong,
             Reply::Bye,
             Reply::Err("boom with spaces".to_string()),
@@ -347,8 +377,15 @@ mod tests {
     fn data_op_classification_gates_batches() {
         assert!(Request::Get(1).is_data_op());
         assert!(Request::Sum(0, 1).is_data_op());
-        for request in [Request::Begin, Request::Exec, Request::Ping, Request::Stats, Request::Quit]
-        {
+        for request in [
+            Request::Begin,
+            Request::Exec,
+            Request::Ping,
+            Request::Stats,
+            Request::Snapshot,
+            Request::WalStats,
+            Request::Quit,
+        ] {
             assert!(!request.is_data_op(), "{request:?}");
         }
     }

@@ -1,5 +1,5 @@
-//! The TCP server: a listener, a worker-thread pool, and one STM
-//! transaction per request.
+//! The TCP server: a listener, a worker-thread pool, one STM transaction
+//! per request — and, optionally, a durable commit log underneath.
 //!
 //! The server is deliberately std-only (`std::net::TcpListener`, blocking
 //! I/O, a `mpsc` hand-off queue): the point of `stm-kv` is to measure the
@@ -15,13 +15,32 @@
 //! across clients by construction: the runtime provides safety, and the
 //! [`ManagerKind`] chosen at server start provides progress.
 //!
+//! **Pipelining.** The connection loop is batch-oriented: every complete
+//! line buffered on the socket is parsed and executed before any reply is
+//! written, and all the replies go back in one flush. A closed-loop client
+//! sees identical semantics; a pipelining client amortises the
+//! request/reply round trip over the whole burst.
+//!
+//! **Durability.** With [`ServerConfig::wal_dir`] set, the server opens a
+//! [`stm_log::Wal`] in that directory, recovers the keyspace from the
+//! latest snapshot plus log replay before accepting connections, and
+//! installs the log's commit hook on the STM so every mutating request's
+//! write-set is appended to the log in serialization order. Under the
+//! `every` fsync policy a mutating request's reply is withheld until its
+//! record is fsynced (group commit: one fsync covers every request that
+//! committed meanwhile); the `n=`/`ms=` policies reply immediately and
+//! bound the loss window instead. `SNAPSHOT` forces a point-in-time
+//! snapshot; [`ServerConfig::snapshot_every`] takes one automatically every
+//! N logged records.
+//!
 //! Reads use a short socket timeout so workers notice a shutdown request
 //! even while a client connection sits idle; [`KvServer::shutdown`] stops
-//! the pool, unblocks the acceptor with a loopback connection, and joins
-//! every thread.
+//! the pool, unblocks the acceptor with a loopback connection, joins every
+//! thread, and flushes the log.
 
-use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -29,7 +48,8 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use stm_cm::{ManagerKind, ManagerParams};
-use stm_core::{Stm, ThreadCtx, TxResult, Txn};
+use stm_core::{CommitOp, Stm, ThreadCtx, TxResult, Txn};
+use stm_log::{FsyncPolicy, Wal, WalConfig};
 
 use crate::proto::{parse_request, render_reply, Reply, Request};
 use crate::store::KvStore;
@@ -37,6 +57,9 @@ use crate::store::KvStore;
 /// How long a worker blocks on a socket read (or on the connection queue)
 /// before re-checking the shutdown flag.
 const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Recovery replays at most this many logged write-sets per transaction.
+const REPLAY_CHUNK: usize = 512;
 
 /// Configuration of a [`KvServer`].
 #[derive(Debug, Clone)]
@@ -48,13 +71,22 @@ pub struct ServerConfig {
     pub manager: ManagerKind,
     /// Manager parameters (defaults reproduce the registry defaults).
     pub params: ManagerParams,
-    /// Keyspace size: keys are `0..capacity`.
+    /// Value cells pre-allocated for keys `0..capacity` (a warm-up hint —
+    /// the keyspace grows on demand and accepts any `i64` key).
     pub capacity: i64,
     /// Number of index shards in the store.
     pub shards: usize,
     /// Worker threads. Each worker serves one connection at a time, so this
     /// is also the number of concurrently served clients.
     pub workers: usize,
+    /// Directory for the write-ahead log and snapshots. `None` (the
+    /// default) runs the server volatile, exactly as before.
+    pub wal_dir: Option<PathBuf>,
+    /// Fsync policy of the log (ignored without `wal_dir`).
+    pub fsync: FsyncPolicy,
+    /// Take a snapshot automatically every this many logged records
+    /// (0 = only on explicit `SNAPSHOT`; ignored without `wal_dir`).
+    pub snapshot_every: u64,
 }
 
 impl Default for ServerConfig {
@@ -69,6 +101,9 @@ impl Default for ServerConfig {
             capacity: 65_536,
             shards: 16,
             workers: (2 * parallelism).max(4),
+            wal_dir: None,
+            fsync: FsyncPolicy::EveryCommit,
+            snapshot_every: 0,
         }
     }
 }
@@ -90,6 +125,15 @@ pub(crate) struct ServerCounters {
     pub(crate) errors: AtomicU64,
 }
 
+/// The durable half of the server, shared by every worker.
+struct Durable {
+    wal: Arc<Wal>,
+    /// Whether mutating replies wait for their record's fsync.
+    sync_replies: bool,
+    /// Auto-snapshot threshold (0 = never).
+    snapshot_every: u64,
+}
+
 /// A running key-value server. Dropping it shuts it down.
 pub struct KvServer {
     addr: SocketAddr,
@@ -97,6 +141,7 @@ pub struct KvServer {
     stm: Arc<Stm>,
     store: Arc<KvStore>,
     counters: Arc<ServerCounters>,
+    durable: Option<Arc<Durable>>,
     stop: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -108,25 +153,54 @@ impl std::fmt::Debug for KvServer {
             .field("addr", &self.addr)
             .field("manager", &self.manager.name())
             .field("workers", &self.workers.len())
+            .field("durable", &self.durable.is_some())
             .finish()
     }
 }
 
 impl KvServer {
-    /// Binds the listener and spawns the acceptor and the worker pool.
+    /// Binds the listener, recovers the keyspace when a `wal_dir` is
+    /// configured, and spawns the acceptor and the worker pool.
     ///
     /// # Errors
     ///
-    /// Returns the underlying I/O error when the address cannot be bound.
+    /// Returns the underlying I/O error when the address cannot be bound or
+    /// the log directory cannot be opened/recovered.
     pub fn start(config: ServerConfig) -> std::io::Result<KvServer> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let stm = Arc::new(
-            Stm::builder()
-                .manager(config.manager.factory_with(config.params))
-                .build(),
-        );
-        let store = Arc::new(KvStore::new(config.capacity, config.shards));
+
+        let opened_wal = match &config.wal_dir {
+            Some(dir) => {
+                let (wal, recovered) = Wal::open(WalConfig {
+                    dir: dir.clone(),
+                    fsync: config.fsync,
+                    segment_bytes: 8 << 20,
+                })?;
+                Some((Arc::new(wal), recovered))
+            }
+            None => None,
+        };
+
+        let mut stm_builder = Stm::builder().manager(config.manager.factory_with(config.params));
+        if let Some((wal, _)) = &opened_wal {
+            stm_builder = stm_builder.commit_hook(wal.commit_hook());
+        }
+        let stm = Arc::new(stm_builder.build());
+        let store = Arc::new(KvStore::with_preallocated(config.shards, config.capacity));
+
+        let durable = match opened_wal {
+            Some((wal, recovered)) => {
+                replay_recovered(&stm, &store, &recovered);
+                Some(Arc::new(Durable {
+                    sync_replies: wal.policy() == FsyncPolicy::EveryCommit,
+                    snapshot_every: config.snapshot_every,
+                    wal,
+                }))
+            }
+            None => None,
+        };
+
         let counters = Arc::new(ServerCounters::default());
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -140,6 +214,7 @@ impl KvServer {
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
             let conn_rx = Arc::clone(&conn_rx);
+            let durable = durable.clone();
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("stm-kv-worker-{worker_id}"))
@@ -155,7 +230,14 @@ impl KvServer {
                                 .recv_timeout(POLL_INTERVAL);
                             match next {
                                 Ok(stream) => {
-                                    serve_connection(stream, &mut ctx, &store, &counters, &stop);
+                                    serve_connection(
+                                        stream,
+                                        &mut ctx,
+                                        &store,
+                                        &counters,
+                                        durable.as_deref(),
+                                        &stop,
+                                    );
                                 }
                                 Err(mpsc::RecvTimeoutError::Timeout) => continue,
                                 Err(mpsc::RecvTimeoutError::Disconnected) => return,
@@ -194,6 +276,7 @@ impl KvServer {
             stm,
             store,
             counters,
+            durable,
             stop,
             acceptor: Some(acceptor),
             workers,
@@ -226,13 +309,18 @@ impl KvServer {
         &self.stm
     }
 
+    /// The write-ahead log, when the server runs durable.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.durable.as_ref().map(|d| &d.wal)
+    }
+
     /// Total aborted attempts attributed to client requests so far.
     pub fn request_retries(&self) -> u64 {
         self.counters.retries.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, drains the pool, and joins every thread. Idempotent;
-    /// also invoked by `Drop`.
+    /// Stops accepting, drains the pool, joins every thread, and flushes
+    /// the log. Idempotent; also invoked by `Drop`.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
@@ -245,6 +333,16 @@ impl KvServer {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Workers are gone, so this is the last strong reference to the
+        // `Wal` wrapper; shut it down explicitly for a deterministic final
+        // flush + fsync (Drop would do the same).
+        if let Some(durable) = self.durable.take() {
+            if let Ok(durable) = Arc::try_unwrap(durable) {
+                if let Ok(mut wal) = Arc::try_unwrap(durable.wal) {
+                    wal.shutdown();
+                }
+            }
+        }
     }
 }
 
@@ -254,8 +352,45 @@ impl Drop for KvServer {
     }
 }
 
-/// Applies one data operation inside the caller's transaction.
-fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request) -> TxResult<Reply> {
+/// Rebuilds the store from what recovery found: snapshot pairs first, then
+/// the log tail, in chunks so no single transaction grows unboundedly.
+/// Replay transactions publish nothing, so they are not re-logged.
+fn replay_recovered(stm: &Stm, store: &KvStore, recovered: &stm_log::Recovered) {
+    let mut ctx = stm.thread();
+    if let Some(snapshot) = &recovered.snapshot {
+        for chunk in snapshot.pairs.chunks(REPLAY_CHUNK) {
+            ctx.atomically(|tx| {
+                for (key, value) in chunk {
+                    store.put(tx, *key, *value)?;
+                }
+                Ok(())
+            })
+            .expect("snapshot replay transaction must commit");
+        }
+    }
+    for chunk in recovered.tail.chunks(REPLAY_CHUNK) {
+        ctx.atomically(|tx| {
+            for (_seq, ops) in chunk {
+                for op in ops {
+                    match *op {
+                        CommitOp::Put { id, value } => {
+                            store.put(tx, id, value)?;
+                        }
+                        CommitOp::Del { id } => {
+                            store.del(tx, id)?;
+                        }
+                    }
+                }
+            }
+            Ok(())
+        })
+        .expect("log replay transaction must commit");
+    }
+}
+
+/// Applies one data operation inside the caller's transaction, publishing
+/// the write-set to the commit log when the server runs durable.
+fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request, log: bool) -> TxResult<Reply> {
     Ok(match *request {
         Request::Get(key) => match store.get(tx, key)? {
             Some(value) => Reply::Value(value),
@@ -263,10 +398,25 @@ fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request) -> TxResult<Reply
         },
         Request::Put(key, value) => {
             store.put(tx, key, value)?;
+            if log {
+                tx.publish(CommitOp::Put { id: key, value });
+            }
             Reply::Ok
         }
-        Request::Del(key) => Reply::OkN(i64::from(store.del(tx, key)?.is_some())),
-        Request::Add(key, delta) => Reply::Value(store.add(tx, key, delta)?),
+        Request::Del(key) => {
+            let removed = store.del(tx, key)?.is_some();
+            if log && removed {
+                tx.publish(CommitOp::Del { id: key });
+            }
+            Reply::OkN(i64::from(removed))
+        }
+        Request::Add(key, delta) => {
+            let value = store.add(tx, key, delta)?;
+            if log {
+                tx.publish(CommitOp::Put { id: key, value });
+            }
+            Reply::Value(value)
+        }
         Request::Range(lo, hi) => Reply::Range(store.range(tx, lo, hi)?),
         Request::Sum(lo, hi) => {
             let (total, count) = store.sum(tx, lo, hi)?;
@@ -277,22 +427,10 @@ fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request) -> TxResult<Reply
         | Request::Exec
         | Request::Ping
         | Request::Stats
+        | Request::Snapshot
+        | Request::WalStats
         | Request::Quit => Reply::Err("internal: non-data op in transaction".to_string()),
     })
-}
-
-/// Rejects keys outside the store before any transaction starts.
-fn validate(store: &KvStore, request: &Request) -> Result<(), String> {
-    let key = match *request {
-        Request::Get(key) | Request::Del(key) | Request::Put(key, _) | Request::Add(key, _) => key,
-        // Range bounds are clamped by the store instead.
-        _ => return Ok(()),
-    };
-    if store.key_in_range(key) {
-        Ok(())
-    } else {
-        Err(format!("key {key} outside keyspace 0..{}", store.capacity()))
-    }
 }
 
 /// The `STATS` reply line: stable `key=value` pairs so clients can parse it.
@@ -310,47 +448,283 @@ fn render_stats(stm: &Stm, counters: &ServerCounters) -> String {
     )
 }
 
+/// The `WALSTATS` reply line (durable servers).
+fn render_walstats(durable: &Durable) -> String {
+    let stats = durable.wal.stats();
+    format!(
+        "WALSTATS policy={} next_seq={} durable_seq={} records={} bytes={} fsyncs={} \
+         segments={} snapshots={} last_snapshot_seq={} since_snapshot={} failed={}",
+        durable.wal.policy().label(),
+        stats.next_seq,
+        stats.durable_seq,
+        stats.records,
+        stats.bytes,
+        stats.fsyncs,
+        stats.segments,
+        stats.snapshots,
+        stats.last_snapshot_seq,
+        stats.records_since_snapshot,
+        u8::from(stats.failed),
+    )
+}
+
 /// Per-connection `BEGIN`/`EXEC` state.
 ///
-/// A failure while a batch is open (bad key, unknown verb, disallowed
-/// command) moves the batch to `Poisoned` instead of discarding it: clients
-/// pipeline entire batches before reading any reply, so the already-sent
-/// tail of a discarded batch would otherwise execute as standalone
-/// transactions — silently breaking the batch's all-or-nothing contract.
-/// A poisoned batch swallows every further data op (with an `ERR`) until
-/// `EXEC`, which reports the failure and clears the state.
+/// A failure while a batch is open (bad request, disallowed command) moves
+/// the batch to `Poisoned` instead of discarding it: clients pipeline
+/// entire batches before reading any reply, so the already-sent tail of a
+/// discarded batch would otherwise execute as standalone transactions —
+/// silently breaking the batch's all-or-nothing contract. A poisoned batch
+/// swallows every further data op (with an `ERR`) until `EXEC`, which
+/// reports the failure and clears the state.
 enum Batch {
     None,
     Open(Vec<Request>),
     Poisoned,
 }
 
+/// Everything one connection's request processing needs.
+struct Session<'a, 'stm> {
+    ctx: &'a mut ThreadCtx<'stm>,
+    store: &'a KvStore,
+    counters: &'a ServerCounters,
+    durable: Option<&'a Durable>,
+    batch: Batch,
+    /// Highest commit sequence number this reply burst must wait on before
+    /// it is flushed (synchronous-durability policies only).
+    flush_barrier: Option<u64>,
+    quit: bool,
+}
+
+impl<'a, 'stm> Session<'a, 'stm> {
+    /// Notes that the burst's replies depend on `seq` being durable.
+    fn require_durable(&mut self, seq: Option<u64>) {
+        if let (Some(durable), Some(seq)) = (self.durable, seq) {
+            if durable.sync_replies {
+                self.flush_barrier = Some(self.flush_barrier.unwrap_or(0).max(seq));
+            }
+        }
+    }
+
+    /// Takes a point-in-time snapshot through `atomically_logged` (the
+    /// commit sequence number marks the consistent cut).
+    fn take_snapshot(&mut self) -> Reply {
+        let Some(durable) = self.durable else {
+            return Reply::Err("durability disabled (start the server with --wal-dir)".into());
+        };
+        if !durable.wal.begin_snapshot() {
+            return Reply::Err("snapshot already in progress".into());
+        }
+        let store = self.store;
+        let (result, report) = self.ctx.atomically_logged(|tx| store.dump(tx));
+        match result {
+            Ok(pairs) => {
+                let seq = report.commit_seq.unwrap_or(0);
+                match durable.wal.write_snapshot(seq, &pairs) {
+                    Ok(_) => Reply::Snapshot(seq, pairs.len()),
+                    Err(err) => Reply::Err(format!("snapshot write failed: {err}")),
+                }
+            }
+            Err(err) => {
+                durable.wal.abandon_snapshot();
+                Reply::Err(format!("snapshot transaction failed: {err}"))
+            }
+        }
+    }
+
+    /// Auto-snapshot when the configured record budget is exhausted.
+    fn maybe_auto_snapshot(&mut self) {
+        let Some(durable) = self.durable else { return };
+        if durable.snapshot_every == 0
+            || durable.wal.records_since_snapshot() < durable.snapshot_every
+        {
+            return;
+        }
+        if let Reply::Err(message) = self.take_snapshot() {
+            // "already in progress" just means another worker got there
+            // first; anything else is worth a trace.
+            if !message.contains("in progress") {
+                eprintln!("stm-kv: auto-snapshot failed: {message}");
+            }
+        }
+    }
+
+    /// Processes one request line, appending its reply line(s) to `out`.
+    fn handle_line(&mut self, line: &str, out: &mut String) {
+        let request = parse_request(line);
+        let in_batch = !matches!(self.batch, Batch::None);
+        match request {
+            Err(message) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                if in_batch {
+                    self.batch = Batch::Poisoned;
+                }
+                out.push_str(&render_reply(&Reply::Err(message)));
+            }
+            Ok(request) => match request {
+                Request::Quit => {
+                    out.push_str(&render_reply(&Reply::Bye));
+                    self.quit = true;
+                }
+                Request::Ping if !in_batch => out.push_str(&render_reply(&Reply::Pong)),
+                Request::Stats if !in_batch => {
+                    out.push_str(&render_stats(self.ctx.stm(), self.counters));
+                }
+                Request::WalStats if !in_batch => match self.durable {
+                    Some(durable) => out.push_str(&render_walstats(durable)),
+                    None => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        out.push_str(&render_reply(&Reply::Err(
+                            "durability disabled (start the server with --wal-dir)".into(),
+                        )));
+                    }
+                },
+                Request::Snapshot if !in_batch => {
+                    let reply = self.take_snapshot();
+                    if matches!(reply, Reply::Err(_)) {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                    out.push_str(&render_reply(&reply));
+                }
+                Request::Begin if !in_batch => {
+                    self.batch = Batch::Open(Vec::new());
+                    out.push_str(&render_reply(&Reply::Ok));
+                }
+                Request::Begin
+                | Request::Ping
+                | Request::Stats
+                | Request::Snapshot
+                | Request::WalStats => {
+                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                    self.batch = Batch::Poisoned;
+                    out.push_str(&render_reply(&Reply::Err(
+                        "command not allowed inside BEGIN/EXEC batch".to_string(),
+                    )));
+                }
+                Request::Exec => self.handle_exec(out),
+                data_op => self.handle_data_op(data_op, out),
+            },
+        }
+        out.push('\n');
+    }
+
+    fn handle_exec(&mut self, out: &mut String) {
+        match std::mem::replace(&mut self.batch, Batch::None) {
+            Batch::None => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                out.push_str(&render_reply(&Reply::Err("EXEC without BEGIN".to_string())));
+            }
+            Batch::Poisoned => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                out.push_str(&render_reply(&Reply::Err(
+                    "batch aborted by an earlier error; nothing executed".to_string(),
+                )));
+            }
+            Batch::Open(ops) => {
+                self.counters.batches.fetch_add(1, Ordering::Relaxed);
+                let store = self.store;
+                let log = self.durable.is_some();
+                let (result, report) = self.ctx.atomically_traced(|tx| {
+                    let mut replies = Vec::with_capacity(ops.len());
+                    for op in &ops {
+                        replies.push(apply(store, tx, op, log)?);
+                    }
+                    Ok(replies)
+                });
+                self.counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
+                match result {
+                    Ok(replies) => {
+                        self.require_durable(report.commit_seq);
+                        out.push_str(&format!("EXEC {}", replies.len()));
+                        for reply in &replies {
+                            out.push('\n');
+                            out.push_str(&render_reply(reply));
+                        }
+                        self.maybe_auto_snapshot();
+                    }
+                    Err(err) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        out.push_str(&render_reply(&Reply::Err(format!("batch failed: {err}"))));
+                    }
+                }
+            }
+        }
+    }
+
+    fn handle_data_op(&mut self, data_op: Request, out: &mut String) {
+        match &mut self.batch {
+            Batch::Open(ops) => {
+                ops.push(data_op);
+                out.push_str(&render_reply(&Reply::Queued));
+            }
+            Batch::Poisoned => {
+                // Swallow without executing: the client already pipelined
+                // this op as part of the failed batch.
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                out.push_str(&render_reply(&Reply::Err(
+                    "batch aborted by an earlier error".to_string(),
+                )));
+            }
+            Batch::None => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                let store = self.store;
+                let log = self.durable.is_some();
+                let (result, report) =
+                    self.ctx.atomically_traced(|tx| apply(store, tx, &data_op, log));
+                self.counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
+                match result {
+                    Ok(reply) => {
+                        self.require_durable(report.commit_seq);
+                        out.push_str(&render_reply(&reply));
+                        self.maybe_auto_snapshot();
+                    }
+                    Err(err) => {
+                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
+                        out.push_str(&render_reply(&Reply::Err(format!(
+                            "transaction failed: {err}"
+                        ))));
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Serves one connection until the peer quits, disconnects, or the server
-/// shuts down.
+/// shuts down. Pipelined: every complete line already buffered is executed
+/// before the replies are written back in one flush.
 fn serve_connection(
     stream: TcpStream,
     ctx: &mut ThreadCtx<'_>,
     store: &KvStore,
     counters: &ServerCounters,
+    durable: Option<&Durable>,
     stop: &AtomicBool,
 ) {
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-    let Ok(read_half) = stream.try_clone() else {
+    let Ok(mut reader) = stream.try_clone() else {
         return;
     };
-    let mut reader = BufReader::new(read_half);
     let mut writer = stream;
-    let mut line = String::new();
-    let mut batch = Batch::None;
+    let mut inbuf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 4096];
+    let mut out = String::new();
+    let mut session = Session {
+        ctx,
+        store,
+        counters,
+        durable,
+        batch: Batch::None,
+        flush_barrier: None,
+        quit: false,
+    };
 
     loop {
-        match reader.read_line(&mut line) {
+        match reader.read(&mut chunk) {
             Ok(0) => return, // EOF
-            Ok(_) => {}
-            Err(err)
-                if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) =>
-            {
+            Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
+            Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if stop.load(Ordering::Relaxed) {
                     return;
                 }
@@ -358,126 +732,43 @@ fn serve_connection(
             }
             Err(_) => return,
         }
-        let request = parse_request(&line);
-        line.clear();
-        let in_batch = !matches!(batch, Batch::None);
-        let mut out;
-        let mut quit = false;
-        match request {
-            Err(message) => {
-                counters.errors.fetch_add(1, Ordering::Relaxed);
-                if in_batch {
-                    batch = Batch::Poisoned;
-                }
-                out = render_reply(&Reply::Err(message));
+
+        // Execute every complete line buffered so far; replies accumulate
+        // and go out in one write. Partial trailing input stays buffered.
+        out.clear();
+        session.flush_barrier = None;
+        let mut consumed = 0usize;
+        while let Some(nl) = inbuf[consumed..].iter().position(|&b| b == b'\n') {
+            let line = String::from_utf8_lossy(&inbuf[consumed..consumed + nl]);
+            consumed += nl + 1;
+            session.handle_line(&line, &mut out);
+            if session.quit {
+                break;
             }
-            Ok(request) => match request {
-                Request::Quit => {
-                    out = render_reply(&Reply::Bye);
-                    quit = true;
-                }
-                Request::Ping if !in_batch => out = render_reply(&Reply::Pong),
-                Request::Stats if !in_batch => {
-                    out = render_stats(ctx.stm(), counters);
-                }
-                Request::Begin if !in_batch => {
-                    batch = Batch::Open(Vec::new());
-                    out = render_reply(&Reply::Ok);
-                }
-                Request::Begin | Request::Ping | Request::Stats => {
-                    counters.errors.fetch_add(1, Ordering::Relaxed);
-                    batch = Batch::Poisoned;
-                    out = render_reply(&Reply::Err(
-                        "command not allowed inside BEGIN/EXEC batch".to_string(),
-                    ));
-                }
-                Request::Exec => match std::mem::replace(&mut batch, Batch::None) {
-                    Batch::None => {
-                        counters.errors.fetch_add(1, Ordering::Relaxed);
-                        out = render_reply(&Reply::Err("EXEC without BEGIN".to_string()));
-                    }
-                    Batch::Poisoned => {
-                        counters.errors.fetch_add(1, Ordering::Relaxed);
-                        out = render_reply(&Reply::Err(
-                            "batch aborted by an earlier error; nothing executed".to_string(),
-                        ));
-                    }
-                    Batch::Open(ops) => {
-                        counters.batches.fetch_add(1, Ordering::Relaxed);
-                        let (result, report) = ctx.atomically_traced(|tx| {
-                            let mut replies = Vec::with_capacity(ops.len());
-                            for op in &ops {
-                                replies.push(apply(store, tx, op)?);
-                            }
-                            Ok(replies)
-                        });
-                        counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
-                        match result {
-                            Ok(replies) => {
-                                out = format!("EXEC {}", replies.len());
-                                for reply in &replies {
-                                    out.push('\n');
-                                    out.push_str(&render_reply(reply));
-                                }
-                            }
-                            Err(err) => {
-                                counters.errors.fetch_add(1, Ordering::Relaxed);
-                                out = render_reply(&Reply::Err(format!(
-                                    "batch failed: {err}"
-                                )));
-                            }
-                        }
-                    }
-                },
-                data_op => match validate(store, &data_op) {
-                    Err(message) => {
-                        counters.errors.fetch_add(1, Ordering::Relaxed);
-                        if in_batch {
-                            batch = Batch::Poisoned;
-                        }
-                        out = render_reply(&Reply::Err(message));
-                    }
-                    Ok(()) => match &mut batch {
-                        Batch::Open(ops) => {
-                            ops.push(data_op);
-                            out = render_reply(&Reply::Queued);
-                        }
-                        Batch::Poisoned => {
-                            // Swallow without executing: the client already
-                            // pipelined this op as part of the failed batch.
-                            counters.errors.fetch_add(1, Ordering::Relaxed);
-                            out = render_reply(&Reply::Err(
-                                "batch aborted by an earlier error".to_string(),
-                            ));
-                        }
-                        Batch::None => {
-                            counters.requests.fetch_add(1, Ordering::Relaxed);
-                            let (result, report) =
-                                ctx.atomically_traced(|tx| apply(store, tx, &data_op));
-                            counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
-                            out = match result {
-                                Ok(reply) => render_reply(&reply),
-                                Err(err) => {
-                                    counters.errors.fetch_add(1, Ordering::Relaxed);
-                                    render_reply(&Reply::Err(format!(
-                                        "transaction failed: {err}"
-                                    )))
-                                }
-                            };
-                        }
-                    },
-                },
-            },
         }
-        out.push('\n');
+        inbuf.drain(..consumed);
+        if out.is_empty() {
+            continue;
+        }
+        // Group commit: one durability wait covers the whole burst. A
+        // `false` here means the log failed (the server joins workers
+        // before stopping its own WAL, so a shutdown cannot race this
+        // wait): the burst's writes committed in memory but their
+        // durability cannot be promised — close without acknowledging
+        // rather than send replies the contract says are on disk.
+        if let (Some(durable), Some(barrier)) = (durable, session.flush_barrier.take()) {
+            if !durable.wal.wait_durable(barrier) {
+                return;
+            }
+        }
         if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
             return;
         }
-        if quit {
+        if session.quit {
             return;
         }
         // Bounded shutdown even against a client that never stops sending:
-        // the flag is also honoured between fully-served requests, not only
+        // the flag is also honoured between fully-served bursts, not only
         // on idle reads.
         if stop.load(Ordering::Relaxed) {
             return;
@@ -488,6 +779,7 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::io::{BufRead, BufReader};
 
     #[test]
     fn server_starts_and_shuts_down_cleanly() {
@@ -500,15 +792,13 @@ mod tests {
         .unwrap();
         assert_eq!(server.manager(), ManagerKind::Greedy);
         assert!(server.addr().port() != 0);
+        assert!(server.wal().is_none());
         server.shutdown();
         server.shutdown(); // idempotent
     }
 
     #[test]
     fn shutdown_returns_while_a_client_keeps_sending() {
-        use std::sync::atomic::AtomicBool;
-        use std::sync::Arc;
-
         let mut server = KvServer::start(ServerConfig {
             capacity: 16,
             shards: 2,
@@ -523,7 +813,7 @@ mod tests {
             std::thread::spawn(move || {
                 // A closed-loop client that never goes idle: the worker's
                 // reads keep returning data, so shutdown must be honoured
-                // between requests, not only on read timeouts.
+                // between bursts, not only on read timeouts.
                 let Ok(stream) = TcpStream::connect(addr) else { return };
                 let mut reader = BufReader::new(stream.try_clone().unwrap());
                 let mut writer = stream;
@@ -572,8 +862,14 @@ mod tests {
         assert_eq!(say("SUM 0 31", &mut reader), "SUM 35 2");
         assert_eq!(say("DEL 3", &mut reader), "OK 1");
         assert_eq!(say("DEL 3", &mut reader), "OK 0");
-        assert!(say("GET 99", &mut reader).starts_with("ERR key 99 outside"));
+        // The keyspace is dynamic: far-out keys are legal, not errors.
+        assert_eq!(say("PUT 99999999 7", &mut reader), "OK");
+        assert_eq!(say("GET 99999999", &mut reader), "VALUE 7");
+        assert_eq!(say("DEL 99999999", &mut reader), "OK 1");
         assert!(say("NOPE", &mut reader).starts_with("ERR unknown command"));
+        // Durability commands on a volatile server fail politely.
+        assert!(say("SNAPSHOT", &mut reader).starts_with("ERR durability disabled"));
+        assert!(say("WALSTATS", &mut reader).starts_with("ERR durability disabled"));
         // A batch: two queued ops executed atomically.
         assert_eq!(say("BEGIN", &mut reader), "OK");
         assert_eq!(say("ADD 4 -5", &mut reader), "QUEUED");
@@ -589,5 +885,174 @@ mod tests {
         let stats = say("STATS", &mut reader);
         assert!(stats.starts_with("STATS commits="), "got '{stats}'");
         assert_eq!(say("QUIT", &mut reader), "BYE");
+    }
+
+    #[test]
+    fn poisoned_batch_executes_nothing_and_keeps_framing() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 32,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut say = |cmd: &str, reader: &mut BufReader<TcpStream>| -> String {
+            writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        assert_eq!(say("PUT 3 30", &mut reader), "OK");
+        assert_eq!(say("BEGIN", &mut reader), "OK");
+        assert_eq!(say("ADD 3 10", &mut reader), "QUEUED");
+        // A non-data command poisons the batch...
+        assert!(say("PING", &mut reader).starts_with("ERR command not allowed"));
+        // ...so the already-pipelined tail is swallowed, not executed.
+        assert!(say("ADD 3 100", &mut reader).starts_with("ERR batch aborted"));
+        assert!(say("EXEC", &mut reader).starts_with("ERR batch aborted"));
+        // All-or-nothing: key 3 is untouched, framing survives.
+        assert_eq!(say("GET 3", &mut reader), "VALUE 30");
+        assert_eq!(say("PING", &mut reader), "PONG");
+        assert_eq!(say("BEGIN", &mut reader), "OK");
+        assert_eq!(say("ADD 3 1", &mut reader), "QUEUED");
+        assert_eq!(say("EXEC", &mut reader), "EXEC 1");
+        let mut l = String::new();
+        reader.read_line(&mut l).unwrap();
+        assert_eq!(l.trim_end(), "VALUE 31");
+        assert_eq!(say("QUIT", &mut reader), "BYE");
+    }
+
+    #[test]
+    fn pipelined_burst_gets_every_reply_in_order() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 32,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // One write carrying many requests — the pipelined path.
+        let mut burst = String::new();
+        for key in 0..50i64 {
+            burst.push_str(&format!("PUT {key} {}\n", key * 2));
+        }
+        burst.push_str("SUM 0 49\nPING\n");
+        writer.write_all(burst.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        let mut replies = Vec::new();
+        for _ in 0..52 {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            replies.push(line.trim_end().to_string());
+        }
+        assert!(replies[..50].iter().all(|r| r == "OK"), "{replies:?}");
+        assert_eq!(replies[50], format!("SUM {} 50", (0..50i64).map(|k| k * 2).sum::<i64>()));
+        assert_eq!(replies[51], "PONG");
+    }
+
+    fn temp_wal_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "stm-kv-server-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_server_recovers_its_keyspace_after_restart() {
+        let dir = temp_wal_dir("recover");
+        let config = ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            wal_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        };
+        {
+            let mut server = KvServer::start(config.clone()).unwrap();
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            let mut say = |cmd: &str, reader: &mut BufReader<TcpStream>| -> String {
+                writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+                let mut reply = String::new();
+                reader.read_line(&mut reply).unwrap();
+                reply.trim_end().to_string()
+            };
+            assert_eq!(say("PUT 1 100", &mut reader), "OK");
+            assert_eq!(say("PUT 2 200", &mut reader), "OK");
+            assert_eq!(say("DEL 2", &mut reader), "OK 1");
+            assert_eq!(say("ADD 3 33", &mut reader), "VALUE 33");
+            let walstats = say("WALSTATS", &mut reader);
+            assert!(walstats.starts_with("WALSTATS policy=every"), "{walstats}");
+            assert!(walstats.contains("records=4"), "{walstats}");
+            let snap = say("SNAPSHOT", &mut reader);
+            assert!(snap.starts_with("SNAPSHOT "), "{snap}");
+            assert_eq!(say("PUT 4 400", &mut reader), "OK");
+            assert_eq!(say("QUIT", &mut reader), "BYE");
+            server.shutdown();
+        }
+        // Restart on the same directory: snapshot + tail replay.
+        let server = KvServer::start(config).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut say = |cmd: &str, reader: &mut BufReader<TcpStream>| -> String {
+            writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        assert_eq!(say("GET 1", &mut reader), "VALUE 100");
+        assert_eq!(say("GET 2", &mut reader), "NIL", "deleted key must stay deleted");
+        assert_eq!(say("GET 3", &mut reader), "VALUE 33");
+        assert_eq!(say("GET 4", &mut reader), "VALUE 400", "post-snapshot tail replayed");
+        assert_eq!(say("SUM 0 15", &mut reader), "SUM 533 3");
+        assert_eq!(say("QUIT", &mut reader), "BYE");
+        drop(server);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_snapshot_fires_after_the_configured_record_budget() {
+        let dir = temp_wal_dir("autosnap");
+        let mut server = KvServer::start(ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            wal_dir: Some(dir.clone()),
+            snapshot_every: 10,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut say = |cmd: &str, reader: &mut BufReader<TcpStream>| -> String {
+            writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        for i in 0..25i64 {
+            assert_eq!(say(&format!("PUT {} {}", i % 8, i), &mut reader), "OK");
+        }
+        let walstats = say("WALSTATS", &mut reader);
+        let snapshots: u64 = walstats
+            .split_whitespace()
+            .find_map(|pair| pair.strip_prefix("snapshots=").and_then(|v| v.parse().ok()))
+            .unwrap_or_else(|| panic!("unparseable WALSTATS: {walstats}"));
+        assert!(snapshots >= 2, "25 records / snapshot-every-10: {walstats}");
+        assert_eq!(say("QUIT", &mut reader), "BYE");
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

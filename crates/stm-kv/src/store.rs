@@ -1,6 +1,6 @@
 //! The transactional keyspace behind the server.
 //!
-//! A [`KvStore`] is a fixed-capacity map from keys `0..capacity` to `i64`
+//! A [`KvStore`] is a **dynamic** map from arbitrary `i64` keys to `i64`
 //! values. Presence is tracked by a sharded red-black-tree index
 //! ([`ShardedTxSet`]); each key's value lives in its own [`TVar`]. The
 //! split matters for contention: a `PUT`/`ADD` conflicts with another
@@ -8,50 +8,71 @@
 //! index path inside one shard — transactions on different shards are
 //! disjoint by construction.
 //!
+//! Value cells live in two tiers. Keys inside the pre-allocated range
+//! (`0..prealloc`, the server's `--capacity` warm-up hint) resolve through
+//! a plain `Vec` — the same lock-free hot path the old fixed-capacity
+//! design had. Keys outside it are materialised on first touch: each shard
+//! owns a `Mutex<HashMap<key, TVar>>` overflow table, and `cell()` does a
+//! brief get-or-insert under that leaf lock. The lock guards only cell
+//! *identity* (two racing transactions must obtain the same `TVar` for one
+//! key — the create-on-first-use race the old design avoided by
+//! pre-allocating); cell *contents* remain under full STM arbitration, so
+//! serializability is untouched. Once created, a cell is never removed:
+//! `DEL` removes the key from the index (the transactional source of truth
+//! for membership) and leaves the cell for cheap re-insertion — a
+//! deliberate trade: memory grows with the number of *distinct keys ever
+//! touched* (see `cells_allocated`), which is what lets the server recover
+//! an arbitrary keyspace from a log and lets `PUT`s outside any
+//! pre-declared range succeed without an admission race.
+//!
 //! All operations run inside the caller's transaction and compose: the
 //! server's `BEGIN`/`EXEC` batches simply run several store operations in
 //! one `atomically` closure, which is what makes multi-key batches
 //! serializable across clients.
-//!
-//! The keyspace is pre-allocated (one `TVar` per possible key) rather than
-//! grown dynamically: the STM arbitrates per-object, and materialising the
-//! cells up front keeps the hot path free of allocation and of a
-//! create-on-first-use race that would otherwise need its own
-//! synchronisation. Capacity is a server-start parameter; requests outside
-//! `0..capacity` are rejected at the protocol layer before any transaction
-//! starts.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
 
 use stm_core::{TVar, TxResult, Txn};
 use stm_structures::{ShardedTxSet, TxSet};
 
-/// A fixed-capacity transactional `i64 → i64` key-value store.
-#[derive(Debug, Clone)]
+/// A dynamic transactional `i64 → i64` key-value store.
+#[derive(Debug)]
 pub struct KvStore {
-    capacity: i64,
     index: ShardedTxSet,
-    values: Vec<TVar<i64>>,
+    /// Lock-free cells for the pre-allocated range `0..prealloc.len()`.
+    prealloc: Vec<TVar<i64>>,
+    /// Per-shard overflow tables; `overflow[k.rem_euclid(shards)]` owns key
+    /// `k`'s value cell when `k` is outside the pre-allocated range.
+    /// Sharded so cell creation does not serialize across the keyspace.
+    overflow: Vec<Mutex<HashMap<i64, TVar<i64>>>>,
 }
 
 impl KvStore {
-    /// Creates a store for keys `0..capacity`, with the membership index
-    /// partitioned over `shards` red-black trees.
+    /// Creates an empty store whose membership index (and overflow cell
+    /// table) is partitioned over `shards` red-black trees.
     ///
     /// # Panics
     ///
-    /// Panics when `capacity <= 0` or `shards == 0`.
-    pub fn new(capacity: i64, shards: usize) -> Self {
-        assert!(capacity > 0, "capacity must be positive");
-        assert!(shards > 0, "need at least one shard");
-        KvStore {
-            capacity,
-            index: ShardedTxSet::rbtree(shards),
-            values: (0..capacity).map(|_| TVar::new(0)).collect(),
-        }
+    /// Panics when `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        KvStore::with_preallocated(shards, 0)
     }
 
-    /// The exclusive upper bound of the keyspace.
-    pub fn capacity(&self) -> i64 {
-        self.capacity
+    /// Creates a store with cells for `0..prealloc` materialised up front:
+    /// that range resolves lock-free, exactly as the old fixed-capacity
+    /// design did (the server pre-allocates its configured capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards == 0`.
+    pub fn with_preallocated(shards: usize, prealloc: i64) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        KvStore {
+            index: ShardedTxSet::rbtree(shards),
+            prealloc: (0..prealloc.max(0)).map(|_| TVar::new(0)).collect(),
+            overflow: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+        }
     }
 
     /// Number of index shards.
@@ -59,25 +80,35 @@ impl KvStore {
         self.index.num_shards()
     }
 
-    /// Whether `key` is inside the keyspace.
-    pub fn key_in_range(&self, key: i64) -> bool {
-        (0..self.capacity).contains(&key)
+    /// The value cell for `key` — lock-free inside the pre-allocated range,
+    /// created on first touch under the shard's overflow lock outside it.
+    fn cell(&self, key: i64) -> TVar<i64> {
+        if let Ok(i) = usize::try_from(key) {
+            if let Some(cell) = self.prealloc.get(i) {
+                return cell.clone();
+            }
+        }
+        let shard = key.rem_euclid(self.overflow.len() as i64) as usize;
+        let mut cells = self.overflow[shard].lock().expect("cell table lock poisoned");
+        cells.entry(key).or_insert_with(|| TVar::new(0)).clone()
     }
 
-    fn assert_key(&self, key: i64) {
-        assert!(
-            self.key_in_range(key),
-            "key {key} outside keyspace 0..{} (the server validates keys before \
-             starting a transaction)",
-            self.capacity
-        );
+    /// Number of value cells materialised so far (monotone; an upper bound
+    /// on the number of live keys, and the measure of the grows-forever
+    /// trade-off documented on the module).
+    pub fn cells_allocated(&self) -> usize {
+        self.prealloc.len()
+            + self
+                .overflow
+                .iter()
+                .map(|shard| shard.lock().expect("cell table lock poisoned").len())
+                .sum::<usize>()
     }
 
     /// Reads the value at `key`, or `None` when the key is absent.
     pub fn get(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<i64>> {
-        self.assert_key(key);
         if self.index.contains(tx, key)? {
-            Ok(Some(tx.read(&self.values[key as usize])?))
+            Ok(Some(tx.read(&self.cell(key))?))
         } else {
             Ok(None)
         }
@@ -86,23 +117,21 @@ impl KvStore {
     /// Stores `value` at `key`, returning the previous value if the key was
     /// present.
     pub fn put(&self, tx: &mut Txn<'_>, key: i64, value: i64) -> TxResult<Option<i64>> {
-        self.assert_key(key);
         let was_present = !self.index.insert(tx, key)?;
-        let cell = &self.values[key as usize];
+        let cell = self.cell(key);
         let previous = if was_present {
-            Some(tx.read(cell)?)
+            Some(tx.read(&cell)?)
         } else {
             None
         };
-        tx.write(cell, value)?;
+        tx.write(&cell, value)?;
         Ok(previous)
     }
 
     /// Removes `key`, returning its value if it was present.
     pub fn del(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<i64>> {
-        self.assert_key(key);
         if self.index.remove(tx, key)? {
-            Ok(Some(tx.read(&self.values[key as usize])?))
+            Ok(Some(tx.read(&self.cell(key))?))
         } else {
             Ok(None)
         }
@@ -112,30 +141,26 @@ impl KvStore {
     /// inserting it), returning the new value. This is the closed
     /// read-modify-write the `BEGIN`/`EXEC` transfer batches are built from.
     pub fn add(&self, tx: &mut Txn<'_>, key: i64, delta: i64) -> TxResult<i64> {
-        self.assert_key(key);
-        let cell = &self.values[key as usize];
+        let cell = self.cell(key);
         let current = if self.index.insert(tx, key)? {
             // Newly created: the stale cell content is not part of the map.
             0
         } else {
-            tx.read(cell)?
+            tx.read(&cell)?
         };
         let next = current.wrapping_add(delta);
-        tx.write(cell, next)?;
+        tx.write(&cell, next)?;
         Ok(next)
     }
 
-    /// The present keys in `lo..=hi` with their values, ascending. Bounds
-    /// are clamped to the keyspace.
+    /// The present keys in `lo..=hi` with their values, ascending.
     pub fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<(i64, i64)>> {
-        let lo = lo.max(0);
-        let hi = hi.min(self.capacity - 1);
         let mut pairs = Vec::new();
         if lo > hi {
             return Ok(pairs);
         }
         for key in self.index.range(tx, lo, hi)? {
-            pairs.push((key, tx.read(&self.values[key as usize])?));
+            pairs.push((key, tx.read(&self.cell(key))?));
         }
         Ok(pairs)
     }
@@ -147,6 +172,17 @@ impl KvStore {
         let pairs = self.range(tx, lo, hi)?;
         let total = pairs.iter().map(|(_, v)| *v).fold(0i64, i64::wrapping_add);
         Ok((total, pairs.len()))
+    }
+
+    /// Every present key with its value, ascending — the consistent cut a
+    /// point-in-time snapshot persists. Runs inside the caller's
+    /// transaction, so concurrent writers serialize against it.
+    pub fn dump(&self, tx: &mut Txn<'_>) -> TxResult<Vec<(i64, i64)>> {
+        let mut pairs = Vec::new();
+        for key in self.index.to_vec(tx)? {
+            pairs.push((key, tx.read(&self.cell(key))?));
+        }
+        Ok(pairs)
     }
 
     /// Number of present keys.
@@ -168,7 +204,7 @@ mod tests {
     #[test]
     fn get_put_del_add_round_trip() {
         let stm = Stm::default();
-        let store = KvStore::new(64, 4);
+        let store = KvStore::new(4);
         let mut ctx = stm.thread();
         ctx.atomically(|tx| {
             assert_eq!(store.get(tx, 5)?, None);
@@ -186,9 +222,27 @@ mod tests {
     }
 
     #[test]
+    fn keyspace_grows_on_demand_including_negative_and_huge_keys() {
+        let stm = Stm::default();
+        let store = KvStore::new(4);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            assert_eq!(store.put(tx, -1_000_000, 1)?, None);
+            assert_eq!(store.put(tx, i64::MAX, 2)?, None);
+            assert_eq!(store.add(tx, i64::MIN, -3)?, -3);
+            assert_eq!(store.get(tx, -1_000_000)?, Some(1));
+            assert_eq!(store.get(tx, i64::MAX)?, Some(2));
+            assert_eq!(store.len(tx)?, 3);
+            Ok(())
+        })
+        .unwrap();
+        assert!(store.cells_allocated() >= 3);
+    }
+
+    #[test]
     fn deleted_key_recreated_by_add_starts_at_zero() {
         let stm = Stm::default();
-        let store = KvStore::new(16, 2);
+        let store = KvStore::new(2);
         let mut ctx = stm.thread();
         ctx.atomically(|tx| {
             store.put(tx, 3, 99)?;
@@ -202,12 +256,12 @@ mod tests {
     }
 
     #[test]
-    fn range_and_sum_clamp_and_snapshot() {
+    fn range_sum_and_dump_snapshot_consistently() {
         let stm = Stm::default();
-        let store = KvStore::new(32, 4);
+        let store = KvStore::with_preallocated(4, 32);
         let mut ctx = stm.thread();
         ctx.atomically(|tx| {
-            for key in [2i64, 7, 11, 30] {
+            for key in [2i64, 7, 11, 30, 500] {
                 store.put(tx, key, key * 10)?;
             }
             Ok(())
@@ -219,14 +273,32 @@ mod tests {
         assert_eq!(window, vec![(7, 70), (11, 110)]);
         assert_eq!(ctx.atomically(|tx| store.sum(tx, 0, 31)).unwrap(), (500, 4));
         assert_eq!(ctx.atomically(|tx| store.sum(tx, 12, 3)).unwrap(), (0, 0));
+        let dump = ctx.atomically(|tx| store.dump(tx)).unwrap();
+        assert_eq!(dump, vec![(2, 20), (7, 70), (11, 110), (30, 300), (500, 5000)]);
     }
 
     #[test]
-    #[should_panic(expected = "outside keyspace")]
-    fn out_of_range_key_panics() {
-        let stm = Stm::default();
-        let store = KvStore::new(8, 2);
+    fn concurrent_first_touch_of_one_key_agrees_on_the_cell() {
+        use std::sync::Arc;
+        let stm = Arc::new(Stm::default());
+        let store = Arc::new(KvStore::new(4));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let stm = Arc::clone(&stm);
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    for _ in 0..250 {
+                        ctx.atomically(|tx| store.add(tx, 12345, 1)).unwrap();
+                    }
+                });
+            }
+        });
         let mut ctx = stm.thread();
-        let _ = ctx.atomically(|tx| store.get(tx, 8));
+        assert_eq!(
+            ctx.atomically(|tx| store.get(tx, 12345)).unwrap(),
+            Some(1000),
+            "increments through a racing first-touch cell must not be lost"
+        );
     }
 }

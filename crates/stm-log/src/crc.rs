@@ -1,0 +1,62 @@
+//! CRC-32 (IEEE 802.3, the polynomial used by zip/gzip/ethernet), computed
+//! with the classic 256-entry lookup table. Implemented here because the
+//! build environment has no crates.io access; the record and snapshot
+//! formats both checksum their payloads with it.
+
+/// The reflected polynomial of CRC-32/ISO-HDLC.
+const POLY: u32 = 0xEDB8_8320;
+
+/// 256-entry table, built once on first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, slot) in table.iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        table
+    })
+}
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = table();
+    let mut crc = u32::MAX;
+    for &byte in bytes {
+        crc = (crc >> 8) ^ table[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    crc ^ u32::MAX
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn single_bit_flip_changes_the_checksum() {
+        let base = b"hello, durable world".to_vec();
+        let reference = crc32(&base);
+        for i in 0..base.len() * 8 {
+            let mut flipped = base.clone();
+            flipped[i / 8] ^= 1 << (i % 8);
+            assert_ne!(crc32(&flipped), reference, "bit {i} not detected");
+        }
+    }
+}

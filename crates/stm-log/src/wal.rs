@@ -1,0 +1,770 @@
+//! The write-ahead log: an append-only record stream with group commit.
+//!
+//! A [`Wal`] owns a directory of segment files (`wal-<first_seq>.log`) and a
+//! background **group-commit writer thread**. Commit-path threads never
+//! touch the filesystem: the [`Wal::commit_hook`] appends the encoded record
+//! to an in-memory buffer under the same lock that assigns the sequence
+//! number and performs the transaction's commit CAS (see `stm_core::hook`
+//! for why that lock makes log order equal serialization order), then wakes
+//! the writer. The writer drains whole batches — every record that
+//! accumulated while the previous write was in flight goes out in one
+//! `write_all` — and applies the configured [`FsyncPolicy`]:
+//!
+//! * [`FsyncPolicy::EveryCommit`] — fsync after every drained batch. A
+//!   caller that then blocks on [`Wal::wait_durable`] gets synchronous
+//!   durability, and the batching means one fsync covers every commit that
+//!   arrived during the previous fsync (classic group commit).
+//! * [`FsyncPolicy::EveryN`] — fsync once at least `n` records are unsynced.
+//!   Bounded loss window of `n` commits.
+//! * [`FsyncPolicy::EveryMs`] — fsync when the oldest unsynced record is
+//!   older than `t` milliseconds. Bounded loss window of `t` ms.
+//!
+//! [`Wal::wait_durable`] blocks until a given sequence number is covered by
+//! an fsync; [`Wal::write_snapshot`] persists a point-in-time snapshot and
+//! prunes segments the snapshot covers. Dropping the [`Wal`] flushes and
+//! fsyncs everything outstanding before joining the writer, so a graceful
+//! shutdown never loses a commit regardless of policy.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use stm_core::{CommitHook, CommitOp};
+
+use crate::record;
+use crate::recovery::{self, Recovered};
+use crate::snapshot;
+
+/// When the group-commit writer calls `fsync`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// After every drained batch — synchronous durability for callers that
+    /// wait on [`Wal::wait_durable`].
+    EveryCommit,
+    /// Once at least this many records are unsynced.
+    EveryN(u64),
+    /// Once the oldest unsynced record is at least this many ms old.
+    EveryMs(u64),
+}
+
+impl FsyncPolicy {
+    /// Stable label used in experiment cells and `WALSTATS`.
+    pub fn label(&self) -> String {
+        match self {
+            FsyncPolicy::EveryCommit => "every".to_string(),
+            FsyncPolicy::EveryN(n) => format!("n={n}"),
+            FsyncPolicy::EveryMs(ms) => format!("ms={ms}"),
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl FromStr for FsyncPolicy {
+    type Err = String;
+
+    /// Parses `every`, `n=<count>` or `ms=<millis>` (the `--fsync` flag).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("every") {
+            return Ok(FsyncPolicy::EveryCommit);
+        }
+        if let Some(n) = s.strip_prefix("n=") {
+            return match n.parse::<u64>() {
+                Ok(n) if n > 0 => Ok(FsyncPolicy::EveryN(n)),
+                _ => Err(format!("fsync policy 'n=' needs a positive count, got '{n}'")),
+            };
+        }
+        if let Some(ms) = s.strip_prefix("ms=") {
+            return match ms.parse::<u64>() {
+                Ok(ms) if ms > 0 => Ok(FsyncPolicy::EveryMs(ms)),
+                _ => Err(format!("fsync policy 'ms=' needs positive millis, got '{ms}'")),
+            };
+        }
+        Err(format!(
+            "unknown fsync policy '{s}' (expected every, n=<count> or ms=<millis>)"
+        ))
+    }
+}
+
+/// Configuration of a [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding segments and snapshots (created if absent).
+    pub dir: PathBuf,
+    /// When the writer fsyncs.
+    pub fsync: FsyncPolicy,
+    /// Rotate to a new segment once the current one exceeds this size.
+    pub segment_bytes: u64,
+}
+
+impl WalConfig {
+    /// A config with the default fsync policy (every commit) and 8 MiB
+    /// segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            fsync: FsyncPolicy::EveryCommit,
+            segment_bytes: 8 << 20,
+        }
+    }
+}
+
+/// A consistent snapshot of the WAL's counters (the `WALSTATS` payload).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Next sequence number to be assigned.
+    pub next_seq: u64,
+    /// Highest sequence number covered by an fsync.
+    pub durable_seq: u64,
+    /// Records appended since this `Wal` was opened.
+    pub records: u64,
+    /// Bytes written to segment files since open.
+    pub bytes: u64,
+    /// fsync calls issued since open.
+    pub fsyncs: u64,
+    /// Segment files currently on disk.
+    pub segments: u64,
+    /// Snapshots written since open.
+    pub snapshots: u64,
+    /// Sequence number of the latest snapshot (0 = none).
+    pub last_snapshot_seq: u64,
+    /// Records appended since the latest snapshot.
+    pub records_since_snapshot: u64,
+    /// Whether the writer stopped on an unrecoverable filesystem error
+    /// (see [`Wal::is_failed`]).
+    pub failed: bool,
+}
+
+/// The sequence-ordered front of the log, guarded by one mutex: sequence
+/// assignment and buffer append happen atomically with the commit CAS.
+struct Core {
+    next_seq: u64,
+    pending: Vec<u8>,
+    pending_records: u64,
+    pending_last_seq: u64,
+    pending_first_seq: u64,
+}
+
+struct Shared {
+    dir: PathBuf,
+    policy: FsyncPolicy,
+    segment_bytes: u64,
+    core: Mutex<Core>,
+    work: Condvar,
+    durable: Mutex<u64>,
+    durable_cv: Condvar,
+    stop: AtomicBool,
+    records: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    segments: AtomicU64,
+    snapshots: AtomicU64,
+    last_snapshot_seq: AtomicU64,
+    since_snapshot: AtomicU64,
+    snapshot_in_progress: AtomicBool,
+    /// Set when the writer hit a filesystem error it cannot recover from
+    /// (failed segment open/write, failed fsync). A failed log stops
+    /// buffering, never advances the durable watermark again, and makes
+    /// [`Wal::wait_durable`] return `false` immediately — an acknowledged
+    /// durability promise is never built on a record that may not be on
+    /// disk, and nothing is appended after a possibly-torn write (so the
+    /// on-disk prefix stays exactly the committed prefix).
+    failed: AtomicBool,
+}
+
+impl Shared {
+    fn fail(&self, context: &str, err: &io::Error) {
+        if !self.failed.swap(true, Ordering::SeqCst) {
+            eprintln!(
+                "stm-log: {context}: {err} — log writer stopped; durability is disabled from \
+                 this point (commits continue in memory, wait_durable now reports failure)"
+            );
+        }
+        self.durable_cv.notify_all();
+    }
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .finish()
+    }
+}
+
+impl CommitHook for Shared {
+    fn on_commit(&self, ops: &[CommitOp], commit: &mut dyn FnMut() -> bool) -> Option<u64> {
+        let mut core = self.core.lock().expect("wal core lock poisoned");
+        if !commit() {
+            return None;
+        }
+        let seq = core.next_seq;
+        core.next_seq += 1;
+        // A failed log stops buffering: the writer is gone, so appending
+        // would only grow memory without bound. Commits proceed in memory;
+        // their non-durability is reported through `wait_durable`.
+        if self.failed.load(Ordering::Relaxed) {
+            return Some(seq);
+        }
+        if core.pending.is_empty() {
+            core.pending_first_seq = seq;
+        }
+        record::encode_into(&mut core.pending, seq, ops);
+        core.pending_records += 1;
+        core.pending_last_seq = seq;
+        drop(core);
+        self.records.fetch_add(1, Ordering::Relaxed);
+        self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+        self.work.notify_one();
+        Some(seq)
+    }
+}
+
+/// One drained batch handed from the commit path to the writer.
+struct Batch {
+    bytes: Vec<u8>,
+    records: u64,
+    first_seq: u64,
+    last_seq: u64,
+}
+
+/// The durable commit log. See the [module documentation](self).
+pub struct Wal {
+    shared: Arc<Shared>,
+    writer: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.shared.fmt(f)
+    }
+}
+
+impl Wal {
+    /// Opens (or creates) the log in `config.dir`: runs recovery, truncates
+    /// a torn tail, and starts the group-commit writer at the next unused
+    /// sequence number. Returns the running log and what recovery found.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from recovery or directory creation.
+    pub fn open(config: WalConfig) -> io::Result<(Wal, Recovered)> {
+        fs::create_dir_all(&config.dir)?;
+        let recovered = recovery::recover(&config.dir)?;
+        let segments = recovery::list_segments(&config.dir)?.len() as u64;
+        let shared = Arc::new(Shared {
+            dir: config.dir,
+            policy: config.fsync,
+            segment_bytes: config.segment_bytes.max(4096),
+            failed: AtomicBool::new(false),
+            core: Mutex::new(Core {
+                next_seq: recovered.next_seq,
+                pending: Vec::new(),
+                pending_records: 0,
+                pending_last_seq: 0,
+                pending_first_seq: 0,
+            }),
+            work: Condvar::new(),
+            durable: Mutex::new(recovered.next_seq.saturating_sub(1)),
+            durable_cv: Condvar::new(),
+            stop: AtomicBool::new(false),
+            records: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+            segments: AtomicU64::new(segments),
+            snapshots: AtomicU64::new(0),
+            last_snapshot_seq: AtomicU64::new(
+                recovered.snapshot.as_ref().map(|s| s.seq).unwrap_or(0),
+            ),
+            since_snapshot: AtomicU64::new(recovered.tail.len() as u64),
+            snapshot_in_progress: AtomicBool::new(false),
+        });
+        let writer = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("stm-log-writer".to_string())
+                .spawn(move || writer_loop(&shared))
+                .expect("spawn wal writer thread")
+        };
+        Ok((
+            Wal {
+                shared,
+                writer: Some(writer),
+            },
+            recovered,
+        ))
+    }
+
+    /// The [`CommitHook`] to install on the [`stm_core::Stm`] serving this
+    /// log (`Stm::builder().commit_hook(wal.commit_hook())`).
+    pub fn commit_hook(&self) -> Arc<dyn CommitHook> {
+        Arc::clone(&self.shared) as Arc<dyn CommitHook>
+    }
+
+    /// The fsync policy this log runs under.
+    pub fn policy(&self) -> FsyncPolicy {
+        self.shared.policy
+    }
+
+    /// The directory holding segments and snapshots.
+    pub fn dir(&self) -> &Path {
+        &self.shared.dir
+    }
+
+    /// Highest sequence number currently covered by an fsync.
+    pub fn durable_seq(&self) -> u64 {
+        *self.shared.durable.lock().expect("durable lock poisoned")
+    }
+
+    /// Whether the log hit an unrecoverable filesystem error: the writer
+    /// has stopped, nothing appended after the failure point is (or will
+    /// become) durable, and [`Wal::wait_durable`] reports `false` for it.
+    pub fn is_failed(&self) -> bool {
+        self.shared.failed.load(Ordering::Relaxed)
+    }
+
+    /// Blocks until `seq` is durable (covered by an fsync). Returns `false`
+    /// when the log shut down or [failed](Wal::is_failed) before that
+    /// happened — never blocking on a watermark that cannot advance.
+    pub fn wait_durable(&self, seq: u64) -> bool {
+        let mut durable = self.shared.durable.lock().expect("durable lock poisoned");
+        loop {
+            if *durable >= seq {
+                return true;
+            }
+            if self.shared.stop.load(Ordering::Relaxed)
+                || self.shared.failed.load(Ordering::Relaxed)
+            {
+                return false;
+            }
+            let (guard, _) = self
+                .shared
+                .durable_cv
+                .wait_timeout(durable, Duration::from_millis(50))
+                .expect("durable lock poisoned");
+            durable = guard;
+        }
+    }
+
+    /// Records appended since the latest snapshot — the trigger the server's
+    /// `--snapshot-every` policy polls.
+    pub fn records_since_snapshot(&self) -> u64 {
+        self.shared.since_snapshot.load(Ordering::Relaxed)
+    }
+
+    /// Claims the snapshot slot (at most one snapshot runs at a time).
+    /// Returns `false` when another thread holds it; the claimer must call
+    /// [`Wal::write_snapshot`] (which releases it) or [`Wal::abandon_snapshot`].
+    pub fn begin_snapshot(&self) -> bool {
+        !self.shared.snapshot_in_progress.swap(true, Ordering::AcqRel)
+    }
+
+    /// Releases the snapshot slot without writing (the cut transaction
+    /// failed).
+    pub fn abandon_snapshot(&self) {
+        self.shared.snapshot_in_progress.store(false, Ordering::Release);
+    }
+
+    /// Durably writes the snapshot of `pairs` at cut `seq`, releases the
+    /// snapshot slot, and prunes snapshots and closed segments the new
+    /// snapshot covers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors (the slot is released either way).
+    pub fn write_snapshot(&self, seq: u64, pairs: &[(i64, i64)]) -> io::Result<PathBuf> {
+        let result = snapshot::write(&self.shared.dir, seq, pairs);
+        if result.is_ok() {
+            self.shared.snapshots.fetch_add(1, Ordering::Relaxed);
+            self.shared.last_snapshot_seq.store(seq, Ordering::Relaxed);
+            self.shared.since_snapshot.store(0, Ordering::Relaxed);
+            self.prune(seq);
+        }
+        self.shared.snapshot_in_progress.store(false, Ordering::Release);
+        result
+    }
+
+    /// Deletes snapshots older than the one at `upto` and segment files all
+    /// of whose records are covered by it (a segment is covered when the
+    /// *next* segment starts at or below `upto + 1`). The newest snapshot
+    /// and the open segment are never touched.
+    fn prune(&self, upto: u64) {
+        let Ok(mut segments) = recovery::list_segments(&self.shared.dir) else {
+            return;
+        };
+        segments.sort();
+        for pair in segments.windows(2) {
+            let (_, successor_first) = pair[1];
+            if successor_first <= upto + 1 {
+                let _ = fs::remove_file(&pair[0].0);
+                self.shared.segments.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        if let Ok(snapshots) = recovery::list_snapshots(&self.shared.dir) {
+            for (path, seq) in snapshots {
+                if seq < upto {
+                    let _ = fs::remove_file(&path);
+                }
+            }
+        }
+    }
+
+    /// A snapshot of the log's counters.
+    pub fn stats(&self) -> WalStats {
+        let next_seq = self
+            .shared
+            .core
+            .lock()
+            .expect("wal core lock poisoned")
+            .next_seq;
+        WalStats {
+            next_seq,
+            durable_seq: self.durable_seq(),
+            records: self.shared.records.load(Ordering::Relaxed),
+            bytes: self.shared.bytes.load(Ordering::Relaxed),
+            fsyncs: self.shared.fsyncs.load(Ordering::Relaxed),
+            segments: self.shared.segments.load(Ordering::Relaxed),
+            snapshots: self.shared.snapshots.load(Ordering::Relaxed),
+            last_snapshot_seq: self.shared.last_snapshot_seq.load(Ordering::Relaxed),
+            records_since_snapshot: self.shared.since_snapshot.load(Ordering::Relaxed),
+            failed: self.is_failed(),
+        }
+    }
+
+    /// Flushes and fsyncs everything outstanding, then stops the writer.
+    /// Idempotent; also invoked by `Drop`, so a graceful shutdown never
+    /// loses a commit regardless of the fsync policy.
+    pub fn shutdown(&mut self) {
+        if self.shared.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.shared.work.notify_all();
+        if let Some(writer) = self.writer.take() {
+            let _ = writer.join();
+        }
+        self.shared.durable_cv.notify_all();
+    }
+}
+
+impl Drop for Wal {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn segment_file_name(first_seq: u64) -> String {
+    format!("wal-{first_seq:020}.log")
+}
+
+/// The writer's view of the currently open segment.
+struct OpenSegment {
+    file: File,
+    written: u64,
+}
+
+fn open_segment(dir: &Path, first_seq: u64) -> io::Result<OpenSegment> {
+    let path = dir.join(segment_file_name(first_seq));
+    let file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let written = file.metadata()?.len();
+    // Persist the directory entry: fsyncing file *data* does not persist the
+    // dirent, and acknowledged records in a segment whose name vanishes on
+    // power loss would be acknowledged-then-lost.
+    File::open(dir)?.sync_all()?;
+    Ok(OpenSegment { file, written })
+}
+
+fn writer_loop(shared: &Shared) {
+    let tick = match shared.policy {
+        FsyncPolicy::EveryMs(ms) => Duration::from_millis(ms.clamp(1, 50)),
+        _ => Duration::from_millis(50),
+    };
+    let mut segment: Option<OpenSegment> = None;
+    let mut unsynced_records = 0u64;
+    let mut unsynced_since = Instant::now();
+    let mut highest_written = 0u64;
+    loop {
+        let batch = {
+            let mut core = shared.core.lock().expect("wal core lock poisoned");
+            while core.pending.is_empty() && !shared.stop.load(Ordering::Relaxed) {
+                let (guard, _) = shared
+                    .work
+                    .wait_timeout(core, tick)
+                    .expect("wal core lock poisoned");
+                core = guard;
+                // Timer-based policies must fsync even when no new record
+                // arrives to carry the decision.
+                if core.pending.is_empty() && unsynced_records > 0 {
+                    if let FsyncPolicy::EveryMs(ms) = shared.policy {
+                        if unsynced_since.elapsed() >= Duration::from_millis(ms) {
+                            break;
+                        }
+                    }
+                }
+            }
+            if core.pending.is_empty() {
+                None
+            } else {
+                Some(Batch {
+                    bytes: std::mem::take(&mut core.pending),
+                    records: std::mem::take(&mut core.pending_records),
+                    first_seq: core.pending_first_seq,
+                    last_seq: core.pending_last_seq,
+                })
+            }
+        };
+        let stopping = shared.stop.load(Ordering::Relaxed);
+        if let Some(batch) = batch {
+            let rotate = segment
+                .as_ref()
+                .is_some_and(|open| open.written >= shared.segment_bytes);
+            if rotate {
+                if let Some(open) = segment.take() {
+                    if let Err(err) = open.file.sync_data() {
+                        // Unsynced records may live in this segment; a later
+                        // fsync of the *next* segment would advance the
+                        // watermark over them. Same fail-stop as below.
+                        shared.fail("segment rotation fsync failed", &err);
+                        return;
+                    }
+                }
+            }
+            if segment.is_none() {
+                match open_segment(&shared.dir, batch.first_seq) {
+                    Ok(open) => {
+                        shared.segments.fetch_add(1, Ordering::Relaxed);
+                        segment = Some(open);
+                    }
+                    Err(err) => {
+                        // A lost batch may never be leapfrogged: a later
+                        // batch fsyncing would advance the seq-based
+                        // durability watermark over records that are not on
+                        // disk. Fail the whole log instead and stop.
+                        shared.fail("cannot open segment", &err);
+                        return;
+                    }
+                }
+            }
+            let open = segment.as_mut().expect("segment opened above");
+            if let Err(err) = open.file.write_all(&batch.bytes) {
+                // The write may have torn mid-record; anything appended
+                // after it would sit beyond a Corrupt cut and be discarded
+                // by recovery even if fsynced. Stop writing entirely.
+                shared.fail("segment write failed", &err);
+                return;
+            }
+            open.written += batch.bytes.len() as u64;
+            shared.bytes.fetch_add(batch.bytes.len() as u64, Ordering::Relaxed);
+            if unsynced_records == 0 {
+                unsynced_since = Instant::now();
+            }
+            unsynced_records += batch.records;
+            highest_written = batch.last_seq;
+        }
+        let sync_due = unsynced_records > 0
+            && (stopping
+                || match shared.policy {
+                    FsyncPolicy::EveryCommit => true,
+                    FsyncPolicy::EveryN(n) => unsynced_records >= n,
+                    FsyncPolicy::EveryMs(ms) => {
+                        unsynced_since.elapsed() >= Duration::from_millis(ms)
+                    }
+                });
+        if sync_due {
+            if let Some(open) = segment.as_mut() {
+                match open.file.sync_data() {
+                    Ok(()) => {
+                        shared.fsyncs.fetch_add(1, Ordering::Relaxed);
+                        unsynced_records = 0;
+                        let mut durable = shared.durable.lock().expect("durable lock poisoned");
+                        if highest_written > *durable {
+                            *durable = highest_written;
+                        }
+                        drop(durable);
+                        shared.durable_cv.notify_all();
+                    }
+                    Err(err) => {
+                        // After a failed fsync the kernel may have dropped
+                        // the dirty pages and cleared the error — a later
+                        // "successful" fsync proves nothing about these
+                        // records. Fail the log rather than ever advancing
+                        // the watermark over them.
+                        shared.fail("fsync failed", &err);
+                        return;
+                    }
+                }
+            }
+        }
+        if stopping {
+            let drained = shared
+                .core
+                .lock()
+                .expect("wal core lock poisoned")
+                .pending
+                .is_empty();
+            // `sync_due` above included `stopping`, so by the time the
+            // buffer is drained the final fsync has been attempted; exit
+            // even if it failed rather than spin on a broken filesystem.
+            if drained {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "stm-log-wal-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn log_through_hook(wal: &Wal, ops: &[CommitOp]) -> u64 {
+        wal.commit_hook()
+            .on_commit(ops, &mut || true)
+            .expect("commit closure returned true")
+    }
+
+    #[test]
+    fn fsync_policy_parses_and_labels() {
+        assert_eq!("every".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryCommit);
+        assert_eq!("EVERY".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryCommit);
+        assert_eq!("n=64".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryN(64));
+        assert_eq!("ms=5".parse::<FsyncPolicy>().unwrap(), FsyncPolicy::EveryMs(5));
+        for bad in ["", "n=0", "ms=0", "n=x", "sometimes"] {
+            assert!(bad.parse::<FsyncPolicy>().is_err(), "'{bad}' accepted");
+        }
+        assert_eq!(FsyncPolicy::EveryN(8).label(), "n=8");
+        assert_eq!(FsyncPolicy::EveryMs(2).to_string(), "ms=2");
+    }
+
+    #[test]
+    fn append_wait_durable_and_reopen_replays_everything() {
+        let dir = temp_dir("roundtrip");
+        let (wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert!(recovered.snapshot.is_none());
+        assert!(recovered.tail.is_empty());
+        assert_eq!(recovered.next_seq, 1);
+        let mut last = 0;
+        for i in 0..10i64 {
+            last = log_through_hook(&wal, &[CommitOp::Put { id: i, value: i * 10 }]);
+        }
+        assert!(wal.wait_durable(last));
+        assert!(wal.durable_seq() >= last);
+        let stats = wal.stats();
+        assert_eq!(stats.records, 10);
+        assert!(stats.fsyncs >= 1);
+        drop(wal);
+
+        let (wal2, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.tail.len(), 10);
+        assert_eq!(recovered.next_seq, 11);
+        assert_eq!(
+            recovered.tail[3],
+            (4, vec![CommitOp::Put { id: 3, value: 30 }])
+        );
+        drop(wal2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn graceful_shutdown_flushes_under_lazy_policies() {
+        let dir = temp_dir("lazy");
+        let mut cfg = WalConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::EveryN(1_000_000); // would never sync on its own
+        let (mut wal, _) = Wal::open(cfg).unwrap();
+        for i in 0..25i64 {
+            log_through_hook(&wal, &[CommitOp::Del { id: i }]);
+        }
+        wal.shutdown();
+        let (wal2, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        assert_eq!(recovered.tail.len(), 25, "graceful shutdown must lose nothing");
+        drop(wal2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segments_rotate_and_snapshot_prunes_them() {
+        let dir = temp_dir("rotate");
+        let mut cfg = WalConfig::new(&dir);
+        cfg.segment_bytes = 4096; // minimum — forces rotation quickly
+        let (wal, _) = Wal::open(cfg).unwrap();
+        let mut last = 0;
+        for i in 0..2_000i64 {
+            last = log_through_hook(&wal, &[CommitOp::Put { id: i, value: i }]);
+            // Give the writer batches small enough to rotate between.
+            if i % 256 == 0 {
+                wal.wait_durable(last);
+            }
+        }
+        wal.wait_durable(last);
+        assert!(
+            wal.stats().segments >= 2,
+            "4 KiB segments must have rotated: {:?}",
+            wal.stats()
+        );
+        // Snapshot at the very tip: every closed segment becomes prunable.
+        assert!(wal.begin_snapshot());
+        assert!(!wal.begin_snapshot(), "slot must be exclusive");
+        let pairs: Vec<(i64, i64)> = (0..2_000i64).map(|i| (i, i)).collect();
+        wal.write_snapshot(last, &pairs).unwrap();
+        assert!(wal.begin_snapshot(), "slot released after write");
+        wal.abandon_snapshot();
+        let stats = wal.stats();
+        assert_eq!(stats.last_snapshot_seq, last);
+        assert_eq!(stats.records_since_snapshot, 0);
+        assert_eq!(stats.segments, 1, "only the open segment survives pruning");
+        drop(wal);
+        // Recovery now starts from the snapshot and replays nothing.
+        let (wal2, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let snapshot = recovered.snapshot.expect("snapshot must be found");
+        assert_eq!(snapshot.seq, last);
+        assert_eq!(snapshot.pairs.len(), 2_000);
+        assert!(recovered.tail.is_empty());
+        assert_eq!(recovered.next_seq, last + 1);
+        drop(wal2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn concurrent_hook_commits_are_logged_in_seq_order() {
+        let dir = temp_dir("concurrent");
+        let (wal, _) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let hook = wal.commit_hook();
+        std::thread::scope(|scope| {
+            for t in 0..4i64 {
+                let hook = &hook;
+                scope.spawn(move || {
+                    for i in 0..200i64 {
+                        hook.on_commit(&[CommitOp::Put { id: t, value: i }], &mut || true)
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        let stats = wal.stats();
+        assert_eq!(stats.records, 800);
+        wal.wait_durable(800);
+        drop(wal);
+        let (_wal2, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
+        let seqs: Vec<u64> = recovered.tail.iter().map(|(seq, _)| *seq).collect();
+        assert_eq!(seqs, (1..=800).collect::<Vec<_>>(), "gapless and ordered");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`structures`](stm_structures) | transactional list, skiplist, red-black tree, forest, sharded set, counter, queue |
 //! | [`sched`](stm_sched) | Garey–Graham task systems, list/optimal schedulers, execution simulator |
 //! | [`kv`](stm_kv) | the networked transactional key-value service: server, wire protocol, client |
+//! | [`log`](stm_log) | durability: write-ahead commit log, group commit, snapshots, crash recovery |
 //!
 //! ## Quickstart
 //!
@@ -92,6 +93,9 @@ pub use stm_sched as sched;
 
 /// The networked transactional key-value service (re-export of `stm-kv`).
 pub use stm_kv as kv;
+
+/// Durable commit log and crash recovery (re-export of `stm-log`).
+pub use stm_log as log;
 
 pub use stm_cm::{GreedyManager, GreedyTimeoutManager};
 pub use stm_core::{
