@@ -14,12 +14,14 @@
 //! threads), `readfrac` (throughput vs. read fraction 0..=1), `server`
 //! (over-the-wire `stm-kv` cells: one live server per manager, driven by
 //! the closed-loop network client), `durability` (E11: fsync policy ×
-//! manager over a WAL-backed server, volatile baseline included), `ablate`
+//! manager over a WAL-backed server, volatile baseline included), `strings`
+//! (E13: 50%-string-value PUT mix vs the int baseline over a durable
+//! server), `ablate`
 //! (E12: one `ManagerParams` knob per figure — greedy timeout, karma
 //! increment, backoff cap), `chain` (the Section 4 adversarial chain),
 //! `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
 //! `ablation-reads` (visible vs invisible reads), `all` (everything except
-//! `matrix`, `readfrac`, `server`, `durability` and `ablate`).
+//! `matrix`, `readfrac`, `server`, `durability`, `strings` and `ablate`).
 //!
 //! Flags: `--sweep paper|quick|smoke|machine` selects the sweep size —
 //! `machine` sizes the thread axis to the host (1..=2× available
@@ -35,8 +37,8 @@ use stm_bench::{
     default_durability_policies, default_read_fractions, durability_matrix, fig1_list,
     fig2_skiplist, fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep,
     render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
-    render_rows, run_netload, run_workload, starvation_experiment, workload_matrix,
-    NetLoadConfig, OpMix, StructureKind, SweepConfig, WorkloadConfig,
+    render_rows, run_netload, run_workload, starvation_experiment, string_value_matrix,
+    workload_matrix, NetLoadConfig, OpMix, StructureKind, SweepConfig, WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
@@ -203,6 +205,39 @@ fn main() {
                     sweep.managers.clone()
                 };
                 let cells = durability_matrix(&policies, &managers, &cfg);
+                if json {
+                    println!("{}", render_rows(&cells));
+                } else {
+                    println!("{}", render_matrix_table(&cells));
+                    println!("{}", render_op_breakdown(&cells));
+                }
+            }
+            "strings" => {
+                // E13: string-value PUT mix vs the int baseline, per
+                // manager, over a durable (WAL-backed) server. String
+                // payloads stress value cloning, frame encoding and log
+                // record size; the baseline cell isolates the delta.
+                let connections = 4usize;
+                let cfg = NetLoadConfig {
+                    connections,
+                    key_range: sweep.base.key_range.min(4096),
+                    duration: if quick {
+                        Duration::from_millis(80)
+                    } else {
+                        sweep.base.duration.max(Duration::from_millis(150))
+                    },
+                    mix: OpMix::update_only(), // every op writes: worst case
+                    range_span: sweep.base.range_span,
+                    batch_fraction: 0.2,
+                    ..NetLoadConfig::default()
+                };
+                let managers: Vec<_> = if quick {
+                    vec![stm_cm::ManagerKind::Greedy, stm_cm::ManagerKind::Karma]
+                } else {
+                    sweep.managers.clone()
+                };
+                let cells =
+                    string_value_matrix(&managers, stm_log::FsyncPolicy::EveryN(64), &cfg);
                 if json {
                     println!("{}", render_rows(&cells));
                 } else {

@@ -16,6 +16,7 @@
 //! | E9 | Read-fraction sweep — throughput vs lookup share 0..=1 | [`figures::read_fraction_sweep`] |
 //! | E10 | Served load — closed-loop TCP clients vs a live `stm-kv` server | [`netload::run_netload`] |
 //! | E11 | Durability overhead — fsync policy × manager over a WAL-backed server | [`netload::durability_matrix`] |
+//! | E13 | String-value serving — typed `PUT` mix vs int baseline over a durable server | [`netload::string_value_matrix`] |
 //! | E12 | Manager-parameter ablation — one `ManagerParams` knob per figure | [`figures::ablation_sweep`] |
 //!
 //! The paper measures committed transactions per second as a function of the
@@ -46,7 +47,10 @@ pub use figures::{
     fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, workload_matrix,
     AblationKnob, FigureData, FractionSeries, ReadFractionSweep, Series,
 };
-pub use netload::{default_durability_policies, durability_matrix, run_netload, NetLoadConfig};
+pub use netload::{
+    default_durability_policies, durability_matrix, run_netload, string_value_matrix,
+    NetLoadConfig,
+};
 pub use report::{
     render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
     render_rows,

@@ -1,11 +1,17 @@
 //! Closed-loop network load generator for the `stm-kv` server.
 //!
-//! Drives `connections` client connections against a live server, each
-//! issuing operations drawn from the same [`OpMix`] distribution the
-//! in-process workloads use — `insert`/`remove`/`lookup`/`range` become
-//! `PUT`/`DEL`/`GET`/`RANGE` on the wire — plus an optional fraction of
-//! `BEGIN`/`EXEC` transfer batches (two `ADD`s moving an amount between two
-//! random keys), the multi-key serializable path.
+//! Drives `connections` client connections against a live server — over
+//! protocol v2 (typed values, binary-safe frames), which [`KvClient`]
+//! negotiates by default — each issuing operations drawn from the same
+//! [`OpMix`] distribution the in-process workloads use:
+//! `insert`/`remove`/`lookup`/`range` become `PUT`/`DEL`/`GET`/`RANGE` on
+//! the wire — plus an optional fraction of `BEGIN`/`EXEC` transfer batches
+//! (two `ADD`s moving an amount between two random keys), the multi-key
+//! serializable path, and an optional fraction of **string-value** `PUT`s
+//! ([`NetLoadConfig::string_fraction`], the E13 workload): variable-length
+//! `Str` payloads written to the negative-key half of the keyspace, so the
+//! integer transfer/audit range stays arithmetically typed while the server
+//! handles mixed-type traffic.
 //!
 //! The generator is *closed-loop*: every connection waits for each reply
 //! before issuing its next request, so throughput measures the full
@@ -25,7 +31,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
 use stm_cm::ManagerKind;
-use stm_kv::{BatchOp, KvClient, KvServer, ServerConfig};
+use stm_kv::{BatchOp, KvClient, KvError, KvServer, ServerConfig};
 use stm_log::FsyncPolicy;
 
 use crate::workload::{OpKind, OpMix, OpRecorder, WorkloadResult};
@@ -36,8 +42,8 @@ pub struct NetLoadConfig {
     /// Concurrent client connections (one thread each). The server must be
     /// running with at least this many workers or connections will queue.
     pub connections: usize,
-    /// Keys are drawn uniformly from `0..key_range` (must not exceed the
-    /// server's capacity).
+    /// Integer keys are drawn uniformly from `0..key_range`; string values
+    /// live on the mirrored negative keys `-key_range..0`.
     pub key_range: i64,
     /// Wall-clock measurement interval.
     pub duration: Duration,
@@ -50,6 +56,10 @@ pub struct NetLoadConfig {
     /// Fraction of iterations that issue a `BEGIN`/`EXEC` transfer batch
     /// instead of a single operation, in `[0, 1]`.
     pub batch_fraction: f64,
+    /// Fraction of `insert` draws that `PUT` a variable-length string value
+    /// (to a negative key) instead of an integer, in `[0, 1]` — the
+    /// string-value workload of E13. `0.0` reproduces the int-only load.
+    pub string_fraction: f64,
 }
 
 impl Default for NetLoadConfig {
@@ -62,9 +72,19 @@ impl Default for NetLoadConfig {
             mix: OpMix::update_only(),
             range_span: 32,
             batch_fraction: 0.2,
+            string_fraction: 0.0,
         }
     }
 }
+
+/// Labels of the per-op latency recorders a netload cell carries: the four
+/// single-op categories, the batch path, and string-value `PUT`s.
+const WIRE_LABELS: [&str; 6] = ["put", "del", "get", "range", "batch", "put_str"];
+
+/// Index of the batch recorder in [`WIRE_LABELS`].
+const SLOT_BATCH: usize = 4;
+/// Index of the string-PUT recorder in [`WIRE_LABELS`].
+const SLOT_PUT_STR: usize = 5;
 
 /// Runs the closed-loop load against a live server and returns one
 /// [`WorkloadResult`] cell (`structure = "stm-kv"`, `threads` = client
@@ -87,12 +107,16 @@ pub fn run_netload(
     addr: SocketAddr,
     manager: &str,
     cfg: &NetLoadConfig,
-) -> std::io::Result<WorkloadResult> {
+) -> Result<WorkloadResult, KvError> {
     assert!(cfg.connections > 0, "need at least one connection");
     assert!(cfg.key_range > 0, "key range must be positive");
     assert!(
         (0.0..=1.0).contains(&cfg.batch_fraction),
         "batch fraction must be in 0..=1"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.string_fraction),
+        "string fraction must be in 0..=1"
     );
 
     // Prefill every other key (mirrors the in-process harness) and snapshot
@@ -109,8 +133,7 @@ pub fn run_netload(
     // the throughput denominator.
     let mut started = Instant::now();
     let mut commits_total = 0u64;
-    // insert/remove/lookup/range single ops + the batch category.
-    let mut recorders: [OpRecorder; 5] = Default::default();
+    let mut recorders: [OpRecorder; WIRE_LABELS.len()] = Default::default();
     thread::scope(|scope| {
         let mut handles = Vec::new();
         for c in 0..cfg.connections {
@@ -123,7 +146,7 @@ pub fn run_netload(
                 let mut rng =
                     SmallRng::seed_from_u64(cfg.seed ^ (c as u64).wrapping_mul(0x9e37));
                 let mut commits = 0u64;
-                let mut local: [OpRecorder; 5] = Default::default();
+                let mut local: [OpRecorder; WIRE_LABELS.len()] = Default::default();
                 barrier.wait();
                 while !stop.load(Ordering::Relaxed) {
                     let key = rng.gen_range(0..cfg.key_range);
@@ -134,26 +157,44 @@ pub fn run_netload(
                         client
                             .batch(&[BatchOp::Add(key, -amount), BatchOp::Add(to, amount)])
                             .expect("transfer batch must execute");
-                        4
+                        SLOT_BATCH
                     } else {
                         let op = cfg.mix.pick(rng.gen());
                         match op {
+                            OpKind::Insert if rng.gen::<f64>() < cfg.string_fraction => {
+                                // Variable-length string payloads on the
+                                // mirrored negative key, so the integer
+                                // audit range stays arithmetically typed.
+                                let len = rng.gen_range(0..96usize);
+                                let mut payload = String::with_capacity(len + 8);
+                                payload.push_str("v=");
+                                for _ in 0..len {
+                                    payload.push(char::from(rng.gen_range(b' '..=b'~')));
+                                }
+                                client
+                                    .put(-(key + 1), payload)
+                                    .expect("string PUT must execute");
+                                SLOT_PUT_STR
+                            }
                             OpKind::Insert => {
                                 client.put(key, key).expect("PUT must execute");
+                                OpKind::Insert.index()
                             }
                             OpKind::Remove => {
                                 client.del(key).expect("DEL must execute");
+                                OpKind::Remove.index()
                             }
                             OpKind::Lookup => {
                                 client.get(key).expect("GET must execute");
+                                OpKind::Lookup.index()
                             }
                             OpKind::Range => {
                                 client
                                     .range(key, key + cfg.range_span)
                                     .expect("RANGE must execute");
+                                OpKind::Range.index()
                             }
                         }
-                        op.index()
                     };
                     local[slot].record(issued.elapsed(), 0);
                     commits += 1;
@@ -184,8 +225,7 @@ pub fn run_netload(
     let aborts = after.aborts.saturating_sub(before.aborts);
     let server_commits = after.commits.saturating_sub(before.commits);
     let finished = server_commits + aborts;
-    let wire_labels = ["put", "del", "get", "range", "batch"];
-    let per_op = wire_labels
+    let per_op = WIRE_LABELS
         .into_iter()
         .zip(recorders)
         .filter_map(|(label, recorder)| recorder.finish(label))
@@ -239,7 +279,7 @@ pub fn durability_matrix(
     let mut cells = Vec::new();
     for policy in policies {
         for manager in managers {
-            let wal_dir = policy.map(|p| temp_wal_dir(*manager, p));
+            let wal_dir = policy.map(|p| temp_wal_dir("e11", *manager, &p.label()));
             let mut server = match KvServer::start(ServerConfig {
                 manager: *manager,
                 capacity: cfg.key_range,
@@ -274,11 +314,67 @@ pub fn durability_matrix(
     cells
 }
 
-fn temp_wal_dir(manager: ManagerKind, policy: FsyncPolicy) -> PathBuf {
+/// Runs the string-value netload comparison (E13): per manager, an int-only
+/// baseline cell versus a 50%-string `PUT` mix — both against a **durable**
+/// WAL-backed server (fresh temp directory per cell), so the typed-value
+/// path is exercised end to end: v2 frames → typed store cells → v2 log
+/// records. Cells are labelled `stm-kv+wal[<policy>]` (baseline) and
+/// `stm-kv+str+wal[<policy>]` (string mix).
+///
+/// Servers that fail to start (or runs that fail mid-load) are skipped with
+/// a note on stderr; the returned cells cover everything that ran.
+pub fn string_value_matrix(
+    managers: &[ManagerKind],
+    fsync: FsyncPolicy,
+    cfg: &NetLoadConfig,
+) -> Vec<WorkloadResult> {
+    let mut cells = Vec::new();
+    for manager in managers {
+        for string_fraction in [0.0, 0.5] {
+            let tag = if string_fraction > 0.0 { "e13-str" } else { "e13-int" };
+            let wal_dir = temp_wal_dir(tag, *manager, &fsync.label());
+            let mut server = match KvServer::start(ServerConfig {
+                manager: *manager,
+                capacity: cfg.key_range,
+                shards: 8,
+                workers: cfg.connections + 1,
+                wal_dir: Some(wal_dir.clone()),
+                fsync,
+                ..ServerConfig::default()
+            }) {
+                Ok(server) => server,
+                Err(err) => {
+                    eprintln!("E13: cannot start server for {manager}: {err}");
+                    continue;
+                }
+            };
+            let cell_cfg = NetLoadConfig {
+                string_fraction,
+                ..*cfg
+            };
+            match run_netload(server.addr(), manager.name(), &cell_cfg) {
+                Ok(mut cell) => {
+                    cell.structure = if string_fraction > 0.0 {
+                        format!("stm-kv+str+wal[{}]", fsync.label())
+                    } else {
+                        format!("stm-kv+wal[{}]", fsync.label())
+                    };
+                    cells.push(cell);
+                }
+                Err(err) => eprintln!("E13: netload against {manager} failed: {err}"),
+            }
+            server.shutdown();
+            let _ = std::fs::remove_dir_all(wal_dir);
+        }
+    }
+    cells
+}
+
+fn temp_wal_dir(tag: &str, manager: ManagerKind, policy: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!(
-        "stm-bench-e11-{}-{}-{}",
+        "stm-bench-{tag}-{}-{}-{}",
         manager.name(),
-        policy.label().replace('=', "-"),
+        policy.replace('=', "-"),
         std::process::id(),
     ));
     let _ = std::fs::remove_dir_all(&dir);
@@ -330,6 +426,45 @@ mod tests {
     }
 
     #[test]
+    fn string_mix_registers_typed_puts_and_conserves_the_int_range() {
+        let server = KvServer::start(ServerConfig {
+            manager: ManagerKind::Greedy,
+            capacity: 64,
+            shards: 4,
+            workers: 3,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let cfg = NetLoadConfig {
+            connections: 2,
+            key_range: 64,
+            duration: Duration::from_millis(60),
+            mix: OpMix::update_only(),
+            batch_fraction: 0.2,
+            string_fraction: 0.6,
+            ..NetLoadConfig::default()
+        };
+        let cell = run_netload(server.addr(), "greedy", &cfg).unwrap();
+        assert!(cell.commits > 0);
+        assert!(
+            cell.per_op.iter().any(|o| o.op == "put_str"),
+            "60% string PUTs must register: {:?}",
+            cell.per_op
+        );
+        // The transfers stayed on the integer half: the audit still sums.
+        let mut audit = KvClient::connect(server.addr()).unwrap();
+        let (_total, count) = audit.sum(0, 63).unwrap();
+        assert!(count > 0, "int range must still hold typed-int keys");
+        // And the negative half holds strings.
+        let strings = audit.range(-64, -1).unwrap();
+        assert!(
+            strings.iter().any(|(_, v)| v.as_str().is_some()),
+            "string keys must exist on the negative half: {strings:?}"
+        );
+        audit.quit().unwrap();
+    }
+
+    #[test]
     fn durability_matrix_covers_policies_and_labels_cells() {
         let cfg = NetLoadConfig {
             connections: 2,
@@ -350,5 +485,24 @@ mod tests {
             assert!(cell.throughput > 0.0);
         }
         assert_eq!(default_durability_policies().len(), 4);
+    }
+
+    #[test]
+    fn string_value_matrix_emits_baseline_and_string_cells() {
+        let cfg = NetLoadConfig {
+            connections: 2,
+            key_range: 64,
+            duration: Duration::from_millis(40),
+            mix: OpMix::update_only(),
+            batch_fraction: 0.2,
+            ..NetLoadConfig::default()
+        };
+        let cells = string_value_matrix(&[ManagerKind::Greedy], FsyncPolicy::EveryN(16), &cfg);
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].structure, "stm-kv+wal[n=16]");
+        assert_eq!(cells[1].structure, "stm-kv+str+wal[n=16]");
+        for cell in &cells {
+            assert!(cell.commits > 0, "empty E13 cell: {cell:?}");
+        }
     }
 }

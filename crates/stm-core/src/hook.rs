@@ -30,19 +30,97 @@
 //! write-set through the hook — that is how a snapshotter obtains a
 //! sequence number marking a consistent cut of the log.
 
+/// The typed payload of a published write: the value an object holds after
+/// a committed transaction.
+///
+/// The runtime does not interpret values — it only carries them, in
+/// serialization order, to the installed [`CommitHook`]. The `stm-kv`
+/// service re-exports this enum as its `Value` type, so the same three
+/// variants flow from the wire protocol through the store into the
+/// write-ahead log without conversion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommitValue {
+    /// A signed 64-bit integer (the only value kind protocol v1 carries).
+    Int(i64),
+    /// A UTF-8 string, arbitrary bytes included (newlines, NULs).
+    Str(String),
+    /// An opaque byte blob.
+    Bytes(Vec<u8>),
+}
+
+impl CommitValue {
+    /// Stable lower-case name of this value's kind (`int`, `str`, `bytes`)
+    /// — used in typed error messages and wire-level type reporting.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            CommitValue::Int(_) => "int",
+            CommitValue::Str(_) => "str",
+            CommitValue::Bytes(_) => "bytes",
+        }
+    }
+
+    /// The integer payload, when this value is an [`CommitValue::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            CommitValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, when this value is a [`CommitValue::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            CommitValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The blob payload, when this value is a [`CommitValue::Bytes`].
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            CommitValue::Bytes(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for CommitValue {
+    fn from(v: i64) -> Self {
+        CommitValue::Int(v)
+    }
+}
+
+impl From<String> for CommitValue {
+    fn from(s: String) -> Self {
+        CommitValue::Str(s)
+    }
+}
+
+impl From<&str> for CommitValue {
+    fn from(s: &str) -> Self {
+        CommitValue::Str(s.to_string())
+    }
+}
+
+impl From<Vec<u8>> for CommitValue {
+    fn from(b: Vec<u8>) -> Self {
+        CommitValue::Bytes(b)
+    }
+}
+
 /// One entry of a committed transaction's published write-set: an
 /// application-defined object id and its new state.
 ///
 /// The ids are chosen by the publisher (the `stm-kv` store publishes its
 /// keys), not by the runtime; the runtime only guarantees ordering.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CommitOp {
     /// Object `id` now holds `value`.
     Put {
         /// Application-defined object id.
         id: i64,
         /// The committed value.
-        value: i64,
+        value: CommitValue,
     },
     /// Object `id` was removed.
     Del {
@@ -52,6 +130,20 @@ pub enum CommitOp {
 }
 
 impl CommitOp {
+    /// A `Put` of any value kind (`CommitOp::put(3, 42)`,
+    /// `CommitOp::put(3, "text")`, `CommitOp::put(3, vec![0u8, 1])`).
+    pub fn put(id: i64, value: impl Into<CommitValue>) -> CommitOp {
+        CommitOp::Put {
+            id,
+            value: value.into(),
+        }
+    }
+
+    /// A `Del` of object `id`.
+    pub fn del(id: i64) -> CommitOp {
+        CommitOp::Del { id }
+    }
+
     /// The object id this op touches.
     pub fn id(&self) -> i64 {
         match *self {
@@ -117,7 +209,7 @@ mod tests {
         for i in 1..=3i64 {
             let (result, report) = ctx.atomically_traced(|tx| {
                 tx.write(&v, i)?;
-                tx.publish(CommitOp::Put { id: 7, value: i });
+                tx.publish(CommitOp::put(7, i));
                 Ok(())
             });
             result.unwrap();
@@ -127,9 +219,9 @@ mod tests {
         assert_eq!(
             log.1,
             vec![
-                (1, vec![CommitOp::Put { id: 7, value: 1 }]),
-                (2, vec![CommitOp::Put { id: 7, value: 2 }]),
-                (3, vec![CommitOp::Put { id: 7, value: 3 }]),
+                (1, vec![CommitOp::put(7, 1)]),
+                (2, vec![CommitOp::put(7, 2)]),
+                (3, vec![CommitOp::put(7, 3)]),
             ]
         );
     }
@@ -170,7 +262,7 @@ mod tests {
         let (result, report) = ctx.atomically_traced(|tx| {
             let next = tx.read(&v)? + 1;
             tx.write(&v, next)?;
-            tx.publish(CommitOp::Put { id: 0, value: next });
+            tx.publish(CommitOp::put(0, next));
             if failures.load(Ordering::Relaxed) > 0 {
                 failures.fetch_sub(1, Ordering::Relaxed);
                 return Err(StmError::Aborted(AbortCause::ValidationFailed));
@@ -183,7 +275,7 @@ mod tests {
         // The two aborted attempts published too, but never reached the hook.
         assert_eq!(
             hook.log.lock().unwrap().1,
-            vec![(1, vec![CommitOp::Put { id: 0, value: 1 }])]
+            vec![(1, vec![CommitOp::put(0, 1)])]
         );
         assert_eq!(stm.read_atomic(&v), 1);
     }
@@ -205,10 +297,7 @@ mod tests {
                         ctx.atomically(|tx| {
                             let next = tx.read(&cells[id])? + 1;
                             tx.write(&cells[id], next)?;
-                            tx.publish(CommitOp::Put {
-                                id: id as i64,
-                                value: next,
-                            });
+                            tx.publish(CommitOp::put(id as i64, next));
                             Ok(())
                         })
                         .unwrap();
@@ -224,7 +313,7 @@ mod tests {
         for (_, ops) in &log.1 {
             for op in ops {
                 if let CommitOp::Put { id, value } = op {
-                    replayed[*id as usize] = *value;
+                    replayed[*id as usize] = value.as_int().expect("int was published");
                 }
             }
         }

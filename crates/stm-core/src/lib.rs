@@ -70,7 +70,7 @@ pub mod wait;
 
 pub use clock::TimestampClock;
 pub use error::{AbortCause, StmError, TxResult};
-pub use hook::{CommitHook, CommitOp};
+pub use hook::{CommitHook, CommitOp, CommitValue};
 pub use manager::{ConflictKind, ContentionManager, ManagerFactory, Resolution, TxView};
 pub use stats::{StmStats, TxRunReport, TxnStats};
 pub use status::TxStatus;

@@ -1,15 +1,109 @@
 //! A small blocking client for the `stm-kv` protocol.
 //!
 //! One [`KvClient`] owns one TCP connection and issues one request at a
-//! time (batches are pipelined: all batch lines are written in one syscall,
-//! then all replies are read back). The client is used by the integration
-//! tests, the `stm_kv_demo` example, and the closed-loop network load
-//! generator in `stm-bench`.
+//! time (batches are pipelined: all batch frames are written in one
+//! syscall, then all replies are read back). [`KvClient::connect`]
+//! negotiates protocol v2 with a `HELLO 2` handshake — typed values,
+//! binary-safe framing, coded errors — and falls back to v1 when the
+//! server predates the handshake; [`KvClient::connect_v1`] keeps the
+//! original line protocol explicitly (integer values only).
+//!
+//! Failures are structured: every method returns [`KvError`], which
+//! separates transport problems ([`KvError::Io`]), framing violations
+//! ([`KvError::Protocol`]), server-reported failures with their
+//! machine-readable [`ErrorCode`] ([`KvError::Server`]) and client-side
+//! type mismatches from the typed getters ([`KvError::Type`]) — no more
+//! fishing categories out of one opaque error string.
+//!
+//! The client is used by the integration tests, the examples, and the
+//! closed-loop network load generator in `stm-bench`.
 
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::proto::{parse_reply, render_request, Reply, Request};
+use crate::proto::{
+    decode_frame, parse_reply, render_request, render_request_v2, ErrorCode, Frame, FrameError,
+    ProtoVersion, Reply, Request,
+};
+use crate::Value;
+
+/// A structured client-side error.
+#[derive(Debug)]
+pub enum KvError {
+    /// The transport failed (connect, read, write, unexpected EOF).
+    Io(io::Error),
+    /// The peer violated the reply grammar (malformed frame or line, reply
+    /// that does not match the request).
+    Protocol(String),
+    /// The server reported a failure, with its machine-readable code
+    /// (classified from the message text on v1 connections).
+    Server {
+        /// Error category.
+        code: ErrorCode,
+        /// Human-readable server message.
+        message: String,
+    },
+    /// A typed getter found a value of a different kind (`get_int` on a
+    /// `Str`, ...).
+    Type {
+        /// The kind the caller asked for.
+        expected: &'static str,
+        /// The kind actually stored.
+        found: &'static str,
+    },
+    /// The request cannot be expressed on this connection's protocol
+    /// version (a `Str`/`Bytes` value over v1 — reconnect with
+    /// [`KvClient::connect`] to negotiate v2).
+    UnsupportedValue(String),
+}
+
+impl KvError {
+    /// The server-reported error code, when this is a server failure.
+    pub fn code(&self) -> Option<ErrorCode> {
+        match self {
+            KvError::Server { code, .. } => Some(*code),
+            _ => None,
+        }
+    }
+
+    fn unexpected(reply: &Reply, what: &str) -> KvError {
+        KvError::Protocol(format!("unexpected reply {reply:?} to {what}"))
+    }
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KvError::Io(err) => write!(f, "i/o error: {err}"),
+            KvError::Protocol(message) => write!(f, "protocol violation: {message}"),
+            KvError::Server { code, message } => write!(f, "server error [{code}]: {message}"),
+            KvError::Type { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            KvError::UnsupportedValue(message) => {
+                write!(f, "unsupported on protocol v1: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for KvError {
+    fn from(err: io::Error) -> Self {
+        KvError::Io(err)
+    }
+}
+
+/// Result alias for client operations.
+pub type KvResult<T> = Result<T, KvError>;
 
 /// A data operation inside a [`KvClient::batch`] call.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -17,32 +111,111 @@ pub enum BatchOp {
     /// Read one key.
     Get(i64),
     /// Store a value.
-    Put(i64, i64),
+    Put(i64, Value),
     /// Remove a key.
     Del(i64),
-    /// Add a delta to a key's value.
+    /// Add a delta to a key's integer value.
     Add(i64, i64),
     /// Keys and values in `lo..=hi`.
     Range(i64, i64),
-    /// Sum + count of the values in `lo..=hi`.
+    /// Sum + count of the integer values in `lo..=hi`.
     Sum(i64, i64),
 }
 
 impl BatchOp {
     fn to_request(&self) -> Request {
-        match *self {
-            BatchOp::Get(k) => Request::Get(k),
-            BatchOp::Put(k, v) => Request::Put(k, v),
-            BatchOp::Del(k) => Request::Del(k),
-            BatchOp::Add(k, d) => Request::Add(k, d),
-            BatchOp::Range(lo, hi) => Request::Range(lo, hi),
-            BatchOp::Sum(lo, hi) => Request::Sum(lo, hi),
+        match self {
+            BatchOp::Get(k) => Request::Get(*k),
+            BatchOp::Put(k, v) => Request::Put(*k, v.clone()),
+            BatchOp::Del(k) => Request::Del(*k),
+            BatchOp::Add(k, d) => Request::Add(*k, *d),
+            BatchOp::Range(lo, hi) => Request::Range(*lo, *hi),
+            BatchOp::Sum(lo, hi) => Request::Sum(*lo, *hi),
         }
     }
 }
 
+/// A fluent builder for an atomic `BEGIN`/`EXEC` batch.
+///
+/// ```no_run
+/// # use stm_kv::{KvClient, Value};
+/// # let mut client = KvClient::connect("127.0.0.1:7878").unwrap();
+/// let replies = client
+///     .batch_builder()
+///     .put(1, "typed")
+///     .add(2, 5)
+///     .get(1)
+///     .sum(0, 100)
+///     .run()
+///     .unwrap();
+/// ```
+#[derive(Debug)]
+pub struct BatchBuilder<'a> {
+    client: &'a mut KvClient,
+    ops: Vec<BatchOp>,
+}
+
+impl<'a> BatchBuilder<'a> {
+    /// Queues a read of `key`.
+    pub fn get(mut self, key: i64) -> Self {
+        self.ops.push(BatchOp::Get(key));
+        self
+    }
+
+    /// Queues a typed store at `key`.
+    pub fn put(mut self, key: i64, value: impl Into<Value>) -> Self {
+        self.ops.push(BatchOp::Put(key, value.into()));
+        self
+    }
+
+    /// Queues a removal of `key`.
+    pub fn del(mut self, key: i64) -> Self {
+        self.ops.push(BatchOp::Del(key));
+        self
+    }
+
+    /// Queues an integer add at `key`.
+    pub fn add(mut self, key: i64, delta: i64) -> Self {
+        self.ops.push(BatchOp::Add(key, delta));
+        self
+    }
+
+    /// Queues a range read over `lo..=hi`.
+    pub fn range(mut self, lo: i64, hi: i64) -> Self {
+        self.ops.push(BatchOp::Range(lo, hi));
+        self
+    }
+
+    /// Queues an integer sum over `lo..=hi`.
+    pub fn sum(mut self, lo: i64, hi: i64) -> Self {
+        self.ops.push(BatchOp::Sum(lo, hi));
+        self
+    }
+
+    /// The ops queued so far.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing is queued yet.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Executes the queued ops as one atomic transaction, returning one
+    /// reply per op.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`KvClient::batch`] reports.
+    pub fn run(self) -> KvResult<Vec<Reply>> {
+        let BatchBuilder { client, ops } = self;
+        client.batch(&ops)
+    }
+}
+
 /// The parsed payload of a `STATS` reply.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ServerStatsSnapshot {
     /// Committed transaction attempts on the server's STM.
     pub commits: u64,
@@ -58,6 +231,12 @@ pub struct ServerStatsSnapshot {
     pub errors: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Value cells materialised so far (an upper bound on live keys — the
+    /// keyspace-growth gauge).
+    pub cells_allocated: u64,
+    /// Overflow cells per index shard (keys outside the pre-allocated
+    /// range), in shard order.
+    pub overflow_per_shard: Vec<u64>,
 }
 
 /// The parsed payload of a `WALSTATS` reply (durable servers).
@@ -93,13 +272,16 @@ pub struct WalStatsSnapshot {
 pub struct KvClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    proto: ProtoVersion,
+    /// Bytes read off the socket but not yet consumed by a v2 frame.
+    pending: Vec<u8>,
 }
 
-fn proto_err(message: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, message.into())
+fn proto_err(message: impl Into<String>) -> KvError {
+    KvError::Protocol(message.into())
 }
 
-fn parse_counter_pair(pair: &str) -> io::Result<(&str, u64)> {
+fn parse_counter_pair(pair: &str) -> KvResult<(&str, u64)> {
     let (key, value) = pair
         .split_once('=')
         .ok_or_else(|| proto_err(format!("malformed counter pair '{pair}'")))?;
@@ -110,73 +292,224 @@ fn parse_counter_pair(pair: &str) -> io::Result<(&str, u64)> {
 }
 
 impl KvClient {
-    /// Connects to a server.
+    /// Connects and negotiates the newest protocol version (`HELLO 2`):
+    /// typed values, binary-safe framing, coded errors. A server that
+    /// rejects the handshake (predating it) leaves the connection on v1.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection errors and handshake framing violations.
+    pub fn connect(addr: impl ToSocketAddrs) -> KvResult<KvClient> {
+        let mut client = KvClient::connect_v1(addr)?;
+        client.send_line(&render_request(&Request::Hello(2)))?;
+        match client.read_reply_line()? {
+            line if line.starts_with("HELLO 2") => {
+                client.proto = ProtoVersion::V2;
+                Ok(client)
+            }
+            line if line.starts_with("ERR ") => Ok(client), // pre-HELLO server: stay v1
+            line => Err(proto_err(format!("unexpected reply '{line}' to HELLO"))),
+        }
+    }
+
+    /// Connects without negotiating: the connection speaks the original v1
+    /// line protocol (integer values only).
     ///
     /// # Errors
     ///
     /// Propagates connection errors.
-    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<KvClient> {
+    pub fn connect_v1(addr: impl ToSocketAddrs) -> KvResult<KvClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(KvClient {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,
+            proto: ProtoVersion::V1,
+            pending: Vec::new(),
         })
     }
 
-    fn send_line(&mut self, line: &str) -> io::Result<()> {
-        self.writer.write_all(line.as_bytes())?;
-        self.writer.write_all(b"\n")?;
-        self.writer.flush()
+    /// The protocol version this connection negotiated (1 or 2).
+    pub fn protocol_version(&self) -> u32 {
+        self.proto.number()
     }
 
-    fn read_reply_line(&mut self) -> io::Result<String> {
+    fn send_line(&mut self, line: &str) -> KvResult<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    fn read_reply_line(&mut self) -> KvResult<String> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
-            return Err(io::Error::new(
+            return Err(KvError::Io(io::Error::new(
                 io::ErrorKind::UnexpectedEof,
                 "server closed the connection",
-            ));
+            )));
         }
         Ok(line.trim_end().to_string())
     }
 
-    fn read_reply(&mut self) -> io::Result<Reply> {
-        let line = self.read_reply_line()?;
-        parse_reply(&line).map_err(proto_err)
+    /// Reads one complete v2 frame, buffering across reads.
+    fn read_frame(&mut self) -> KvResult<Frame> {
+        loop {
+            match decode_frame(&self.pending) {
+                Ok((frame, used)) => {
+                    self.pending.drain(..used);
+                    return Ok(frame);
+                }
+                Err(FrameError::Incomplete) => {
+                    let chunk = self.reader.fill_buf()?;
+                    if chunk.is_empty() {
+                        return Err(KvError::Io(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "server closed the connection mid-frame",
+                        )));
+                    }
+                    let n = chunk.len();
+                    self.pending.extend_from_slice(chunk);
+                    self.reader.consume(n);
+                }
+                Err(FrameError::Malformed(message)) => return Err(proto_err(message)),
+            }
+        }
     }
 
-    /// Sends one request and reads one reply, surfacing `ERR` as an error.
-    fn roundtrip(&mut self, request: &Request) -> io::Result<Reply> {
-        self.send_line(&render_request(request))?;
+    /// Writes one request in the connection's framing (no flush).
+    fn write_request(&mut self, request: &Request) -> KvResult<()> {
+        match self.proto {
+            ProtoVersion::V1 => {
+                if let Request::Put(_, value) = request {
+                    if !matches!(value, Value::Int(_)) {
+                        return Err(KvError::UnsupportedValue(format!(
+                            "a {} value needs protocol v2 (connect with KvClient::connect)",
+                            value.type_name()
+                        )));
+                    }
+                }
+                self.writer.write_all(render_request(request).as_bytes())?;
+                self.writer.write_all(b"\n")?;
+            }
+            ProtoVersion::V2 => {
+                self.writer.write_all(&render_request_v2(request))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one reply in the connection's framing. On v1 the multi-line
+    /// `EXEC` reply is assembled from its header plus per-op lines.
+    fn read_reply(&mut self) -> KvResult<Reply> {
+        match self.proto {
+            ProtoVersion::V1 => {
+                let line = self.read_reply_line()?;
+                if let Some(count) = line.strip_prefix("EXEC ").and_then(|n| n.parse::<usize>().ok())
+                {
+                    let mut replies = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        let line = self.read_reply_line()?;
+                        replies.push(parse_reply(&line).map_err(proto_err)?);
+                    }
+                    return Ok(Reply::Exec(replies));
+                }
+                parse_reply(&line).map_err(proto_err)
+            }
+            ProtoVersion::V2 => {
+                let frame = self.read_frame()?;
+                crate::proto::parse_reply_v2(frame).map_err(proto_err)
+            }
+        }
+    }
+
+    /// Sends one request and reads one reply, surfacing error replies as
+    /// [`KvError::Server`].
+    fn roundtrip(&mut self, request: &Request) -> KvResult<Reply> {
+        self.write_request(request)?;
+        self.writer.flush()?;
         match self.read_reply()? {
-            Reply::Err(message) => Err(proto_err(format!("server error: {message}"))),
+            Reply::Err(code, message) => Err(KvError::Server { code, message }),
             reply => Ok(reply),
         }
     }
 
-    /// Reads one key.
+    /// Reads one key as its typed value.
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn get(&mut self, key: i64) -> io::Result<Option<i64>> {
+    /// I/O failures and server error replies.
+    pub fn get(&mut self, key: i64) -> KvResult<Option<Value>> {
         match self.roundtrip(&Request::Get(key))? {
             Reply::Value(v) => Ok(Some(v)),
             Reply::Nil => Ok(None),
-            other => Err(proto_err(format!("unexpected reply {other:?} to GET"))),
+            other => Err(KvError::unexpected(&other, "GET")),
         }
     }
 
-    /// Stores a value.
+    /// Reads one key, requiring an integer value.
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn put(&mut self, key: i64, value: i64) -> io::Result<()> {
-        match self.roundtrip(&Request::Put(key, value))? {
+    /// [`KvError::Type`] when the key holds a `Str`/`Bytes` value, plus
+    /// everything [`KvClient::get`] reports.
+    pub fn get_int(&mut self, key: i64) -> KvResult<Option<i64>> {
+        match self.get(key)? {
+            None => Ok(None),
+            Some(Value::Int(v)) => Ok(Some(v)),
+            Some(other) => Err(KvError::Type {
+                expected: "int",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Reads one key, requiring a string value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Type`] when the key holds an `Int`/`Bytes` value, plus
+    /// everything [`KvClient::get`] reports.
+    pub fn get_str(&mut self, key: i64) -> KvResult<Option<String>> {
+        match self.get(key)? {
+            None => Ok(None),
+            Some(Value::Str(s)) => Ok(Some(s)),
+            Some(other) => Err(KvError::Type {
+                expected: "str",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Reads one key, requiring a bytes value.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Type`] when the key holds an `Int`/`Str` value, plus
+    /// everything [`KvClient::get`] reports.
+    pub fn get_bytes(&mut self, key: i64) -> KvResult<Option<Vec<u8>>> {
+        match self.get(key)? {
+            None => Ok(None),
+            Some(Value::Bytes(b)) => Ok(Some(b)),
+            Some(other) => Err(KvError::Type {
+                expected: "bytes",
+                found: other.type_name(),
+            }),
+        }
+    }
+
+    /// Stores a typed value (`client.put(1, 5)`, `client.put(1, "text")`,
+    /// `client.put(1, vec![0u8, 255])`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server error replies, and
+    /// [`KvError::UnsupportedValue`] for non-integer values on a v1
+    /// connection.
+    pub fn put(&mut self, key: i64, value: impl Into<Value>) -> KvResult<()> {
+        match self.roundtrip(&Request::Put(key, value.into()))? {
             Reply::Ok => Ok(()),
-            other => Err(proto_err(format!("unexpected reply {other:?} to PUT"))),
+            other => Err(KvError::unexpected(&other, "PUT")),
         }
     }
 
@@ -184,47 +517,49 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn del(&mut self, key: i64) -> io::Result<bool> {
+    /// I/O failures and server error replies.
+    pub fn del(&mut self, key: i64) -> KvResult<bool> {
         match self.roundtrip(&Request::Del(key))? {
             Reply::OkN(n) => Ok(n != 0),
-            other => Err(proto_err(format!("unexpected reply {other:?} to DEL"))),
+            other => Err(KvError::unexpected(&other, "DEL")),
         }
     }
 
-    /// Adds `delta` to a key's value, returning the new value.
+    /// Adds `delta` to a key's integer value, returning the new value.
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn add(&mut self, key: i64, delta: i64) -> io::Result<i64> {
+    /// A [`KvError::Server`] with [`ErrorCode::Type`] when the key holds a
+    /// non-integer value, plus I/O failures.
+    pub fn add(&mut self, key: i64, delta: i64) -> KvResult<i64> {
         match self.roundtrip(&Request::Add(key, delta))? {
-            Reply::Value(v) => Ok(v),
-            other => Err(proto_err(format!("unexpected reply {other:?} to ADD"))),
+            Reply::Value(Value::Int(v)) => Ok(v),
+            other => Err(KvError::unexpected(&other, "ADD")),
         }
     }
 
-    /// The present keys in `lo..=hi` with their values.
+    /// The present keys in `lo..=hi` with their typed values.
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn range(&mut self, lo: i64, hi: i64) -> io::Result<Vec<(i64, i64)>> {
+    /// I/O failures and server error replies.
+    pub fn range(&mut self, lo: i64, hi: i64) -> KvResult<Vec<(i64, Value)>> {
         match self.roundtrip(&Request::Range(lo, hi))? {
             Reply::Range(pairs) => Ok(pairs),
-            other => Err(proto_err(format!("unexpected reply {other:?} to RANGE"))),
+            other => Err(KvError::unexpected(&other, "RANGE")),
         }
     }
 
-    /// Atomic `(sum, count)` of the values in `lo..=hi`.
+    /// Atomic `(sum, count)` of the integer values in `lo..=hi`.
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn sum(&mut self, lo: i64, hi: i64) -> io::Result<(i64, usize)> {
+    /// A [`KvError::Server`] with [`ErrorCode::Type`] when the window holds
+    /// a non-integer value, plus I/O failures.
+    pub fn sum(&mut self, lo: i64, hi: i64) -> KvResult<(i64, usize)> {
         match self.roundtrip(&Request::Sum(lo, hi))? {
             Reply::Sum(total, count) => Ok((total, count)),
-            other => Err(proto_err(format!("unexpected reply {other:?} to SUM"))),
+            other => Err(KvError::unexpected(&other, "SUM")),
         }
     }
 
@@ -232,11 +567,11 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn ping(&mut self) -> io::Result<()> {
+    /// I/O failures and server error replies.
+    pub fn ping(&mut self) -> KvResult<()> {
         match self.roundtrip(&Request::Ping)? {
             Reply::Pong => Ok(()),
-            other => Err(proto_err(format!("unexpected reply {other:?} to PING"))),
+            other => Err(KvError::unexpected(&other, "PING")),
         }
     }
 
@@ -244,15 +579,27 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// I/O failures and malformed `STATS` lines.
-    pub fn stats(&mut self) -> io::Result<ServerStatsSnapshot> {
-        self.send_line("STATS")?;
-        let line = self.read_reply_line()?;
-        let payload = line
-            .strip_prefix("STATS ")
-            .ok_or_else(|| proto_err(format!("unexpected reply '{line}' to STATS")))?;
+    /// I/O failures and malformed `STATS` payloads.
+    pub fn stats(&mut self) -> KvResult<ServerStatsSnapshot> {
+        let payload = match self.roundtrip(&Request::Stats)? {
+            Reply::Stats(payload) => payload,
+            other => return Err(KvError::unexpected(&other, "STATS")),
+        };
         let mut stats = ServerStatsSnapshot::default();
         for pair in payload.split_whitespace() {
+            // `overflow` is the one list-valued pair (comma-separated
+            // per-shard counts).
+            if let Some(list) = pair.strip_prefix("overflow=") {
+                stats.overflow_per_shard = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| {
+                        s.parse::<u64>()
+                            .map_err(|_| proto_err(format!("malformed overflow list '{list}'")))
+                    })
+                    .collect::<KvResult<Vec<u64>>>()?;
+                continue;
+            }
             let (key, value) = parse_counter_pair(pair)?;
             match key {
                 "commits" => stats.commits = value,
@@ -262,6 +609,7 @@ impl KvClient {
                 "retries" => stats.retries = value,
                 "errors" => stats.errors = value,
                 "connections" => stats.connections = value,
+                "cells" => stats.cells_allocated = value,
                 _ => {} // forward-compatible: ignore unknown counters
             }
         }
@@ -273,11 +621,12 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies (e.g. a volatile server).
-    pub fn snapshot(&mut self) -> io::Result<(u64, usize)> {
+    /// I/O failures and server error replies (e.g. a volatile server, code
+    /// [`ErrorCode::Wal`]).
+    pub fn snapshot(&mut self) -> KvResult<(u64, usize)> {
         match self.roundtrip(&Request::Snapshot)? {
             Reply::Snapshot(seq, keys) => Ok((seq, keys)),
-            other => Err(proto_err(format!("unexpected reply {other:?} to SNAPSHOT"))),
+            other => Err(KvError::unexpected(&other, "SNAPSHOT")),
         }
     }
 
@@ -285,17 +634,13 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// I/O failures, server `ERR` replies (e.g. a volatile server), and
-    /// malformed `WALSTATS` lines.
-    pub fn walstats(&mut self) -> io::Result<WalStatsSnapshot> {
-        self.send_line("WALSTATS")?;
-        let line = self.read_reply_line()?;
-        if let Some(message) = line.strip_prefix("ERR ") {
-            return Err(proto_err(format!("server error: {message}")));
-        }
-        let payload = line
-            .strip_prefix("WALSTATS ")
-            .ok_or_else(|| proto_err(format!("unexpected reply '{line}' to WALSTATS")))?;
+    /// I/O failures, server error replies (e.g. a volatile server), and
+    /// malformed `WALSTATS` payloads.
+    pub fn walstats(&mut self) -> KvResult<WalStatsSnapshot> {
+        let payload = match self.roundtrip(&Request::WalStats)? {
+            Reply::WalStats(payload) => payload,
+            other => return Err(KvError::unexpected(&other, "WALSTATS")),
+        };
         let mut stats = WalStatsSnapshot::default();
         for pair in payload.split_whitespace() {
             // `policy` is the one non-numeric pair (its value may itself
@@ -322,22 +667,29 @@ impl KvClient {
         Ok(stats)
     }
 
+    /// Starts a fluent atomic batch; finish it with [`BatchBuilder::run`].
+    pub fn batch_builder(&mut self) -> BatchBuilder<'_> {
+        BatchBuilder {
+            client: self,
+            ops: Vec::new(),
+        }
+    }
+
     /// Executes `ops` as one atomic `BEGIN`/`EXEC` batch and returns one
-    /// reply per operation. The whole batch is pipelined: every line is
+    /// reply per operation. The whole batch is pipelined: every request is
     /// written before any reply is read.
     ///
     /// # Errors
     ///
-    /// I/O failures, server `ERR` replies (the batch is discarded
-    /// server-side), and framing violations.
-    pub fn batch(&mut self, ops: &[BatchOp]) -> io::Result<Vec<Reply>> {
-        let mut script = String::from("BEGIN\n");
+    /// I/O failures, server error replies (the batch is poisoned
+    /// server-side; [`KvError::Server`] carries the code of the first
+    /// refusal), and framing violations.
+    pub fn batch(&mut self, ops: &[BatchOp]) -> KvResult<Vec<Reply>> {
+        self.write_request(&Request::Begin)?;
         for op in ops {
-            script.push_str(&render_request(&op.to_request()));
-            script.push('\n');
+            self.write_request(&op.to_request())?;
         }
-        script.push_str("EXEC\n");
-        self.writer.write_all(script.as_bytes())?;
+        self.write_request(&Request::Exec)?;
         self.writer.flush()?;
 
         // The whole batch is already on the wire, so a refused BEGIN or a
@@ -345,64 +697,56 @@ impl KvClient {
         // (including the EXEC response) before surfacing the error —
         // otherwise the connection's request/reply framing desyncs and every
         // later call reads some earlier op's answer.
-        let mut first_error: Option<io::Error> = None;
+        let mut first_error: Option<KvError> = None;
         match self.read_reply()? {
             Reply::Ok => {}
-            Reply::Err(m) => first_error = Some(proto_err(format!("BEGIN refused: {m}"))),
-            other => {
-                first_error = Some(proto_err(format!("unexpected reply {other:?} to BEGIN")))
+            Reply::Err(code, message) => {
+                first_error = Some(KvError::Server {
+                    code,
+                    message: format!("BEGIN refused: {message}"),
+                })
             }
+            other => first_error = Some(KvError::unexpected(&other, "BEGIN")),
         }
         for op in ops {
             match self.read_reply()? {
                 Reply::Queued => {}
-                Reply::Err(m) => {
-                    first_error.get_or_insert_with(|| {
-                        proto_err(format!("batch op {op:?} refused: {m}"))
+                Reply::Err(code, message) => {
+                    first_error.get_or_insert(KvError::Server {
+                        code,
+                        message: format!("batch op {op:?} refused: {message}"),
                     });
                 }
                 other => {
-                    first_error.get_or_insert_with(|| {
-                        proto_err(format!("unexpected reply {other:?} to {op:?}"))
-                    });
+                    first_error
+                        .get_or_insert_with(|| KvError::unexpected(&other, "a queued batch op"));
                 }
             }
         }
-        let header = self.read_reply_line()?;
+        let exec = self.read_reply()?;
         if let Some(error) = first_error {
-            // The server poisons a failed batch, so its EXEC reply is a
-            // single ERR line — but drain result lines defensively if it
-            // somehow executed.
-            if let Some(count) = header
-                .strip_prefix("EXEC ")
-                .and_then(|n| n.parse::<usize>().ok())
-            {
-                for _ in 0..count {
-                    self.read_reply_line()?;
-                }
-            }
+            // The server poisons a failed batch, so its EXEC reply is an
+            // error — the replies (if it somehow executed) were already
+            // drained as part of `read_reply`'s EXEC assembly.
             return Err(error);
         }
-        let count: usize = header
-            .strip_prefix("EXEC ")
-            .and_then(|n| n.parse().ok())
-            .ok_or_else(|| {
-                proto_err(match header.strip_prefix("ERR ") {
-                    Some(message) => format!("batch failed: {message}"),
-                    None => format!("unexpected reply '{header}' to EXEC"),
-                })
-            })?;
-        if count != ops.len() {
-            return Err(proto_err(format!(
-                "EXEC returned {count} replies for {} ops",
-                ops.len()
-            )));
+        match exec {
+            Reply::Exec(replies) => {
+                if replies.len() != ops.len() {
+                    return Err(proto_err(format!(
+                        "EXEC returned {} replies for {} ops",
+                        replies.len(),
+                        ops.len()
+                    )));
+                }
+                Ok(replies)
+            }
+            Reply::Err(code, message) => Err(KvError::Server {
+                code,
+                message: format!("batch failed: {message}"),
+            }),
+            other => Err(KvError::unexpected(&other, "EXEC")),
         }
-        let mut replies = Vec::with_capacity(count);
-        for _ in 0..count {
-            replies.push(self.read_reply()?);
-        }
-        Ok(replies)
     }
 
     /// Atomically moves `amount` from `from` to `to` (both treated as `0`
@@ -411,9 +755,21 @@ impl KvClient {
     ///
     /// # Errors
     ///
-    /// I/O failures and server `ERR` replies.
-    pub fn transfer(&mut self, from: i64, to: i64, amount: i64) -> io::Result<()> {
+    /// Everything [`KvClient::batch`] reports, plus a [`KvError::Server`]
+    /// with [`ErrorCode::Type`] when either account holds a non-integer
+    /// value — in that case the server aborts the whole batch transaction,
+    /// so **neither** account moved: a transfer can fail, but it can never
+    /// half-apply.
+    pub fn transfer(&mut self, from: i64, to: i64, amount: i64) -> KvResult<()> {
         let replies = self.batch(&[BatchOp::Add(from, -amount), BatchOp::Add(to, amount)])?;
+        for reply in &replies {
+            if let Reply::Err(code, message) = reply {
+                return Err(KvError::Server {
+                    code: *code,
+                    message: message.clone(),
+                });
+            }
+        }
         if replies.len() == 2 {
             Ok(())
         } else {
@@ -426,11 +782,10 @@ impl KvClient {
     /// # Errors
     ///
     /// I/O failures before `BYE` arrives.
-    pub fn quit(mut self) -> io::Result<()> {
-        self.send_line("QUIT")?;
-        match self.read_reply()? {
+    pub fn quit(mut self) -> KvResult<()> {
+        match self.roundtrip(&Request::Quit)? {
             Reply::Bye => Ok(()),
-            other => Err(proto_err(format!("unexpected reply {other:?} to QUIT"))),
+            other => Err(KvError::unexpected(&other, "QUIT")),
         }
     }
 }
@@ -451,31 +806,92 @@ mod tests {
     }
 
     #[test]
-    fn typed_client_round_trips() {
+    fn typed_client_round_trips_over_v2() {
         let server = test_server();
         let mut client = KvClient::connect(server.addr()).unwrap();
+        assert_eq!(client.protocol_version(), 2);
         client.ping().unwrap();
         assert_eq!(client.get(1).unwrap(), None);
         client.put(1, 11).unwrap();
         client.put(2, 22).unwrap();
-        assert_eq!(client.get(1).unwrap(), Some(11));
+        assert_eq!(client.get_int(1).unwrap(), Some(11));
         assert_eq!(client.add(1, -1).unwrap(), 10);
-        assert_eq!(client.range(0, 63).unwrap(), vec![(1, 10), (2, 22)]);
+        let range = client.range(0, 63).unwrap();
+        assert_eq!(range, vec![(1, Value::Int(10)), (2, Value::Int(22))]);
         assert_eq!(client.sum(0, 63).unwrap(), (32, 2));
         assert!(client.del(2).unwrap());
         assert!(!client.del(2).unwrap());
+        // Typed values, byte-exact — newlines, NULs, UTF-8 boundaries.
+        let text = "line\nbreak \0 NUL — ✓ 🦀";
+        client.put(5, text).unwrap();
+        assert_eq!(client.get_str(5).unwrap().as_deref(), Some(text));
+        client.put(6, vec![0u8, 255, 10, 13]).unwrap();
+        assert_eq!(client.get_bytes(6).unwrap(), Some(vec![0, 255, 10, 13]));
+        // Typed getters enforce kinds client-side...
+        match client.get_int(5).unwrap_err() {
+            KvError::Type { expected, found } => {
+                assert_eq!((expected, found), ("int", "str"));
+            }
+            other => panic!("expected a type error, got {other}"),
+        }
+        // ...and the server enforces arithmetic server-side, with a code.
+        match client.add(5, 1).unwrap_err() {
+            KvError::Server { code, message } => {
+                assert_eq!(code, ErrorCode::Type, "{message}");
+            }
+            other => panic!("expected a coded server error, got {other}"),
+        }
         // The keyspace is dynamic: any i64 key is addressable.
         assert_eq!(client.get(1_000_000).unwrap(), None);
         client.put(-5, 7).unwrap();
-        assert_eq!(client.get(-5).unwrap(), Some(7));
+        assert_eq!(client.get_int(-5).unwrap(), Some(7));
         assert!(client.del(-5).unwrap());
         // Durability commands surface the server's polite refusal when the
-        // server is volatile — and the connection survives the ERR.
-        let err = client.snapshot().unwrap_err();
-        assert!(err.to_string().contains("durability disabled"), "{err}");
-        let err = client.walstats().unwrap_err();
-        assert!(err.to_string().contains("durability disabled"), "{err}");
+        // server is volatile — coded — and the connection survives.
+        match client.snapshot().unwrap_err() {
+            KvError::Server { code, message } => {
+                assert_eq!(code, ErrorCode::Wal);
+                assert!(message.contains("durability disabled"), "{message}");
+            }
+            other => panic!("expected WAL error, got {other}"),
+        }
+        assert!(matches!(
+            client.walstats().unwrap_err(),
+            KvError::Server { code: ErrorCode::Wal, .. }
+        ));
         client.ping().unwrap();
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn v1_client_still_works_and_refuses_typed_puts() {
+        let server = test_server();
+        let mut client = KvClient::connect_v1(server.addr()).unwrap();
+        assert_eq!(client.protocol_version(), 1);
+        client.ping().unwrap();
+        client.put(1, 11).unwrap();
+        assert_eq!(client.get_int(1).unwrap(), Some(11));
+        assert_eq!(client.add(1, 4).unwrap(), 15);
+        assert_eq!(client.sum(0, 63).unwrap(), (15, 1));
+        // Typed values cannot ride the line protocol.
+        match client.put(2, "text").unwrap_err() {
+            KvError::UnsupportedValue(message) => {
+                assert!(message.contains("protocol v2"), "{message}")
+            }
+            other => panic!("expected UnsupportedValue, got {other}"),
+        }
+        // v1 batches and transfers still work end to end.
+        let replies = client.batch(&[BatchOp::Add(1, 1), BatchOp::Get(1)]).unwrap();
+        assert_eq!(replies[0], Reply::Value(Value::Int(16)));
+        client.transfer(1, 9, 5).unwrap();
+        assert_eq!(client.get_int(9).unwrap(), Some(5));
+        // Error codes classify from the v1 message text.
+        match client.snapshot().unwrap_err() {
+            KvError::Server { code, message } => {
+                assert_eq!(code, ErrorCode::Wal, "{message}");
+            }
+            other => panic!("expected WAL-classified error, got {other}"),
+        }
         client.quit().unwrap();
     }
 
@@ -497,20 +913,105 @@ mod tests {
         assert_eq!(
             replies,
             vec![
-                Reply::Value(60),
-                Reply::Value(40),
-                Reply::Value(60),
+                Reply::Value(Value::Int(60)),
+                Reply::Value(Value::Int(40)),
+                Reply::Value(Value::Int(60)),
                 Reply::Sum(100, 2),
                 Reply::OkN(0),
-                Reply::Range(vec![(10, 60), (11, 40)]),
+                Reply::Range(vec![(10, Value::Int(60)), (11, Value::Int(40))]),
             ]
         );
         client.transfer(10, 11, 10).unwrap();
         assert_eq!(client.sum(0, 63).unwrap(), (100, 2));
-        assert_eq!(client.get(10).unwrap(), Some(50));
+        assert_eq!(client.get_int(10).unwrap(), Some(50));
         let stats = client.stats().unwrap();
         assert!(stats.commits > 0);
         assert!(stats.batches >= 2);
+        assert!(stats.cells_allocated >= 2, "{stats:?}");
+        assert_eq!(stats.overflow_per_shard.len(), 4, "{stats:?}");
         client.quit().unwrap();
+    }
+
+    #[test]
+    fn batch_builder_is_fluent_and_atomic() {
+        let server = test_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        let builder = client
+            .batch_builder()
+            .put(1, 100)
+            .put(2, "two\nlines")
+            .add(1, -30)
+            .get(2)
+            .sum(0, 1)
+            .del(3)
+            .range(0, 2);
+        assert_eq!(builder.len(), 7);
+        assert!(!builder.is_empty());
+        let replies = builder.run().unwrap();
+        assert_eq!(replies[2], Reply::Value(Value::Int(70)));
+        assert_eq!(replies[3], Reply::Value(Value::Str("two\nlines".into())));
+        assert_eq!(replies[4], Reply::Sum(70, 1));
+        assert_eq!(client.get_int(1).unwrap(), Some(70));
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn type_error_aborts_the_whole_batch() {
+        let server = test_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        client.put(1, 100).unwrap();
+        client.put(2, "not a number").unwrap();
+        // ADD on the string key fails the batch as a whole: the PUT queued
+        // before it must NOT have applied.
+        let err = client
+            .batch_builder()
+            .put(3, 300)
+            .add(2, 5)
+            .run()
+            .unwrap_err();
+        match err {
+            KvError::Server { code, message } => {
+                assert_eq!(code, ErrorCode::Type, "{message}");
+                assert!(message.contains("nothing executed"), "{message}");
+            }
+            other => panic!("expected TYPE error, got {other}"),
+        }
+        assert_eq!(client.get(3).unwrap(), None, "aborted batch must commit nothing");
+        assert_eq!(client.get_int(1).unwrap(), Some(100));
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn transfer_onto_a_typed_account_fails_without_moving_money() {
+        let server = test_server();
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        client.put(1, 50).unwrap();
+        client.put(2, "not money").unwrap();
+        match client.transfer(1, 2, 5).unwrap_err() {
+            KvError::Server { code, message } => {
+                assert_eq!(code, ErrorCode::Type, "{message}");
+                assert!(message.contains("str"), "{message}");
+            }
+            other => panic!("expected TYPE error, got {other}"),
+        }
+        // The whole batch aborted: the debit did NOT apply — value is
+        // conserved even when a transfer hits a mistyped account.
+        assert_eq!(client.get_int(1).unwrap(), Some(50));
+        assert_eq!(client.get_str(2).unwrap().as_deref(), Some("not money"));
+        client.quit().unwrap();
+    }
+
+    #[test]
+    fn mixed_v1_and_v2_clients_share_one_keyspace() {
+        let server = test_server();
+        let mut v2 = KvClient::connect(server.addr()).unwrap();
+        let mut v1 = KvClient::connect_v1(server.addr()).unwrap();
+        v2.put(1, 10).unwrap();
+        assert_eq!(v1.get_int(1).unwrap(), Some(10));
+        v1.put(2, 20).unwrap();
+        assert_eq!(v2.get_int(2).unwrap(), Some(20));
+        assert_eq!(v1.sum(0, 63).unwrap(), v2.sum(0, 63).unwrap());
+        v1.quit().unwrap();
+        v2.quit().unwrap();
     }
 }

@@ -9,32 +9,42 @@
 //! same runtime behind a TCP wire so the interesting latency/throughput
 //! behaviour of a contention manager shows up under real client load:
 //!
-//! * **Storage** ([`KvStore`]) — a dynamic `i64 → i64` keyspace. The
+//! * **Values** ([`Value`], a re-export of [`stm_core::CommitValue`]) —
+//!   typed: `Int(i64)`, `Str(String)`, `Bytes(Vec<u8>)`. One enum flows
+//!   from the wire through the store into the write-ahead log.
+//! * **Storage** ([`KvStore`]) — a dynamic `i64 → Value` keyspace. The
 //!   membership index is a [`stm_structures::ShardedTxSet`] over red-black
-//!   trees, and every key's value lives in its own [`stm_core::TVar`]
-//!   (materialised on first touch, so any key is addressable), so
-//!   transactions that touch different keys share no state beyond the index
-//!   path they traverse.
-//! * **Protocol** ([`proto`]) — a line-based, pipelinable text protocol:
-//!   `GET`, `PUT`, `DEL`, `ADD` (atomic read-modify-write), `RANGE`, `SUM`,
-//!   plus `BEGIN`/`EXEC` multi-key atomic batches,
-//!   `PING`/`STATS`/`SNAPSHOT`/`WALSTATS`/`QUIT`.
+//!   trees, and every key's value lives in its own
+//!   [`stm_core::TVar`]`<Option<Value>>` (materialised on first touch, so
+//!   any key is addressable); arithmetic ops (`ADD`/`SUM`) report a typed
+//!   [`TypeMismatch`] on non-integer values.
+//! * **Protocol** ([`proto`]) — two negotiated framings over one model:
+//!   the original line-based v1 text protocol (`nc`-friendly, int-only)
+//!   and, after a `HELLO 2` handshake, the binary-safe length-prefixed v2
+//!   framing (RESP-style frames) that carries typed values byte-exactly and
+//!   machine-readable [`ErrorCode`]s. Verbs: `GET`, `PUT`, `DEL`, `ADD`
+//!   (atomic read-modify-write), `RANGE`, `SUM`, plus `BEGIN`/`EXEC`
+//!   multi-key atomic batches, `PING`/`STATS`/`SNAPSHOT`/`WALSTATS`/`QUIT`.
 //! * **Server** ([`KvServer`]) — `std::net::TcpListener` + a worker-thread
 //!   pool, no dependencies beyond the workspace. Every request executes as
 //!   one STM transaction under the [`stm_cm::ManagerKind`] chosen at server
 //!   start, so multi-key batches are serializable across clients by
-//!   construction. With [`ServerConfig::wal_dir`] set the server is
-//!   **durable**: every mutating request's write-set is appended to an
-//!   `stm-log` write-ahead log in serialization order (fsync policy
-//!   `every` / `n=` / `ms=`), point-in-time snapshots bound recovery, and a
-//!   restart replays snapshot + log tail before accepting connections.
-//! * **Client** ([`KvClient`]) — a small blocking client used by the
-//!   integration tests, the `stm_kv_demo` example, and the `stm-bench`
-//!   closed-loop network load generator.
+//!   construction. v1 and v2 clients share one keyspace concurrently. With
+//!   [`ServerConfig::wal_dir`] set the server is **durable**: every
+//!   mutating request's write-set is appended to an `stm-log` write-ahead
+//!   log in serialization order (fsync policy `every` / `n=` / `ms=`),
+//!   point-in-time snapshots bound recovery, and a restart replays
+//!   snapshot + log tail — v1-era logs replay losslessly — before
+//!   accepting connections.
+//! * **Client** ([`KvClient`]) — a blocking client that negotiates v2 by
+//!   default (`connect_v1` keeps the text mode), reports failures through
+//!   the structured [`KvError`] enum, offers typed getters
+//!   (`get_int`/`get_str`/`get_bytes`) and a fluent [`BatchBuilder`] for
+//!   atomic multi-op transactions.
 //!
 //! ```
 //! use stm_cm::ManagerKind;
-//! use stm_kv::{KvClient, KvServer, ServerConfig};
+//! use stm_kv::{KvClient, KvServer, ServerConfig, Value};
 //!
 //! let server = KvServer::start(ServerConfig {
 //!     manager: ManagerKind::Greedy,
@@ -46,12 +56,21 @@
 //! let mut client = KvClient::connect(server.addr()).unwrap();
 //! client.put(1, 100).unwrap();
 //! client.put(2, 100).unwrap();
+//! client.put(3, "binary-safe\nstring \0 ✓").unwrap();
 //! // Atomically move 25 from key 1 to key 2.
-//! client
-//!     .transfer(1, 2, 25)
+//! client.transfer(1, 2, 25).unwrap();
+//! assert_eq!(client.get_int(1).unwrap(), Some(75));
+//! assert_eq!(client.get_str(3).unwrap().as_deref(), Some("binary-safe\nstring \0 ✓"));
+//! // A fluent atomic batch.
+//! let replies = client
+//!     .batch_builder()
+//!     .add(1, -5)
+//!     .add(2, 5)
+//!     .get(3)
+//!     .run()
 //!     .unwrap();
-//! assert_eq!(client.get(1).unwrap(), Some(75));
-//! assert_eq!(client.sum(0, 127).unwrap(), (200, 2));
+//! assert_eq!(replies.len(), 3);
+//! assert_eq!(client.sum(0, 2).unwrap(), (200, 2));
 //! client.quit().unwrap();
 //! ```
 
@@ -64,7 +83,14 @@ pub mod proto;
 pub mod server;
 pub mod store;
 
-pub use client::{BatchOp, KvClient, ServerStatsSnapshot, WalStatsSnapshot};
-pub use proto::{parse_reply, parse_request, render_reply, Reply, Request};
+/// The typed value enum (`Int` / `Str` / `Bytes`) — one type from the wire
+/// protocol through [`KvStore`] into the `stm-log` write-ahead log.
+pub use stm_core::CommitValue as Value;
+
+pub use client::{BatchBuilder, BatchOp, KvClient, KvError, ServerStatsSnapshot, WalStatsSnapshot};
+pub use proto::{
+    parse_reply, parse_request, render_reply, render_request, ErrorCode, ProtoError, Reply,
+    Request,
+};
 pub use server::{KvServer, ServerConfig};
-pub use store::KvStore;
+pub use store::{KvStore, TypeMismatch};

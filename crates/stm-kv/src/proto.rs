@@ -1,11 +1,13 @@
-//! The wire protocol: line-based, text, symmetric.
+//! The wire protocol: two negotiated framings over one request/reply model.
 //!
-//! Every request and every reply is one `\n`-terminated line of ASCII
-//! text, so the protocol can be driven from `nc` and framed trivially by
-//! any client. The grammar:
+//! Every connection starts in **protocol v1**: one `\n`-terminated line of
+//! ASCII text per request and per reply, driveable from `nc` — exactly the
+//! protocol the service has always spoken, so old clients keep working
+//! unchanged. The v1 grammar:
 //!
 //! | Request | Reply |
 //! |---------|-------|
+//! | `HELLO <version>` | `HELLO <version>` (switches framing) or `ERR ...` |
 //! | `GET <key>` | `VALUE <v>` or `NIL` |
 //! | `PUT <key> <value>` | `OK` |
 //! | `DEL <key>` | `OK 1` (removed) or `OK 0` |
@@ -20,31 +22,208 @@
 //! | `WALSTATS` | `WALSTATS <key>=<value> ...` (durable servers only) |
 //! | `QUIT` | `BYE`, then the connection closes |
 //!
-//! Any failure — unknown verb, malformed integer, transaction failure — is
-//! reported as `ERR <message>` and leaves the connection usable. A failure
-//! while a batch is open discards the batch (the client must re-issue
-//! `BEGIN`). Requests may be **pipelined**: the server parses every
-//! complete line it has buffered before replying, executes them in order,
-//! and writes all the replies back in one flush.
+//! v1 is **integer-only**: `PUT` parses its value as an `i64`, and a reply
+//! that would have to carry a `Str`/`Bytes` value (stored by a v2 client)
+//! degrades to an `ERR` naming the kind — a line protocol cannot frame a
+//! value containing `\n`. Inside a v1 `RANGE` reply, non-integer values
+//! render as `<str>`/`<bytes>` placeholders.
 //!
-//! Both directions are implemented here ([`parse_request`]/[`render_reply`]
-//! for the server, [`render_request`]/[`parse_reply`] for the client), so a
-//! single test suite pins the grammar from both sides.
+//! `HELLO 2` switches the connection to **protocol v2**: binary-safe,
+//! length-prefixed, RESP-style frames that carry the typed [`Value`] enum
+//! (`Int` / `Str` / `Bytes`) byte-exactly — newlines, NULs and multi-byte
+//! UTF-8 included. One frame is:
+//!
+//! ```text
+//! frame  = int | str | blob | status | error | nil | array
+//! int    = ':' <decimal i64> '\n'            — Value::Int
+//! str    = '$' <len> '\n' <len bytes> '\n'   — Value::Str (UTF-8 checked)
+//! blob   = '=' <len> '\n' <len bytes> '\n'   — Value::Bytes
+//! status = '+' <token> [' ' <text>] '\n'     — OK, PONG, QUEUED, ...
+//! error  = '-' <CODE> ' ' <message> '\n'     — coded failure
+//! nil    = '_' '\n'                          — absent key
+//! array  = '*' <count> '\n' <count frames>   — requests, RANGE, EXEC
+//! ```
+//!
+//! A v2 **request** is one array frame: `[+VERB, arg frames...]` — keys and
+//! deltas are int frames, a `PUT` value is any value frame. A v2 **reply**
+//! maps the same [`Reply`] model: scalar values are bare value frames, `NIL`
+//! is the nil frame, structured replies are arrays tagged by a leading
+//! status (`[+SUM, :total, :count]`, `[+RANGE, [[:k, value], ...]]`,
+//! `[+EXEC, [reply frames...]]`), and failures are error frames whose code
+//! is machine-readable ([`ErrorCode`]).
+//!
+//! Any failure — unknown verb, malformed frame, type mismatch, transaction
+//! failure — is reported as an error reply and leaves the connection usable
+//! (only an unparseable v2 frame closes it: there is no way to resynchronise
+//! a length-prefixed stream). A failure while a batch is open poisons the
+//! batch (the client must re-issue `BEGIN`). Requests may be **pipelined**:
+//! the server parses every complete request it has buffered before replying,
+//! executes them in order, and writes all the replies back in one flush.
+//!
+//! Both directions of both framings are implemented here, so a single test
+//! suite pins the grammar from all four sides.
+
+use crate::Value;
+
+/// Highest protocol version this build speaks.
+pub const MAX_PROTOCOL_VERSION: u32 = 2;
+
+/// Which framing a connection currently speaks (switched by `HELLO`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProtoVersion {
+    /// Line-based text framing, integer values only (the default).
+    #[default]
+    V1,
+    /// Binary-safe length-prefixed frames carrying typed values.
+    V2,
+}
+
+impl ProtoVersion {
+    /// The numeric version carried by `HELLO`.
+    pub fn number(&self) -> u32 {
+        match self {
+            ProtoVersion::V1 => 1,
+            ProtoVersion::V2 => 2,
+        }
+    }
+}
+
+/// Upper bound on one v2 bulk payload (`$`/`=` frames) — a framing sanity
+/// check so a corrupted length cannot make a peer allocate gigabytes.
+pub const MAX_BULK_BYTES: usize = 64 << 20;
+
+/// Upper bound on one v2 array's element count.
+pub const MAX_ARRAY_LEN: usize = 1 << 20;
+
+/// Upper bound on one v2 frame header line (everything before the first
+/// `\n`). Error frames carry their whole message in the header, so this
+/// must comfortably exceed any message the server emits; [`write_error`]
+/// truncates to stay under it.
+pub const MAX_HEADER_BYTES: usize = 1024;
+
+/// Machine-readable category of a protocol error — the `CODE` token of a v2
+/// error frame, classified heuristically from the message text in v1 (which
+/// predates codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// Framing or grammar violation: unknown verb, malformed frame.
+    Proto,
+    /// A well-formed request with bad arguments (arity, non-integer key).
+    Arg,
+    /// An arithmetic op hit a non-integer value (`ADD`/`SUM` on a str).
+    Type,
+    /// Batch protocol misuse: `EXEC` without `BEGIN`, poisoned batch.
+    Batch,
+    /// The server-side transaction failed (retry limit, explicit abort).
+    Txn,
+    /// Durability subsystem: disabled, snapshot in progress, write failure.
+    Wal,
+    /// Anything that fits no other category.
+    Unknown,
+}
+
+impl ErrorCode {
+    /// The stable wire token of this code (the `-CODE` of a v2 error frame).
+    pub fn token(&self) -> &'static str {
+        match self {
+            ErrorCode::Proto => "PROTO",
+            ErrorCode::Arg => "ARG",
+            ErrorCode::Type => "TYPE",
+            ErrorCode::Batch => "BATCH",
+            ErrorCode::Txn => "TXN",
+            ErrorCode::Wal => "WAL",
+            ErrorCode::Unknown => "ERR",
+        }
+    }
+
+    /// Parses a wire token back to its code.
+    pub fn from_token(token: &str) -> ErrorCode {
+        match token {
+            "PROTO" => ErrorCode::Proto,
+            "ARG" => ErrorCode::Arg,
+            "TYPE" => ErrorCode::Type,
+            "BATCH" => ErrorCode::Batch,
+            "TXN" => ErrorCode::Txn,
+            "WAL" => ErrorCode::Wal,
+            _ => ErrorCode::Unknown,
+        }
+    }
+
+    /// Best-effort classification of a v1 `ERR` message (v1 predates coded
+    /// errors, so the client infers the category from the text).
+    pub fn classify_v1(message: &str) -> ErrorCode {
+        let m = message;
+        // Order matters: the server's compound messages must classify by
+        // their most specific marker — "batch failed: transaction ..." is a
+        // transaction failure (Txn), not batch misuse, and "snapshot
+        // transaction failed" is a durability failure (Wal).
+        if m.contains("int-only") || m.contains("not an int") || m.contains("holds a") {
+            ErrorCode::Type
+        } else if m.contains("durability") || m.contains("snapshot") {
+            ErrorCode::Wal
+        } else if m.contains("transaction") {
+            ErrorCode::Txn
+        } else if m.contains("batch") || m.contains("EXEC without BEGIN") {
+            ErrorCode::Batch
+        } else if m.contains("takes") || m.contains("must be an integer") {
+            ErrorCode::Arg
+        } else if m.contains("unknown command") || m.contains("protocol") || m.contains("command")
+        {
+            ErrorCode::Proto
+        } else {
+            ErrorCode::Unknown
+        }
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.token())
+    }
+}
+
+/// A coded protocol-level failure (the payload of [`Reply::Err`], and what
+/// request parsing reports).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// Machine-readable category.
+    pub code: ErrorCode,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Shorthand constructor.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> ProtoError {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Request {
+    /// Negotiate the protocol version for the rest of the connection.
+    Hello(u32),
     /// Read one key.
     Get(i64),
     /// Store a value (creating or overwriting the key).
-    Put(i64, i64),
+    Put(i64, Value),
     /// Remove a key.
     Del(i64),
-    /// Add a delta to a key's value (absent keys start at 0).
+    /// Add a delta to a key's integer value (absent keys start at 0).
     Add(i64, i64),
     /// The present keys in `lo..=hi` with their values.
     Range(i64, i64),
-    /// Atomic sum + count of the values in `lo..=hi`.
+    /// Atomic sum + count of the integer values in `lo..=hi`.
     Sum(i64, i64),
     /// Open a batch: queue data operations until `EXEC`.
     Begin,
@@ -81,8 +260,8 @@ impl Request {
 /// A server reply to one request (or one queued batch operation).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Reply {
-    /// A value (`GET` hit, `ADD` result).
-    Value(i64),
+    /// A typed value (`GET` hit, `ADD` result).
+    Value(Value),
     /// Key absent.
     Nil,
     /// Success without a payload (`PUT`, `BEGIN`).
@@ -90,54 +269,92 @@ pub enum Reply {
     /// Success with a small integer payload (`DEL` → removed count).
     OkN(i64),
     /// Key/value pairs from a `RANGE`.
-    Range(Vec<(i64, i64)>),
+    Range(Vec<(i64, Value)>),
     /// Sum and count from a `SUM`.
     Sum(i64, usize),
     /// Operation queued inside an open batch.
     Queued,
+    /// The replies of an executed `BEGIN`/`EXEC` batch, one per queued op.
+    Exec(Vec<Reply>),
     /// A snapshot was written: its cut sequence number and key count.
     Snapshot(u64, usize),
+    /// Protocol version the connection now speaks (reply to `HELLO`).
+    Hello(u32),
+    /// The `STATS` counter payload (`key=value` pairs, space-separated).
+    Stats(String),
+    /// The `WALSTATS` counter payload (durable servers).
+    WalStats(String),
     /// Reply to `PING`.
     Pong,
     /// Connection closing.
     Bye,
-    /// Failure.
-    Err(String),
+    /// Failure, with a machine-readable code.
+    Err(ErrorCode, String),
 }
 
-fn parse_int(token: &str, what: &str) -> Result<i64, String> {
-    token
-        .parse::<i64>()
-        .map_err(|_| format!("{what} must be an integer, got '{token}'"))
+impl Reply {
+    /// Shorthand for an error reply.
+    pub fn err(code: ErrorCode, message: impl Into<String>) -> Reply {
+        Reply::Err(code, message.into())
+    }
 }
 
-/// Parses one request line (without its trailing newline).
+fn parse_int(token: &str, what: &str) -> Result<i64, ProtoError> {
+    token.parse::<i64>().map_err(|_| {
+        ProtoError::new(
+            ErrorCode::Arg,
+            format!("{what} must be an integer, got '{token}'"),
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v1: one text line per request/reply.
+// ---------------------------------------------------------------------------
+
+/// Parses one v1 request line (without its trailing newline).
 ///
 /// Verbs are case-insensitive; arguments are whitespace-separated signed
-/// 64-bit integers.
+/// 64-bit integers (v1 cannot express `Str`/`Bytes` values — that is what
+/// `HELLO 2` is for).
 ///
 /// # Errors
 ///
-/// Returns a human-readable message (sent back as `ERR <message>`) for an
-/// unknown verb or a malformed argument list.
-pub fn parse_request(line: &str) -> Result<Request, String> {
+/// Returns a coded, human-readable error (sent back as `ERR <message>`) for
+/// an unknown verb or a malformed argument list.
+pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
     let mut tokens = line.split_whitespace();
-    let verb = tokens.next().ok_or_else(|| "empty request".to_string())?;
+    let verb = tokens
+        .next()
+        .ok_or_else(|| ProtoError::new(ErrorCode::Proto, "empty request"))?;
     let args: Vec<&str> = tokens.collect();
-    let arity = |n: usize| -> Result<(), String> {
+    let arity = |n: usize| -> Result<(), ProtoError> {
         if args.len() == n {
             Ok(())
         } else {
-            Err(format!(
-                "{} takes {} argument{}, got {}",
-                verb.to_ascii_uppercase(),
-                n,
-                if n == 1 { "" } else { "s" },
-                args.len()
+            Err(ProtoError::new(
+                ErrorCode::Arg,
+                format!(
+                    "{} takes {} argument{}, got {}",
+                    verb.to_ascii_uppercase(),
+                    n,
+                    if n == 1 { "" } else { "s" },
+                    args.len()
+                ),
             ))
         }
     };
     match verb.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            arity(1)?;
+            let version = args[0].parse::<u32>().map_err(|_| {
+                ProtoError::new(
+                    ErrorCode::Arg,
+                    format!("protocol version must be a number, got '{}'", args[0]),
+                )
+            })?;
+            Ok(Request::Hello(version))
+        }
         "GET" => {
             arity(1)?;
             Ok(Request::Get(parse_int(args[0], "key")?))
@@ -146,7 +363,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             arity(2)?;
             Ok(Request::Put(
                 parse_int(args[0], "key")?,
-                parse_int(args[1], "value")?,
+                Value::Int(parse_int(args[1], "value")?),
             ))
         }
         "DEL" => {
@@ -202,15 +419,26 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             arity(0)?;
             Ok(Request::Quit)
         }
-        other => Err(format!("unknown command '{other}'")),
+        other => Err(ProtoError::new(
+            ErrorCode::Proto,
+            format!("unknown command '{other}'"),
+        )),
     }
 }
 
-/// Renders a request as its wire line (without the trailing newline).
+/// Renders a request as its v1 wire line (without the trailing newline).
+///
+/// v1 cannot carry `Str`/`Bytes` values; a typed `PUT` renders a
+/// `<str>`/`<bytes>` placeholder the server will reject — [`KvClient`]
+/// refuses such a request before it reaches the wire.
+///
+/// [`KvClient`]: crate::KvClient
 pub fn render_request(request: &Request) -> String {
     match request {
+        Request::Hello(version) => format!("HELLO {version}"),
         Request::Get(k) => format!("GET {k}"),
-        Request::Put(k, v) => format!("PUT {k} {v}"),
+        Request::Put(k, Value::Int(v)) => format!("PUT {k} {v}"),
+        Request::Put(k, v) => format!("PUT {k} <{}>", v.type_name()),
         Request::Del(k) => format!("DEL {k}"),
         Request::Add(k, d) => format!("ADD {k} {d}"),
         Request::Range(lo, hi) => format!("RANGE {lo} {hi}"),
@@ -225,31 +453,55 @@ pub fn render_request(request: &Request) -> String {
     }
 }
 
-/// Renders a reply as its wire line (without the trailing newline).
+/// Renders a reply as its v1 wire text (without the trailing newline; the
+/// `EXEC` reply renders as its header line plus one embedded line per op).
+///
+/// A `Str`/`Bytes` scalar value degrades to a `TYPE` error line and a
+/// non-integer `RANGE` value to a `<str>`/`<bytes>` placeholder: a line
+/// protocol cannot frame arbitrary bytes — v2 exists for that.
 pub fn render_reply(reply: &Reply) -> String {
     match reply {
-        Reply::Value(v) => format!("VALUE {v}"),
+        Reply::Value(Value::Int(v)) => format!("VALUE {v}"),
+        Reply::Value(other) => format!(
+            "ERR value is {}; the v1 protocol is int-only (negotiate with HELLO 2)",
+            other.type_name()
+        ),
         Reply::Nil => "NIL".to_string(),
         Reply::Ok => "OK".to_string(),
         Reply::OkN(n) => format!("OK {n}"),
         Reply::Range(pairs) => {
             let mut out = format!("RANGE {}", pairs.len());
             for (k, v) in pairs {
-                out.push_str(&format!(" {k}={v}"));
+                match v {
+                    Value::Int(v) => out.push_str(&format!(" {k}={v}")),
+                    other => out.push_str(&format!(" {k}=<{}>", other.type_name())),
+                }
             }
             out
         }
         Reply::Sum(total, count) => format!("SUM {total} {count}"),
         Reply::Queued => "QUEUED".to_string(),
+        Reply::Exec(replies) => {
+            let mut out = format!("EXEC {}", replies.len());
+            for reply in replies {
+                out.push('\n');
+                out.push_str(&render_reply(reply));
+            }
+            out
+        }
         Reply::Snapshot(seq, keys) => format!("SNAPSHOT {seq} {keys}"),
+        Reply::Hello(version) => format!("HELLO {version}"),
+        Reply::Stats(payload) => format!("STATS {payload}"),
+        Reply::WalStats(payload) => format!("WALSTATS {payload}"),
         Reply::Pong => "PONG".to_string(),
         Reply::Bye => "BYE".to_string(),
-        Reply::Err(message) => format!("ERR {}", message.replace('\n', " ")),
+        Reply::Err(_, message) => format!("ERR {}", message.replace('\n', " ")),
     }
 }
 
-/// Parses one reply line (without its trailing newline) — the client side
-/// of [`render_reply`].
+/// Parses one v1 reply line (without its trailing newline) — the client
+/// side of [`render_reply`]. The multi-line `EXEC` reply is assembled by
+/// the client from its header plus per-op lines, not parsed here.
 ///
 /// # Errors
 ///
@@ -258,18 +510,29 @@ pub fn render_reply(reply: &Reply) -> String {
 pub fn parse_reply(line: &str) -> Result<Reply, String> {
     let line = line.trim_end();
     if let Some(message) = line.strip_prefix("ERR ") {
-        return Ok(Reply::Err(message.to_string()));
+        return Ok(Reply::Err(ErrorCode::classify_v1(message), message.to_string()));
+    }
+    if let Some(payload) = line.strip_prefix("STATS ") {
+        return Ok(Reply::Stats(payload.to_string()));
+    }
+    if let Some(payload) = line.strip_prefix("WALSTATS ") {
+        return Ok(Reply::WalStats(payload.to_string()));
     }
     let mut tokens = line.split_whitespace();
     let head = tokens.next().ok_or_else(|| "empty reply".to_string())?;
     let rest: Vec<&str> = tokens.collect();
+    let plain_int = |token: &str, what: &str| -> Result<i64, String> {
+        token
+            .parse::<i64>()
+            .map_err(|_| format!("{what} must be an integer, got '{token}'"))
+    };
     match head {
-        "VALUE" if rest.len() == 1 => Ok(Reply::Value(parse_int(rest[0], "value")?)),
+        "VALUE" if rest.len() == 1 => Ok(Reply::Value(Value::Int(plain_int(rest[0], "value")?))),
         "NIL" if rest.is_empty() => Ok(Reply::Nil),
         "OK" if rest.is_empty() => Ok(Reply::Ok),
-        "OK" if rest.len() == 1 => Ok(Reply::OkN(parse_int(rest[0], "count")?)),
+        "OK" if rest.len() == 1 => Ok(Reply::OkN(plain_int(rest[0], "count")?)),
         "RANGE" if !rest.is_empty() => {
-            let n = parse_int(rest[0], "pair count")? as usize;
+            let n = plain_int(rest[0], "pair count")? as usize;
             if rest.len() != n + 1 {
                 return Err(format!("RANGE announced {n} pairs, carried {}", rest.len() - 1));
             }
@@ -278,25 +541,605 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
                 let (k, v) = pair
                     .split_once('=')
                     .ok_or_else(|| format!("malformed pair '{pair}'"))?;
-                pairs.push((parse_int(k, "key")?, parse_int(v, "value")?));
+                pairs.push((plain_int(k, "key")?, Value::Int(plain_int(v, "value")?)));
             }
             Ok(Reply::Range(pairs))
         }
         "SUM" if rest.len() == 2 => Ok(Reply::Sum(
-            parse_int(rest[0], "total")?,
-            parse_int(rest[1], "count")? as usize,
+            plain_int(rest[0], "total")?,
+            plain_int(rest[1], "count")? as usize,
         )),
         "QUEUED" if rest.is_empty() => Ok(Reply::Queued),
         "SNAPSHOT" if rest.len() == 2 => Ok(Reply::Snapshot(
             rest[0]
                 .parse::<u64>()
                 .map_err(|_| format!("malformed snapshot seq '{}'", rest[0]))?,
-            parse_int(rest[1], "key count")? as usize,
+            plain_int(rest[1], "key count")? as usize,
+        )),
+        "HELLO" if rest.len() == 1 => Ok(Reply::Hello(
+            rest[0]
+                .parse::<u32>()
+                .map_err(|_| format!("malformed protocol version '{}'", rest[0]))?,
         )),
         "PONG" if rest.is_empty() => Ok(Reply::Pong),
         "BYE" if rest.is_empty() => Ok(Reply::Bye),
-        "ERR" => Ok(Reply::Err(String::new())),
+        "STATS" if rest.is_empty() => Ok(Reply::Stats(String::new())),
+        "WALSTATS" if rest.is_empty() => Ok(Reply::WalStats(String::new())),
+        "ERR" => Ok(Reply::Err(ErrorCode::Unknown, String::new())),
         _ => Err(format!("unrecognized reply '{line}'")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol v2: binary-safe, length-prefixed frames.
+// ---------------------------------------------------------------------------
+
+/// One decoded v2 frame — the unit both requests and replies are built
+/// from. See the [module documentation](self) for the byte grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// `:<i64>` — an integer value.
+    Int(i64),
+    /// `$<len>` + bytes — a UTF-8 string value.
+    Str(String),
+    /// `=<len>` + bytes — an opaque blob value.
+    Bytes(Vec<u8>),
+    /// `+<token...>` — a status word (`OK`, `PONG`, reply tags).
+    Status(String),
+    /// `-<CODE> <message>` — a coded failure.
+    Error(ErrorCode, String),
+    /// `_` — absent.
+    Nil,
+    /// `*<count>` + frames — a sequence.
+    Array(Vec<Frame>),
+}
+
+impl Frame {
+    fn describe(&self) -> &'static str {
+        match self {
+            Frame::Int(_) => "int",
+            Frame::Str(_) => "str",
+            Frame::Bytes(_) => "bytes",
+            Frame::Status(_) => "status",
+            Frame::Error(..) => "error",
+            Frame::Nil => "nil",
+            Frame::Array(_) => "array",
+        }
+    }
+}
+
+/// Why [`decode_frame`] returned no frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameError {
+    /// The buffer ends mid-frame — read more bytes and retry.
+    Incomplete,
+    /// The bytes violate the frame grammar; the stream cannot be resynced.
+    Malformed(String),
+}
+
+fn malformed(message: impl Into<String>) -> FrameError {
+    FrameError::Malformed(message.into())
+}
+
+/// Appends a length-prefixed bulk frame (`$`/`=`).
+fn write_bulk(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend_from_slice(payload.len().to_string().as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(payload);
+    out.push(b'\n');
+}
+
+/// Appends a value as its v2 frame.
+pub fn write_value(out: &mut Vec<u8>, value: &Value) {
+    match value {
+        Value::Int(v) => {
+            out.push(b':');
+            out.extend_from_slice(v.to_string().as_bytes());
+            out.push(b'\n');
+        }
+        Value::Str(s) => write_bulk(out, b'$', s.as_bytes()),
+        Value::Bytes(b) => write_bulk(out, b'=', b),
+    }
+}
+
+fn write_int(out: &mut Vec<u8>, v: i64) {
+    write_value(out, &Value::Int(v));
+}
+
+fn write_status(out: &mut Vec<u8>, token: &str) {
+    out.push(b'+');
+    out.extend_from_slice(token.as_bytes());
+    out.push(b'\n');
+}
+
+fn write_error(out: &mut Vec<u8>, code: ErrorCode, message: &str) {
+    out.push(b'-');
+    out.extend_from_slice(code.token().as_bytes());
+    out.push(b' ');
+    // The whole error frame is one header line; keep it under the decoder's
+    // header cap (truncating on a char boundary) so a fragmented error
+    // reply can never misread as malformed.
+    let flat = message.replace('\n', " ");
+    let mut cut = flat.len().min(MAX_HEADER_BYTES - 64);
+    while !flat.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    out.extend_from_slice(&flat.as_bytes()[..cut]);
+    out.push(b'\n');
+}
+
+fn write_array_header(out: &mut Vec<u8>, len: usize) {
+    out.push(b'*');
+    out.extend_from_slice(len.to_string().as_bytes());
+    out.push(b'\n');
+}
+
+/// Appends an arbitrary frame (used by tests and the client's batch path).
+pub fn write_frame(out: &mut Vec<u8>, frame: &Frame) {
+    match frame {
+        Frame::Int(v) => write_int(out, *v),
+        Frame::Str(s) => write_bulk(out, b'$', s.as_bytes()),
+        Frame::Bytes(b) => write_bulk(out, b'=', b),
+        Frame::Status(token) => write_status(out, token),
+        Frame::Error(code, message) => write_error(out, *code, message),
+        Frame::Nil => out.extend_from_slice(b"_\n"),
+        Frame::Array(frames) => {
+            write_array_header(out, frames.len());
+            for frame in frames {
+                write_frame(out, frame);
+            }
+        }
+    }
+}
+
+/// Decodes the frame at the head of `buf`, returning it with the number of
+/// bytes it occupied.
+///
+/// # Errors
+///
+/// [`FrameError::Incomplete`] when `buf` ends mid-frame (read more and
+/// retry — the pipelining contract), [`FrameError::Malformed`] when the
+/// bytes violate the grammar (the connection must close: a length-prefixed
+/// stream cannot be resynchronised).
+pub fn decode_frame(buf: &[u8]) -> Result<(Frame, usize), FrameError> {
+    decode_frame_at_depth(buf, 0)
+}
+
+fn decode_frame_at_depth(buf: &[u8], depth: usize) -> Result<(Frame, usize), FrameError> {
+    if depth > 8 {
+        return Err(malformed("frame nesting too deep"));
+    }
+    let Some(&tag) = buf.first() else {
+        return Err(FrameError::Incomplete);
+    };
+    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+        // Unbounded header lines would let a peer that never sends '\n'
+        // grow the buffer forever. The cap must exceed every header a
+        // well-behaved peer emits (write_error truncates to guarantee it),
+        // or a partially-received long reply would misread as malformed.
+        return if buf.len() > MAX_HEADER_BYTES {
+            Err(malformed("frame header too long"))
+        } else {
+            Err(FrameError::Incomplete)
+        };
+    };
+    let header = std::str::from_utf8(&buf[1..nl])
+        .map_err(|_| malformed("frame header is not UTF-8"))?;
+    let after_header = nl + 1;
+    match tag {
+        b':' => {
+            let v = header
+                .parse::<i64>()
+                .map_err(|_| malformed(format!("malformed int frame ':{header}'")))?;
+            Ok((Frame::Int(v), after_header))
+        }
+        b'$' | b'=' => {
+            let len = header
+                .parse::<usize>()
+                .map_err(|_| malformed(format!("malformed bulk length '{header}'")))?;
+            if len > MAX_BULK_BYTES {
+                return Err(malformed(format!("bulk frame of {len} bytes exceeds the limit")));
+            }
+            let end = after_header + len;
+            let Some(payload) = buf.get(after_header..end) else {
+                return Err(FrameError::Incomplete);
+            };
+            match buf.get(end) {
+                None => return Err(FrameError::Incomplete),
+                Some(b'\n') => {}
+                Some(_) => return Err(malformed("bulk frame missing trailing newline")),
+            }
+            let frame = if tag == b'$' {
+                Frame::Str(
+                    std::str::from_utf8(payload)
+                        .map_err(|_| malformed("str frame is not valid UTF-8"))?
+                        .to_string(),
+                )
+            } else {
+                Frame::Bytes(payload.to_vec())
+            };
+            Ok((frame, end + 1))
+        }
+        b'+' => {
+            if header.is_empty() {
+                return Err(malformed("empty status frame"));
+            }
+            Ok((Frame::Status(header.to_string()), after_header))
+        }
+        b'-' => {
+            let (code, message) = match header.split_once(' ') {
+                Some((token, message)) => (ErrorCode::from_token(token), message.to_string()),
+                None => (ErrorCode::from_token(header), String::new()),
+            };
+            Ok((Frame::Error(code, message), after_header))
+        }
+        b'_' => {
+            if !header.is_empty() {
+                return Err(malformed("nil frame carries payload"));
+            }
+            Ok((Frame::Nil, after_header))
+        }
+        b'*' => {
+            let count = header
+                .parse::<usize>()
+                .map_err(|_| malformed(format!("malformed array length '{header}'")))?;
+            if count > MAX_ARRAY_LEN {
+                return Err(malformed(format!("array of {count} frames exceeds the limit")));
+            }
+            let mut frames = Vec::with_capacity(count.min(64));
+            let mut at = after_header;
+            for _ in 0..count {
+                let (frame, used) = decode_frame_at_depth(&buf[at..], depth + 1)?;
+                frames.push(frame);
+                at += used;
+            }
+            Ok((Frame::Array(frames), at))
+        }
+        other => Err(malformed(format!(
+            "unknown frame tag 0x{other:02x} (expected : $ = + - _ *)"
+        ))),
+    }
+}
+
+fn frame_to_value(frame: Frame) -> Option<Value> {
+    match frame {
+        Frame::Int(v) => Some(Value::Int(v)),
+        Frame::Str(s) => Some(Value::Str(s)),
+        Frame::Bytes(b) => Some(Value::Bytes(b)),
+        _ => None,
+    }
+}
+
+/// Renders a request as its v2 frame bytes: `[+VERB, args...]`.
+pub fn render_request_v2(request: &Request) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    // PUT is the one request carrying a (possibly large) payload; write it
+    // straight from the borrowed value instead of cloning into frames.
+    if let Request::Put(k, v) = request {
+        write_array_header(&mut out, 3);
+        write_status(&mut out, "PUT");
+        write_int(&mut out, *k);
+        write_value(&mut out, v);
+        return out;
+    }
+    let (verb, args): (&str, Vec<Frame>) = match request {
+        Request::Hello(v) => ("HELLO", vec![Frame::Int(*v as i64)]),
+        Request::Get(k) => ("GET", vec![Frame::Int(*k)]),
+        Request::Put(..) => unreachable!("handled above"),
+        Request::Del(k) => ("DEL", vec![Frame::Int(*k)]),
+        Request::Add(k, d) => ("ADD", vec![Frame::Int(*k), Frame::Int(*d)]),
+        Request::Range(lo, hi) => ("RANGE", vec![Frame::Int(*lo), Frame::Int(*hi)]),
+        Request::Sum(lo, hi) => ("SUM", vec![Frame::Int(*lo), Frame::Int(*hi)]),
+        Request::Begin => ("BEGIN", Vec::new()),
+        Request::Exec => ("EXEC", Vec::new()),
+        Request::Ping => ("PING", Vec::new()),
+        Request::Stats => ("STATS", Vec::new()),
+        Request::Snapshot => ("SNAPSHOT", Vec::new()),
+        Request::WalStats => ("WALSTATS", Vec::new()),
+        Request::Quit => ("QUIT", Vec::new()),
+    };
+    write_array_header(&mut out, 1 + args.len());
+    write_status(&mut out, verb);
+    for arg in &args {
+        write_frame(&mut out, arg);
+    }
+    out
+}
+
+/// Interprets a decoded v2 frame as a request.
+///
+/// # Errors
+///
+/// A coded error describing the violation (sent back as an error frame;
+/// the connection stays usable — the frame itself was well-formed).
+pub fn parse_request_v2(frame: Frame) -> Result<Request, ProtoError> {
+    let Frame::Array(mut frames) = frame else {
+        return Err(ProtoError::new(
+            ErrorCode::Proto,
+            format!("request must be an array frame, got {}", frame.describe()),
+        ));
+    };
+    if frames.is_empty() {
+        return Err(ProtoError::new(ErrorCode::Proto, "empty request"));
+    }
+    let verb = match frames.remove(0) {
+        Frame::Status(s) => s,
+        Frame::Str(s) => s,
+        other => {
+            return Err(ProtoError::new(
+                ErrorCode::Proto,
+                format!("request verb must be a status/str frame, got {}", other.describe()),
+            ))
+        }
+    };
+    let args = frames;
+    let arity = |n: usize| -> Result<(), ProtoError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(ProtoError::new(
+                ErrorCode::Arg,
+                format!(
+                    "{} takes {} argument{}, got {}",
+                    verb.to_ascii_uppercase(),
+                    n,
+                    if n == 1 { "" } else { "s" },
+                    args.len()
+                ),
+            ))
+        }
+    };
+    let int_arg = |i: usize, what: &str| -> Result<i64, ProtoError> {
+        match &args[i] {
+            Frame::Int(v) => Ok(*v),
+            other => Err(ProtoError::new(
+                ErrorCode::Arg,
+                format!("{what} must be an int frame, got {}", other.describe()),
+            )),
+        }
+    };
+    match verb.to_ascii_uppercase().as_str() {
+        "HELLO" => {
+            arity(1)?;
+            let v = int_arg(0, "protocol version")?;
+            u32::try_from(v)
+                .map(Request::Hello)
+                .map_err(|_| ProtoError::new(ErrorCode::Arg, "protocol version out of range"))
+        }
+        "GET" => {
+            arity(1)?;
+            Ok(Request::Get(int_arg(0, "key")?))
+        }
+        "PUT" => {
+            arity(2)?;
+            let key = int_arg(0, "key")?;
+            let mut args = args;
+            let described = args[1].describe();
+            let value_frame = std::mem::replace(&mut args[1], Frame::Nil);
+            let value = frame_to_value(value_frame).ok_or_else(|| {
+                ProtoError::new(
+                    ErrorCode::Arg,
+                    format!("value must be an int/str/bytes frame, got {described}"),
+                )
+            })?;
+            Ok(Request::Put(key, value))
+        }
+        "DEL" => {
+            arity(1)?;
+            Ok(Request::Del(int_arg(0, "key")?))
+        }
+        "ADD" => {
+            arity(2)?;
+            Ok(Request::Add(int_arg(0, "key")?, int_arg(1, "delta")?))
+        }
+        "RANGE" => {
+            arity(2)?;
+            Ok(Request::Range(int_arg(0, "lo")?, int_arg(1, "hi")?))
+        }
+        "SUM" => {
+            arity(2)?;
+            Ok(Request::Sum(int_arg(0, "lo")?, int_arg(1, "hi")?))
+        }
+        "BEGIN" => {
+            arity(0)?;
+            Ok(Request::Begin)
+        }
+        "EXEC" => {
+            arity(0)?;
+            Ok(Request::Exec)
+        }
+        "PING" => {
+            arity(0)?;
+            Ok(Request::Ping)
+        }
+        "STATS" => {
+            arity(0)?;
+            Ok(Request::Stats)
+        }
+        "SNAPSHOT" => {
+            arity(0)?;
+            Ok(Request::Snapshot)
+        }
+        "WALSTATS" => {
+            arity(0)?;
+            Ok(Request::WalStats)
+        }
+        "QUIT" => {
+            arity(0)?;
+            Ok(Request::Quit)
+        }
+        other => Err(ProtoError::new(
+            ErrorCode::Proto,
+            format!("unknown command '{other}'"),
+        )),
+    }
+}
+
+/// Appends a reply as its v2 frame bytes.
+pub fn render_reply_v2(out: &mut Vec<u8>, reply: &Reply) {
+    match reply {
+        Reply::Value(v) => write_value(out, v),
+        Reply::Nil => out.extend_from_slice(b"_\n"),
+        Reply::Ok => write_status(out, "OK"),
+        Reply::OkN(n) => {
+            write_array_header(out, 2);
+            write_status(out, "OK");
+            write_int(out, *n);
+        }
+        Reply::Range(pairs) => {
+            write_array_header(out, 2);
+            write_status(out, "RANGE");
+            write_array_header(out, pairs.len());
+            for (k, v) in pairs {
+                write_array_header(out, 2);
+                write_int(out, *k);
+                write_value(out, v);
+            }
+        }
+        Reply::Sum(total, count) => {
+            write_array_header(out, 3);
+            write_status(out, "SUM");
+            write_int(out, *total);
+            write_int(out, *count as i64);
+        }
+        Reply::Queued => write_status(out, "QUEUED"),
+        Reply::Exec(replies) => {
+            write_array_header(out, 2);
+            write_status(out, "EXEC");
+            write_array_header(out, replies.len());
+            for reply in replies {
+                render_reply_v2(out, reply);
+            }
+        }
+        Reply::Snapshot(seq, keys) => {
+            write_array_header(out, 3);
+            write_status(out, "SNAPSHOT");
+            write_int(out, *seq as i64);
+            write_int(out, *keys as i64);
+        }
+        Reply::Hello(version) => {
+            write_array_header(out, 2);
+            write_status(out, "HELLO");
+            write_int(out, *version as i64);
+        }
+        Reply::Stats(payload) => {
+            write_array_header(out, 2);
+            write_status(out, "STATS");
+            write_value(out, &Value::Str(payload.clone()));
+        }
+        Reply::WalStats(payload) => {
+            write_array_header(out, 2);
+            write_status(out, "WALSTATS");
+            write_value(out, &Value::Str(payload.clone()));
+        }
+        Reply::Pong => write_status(out, "PONG"),
+        Reply::Bye => write_status(out, "BYE"),
+        Reply::Err(code, message) => write_error(out, *code, message),
+    }
+}
+
+/// Interprets a decoded v2 frame as a reply — the client side of
+/// [`render_reply_v2`].
+///
+/// # Errors
+///
+/// Returns a message describing the framing violation when the frame does
+/// not match the reply grammar.
+pub fn parse_reply_v2(frame: Frame) -> Result<Reply, String> {
+    match frame {
+        Frame::Int(v) => Ok(Reply::Value(Value::Int(v))),
+        Frame::Str(s) => Ok(Reply::Value(Value::Str(s))),
+        Frame::Bytes(b) => Ok(Reply::Value(Value::Bytes(b))),
+        Frame::Nil => Ok(Reply::Nil),
+        Frame::Error(code, message) => Ok(Reply::Err(code, message)),
+        Frame::Status(token) => match token.as_str() {
+            "OK" => Ok(Reply::Ok),
+            "QUEUED" => Ok(Reply::Queued),
+            "PONG" => Ok(Reply::Pong),
+            "BYE" => Ok(Reply::Bye),
+            other => Err(format!("unrecognized status reply '+{other}'")),
+        },
+        Frame::Array(mut frames) => {
+            if frames.is_empty() {
+                return Err("empty array reply".to_string());
+            }
+            let tag = match frames.remove(0) {
+                Frame::Status(s) => s,
+                other => {
+                    return Err(format!(
+                        "array reply must lead with a status tag, got {}",
+                        other.describe()
+                    ))
+                }
+            };
+            let int_at = |frames: &[Frame], i: usize, what: &str| -> Result<i64, String> {
+                match frames.get(i) {
+                    Some(Frame::Int(v)) => Ok(*v),
+                    other => Err(format!("{what} must be an int frame, got {other:?}")),
+                }
+            };
+            match (tag.as_str(), frames.len()) {
+                ("OK", 1) => Ok(Reply::OkN(int_at(&frames, 0, "count")?)),
+                ("SUM", 2) => Ok(Reply::Sum(
+                    int_at(&frames, 0, "total")?,
+                    int_at(&frames, 1, "count")? as usize,
+                )),
+                ("SNAPSHOT", 2) => Ok(Reply::Snapshot(
+                    int_at(&frames, 0, "seq")? as u64,
+                    int_at(&frames, 1, "key count")? as usize,
+                )),
+                ("HELLO", 1) => Ok(Reply::Hello(int_at(&frames, 0, "version")? as u32)),
+                ("STATS", 1) | ("WALSTATS", 1) => {
+                    let payload = match frames.remove(0) {
+                        Frame::Str(s) => s,
+                        other => {
+                            return Err(format!(
+                                "stats payload must be a str frame, got {}",
+                                other.describe()
+                            ))
+                        }
+                    };
+                    if tag == "STATS" {
+                        Ok(Reply::Stats(payload))
+                    } else {
+                        Ok(Reply::WalStats(payload))
+                    }
+                }
+                ("RANGE", 1) => {
+                    let Frame::Array(items) = frames.remove(0) else {
+                        return Err("RANGE payload must be an array frame".to_string());
+                    };
+                    let mut pairs = Vec::with_capacity(items.len());
+                    for item in items {
+                        let Frame::Array(mut pair) = item else {
+                            return Err("RANGE pair must be an array frame".to_string());
+                        };
+                        if pair.len() != 2 {
+                            return Err(format!("RANGE pair carries {} frames, not 2", pair.len()));
+                        }
+                        let value = frame_to_value(pair.remove(1))
+                            .ok_or_else(|| "RANGE pair value must be a value frame".to_string())?;
+                        let Frame::Int(key) = pair.remove(0) else {
+                            return Err("RANGE pair key must be an int frame".to_string());
+                        };
+                        pairs.push((key, value));
+                    }
+                    Ok(Reply::Range(pairs))
+                }
+                ("EXEC", 1) => {
+                    let Frame::Array(items) = frames.remove(0) else {
+                        return Err("EXEC payload must be an array frame".to_string());
+                    };
+                    let replies = items
+                        .into_iter()
+                        .map(parse_reply_v2)
+                        .collect::<Result<Vec<_>, _>>()?;
+                    Ok(Reply::Exec(replies))
+                }
+                (tag, n) => Err(format!("unrecognized array reply '{tag}' with {n} frames")),
+            }
+        }
     }
 }
 
@@ -304,11 +1147,23 @@ pub fn parse_reply(line: &str) -> Result<Reply, String> {
 mod tests {
     use super::*;
 
+    fn typed_values() -> Vec<Value> {
+        vec![
+            Value::Int(0),
+            Value::Int(i64::MIN),
+            Value::Str(String::new()),
+            Value::Str("line\nbreak \0 NUL — ✓ émoji 🦀".to_string()),
+            Value::Bytes(vec![]),
+            Value::Bytes(vec![0, 10, 13, 255, 0]),
+        ]
+    }
+
     #[test]
-    fn requests_round_trip_through_render_and_parse() {
+    fn v1_requests_round_trip_through_render_and_parse() {
         let requests = vec![
+            Request::Hello(2),
             Request::Get(3),
-            Request::Put(-1, 42),
+            Request::Put(-1, Value::Int(42)),
             Request::Del(0),
             Request::Add(7, -5),
             Request::Range(0, 255),
@@ -328,45 +1183,201 @@ mod tests {
     }
 
     #[test]
+    fn v2_requests_round_trip_through_render_and_parse() {
+        let mut requests = vec![
+            Request::Hello(2),
+            Request::Get(3),
+            Request::Del(0),
+            Request::Add(7, -5),
+            Request::Range(0, 255),
+            Request::Sum(-10, 10),
+            Request::Begin,
+            Request::Exec,
+            Request::Ping,
+            Request::Stats,
+            Request::Snapshot,
+            Request::WalStats,
+            Request::Quit,
+        ];
+        for value in typed_values() {
+            requests.push(Request::Put(-3, value));
+        }
+        for request in requests {
+            let bytes = render_request_v2(&request);
+            let (frame, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(used, bytes.len(), "{request:?} left trailing bytes");
+            assert_eq!(parse_request_v2(frame).unwrap(), request);
+        }
+    }
+
+    #[test]
     fn verbs_are_case_insensitive_and_whitespace_tolerant() {
         assert_eq!(parse_request("get 5").unwrap(), Request::Get(5));
-        assert_eq!(parse_request("  PuT   1   2  ").unwrap(), Request::Put(1, 2));
+        assert_eq!(
+            parse_request("  PuT   1   2  ").unwrap(),
+            Request::Put(1, Value::Int(2))
+        );
+        assert_eq!(parse_request("hello 2").unwrap(), Request::Hello(2));
     }
 
     #[test]
-    fn malformed_requests_are_rejected_with_messages() {
-        assert!(parse_request("").unwrap_err().contains("empty"));
-        assert!(parse_request("FLY 1").unwrap_err().contains("unknown command"));
-        assert!(parse_request("GET").unwrap_err().contains("takes 1 argument"));
-        assert!(parse_request("GET x").unwrap_err().contains("integer"));
-        assert!(parse_request("PUT 1").unwrap_err().contains("takes 2 arguments"));
-        assert!(parse_request("PING 1").unwrap_err().contains("takes 0 arguments"));
+    fn malformed_requests_are_rejected_with_coded_messages() {
+        let check = |line: &str, code: ErrorCode, needle: &str| {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, code, "line '{line}': {err}");
+            assert!(err.message.contains(needle), "line '{line}': {err}");
+        };
+        check("", ErrorCode::Proto, "empty");
+        check("FLY 1", ErrorCode::Proto, "unknown command");
+        check("GET", ErrorCode::Arg, "takes 1 argument");
+        check("GET x", ErrorCode::Arg, "integer");
+        check("PUT 1", ErrorCode::Arg, "takes 2 arguments");
+        check("PING 1", ErrorCode::Arg, "takes 0 arguments");
+        check("HELLO x", ErrorCode::Arg, "version");
     }
 
     #[test]
-    fn replies_round_trip_through_render_and_parse() {
+    fn v1_replies_round_trip_through_render_and_parse() {
         let replies = vec![
-            Reply::Value(-3),
+            Reply::Value(Value::Int(-3)),
             Reply::Nil,
             Reply::Ok,
             Reply::OkN(1),
-            Reply::Range(vec![(1, 10), (2, -20)]),
+            Reply::Range(vec![(1, Value::Int(10)), (2, Value::Int(-20))]),
             Reply::Range(Vec::new()),
             Reply::Sum(-5, 3),
             Reply::Queued,
             Reply::Snapshot(17, 4096),
+            Reply::Hello(2),
+            Reply::Stats("commits=3 aborts=0".to_string()),
+            Reply::WalStats("policy=every".to_string()),
             Reply::Pong,
             Reply::Bye,
-            Reply::Err("boom with spaces".to_string()),
         ];
         for reply in replies {
             let line = render_reply(&reply);
             assert_eq!(parse_reply(&line).unwrap(), reply, "line '{line}'");
         }
+        // Errors round-trip the message; the code is re-classified from the
+        // text (v1 has no code token on the wire).
+        let line = render_reply(&Reply::err(ErrorCode::Batch, "batch aborted by an earlier error"));
+        assert_eq!(
+            parse_reply(&line).unwrap(),
+            Reply::err(ErrorCode::Batch, "batch aborted by an earlier error")
+        );
     }
 
     #[test]
-    fn reply_parser_rejects_frame_violations() {
+    fn v2_replies_round_trip_through_render_and_parse() {
+        let mut replies = vec![
+            Reply::Nil,
+            Reply::Ok,
+            Reply::OkN(1),
+            Reply::Range(Vec::new()),
+            Reply::Range(
+                typed_values()
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, v)| (i as i64 - 2, v))
+                    .collect(),
+            ),
+            Reply::Sum(-5, 3),
+            Reply::Queued,
+            Reply::Exec(vec![
+                Reply::Value(Value::Str("a\nb".to_string())),
+                Reply::Nil,
+                Reply::Range(vec![(9, Value::Bytes(vec![0, 1]))]),
+                Reply::err(ErrorCode::Type, "key 9 holds a bytes value, not an int"),
+            ]),
+            Reply::Exec(Vec::new()),
+            Reply::Snapshot(17, 4096),
+            Reply::Hello(2),
+            Reply::Stats("commits=3 aborts=0".to_string()),
+            Reply::WalStats("policy=n=64".to_string()),
+            Reply::Pong,
+            Reply::Bye,
+            Reply::err(ErrorCode::Wal, "durability disabled"),
+        ];
+        for value in typed_values() {
+            replies.push(Reply::Value(value));
+        }
+        for reply in replies {
+            let mut bytes = Vec::new();
+            render_reply_v2(&mut bytes, &reply);
+            let (frame, used) = decode_frame(&bytes).unwrap();
+            assert_eq!(used, bytes.len(), "{reply:?} left trailing bytes");
+            assert_eq!(parse_reply_v2(frame).unwrap(), reply);
+        }
+    }
+
+    #[test]
+    fn v2_frames_decode_incrementally() {
+        // Every strict prefix of a valid frame stream is Incomplete, never
+        // Malformed — the property the pipelined server loop relies on.
+        let mut bytes = render_request_v2(&Request::Put(
+            5,
+            Value::Str("payload with \n and \0".to_string()),
+        ));
+        let mut reply_bytes = Vec::new();
+        render_reply_v2(
+            &mut reply_bytes,
+            &Reply::Exec(vec![Reply::Value(Value::Bytes(vec![0, 255]))]),
+        );
+        bytes.extend_from_slice(&reply_bytes);
+        for cut in 0..bytes.len() {
+            match decode_frame(&bytes[..cut]) {
+                Ok((_, used)) => assert!(used <= cut),
+                Err(FrameError::Incomplete) => {}
+                Err(FrameError::Malformed(m)) => {
+                    panic!("prefix of length {cut} misread as malformed: {m}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn v2_decoder_rejects_garbage_and_resource_claims() {
+        assert!(matches!(
+            decode_frame(b"!nope\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_frame(b":not-a-number\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        // A bulk length beyond the cap is rejected before any allocation.
+        assert!(matches!(
+            decode_frame(b"$99999999999\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        assert!(matches!(
+            decode_frame(b"*99999999\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        // Invalid UTF-8 in a str frame is malformed (bytes frames carry it).
+        assert!(matches!(
+            decode_frame(b"$2\n\xff\xfe\n"),
+            Err(FrameError::Malformed(_))
+        ));
+        assert_eq!(
+            decode_frame(b"=2\n\xff\xfe\n").unwrap().0,
+            Frame::Bytes(vec![0xff, 0xfe])
+        );
+        // A header that never terminates is eventually rejected — but only
+        // past the cap, so long (legitimate) error frames that arrive
+        // fragmented stay Incomplete.
+        assert!(matches!(
+            decode_frame(&[b':'; MAX_HEADER_BYTES - 1]),
+            Err(FrameError::Incomplete)
+        ));
+        assert!(matches!(
+            decode_frame(&[b':'; MAX_HEADER_BYTES + 8]),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn v1_reply_parser_rejects_frame_violations() {
         assert!(parse_reply("").is_err());
         assert!(parse_reply("WAT 1").is_err());
         assert!(parse_reply("RANGE 2 1=1").unwrap_err().contains("announced"));
@@ -374,10 +1385,27 @@ mod tests {
     }
 
     #[test]
+    fn v1_rendering_of_typed_values_degrades_safely() {
+        // A scalar Str/Bytes reply becomes a TYPE-worded ERR line...
+        let line = render_reply(&Reply::Value(Value::Str("multi\nline".to_string())));
+        assert!(line.starts_with("ERR "), "{line}");
+        assert!(!line.contains('\n'), "v1 reply must stay one line: {line:?}");
+        assert!(line.contains("int-only"));
+        // ...and inside RANGE the value renders as a placeholder.
+        let line = render_reply(&Reply::Range(vec![
+            (1, Value::Int(5)),
+            (2, Value::Bytes(vec![0, 10])),
+        ]));
+        assert_eq!(line, "RANGE 2 1=5 2=<bytes>");
+    }
+
+    #[test]
     fn data_op_classification_gates_batches() {
         assert!(Request::Get(1).is_data_op());
+        assert!(Request::Put(1, Value::Str("s".into())).is_data_op());
         assert!(Request::Sum(0, 1).is_data_op());
         for request in [
+            Request::Hello(2),
             Request::Begin,
             Request::Exec,
             Request::Ping,
@@ -391,9 +1419,158 @@ mod tests {
     }
 
     #[test]
-    fn err_rendering_strips_newlines() {
-        let line = render_reply(&Reply::Err("two\nlines".to_string()));
+    fn err_rendering_strips_newlines_in_both_framings() {
+        let line = render_reply(&Reply::err(ErrorCode::Unknown, "two\nlines"));
         assert!(!line.contains('\n'));
-        assert_eq!(parse_reply(&line).unwrap(), Reply::Err("two lines".to_string()));
+        let mut bytes = Vec::new();
+        render_reply_v2(&mut bytes, &Reply::err(ErrorCode::Txn, "two\nlines"));
+        let (frame, _) = decode_frame(&bytes).unwrap();
+        assert_eq!(
+            parse_reply_v2(frame).unwrap(),
+            Reply::err(ErrorCode::Txn, "two lines")
+        );
+    }
+
+    /// Draws a random typed value biased toward framing hazards: embedded
+    /// newlines and NULs, frame-tag bytes (`:$=*+-_`), multi-byte UTF-8
+    /// boundaries, empty payloads, extreme integers.
+    fn draw_value(rng: &mut rand::rngs::SmallRng) -> Value {
+        use rand::Rng;
+        match rng.gen_range(0..6u32) {
+            0 => Value::Int(match rng.gen_range(0..4u32) {
+                0 => i64::MIN,
+                1 => i64::MAX,
+                _ => rng.gen_range(-1_000_000..1_000_000i64),
+            }),
+            1 | 2 => {
+                let len = rng.gen_range(0..64usize);
+                let s: String = (0..len)
+                    .map(|_| match rng.gen_range(0..8u32) {
+                        0 => '\n',
+                        1 => '\0',
+                        2 => '✓',
+                        3 => '🦀',
+                        4 => ['$', ':', '*', '+', '-', '_', '='][rng.gen_range(0..7usize)],
+                        _ => char::from(rng.gen_range(b' '..=b'~')),
+                    })
+                    .collect();
+                Value::Str(s)
+            }
+            _ => {
+                let len = rng.gen_range(0..64usize);
+                Value::Bytes((0..len).map(|_| rng.gen_range(0..=255u32) as u8).collect())
+            }
+        }
+    }
+
+    /// The seeded property at the heart of the v2 framing: for random typed
+    /// values — embedded newlines, NULs, frame-tag bytes, multi-byte UTF-8
+    /// — `decode ∘ encode = id` for requests and replies, including when
+    /// many frames are concatenated into one pipelined buffer.
+    #[test]
+    fn v2_framing_round_trips_seeded_random_values() {
+        use rand::{Rng, SeedableRng};
+        for seed in 0..16u64 {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0xF2A3 + seed);
+            // One pipelined buffer of several requests...
+            let count = rng.gen_range(1..12usize);
+            let mut requests = Vec::with_capacity(count);
+            let mut wire = Vec::new();
+            for _ in 0..count {
+                let request = match rng.gen_range(0..4u32) {
+                    0 => Request::Put(rng.gen_range(-100..100i64), draw_value(&mut rng)),
+                    1 => Request::Get(rng.gen_range(-100..100i64)),
+                    2 => Request::Add(rng.gen_range(-100..100i64), rng.gen_range(-50..50i64)),
+                    _ => Request::Range(rng.gen_range(-100..0i64), rng.gen_range(0..100i64)),
+                };
+                wire.extend_from_slice(&render_request_v2(&request));
+                requests.push(request);
+            }
+            let mut at = 0usize;
+            for (i, expected) in requests.iter().enumerate() {
+                let (frame, used) = decode_frame(&wire[at..])
+                    .unwrap_or_else(|e| panic!("seed {seed} request {i}: {e:?}"));
+                at += used;
+                assert_eq!(&parse_request_v2(frame).unwrap(), expected, "seed {seed}");
+            }
+            assert_eq!(at, wire.len(), "seed {seed}: trailing request bytes");
+
+            // ...and a pipelined buffer of several replies, nesting typed
+            // values inside RANGE and EXEC.
+            let count = rng.gen_range(1..10usize);
+            let mut replies = Vec::with_capacity(count);
+            let mut wire = Vec::new();
+            for _ in 0..count {
+                let reply = match rng.gen_range(0..5u32) {
+                    0 => Reply::Value(draw_value(&mut rng)),
+                    1 => Reply::Range(
+                        (0..rng.gen_range(0..5usize))
+                            .map(|i| (i as i64, draw_value(&mut rng)))
+                            .collect(),
+                    ),
+                    2 => Reply::Exec(
+                        (0..rng.gen_range(0..4usize))
+                            .map(|_| Reply::Value(draw_value(&mut rng)))
+                            .collect(),
+                    ),
+                    3 => Reply::Nil,
+                    _ => Reply::Sum(rng.gen_range(-1000..1000i64), rng.gen_range(0..50usize)),
+                };
+                render_reply_v2(&mut wire, &reply);
+                replies.push(reply);
+            }
+            let mut at = 0usize;
+            for (i, expected) in replies.iter().enumerate() {
+                let (frame, used) = decode_frame(&wire[at..])
+                    .unwrap_or_else(|e| panic!("seed {seed} reply {i}: {e:?}"));
+                at += used;
+                assert_eq!(&parse_reply_v2(frame).unwrap(), expected, "seed {seed}");
+            }
+            assert_eq!(at, wire.len(), "seed {seed}: trailing reply bytes");
+        }
+    }
+
+    /// Seeded prefix property: no strict prefix of a valid frame stream is
+    /// ever Malformed — it is Incomplete (or a complete earlier frame) —
+    /// which is what lets the server buffer partial pipelined bursts.
+    #[test]
+    fn v2_random_frame_prefixes_are_never_malformed() {
+        use rand::SeedableRng;
+        for seed in 0..8u64 {
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(0x9F1E + seed);
+            let mut wire = Vec::new();
+            render_reply_v2(
+                &mut wire,
+                &Reply::Exec(vec![
+                    Reply::Value(draw_value(&mut rng)),
+                    Reply::Range(vec![(1, draw_value(&mut rng))]),
+                ]),
+            );
+            for cut in 0..wire.len() {
+                match decode_frame(&wire[..cut]) {
+                    Ok((_, used)) => assert!(used <= cut, "seed {seed}"),
+                    Err(FrameError::Incomplete) => {}
+                    Err(FrameError::Malformed(m)) => {
+                        panic!("seed {seed}: prefix {cut} misread as malformed: {m}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn error_codes_round_trip_their_tokens() {
+        for code in [
+            ErrorCode::Proto,
+            ErrorCode::Arg,
+            ErrorCode::Type,
+            ErrorCode::Batch,
+            ErrorCode::Txn,
+            ErrorCode::Wal,
+            ErrorCode::Unknown,
+        ] {
+            assert_eq!(ErrorCode::from_token(code.token()), code);
+        }
+        assert_eq!(ErrorCode::from_token("WHAT"), ErrorCode::Unknown);
     }
 }

@@ -15,17 +15,26 @@
 //! across clients by construction: the runtime provides safety, and the
 //! [`ManagerKind`] chosen at server start provides progress.
 //!
+//! **Protocol negotiation.** Every connection starts in the v1 text
+//! framing; a `HELLO 2` switches it to the binary-safe v2 frames — per
+//! connection, so v1 and v2 clients share one keyspace concurrently (the
+//! request model and the transaction underneath are identical; only the
+//! framing differs). The switch takes effect for the first byte after the
+//! `HELLO` line, which means a pipelined burst may carry the handshake and
+//! v2 frames in one write.
+//!
 //! **Pipelining.** The connection loop is batch-oriented: every complete
-//! line buffered on the socket is parsed and executed before any reply is
-//! written, and all the replies go back in one flush. A closed-loop client
-//! sees identical semantics; a pipelining client amortises the
+//! request buffered on the socket is parsed and executed before any reply
+//! is written, and all the replies go back in one flush. A closed-loop
+//! client sees identical semantics; a pipelining client amortises the
 //! request/reply round trip over the whole burst.
 //!
 //! **Durability.** With [`ServerConfig::wal_dir`] set, the server opens a
 //! [`stm_log::Wal`] in that directory, recovers the keyspace from the
-//! latest snapshot plus log replay before accepting connections, and
-//! installs the log's commit hook on the STM so every mutating request's
-//! write-set is appended to the log in serialization order. Under the
+//! latest snapshot plus log replay before accepting connections (v1-era
+//! integer-only logs replay losslessly), and installs the log's commit
+//! hook on the STM so every mutating request's write-set — typed values
+//! included — is appended to the log in serialization order. Under the
 //! `every` fsync policy a mutating request's reply is withheld until its
 //! record is fsynced (group commit: one fsync covers every request that
 //! committed meanwhile); the `n=`/`ms=` policies reply immediately and
@@ -51,7 +60,10 @@ use stm_cm::{ManagerKind, ManagerParams};
 use stm_core::{CommitOp, Stm, ThreadCtx, TxResult, Txn};
 use stm_log::{FsyncPolicy, Wal, WalConfig};
 
-use crate::proto::{parse_request, render_reply, Reply, Request};
+use crate::proto::{
+    decode_frame, parse_request, parse_request_v2, render_reply, render_reply_v2, ErrorCode,
+    FrameError, ProtoVersion, Reply, Request, MAX_PROTOCOL_VERSION,
+};
 use crate::store::KvStore;
 
 /// How long a worker blocks on a socket read (or on the connection queue)
@@ -361,7 +373,7 @@ fn replay_recovered(stm: &Stm, store: &KvStore, recovered: &stm_log::Recovered) 
         for chunk in snapshot.pairs.chunks(REPLAY_CHUNK) {
             ctx.atomically(|tx| {
                 for (key, value) in chunk {
-                    store.put(tx, *key, *value)?;
+                    store.put(tx, *key, value.clone())?;
                 }
                 Ok(())
             })
@@ -372,12 +384,12 @@ fn replay_recovered(stm: &Stm, store: &KvStore, recovered: &stm_log::Recovered) 
         ctx.atomically(|tx| {
             for (_seq, ops) in chunk {
                 for op in ops {
-                    match *op {
+                    match op {
                         CommitOp::Put { id, value } => {
-                            store.put(tx, id, value)?;
+                            store.put(tx, *id, value.clone())?;
                         }
                         CommitOp::Del { id } => {
-                            store.del(tx, id)?;
+                            store.del(tx, *id)?;
                         }
                     }
                 }
@@ -390,54 +402,79 @@ fn replay_recovered(stm: &Stm, store: &KvStore, recovered: &stm_log::Recovered) 
 
 /// Applies one data operation inside the caller's transaction, publishing
 /// the write-set to the commit log when the server runs durable.
+///
+/// A [`TypeMismatch`](crate::TypeMismatch) from `ADD`/`SUM` is a `TYPE`
+/// error reply. For a standalone request that is the whole story (the
+/// failed op wrote nothing). Inside a `BEGIN`/`EXEC` batch the caller
+/// (`handle_exec`) aborts the **entire transaction** on a type error:
+/// committing the other ops while one `ADD` silently failed would let a
+/// `transfer` debit one account without crediting the other — destroying
+/// the conservation invariant the batch contract exists to protect.
 fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request, log: bool) -> TxResult<Reply> {
-    Ok(match *request {
-        Request::Get(key) => match store.get(tx, key)? {
+    Ok(match request {
+        Request::Get(key) => match store.get(tx, *key)? {
             Some(value) => Reply::Value(value),
             None => Reply::Nil,
         },
         Request::Put(key, value) => {
-            store.put(tx, key, value)?;
+            store.put(tx, *key, value.clone())?;
             if log {
-                tx.publish(CommitOp::Put { id: key, value });
+                tx.publish(CommitOp::Put {
+                    id: *key,
+                    value: value.clone(),
+                });
             }
             Reply::Ok
         }
         Request::Del(key) => {
-            let removed = store.del(tx, key)?.is_some();
+            let removed = store.del(tx, *key)?.is_some();
             if log && removed {
-                tx.publish(CommitOp::Del { id: key });
+                tx.publish(CommitOp::Del { id: *key });
             }
             Reply::OkN(i64::from(removed))
         }
-        Request::Add(key, delta) => {
-            let value = store.add(tx, key, delta)?;
-            if log {
-                tx.publish(CommitOp::Put { id: key, value });
+        Request::Add(key, delta) => match store.add(tx, *key, *delta)? {
+            Ok(value) => {
+                if log {
+                    tx.publish(CommitOp::put(*key, value));
+                }
+                Reply::Value(crate::Value::Int(value))
             }
-            Reply::Value(value)
-        }
-        Request::Range(lo, hi) => Reply::Range(store.range(tx, lo, hi)?),
-        Request::Sum(lo, hi) => {
-            let (total, count) = store.sum(tx, lo, hi)?;
-            Reply::Sum(total, count)
-        }
+            Err(mismatch) => Reply::err(ErrorCode::Type, mismatch.to_string()),
+        },
+        Request::Range(lo, hi) => Reply::Range(store.range(tx, *lo, *hi)?),
+        Request::Sum(lo, hi) => match store.sum(tx, *lo, *hi)? {
+            Ok((total, count)) => Reply::Sum(total, count),
+            Err(mismatch) => Reply::err(ErrorCode::Type, mismatch.to_string()),
+        },
         // Non-data requests never reach `apply`.
-        Request::Begin
+        Request::Hello(_)
+        | Request::Begin
         | Request::Exec
         | Request::Ping
         | Request::Stats
         | Request::Snapshot
         | Request::WalStats
-        | Request::Quit => Reply::Err("internal: non-data op in transaction".to_string()),
+        | Request::Quit => Reply::err(ErrorCode::Proto, "internal: non-data op in transaction"),
     })
 }
 
-/// The `STATS` reply line: stable `key=value` pairs so clients can parse it.
-fn render_stats(stm: &Stm, counters: &ServerCounters) -> String {
+/// The `STATS` payload: stable `key=value` pairs so clients can parse it.
+/// `cells` counts every value cell ever materialised; `overflow` is the
+/// per-shard breakdown of cells outside the pre-allocated range
+/// (comma-separated, one count per shard) — together they make keyspace
+/// growth observable from the wire.
+fn stats_payload(stm: &Stm, counters: &ServerCounters, store: &KvStore) -> String {
     let snapshot = stm.stats().snapshot();
+    let overflow = store
+        .overflow_per_shard()
+        .iter()
+        .map(|n| n.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
     format!(
-        "STATS commits={} aborts={} requests={} batches={} retries={} errors={} connections={}",
+        "commits={} aborts={} requests={} batches={} retries={} errors={} connections={} \
+         cells={} overflow={}",
         snapshot.commits,
         snapshot.aborts,
         counters.requests.load(Ordering::Relaxed),
@@ -445,14 +482,16 @@ fn render_stats(stm: &Stm, counters: &ServerCounters) -> String {
         counters.retries.load(Ordering::Relaxed),
         counters.errors.load(Ordering::Relaxed),
         counters.connections.load(Ordering::Relaxed),
+        store.cells_allocated(),
+        overflow,
     )
 }
 
-/// The `WALSTATS` reply line (durable servers).
-fn render_walstats(durable: &Durable) -> String {
+/// The `WALSTATS` payload (durable servers).
+fn walstats_payload(durable: &Durable) -> String {
     let stats = durable.wal.stats();
     format!(
-        "WALSTATS policy={} next_seq={} durable_seq={} records={} bytes={} fsyncs={} \
+        "policy={} next_seq={} durable_seq={} records={} bytes={} fsyncs={} \
          segments={} snapshots={} last_snapshot_seq={} since_snapshot={} failed={}",
         durable.wal.policy().label(),
         stats.next_seq,
@@ -490,6 +529,8 @@ struct Session<'a, 'stm> {
     counters: &'a ServerCounters,
     durable: Option<&'a Durable>,
     batch: Batch,
+    /// Which framing this connection currently speaks (`HELLO` switches).
+    proto: ProtoVersion,
     /// Highest commit sequence number this reply burst must wait on before
     /// it is flushed (synchronous-durability policies only).
     flush_barrier: Option<u64>,
@@ -497,6 +538,21 @@ struct Session<'a, 'stm> {
 }
 
 impl<'a, 'stm> Session<'a, 'stm> {
+    /// Renders one reply in the connection's current framing, counting
+    /// error replies.
+    fn emit(&mut self, reply: &Reply, out: &mut Vec<u8>) {
+        if matches!(reply, Reply::Err(..)) {
+            self.counters.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        match self.proto {
+            ProtoVersion::V1 => {
+                out.extend_from_slice(render_reply(reply).as_bytes());
+                out.push(b'\n');
+            }
+            ProtoVersion::V2 => render_reply_v2(out, reply),
+        }
+    }
+
     /// Notes that the burst's replies depend on `seq` being durable.
     fn require_durable(&mut self, seq: Option<u64>) {
         if let (Some(durable), Some(seq)) = (self.durable, seq) {
@@ -510,10 +566,13 @@ impl<'a, 'stm> Session<'a, 'stm> {
     /// commit sequence number marks the consistent cut).
     fn take_snapshot(&mut self) -> Reply {
         let Some(durable) = self.durable else {
-            return Reply::Err("durability disabled (start the server with --wal-dir)".into());
+            return Reply::err(
+                ErrorCode::Wal,
+                "durability disabled (start the server with --wal-dir)",
+            );
         };
         if !durable.wal.begin_snapshot() {
-            return Reply::Err("snapshot already in progress".into());
+            return Reply::err(ErrorCode::Wal, "snapshot already in progress");
         }
         let store = self.store;
         let (result, report) = self.ctx.atomically_logged(|tx| store.dump(tx));
@@ -522,12 +581,12 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 let seq = report.commit_seq.unwrap_or(0);
                 match durable.wal.write_snapshot(seq, &pairs) {
                     Ok(_) => Reply::Snapshot(seq, pairs.len()),
-                    Err(err) => Reply::Err(format!("snapshot write failed: {err}")),
+                    Err(err) => Reply::err(ErrorCode::Wal, format!("snapshot write failed: {err}")),
                 }
             }
             Err(err) => {
                 durable.wal.abandon_snapshot();
-                Reply::Err(format!("snapshot transaction failed: {err}"))
+                Reply::err(ErrorCode::Wal, format!("snapshot transaction failed: {err}"))
             }
         }
     }
@@ -540,7 +599,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
         {
             return;
         }
-        if let Reply::Err(message) = self.take_snapshot() {
+        if let Reply::Err(_, message) = self.take_snapshot() {
             // "already in progress" just means another worker got there
             // first; anything else is worth a trace.
             if !message.contains("in progress") {
@@ -549,85 +608,141 @@ impl<'a, 'stm> Session<'a, 'stm> {
         }
     }
 
-    /// Processes one request line, appending its reply line(s) to `out`.
-    fn handle_line(&mut self, line: &str, out: &mut String) {
-        let request = parse_request(line);
-        let in_batch = !matches!(self.batch, Batch::None);
-        match request {
-            Err(message) => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                if in_batch {
+    /// Processes one v1 request line, appending its reply to `out`.
+    fn handle_line(&mut self, line: &str, out: &mut Vec<u8>) {
+        match parse_request(line) {
+            Err(error) => {
+                if !matches!(self.batch, Batch::None) {
                     self.batch = Batch::Poisoned;
                 }
-                out.push_str(&render_reply(&Reply::Err(message)));
+                self.emit(&Reply::Err(error.code, error.message), out);
             }
-            Ok(request) => match request {
-                Request::Quit => {
-                    out.push_str(&render_reply(&Reply::Bye));
-                    self.quit = true;
-                }
-                Request::Ping if !in_batch => out.push_str(&render_reply(&Reply::Pong)),
-                Request::Stats if !in_batch => {
-                    out.push_str(&render_stats(self.ctx.stm(), self.counters));
-                }
-                Request::WalStats if !in_batch => match self.durable {
-                    Some(durable) => out.push_str(&render_walstats(durable)),
-                    None => {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        out.push_str(&render_reply(&Reply::Err(
-                            "durability disabled (start the server with --wal-dir)".into(),
-                        )));
-                    }
-                },
-                Request::Snapshot if !in_batch => {
-                    let reply = self.take_snapshot();
-                    if matches!(reply, Reply::Err(_)) {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    }
-                    out.push_str(&render_reply(&reply));
-                }
-                Request::Begin if !in_batch => {
-                    self.batch = Batch::Open(Vec::new());
-                    out.push_str(&render_reply(&Reply::Ok));
-                }
-                Request::Begin
-                | Request::Ping
-                | Request::Stats
-                | Request::Snapshot
-                | Request::WalStats => {
-                    self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                    self.batch = Batch::Poisoned;
-                    out.push_str(&render_reply(&Reply::Err(
-                        "command not allowed inside BEGIN/EXEC batch".to_string(),
-                    )));
-                }
-                Request::Exec => self.handle_exec(out),
-                data_op => self.handle_data_op(data_op, out),
-            },
+            Ok(request) => self.handle_request(request, out),
         }
-        out.push('\n');
     }
 
-    fn handle_exec(&mut self, out: &mut String) {
+    /// Processes one decoded v2 request frame, appending its reply to `out`.
+    fn handle_frame(&mut self, frame: crate::proto::Frame, out: &mut Vec<u8>) {
+        match parse_request_v2(frame) {
+            Err(error) => {
+                if !matches!(self.batch, Batch::None) {
+                    self.batch = Batch::Poisoned;
+                }
+                self.emit(&Reply::Err(error.code, error.message), out);
+            }
+            Ok(request) => self.handle_request(request, out),
+        }
+    }
+
+    /// Dispatches one parsed request — the framing-independent core.
+    fn handle_request(&mut self, request: Request, out: &mut Vec<u8>) {
+        let in_batch = !matches!(self.batch, Batch::None);
+        match request {
+            Request::Quit => {
+                self.emit(&Reply::Bye, out);
+                self.quit = true;
+            }
+            Request::Hello(version) if !in_batch => match version {
+                1 => {
+                    // The reply goes out in the *current* framing; the
+                    // switch covers everything after it.
+                    self.emit(&Reply::Hello(1), out);
+                    self.proto = ProtoVersion::V1;
+                }
+                2 => {
+                    self.emit(&Reply::Hello(2), out);
+                    self.proto = ProtoVersion::V2;
+                }
+                other => {
+                    self.emit(
+                        &Reply::err(
+                            ErrorCode::Proto,
+                            format!(
+                                "unsupported protocol version {other} \
+                                 (supported: 1..={MAX_PROTOCOL_VERSION})"
+                            ),
+                        ),
+                        out,
+                    );
+                }
+            },
+            Request::Ping if !in_batch => self.emit(&Reply::Pong, out),
+            Request::Stats if !in_batch => {
+                let payload = stats_payload(self.ctx.stm(), self.counters, self.store);
+                self.emit(&Reply::Stats(payload), out);
+            }
+            Request::WalStats if !in_batch => match self.durable {
+                Some(durable) => {
+                    let payload = walstats_payload(durable);
+                    self.emit(&Reply::WalStats(payload), out);
+                }
+                None => {
+                    self.emit(
+                        &Reply::err(
+                            ErrorCode::Wal,
+                            "durability disabled (start the server with --wal-dir)",
+                        ),
+                        out,
+                    );
+                }
+            },
+            Request::Snapshot if !in_batch => {
+                let reply = self.take_snapshot();
+                self.emit(&reply, out);
+            }
+            Request::Begin if !in_batch => {
+                self.batch = Batch::Open(Vec::new());
+                self.emit(&Reply::Ok, out);
+            }
+            Request::Hello(_)
+            | Request::Begin
+            | Request::Ping
+            | Request::Stats
+            | Request::Snapshot
+            | Request::WalStats => {
+                self.batch = Batch::Poisoned;
+                self.emit(
+                    &Reply::err(ErrorCode::Batch, "command not allowed inside BEGIN/EXEC batch"),
+                    out,
+                );
+            }
+            Request::Exec => self.handle_exec(out),
+            data_op => self.handle_data_op(data_op, out),
+        }
+    }
+
+    fn handle_exec(&mut self, out: &mut Vec<u8>) {
         match std::mem::replace(&mut self.batch, Batch::None) {
             Batch::None => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                out.push_str(&render_reply(&Reply::Err("EXEC without BEGIN".to_string())));
+                self.emit(&Reply::err(ErrorCode::Batch, "EXEC without BEGIN"), out);
             }
             Batch::Poisoned => {
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                out.push_str(&render_reply(&Reply::Err(
-                    "batch aborted by an earlier error; nothing executed".to_string(),
-                )));
+                self.emit(
+                    &Reply::err(
+                        ErrorCode::Batch,
+                        "batch aborted by an earlier error; nothing executed",
+                    ),
+                    out,
+                );
             }
             Batch::Open(ops) => {
                 self.counters.batches.fetch_add(1, Ordering::Relaxed);
                 let store = self.store;
                 let log = self.durable.is_some();
+                // A type error anywhere in the batch aborts the whole
+                // transaction (explicit abort — no retry, nothing commits):
+                // all-or-nothing is the batch's contract, and a half-applied
+                // transfer would un-conserve the keyspace.
+                let mut type_failure: Option<Reply> = None;
                 let (result, report) = self.ctx.atomically_traced(|tx| {
                     let mut replies = Vec::with_capacity(ops.len());
                     for op in &ops {
-                        replies.push(apply(store, tx, op, log)?);
+                        let reply = apply(store, tx, op, log)?;
+                        if matches!(reply, Reply::Err(ErrorCode::Type, _)) {
+                            type_failure = Some(reply);
+                            return tx.abort();
+                        }
+                        replies.push(reply);
                     }
                     Ok(replies)
                 });
@@ -635,35 +750,42 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 match result {
                     Ok(replies) => {
                         self.require_durable(report.commit_seq);
-                        out.push_str(&format!("EXEC {}", replies.len()));
-                        for reply in &replies {
-                            out.push('\n');
-                            out.push_str(&render_reply(reply));
-                        }
+                        self.emit(&Reply::Exec(replies), out);
                         self.maybe_auto_snapshot();
                     }
+                    Err(_) if type_failure.is_some() => {
+                        let Some(Reply::Err(code, message)) = type_failure else {
+                            unreachable!("type_failure holds an error reply");
+                        };
+                        self.emit(
+                            &Reply::Err(code, format!("nothing executed: {message}")),
+                            out,
+                        );
+                    }
                     Err(err) => {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        out.push_str(&render_reply(&Reply::Err(format!("batch failed: {err}"))));
+                        self.emit(
+                            &Reply::err(ErrorCode::Txn, format!("batch failed: {err}")),
+                            out,
+                        );
                     }
                 }
             }
         }
     }
 
-    fn handle_data_op(&mut self, data_op: Request, out: &mut String) {
+    fn handle_data_op(&mut self, data_op: Request, out: &mut Vec<u8>) {
         match &mut self.batch {
             Batch::Open(ops) => {
                 ops.push(data_op);
-                out.push_str(&render_reply(&Reply::Queued));
+                self.emit(&Reply::Queued, out);
             }
             Batch::Poisoned => {
                 // Swallow without executing: the client already pipelined
                 // this op as part of the failed batch.
-                self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                out.push_str(&render_reply(&Reply::Err(
-                    "batch aborted by an earlier error".to_string(),
-                )));
+                self.emit(
+                    &Reply::err(ErrorCode::Batch, "batch aborted by an earlier error"),
+                    out,
+                );
             }
             Batch::None => {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
@@ -675,14 +797,14 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 match result {
                     Ok(reply) => {
                         self.require_durable(report.commit_seq);
-                        out.push_str(&render_reply(&reply));
+                        self.emit(&reply, out);
                         self.maybe_auto_snapshot();
                     }
                     Err(err) => {
-                        self.counters.errors.fetch_add(1, Ordering::Relaxed);
-                        out.push_str(&render_reply(&Reply::Err(format!(
-                            "transaction failed: {err}"
-                        ))));
+                        self.emit(
+                            &Reply::err(ErrorCode::Txn, format!("transaction failed: {err}")),
+                            out,
+                        );
                     }
                 }
             }
@@ -691,8 +813,9 @@ impl<'a, 'stm> Session<'a, 'stm> {
 }
 
 /// Serves one connection until the peer quits, disconnects, or the server
-/// shuts down. Pipelined: every complete line already buffered is executed
-/// before the replies are written back in one flush.
+/// shuts down. Pipelined: every complete request already buffered is
+/// executed before the replies are written back in one flush. The framing
+/// is per-connection state: v1 lines until a `HELLO 2`, v2 frames after.
 fn serve_connection(
     stream: TcpStream,
     ctx: &mut ThreadCtx<'_>,
@@ -709,13 +832,14 @@ fn serve_connection(
     let mut writer = stream;
     let mut inbuf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
-    let mut out = String::new();
+    let mut out: Vec<u8> = Vec::new();
     let mut session = Session {
         ctx,
         store,
         counters,
         durable,
         batch: Batch::None,
+        proto: ProtoVersion::V1,
         flush_barrier: None,
         quit: false,
     };
@@ -733,21 +857,46 @@ fn serve_connection(
             Err(_) => return,
         }
 
-        // Execute every complete line buffered so far; replies accumulate
+        // Execute every complete request buffered so far; replies accumulate
         // and go out in one write. Partial trailing input stays buffered.
+        // The framing is re-checked every iteration: a HELLO inside the
+        // burst switches how the rest of the burst is parsed.
         out.clear();
         session.flush_barrier = None;
         let mut consumed = 0usize;
-        while let Some(nl) = inbuf[consumed..].iter().position(|&b| b == b'\n') {
-            let line = String::from_utf8_lossy(&inbuf[consumed..consumed + nl]);
-            consumed += nl + 1;
-            session.handle_line(&line, &mut out);
-            if session.quit {
-                break;
+        while !session.quit {
+            match session.proto {
+                ProtoVersion::V1 => {
+                    let Some(nl) = inbuf[consumed..].iter().position(|&b| b == b'\n') else {
+                        break;
+                    };
+                    let line = String::from_utf8_lossy(&inbuf[consumed..consumed + nl]);
+                    consumed += nl + 1;
+                    session.handle_line(&line, &mut out);
+                }
+                ProtoVersion::V2 => match decode_frame(&inbuf[consumed..]) {
+                    Ok((frame, used)) => {
+                        consumed += used;
+                        session.handle_frame(frame, &mut out);
+                    }
+                    Err(FrameError::Incomplete) => break,
+                    Err(FrameError::Malformed(message)) => {
+                        // A length-prefixed stream cannot resynchronise past
+                        // garbage: report once and close.
+                        session.emit(
+                            &Reply::err(ErrorCode::Proto, format!("malformed frame: {message}")),
+                            &mut out,
+                        );
+                        session.quit = true;
+                    }
+                },
             }
         }
         inbuf.drain(..consumed);
         if out.is_empty() {
+            if session.quit {
+                return;
+            }
             continue;
         }
         // Group commit: one durability wait covers the whole burst. A
@@ -761,7 +910,7 @@ fn serve_connection(
                 return;
             }
         }
-        if writer.write_all(out.as_bytes()).is_err() || writer.flush().is_err() {
+        if writer.write_all(&out).is_err() || writer.flush().is_err() {
             return;
         }
         if session.quit {
@@ -779,6 +928,8 @@ fn serve_connection(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::proto::{parse_reply_v2, render_request_v2};
+    use crate::Value;
     use std::io::{BufRead, BufReader};
 
     #[test]
@@ -836,7 +987,7 @@ mod tests {
     }
 
     #[test]
-    fn raw_socket_session_speaks_the_protocol() {
+    fn raw_socket_session_speaks_the_v1_protocol() {
         let server = KvServer::start(ServerConfig {
             capacity: 32,
             shards: 4,
@@ -867,6 +1018,9 @@ mod tests {
         assert_eq!(say("GET 99999999", &mut reader), "VALUE 7");
         assert_eq!(say("DEL 99999999", &mut reader), "OK 1");
         assert!(say("NOPE", &mut reader).starts_with("ERR unknown command"));
+        // An unsupported HELLO version leaves the connection in v1.
+        assert!(say("HELLO 9", &mut reader).starts_with("ERR unsupported protocol version"));
+        assert_eq!(say("PING", &mut reader), "PONG");
         // Durability commands on a volatile server fail politely.
         assert!(say("SNAPSHOT", &mut reader).starts_with("ERR durability disabled"));
         assert!(say("WALSTATS", &mut reader).starts_with("ERR durability disabled"));
@@ -884,6 +1038,161 @@ mod tests {
         assert_eq!(say("EXEC", &mut reader), "ERR EXEC without BEGIN");
         let stats = say("STATS", &mut reader);
         assert!(stats.starts_with("STATS commits="), "got '{stats}'");
+        assert!(stats.contains(" cells="), "STATS must expose cell growth: '{stats}'");
+        assert!(stats.contains(" overflow="), "STATS must expose overflow shards: '{stats}'");
+        assert_eq!(say("QUIT", &mut reader), "BYE");
+    }
+
+    #[test]
+    fn hello_switches_the_connection_to_v2_frames() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 32,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // The handshake happens in v1...
+        writer.write_all(b"HELLO 2\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "HELLO 2");
+        // ...and everything after it is framed. Pipeline a typed PUT (value
+        // containing newlines and NULs), a GET and a QUIT in one write.
+        let value = Value::Str("v2 \n payload \0 ✓".to_string());
+        let mut burst = render_request_v2(&Request::Put(5, value.clone()));
+        burst.extend_from_slice(&render_request_v2(&Request::Get(5)));
+        burst.extend_from_slice(&render_request_v2(&Request::Quit));
+        writer.write_all(&burst).unwrap();
+        let mut replies = Vec::new();
+        reader.read_to_end(&mut replies).unwrap();
+        let (frame, used) = decode_frame(&replies).unwrap();
+        assert_eq!(parse_reply_v2(frame).unwrap(), Reply::Ok);
+        let (frame, used2) = decode_frame(&replies[used..]).unwrap();
+        assert_eq!(parse_reply_v2(frame).unwrap(), Reply::Value(value));
+        let (frame, _) = decode_frame(&replies[used + used2..]).unwrap();
+        assert_eq!(parse_reply_v2(frame).unwrap(), Reply::Bye);
+    }
+
+    #[test]
+    fn malformed_v2_frame_reports_and_closes() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"HELLO 2\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        writer.write_all(b"!garbage\n").unwrap();
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        let (frame, _) = decode_frame(&rest).unwrap();
+        match parse_reply_v2(frame).unwrap() {
+            Reply::Err(ErrorCode::Proto, message) => {
+                assert!(message.contains("malformed frame"), "{message}")
+            }
+            other => panic!("expected PROTO error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn type_errors_are_coded_and_do_not_abort_the_connection() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 32,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writer.write_all(b"HELLO 2\n").unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let read_reply = |reader: &mut BufReader<TcpStream>| -> Reply {
+            // Frames are short here; read byte-wise via fill_buf loop.
+            let mut buf = Vec::new();
+            loop {
+                match decode_frame(&buf) {
+                    Ok((frame, _)) => return parse_reply_v2(frame).unwrap(),
+                    Err(FrameError::Incomplete) => {
+                        let chunk = reader.fill_buf().unwrap();
+                        assert!(!chunk.is_empty(), "server closed mid-frame");
+                        let take = chunk.len();
+                        buf.extend_from_slice(chunk);
+                        reader.consume(take);
+                    }
+                    Err(FrameError::Malformed(m)) => panic!("malformed reply: {m}"),
+                }
+            }
+        };
+        writer
+            .write_all(&render_request_v2(&Request::Put(1, Value::Str("text".into()))))
+            .unwrap();
+        assert_eq!(read_reply(&mut reader), Reply::Ok);
+        writer.write_all(&render_request_v2(&Request::Add(1, 5))).unwrap();
+        match read_reply(&mut reader) {
+            Reply::Err(ErrorCode::Type, message) => {
+                assert!(message.contains("str"), "{message}")
+            }
+            other => panic!("expected TYPE error, got {other:?}"),
+        }
+        writer.write_all(&render_request_v2(&Request::Sum(0, 10))).unwrap();
+        assert!(matches!(read_reply(&mut reader), Reply::Err(ErrorCode::Type, _)));
+        // The connection survives; int arithmetic still works.
+        writer.write_all(&render_request_v2(&Request::Add(2, 5))).unwrap();
+        assert_eq!(read_reply(&mut reader), Reply::Value(Value::Int(5)));
+        writer.write_all(&render_request_v2(&Request::Quit)).unwrap();
+        assert_eq!(read_reply(&mut reader), Reply::Bye);
+    }
+
+    #[test]
+    fn v1_get_of_a_typed_value_degrades_to_an_error_line() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        // Store a string through v2...
+        {
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            writer.write_all(b"HELLO 2\n").unwrap();
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut burst = render_request_v2(&Request::Put(7, Value::Str("s\ns".into())));
+            burst.extend_from_slice(&render_request_v2(&Request::Quit));
+            writer.write_all(&burst).unwrap();
+            let mut rest = Vec::new();
+            reader.read_to_end(&mut rest).unwrap();
+        }
+        // ...and observe the polite v1 degradation.
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut say = |cmd: &str, reader: &mut BufReader<TcpStream>| -> String {
+            writer.write_all(format!("{cmd}\n").as_bytes()).unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            reply.trim_end().to_string()
+        };
+        let got = say("GET 7", &mut reader);
+        assert!(got.starts_with("ERR value is str"), "{got}");
+        assert!(got.contains("HELLO 2"), "{got}");
+        assert_eq!(say("RANGE 0 10", &mut reader), "RANGE 1 7=<str>");
         assert_eq!(say("QUIT", &mut reader), "BYE");
     }
 
@@ -954,6 +1263,90 @@ mod tests {
         assert!(replies[..50].iter().all(|r| r == "OK"), "{replies:?}");
         assert_eq!(replies[50], format!("SUM {} 50", (0..50i64).map(|k| k * 2).sum::<i64>()));
         assert_eq!(replies[51], "PONG");
+    }
+
+    #[test]
+    fn hello_and_v2_frames_pipeline_in_one_burst() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 16,
+            shards: 2,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // The handshake line and v2 frames in ONE write: the server must
+        // re-frame mid-burst.
+        let mut burst = b"HELLO 2\n".to_vec();
+        burst.extend_from_slice(&render_request_v2(&Request::Put(
+            1,
+            Value::Bytes(vec![0, 10, 13, 255]),
+        )));
+        burst.extend_from_slice(&render_request_v2(&Request::Get(1)));
+        burst.extend_from_slice(&render_request_v2(&Request::Quit));
+        writer.write_all(&burst).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "HELLO 2");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        let (frame, used) = decode_frame(&rest).unwrap();
+        assert_eq!(parse_reply_v2(frame).unwrap(), Reply::Ok);
+        let (frame, used2) = decode_frame(&rest[used..]).unwrap();
+        assert_eq!(
+            parse_reply_v2(frame).unwrap(),
+            Reply::Value(Value::Bytes(vec![0, 10, 13, 255]))
+        );
+        let (frame, _) = decode_frame(&rest[used + used2..]).unwrap();
+        assert_eq!(parse_reply_v2(frame).unwrap(), Reply::Bye);
+    }
+
+    #[test]
+    fn v2_exec_reply_nests_per_op_replies() {
+        let server = KvServer::start(ServerConfig {
+            capacity: 32,
+            shards: 4,
+            workers: 2,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut burst = b"HELLO 2\n".to_vec();
+        burst.extend_from_slice(&render_request_v2(&Request::Begin));
+        burst.extend_from_slice(&render_request_v2(&Request::Put(1, Value::Str("a".into()))));
+        burst.extend_from_slice(&render_request_v2(&Request::Add(2, 7)));
+        burst.extend_from_slice(&render_request_v2(&Request::Get(1)));
+        burst.extend_from_slice(&render_request_v2(&Request::Exec));
+        burst.extend_from_slice(&render_request_v2(&Request::Quit));
+        writer.write_all(&burst).unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert_eq!(line.trim_end(), "HELLO 2");
+        let mut rest = Vec::new();
+        reader.read_to_end(&mut rest).unwrap();
+        let mut at = 0usize;
+        let mut next = || -> Reply {
+            let (frame, used) = decode_frame(&rest[at..]).unwrap();
+            at += used;
+            parse_reply_v2(frame).unwrap()
+        };
+        assert_eq!(next(), Reply::Ok); // BEGIN
+        assert_eq!(next(), Reply::Queued);
+        assert_eq!(next(), Reply::Queued);
+        assert_eq!(next(), Reply::Queued);
+        assert_eq!(
+            next(),
+            Reply::Exec(vec![
+                Reply::Ok,
+                Reply::Value(Value::Int(7)),
+                Reply::Value(Value::Str("a".into())),
+            ])
+        );
+        assert_eq!(next(), Reply::Bye);
     }
 
     fn temp_wal_dir(tag: &str) -> PathBuf {

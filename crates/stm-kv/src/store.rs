@@ -1,12 +1,12 @@
 //! The transactional keyspace behind the server.
 //!
-//! A [`KvStore`] is a **dynamic** map from arbitrary `i64` keys to `i64`
-//! values. Presence is tracked by a sharded red-black-tree index
-//! ([`ShardedTxSet`]); each key's value lives in its own [`TVar`]. The
-//! split matters for contention: a `PUT`/`ADD` conflicts with another
-//! transaction only when both touch the same key's value cell or the same
-//! index path inside one shard — transactions on different shards are
-//! disjoint by construction.
+//! A [`KvStore`] is a **dynamic** map from arbitrary `i64` keys to typed
+//! [`Value`]s (`Int` / `Str` / `Bytes`). Presence is tracked by a sharded
+//! red-black-tree index ([`ShardedTxSet`]); each key's value lives in its
+//! own [`TVar<Option<Value>>`]. The split matters for contention: a
+//! `PUT`/`ADD` conflicts with another transaction only when both touch the
+//! same key's value cell or the same index path inside one shard —
+//! transactions on different shards are disjoint by construction.
 //!
 //! Value cells live in two tiers. Keys inside the pre-allocated range
 //! (`0..prealloc`, the server's `--capacity` warm-up hint) resolve through
@@ -19,11 +19,18 @@
 //! pre-allocating); cell *contents* remain under full STM arbitration, so
 //! serializability is untouched. Once created, a cell is never removed:
 //! `DEL` removes the key from the index (the transactional source of truth
-//! for membership) and leaves the cell for cheap re-insertion — a
-//! deliberate trade: memory grows with the number of *distinct keys ever
-//! touched* (see `cells_allocated`), which is what lets the server recover
-//! an arbitrary keyspace from a log and lets `PUT`s outside any
-//! pre-declared range succeed without an admission race.
+//! for membership) and writes `None` into the cell, leaving the `TVar` for
+//! cheap re-insertion — a deliberate trade: memory grows with the number of
+//! *distinct keys ever touched* (see [`KvStore::cells_allocated`] and
+//! [`KvStore::overflow_per_shard`], both exported over the wire in
+//! `STATS`), which is what lets the server recover an arbitrary keyspace
+//! from a log and lets `PUT`s outside any pre-declared range succeed
+//! without an admission race.
+//!
+//! **Typing.** The arithmetic operations (`ADD`, and `SUM` over a range)
+//! are only defined on `Int` values: hitting a `Str`/`Bytes` value reports
+//! a [`TypeMismatch`] naming the offending key and the kind found, which
+//! the server surfaces as a `TYPE` error without aborting the transaction.
 //!
 //! All operations run inside the caller's transaction and compose: the
 //! server's `BEGIN`/`EXEC` batches simply run several store operations in
@@ -36,16 +43,36 @@ use std::sync::Mutex;
 use stm_core::{TVar, TxResult, Txn};
 use stm_structures::{ShardedTxSet, TxSet};
 
-/// A dynamic transactional `i64 → i64` key-value store.
+use crate::Value;
+
+/// An arithmetic operation hit a non-integer value: the typed error `ADD`
+/// and `SUM` report instead of silently coercing (or crashing on) a string.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TypeMismatch {
+    /// The key whose value has the wrong kind.
+    pub key: i64,
+    /// The kind actually stored there (`str` or `bytes`).
+    pub found: &'static str,
+}
+
+impl std::fmt::Display for TypeMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "key {} holds a {} value, not an int", self.key, self.found)
+    }
+}
+
+impl std::error::Error for TypeMismatch {}
+
+/// A dynamic transactional `i64 → Value` key-value store.
 #[derive(Debug)]
 pub struct KvStore {
     index: ShardedTxSet,
     /// Lock-free cells for the pre-allocated range `0..prealloc.len()`.
-    prealloc: Vec<TVar<i64>>,
+    prealloc: Vec<TVar<Option<Value>>>,
     /// Per-shard overflow tables; `overflow[k.rem_euclid(shards)]` owns key
     /// `k`'s value cell when `k` is outside the pre-allocated range.
     /// Sharded so cell creation does not serialize across the keyspace.
-    overflow: Vec<Mutex<HashMap<i64, TVar<i64>>>>,
+    overflow: Vec<Mutex<HashMap<i64, TVar<Option<Value>>>>>,
 }
 
 impl KvStore {
@@ -70,7 +97,7 @@ impl KvStore {
         assert!(shards > 0, "need at least one shard");
         KvStore {
             index: ShardedTxSet::rbtree(shards),
-            prealloc: (0..prealloc.max(0)).map(|_| TVar::new(0)).collect(),
+            prealloc: (0..prealloc.max(0)).map(|_| TVar::new(None)).collect(),
             overflow: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
         }
     }
@@ -82,7 +109,7 @@ impl KvStore {
 
     /// The value cell for `key` — lock-free inside the pre-allocated range,
     /// created on first touch under the shard's overflow lock outside it.
-    fn cell(&self, key: i64) -> TVar<i64> {
+    fn cell(&self, key: i64) -> TVar<Option<Value>> {
         if let Ok(i) = usize::try_from(key) {
             if let Some(cell) = self.prealloc.get(i) {
                 return cell.clone();
@@ -90,7 +117,7 @@ impl KvStore {
         }
         let shard = key.rem_euclid(self.overflow.len() as i64) as usize;
         let mut cells = self.overflow[shard].lock().expect("cell table lock poisoned");
-        cells.entry(key).or_insert_with(|| TVar::new(0)).clone()
+        cells.entry(key).or_insert_with(|| TVar::new(None)).clone()
     }
 
     /// Number of value cells materialised so far (monotone; an upper bound
@@ -105,10 +132,20 @@ impl KvStore {
                 .sum::<usize>()
     }
 
+    /// Number of overflow cells materialised per shard — how the
+    /// outside-the-prealloc keyspace growth distributes across shards
+    /// (exported in the `STATS` reply so it is observable from the wire).
+    pub fn overflow_per_shard(&self) -> Vec<usize> {
+        self.overflow
+            .iter()
+            .map(|shard| shard.lock().expect("cell table lock poisoned").len())
+            .collect()
+    }
+
     /// Reads the value at `key`, or `None` when the key is absent.
-    pub fn get(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<i64>> {
+    pub fn get(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<Value>> {
         if self.index.contains(tx, key)? {
-            Ok(Some(tx.read(&self.cell(key))?))
+            Ok(tx.read(&self.cell(key))?)
         } else {
             Ok(None)
         }
@@ -116,71 +153,115 @@ impl KvStore {
 
     /// Stores `value` at `key`, returning the previous value if the key was
     /// present.
-    pub fn put(&self, tx: &mut Txn<'_>, key: i64, value: i64) -> TxResult<Option<i64>> {
+    pub fn put(
+        &self,
+        tx: &mut Txn<'_>,
+        key: i64,
+        value: impl Into<Value>,
+    ) -> TxResult<Option<Value>> {
         let was_present = !self.index.insert(tx, key)?;
         let cell = self.cell(key);
-        let previous = if was_present {
-            Some(tx.read(&cell)?)
-        } else {
-            None
-        };
-        tx.write(&cell, value)?;
+        let previous = if was_present { tx.read(&cell)? } else { None };
+        tx.write(&cell, Some(value.into()))?;
         Ok(previous)
     }
 
-    /// Removes `key`, returning its value if it was present.
-    pub fn del(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<i64>> {
+    /// Removes `key`, returning its value if it was present. The cell is
+    /// cleared to `None` so a large deleted value does not linger in memory.
+    pub fn del(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<Value>> {
         if self.index.remove(tx, key)? {
-            Ok(Some(tx.read(&self.cell(key))?))
+            let cell = self.cell(key);
+            let previous = tx.read(&cell)?;
+            tx.write(&cell, None)?;
+            Ok(previous)
         } else {
             Ok(None)
         }
     }
 
-    /// Adds `delta` to the value at `key` (treating an absent key as `0` and
-    /// inserting it), returning the new value. This is the closed
-    /// read-modify-write the `BEGIN`/`EXEC` transfer batches are built from.
-    pub fn add(&self, tx: &mut Txn<'_>, key: i64, delta: i64) -> TxResult<i64> {
+    /// Adds `delta` to the integer value at `key` (treating an absent key as
+    /// `0` and inserting it), returning the new value — or a
+    /// [`TypeMismatch`] when the key holds a non-integer value. This is the
+    /// closed read-modify-write the `BEGIN`/`EXEC` transfer batches are
+    /// built from.
+    pub fn add(
+        &self,
+        tx: &mut Txn<'_>,
+        key: i64,
+        delta: i64,
+    ) -> TxResult<Result<i64, TypeMismatch>> {
         let cell = self.cell(key);
         let current = if self.index.insert(tx, key)? {
             // Newly created: the stale cell content is not part of the map.
             0
         } else {
-            tx.read(&cell)?
+            match tx.read(&cell)? {
+                Some(Value::Int(v)) => v,
+                // Index says present, so the cell cannot hold None; treat a
+                // (logically impossible) None as an empty int for safety.
+                None => 0,
+                Some(other) => {
+                    return Ok(Err(TypeMismatch {
+                        key,
+                        found: other.type_name(),
+                    }))
+                }
+            }
         };
         let next = current.wrapping_add(delta);
-        tx.write(&cell, next)?;
-        Ok(next)
+        tx.write(&cell, Some(Value::Int(next)))?;
+        Ok(Ok(next))
     }
 
     /// The present keys in `lo..=hi` with their values, ascending.
-    pub fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<(i64, i64)>> {
+    pub fn range(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<Vec<(i64, Value)>> {
         let mut pairs = Vec::new();
         if lo > hi {
             return Ok(pairs);
         }
         for key in self.index.range(tx, lo, hi)? {
-            pairs.push((key, tx.read(&self.cell(key))?));
+            if let Some(value) = tx.read(&self.cell(key))? {
+                pairs.push((key, value));
+            }
         }
         Ok(pairs)
     }
 
-    /// The sum and count of the values present in `lo..=hi`, observed as one
-    /// consistent snapshot — the conservation audit the serializability
-    /// tests run over the wire.
-    pub fn sum(&self, tx: &mut Txn<'_>, lo: i64, hi: i64) -> TxResult<(i64, usize)> {
+    /// The sum and count of the integer values present in `lo..=hi`,
+    /// observed as one consistent snapshot — the conservation audit the
+    /// serializability tests run over the wire. A non-integer value in the
+    /// window is a [`TypeMismatch`] naming the first offending key.
+    pub fn sum(
+        &self,
+        tx: &mut Txn<'_>,
+        lo: i64,
+        hi: i64,
+    ) -> TxResult<Result<(i64, usize), TypeMismatch>> {
         let pairs = self.range(tx, lo, hi)?;
-        let total = pairs.iter().map(|(_, v)| *v).fold(0i64, i64::wrapping_add);
-        Ok((total, pairs.len()))
+        let mut total = 0i64;
+        for (key, value) in &pairs {
+            match value {
+                Value::Int(v) => total = total.wrapping_add(*v),
+                other => {
+                    return Ok(Err(TypeMismatch {
+                        key: *key,
+                        found: other.type_name(),
+                    }))
+                }
+            }
+        }
+        Ok(Ok((total, pairs.len())))
     }
 
     /// Every present key with its value, ascending — the consistent cut a
     /// point-in-time snapshot persists. Runs inside the caller's
     /// transaction, so concurrent writers serialize against it.
-    pub fn dump(&self, tx: &mut Txn<'_>) -> TxResult<Vec<(i64, i64)>> {
+    pub fn dump(&self, tx: &mut Txn<'_>) -> TxResult<Vec<(i64, Value)>> {
         let mut pairs = Vec::new();
         for key in self.index.to_vec(tx)? {
-            pairs.push((key, tx.read(&self.cell(key))?));
+            if let Some(value) = tx.read(&self.cell(key))? {
+                pairs.push((key, value));
+            }
         }
         Ok(pairs)
     }
@@ -201,6 +282,10 @@ mod tests {
     use super::*;
     use stm_core::Stm;
 
+    fn int(v: i64) -> Option<Value> {
+        Some(Value::Int(v))
+    }
+
     #[test]
     fn get_put_del_add_round_trip() {
         let stm = Stm::default();
@@ -209,13 +294,47 @@ mod tests {
         ctx.atomically(|tx| {
             assert_eq!(store.get(tx, 5)?, None);
             assert_eq!(store.put(tx, 5, 50)?, None);
-            assert_eq!(store.get(tx, 5)?, Some(50));
-            assert_eq!(store.put(tx, 5, 60)?, Some(50));
-            assert_eq!(store.add(tx, 5, -10)?, 50);
-            assert_eq!(store.add(tx, 9, 7)?, 7, "add creates absent keys at 0");
-            assert_eq!(store.del(tx, 5)?, Some(50));
+            assert_eq!(store.get(tx, 5)?, int(50));
+            assert_eq!(store.put(tx, 5, 60)?, int(50));
+            assert_eq!(store.add(tx, 5, -10)?, Ok(50));
+            assert_eq!(store.add(tx, 9, 7)?, Ok(7), "add creates absent keys at 0");
+            assert_eq!(store.del(tx, 5)?, int(50));
             assert_eq!(store.del(tx, 5)?, None);
             assert_eq!(store.len(tx)?, 1);
+            Ok(())
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn typed_values_round_trip_and_gate_arithmetic() {
+        let stm = Stm::default();
+        let store = KvStore::new(4);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            store.put(tx, 1, "hello\nworld \0")?;
+            store.put(tx, 2, vec![0u8, 255, 10])?;
+            store.put(tx, 3, 30)?;
+            assert_eq!(store.get(tx, 1)?, Some(Value::Str("hello\nworld \0".into())));
+            assert_eq!(store.get(tx, 2)?, Some(Value::Bytes(vec![0, 255, 10])));
+            // ADD on a string is a typed error, not an abort: the
+            // transaction continues and the value is untouched.
+            assert_eq!(
+                store.add(tx, 1, 5)?,
+                Err(TypeMismatch { key: 1, found: "str" })
+            );
+            assert_eq!(store.get(tx, 1)?, Some(Value::Str("hello\nworld \0".into())));
+            // SUM over a window containing a blob names the offending key.
+            assert_eq!(
+                store.sum(tx, 0, 10)?,
+                Err(TypeMismatch { key: 1, found: "str" })
+            );
+            // A window of ints still sums.
+            assert_eq!(store.sum(tx, 3, 10)?, Ok((30, 1)));
+            // Overwriting with an int restores arithmetic.
+            store.put(tx, 1, 1)?;
+            store.del(tx, 2)?;
+            assert_eq!(store.sum(tx, 0, 10)?, Ok((31, 2)));
             Ok(())
         })
         .unwrap();
@@ -229,14 +348,20 @@ mod tests {
         ctx.atomically(|tx| {
             assert_eq!(store.put(tx, -1_000_000, 1)?, None);
             assert_eq!(store.put(tx, i64::MAX, 2)?, None);
-            assert_eq!(store.add(tx, i64::MIN, -3)?, -3);
-            assert_eq!(store.get(tx, -1_000_000)?, Some(1));
-            assert_eq!(store.get(tx, i64::MAX)?, Some(2));
+            assert_eq!(store.add(tx, i64::MIN, -3)?, Ok(-3));
+            assert_eq!(store.get(tx, -1_000_000)?, int(1));
+            assert_eq!(store.get(tx, i64::MAX)?, int(2));
             assert_eq!(store.len(tx)?, 3);
             Ok(())
         })
         .unwrap();
         assert!(store.cells_allocated() >= 3);
+        assert_eq!(
+            store.overflow_per_shard().iter().sum::<usize>(),
+            store.cells_allocated(),
+            "no prealloc: every cell is an overflow cell"
+        );
+        assert_eq!(store.overflow_per_shard().len(), 4);
     }
 
     #[test]
@@ -248,8 +373,12 @@ mod tests {
             store.put(tx, 3, 99)?;
             store.del(tx, 3)?;
             // The old cell content must not leak back into the map.
-            assert_eq!(store.add(tx, 3, 1)?, 1);
-            assert_eq!(store.get(tx, 3)?, Some(1));
+            assert_eq!(store.add(tx, 3, 1)?, Ok(1));
+            assert_eq!(store.get(tx, 3)?, int(1));
+            // Same for a deleted string value.
+            store.put(tx, 4, "gone")?;
+            store.del(tx, 4)?;
+            assert_eq!(store.add(tx, 4, 2)?, Ok(2), "deleted str must not block ADD");
             Ok(())
         })
         .unwrap();
@@ -268,13 +397,18 @@ mod tests {
         })
         .unwrap();
         let pairs = ctx.atomically(|tx| store.range(tx, -100, 100)).unwrap();
-        assert_eq!(pairs, vec![(2, 20), (7, 70), (11, 110), (30, 300)]);
+        let as_ints: Vec<(i64, i64)> = pairs
+            .iter()
+            .map(|(k, v)| (*k, v.as_int().unwrap()))
+            .collect();
+        assert_eq!(as_ints, vec![(2, 20), (7, 70), (11, 110), (30, 300)]);
         let window = ctx.atomically(|tx| store.range(tx, 3, 11)).unwrap();
-        assert_eq!(window, vec![(7, 70), (11, 110)]);
-        assert_eq!(ctx.atomically(|tx| store.sum(tx, 0, 31)).unwrap(), (500, 4));
-        assert_eq!(ctx.atomically(|tx| store.sum(tx, 12, 3)).unwrap(), (0, 0));
+        assert_eq!(window.len(), 2);
+        assert_eq!(ctx.atomically(|tx| store.sum(tx, 0, 31)).unwrap(), Ok((500, 4)));
+        assert_eq!(ctx.atomically(|tx| store.sum(tx, 12, 3)).unwrap(), Ok((0, 0)));
         let dump = ctx.atomically(|tx| store.dump(tx)).unwrap();
-        assert_eq!(dump, vec![(2, 20), (7, 70), (11, 110), (30, 300), (500, 5000)]);
+        assert_eq!(dump.len(), 5);
+        assert_eq!(dump[4], (500, Value::Int(5000)));
     }
 
     #[test]
@@ -289,7 +423,7 @@ mod tests {
                 scope.spawn(move || {
                     let mut ctx = stm.thread();
                     for _ in 0..250 {
-                        ctx.atomically(|tx| store.add(tx, 12345, 1)).unwrap();
+                        ctx.atomically(|tx| store.add(tx, 12345, 1)).unwrap().unwrap();
                     }
                 });
             }
@@ -297,7 +431,7 @@ mod tests {
         let mut ctx = stm.thread();
         assert_eq!(
             ctx.atomically(|tx| store.get(tx, 12345)).unwrap(),
-            Some(1000),
+            int(1000),
             "increments through a racing first-touch cell must not be lost"
         );
     }

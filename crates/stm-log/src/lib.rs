@@ -46,7 +46,7 @@
 //! let mut ctx = stm.thread();
 //! let (result, report) = ctx.atomically_traced(|tx| {
 //!     tx.write(&cell, 42)?;
-//!     tx.publish(CommitOp::Put { id: 7, value: 42 });
+//!     tx.publish(CommitOp::put(7, 42));
 //!     Ok(())
 //! });
 //! result.unwrap();
@@ -55,7 +55,7 @@
 //!
 //! drop(wal);
 //! let (_wal, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
-//! assert_eq!(recovered.tail, vec![(seq, vec![CommitOp::Put { id: 7, value: 42 }])]);
+//! assert_eq!(recovered.tail, vec![(seq, vec![CommitOp::put(7, 42)])]);
 //! # drop(_wal);
 //! # let _ = std::fs::remove_dir_all(&dir);
 //! ```
@@ -70,6 +70,7 @@ pub mod recovery;
 pub mod snapshot;
 pub mod wal;
 
+pub use record::{Format, SEGMENT_MAGIC};
 pub use recovery::{recover, Recovered};
 pub use snapshot::Snapshot;
 pub use wal::{FsyncPolicy, Wal, WalConfig, WalStats};

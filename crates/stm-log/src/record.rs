@@ -1,24 +1,38 @@
-//! The binary log-record format: length-prefixed, checksummed, replayable.
+//! The binary log-record format: length-prefixed, checksummed, versioned,
+//! replayable.
 //!
-//! One record carries the published write-set of one committed transaction:
+//! One record carries the published write-set of one committed transaction.
+//! Two payload formats exist:
 //!
 //! ```text
 //! ┌────────────┬────────────┬──────────────────────────────────────────┐
 //! │ len: u32 LE│ crc: u32 LE│ payload (len bytes)                      │
 //! └────────────┴────────────┴──────────────────────────────────────────┘
-//! payload = seq: u64 LE
-//!         | count: u32 LE
-//!         | count × op
-//! op      = 0x00 (Put) | id: i64 LE | value: i64 LE
-//!         | 0x01 (Del) | id: i64 LE
+//!
+//! v1 payload = seq: u64 LE | count: u32 LE | count × op
+//! v1 op      = 0x00 (Put) | id: i64 LE | value: i64 LE
+//!            | 0x01 (Del) | id: i64 LE
+//!
+//! v2 payload = ver: u8 = 0x02 | seq: u64 LE | count: u32 LE | count × op
+//! v2 op      = 0x00 (Put int)   | id: i64 LE | value: i64 LE
+//!            | 0x01 (Del)       | id: i64 LE
+//!            | 0x02 (Put str)   | id: i64 LE | len: u32 LE | len bytes
+//!            | 0x03 (Put bytes) | id: i64 LE | len: u32 LE | len bytes
 //! ```
+//!
+//! v1 (the integer-only format every log written before protocol v2 uses)
+//! has no version byte — which format a record is in is decided **per
+//! segment**: segments written by the v2 writer begin with
+//! [`SEGMENT_MAGIC`], segments without the magic are v1. Recovery reads
+//! both, so a WAL written by a v1 server replays losslessly into a v2
+//! store ([`CommitValue::Int`] values).
 //!
 //! `crc` is the CRC-32 of the payload. The length prefix frames the record;
 //! the checksum distinguishes a *torn* tail (the process died mid-write, the
 //! bytes simply stop) from a *corrupt* one (the bytes are there but wrong) —
 //! recovery treats both as the end of the committed prefix and truncates.
 
-use stm_core::CommitOp;
+use stm_core::{CommitOp, CommitValue};
 
 use crate::crc::crc32;
 
@@ -26,8 +40,26 @@ use crate::crc::crc32;
 /// length prefix cannot make recovery try to allocate gigabytes.
 pub const MAX_PAYLOAD_BYTES: u32 = 64 << 20;
 
-const TAG_PUT: u8 = 0x00;
+/// First bytes of every segment file written in the v2 format. Segments
+/// without it (from servers predating typed values) decode as v1.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"STMWAL2\n";
+
+/// The v2 payload version byte.
+const PAYLOAD_VERSION_V2: u8 = 0x02;
+
+const TAG_PUT_INT: u8 = 0x00;
 const TAG_DEL: u8 = 0x01;
+const TAG_PUT_STR: u8 = 0x02;
+const TAG_PUT_BYTES: u8 = 0x03;
+
+/// Which record format a segment's bytes are in (see [`SEGMENT_MAGIC`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Integer-only records, no payload version byte (pre-typed-values logs).
+    V1,
+    /// Typed-value records with a payload version byte.
+    V2,
+}
 
 /// One decoded log record: the commit sequence number and the write-set.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -50,21 +82,70 @@ pub enum Decoded {
     Corrupt,
 }
 
-/// Appends the encoded record for `(seq, ops)` to `out` and returns the
+/// Appends the v2-encoded record for `(seq, ops)` to `out` and returns the
 /// number of bytes appended.
 pub fn encode_into(out: &mut Vec<u8>, seq: u64, ops: &[CommitOp]) -> usize {
     let start = out.len();
     // Reserve the header, then come back and patch it.
     out.extend_from_slice(&[0u8; 8]);
     let payload_start = out.len();
+    out.push(PAYLOAD_VERSION_V2);
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
     for op in ops {
-        match *op {
-            CommitOp::Put { id, value } => {
-                out.push(TAG_PUT);
+        match op {
+            CommitOp::Put { id, value } => match value {
+                CommitValue::Int(v) => {
+                    out.push(TAG_PUT_INT);
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                CommitValue::Str(s) => {
+                    out.push(TAG_PUT_STR);
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+                CommitValue::Bytes(b) => {
+                    out.push(TAG_PUT_BYTES);
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                    out.extend_from_slice(b);
+                }
+            },
+            CommitOp::Del { id } => {
+                out.push(TAG_DEL);
                 out.extend_from_slice(&id.to_le_bytes());
-                out.extend_from_slice(&value.to_le_bytes());
+            }
+        }
+    }
+    patch_header(out, start, payload_start);
+    out.len() - start
+}
+
+/// Appends the **v1**-encoded record for `(seq, ops)` to `out` — the format
+/// servers wrote before typed values existed. Kept as a fixture generator
+/// for compatibility tests (a v1 WAL must replay losslessly).
+///
+/// # Panics
+///
+/// Panics when an op carries a non-integer value: the v1 format cannot
+/// represent one, so a caller asking for it has a logic error.
+pub fn encode_v1_into(out: &mut Vec<u8>, seq: u64, ops: &[CommitOp]) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&[0u8; 8]);
+    let payload_start = out.len();
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(ops.len() as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            CommitOp::Put { id, value } => {
+                let v = value
+                    .as_int()
+                    .expect("v1 record format cannot carry a non-integer value");
+                out.push(TAG_PUT_INT);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&v.to_le_bytes());
             }
             CommitOp::Del { id } => {
                 out.push(TAG_DEL);
@@ -72,14 +153,18 @@ pub fn encode_into(out: &mut Vec<u8>, seq: u64, ops: &[CommitOp]) -> usize {
             }
         }
     }
+    patch_header(out, start, payload_start);
+    out.len() - start
+}
+
+fn patch_header(out: &mut [u8], start: usize, payload_start: usize) {
     let payload_len = (out.len() - payload_start) as u32;
     let crc = crc32(&out[payload_start..]);
     out[start..start + 4].copy_from_slice(&payload_len.to_le_bytes());
     out[start + 4..start + 8].copy_from_slice(&crc.to_le_bytes());
-    out.len() - start
 }
 
-/// Encodes one record as a standalone byte vector.
+/// Encodes one record as a standalone v2 byte vector.
 pub fn encode(seq: u64, ops: &[CommitOp]) -> Vec<u8> {
     let mut out = Vec::new();
     encode_into(&mut out, seq, ops);
@@ -98,15 +183,20 @@ fn read_i64(bytes: &[u8]) -> i64 {
     i64::from_le_bytes(bytes[..8].try_into().expect("checked length"))
 }
 
-/// Decodes the record at the head of `bytes`.
-pub fn decode(bytes: &[u8]) -> Decoded {
+/// Decodes the record at the head of `bytes` in the given segment format.
+pub fn decode(bytes: &[u8], format: Format) -> Decoded {
     if bytes.len() < 8 {
         return Decoded::Torn;
     }
     let payload_len = read_u32(bytes) as usize;
-    if payload_len > MAX_PAYLOAD_BYTES as usize || payload_len < 12 {
-        // Even an empty write-set needs seq (8) + count (4) bytes, so a
-        // shorter claim is not a torn write — it is garbage.
+    // Even an empty write-set needs seq (8) + count (4) bytes — plus the
+    // version byte in v2 — so a shorter claim is not a torn write; it is
+    // garbage.
+    let min_payload = match format {
+        Format::V1 => 12,
+        Format::V2 => 13,
+    };
+    if payload_len > MAX_PAYLOAD_BYTES as usize || payload_len < min_payload {
         return Decoded::Corrupt;
     }
     let expected_crc = read_u32(&bytes[4..]);
@@ -116,53 +206,78 @@ pub fn decode(bytes: &[u8]) -> Decoded {
     if crc32(payload) != expected_crc {
         return Decoded::Corrupt;
     }
-    let seq = read_u64(payload);
-    let count = read_u32(&payload[8..]) as usize;
+    let body = match format {
+        Format::V1 => payload,
+        Format::V2 => {
+            if payload[0] != PAYLOAD_VERSION_V2 {
+                return Decoded::Corrupt;
+            }
+            &payload[1..]
+        }
+    };
+    let seq = read_u64(body);
+    let count = read_u32(&body[8..]) as usize;
     let mut ops = Vec::with_capacity(count.min(1024));
     let mut at = 12usize;
     for _ in 0..count {
-        let Some(&tag) = payload.get(at) else {
+        let Some(&tag) = body.get(at) else {
             return Decoded::Corrupt;
         };
         at += 1;
         match tag {
-            TAG_PUT => {
-                if payload.len() < at + 16 {
+            TAG_PUT_INT => {
+                if body.len() < at + 16 {
                     return Decoded::Corrupt;
                 }
-                ops.push(CommitOp::Put {
-                    id: read_i64(&payload[at..]),
-                    value: read_i64(&payload[at + 8..]),
-                });
+                ops.push(CommitOp::put(read_i64(&body[at..]), read_i64(&body[at + 8..])));
                 at += 16;
             }
             TAG_DEL => {
-                if payload.len() < at + 8 {
+                if body.len() < at + 8 {
                     return Decoded::Corrupt;
                 }
-                ops.push(CommitOp::Del {
-                    id: read_i64(&payload[at..]),
-                });
+                ops.push(CommitOp::del(read_i64(&body[at..])));
                 at += 8;
+            }
+            TAG_PUT_STR | TAG_PUT_BYTES if format == Format::V2 => {
+                if body.len() < at + 12 {
+                    return Decoded::Corrupt;
+                }
+                let id = read_i64(&body[at..]);
+                let len = read_u32(&body[at + 8..]) as usize;
+                at += 12;
+                let Some(raw) = body.get(at..at + len) else {
+                    return Decoded::Corrupt;
+                };
+                at += len;
+                let value = if tag == TAG_PUT_STR {
+                    match std::str::from_utf8(raw) {
+                        Ok(s) => CommitValue::Str(s.to_string()),
+                        Err(_) => return Decoded::Corrupt,
+                    }
+                } else {
+                    CommitValue::Bytes(raw.to_vec())
+                };
+                ops.push(CommitOp::Put { id, value });
             }
             _ => return Decoded::Corrupt,
         }
     }
-    if at != payload.len() {
+    if at != body.len() {
         return Decoded::Corrupt;
     }
     Decoded::Ok(Record { seq, ops }, 8 + payload_len)
 }
 
-/// Decodes every record in `bytes`, returning the committed prefix and the
-/// byte offset where it ends (the truncation point when the tail is torn or
-/// corrupt). The second element is `true` when decoding consumed the whole
-/// buffer cleanly.
-pub fn decode_all(bytes: &[u8]) -> (Vec<Record>, usize, bool) {
+/// Decodes every record in `bytes` (all in `format`), returning the
+/// committed prefix and the byte offset where it ends (the truncation point
+/// when the tail is torn or corrupt). The last element is `true` when
+/// decoding consumed the whole buffer cleanly.
+pub fn decode_all(bytes: &[u8], format: Format) -> (Vec<Record>, usize, bool) {
     let mut records = Vec::new();
     let mut at = 0usize;
     while at < bytes.len() {
-        match decode(&bytes[at..]) {
+        match decode(&bytes[at..], format) {
             Decoded::Ok(record, used) => {
                 records.push(record);
                 at += used;
@@ -179,12 +294,19 @@ mod tests {
 
     fn sample_ops() -> Vec<CommitOp> {
         vec![
-            CommitOp::Put { id: 3, value: 42 },
-            CommitOp::Del { id: -9 },
-            CommitOp::Put {
-                id: i64::MAX,
-                value: i64::MIN,
-            },
+            CommitOp::put(3, 42),
+            CommitOp::del(-9),
+            CommitOp::put(i64::MAX, i64::MIN),
+            CommitOp::put(7, "a line\nwith NUL \0 and UTF-8 — ✓"),
+            CommitOp::put(8, vec![0u8, 255, 10, 13, 0]),
+        ]
+    }
+
+    fn int_ops() -> Vec<CommitOp> {
+        vec![
+            CommitOp::put(3, 42),
+            CommitOp::del(-9),
+            CommitOp::put(i64::MAX, i64::MIN),
         ]
     }
 
@@ -192,7 +314,7 @@ mod tests {
     fn round_trip_including_empty_write_set() {
         for ops in [sample_ops(), Vec::new()] {
             let bytes = encode(77, &ops);
-            match decode(&bytes) {
+            match decode(&bytes, Format::V2) {
                 Decoded::Ok(record, used) => {
                     assert_eq!(used, bytes.len());
                     assert_eq!(record.seq, 77);
@@ -204,12 +326,34 @@ mod tests {
     }
 
     #[test]
+    fn v1_records_decode_as_integer_values() {
+        let ops = int_ops();
+        let mut bytes = Vec::new();
+        encode_v1_into(&mut bytes, 5, &ops);
+        match decode(&bytes, Format::V1) {
+            Decoded::Ok(record, used) => {
+                assert_eq!(used, bytes.len());
+                assert_eq!(record.seq, 5);
+                assert_eq!(record.ops, ops);
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "v1 record format cannot carry")]
+    fn v1_encoder_refuses_typed_values() {
+        let mut bytes = Vec::new();
+        encode_v1_into(&mut bytes, 1, &[CommitOp::put(1, "nope")]);
+    }
+
+    #[test]
     fn concatenated_records_decode_in_order() {
         let mut bytes = Vec::new();
         for seq in 1..=5u64 {
-            encode_into(&mut bytes, seq, &[CommitOp::Put { id: seq as i64, value: 1 }]);
+            encode_into(&mut bytes, seq, &[CommitOp::put(seq as i64, 1)]);
         }
-        let (records, end, clean) = decode_all(&bytes);
+        let (records, end, clean) = decode_all(&bytes, Format::V2);
         assert!(clean);
         assert_eq!(end, bytes.len());
         assert_eq!(records.len(), 5);
@@ -220,7 +364,7 @@ mod tests {
     fn every_truncation_point_is_torn_not_corrupt_or_ok() {
         let bytes = encode(9, &sample_ops());
         for cut in 0..bytes.len() {
-            match decode(&bytes[..cut]) {
+            match decode(&bytes[..cut], Format::V2) {
                 Decoded::Torn => {}
                 other => panic!("cut at {cut}: expected Torn, got {other:?}"),
             }
@@ -233,7 +377,11 @@ mod tests {
         for i in 8..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x40;
-            assert_eq!(decode(&bad), Decoded::Corrupt, "flip at byte {i} undetected");
+            assert_eq!(
+                decode(&bad, Format::V2),
+                Decoded::Corrupt,
+                "flip at byte {i} undetected"
+            );
         }
     }
 
@@ -241,23 +389,51 @@ mod tests {
     fn absurd_length_prefix_is_corrupt_not_an_allocation() {
         let mut bytes = encode(1, &sample_ops());
         bytes[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
-        assert_eq!(decode(&bytes), Decoded::Corrupt);
+        assert_eq!(decode(&bytes, Format::V2), Decoded::Corrupt);
         bytes[0..4].copy_from_slice(&2u32.to_le_bytes());
-        assert_eq!(decode(&bytes), Decoded::Corrupt, "shorter-than-header claim");
+        assert_eq!(
+            decode(&bytes, Format::V2),
+            Decoded::Corrupt,
+            "shorter-than-header claim"
+        );
+    }
+
+    #[test]
+    fn typed_tags_are_corrupt_in_a_v1_segment() {
+        // A v2 record (with its version byte and typed tags) planted in a
+        // v1 segment must be rejected, not misread as integer ops.
+        let bytes = encode(1, &[CommitOp::put(1, "text")]);
+        assert_eq!(decode(&bytes, Format::V1), Decoded::Corrupt);
     }
 
     #[test]
     fn decode_all_returns_the_committed_prefix_on_a_torn_tail() {
         let mut bytes = Vec::new();
         for seq in 1..=4u64 {
-            encode_into(&mut bytes, seq, &[CommitOp::Del { id: seq as i64 }]);
+            encode_into(&mut bytes, seq, &[CommitOp::del(seq as i64)]);
         }
         let keep = bytes.len();
         encode_into(&mut bytes, 5, &sample_ops());
         let torn = &bytes[..bytes.len() - 3];
-        let (records, end, clean) = decode_all(torn);
+        let (records, end, clean) = decode_all(torn, Format::V2);
         assert!(!clean);
         assert_eq!(end, keep, "truncation point is the end of record 4");
         assert_eq!(records.len(), 4);
+    }
+
+    #[test]
+    fn invalid_utf8_in_a_str_op_is_corrupt() {
+        // Hand-build a v2 record claiming a Str op with non-UTF-8 bytes.
+        let mut payload = vec![PAYLOAD_VERSION_V2];
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        payload.push(TAG_PUT_STR);
+        payload.extend_from_slice(&7i64.to_le_bytes());
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        payload.extend_from_slice(&[0xFF, 0xFE]);
+        let mut bytes = (payload.len() as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&crc32(&payload).to_le_bytes());
+        bytes.extend_from_slice(&payload);
+        assert_eq!(decode(&bytes, Format::V2), Decoded::Corrupt);
     }
 }

@@ -115,7 +115,16 @@ pub fn recover(dir: &Path) -> io::Result<Recovered> {
     for (index, (path, _)) in segments.iter().enumerate() {
         let mut bytes = Vec::new();
         File::open(path)?.read_to_end(&mut bytes)?;
-        let (records, clean_end, clean) = record::decode_all(&bytes);
+        // Segments written by the typed-value writer lead with the v2
+        // magic; segments without it (including files torn mid-magic) are
+        // decoded in the integer-only v1 format, so pre-v2 logs replay.
+        let (format, header_len) = if bytes.starts_with(record::SEGMENT_MAGIC) {
+            (record::Format::V2, record::SEGMENT_MAGIC.len())
+        } else {
+            (record::Format::V1, 0)
+        };
+        let (records, body_end, clean) = record::decode_all(&bytes[header_len..], format);
+        let clean_end = header_len + body_end;
         for rec in records {
             max_seq = max_seq.max(rec.seq);
             if rec.seq > snapshot_seq {
@@ -124,7 +133,9 @@ pub fn recover(dir: &Path) -> io::Result<Recovered> {
         }
         if !clean {
             truncated_bytes += (bytes.len() - clean_end) as u64;
-            if clean_end == 0 {
+            if body_end == 0 {
+                // No surviving record in this segment — a bare (possibly
+                // torn) header carries nothing worth keeping.
                 fs::remove_file(path)?;
             } else {
                 let file = OpenOptions::new().write(true).open(path)?;
@@ -186,7 +197,7 @@ mod tests {
     }
 
     fn write_segment(dir: &Path, first_seq: u64, records: &[(u64, Vec<CommitOp>)]) -> PathBuf {
-        let mut bytes = Vec::new();
+        let mut bytes = record::SEGMENT_MAGIC.to_vec();
         for (seq, ops) in records {
             record::encode_into(&mut bytes, *seq, ops);
         }
@@ -195,8 +206,19 @@ mod tests {
         path
     }
 
+    /// Writes a magic-less v1 segment, as a pre-typed-values server would.
+    fn write_v1_segment(dir: &Path, first_seq: u64, records: &[(u64, Vec<CommitOp>)]) -> PathBuf {
+        let mut bytes = Vec::new();
+        for (seq, ops) in records {
+            record::encode_v1_into(&mut bytes, *seq, ops);
+        }
+        let path = dir.join(format!("wal-{first_seq:020}.log"));
+        File::create(&path).unwrap().write_all(&bytes).unwrap();
+        path
+    }
+
     fn put(id: i64, value: i64) -> Vec<CommitOp> {
-        vec![CommitOp::Put { id, value }]
+        vec![CommitOp::put(id, value)]
     }
 
     #[test]
@@ -222,7 +244,10 @@ mod tests {
         let dir = temp_dir("filter");
         write_segment(&dir, 1, &[(1, put(1, 10)), (2, put(2, 20)), (3, put(3, 30))]);
         write_segment(&dir, 4, &[(4, put(4, 40)), (5, put(5, 50))]);
-        snapshot::write(&dir, 3, &[(1, 10), (2, 20), (3, 30)]).unwrap();
+        let pairs: Vec<_> = [(1, 10), (2, 20), (3, 30)]
+            .map(|(k, v)| (k, stm_core::CommitValue::Int(v)))
+            .to_vec();
+        snapshot::write(&dir, 3, &pairs).unwrap();
         let recovered = recover(&dir).unwrap();
         assert_eq!(recovered.snapshot.unwrap().seq, 3);
         assert_eq!(recovered.tail, vec![(4, put(4, 40)), (5, put(5, 50))]);
@@ -262,7 +287,7 @@ mod tests {
         let mut bytes = Vec::new();
         File::open(&path).unwrap().read_to_end(&mut bytes).unwrap();
         let record1 = record::encode(1, &put(1, 1));
-        bytes[record1.len() + 10] ^= 0xFF;
+        bytes[record::SEGMENT_MAGIC.len() + record1.len() + 10] ^= 0xFF;
         File::create(&path).unwrap().write_all(&bytes).unwrap();
         let recovered = recover(&dir).unwrap();
         assert_eq!(recovered.tail, vec![(1, put(1, 1))]);
@@ -275,7 +300,10 @@ mod tests {
     fn invalid_snapshot_falls_back_to_an_older_valid_one() {
         let dir = temp_dir("badsnap");
         write_segment(&dir, 1, &[(1, put(1, 1)), (2, put(2, 2)), (3, put(3, 3))]);
-        snapshot::write(&dir, 2, &[(1, 1), (2, 2)]).unwrap();
+        let pairs: Vec<_> = [(1, 1), (2, 2)]
+            .map(|(k, v)| (k, stm_core::CommitValue::Int(v)))
+            .to_vec();
+        snapshot::write(&dir, 2, &pairs).unwrap();
         // A newer snapshot that is garbage on disk.
         let bad = dir.join(snapshot::snapshot_file_name(3));
         File::create(&bad).unwrap().write_all(b"not a snapshot").unwrap();
@@ -285,6 +313,32 @@ mod tests {
         assert_eq!(recovered.snapshot.unwrap().seq, 2, "falls back past the bad one");
         assert_eq!(recovered.tail, vec![(3, put(3, 3))]);
         assert!(!dir.join("snap-x.tmp").exists(), "tmp files are swept");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mixed_v1_and_v2_segments_replay_as_one_history() {
+        // A server upgraded in place: its old segments are magic-less v1,
+        // everything after the upgrade is v2 — one contiguous history.
+        let dir = temp_dir("mixed");
+        write_v1_segment(&dir, 1, &[(1, put(1, 10)), (2, put(2, 20))]);
+        write_segment(
+            &dir,
+            3,
+            &[(3, vec![CommitOp::put(3, "typed\nstring")]), (4, put(1, 11))],
+        );
+        let recovered = recover(&dir).unwrap();
+        assert_eq!(recovered.truncated_bytes, 0);
+        assert_eq!(recovered.next_seq, 5);
+        assert_eq!(
+            recovered.tail,
+            vec![
+                (1, put(1, 10)),
+                (2, put(2, 20)),
+                (3, vec![CommitOp::put(3, "typed\nstring")]),
+                (4, put(1, 11)),
+            ]
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

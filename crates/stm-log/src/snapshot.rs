@@ -6,14 +6,24 @@
 //! `seq > snapshot.seq`, which bounds recovery time and lets old log
 //! segments be pruned.
 //!
-//! Format (all integers little-endian):
+//! Two formats exist (all integers little-endian):
 //!
 //! ```text
 //! magic:   u32  = 0x534E_4150 ("SNAP")
-//! version: u32  = 1
-//! payload: seq: u64 | count: u64 | count × (key: i64, value: i64)
+//! version: u32  = 1 | 2
+//! payload: seq: u64 | count: u64 | count × pair
 //! crc:     u32  over the payload
+//!
+//! v1 pair = key: i64 | value: i64
+//! v2 pair = key: i64 | tag: u8 | body
+//! body    = 0x00 (int)   | value: i64
+//!         | 0x02 (str)   | len: u32 | len bytes (UTF-8)
+//!         | 0x03 (bytes) | len: u32 | len bytes
 //! ```
+//!
+//! The writer emits version 2; the reader accepts both, decoding v1 pairs
+//! as [`CommitValue::Int`], so a snapshot taken before typed values existed
+//! still recovers.
 //!
 //! Snapshots are written to a temporary file, fsynced, and renamed into
 //! place, so a crash mid-snapshot leaves the previous snapshot intact; a
@@ -23,10 +33,17 @@ use std::fs::{self, File};
 use std::io::{self, Read, Write};
 use std::path::{Path, PathBuf};
 
+use stm_core::CommitValue;
+
 use crate::crc::crc32;
 
 const MAGIC: u32 = 0x534E_4150;
-const VERSION: u32 = 1;
+const VERSION_V1: u32 = 1;
+const VERSION_V2: u32 = 2;
+
+const TAG_INT: u8 = 0x00;
+const TAG_STR: u8 = 0x02;
+const TAG_BYTES: u8 = 0x03;
 
 /// A decoded snapshot: the consistent-cut sequence number and the pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +51,7 @@ pub struct Snapshot {
     /// Log records with `seq <= this` are covered by the snapshot.
     pub seq: u64,
     /// The full key → value map at the cut, ascending by key.
-    pub pairs: Vec<(i64, i64)>,
+    pub pairs: Vec<(i64, CommitValue)>,
 }
 
 /// The file name of the snapshot at `seq` (zero-padded so lexicographic
@@ -51,33 +68,120 @@ pub fn parse_snapshot_file_name(name: &str) -> Option<u64> {
         .ok()
 }
 
-/// Serializes a snapshot to bytes.
-pub fn encode(seq: u64, pairs: &[(i64, i64)]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(28 + pairs.len() * 16);
+/// Serializes a snapshot to bytes (version 2, typed values).
+pub fn encode(seq: u64, pairs: &[(i64, CommitValue)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + pairs.len() * 17);
     out.extend_from_slice(&MAGIC.to_le_bytes());
-    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&VERSION_V2.to_le_bytes());
     let payload_start = out.len();
     out.extend_from_slice(&seq.to_le_bytes());
     out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
     for (key, value) in pairs {
         out.extend_from_slice(&key.to_le_bytes());
-        out.extend_from_slice(&value.to_le_bytes());
+        match value {
+            CommitValue::Int(v) => {
+                out.push(TAG_INT);
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+            CommitValue::Str(s) => {
+                out.push(TAG_STR);
+                out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                out.extend_from_slice(s.as_bytes());
+            }
+            CommitValue::Bytes(b) => {
+                out.push(TAG_BYTES);
+                out.extend_from_slice(&(b.len() as u32).to_le_bytes());
+                out.extend_from_slice(b);
+            }
+        }
     }
     let crc = crc32(&out[payload_start..]);
     out.extend_from_slice(&crc.to_le_bytes());
     out
 }
 
-/// Decodes a snapshot, returning `None` when the bytes are malformed or the
-/// checksum fails (recovery then falls back to the previous snapshot or to
-/// a full log replay).
+/// Serializes a snapshot in the **v1** integer-only format — a fixture
+/// generator for compatibility tests.
+///
+/// # Panics
+///
+/// Panics when a pair carries a non-integer value.
+pub fn encode_v1(seq: u64, pairs: &[(i64, CommitValue)]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(28 + pairs.len() * 16);
+    out.extend_from_slice(&MAGIC.to_le_bytes());
+    out.extend_from_slice(&VERSION_V1.to_le_bytes());
+    let payload_start = out.len();
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+    for (key, value) in pairs {
+        let v = value
+            .as_int()
+            .expect("v1 snapshot format cannot carry a non-integer value");
+        out.extend_from_slice(&key.to_le_bytes());
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    let crc = crc32(&out[payload_start..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+fn decode_v1_pairs(payload: &[u8], count: usize) -> Option<Vec<(i64, CommitValue)>> {
+    if payload.len() != 16 + count * 16 {
+        return None;
+    }
+    let mut pairs = Vec::with_capacity(count);
+    for i in 0..count {
+        let at = 16 + i * 16;
+        pairs.push((
+            i64::from_le_bytes(payload[at..at + 8].try_into().ok()?),
+            CommitValue::Int(i64::from_le_bytes(payload[at + 8..at + 16].try_into().ok()?)),
+        ));
+    }
+    Some(pairs)
+}
+
+fn decode_v2_pairs(payload: &[u8], count: usize) -> Option<Vec<(i64, CommitValue)>> {
+    let mut pairs = Vec::with_capacity(count.min(1 << 20));
+    let mut at = 16usize;
+    for _ in 0..count {
+        let key = i64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+        let tag = *payload.get(at + 8)?;
+        at += 9;
+        let value = match tag {
+            TAG_INT => {
+                let v = i64::from_le_bytes(payload.get(at..at + 8)?.try_into().ok()?);
+                at += 8;
+                CommitValue::Int(v)
+            }
+            TAG_STR | TAG_BYTES => {
+                let len =
+                    u32::from_le_bytes(payload.get(at..at + 4)?.try_into().ok()?) as usize;
+                at += 4;
+                let raw = payload.get(at..at + len)?;
+                at += len;
+                if tag == TAG_STR {
+                    CommitValue::Str(std::str::from_utf8(raw).ok()?.to_string())
+                } else {
+                    CommitValue::Bytes(raw.to_vec())
+                }
+            }
+            _ => return None,
+        };
+        pairs.push((key, value));
+    }
+    (at == payload.len()).then_some(pairs)
+}
+
+/// Decodes a snapshot (either format version), returning `None` when the
+/// bytes are malformed or the checksum fails (recovery then falls back to
+/// the previous snapshot or to a full log replay).
 pub fn decode(bytes: &[u8]) -> Option<Snapshot> {
     if bytes.len() < 28 {
         return None;
     }
     let magic = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
     let version = u32::from_le_bytes(bytes[4..8].try_into().ok()?);
-    if magic != MAGIC || version != VERSION {
+    if magic != MAGIC || !(version == VERSION_V1 || version == VERSION_V2) {
         return None;
     }
     let payload = &bytes[8..bytes.len() - 4];
@@ -87,17 +191,10 @@ pub fn decode(bytes: &[u8]) -> Option<Snapshot> {
     }
     let seq = u64::from_le_bytes(payload[0..8].try_into().ok()?);
     let count = u64::from_le_bytes(payload[8..16].try_into().ok()?) as usize;
-    if payload.len() != 16 + count * 16 {
-        return None;
-    }
-    let mut pairs = Vec::with_capacity(count);
-    for i in 0..count {
-        let at = 16 + i * 16;
-        pairs.push((
-            i64::from_le_bytes(payload[at..at + 8].try_into().ok()?),
-            i64::from_le_bytes(payload[at + 8..at + 16].try_into().ok()?),
-        ));
-    }
+    let pairs = match version {
+        VERSION_V1 => decode_v1_pairs(payload, count)?,
+        _ => decode_v2_pairs(payload, count)?,
+    };
     Some(Snapshot { seq, pairs })
 }
 
@@ -107,7 +204,7 @@ pub fn decode(bytes: &[u8]) -> Option<Snapshot> {
 /// # Errors
 ///
 /// Propagates filesystem errors.
-pub fn write(dir: &Path, seq: u64, pairs: &[(i64, i64)]) -> io::Result<PathBuf> {
+pub fn write(dir: &Path, seq: u64, pairs: &[(i64, CommitValue)]) -> io::Result<PathBuf> {
     let bytes = encode(seq, pairs);
     let tmp = dir.join(format!("snap-{seq:020}.tmp"));
     let final_path = dir.join(snapshot_file_name(seq));
@@ -135,9 +232,18 @@ pub fn read(path: &Path) -> Option<Snapshot> {
 mod tests {
     use super::*;
 
+    fn typed_pairs() -> Vec<(i64, CommitValue)> {
+        vec![
+            (-3, CommitValue::Int(30)),
+            (0, CommitValue::Str("line\nbreak \0 NUL — ✓".to_string())),
+            (7, CommitValue::Bytes(vec![0, 255, 10, 0])),
+            (9, CommitValue::Int(-700)),
+        ]
+    }
+
     #[test]
     fn encode_decode_round_trip() {
-        let pairs = vec![(-3i64, 30i64), (0, 0), (7, -700)];
+        let pairs = typed_pairs();
         let snapshot = decode(&encode(42, &pairs)).unwrap();
         assert_eq!(snapshot.seq, 42);
         assert_eq!(snapshot.pairs, pairs);
@@ -146,8 +252,19 @@ mod tests {
     }
 
     #[test]
+    fn v1_snapshots_decode_as_integer_values() {
+        let pairs = vec![
+            (1, CommitValue::Int(10)),
+            (2, CommitValue::Int(-20)),
+        ];
+        let decoded = decode(&encode_v1(9, &pairs)).unwrap();
+        assert_eq!(decoded.seq, 9);
+        assert_eq!(decoded.pairs, pairs);
+    }
+
+    #[test]
     fn corruption_and_truncation_invalidate() {
-        let bytes = encode(9, &[(1, 10), (2, 20)]);
+        let bytes = encode(9, &typed_pairs());
         for i in 8..bytes.len() {
             let mut bad = bytes.clone();
             bad[i] ^= 0x10;
@@ -171,7 +288,7 @@ mod tests {
     fn write_and_read_through_the_filesystem() {
         let dir = std::env::temp_dir().join(format!("stm-log-snap-test-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
-        let pairs = vec![(5i64, 55i64), (6, 66)];
+        let pairs = typed_pairs();
         let path = write(&dir, 3, &pairs).unwrap();
         let loaded = read(&path).unwrap();
         assert_eq!(loaded, Snapshot { seq: 3, pairs });

@@ -34,7 +34,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use stm_core::{CommitHook, CommitOp};
+use stm_core::{CommitHook, CommitOp, CommitValue};
 
 use crate::record;
 use crate::recovery::{self, Recovered};
@@ -382,7 +382,7 @@ impl Wal {
     /// # Errors
     ///
     /// Propagates filesystem errors (the slot is released either way).
-    pub fn write_snapshot(&self, seq: u64, pairs: &[(i64, i64)]) -> io::Result<PathBuf> {
+    pub fn write_snapshot(&self, seq: u64, pairs: &[(i64, CommitValue)]) -> io::Result<PathBuf> {
         let result = snapshot::write(&self.shared.dir, seq, pairs);
         if result.is_ok() {
             self.shared.snapshots.fetch_add(1, Ordering::Relaxed);
@@ -474,8 +474,14 @@ struct OpenSegment {
 
 fn open_segment(dir: &Path, first_seq: u64) -> io::Result<OpenSegment> {
     let path = dir.join(segment_file_name(first_seq));
-    let file = OpenOptions::new().create(true).append(true).open(&path)?;
-    let written = file.metadata()?.len();
+    let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+    let mut written = file.metadata()?.len();
+    // A fresh segment leads with the v2 format magic so recovery knows its
+    // records carry typed values (magic-less segments decode as v1).
+    if written == 0 {
+        file.write_all(record::SEGMENT_MAGIC)?;
+        written = record::SEGMENT_MAGIC.len() as u64;
+    }
     // Persist the directory entry: fsyncing file *data* does not persist the
     // dirent, and acknowledged records in a segment whose name vanishes on
     // power loss would be acknowledged-then-lost.
@@ -663,7 +669,7 @@ mod tests {
         assert_eq!(recovered.next_seq, 1);
         let mut last = 0;
         for i in 0..10i64 {
-            last = log_through_hook(&wal, &[CommitOp::Put { id: i, value: i * 10 }]);
+            last = log_through_hook(&wal, &[CommitOp::put(i, i * 10)]);
         }
         assert!(wal.wait_durable(last));
         assert!(wal.durable_seq() >= last);
@@ -677,7 +683,7 @@ mod tests {
         assert_eq!(recovered.next_seq, 11);
         assert_eq!(
             recovered.tail[3],
-            (4, vec![CommitOp::Put { id: 3, value: 30 }])
+            (4, vec![CommitOp::put(3, 30)])
         );
         drop(wal2);
         let _ = fs::remove_dir_all(&dir);
@@ -690,7 +696,7 @@ mod tests {
         cfg.fsync = FsyncPolicy::EveryN(1_000_000); // would never sync on its own
         let (mut wal, _) = Wal::open(cfg).unwrap();
         for i in 0..25i64 {
-            log_through_hook(&wal, &[CommitOp::Del { id: i }]);
+            log_through_hook(&wal, &[CommitOp::del(i)]);
         }
         wal.shutdown();
         let (wal2, recovered) = Wal::open(WalConfig::new(&dir)).unwrap();
@@ -707,7 +713,7 @@ mod tests {
         let (wal, _) = Wal::open(cfg).unwrap();
         let mut last = 0;
         for i in 0..2_000i64 {
-            last = log_through_hook(&wal, &[CommitOp::Put { id: i, value: i }]);
+            last = log_through_hook(&wal, &[CommitOp::put(i, i)]);
             // Give the writer batches small enough to rotate between.
             if i % 256 == 0 {
                 wal.wait_durable(last);
@@ -722,7 +728,8 @@ mod tests {
         // Snapshot at the very tip: every closed segment becomes prunable.
         assert!(wal.begin_snapshot());
         assert!(!wal.begin_snapshot(), "slot must be exclusive");
-        let pairs: Vec<(i64, i64)> = (0..2_000i64).map(|i| (i, i)).collect();
+        let pairs: Vec<(i64, CommitValue)> =
+            (0..2_000i64).map(|i| (i, CommitValue::Int(i))).collect();
         wal.write_snapshot(last, &pairs).unwrap();
         assert!(wal.begin_snapshot(), "slot released after write");
         wal.abandon_snapshot();
@@ -752,7 +759,7 @@ mod tests {
                 let hook = &hook;
                 scope.spawn(move || {
                     for i in 0..200i64 {
-                        hook.on_commit(&[CommitOp::Put { id: t, value: i }], &mut || true)
+                        hook.on_commit(&[CommitOp::put(t, i)], &mut || true)
                             .unwrap();
                     }
                 });

@@ -8,6 +8,12 @@
 //! transfers — must observe exactly the seeded total. A torn or
 //! non-serializable execution shows up as a drifted sum either mid-run or
 //! at the end.
+//!
+//! Protocol v2 is the default client framing here (typed values, coded
+//! errors); dedicated tests drive a v1 text client and a v2 framed client
+//! **concurrently** against one server, and prove that a WAL written in
+//! the v1-era integer-only format recovers losslessly into the typed
+//! store.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -15,7 +21,7 @@ use std::thread;
 use std::time::Duration;
 
 use greedy_stm::cm::ManagerKind;
-use greedy_stm::kv::{KvClient, KvServer, ServerConfig};
+use greedy_stm::kv::{KvClient, KvError, KvServer, ServerConfig, Value};
 
 const KEYS: i64 = 16;
 const SEED_BALANCE: i64 = 100;
@@ -63,6 +69,7 @@ fn concurrent_batches_are_serializable_under_every_manager() {
                 let audits_ok = Arc::clone(&audits_ok);
                 scope.spawn(move || {
                     let mut client = KvClient::connect(addr).unwrap();
+                    assert_eq!(client.protocol_version(), 2);
                     for i in 0..batches_per_client {
                         let roll = scramble((c * batches_per_client + i) as u64);
                         let from = (roll % KEYS as u64) as i64;
@@ -110,12 +117,16 @@ fn concurrent_batches_are_serializable_under_every_manager() {
             stats.batches,
             clients * batches_per_client
         );
+        assert!(
+            stats.cells_allocated >= KEYS as u64,
+            "{manager}: STATS must report keyspace growth, got {stats:?}"
+        );
         auditor.quit().unwrap();
         let in_process = {
             let stm = Arc::clone(server.stm());
             let store = Arc::clone(server.store());
             let mut ctx = stm.thread();
-            ctx.atomically(|tx| store.sum(tx, 0, KEYS - 1)).unwrap()
+            ctx.atomically(|tx| store.sum(tx, 0, KEYS - 1)).unwrap().unwrap()
         };
         assert_eq!(
             in_process,
@@ -126,6 +137,75 @@ fn concurrent_batches_are_serializable_under_every_manager() {
         // Clean shutdown: joins the acceptor and every worker.
         server.shutdown();
     }
+}
+
+/// The mixed-version acceptance criterion: a v1 text client and a v2 framed
+/// client run concurrent conserving transfers against one live server, with
+/// typed string traffic in flight on a disjoint key range; every audit from
+/// both protocol generations observes the conserved total.
+#[test]
+fn v1_and_v2_clients_transfer_concurrently_and_conserve() {
+    let mut server = start_server(ManagerKind::Greedy, 4);
+    let addr = server.addr();
+    seed_balances(addr);
+
+    thread::scope(|scope| {
+        // The v1 text client: integer transfers + audits.
+        scope.spawn(move || {
+            let mut client = KvClient::connect_v1(addr).unwrap();
+            assert_eq!(client.protocol_version(), 1);
+            for i in 0..40usize {
+                let roll = scramble(i as u64 ^ 0x11);
+                let from = (roll % KEYS as u64) as i64;
+                let to = ((roll >> 8) % KEYS as u64) as i64;
+                client.transfer(from, to, ((roll >> 16) % 20) as i64 + 1).unwrap();
+                if i % 5 == 0 {
+                    assert_eq!(
+                        client.sum(0, KEYS - 1).unwrap().0,
+                        TOTAL,
+                        "v1 audit observed a torn total"
+                    );
+                }
+            }
+            client.quit().unwrap();
+        });
+        // The v2 framed client: integer transfers + typed string writes on
+        // the negative keys (outside the audit window).
+        scope.spawn(move || {
+            let mut client = KvClient::connect(addr).unwrap();
+            assert_eq!(client.protocol_version(), 2);
+            for i in 0..40usize {
+                let roll = scramble(i as u64 ^ 0x22);
+                let from = (roll % KEYS as u64) as i64;
+                let to = ((roll >> 8) % KEYS as u64) as i64;
+                client.transfer(from, to, ((roll >> 16) % 20) as i64 + 1).unwrap();
+                client
+                    .put(-(i as i64) - 1, format!("payload {i}\nwith\nnewlines"))
+                    .unwrap();
+                if i % 5 == 0 {
+                    assert_eq!(
+                        client.sum(0, KEYS - 1).unwrap().0,
+                        TOTAL,
+                        "v2 audit observed a torn total"
+                    );
+                }
+            }
+            client.quit().unwrap();
+        });
+    });
+
+    // Both generations agree on the final state.
+    let mut v1 = KvClient::connect_v1(addr).unwrap();
+    let mut v2 = KvClient::connect(addr).unwrap();
+    assert_eq!(v1.sum(0, KEYS - 1).unwrap(), (TOTAL, KEYS as usize));
+    assert_eq!(v2.sum(0, KEYS - 1).unwrap(), (TOTAL, KEYS as usize));
+    assert_eq!(
+        v2.get_str(-1).unwrap().as_deref(),
+        Some("payload 0\nwith\nnewlines")
+    );
+    v1.quit().unwrap();
+    v2.quit().unwrap();
+    server.shutdown();
 }
 
 #[test]
@@ -140,12 +220,19 @@ fn server_survives_client_errors_and_disconnects() {
         drop(rude); // no QUIT
     }
     // Dynamic keyspace: far-out keys are legal, and the connection survives
-    // a durability request the volatile server must refuse.
+    // a durability request the volatile server must refuse — with a coded
+    // error, not an opaque string.
     let mut client = KvClient::connect(addr).unwrap();
     assert_eq!(client.get(KEYS * 10).unwrap(), None);
-    assert!(client.snapshot().unwrap_err().to_string().contains("durability disabled"));
+    match client.snapshot().unwrap_err() {
+        KvError::Server { code, message } => {
+            assert_eq!(code, greedy_stm::kv::ErrorCode::Wal, "{message}");
+            assert!(message.contains("durability disabled"), "{message}");
+        }
+        other => panic!("expected coded server error, got {other}"),
+    }
     client.ping().unwrap();
-    assert_eq!(client.get(0).unwrap(), Some(1));
+    assert_eq!(client.get(0).unwrap(), Some(Value::Int(1)));
     client.quit().unwrap();
     server.shutdown();
 }
@@ -230,6 +317,162 @@ fn restart_preserves_balance_conservation() {
             walstats.next_seq
         );
         auditor.quit().unwrap();
+        server.shutdown();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Typed values survive the full durability loop: strings and blobs written
+/// over v2 (newlines, NULs, multi-byte UTF-8), snapshot taken mid-history,
+/// more typed writes, restart — everything must come back byte-exact.
+#[test]
+fn restart_recovers_typed_values_through_snapshot_and_tail() {
+    let dir = temp_wal_dir("typed");
+    let text_snap = "snapshotted\nstring \0 with — ✓ 🦀";
+    let text_tail = "tail\u{0}string\nafter the cut";
+    let blob: Vec<u8> = vec![0, 255, 10, 13, 0, 42];
+    {
+        let mut server = start_durable_server(ManagerKind::Greedy, 3, &dir, 0);
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        client.put(1, text_snap).unwrap();
+        client.put(2, blob.clone()).unwrap();
+        client.put(3, 300).unwrap();
+        let (seq, keys) = client.snapshot().unwrap();
+        assert!(seq > 0);
+        assert_eq!(keys, 3);
+        // Post-snapshot tail: an overwrite and a fresh typed key.
+        client.put(1, text_tail).unwrap();
+        client.put(-7, "negative key survives too").unwrap();
+        client.del(3).unwrap();
+        client.quit().unwrap();
+        server.shutdown();
+    }
+    let mut server = start_durable_server(ManagerKind::Greedy, 2, &dir, 0);
+    let mut client = KvClient::connect(server.addr()).unwrap();
+    assert_eq!(client.get_str(1).unwrap().as_deref(), Some(text_tail));
+    assert_eq!(client.get_bytes(2).unwrap(), Some(blob));
+    assert_eq!(client.get(3).unwrap(), None, "deleted key must stay deleted");
+    assert_eq!(
+        client.get_str(-7).unwrap().as_deref(),
+        Some("negative key survives too")
+    );
+    client.quit().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The v1-compatibility acceptance criterion, property-tested: a WAL
+/// directory written entirely in the **v1 format** (magic-less segments of
+/// integer-only records plus an optional v1 snapshot — exactly what a
+/// server predating this protocol left behind) must recover losslessly
+/// into the typed v2 server, for seeded random histories.
+#[test]
+fn v1_format_wal_replays_losslessly_into_the_v2_server() {
+    use greedy_stm::log::{record, snapshot};
+    use std::collections::BTreeMap;
+    use std::io::Write;
+    use stm_core::{CommitOp, CommitValue};
+
+    for seed in 0..5u64 {
+        let dir = temp_wal_dir(&format!("v1wal-{seed}"));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // A seeded integer-only history, as a v1 server would have logged
+        // it (deterministic scramble; no RNG plumbing).
+        let transactions = 30 + (scramble(seed) % 50) as usize;
+        let mut model: BTreeMap<i64, i64> = BTreeMap::new();
+        let mut golden: Vec<Vec<CommitOp>> = Vec::new();
+        for t in 0..transactions {
+            let roll = scramble(seed * 1000 + t as u64);
+            let key = (roll % 24) as i64;
+            let op = if roll.is_multiple_of(5) {
+                model.remove(&key);
+                CommitOp::del(key)
+            } else {
+                let value = ((roll >> 16) % 2000) as i64 - 1000;
+                model.insert(key, value);
+                CommitOp::put(key, value)
+            };
+            golden.push(vec![op]);
+        }
+        // Split into two magic-less v1 segments.
+        let split = 1 + (scramble(seed ^ 0xF00) % transactions as u64) as usize;
+        let mut seg = Vec::new();
+        for (i, ops) in golden[..split].iter().enumerate() {
+            record::encode_v1_into(&mut seg, (i + 1) as u64, ops);
+        }
+        std::fs::File::create(dir.join(format!("wal-{:020}.log", 1)))
+            .unwrap()
+            .write_all(&seg)
+            .unwrap();
+        if split < transactions {
+            let mut seg = Vec::new();
+            for (i, ops) in golden[split..].iter().enumerate() {
+                record::encode_v1_into(&mut seg, (split + i + 1) as u64, ops);
+            }
+            std::fs::File::create(dir.join(format!("wal-{:020}.log", split + 1)))
+                .unwrap()
+                .write_all(&seg)
+                .unwrap();
+        }
+        // Half the seeds also get a v1 snapshot covering a prefix.
+        if seed % 2 == 0 {
+            let snap_at = 1 + (scramble(seed ^ 0xBEEF) % split as u64);
+            let mut at_cut: BTreeMap<i64, i64> = BTreeMap::new();
+            for ops in &golden[..snap_at as usize] {
+                for op in ops {
+                    match op {
+                        CommitOp::Put { id, value } => {
+                            at_cut.insert(*id, value.as_int().unwrap());
+                        }
+                        CommitOp::Del { id } => {
+                            at_cut.remove(id);
+                        }
+                    }
+                }
+            }
+            let pairs: Vec<(i64, CommitValue)> = at_cut
+                .into_iter()
+                .map(|(k, v)| (k, CommitValue::Int(v)))
+                .collect();
+            let bytes = snapshot::encode_v1(snap_at, &pairs);
+            std::fs::File::create(dir.join(snapshot::snapshot_file_name(snap_at)))
+                .unwrap()
+                .write_all(&bytes)
+                .unwrap();
+        }
+
+        // Start the v2 server on the v1-era directory: the typed store must
+        // hold exactly the model state.
+        let mut server = start_durable_server(ManagerKind::Greedy, 2, &dir, 0);
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        for key in 0..24i64 {
+            assert_eq!(
+                client.get_int(key).unwrap(),
+                model.get(&key).copied(),
+                "seed {seed}: key {key} diverged after v1 replay"
+            );
+        }
+        let expected_total: i64 = model.values().sum();
+        assert_eq!(
+            client.sum(0, 23).unwrap(),
+            (expected_total, model.len()),
+            "seed {seed}: v1 WAL replay lost or invented state"
+        );
+        // The upgraded server continues the same log with typed values...
+        client.put(100, "typed value after upgrade").unwrap();
+        client.quit().unwrap();
+        server.shutdown();
+        // ...and both generations survive the next restart.
+        let mut server = start_durable_server(ManagerKind::Greedy, 2, &dir, 0);
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        assert_eq!(client.sum(0, 23).unwrap(), (expected_total, model.len()));
+        assert_eq!(
+            client.get_str(100).unwrap().as_deref(),
+            Some("typed value after upgrade"),
+            "seed {seed}: typed tail lost on the second restart"
+        );
+        client.quit().unwrap();
         server.shutdown();
         let _ = std::fs::remove_dir_all(&dir);
     }
