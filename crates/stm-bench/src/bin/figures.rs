@@ -18,7 +18,10 @@
 //! (E13: 50%-string-value PUT mix vs the int baseline over a durable
 //! server), `ablate`
 //! (E12: one `ManagerParams` knob per figure — greedy timeout, karma
-//! increment, backoff cap), `chain` (the Section 4 adversarial chain),
+//! increment, backoff cap), `churn` (E14: rolling PUT+DEL keyspace churn —
+//! cell-GC boundedness and commit-path cost; exits non-zero when the
+//! resident-cell bound is violated, which is the CI leak gate),
+//! `chain` (the Section 4 adversarial chain),
 //! `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
 //! `ablation-reads` (visible vs invisible reads), `all` (everything except
 //! `matrix`, `readfrac`, `server`, `durability`, `strings` and `ablate`).
@@ -33,12 +36,13 @@
 use std::time::Duration;
 
 use stm_bench::{
-    ablation_sweep, bound_experiment, chain_experiment, default_ablation_knobs,
+    ablation_sweep, bound_experiment, chain_experiment, churn_experiment, default_ablation_knobs,
     default_durability_policies, default_read_fractions, durability_matrix, fig1_list,
     fig2_skiplist, fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep,
     render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
     render_rows, run_netload, run_workload, starvation_experiment, string_value_matrix,
-    workload_matrix, NetLoadConfig, OpMix, StructureKind, SweepConfig, WorkloadConfig,
+    workload_matrix, ChurnConfig, NetLoadConfig, OpMix, StructureKind, SweepConfig,
+    WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
@@ -353,6 +357,74 @@ fn main() {
                             r.no_starvation
                         );
                     }
+                }
+            }
+            "churn" => {
+                // E14: rolling PUT+DEL over fresh keys — the workload that
+                // used to leak a cell per key. Doubles as the CI leak gate:
+                // any unbounded row fails the process.
+                let cfg = match mode.as_str() {
+                    "smoke" => ChurnConfig::smoke(),
+                    "quick" => ChurnConfig::quick(),
+                    _ => ChurnConfig::default(),
+                };
+                let managers: Vec<ManagerKind> = if quick {
+                    vec![ManagerKind::Greedy, ManagerKind::Karma]
+                } else {
+                    vec![
+                        ManagerKind::Greedy,
+                        ManagerKind::Karma,
+                        ManagerKind::Timestamp,
+                        ManagerKind::Polka,
+                    ]
+                };
+                let rows: Vec<_> = managers
+                    .iter()
+                    .map(|m| churn_experiment(*m, &cfg))
+                    .collect();
+                if json {
+                    println!("{}", render_rows(&rows));
+                } else {
+                    println!(
+                        "# E14 — keyspace churn: commit-time cell GC ({} threads, window {})",
+                        cfg.threads, cfg.window
+                    );
+                    println!(
+                        "{:>12} {:>10} {:>10} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                        "manager", "ops", "ops/s", "put-ns", "del-ns", "alloc", "freed",
+                        "linked^", "bound", "limbo^", "bounded"
+                    );
+                    for r in &rows {
+                        println!(
+                            "{:>12} {:>10} {:>10.0} {:>9.0} {:>9.0} {:>10} {:>10} {:>8} {:>8} {:>8} {:>8}",
+                            r.manager,
+                            r.ops,
+                            r.throughput,
+                            r.put_ns,
+                            r.del_ns,
+                            r.cells_allocated,
+                            r.cells_freed,
+                            r.linked_peak,
+                            r.linked_bound,
+                            r.limbo_watermark,
+                            r.bounded
+                        );
+                    }
+                }
+                if let Some(bad) = rows.iter().find(|r| !r.bounded) {
+                    eprintln!(
+                        "churn bound violated under {}: peak {} linked cells exceeds \
+                         the bound {} for {} live keys (allocated {}, freed {}, \
+                         limbo watermark {})",
+                        bad.manager,
+                        bad.linked_peak,
+                        bad.linked_bound,
+                        bad.live_keys,
+                        bad.cells_allocated,
+                        bad.cells_freed,
+                        bad.limbo_watermark
+                    );
+                    std::process::exit(1);
                 }
             }
             "ablation-reads" => ablation_reads(quick, json),

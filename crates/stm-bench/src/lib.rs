@@ -18,6 +18,7 @@
 //! | E11 | Durability overhead — fsync policy × manager over a WAL-backed server | [`netload::durability_matrix`] |
 //! | E13 | String-value serving — typed `PUT` mix vs int baseline over a durable server | [`netload::string_value_matrix`] |
 //! | E12 | Manager-parameter ablation — one `ManagerParams` knob per figure | [`figures::ablation_sweep`] |
+//! | E14 | Keyspace churn — commit-time cell GC boundedness and cost | [`churn::churn_experiment`] |
 //!
 //! The paper measures committed transactions per second as a function of the
 //! number of threads (1–32) on a 256-key integer set with a 100% update mix;
@@ -35,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod churn;
 pub mod figures;
 pub mod netload;
 pub mod report;
@@ -42,6 +44,7 @@ pub mod starvation;
 pub mod theory;
 pub mod workload;
 
+pub use churn::{churn_experiment, ChurnConfig, ChurnRow};
 pub use figures::{
     ablation_sweep, default_ablation_knobs, default_read_fractions, fig1_list, fig2_skiplist,
     fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, workload_matrix,

@@ -58,6 +58,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod clock;
+pub mod epoch;
 pub mod error;
 pub mod hook;
 pub mod manager;
@@ -69,6 +70,7 @@ pub mod txn;
 pub mod wait;
 
 pub use clock::TimestampClock;
+pub use epoch::{EpochGc, EpochStats, PinSlot};
 pub use error::{AbortCause, StmError, TxResult};
 pub use hook::{CommitHook, CommitOp, CommitValue};
 pub use manager::{ConflictKind, ContentionManager, ManagerFactory, Resolution, TxView};

@@ -4,6 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::clock::TimestampClock;
+use crate::epoch::{EpochGc, PinSlot};
 use crate::error::{AbortCause, StmError, TxResult};
 use crate::hook::CommitHook;
 use crate::manager::{factory, ContentionManager, ManagerFactory, PoliteManager, TxView};
@@ -125,6 +126,7 @@ impl StmBuilder {
             next_tx_id: AtomicU64::new(1),
             config: self.config,
             stats: StmStats::new(),
+            epoch: EpochGc::new(),
         }
     }
 }
@@ -140,6 +142,7 @@ pub struct Stm {
     next_tx_id: AtomicU64,
     config: StmConfig,
     stats: StmStats,
+    epoch: EpochGc,
 }
 
 impl Default for Stm {
@@ -160,6 +163,7 @@ impl Stm {
         ThreadCtx {
             stm: self,
             manager: (self.config.manager_factory)(),
+            pin: self.epoch.register(),
         }
     }
 
@@ -167,7 +171,11 @@ impl Stm {
     /// manager, overriding the configured factory. Useful for comparing
     /// managers within one program (see the `manager_showdown` example).
     pub fn thread_with(&self, manager: Box<dyn ContentionManager>) -> ThreadCtx<'_> {
-        ThreadCtx { stm: self, manager }
+        ThreadCtx {
+            stm: self,
+            manager,
+            pin: self.epoch.register(),
+        }
     }
 
     /// Reads the latest committed value of a single [`TVar`] outside any
@@ -186,6 +194,13 @@ impl Stm {
         &self.clock
     }
 
+    /// The epoch-based reclamation domain of this STM instance. Layers that
+    /// unlink transactional objects from shared lookup structures at commit
+    /// time retire them here; see [`crate::epoch`].
+    pub fn epoch(&self) -> &EpochGc {
+        &self.epoch
+    }
+
     pub(crate) fn config(&self) -> &StmConfig {
         &self.config
     }
@@ -202,6 +217,9 @@ impl Stm {
 pub struct ThreadCtx<'stm> {
     stm: &'stm Stm,
     manager: Box<dyn ContentionManager>,
+    /// This thread's epoch pin; pinned for the duration of every attempt so
+    /// retired objects outlive any transaction that could still reach them.
+    pin: Arc<PinSlot>,
 }
 
 impl<'stm> std::fmt::Debug for ThreadCtx<'stm> {
@@ -287,6 +305,11 @@ impl<'stm> ThreadCtx<'stm> {
             attempt += 1;
             report.attempts = attempt;
             stm.stats.note_attempt();
+            // Pin this thread's epoch for the attempt: any object another
+            // transaction unlinks and retires while we run stays in limbo
+            // until we unpin, so references we picked up from shared lookup
+            // tables remain valid for the whole attempt.
+            let _pin = stm.epoch.enter(&self.pin);
             let shared = Arc::new(TxShared::new(Arc::clone(&lineage), attempt));
             let manager: &mut dyn ContentionManager = self.manager.as_mut();
             manager.begin(TxView::new(&shared));
@@ -553,6 +576,43 @@ mod tests {
         assert_eq!(result, Err(StmError::RetryLimitExceeded { attempts: 2 }));
         assert_eq!(report.attempts, 2);
         assert_eq!(report.aborts, 2);
+    }
+
+    #[test]
+    fn attempts_pin_and_unpin_the_epoch() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| {
+            assert!(
+                tx.epoch().min_pinned().is_some(),
+                "an attempt must hold an epoch pin"
+            );
+            tx.read(&v)
+        })
+        .unwrap();
+        assert_eq!(
+            stm.epoch().min_pinned(),
+            None,
+            "the pin must be released once the attempt finishes"
+        );
+    }
+
+    #[test]
+    fn read_heavy_loop_keeps_visible_reader_list_bounded() {
+        let stm = Stm::default();
+        let v = TVar::new(0u32);
+        let mut ctx = stm.thread();
+        for _ in 0..5_000 {
+            ctx.atomically(|tx| tx.read(&v)).unwrap();
+        }
+        // Every committed reader unregisters itself and pruning removes any
+        // stragglers, so the list never accumulates finished readers.
+        assert!(
+            v.inner().reader_count() <= 1,
+            "reader list leaked: {} entries after a read-only loop",
+            v.inner().reader_count()
+        );
     }
 
     #[test]

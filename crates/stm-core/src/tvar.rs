@@ -159,12 +159,15 @@ impl<T> TVarInner<T> {
         guard.retain(|r| !std::ptr::eq(Arc::as_ptr(r), reader) && r.is_active());
     }
 
-    /// Returns the currently registered active readers other than `me`.
+    /// Returns the currently registered active readers other than `me`,
+    /// pruning finished readers on the way so the list stays bounded even
+    /// on write-heavy paths that never register.
     pub(crate) fn active_readers(&self, me: &Arc<TxShared>) -> Vec<Arc<TxShared>> {
-        let guard = self.readers.lock();
+        let mut guard = self.readers.lock();
+        guard.retain(|r| r.is_active());
         guard
             .iter()
-            .filter(|r| !Arc::ptr_eq(r, me) && r.is_active())
+            .filter(|r| !Arc::ptr_eq(r, me))
             .cloned()
             .collect()
     }
@@ -438,6 +441,34 @@ mod tests {
             .all(|r| Arc::ptr_eq(r, &r1)));
         inner.unregister_reader(&r1);
         assert!(inner.active_readers(&r3).is_empty());
+    }
+
+    #[test]
+    fn reader_list_stays_bounded_under_register_churn() {
+        let inner = TVarInner::new(0u32);
+        for i in 0..10_000u32 {
+            let r = fresh_shared();
+            inner.register_reader(&r);
+            if i % 2 == 0 {
+                r.try_commit();
+            } else {
+                r.try_abort();
+            }
+            // Only every fourth reader explicitly unregisters — the rest
+            // rely on pruning (register, unregister and active_readers all
+            // drop finished entries).
+            if i % 4 == 0 {
+                inner.unregister_reader(&r);
+            }
+        }
+        assert!(
+            inner.reader_count() <= 1,
+            "reader list leaked: {} entries",
+            inner.reader_count()
+        );
+        let me = fresh_shared();
+        assert!(inner.active_readers(&me).is_empty());
+        assert!(inner.reader_count() <= 1);
     }
 
     #[test]

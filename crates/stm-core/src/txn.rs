@@ -19,6 +19,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use crate::epoch::EpochGc;
 use crate::error::{AbortCause, StmError, TxResult};
 use crate::hook::CommitOp;
 use crate::manager::{ConflictKind, ContentionManager, Resolution, TxView};
@@ -226,6 +227,10 @@ impl TxShared {
 ///
 /// Obtained from [`crate::ThreadCtx::atomically`]; all operations may fail
 /// with [`StmError::Aborted`], in which case the error should simply be
+/// An action registered with [`Txn::defer_on_commit`], run only if the
+/// transaction commits.
+type DeferredAction = Box<dyn FnOnce(&EpochGc) + Send>;
+
 /// propagated with `?` — the runtime will retry the closure.
 pub struct Txn<'ctx> {
     stm: &'ctx Stm,
@@ -236,6 +241,7 @@ pub struct Txn<'ctx> {
     stats: TxnStats,
     published: Vec<CommitOp>,
     publish_forced: bool,
+    deferred: Vec<DeferredAction>,
     commit_seq: Option<u64>,
     validation_failed: bool,
     finished: bool,
@@ -267,6 +273,7 @@ impl<'ctx> Txn<'ctx> {
             stats: TxnStats::new(),
             published: Vec::new(),
             publish_forced: false,
+            deferred: Vec::new(),
             commit_seq: None,
             validation_failed: false,
             finished: false,
@@ -327,6 +334,38 @@ impl<'ctx> Txn<'ctx> {
     /// nothing was published and no marker was requested).
     pub fn commit_seq(&self) -> Option<u64> {
         self.commit_seq
+    }
+
+    /// Registers an action to run **after** this attempt's commit point (the
+    /// status CAS), receiving the [`Stm`]'s reclamation domain. An aborted
+    /// attempt discards its actions — a retry starts with an empty list.
+    ///
+    /// This is the hook commit-time garbage collection hangs off: a store
+    /// that deletes a key registers the unlink-and-retire of the key's cell
+    /// here, so the unlink happens exactly once, and only for the attempt
+    /// that actually committed the delete.
+    pub fn defer_on_commit(&mut self, action: impl FnOnce(&EpochGc) + Send + 'static) {
+        self.deferred.push(Box::new(action));
+    }
+
+    /// Whether this transaction currently owns `tvar` for writing (it has an
+    /// uncommitted write to it in this attempt). Lets callers distinguish
+    /// "I wrote this tombstone myself" from "another transaction committed
+    /// it" without consulting their own bookkeeping.
+    pub fn owns<T>(&self, tvar: &TVar<T>) -> bool
+    where
+        T: Send + Sync + 'static,
+    {
+        tvar.inner()
+            .load_locator()
+            .owner()
+            .is_some_and(|owner| Arc::ptr_eq(owner, &self.shared))
+    }
+
+    /// The epoch-based reclamation domain of the [`Stm`] this transaction
+    /// runs on (see [`crate::epoch`]).
+    pub fn epoch(&self) -> &'ctx EpochGc {
+        self.stm.epoch()
     }
 
     /// Reads the value of `tvar`, returning a clone.
@@ -617,6 +656,11 @@ impl<'ctx> Txn<'ctx> {
         for read in &self.reads {
             read.release(&self.shared);
         }
+        // Deferred actions run after the commit point and after the writes
+        // are detached, so they observe the committed values they test for.
+        for action in self.deferred.drain(..) {
+            action(self.stm.epoch());
+        }
         self.manager.committed(TxView::new(&self.shared));
         self.stm.stats().note_commit(&self.stats);
         self.finished = true;
@@ -629,6 +673,7 @@ impl<'ctx> Txn<'ctx> {
             return;
         }
         self.shared.try_abort();
+        self.deferred.clear();
         for read in &self.reads {
             read.release(&self.shared);
         }

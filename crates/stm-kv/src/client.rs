@@ -231,9 +231,14 @@ pub struct ServerStatsSnapshot {
     pub errors: u64,
     /// Connections accepted.
     pub connections: u64,
-    /// Value cells materialised so far (an upper bound on live keys — the
-    /// keyspace-growth gauge).
+    /// Value cells ever materialised (monotone — the keyspace-growth
+    /// gauge; subtract [`cells_freed`](Self::cells_freed) and
+    /// [`limbo`](Self::limbo) for the live resident count).
     pub cells_allocated: u64,
+    /// Deleted keys' cells the epoch GC has reclaimed.
+    pub cells_freed: u64,
+    /// Retired cells still waiting out their epoch grace period.
+    pub limbo: u64,
     /// Overflow cells per index shard (keys outside the pre-allocated
     /// range), in shard order.
     pub overflow_per_shard: Vec<u64>,
@@ -610,6 +615,8 @@ impl KvClient {
                 "errors" => stats.errors = value,
                 "connections" => stats.connections = value,
                 "cells" => stats.cells_allocated = value,
+                "cells_freed" => stats.cells_freed = value,
+                "limbo" => stats.limbo = value,
                 _ => {} // forward-compatible: ignore unknown counters
             }
         }
@@ -929,6 +936,16 @@ mod tests {
         assert!(stats.batches >= 2);
         assert!(stats.cells_allocated >= 2, "{stats:?}");
         assert_eq!(stats.overflow_per_shard.len(), 4, "{stats:?}");
+        // Churn a far-out (overflow) key: its cell must show up as freed
+        // (or at worst still in limbo) in the next STATS reply.
+        client.put(5_000_000, 1).unwrap();
+        assert!(client.del(5_000_000).unwrap());
+        let after = client.stats().unwrap();
+        assert!(
+            after.cells_freed + after.limbo >= 1,
+            "deleted overflow cell must be reclaimed or in limbo: {after:?}"
+        );
+        assert!(after.cells_allocated > stats.cells_allocated, "{after:?}");
         client.quit().unwrap();
     }
 

@@ -364,39 +364,24 @@ impl Drop for KvServer {
     }
 }
 
-/// Rebuilds the store from what recovery found: snapshot pairs first, then
-/// the log tail, in chunks so no single transaction grows unboundedly.
-/// Replay transactions publish nothing, so they are not re-logged.
+/// Rebuilds the store from what recovery found. The snapshot pairs and log
+/// tail are first folded down to the final live key set
+/// ([`stm_log::Recovered::live_pairs`]) so replay only ever PUTs keys that
+/// survive: a key whose last logged op was a `Del` never materialises a
+/// value cell, instead of being allocated by an intermediate `Put` and then
+/// tombstoned again. Replay runs in chunks so no single transaction grows
+/// unboundedly; replay transactions publish nothing, so they are not
+/// re-logged.
 fn replay_recovered(stm: &Stm, store: &KvStore, recovered: &stm_log::Recovered) {
     let mut ctx = stm.thread();
-    if let Some(snapshot) = &recovered.snapshot {
-        for chunk in snapshot.pairs.chunks(REPLAY_CHUNK) {
-            ctx.atomically(|tx| {
-                for (key, value) in chunk {
-                    store.put(tx, *key, value.clone())?;
-                }
-                Ok(())
-            })
-            .expect("snapshot replay transaction must commit");
-        }
-    }
-    for chunk in recovered.tail.chunks(REPLAY_CHUNK) {
+    for chunk in recovered.live_pairs().chunks(REPLAY_CHUNK) {
         ctx.atomically(|tx| {
-            for (_seq, ops) in chunk {
-                for op in ops {
-                    match op {
-                        CommitOp::Put { id, value } => {
-                            store.put(tx, *id, value.clone())?;
-                        }
-                        CommitOp::Del { id } => {
-                            store.del(tx, *id)?;
-                        }
-                    }
-                }
+            for (key, value) in chunk {
+                store.put(tx, *key, value.clone())?;
             }
             Ok(())
         })
-        .expect("log replay transaction must commit");
+        .expect("recovery replay transaction must commit");
     }
 }
 
@@ -460,12 +445,19 @@ fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request, log: bool) -> TxR
 }
 
 /// The `STATS` payload: stable `key=value` pairs so clients can parse it.
-/// `cells` counts every value cell ever materialised; `overflow` is the
-/// per-shard breakdown of cells outside the pre-allocated range
-/// (comma-separated, one count per shard) — together they make keyspace
-/// growth observable from the wire.
+/// `cells` counts every value cell ever materialised (monotone);
+/// `cells_freed` is how many of those the epoch GC has reclaimed after a
+/// committed `DEL`, and `limbo` is how many retired cells are still waiting
+/// out their grace period — so `cells - cells_freed - limbo` is the live
+/// resident cell count. `overflow` is the per-shard breakdown of cells
+/// currently linked outside the pre-allocated range (comma-separated, one
+/// count per shard). Together they make keyspace growth *and reclamation*
+/// observable from the wire.
 fn stats_payload(stm: &Stm, counters: &ServerCounters, store: &KvStore) -> String {
     let snapshot = stm.stats().snapshot();
+    // Sweep reclaimable limbo entries first so the reply reflects what is
+    // actually freeable now, not just what the last commit happened to sweep.
+    stm.epoch().collect();
     let overflow = store
         .overflow_per_shard()
         .iter()
@@ -474,7 +466,7 @@ fn stats_payload(stm: &Stm, counters: &ServerCounters, store: &KvStore) -> Strin
         .join(",");
     format!(
         "commits={} aborts={} requests={} batches={} retries={} errors={} connections={} \
-         cells={} overflow={}",
+         cells={} cells_freed={} limbo={} overflow={}",
         snapshot.commits,
         snapshot.aborts,
         counters.requests.load(Ordering::Relaxed),
@@ -483,6 +475,8 @@ fn stats_payload(stm: &Stm, counters: &ServerCounters, store: &KvStore) -> Strin
         counters.errors.load(Ordering::Relaxed),
         counters.connections.load(Ordering::Relaxed),
         store.cells_allocated(),
+        stm.epoch().reclaimed_total(),
+        stm.epoch().limbo_len(),
         overflow,
     )
 }
@@ -1039,6 +1033,11 @@ mod tests {
         let stats = say("STATS", &mut reader);
         assert!(stats.starts_with("STATS commits="), "got '{stats}'");
         assert!(stats.contains(" cells="), "STATS must expose cell growth: '{stats}'");
+        assert!(
+            stats.contains(" cells_freed="),
+            "STATS must expose cell reclamation: '{stats}'"
+        );
+        assert!(stats.contains(" limbo="), "STATS must expose GC limbo depth: '{stats}'");
         assert!(stats.contains(" overflow="), "STATS must expose overflow shards: '{stats}'");
         assert_eq!(say("QUIT", &mut reader), "BYE");
     }

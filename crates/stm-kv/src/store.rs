@@ -3,29 +3,46 @@
 //! A [`KvStore`] is a **dynamic** map from arbitrary `i64` keys to typed
 //! [`Value`]s (`Int` / `Str` / `Bytes`). Presence is tracked by a sharded
 //! red-black-tree index ([`ShardedTxSet`]); each key's value lives in its
-//! own [`TVar<Option<Value>>`]. The split matters for contention: a
-//! `PUT`/`ADD` conflicts with another transaction only when both touch the
-//! same key's value cell or the same index path inside one shard —
-//! transactions on different shards are disjoint by construction.
+//! own `TVar` cell. The split matters for contention: a `PUT`/`ADD`
+//! conflicts with another transaction only when both touch the same key's
+//! value cell or the same index path inside one shard — transactions on
+//! different shards are disjoint by construction.
 //!
 //! Value cells live in two tiers. Keys inside the pre-allocated range
 //! (`0..prealloc`, the server's `--capacity` warm-up hint) resolve through
 //! a plain `Vec` — the same lock-free hot path the old fixed-capacity
-//! design had. Keys outside it are materialised on first touch: each shard
-//! owns a `Mutex<HashMap<key, TVar>>` overflow table, and `cell()` does a
-//! brief get-or-insert under that leaf lock. The lock guards only cell
-//! *identity* (two racing transactions must obtain the same `TVar` for one
-//! key — the create-on-first-use race the old design avoided by
-//! pre-allocating); cell *contents* remain under full STM arbitration, so
-//! serializability is untouched. Once created, a cell is never removed:
-//! `DEL` removes the key from the index (the transactional source of truth
-//! for membership) and writes `None` into the cell, leaving the `TVar` for
-//! cheap re-insertion — a deliberate trade: memory grows with the number of
-//! *distinct keys ever touched* (see [`KvStore::cells_allocated`] and
-//! [`KvStore::overflow_per_shard`], both exported over the wire in
-//! `STATS`), which is what lets the server recover an arbitrary keyspace
-//! from a log and lets `PUT`s outside any pre-declared range succeed
-//! without an admission race.
+//! design had; those cells are permanent and a delete simply clears them
+//! back to [`CellState::Vacant`]. Keys outside it are materialised on first
+//! touch: each shard owns a `parking_lot::Mutex<HashMap<key, TVar>>`
+//! overflow table, and cell lookup does a brief get-or-insert under that
+//! leaf lock. The lock guards only cell *identity* (two racing transactions
+//! must obtain the same `TVar` for one key); cell *contents* remain under
+//! full STM arbitration, so serializability is untouched.
+//!
+//! **Commit-time cell GC.** Unlike the original design, an overflow cell
+//! does not live forever once touched: a committed `DEL` reclaims it. The
+//! deleting transaction writes the [`CellState::Dead`] tombstone into the
+//! cell transactionally and registers a deferred action
+//! ([`stm_core::Txn::defer_on_commit`]) that — only if the delete actually
+//! committed and the tombstone is still the committed value — unlinks the
+//! cell from its shard table and retires it to the [`stm_core::EpochGc`]
+//! limbo, where it is dropped once every transaction that could still hold
+//! the old reference has unpinned.
+//!
+//! The tombstone is what makes the unlink race-free without blind writes:
+//! **every** store operation reads a key's cell before writing it (the
+//! [`KvStore::live_cell`] protocol). A committed `Dead` value is terminal —
+//! the only transaction allowed to overwrite a tombstone is the one that
+//! wrote it (a `DEL` followed by a `PUT` of the same key in one
+//! transaction, detected via [`stm_core::Txn::owns`]). A transaction that
+//! reads a committed tombstone therefore knows the cell is unlinked (or
+//! about to be), helps remove it from the table, and re-fetches a fresh
+//! cell; a transaction that raced the delete while it was still active
+//! conflicts with it on the cell itself and is arbitrated by the contention
+//! manager as usual. Keyspace growth is observable end to end:
+//! [`KvStore::cells_allocated`] counts every cell ever materialised
+//! (monotone), and the `cells_freed=`/`limbo=` counters exported in `STATS`
+//! come from the epoch domain's reclamation totals.
 //!
 //! **Typing.** The arithmetic operations (`ADD`, and `SUM` over a range)
 //! are only defined on `Int` values: hitting a `Str`/`Bytes` value reports
@@ -38,9 +55,11 @@
 //! serializable across clients.
 
 use std::collections::HashMap;
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use stm_core::{TVar, TxResult, Txn};
+use parking_lot::Mutex;
+use stm_core::{EpochGc, TVar, TxResult, Txn};
 use stm_structures::{ShardedTxSet, TxSet};
 
 use crate::Value;
@@ -63,16 +82,70 @@ impl std::fmt::Display for TypeMismatch {
 
 impl std::error::Error for TypeMismatch {}
 
-/// A dynamic transactional `i64 → Value` key-value store.
+/// The transactional state of one value cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum CellState {
+    /// No value; the cell is linked (or pre-allocated) and reusable.
+    Vacant,
+    /// A present value.
+    Full(Value),
+    /// The tombstone a committed `DEL` leaves in an overflow cell. Terminal
+    /// once committed: the deleter unlinks and retires the cell, and any
+    /// other transaction that reads this state re-fetches a fresh cell.
+    Dead,
+}
+
+impl CellState {
+    fn into_value(self) -> Option<Value> {
+        match self {
+            CellState::Full(value) => Some(value),
+            CellState::Vacant | CellState::Dead => None,
+        }
+    }
+}
+
+/// One shard's overflow cell table. The mutex guards cell identity only;
+/// it is never held across an STM operation.
+#[derive(Debug, Default)]
+struct CellShard {
+    cells: Mutex<HashMap<i64, TVar<CellState>>>,
+}
+
+impl CellShard {
+    /// Removes `cell` from the table (if it is still the cell linked under
+    /// `key`) and retires it to `gc`. Idempotent under the table lock:
+    /// exactly one caller — the deleter's deferred commit action or a
+    /// helping writer that found the tombstone first — wins the unlink and
+    /// performs the retire. Returns whether this call unlinked.
+    fn unlink_dead(&self, gc: &EpochGc, key: i64, cell: &TVar<CellState>) -> bool {
+        let mut cells = self.cells.lock();
+        let linked = cells.get(&key).is_some_and(|entry| entry.same_object(cell));
+        if linked {
+            cells.remove(&key);
+        }
+        drop(cells);
+        if linked {
+            gc.retire(Box::new(cell.clone()));
+        }
+        linked
+    }
+}
+
+/// A dynamic transactional `i64 → Value` key-value store with commit-time
+/// reclamation of deleted keys' cells.
 #[derive(Debug)]
 pub struct KvStore {
     index: ShardedTxSet,
-    /// Lock-free cells for the pre-allocated range `0..prealloc.len()`.
-    prealloc: Vec<TVar<Option<Value>>>,
+    /// Lock-free, permanent cells for the pre-allocated range
+    /// `0..prealloc.len()` — never unlinked, a delete writes `Vacant`.
+    prealloc: Vec<TVar<CellState>>,
     /// Per-shard overflow tables; `overflow[k.rem_euclid(shards)]` owns key
     /// `k`'s value cell when `k` is outside the pre-allocated range.
-    /// Sharded so cell creation does not serialize across the keyspace.
-    overflow: Vec<Mutex<HashMap<i64, TVar<Option<Value>>>>>,
+    /// Sharded so cell creation does not serialize across the keyspace;
+    /// `Arc` so deferred commit actions can capture their shard.
+    overflow: Vec<Arc<CellShard>>,
+    /// Overflow cells ever materialised (monotone; freed cells still count).
+    overflow_created: AtomicU64,
 }
 
 impl KvStore {
@@ -97,8 +170,9 @@ impl KvStore {
         assert!(shards > 0, "need at least one shard");
         KvStore {
             index: ShardedTxSet::rbtree(shards),
-            prealloc: (0..prealloc.max(0)).map(|_| TVar::new(None)).collect(),
-            overflow: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            prealloc: (0..prealloc.max(0)).map(|_| TVar::new(CellState::Vacant)).collect(),
+            overflow: (0..shards).map(|_| Arc::new(CellShard::default())).collect(),
+            overflow_created: AtomicU64::new(0),
         }
     }
 
@@ -107,45 +181,89 @@ impl KvStore {
         self.index.num_shards()
     }
 
-    /// The value cell for `key` — lock-free inside the pre-allocated range,
-    /// created on first touch under the shard's overflow lock outside it.
-    fn cell(&self, key: i64) -> TVar<Option<Value>> {
+    /// Whether `key` resolves through the permanent pre-allocated tier.
+    fn is_preallocated(&self, key: i64) -> bool {
+        usize::try_from(key).is_ok_and(|i| i < self.prealloc.len())
+    }
+
+    /// The overflow shard owning `key`'s cell.
+    fn overflow_shard(&self, key: i64) -> &Arc<CellShard> {
+        &self.overflow[key.rem_euclid(self.overflow.len() as i64) as usize]
+    }
+
+    /// The value cell currently linked for `key` — lock-free inside the
+    /// pre-allocated range, created on first touch under the shard's
+    /// overflow lock outside it.
+    fn fetch_cell(&self, key: i64) -> TVar<CellState> {
         if let Ok(i) = usize::try_from(key) {
             if let Some(cell) = self.prealloc.get(i) {
                 return cell.clone();
             }
         }
-        let shard = key.rem_euclid(self.overflow.len() as i64) as usize;
-        let mut cells = self.overflow[shard].lock().expect("cell table lock poisoned");
-        cells.entry(key).or_insert_with(|| TVar::new(None)).clone()
+        let mut cells = self.overflow_shard(key).cells.lock();
+        cells
+            .entry(key)
+            .or_insert_with(|| {
+                self.overflow_created.fetch_add(1, Ordering::Relaxed);
+                TVar::new(CellState::Vacant)
+            })
+            .clone()
     }
 
-    /// Number of value cells materialised so far (monotone; an upper bound
-    /// on the number of live keys, and the measure of the grows-forever
-    /// trade-off documented on the module).
+    /// Fetches `key`'s cell and reads it in `tx`, retrying past committed
+    /// tombstones. This is the read-before-write protocol every mutation
+    /// goes through: the tracked read is what lets the runtime arbitrate
+    /// with a concurrent deleter (or invalidate us if one commits first),
+    /// and a committed `Dead` state means the cell is unlinked or about to
+    /// be — we help unlink it and fetch the fresh replacement. Our own
+    /// uncommitted tombstone (a `DEL` earlier in this transaction) is
+    /// returned as-is so a re-`PUT` reuses the same cell.
+    fn live_cell(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<(TVar<CellState>, CellState)> {
+        loop {
+            let cell = self.fetch_cell(key);
+            let state = tx.read(&cell)?;
+            if state == CellState::Dead && !tx.owns(&cell) {
+                self.overflow_shard(key).unlink_dead(tx.epoch(), key, &cell);
+                continue;
+            }
+            return Ok((cell, state));
+        }
+    }
+
+    /// Number of value cells ever materialised (monotone — reclaimed cells
+    /// still count; subtract the epoch domain's reclaimed total for the
+    /// live figure, which is what the server's `STATS` reply surfaces as
+    /// `cells=` / `cells_freed=` / `limbo=`).
     pub fn cells_allocated(&self) -> usize {
+        self.prealloc.len() + self.overflow_created.load(Ordering::Relaxed) as usize
+    }
+
+    /// Number of cells currently linked (pre-allocated + overflow tables):
+    /// the store's actual resident cell count after reclamation.
+    pub fn cells_live(&self) -> usize {
         self.prealloc.len()
             + self
                 .overflow
                 .iter()
-                .map(|shard| shard.lock().expect("cell table lock poisoned").len())
+                .map(|shard| shard.cells.lock().len())
                 .sum::<usize>()
     }
 
-    /// Number of overflow cells materialised per shard — how the
-    /// outside-the-prealloc keyspace growth distributes across shards
-    /// (exported in the `STATS` reply so it is observable from the wire).
+    /// Number of overflow cells currently linked per shard — how the
+    /// outside-the-prealloc keyspace distributes across shards (exported in
+    /// the `STATS` reply so it is observable from the wire).
     pub fn overflow_per_shard(&self) -> Vec<usize> {
         self.overflow
             .iter()
-            .map(|shard| shard.lock().expect("cell table lock poisoned").len())
+            .map(|shard| shard.cells.lock().len())
             .collect()
     }
 
     /// Reads the value at `key`, or `None` when the key is absent.
     pub fn get(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<Value>> {
         if self.index.contains(tx, key)? {
-            Ok(tx.read(&self.cell(key))?)
+            let (_cell, state) = self.live_cell(tx, key)?;
+            Ok(state.into_value())
         } else {
             Ok(None)
         }
@@ -160,23 +278,37 @@ impl KvStore {
         value: impl Into<Value>,
     ) -> TxResult<Option<Value>> {
         let was_present = !self.index.insert(tx, key)?;
-        let cell = self.cell(key);
-        let previous = if was_present { tx.read(&cell)? } else { None };
-        tx.write(&cell, Some(value.into()))?;
-        Ok(previous)
+        let (cell, state) = self.live_cell(tx, key)?;
+        tx.write(&cell, CellState::Full(value.into()))?;
+        // A newly created key's stale cell content is not part of the map.
+        Ok(if was_present { state.into_value() } else { None })
     }
 
-    /// Removes `key`, returning its value if it was present. The cell is
-    /// cleared to `None` so a large deleted value does not linger in memory.
+    /// Removes `key`, returning its value if it was present. A
+    /// pre-allocated cell is cleared in place; an overflow cell receives
+    /// the `Dead` tombstone and, once the delete commits, is unlinked from
+    /// its shard table and retired to the epoch limbo for reclamation.
     pub fn del(&self, tx: &mut Txn<'_>, key: i64) -> TxResult<Option<Value>> {
-        if self.index.remove(tx, key)? {
-            let cell = self.cell(key);
-            let previous = tx.read(&cell)?;
-            tx.write(&cell, None)?;
-            Ok(previous)
-        } else {
-            Ok(None)
+        if !self.index.remove(tx, key)? {
+            return Ok(None);
         }
+        let (cell, state) = self.live_cell(tx, key)?;
+        if self.is_preallocated(key) {
+            tx.write(&cell, CellState::Vacant)?;
+        } else {
+            tx.write(&cell, CellState::Dead)?;
+            let shard = Arc::clone(self.overflow_shard(key));
+            let tombstone = cell;
+            tx.defer_on_commit(move |gc| {
+                // Skip when this same transaction re-PUT the key after the
+                // DEL: the committed value is then Full, and the cell stays.
+                if *tombstone.load_committed_arc() == CellState::Dead {
+                    shard.unlink_dead(gc, key, &tombstone);
+                }
+            });
+            return Ok(state.into_value());
+        }
+        Ok(state.into_value())
     }
 
     /// Adds `delta` to the integer value at `key` (treating an absent key as
@@ -190,26 +322,27 @@ impl KvStore {
         key: i64,
         delta: i64,
     ) -> TxResult<Result<i64, TypeMismatch>> {
-        let cell = self.cell(key);
-        let current = if self.index.insert(tx, key)? {
+        let created = self.index.insert(tx, key)?;
+        let (cell, state) = self.live_cell(tx, key)?;
+        let current = if created {
             // Newly created: the stale cell content is not part of the map.
             0
         } else {
-            match tx.read(&cell)? {
-                Some(Value::Int(v)) => v,
-                // Index says present, so the cell cannot hold None; treat a
-                // (logically impossible) None as an empty int for safety.
-                None => 0,
-                Some(other) => {
+            match state {
+                CellState::Full(Value::Int(v)) => v,
+                CellState::Full(other) => {
                     return Ok(Err(TypeMismatch {
                         key,
                         found: other.type_name(),
                     }))
                 }
+                // Index says present, so the cell cannot hold a committed
+                // non-value; treat a (logically impossible) gap as zero.
+                CellState::Vacant | CellState::Dead => 0,
             }
         };
         let next = current.wrapping_add(delta);
-        tx.write(&cell, Some(Value::Int(next)))?;
+        tx.write(&cell, CellState::Full(Value::Int(next)))?;
         Ok(Ok(next))
     }
 
@@ -220,7 +353,8 @@ impl KvStore {
             return Ok(pairs);
         }
         for key in self.index.range(tx, lo, hi)? {
-            if let Some(value) = tx.read(&self.cell(key))? {
+            let (_cell, state) = self.live_cell(tx, key)?;
+            if let Some(value) = state.into_value() {
                 pairs.push((key, value));
             }
         }
@@ -259,7 +393,8 @@ impl KvStore {
     pub fn dump(&self, tx: &mut Txn<'_>) -> TxResult<Vec<(i64, Value)>> {
         let mut pairs = Vec::new();
         for key in self.index.to_vec(tx)? {
-            if let Some(value) = tx.read(&self.cell(key))? {
+            let (_cell, state) = self.live_cell(tx, key)?;
+            if let Some(value) = state.into_value() {
                 pairs.push((key, value));
             }
         }
@@ -359,7 +494,7 @@ mod tests {
         assert_eq!(
             store.overflow_per_shard().iter().sum::<usize>(),
             store.cells_allocated(),
-            "no prealloc: every cell is an overflow cell"
+            "no prealloc, no deletes: every cell ever created is still linked"
         );
         assert_eq!(store.overflow_per_shard().len(), 4);
     }
@@ -382,6 +517,128 @@ mod tests {
             Ok(())
         })
         .unwrap();
+    }
+
+    #[test]
+    fn committed_delete_unlinks_and_reclaims_the_overflow_cell() {
+        let stm = Stm::default();
+        let store = KvStore::new(2);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| store.put(tx, 1_000, 7)).unwrap();
+        assert_eq!(store.cells_allocated(), 1);
+        assert_eq!(store.cells_live(), 1);
+        ctx.atomically(|tx| store.del(tx, 1_000)).unwrap();
+        // The deferred commit action unlinked the cell; with no other
+        // transaction pinned, the epoch domain reclaims it immediately.
+        assert_eq!(store.cells_live(), 0, "deleted cell must leave the table");
+        stm.epoch().collect();
+        assert_eq!(stm.epoch().limbo_len(), 0);
+        assert_eq!(stm.epoch().reclaimed_total(), 1);
+        assert_eq!(store.cells_allocated(), 1, "allocation count stays monotone");
+        // The key is re-creatable and gets a fresh cell.
+        ctx.atomically(|tx| store.put(tx, 1_000, 8)).unwrap();
+        assert_eq!(store.cells_live(), 1);
+        assert_eq!(store.cells_allocated(), 2);
+        assert_eq!(
+            ctx.atomically(|tx| store.get(tx, 1_000)).unwrap(),
+            int(8)
+        );
+    }
+
+    #[test]
+    fn del_then_put_in_one_transaction_keeps_the_cell() {
+        let stm = Stm::default();
+        let store = KvStore::new(2);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| store.put(tx, 500, 1)).unwrap();
+        ctx.atomically(|tx| {
+            store.del(tx, 500)?;
+            store.put(tx, 500, 2)
+        })
+        .unwrap();
+        // The re-PUT overwrote the tombstone before commit, so the deferred
+        // unlink must have been a no-op: same cell, nothing retired.
+        assert_eq!(store.cells_allocated(), 1);
+        assert_eq!(store.cells_live(), 1);
+        assert_eq!(stm.epoch().retired_total(), 0);
+        assert_eq!(ctx.atomically(|tx| store.get(tx, 500)).unwrap(), int(2));
+    }
+
+    #[test]
+    fn aborted_delete_reclaims_nothing() {
+        let stm = Stm::default();
+        let store = KvStore::new(2);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| store.put(tx, 900, 5)).unwrap();
+        let _ = ctx.atomically(|tx| {
+            store.del(tx, 900)?;
+            tx.abort::<()>()
+        });
+        assert_eq!(store.cells_live(), 1, "aborted DEL must not unlink");
+        assert_eq!(stm.epoch().retired_total(), 0);
+        assert_eq!(ctx.atomically(|tx| store.get(tx, 900)).unwrap(), int(5));
+    }
+
+    #[test]
+    fn preallocated_cells_survive_deletes() {
+        let stm = Stm::default();
+        let store = KvStore::with_preallocated(2, 8);
+        let mut ctx = stm.thread();
+        ctx.atomically(|tx| store.put(tx, 3, 30)).unwrap();
+        ctx.atomically(|tx| store.del(tx, 3)).unwrap();
+        assert_eq!(store.cells_allocated(), 8);
+        assert_eq!(store.cells_live(), 8, "prealloc cells are permanent");
+        assert_eq!(stm.epoch().retired_total(), 0);
+        assert_eq!(ctx.atomically(|tx| store.get(tx, 3)).unwrap(), None);
+        ctx.atomically(|tx| store.put(tx, 3, 31)).unwrap();
+        assert_eq!(ctx.atomically(|tx| store.get(tx, 3)).unwrap(), int(31));
+    }
+
+    #[test]
+    fn put_del_churn_under_contention_stays_bounded_and_conserves() {
+        use std::sync::Arc as StdArc;
+        let stm = StdArc::new(Stm::default());
+        let store = StdArc::new(KvStore::new(4));
+        let threads = 4usize;
+        let ops = 300i64;
+        let window = 8i64;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let stm = StdArc::clone(&stm);
+                let store = StdArc::clone(&store);
+                scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    let base = 10_000 + (t as i64) * 100_000;
+                    for i in 0..ops {
+                        ctx.atomically(|tx| store.put(tx, base + i, i)).unwrap();
+                        if i >= window {
+                            let victim = base + i - window;
+                            let prev =
+                                ctx.atomically(|tx| store.del(tx, victim)).unwrap();
+                            assert_eq!(prev, int(i - window), "lost write at {victim}");
+                        }
+                    }
+                });
+            }
+        });
+        stm.epoch().collect();
+        let live = threads as i64 * window;
+        assert_eq!(
+            store.cells_live() as i64,
+            live,
+            "table must hold exactly the live keys after churn"
+        );
+        let stats = stm.epoch().stats();
+        assert_eq!(stats.retired, stats.reclaimed + stats.limbo, "{stats:?}");
+        assert_eq!(
+            store.cells_allocated() as u64,
+            store.cells_live() as u64 + stats.retired,
+            "every allocated cell is either linked or was retired"
+        );
+        // All threads have unpinned, so limbo drains completely.
+        stm.epoch().collect();
+        stm.epoch().collect();
+        assert_eq!(stm.epoch().limbo_len(), 0, "{:?}", stm.epoch().stats());
     }
 
     #[test]

@@ -17,11 +17,12 @@
 //! Step 3 makes recovery idempotent: recovering twice in a row yields the
 //! same state, and the second pass finds nothing to truncate.
 
+use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read};
 use std::path::{Path, PathBuf};
 
-use stm_core::CommitOp;
+use stm_core::{CommitOp, CommitValue};
 
 use crate::record;
 use crate::snapshot::{self, Snapshot};
@@ -39,6 +40,41 @@ pub struct Recovered {
     pub truncated_bytes: u64,
     /// The next sequence number the log should assign.
     pub next_seq: u64,
+}
+
+impl Recovered {
+    /// Folds the snapshot and tail down to the final live keyspace: the
+    /// `(key, value)` pairs that survive after every logged op has been
+    /// applied, last writer wins, ascending by key.
+    ///
+    /// Replaying this — instead of the raw op stream — means a key whose
+    /// final logged op is a `Del` never materialises a value cell in the
+    /// rebuilt store: tombstoned keys stay reclaimed across restarts rather
+    /// than being resurrected by an intermediate `Put` and deleted again.
+    #[must_use]
+    pub fn live_pairs(&self) -> Vec<(i64, CommitValue)> {
+        let mut live: BTreeMap<i64, Option<&CommitValue>> = BTreeMap::new();
+        if let Some(snapshot) = &self.snapshot {
+            for (key, value) in &snapshot.pairs {
+                live.insert(*key, Some(value));
+            }
+        }
+        for (_seq, ops) in &self.tail {
+            for op in ops {
+                match op {
+                    CommitOp::Put { id, value } => {
+                        live.insert(*id, Some(value));
+                    }
+                    CommitOp::Del { id } => {
+                        live.insert(*id, None);
+                    }
+                }
+            }
+        }
+        live.into_iter()
+            .filter_map(|(key, value)| value.map(|v| (key, v.clone())))
+            .collect()
+    }
 }
 
 /// Lists segment files as `(path, first_seq)`, unsorted.
@@ -254,6 +290,53 @@ mod tests {
         assert_eq!(recovered.next_seq, 6);
         assert_eq!(recovered.truncated_bytes, 0);
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn live_pairs_folds_deletes_last_writer_wins() {
+        let recovered = Recovered {
+            snapshot: Some(Snapshot {
+                seq: 2,
+                pairs: vec![
+                    (1, CommitValue::Int(10)),
+                    (2, CommitValue::Str("keep".into())),
+                    (3, CommitValue::Int(30)),
+                ],
+            }),
+            tail: vec![
+                // Key 3 dies; key 1 is overwritten; key 9 lives and dies in
+                // the tail; key 4 is born in the tail.
+                (3, vec![CommitOp::Del { id: 3 }, CommitOp::put(4, 40)]),
+                (4, put(9, 90)),
+                (5, vec![CommitOp::put(1, 11), CommitOp::Del { id: 9 }]),
+            ],
+            truncated_bytes: 0,
+            next_seq: 6,
+        };
+        assert_eq!(
+            recovered.live_pairs(),
+            vec![
+                (1, CommitValue::Int(11)),
+                (2, CommitValue::Str("keep".into())),
+                (4, CommitValue::Int(40)),
+            ],
+            "tombstoned keys must not survive the fold"
+        );
+    }
+
+    #[test]
+    fn live_pairs_resurrects_a_key_deleted_then_rewritten() {
+        let recovered = Recovered {
+            snapshot: None,
+            tail: vec![
+                (1, put(7, 70)),
+                (2, vec![CommitOp::Del { id: 7 }]),
+                (3, put(7, 71)),
+            ],
+            truncated_bytes: 0,
+            next_seq: 4,
+        };
+        assert_eq!(recovered.live_pairs(), vec![(7, CommitValue::Int(71))]);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Property tests of the commit-time cell GC: seeded random PUT/DEL/GET
+//! churn across threads, repeated under **every** contention manager, must
+//! (a) conserve a closed transfer total running concurrently with the
+//! churn, (b) never lose a write to a reclaimed cell (each thread audits
+//! its own rolling window mid-churn), and (c) keep the cell accounting
+//! conserved: every cell ever allocated is either still linked in a shard
+//! table or was retired to the epoch limbo, and the limbo drains to empty
+//! once every thread has unpinned. The no-use-after-reclaim guarantee
+//! itself (limbo never frees an entry a pinned transaction could still
+//! reach) is unit-tested in `stm-core::epoch`; here it is exercised at full
+//! stack depth — a violation would surface as a lost window value or a
+//! panicked read.
+
+use std::sync::Arc;
+use std::thread;
+
+use greedy_stm::cm::ManagerKind;
+use greedy_stm::kv::Value;
+use greedy_stm::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Closed-transfer keys (never deleted — the conservation witness).
+const SHARED_LO: i64 = 0;
+const SHARED_HI: i64 = 7;
+const SEED_BALANCE: i64 = 100;
+
+/// Keys every thread churns against every other thread (put/del/get races
+/// on the same cells — the contention witness).
+const CONTENDED_LO: i64 = 500;
+const CONTENDED_KEYS: i64 = 6;
+
+/// Per-thread private rolling window (the reclamation witness).
+const WINDOW: i64 = 6;
+
+fn stm_with(kind: ManagerKind) -> Stm {
+    Stm::builder().manager(kind.factory()).build()
+}
+
+#[test]
+fn seeded_churn_conserves_and_keeps_cell_accounting_exact_for_every_manager() {
+    const THREADS: usize = 4;
+    const OPS: i64 = 120;
+
+    for kind in ManagerKind::ALL {
+        let stm = Arc::new(stm_with(kind));
+        // No pre-allocated range: every key lives in a reclaimable
+        // overflow cell, so the GC is on the hook for all of them.
+        let store = Arc::new(KvStore::new(4));
+        {
+            let mut ctx = stm.thread();
+            ctx.atomically(|tx| {
+                for key in SHARED_LO..=SHARED_HI {
+                    store.put(tx, key, SEED_BALANCE)?;
+                }
+                Ok(())
+            })
+            .unwrap();
+        }
+        let shared_total = (SHARED_HI - SHARED_LO + 1) * SEED_BALANCE;
+
+        thread::scope(|scope| {
+            for t in 0..THREADS {
+                let stm = Arc::clone(&stm);
+                let store = Arc::clone(&store);
+                scope.spawn(move || {
+                    let mut rng = SmallRng::seed_from_u64(0x6c_c000 + t as u64);
+                    let mut ctx = stm.thread();
+                    let base = 1_000_000 + (t as i64) * 1_000_000;
+                    for i in 0..OPS {
+                        // Private rolling window: create ahead, delete behind.
+                        ctx.atomically(|tx| store.put(tx, base + i, i)).unwrap();
+                        if i >= WINDOW {
+                            let victim = base + i - WINDOW;
+                            let prev = ctx.atomically(|tx| store.del(tx, victim)).unwrap();
+                            assert_eq!(
+                                prev,
+                                Some(Value::Int(i - WINDOW)),
+                                "{kind}: window write lost at key {victim}"
+                            );
+                        }
+                        // Mid-churn audit of a random in-window key: a
+                        // use-after-reclaim or torn unlink shows up here.
+                        let probe = rng.gen_range((i - (WINDOW - 1)).max(0)..=i);
+                        let seen = ctx.atomically(|tx| store.get(tx, base + probe)).unwrap();
+                        assert_eq!(
+                            seen,
+                            Some(Value::Int(probe)),
+                            "{kind}: window read disagrees at offset {probe}"
+                        );
+                        // A closed transfer between two shared keys.
+                        let from = rng.gen_range(SHARED_LO..=SHARED_HI);
+                        let to = rng.gen_range(SHARED_LO..=SHARED_HI);
+                        let amount = rng.gen_range(1i64..=25);
+                        ctx.atomically(|tx| {
+                            store.add(tx, from, -amount)?.unwrap();
+                            store.add(tx, to, amount)?.unwrap();
+                            Ok(())
+                        })
+                        .unwrap();
+                        // Contended churn: all threads put/del/get the same
+                        // small key range, racing deletes against writes.
+                        let hot = CONTENDED_LO + rng.gen_range(0..CONTENDED_KEYS);
+                        match rng.gen_range(0u32..4) {
+                            0 => {
+                                ctx.atomically(|tx| store.put(tx, hot, i)).unwrap();
+                            }
+                            1 => {
+                                ctx.atomically(|tx| store.del(tx, hot)).unwrap();
+                            }
+                            2 => {
+                                // del + re-put in one transaction: the
+                                // tombstone is overwritten before commit and
+                                // the cell must survive.
+                                ctx.atomically(|tx| {
+                                    store.del(tx, hot)?;
+                                    store.put(tx, hot, -i)
+                                })
+                                .unwrap();
+                            }
+                            _ => {
+                                ctx.atomically(|tx| store.get(tx, hot)).unwrap();
+                            }
+                        }
+                        // Concurrent conservation audit over the shared keys.
+                        if i % 16 == 0 {
+                            let (total, count) = ctx
+                                .atomically(|tx| store.sum(tx, SHARED_LO, SHARED_HI))
+                                .unwrap()
+                                .unwrap();
+                            assert_eq!(
+                                total, shared_total,
+                                "{kind}: mid-run audit saw a drifted total"
+                            );
+                            assert_eq!(count as i64, SHARED_HI - SHARED_LO + 1);
+                        }
+                    }
+                });
+            }
+        });
+
+        // Quiescent: every thread unpinned, so the limbo drains completely.
+        let gc = stm.epoch();
+        gc.collect();
+        gc.collect();
+        let stats = gc.stats();
+        assert_eq!(stats.limbo, 0, "{kind}: limbo must drain at quiescence: {stats:?}");
+        assert_eq!(
+            stats.retired, stats.reclaimed,
+            "{kind}: every retired cell must eventually free: {stats:?}"
+        );
+
+        // Cell accounting is conserved: allocated = linked + retired.
+        assert_eq!(
+            store.cells_allocated() as u64,
+            store.cells_live() as u64 + stats.retired,
+            "{kind}: allocation/reclamation books must balance: {stats:?}"
+        );
+
+        // The table holds exactly the live keys: shared + per-thread
+        // windows + whatever subset of the contended range survived.
+        let mut ctx = stm.thread();
+        let live_keys = ctx.atomically(|tx| store.len(tx)).unwrap();
+        assert_eq!(
+            store.cells_live(),
+            live_keys,
+            "{kind}: resident cells must match present keys"
+        );
+        let windows = THREADS as i64 * WINDOW;
+        let upper = (SHARED_HI - SHARED_LO + 1) + windows + CONTENDED_KEYS;
+        assert!(
+            (live_keys as i64) <= upper,
+            "{kind}: {live_keys} live keys exceeds the {upper} possible"
+        );
+
+        // Final conservation + per-window model check.
+        let (total, _) = ctx
+            .atomically(|tx| store.sum(tx, SHARED_LO, SHARED_HI))
+            .unwrap()
+            .unwrap();
+        assert_eq!(total, shared_total, "{kind}: final total drifted");
+        for t in 0..THREADS as i64 {
+            let base = 1_000_000 + t * 1_000_000;
+            for i in (OPS - WINDOW)..OPS {
+                assert_eq!(
+                    ctx.atomically(|tx| store.get(tx, base + i)).unwrap(),
+                    Some(Value::Int(i)),
+                    "{kind}: surviving window key lost"
+                );
+            }
+        }
+    }
+}

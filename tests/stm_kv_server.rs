@@ -361,6 +361,53 @@ fn restart_recovers_typed_values_through_snapshot_and_tail() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// PUT+DEL churn over a rolling window of overflow keys, then restart:
+/// recovery folds the log to its final live keyspace, so a key whose last
+/// logged op is a `DEL` must not materialise a value cell in the rebuilt
+/// store — the restarted server's `cells=` gauge counts only the
+/// pre-allocated range plus the keys actually alive at shutdown.
+#[test]
+fn restart_after_churn_does_not_resurrect_tombstoned_cells() {
+    let dir = temp_wal_dir("churn");
+    let base = 1_000_000i64;
+    let churned = 200i64;
+    let window = 10i64;
+    {
+        let mut server = start_durable_server(ManagerKind::Greedy, 2, &dir, 0);
+        let mut client = KvClient::connect(server.addr()).unwrap();
+        for i in 0..churned {
+            client.put(base + i, i).unwrap();
+            if i >= window {
+                assert!(client.del(base + i - window).unwrap());
+            }
+        }
+        client.quit().unwrap();
+        server.shutdown();
+    }
+    let mut server = start_durable_server(ManagerKind::Greedy, 2, &dir, 0);
+    let mut client = KvClient::connect(server.addr()).unwrap();
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.cells_allocated,
+        (KEYS + window) as u64,
+        "replay must allocate cells only for keys alive at shutdown: {stats:?}"
+    );
+    assert_eq!(
+        stats.cells_freed + stats.limbo,
+        0,
+        "a live-pairs replay never retires anything: {stats:?}"
+    );
+    // Everything outside the final window stayed deleted; the window survived.
+    assert_eq!(client.get(base).unwrap(), None, "tombstoned key came back");
+    assert_eq!(client.get(base + churned - window - 1).unwrap(), None);
+    for i in (churned - window)..churned {
+        assert_eq!(client.get_int(base + i).unwrap(), Some(i), "live key lost");
+    }
+    client.quit().unwrap();
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// The v1-compatibility acceptance criterion, property-tested: a WAL
 /// directory written entirely in the **v1 format** (magic-less segments of
 /// integer-only records plus an optional v1 snapshot — exactly what a
