@@ -21,6 +21,11 @@
 //! increment, backoff cap), `churn` (E14: rolling PUT+DEL keyspace churn —
 //! cell-GC boundedness and commit-path cost; exits non-zero when the
 //! resident-cell bound is violated, which is the CI leak gate),
+//! `hotpath` (E15: commit-path microbenchmark — single-cell read/increment
+//! transactions, threads × manager × mix, p50/p99 + throughput; with
+//! `--baseline BENCH_hotpath.json` it becomes the CI perf gate and exits
+//! non-zero when any cell's p99 regresses >25% against the committed
+//! `"after"` rows; `--phase before|after` tags the emitted rows),
 //! `chain` (the Section 4 adversarial chain),
 //! `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
 //! `ablation-reads` (visible vs invisible reads), `all` (everything except
@@ -36,13 +41,13 @@
 use std::time::Duration;
 
 use stm_bench::{
-    ablation_sweep, bound_experiment, chain_experiment, churn_experiment, default_ablation_knobs,
-    default_durability_policies, default_read_fractions, durability_matrix, fig1_list,
-    fig2_skiplist, fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep,
-    render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,
-    render_rows, run_netload, run_workload, starvation_experiment, string_value_matrix,
-    workload_matrix, ChurnConfig, NetLoadConfig, OpMix, StructureKind, SweepConfig,
-    WorkloadConfig,
+    ablation_sweep, bound_experiment, chain_experiment, check_against_baseline, churn_experiment,
+    default_ablation_knobs, default_durability_policies, default_read_fractions,
+    durability_matrix, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, hotpath_matrix,
+    matrix_structures, read_fraction_sweep, render_figure_table, render_matrix_table,
+    render_op_breakdown, render_read_fraction_table, render_rows, run_netload, run_workload,
+    starvation_experiment, string_value_matrix, workload_matrix, ChurnConfig, HotpathConfig,
+    NetLoadConfig, OpMix, StructureKind, SweepConfig, WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
@@ -53,6 +58,8 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let mut sweep_mode: Option<String> = None;
     let mut experiments: Vec<String> = Vec::new();
+    let mut baseline: Option<String> = None;
+    let mut phase = "after".to_string();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -67,6 +74,22 @@ fn main() {
                     std::process::exit(2);
                 };
                 sweep_mode = Some(mode.clone());
+            }
+            "--baseline" => {
+                i += 1;
+                let Some(path) = args.get(i) else {
+                    eprintln!("--baseline needs a path to a committed BENCH_hotpath.json");
+                    std::process::exit(2);
+                };
+                baseline = Some(path.clone());
+            }
+            "--phase" => {
+                i += 1;
+                let Some(tag) = args.get(i) else {
+                    eprintln!("--phase needs a tag: before or after");
+                    std::process::exit(2);
+                };
+                phase = tag.clone();
             }
             flag if flag.starts_with("--") => {
                 eprintln!("ignoring unknown flag '{flag}'");
@@ -425,6 +448,60 @@ fn main() {
                         bad.limbo_watermark
                     );
                     std::process::exit(1);
+                }
+            }
+            "hotpath" => {
+                // E15: commit-path microbenchmark. With --baseline this is
+                // the CI perf gate: any p50 more than 50% over the
+                // committed "after" row for the same cell fails the build.
+                let cfg = match mode.as_str() {
+                    "smoke" => HotpathConfig::smoke(),
+                    "quick" => HotpathConfig::quick(),
+                    _ => HotpathConfig::default(),
+                };
+                let rows = hotpath_matrix(&phase, &cfg);
+                if json {
+                    println!("{}", render_rows(&rows));
+                } else {
+                    println!(
+                        "# E15 — commit-path microbenchmark ({} cells, {} ops/thread, phase {})",
+                        cfg.cells, cfg.ops_per_thread, phase
+                    );
+                    println!(
+                        "{:>12} {:>8} {:>8} {:>12} {:>12} {:>10} {:>10} {:>10}",
+                        "manager", "mix", "threads", "ops", "ops/s", "mean-ns", "p50-ns", "p99-ns"
+                    );
+                    for r in &rows {
+                        println!(
+                            "{:>12} {:>8} {:>8} {:>12} {:>12.0} {:>10.0} {:>10} {:>10}",
+                            r.manager, r.mix, r.threads, r.ops, r.throughput, r.mean_ns,
+                            r.p50_ns, r.p99_ns
+                        );
+                    }
+                }
+                if let Some(path) = &baseline {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(text) => text,
+                        Err(err) => {
+                            eprintln!("cannot read baseline {path}: {err}");
+                            std::process::exit(2);
+                        }
+                    };
+                    match check_against_baseline(&rows, &text) {
+                        Ok(violations) if violations.is_empty() => {
+                            println!("hotpath baseline gate passed ({path})");
+                        }
+                        Ok(violations) => {
+                            for v in &violations {
+                                eprintln!("hotpath p50 regression: {v}");
+                            }
+                            std::process::exit(1);
+                        }
+                        Err(err) => {
+                            eprintln!("hotpath baseline {path} unusable: {err}");
+                            std::process::exit(2);
+                        }
+                    }
                 }
             }
             "ablation-reads" => ablation_reads(quick, json),

@@ -1,0 +1,403 @@
+//! E15 — commit-path microbenchmark: the perf trajectory for the hot path.
+//!
+//! Tiny transactions (one read or one increment of a random cell from a
+//! small `TVar<i64>` array) so that per-transaction runtime cost — locator
+//! publication, visible-reader registration, commit — dominates the
+//! measurement instead of workload logic. This is the workload that exposes
+//! the serialization points ROADMAP's "Speed" item names: under the old
+//! design every read and every acquire crossed a per-TVar `Mutex`, so the
+//! read-mostly cells convoyed hard at 8 threads.
+//!
+//! Each cell reports committed throughput plus per-transaction p50/p99
+//! wall-clock latency, tagged with a `phase` (`"before"` / `"after"`) so a
+//! single committed `BENCH_hotpath.json` can carry the comparison measured
+//! within one PR. The `figures -- hotpath --baseline BENCH_hotpath.json`
+//! invocation is the CI regression gate: it re-runs the smoke sweep and
+//! fails the process when any cell's **p50** exceeds the committed
+//! `"after"` baseline by more than [`BASELINE_P50_SLACK`]. Throughput is
+//! too host-dependent to gate on, and the short smoke sweep's p99 is
+//! dominated by scheduler preemption spikes; the median is the statistic
+//! that tracks the commit path itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread;
+use std::time::Instant;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+use serde_json::Value;
+use stm_cm::ManagerKind;
+use stm_core::{Stm, TVar};
+
+/// Allowed p50 inflation over the committed baseline before the CI gate
+/// fails: measured `p50 > baseline_p50 × 1.5` in any matching cell. The
+/// slack absorbs the warm-up bias of the short smoke cells (the first cell
+/// per mix pays cold caches and allocator warm-up in its median) while
+/// still catching a reintroduced serialization point, which inflates the
+/// contended medians by integer factors.
+pub const BASELINE_P50_SLACK: f64 = 1.5;
+
+/// The two operation mixes every hot-path sweep covers.
+pub const HOTPATH_MIXES: [HotpathMix; 2] = [HotpathMix::ReadMostly, HotpathMix::UpdateOnly];
+
+/// Operation mix of a hot-path cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HotpathMix {
+    /// 90% single-cell reads, 10% single-cell increments — the convoy case
+    /// the ≥1.5× acceptance bar is measured on (8 threads, read-mostly).
+    ReadMostly,
+    /// 100% single-cell increments — pure acquire/commit cost.
+    UpdateOnly,
+}
+
+impl HotpathMix {
+    /// Stable label used in rows and baseline matching.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            HotpathMix::ReadMostly => "read90",
+            HotpathMix::UpdateOnly => "update",
+        }
+    }
+
+    /// Probability that an operation is a read.
+    #[must_use]
+    pub fn read_fraction(self) -> f64 {
+        match self {
+            HotpathMix::ReadMostly => 0.9,
+            HotpathMix::UpdateOnly => 0.0,
+        }
+    }
+}
+
+/// Parameters of one hot-path sweep.
+#[derive(Debug, Clone)]
+pub struct HotpathConfig {
+    /// Cells in the shared `TVar<i64>` array.
+    pub cells: usize,
+    /// Committed transactions each thread performs (fixed-ops, not timed,
+    /// so latency vectors have a deterministic length).
+    pub ops_per_thread: u64,
+    /// Thread counts to sweep.
+    pub threads: Vec<usize>,
+    /// Managers to sweep.
+    pub managers: Vec<ManagerKind>,
+    /// PRNG seed; each (manager, mix, thread-count, thread) cell derives
+    /// its own stream from this.
+    pub seed: u64,
+}
+
+impl Default for HotpathConfig {
+    fn default() -> Self {
+        HotpathConfig {
+            cells: 64,
+            ops_per_thread: 40_000,
+            threads: vec![1, 4, 8],
+            managers: vec![ManagerKind::Greedy, ManagerKind::Karma],
+            seed: 0x407_9a7,
+        }
+    }
+}
+
+impl HotpathConfig {
+    /// The seconds-long CI smoke size (also what the baseline gate runs).
+    #[must_use]
+    pub fn smoke() -> Self {
+        HotpathConfig {
+            ops_per_thread: 4_000,
+            ..HotpathConfig::default()
+        }
+    }
+
+    /// The sub-minute quick size.
+    #[must_use]
+    pub fn quick() -> Self {
+        HotpathConfig {
+            ops_per_thread: 15_000,
+            ..HotpathConfig::default()
+        }
+    }
+}
+
+/// One hot-path measurement cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct HotpathRow {
+    /// Which side of the optimization this row measures: `"before"` or
+    /// `"after"` (committed artifacts carry both; gates match `"after"`).
+    pub phase: String,
+    /// Contention manager label.
+    pub manager: String,
+    /// Mix label (`"read90"` / `"update"`).
+    pub mix: String,
+    /// Worker threads.
+    pub threads: usize,
+    /// Cells in the shared array.
+    pub cells: usize,
+    /// Committed transactions across all threads.
+    pub ops: u64,
+    /// Wall-clock of the measured phase, milliseconds.
+    pub elapsed_ms: f64,
+    /// Committed transactions per second.
+    pub throughput: f64,
+    /// Mean per-transaction latency, nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-transaction latency, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th-percentile per-transaction latency, nanoseconds.
+    pub p99_ns: u64,
+}
+
+fn percentile(sorted: &[u64], pct: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (pct / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Runs one hot-path cell: `threads` workers each committing
+/// `cfg.ops_per_thread` single-cell transactions under `kind` and `mix`.
+///
+/// # Panics
+///
+/// Panics when `threads == 0`, `cfg.cells == 0`, or a transaction exhausts
+/// its retry budget (the workload never does by construction).
+#[must_use]
+pub fn hotpath_experiment(
+    phase: &str,
+    kind: ManagerKind,
+    mix: HotpathMix,
+    threads: usize,
+    cfg: &HotpathConfig,
+) -> HotpathRow {
+    assert!(threads > 0, "need at least one thread");
+    assert!(cfg.cells > 0, "need at least one cell");
+    let stm = Arc::new(Stm::builder().manager(kind.factory()).build());
+    let cells: Arc<Vec<TVar<i64>>> = Arc::new((0..cfg.cells).map(|_| TVar::new(0)).collect());
+    let barrier = Arc::new(Barrier::new(threads + 1));
+    let commits_total = AtomicU64::new(0);
+
+    let mut latencies: Vec<u64> = Vec::with_capacity(threads * cfg.ops_per_thread as usize);
+    let (per_thread, elapsed) = thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(threads);
+        {
+            for t in 0..threads {
+                let stm = Arc::clone(&stm);
+                let cells = Arc::clone(&cells);
+                let barrier = Arc::clone(&barrier);
+                let commits_total = &commits_total;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = stm.thread();
+                    // Decorrelate every cell of the sweep: same seed only
+                    // when (config seed, manager, mix, threads, t) match.
+                    let mut rng = SmallRng::seed_from_u64(
+                        cfg.seed
+                            ^ (kind as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                            ^ (mix.read_fraction().to_bits()).rotate_left(17)
+                            ^ (threads as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9)
+                            ^ (t as u64).wrapping_mul(0x94d0_49bb_1331_11eb),
+                    );
+                    let mut lat = Vec::with_capacity(cfg.ops_per_thread as usize);
+                    let mut commits = 0u64;
+                    barrier.wait();
+                    for _ in 0..cfg.ops_per_thread {
+                        let idx = rng.gen_range(0..cfg.cells);
+                        let is_read = rng.gen_bool(mix.read_fraction());
+                        let begin = Instant::now();
+                        if is_read {
+                            let _ = ctx.atomically(|tx| tx.read(&cells[idx])).unwrap();
+                        } else {
+                            ctx.atomically(|tx| tx.modify(&cells[idx], |v| v + 1))
+                                .unwrap();
+                        }
+                        lat.push(begin.elapsed().as_nanos() as u64);
+                        commits += 1;
+                    }
+                    commits_total.fetch_add(commits, Ordering::Relaxed);
+                    lat
+                }));
+            }
+        }
+        barrier.wait();
+        let started = Instant::now();
+        let mut per_thread: Vec<Vec<u64>> = Vec::with_capacity(threads);
+        for h in handles {
+            per_thread.push(h.join().unwrap());
+        }
+        (per_thread, started.elapsed())
+    });
+    for mut lat in per_thread {
+        latencies.append(&mut lat);
+    }
+    latencies.sort_unstable();
+
+    let ops = commits_total.load(Ordering::Relaxed);
+    let mean_ns = latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64;
+    HotpathRow {
+        phase: phase.to_string(),
+        manager: kind.name().to_string(),
+        mix: mix.name().to_string(),
+        threads,
+        cells: cfg.cells,
+        ops,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        throughput: ops as f64 / elapsed.as_secs_f64().max(1e-9),
+        mean_ns,
+        p50_ns: percentile(&latencies, 50.0),
+        p99_ns: percentile(&latencies, 99.0),
+    }
+}
+
+/// Runs the full managers × mixes × thread-counts sweep, tagging every row
+/// with `phase`.
+#[must_use]
+pub fn hotpath_matrix(phase: &str, cfg: &HotpathConfig) -> Vec<HotpathRow> {
+    let mut rows = Vec::new();
+    for &kind in &cfg.managers {
+        for &mix in &HOTPATH_MIXES {
+            for &threads in &cfg.threads {
+                rows.push(hotpath_experiment(phase, kind, mix, threads, cfg));
+            }
+        }
+    }
+    rows
+}
+
+/// Checks freshly measured rows against a committed `BENCH_hotpath.json`
+/// document: for every measured cell with a matching `"after"` baseline
+/// cell (same manager, mix, threads), the measured p50 must not exceed the
+/// baseline p50 by more than [`BASELINE_P50_SLACK`].
+///
+/// Returns the list of violations (empty = gate passes). Cells without a
+/// baseline counterpart are ignored, so the gate tolerates sweep-shape
+/// drift.
+///
+/// # Errors
+///
+/// Returns `Err` when `baseline_json` is not a JSON array of row objects.
+pub fn check_against_baseline(
+    rows: &[HotpathRow],
+    baseline_json: &str,
+) -> Result<Vec<String>, String> {
+    let doc = serde_json::from_str(baseline_json)
+        .map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let cells = doc
+        .as_array()
+        .ok_or_else(|| "baseline root must be a JSON array".to_string())?;
+    let mut baseline: Vec<(String, String, u64, u64)> = Vec::new();
+    for cell in cells {
+        let phase = cell.get("phase").and_then(Value::as_str).unwrap_or("");
+        if phase != "after" {
+            continue;
+        }
+        let (Some(manager), Some(mix), Some(threads), Some(p50)) = (
+            cell.get("manager").and_then(Value::as_str),
+            cell.get("mix").and_then(Value::as_str),
+            cell.get("threads").and_then(Value::as_u64),
+            cell.get("p50_ns").and_then(Value::as_u64),
+        ) else {
+            return Err("baseline row is missing manager/mix/threads/p50_ns".to_string());
+        };
+        baseline.push((manager.to_string(), mix.to_string(), threads, p50));
+    }
+    if baseline.is_empty() {
+        return Err("baseline has no \"after\" rows to gate against".to_string());
+    }
+    let mut violations = Vec::new();
+    for row in rows {
+        let Some((_, _, _, base_p50)) = baseline
+            .iter()
+            .find(|(m, x, t, _)| *m == row.manager && *x == row.mix && *t as usize == row.threads)
+        else {
+            continue;
+        };
+        let limit = (*base_p50 as f64 * BASELINE_P50_SLACK).ceil() as u64;
+        if row.p50_ns > limit {
+            violations.push(format!(
+                "{} {} {}t: p50 {}ns exceeds baseline {}ns × {} = {}ns",
+                row.manager, row.mix, row.threads, row.p50_ns, base_p50, BASELINE_P50_SLACK, limit
+            ));
+        }
+    }
+    Ok(violations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> HotpathConfig {
+        HotpathConfig {
+            cells: 8,
+            ops_per_thread: 300,
+            threads: vec![2],
+            managers: vec![ManagerKind::Greedy],
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn smoke_cell_commits_every_op_and_measures_latency() {
+        let cfg = tiny();
+        let row = hotpath_experiment("before", ManagerKind::Greedy, HotpathMix::ReadMostly, 2, &cfg);
+        assert_eq!(row.ops, 600, "{row:?}");
+        assert_eq!(row.mix, "read90");
+        assert_eq!(row.phase, "before");
+        assert!(row.p50_ns > 0 && row.p99_ns >= row.p50_ns, "{row:?}");
+        assert!(row.throughput > 0.0, "{row:?}");
+    }
+
+    #[test]
+    fn update_mix_commits_every_increment() {
+        let cfg = tiny();
+        let row = hotpath_experiment("after", ManagerKind::Karma, HotpathMix::UpdateOnly, 2, &cfg);
+        assert_eq!(row.ops, 600, "{row:?}");
+        assert_eq!(row.mix, "update");
+    }
+
+    #[test]
+    fn matrix_covers_managers_by_mixes_by_threads() {
+        let mut cfg = tiny();
+        cfg.managers = vec![ManagerKind::Greedy, ManagerKind::Karma];
+        cfg.threads = vec![1, 2];
+        let rows = hotpath_matrix("before", &cfg);
+        assert_eq!(rows.len(), 2 * 2 * 2);
+        let json = crate::render_rows(&rows);
+        assert!(json.contains("\"p99_ns\""), "{json}");
+        assert!(json.contains("\"phase\""), "{json}");
+    }
+
+    #[test]
+    fn baseline_gate_flags_only_regressions() {
+        let cfg = tiny();
+        let row = hotpath_experiment("after", ManagerKind::Greedy, HotpathMix::ReadMostly, 2, &cfg);
+        let mut generous = row.clone();
+        generous.p50_ns = row.p50_ns.saturating_mul(100).max(1_000_000);
+        let baseline = crate::render_rows(&vec![generous]);
+        let violations = check_against_baseline(std::slice::from_ref(&row), &baseline).unwrap();
+        assert!(violations.is_empty(), "{violations:?}");
+
+        let mut tight = row.clone();
+        tight.p50_ns = 1; // any real measurement regresses against this
+        let baseline = crate::render_rows(&vec![tight]);
+        let violations = check_against_baseline(std::slice::from_ref(&row), &baseline).unwrap();
+        assert_eq!(violations.len(), 1, "{violations:?}");
+
+        // "before" rows never gate; unmatched cells are skipped.
+        let mut before = row.clone();
+        before.phase = "before".to_string();
+        let baseline = crate::render_rows(&vec![before]);
+        assert!(check_against_baseline(std::slice::from_ref(&row), &baseline).is_err());
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 51);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+}

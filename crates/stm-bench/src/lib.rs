@@ -19,6 +19,7 @@
 //! | E13 | String-value serving — typed `PUT` mix vs int baseline over a durable server | [`netload::string_value_matrix`] |
 //! | E12 | Manager-parameter ablation — one `ManagerParams` knob per figure | [`figures::ablation_sweep`] |
 //! | E14 | Keyspace churn — commit-time cell GC boundedness and cost | [`churn::churn_experiment`] |
+//! | E15 | Commit-path microbenchmark — before/after p50/p99 + throughput | [`hotpath::hotpath_experiment`] |
 //!
 //! The paper measures committed transactions per second as a function of the
 //! number of threads (1–32) on a 256-key integer set with a 100% update mix;
@@ -38,6 +39,7 @@
 
 pub mod churn;
 pub mod figures;
+pub mod hotpath;
 pub mod netload;
 pub mod report;
 pub mod starvation;
@@ -45,6 +47,10 @@ pub mod theory;
 pub mod workload;
 
 pub use churn::{churn_experiment, ChurnConfig, ChurnRow};
+pub use hotpath::{
+    check_against_baseline, hotpath_experiment, hotpath_matrix, HotpathConfig, HotpathMix,
+    HotpathRow, BASELINE_P50_SLACK, HOTPATH_MIXES,
+};
 pub use figures::{
     ablation_sweep, default_ablation_knobs, default_read_fractions, fig1_list, fig2_skiplist,
     fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, workload_matrix,

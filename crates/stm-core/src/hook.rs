@@ -14,15 +14,29 @@
 //! those ops **wrapped around the commit linearization point**: the hook
 //! receives a `commit` closure that performs the attempt's status CAS and
 //! must invoke it exactly once, recording the ops only when it returns
-//! `true`. A hook that assigns sequence numbers and buffers records under
-//! one internal lock held across the `commit()` call therefore observes
-//! exactly the serialization order of the transactions it logs:
+//! `true`. Because the hook's body brackets the CAS, a hook can recover
+//! serialization order without any process-wide lock: it *reserves* a
+//! sequence number (one `fetch_add`) before invoking `commit()`, tags the
+//! record with it, and lets a consumer merge records back into reserved
+//! order. That is sufficient because reservation happens inside the commit
+//! window:
 //!
 //! * if transaction `B` reads or overwrites an object `A` wrote, `B` can
-//!   only acquire the object after `A`'s status CAS — which happened inside
-//!   `A`'s critical section — so `B` enters the hook strictly after `A`;
-//! * transactions that never conflict may be logged in either order, and
-//!   either order is a correct serialization.
+//!   only acquire the object after `A`'s status CAS — and `A` reserved its
+//!   sequence number before that CAS, while `B` reserves after it — so
+//!   `seq(A) < seq(B)` whenever `B` depends on `A`;
+//! * transactions that never conflict may be numbered in either order, and
+//!   either order is a correct serialization;
+//! * a reservation whose `commit()` returns `false` leaves a gap in the
+//!   sequence stream; the hook must account for it (the `stm-log` WAL
+//!   publishes such tickets as *abandoned* so its in-order consumer never
+//!   stalls, and its recovery is gap-tolerant).
+//!
+//! The older discipline — one internal lock held across the `commit()`
+//! call and the recording — remains correct and is what a simple in-memory
+//! hook (like the test hook below) should do; reservation is how a hook on
+//! the hot path avoids serializing every commit in the process through one
+//! mutex.
 //!
 //! Transactions that publish nothing bypass the hook entirely (their commit
 //! is the plain uncontended CAS), so a read-only request costs nothing
@@ -164,10 +178,13 @@ pub trait CommitHook: Send + Sync {
     /// performs the attempt's `Active → Committed` status CAS.
     /// Implementations **must call `commit` exactly once**. When it returns
     /// `true` the implementation records `ops`, assigns them a sequence
-    /// number and returns it — holding one internal lock across the
-    /// `commit()` call and the recording so record order matches commit
-    /// order. When `commit` returns `false` (an enemy aborted the attempt
-    /// first) the implementation records nothing and returns `None`.
+    /// number and returns it; sequence order must match serialization
+    /// order, either by holding one internal lock across the `commit()`
+    /// call and the recording, or by reserving the sequence number before
+    /// the `commit()` call and merging records in reserved order (see the
+    /// [module documentation](self)). When `commit` returns `false` (an
+    /// enemy aborted the attempt first) the implementation records nothing
+    /// and returns `None`.
     fn on_commit(&self, ops: &[CommitOp], commit: &mut dyn FnMut() -> bool) -> Option<u64>;
 }
 

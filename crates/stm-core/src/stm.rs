@@ -10,7 +10,7 @@ use crate::hook::CommitHook;
 use crate::manager::{factory, ContentionManager, ManagerFactory, PoliteManager, TxView};
 use crate::stats::{StmStats, TxRunReport};
 use crate::tvar::TVar;
-use crate::txn::{TxLineage, TxShared, Txn};
+use crate::txn::{TxLineage, TxScratch, TxShared, Txn};
 
 /// How transactional reads are made visible to conflicting writers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -164,6 +164,7 @@ impl Stm {
             stm: self,
             manager: (self.config.manager_factory)(),
             pin: self.epoch.register(),
+            scratch: TxScratch::default(),
         }
     }
 
@@ -175,6 +176,7 @@ impl Stm {
             stm: self,
             manager,
             pin: self.epoch.register(),
+            scratch: TxScratch::default(),
         }
     }
 
@@ -220,6 +222,9 @@ pub struct ThreadCtx<'stm> {
     /// This thread's epoch pin; pinned for the duration of every attempt so
     /// retired objects outlive any transaction that could still reach them.
     pin: Arc<PinSlot>,
+    /// Reusable read/write/publish-set storage lent to each attempt, so the
+    /// tiny-transaction hot path does not reallocate its vectors per run.
+    scratch: TxScratch,
 }
 
 impl<'stm> std::fmt::Debug for ThreadCtx<'stm> {
@@ -313,7 +318,7 @@ impl<'stm> ThreadCtx<'stm> {
             let shared = Arc::new(TxShared::new(Arc::clone(&lineage), attempt));
             let manager: &mut dyn ContentionManager = self.manager.as_mut();
             manager.begin(TxView::new(&shared));
-            let mut txn = Txn::new(stm, Arc::clone(&shared), manager);
+            let mut txn = Txn::new(stm, Arc::clone(&shared), manager, &mut self.scratch);
             if force_publish {
                 txn.publish_marker();
             }

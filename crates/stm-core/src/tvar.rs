@@ -22,20 +22,46 @@
 //!
 //! *Implementation note (documented substitution in DESIGN.md):* DSTM
 //! publishes locators with a raw pointer CAS and relies on garbage
-//! collection. Here locator publication is a compare-and-replace under a
-//! short `parking_lot::Mutex` critical section with `Arc` reclamation, which
-//! keeps the crate `forbid(unsafe_code)`. The transaction status word — the
-//! CAS the contention-management protocol actually relies on — remains a
-//! true lock-free CAS.
+//! collection. Locator publication here is the same single pointer CAS,
+//! through the vendored `arcswap` atomic-`Arc` cell; the garbage collector
+//! is substituted by `arcswap`'s counter-deferred reclamation (a displaced
+//! locator is dropped only once no in-flight load can still dereference
+//! it — see `vendor/arcswap`'s crate docs for the grace protocol). The
+//! `unsafe` that DSTM's pointer games require lives entirely in that
+//! vendored crate; this crate stays `forbid(unsafe_code)`. The transaction
+//! status word — the CAS the contention-management protocol actually
+//! relies on — was always a true lock-free CAS.
+//!
+//! Visible readers register in a small per-object *sharded* registry
+//! (shard = reader's transaction id modulo [`READER_SHARDS`]) so that
+//! concurrent read-mostly transactions don't convoy on one list mutex, and
+//! each registration only scans its own short shard. Finished readers are
+//! pruned lazily: registration prunes only when its shard has grown past
+//! [`READER_PRUNE_THRESHOLD`], so the uncontended register/unregister pair
+//! is O(1); writers (`active_readers`) still prune every shard they scan,
+//! which they traverse anyway to arbitrate.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use arcswap::ArcSwap;
 use parking_lot::Mutex;
 
 use crate::txn::TxShared;
 
 static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
+
+/// Visible-reader registry shards per object. Eight shards of a few
+/// entries each cover the realistic visible-reader population (readers
+/// unregister on commit); the shard index is the reader's transaction id
+/// modulo this, so one transaction always lands in the same shard.
+pub(crate) const READER_SHARDS: usize = 8;
+
+/// Shard occupancy past which registration prunes finished readers before
+/// pushing. Below it, registration is append-only (amortized O(1)); the
+/// stale-entry population per object is bounded by
+/// `READER_SHARDS × READER_PRUNE_THRESHOLD`.
+pub(crate) const READER_PRUNE_THRESHOLD: usize = 8;
 
 /// A locator names the last writer of an object together with the object
 /// value before and after that writer.
@@ -43,7 +69,7 @@ static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
 pub(crate) struct Locator<T> {
     owner: Option<Arc<TxShared>>,
     old: Arc<T>,
-    new: Mutex<Arc<T>>,
+    new: ArcSwap<T>,
 }
 
 impl<T> Locator<T> {
@@ -52,7 +78,7 @@ impl<T> Locator<T> {
         Locator {
             owner: None,
             old: Arc::clone(&value),
-            new: Mutex::new(value),
+            new: ArcSwap::new(value),
         }
     }
 
@@ -62,7 +88,7 @@ impl<T> Locator<T> {
         Locator {
             owner: Some(owner),
             old,
-            new: Mutex::new(new),
+            new: ArcSwap::new(new),
         }
     }
 
@@ -73,20 +99,25 @@ impl<T> Locator<T> {
 
     /// The tentative new value written by the owner.
     pub(crate) fn new_value(&self) -> Arc<T> {
-        Arc::clone(&self.new.lock())
+        self.new.load_full()
     }
 
     /// Replaces the tentative new value (only the owner does this, while it
     /// is still active).
     pub(crate) fn set_new_value(&self, value: Arc<T>) {
-        *self.new.lock() = value;
+        self.new.store(value);
     }
 
     /// The logically current (most recently committed) value described by
     /// this locator.
     pub(crate) fn stable_value(&self) -> Arc<T> {
         match &self.owner {
-            None => self.new_value(),
+            // A baseline locator has no owner and therefore no one who may
+            // call `set_new_value`: `new` still holds the `Arc` it was
+            // constructed with, which is the same one `old` holds. Cloning
+            // `old` skips the atomic load of the `new` cell on the
+            // read-mostly hot path.
+            None => Arc::clone(&self.old),
             Some(owner) => {
                 if owner.is_committed() {
                     self.new_value()
@@ -102,16 +133,16 @@ impl<T> Locator<T> {
 #[derive(Debug)]
 pub(crate) struct TVarInner<T> {
     id: u64,
-    locator: Mutex<Arc<Locator<T>>>,
-    readers: Mutex<Vec<Arc<TxShared>>>,
+    locator: ArcSwap<Locator<T>>,
+    readers: [Mutex<Vec<Arc<TxShared>>>; READER_SHARDS],
 }
 
 impl<T> TVarInner<T> {
     fn new(value: T) -> Self {
         TVarInner {
             id: OBJECT_IDS.fetch_add(1, Ordering::Relaxed),
-            locator: Mutex::new(Arc::new(Locator::baseline(Arc::new(value)))),
-            readers: Mutex::new(Vec::new()),
+            locator: ArcSwap::from_value(Locator::baseline(Arc::new(value))),
+            readers: std::array::from_fn(|_| Mutex::new(Vec::new())),
         }
     }
 
@@ -119,63 +150,81 @@ impl<T> TVarInner<T> {
         self.id
     }
 
+    fn reader_shard(&self, reader: &TxShared) -> &Mutex<Vec<Arc<TxShared>>> {
+        &self.readers[(reader.id() % READER_SHARDS as u64) as usize]
+    }
+
     /// Loads the current locator.
     pub(crate) fn load_locator(&self) -> Arc<Locator<T>> {
-        Arc::clone(&self.locator.lock())
+        self.locator.load_full()
+    }
+
+    /// Borrows the current locator without taking a reference count on it —
+    /// the read path's load. The returned guard pins the locator against
+    /// reclamation (readers counter, see `vendor/arcswap`) but skips the
+    /// `Arc` clone/drop pair `load_locator` pays; use it whenever the
+    /// locator is only inspected transiently and never retained.
+    pub(crate) fn peek_locator(&self) -> arcswap::Guard<'_, Locator<T>> {
+        self.locator.load()
     }
 
     /// Replaces the locator with `new` if the current locator is still
-    /// (pointer-)equal to `expected`. Returns `true` on success.
+    /// (pointer-)equal to `expected`. Returns `true` on success. This is
+    /// DSTM's acquisition step: a single pointer compare-exchange, no lock.
     pub(crate) fn try_replace_locator(
         &self,
         expected: &Arc<Locator<T>>,
         new: Arc<Locator<T>>,
     ) -> bool {
-        let mut guard = self.locator.lock();
-        if Arc::ptr_eq(&guard, expected) {
-            *guard = new;
-            true
-        } else {
-            false
-        }
+        self.locator.compare_and_swap(expected, new)
     }
 
     /// Registers `reader` as a visible reader. Returns `true` if it was not
-    /// already registered. Finished readers are pruned opportunistically.
+    /// already registered. Only the reader's own shard is touched, and
+    /// finished entries are pruned only once the shard has grown past
+    /// [`READER_PRUNE_THRESHOLD`], so the uncontended call is O(1).
     pub(crate) fn register_reader(&self, reader: &Arc<TxShared>) -> bool {
-        let mut guard = self.readers.lock();
-        guard.retain(|r| r.is_active());
-        if guard.iter().any(|r| Arc::ptr_eq(r, reader)) {
-            false
-        } else {
-            guard.push(Arc::clone(reader));
-            true
+        let mut shard = self.reader_shard(reader).lock();
+        if shard.iter().any(|r| Arc::ptr_eq(r, reader)) {
+            return false;
+        }
+        if shard.len() >= READER_PRUNE_THRESHOLD {
+            shard.retain(|r| r.is_active());
+        }
+        shard.push(Arc::clone(reader));
+        true
+    }
+
+    /// Removes `reader` from its visible-reader shard. Removes only the
+    /// caller's entry — no full-list rescan on the release path.
+    pub(crate) fn unregister_reader(&self, reader: &TxShared) {
+        let mut shard = self.reader_shard(reader).lock();
+        if let Some(pos) = shard
+            .iter()
+            .position(|r| std::ptr::eq(Arc::as_ptr(r), reader))
+        {
+            shard.swap_remove(pos);
         }
     }
 
-    /// Removes `reader` from the visible-reader list.
-    pub(crate) fn unregister_reader(&self, reader: &TxShared) {
-        let mut guard = self.readers.lock();
-        guard.retain(|r| !std::ptr::eq(Arc::as_ptr(r), reader) && r.is_active());
-    }
-
     /// Returns the currently registered active readers other than `me`,
-    /// pruning finished readers on the way so the list stays bounded even
-    /// on write-heavy paths that never register.
+    /// pruning finished readers from every shard on the way (the writer
+    /// pays an O(readers) walk here regardless — it must arbitrate with
+    /// each of them).
     pub(crate) fn active_readers(&self, me: &Arc<TxShared>) -> Vec<Arc<TxShared>> {
-        let mut guard = self.readers.lock();
-        guard.retain(|r| r.is_active());
-        guard
-            .iter()
-            .filter(|r| !Arc::ptr_eq(r, me))
-            .cloned()
-            .collect()
+        let mut out = Vec::new();
+        for shard in &self.readers {
+            let mut shard = shard.lock();
+            shard.retain(|r| r.is_active());
+            out.extend(shard.iter().filter(|r| !Arc::ptr_eq(r, me)).cloned());
+        }
+        out
     }
 
-    /// Number of registered readers (used in tests).
+    /// Number of registered readers, stale entries included (tests).
     #[cfg(test)]
     pub(crate) fn reader_count(&self) -> usize {
-        self.readers.lock().len()
+        self.readers.iter().map(|shard| shard.lock().len()).sum()
     }
 }
 
@@ -237,7 +286,7 @@ impl<T: Send + Sync> TVar<T> {
     /// object but offers no consistency across objects. Use a transaction
     /// for multi-object reads.
     pub fn load_committed_arc(&self) -> Arc<T> {
-        self.inner.load_locator().stable_value()
+        self.inner.peek_locator().stable_value()
     }
 }
 
@@ -254,8 +303,10 @@ impl<T: Default + Send + Sync> Default for TVar<T> {
     }
 }
 
-/// A read tracked by a transaction, for validation and cleanup.
-pub(crate) trait TrackedRead: Send {
+/// A read tracked by a transaction, for validation and cleanup. Stored as
+/// `Arc<dyn TrackedRead>` so the visible-read path can reuse the object's
+/// own `Arc` (`Sync` is required for that sharing).
+pub(crate) trait TrackedRead: Send + Sync {
     /// Identity of the object read.
     #[allow(dead_code)]
     fn object_id(&self) -> u64;
@@ -284,27 +335,21 @@ impl<T: Send + Sync> TrackedRead for InvisibleRead<T> {
     }
 
     fn still_valid(&self) -> bool {
-        Arc::ptr_eq(&self.inner.load_locator().stable_value(), &self.seen)
+        Arc::ptr_eq(&self.inner.peek_locator().stable_value(), &self.seen)
     }
 
     fn release(&self, _me: &TxShared) {}
 }
 
-/// A visible read: registered in the object's reader list so writers must
-/// arbitrate with it; no validation is required.
-pub(crate) struct VisibleRead<T> {
-    inner: Arc<TVarInner<T>>,
-}
-
-impl<T> VisibleRead<T> {
-    pub(crate) fn new(inner: Arc<TVarInner<T>>) -> Self {
-        VisibleRead { inner }
-    }
-}
-
-impl<T: Send + Sync> TrackedRead for VisibleRead<T> {
+/// A visible read is tracked by the object itself: the registration lives
+/// in the object's reader shards, validation is trivially true (writers
+/// must arbitrate with registered readers before acquiring), and release
+/// unregisters. The read set stores the object directly (an `Arc` clone of
+/// `TVarInner`) rather than boxing a wrapper, which keeps the visible-read
+/// fast path free of per-read heap allocation.
+impl<T: Send + Sync> TrackedRead for TVarInner<T> {
     fn object_id(&self) -> u64 {
-        self.inner.id()
+        self.id
     }
 
     fn still_valid(&self) -> bool {
@@ -312,7 +357,7 @@ impl<T: Send + Sync> TrackedRead for VisibleRead<T> {
     }
 
     fn release(&self, me: &TxShared) {
-        self.inner.unregister_reader(me);
+        self.unregister_reader(me);
     }
 }
 
@@ -431,7 +476,8 @@ mod tests {
         assert!(inner.register_reader(&r2));
         assert_eq!(inner.reader_count(), 2);
         assert_eq!(inner.active_readers(&r1).len(), 1);
-        // Finished readers are pruned on the next registration.
+        // Finished readers are skipped by active_readers (and physically
+        // pruned by it, or by registration past the shard threshold).
         r2.try_abort();
         let r3 = fresh_shared();
         assert!(inner.register_reader(&r3));
@@ -455,20 +501,42 @@ mod tests {
                 r.try_abort();
             }
             // Only every fourth reader explicitly unregisters — the rest
-            // rely on pruning (register, unregister and active_readers all
-            // drop finished entries).
+            // rely on threshold pruning at registration time.
             if i % 4 == 0 {
                 inner.unregister_reader(&r);
             }
         }
+        // Lazy pruning leaves at most a threshold's worth of finished
+        // entries per shard — a constant, not a function of churn volume.
         assert!(
-            inner.reader_count() <= 1,
+            inner.reader_count() <= READER_SHARDS * READER_PRUNE_THRESHOLD,
             "reader list leaked: {} entries",
             inner.reader_count()
         );
+        // A writer's arbitration scan prunes every shard it walks.
         let me = fresh_shared();
         assert!(inner.active_readers(&me).is_empty());
-        assert!(inner.reader_count() <= 1);
+        assert_eq!(inner.reader_count(), 0);
+    }
+
+    #[test]
+    fn register_past_threshold_prunes_only_finished_entries() {
+        let inner = TVarInner::new(0u32);
+        let keep = fresh_shared();
+        assert!(inner.register_reader(&keep));
+        // Pile finished readers into the same shard (all test lineages use
+        // id 1) until the threshold forces a prune.
+        for _ in 0..(2 * READER_PRUNE_THRESHOLD) {
+            let r = fresh_shared();
+            inner.register_reader(&r);
+            r.try_abort();
+        }
+        assert!(inner.reader_count() <= READER_PRUNE_THRESHOLD + 1);
+        // The live registration survived every prune.
+        let me = fresh_shared();
+        let active = inner.active_readers(&me);
+        assert_eq!(active.len(), 1);
+        assert!(Arc::ptr_eq(&active[0], &keep));
     }
 
     #[test]

@@ -26,7 +26,7 @@ use crate::manager::{ConflictKind, ContentionManager, Resolution, TxView};
 use crate::stats::TxnStats;
 use crate::status::{AtomicStatus, TxStatus};
 use crate::stm::{ReadVisibility, Stm};
-use crate::tvar::{InvisibleRead, Locator, OwnedWrite, TVar, TrackedRead, TrackedWrite, VisibleRead};
+use crate::tvar::{InvisibleRead, Locator, OwnedWrite, TVar, TrackedRead, TrackedWrite};
 use crate::wait::SpinWait;
 
 /// State of a logical transaction that persists across aborts and retries.
@@ -231,17 +231,37 @@ impl TxShared {
 /// transaction commits.
 type DeferredAction = Box<dyn FnOnce(&EpochGc) + Send>;
 
+/// Per-thread transaction scratch space: the read/write/publish sets of the
+/// attempt currently running on a [`crate::ThreadCtx`]. Owned by the thread
+/// context and lent to each [`Txn`], so the backing vectors' capacity is
+/// reused across transactions instead of being reallocated per attempt —
+/// the tiny-transaction hot path performs no `Vec` spine allocation after
+/// warm-up.
+#[derive(Default)]
+pub(crate) struct TxScratch {
+    reads: Vec<Arc<dyn TrackedRead>>,
+    writes: Vec<Box<dyn TrackedWrite>>,
+    published: Vec<CommitOp>,
+    deferred: Vec<DeferredAction>,
+}
+
+impl TxScratch {
+    fn clear(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.published.clear();
+        self.deferred.clear();
+    }
+}
+
 /// propagated with `?` — the runtime will retry the closure.
 pub struct Txn<'ctx> {
     stm: &'ctx Stm,
     shared: Arc<TxShared>,
     manager: &'ctx mut dyn ContentionManager,
-    reads: Vec<Box<dyn TrackedRead>>,
-    writes: Vec<Box<dyn TrackedWrite>>,
+    scratch: &'ctx mut TxScratch,
     stats: TxnStats,
-    published: Vec<CommitOp>,
     publish_forced: bool,
-    deferred: Vec<DeferredAction>,
     commit_seq: Option<u64>,
     validation_failed: bool,
     finished: bool,
@@ -263,17 +283,19 @@ impl<'ctx> Txn<'ctx> {
         stm: &'ctx Stm,
         shared: Arc<TxShared>,
         manager: &'ctx mut dyn ContentionManager,
+        scratch: &'ctx mut TxScratch,
     ) -> Self {
+        // Defensive: a panic that unwound through a previous attempt may
+        // have left entries behind; they belong to that attempt, not this
+        // one. No-op on the normal path (finish paths clear the scratch).
+        scratch.clear();
         Txn {
             stm,
             shared,
             manager,
-            reads: Vec::new(),
-            writes: Vec::new(),
+            scratch,
             stats: TxnStats::new(),
-            published: Vec::new(),
             publish_forced: false,
-            deferred: Vec::new(),
             commit_seq: None,
             validation_failed: false,
             finished: false,
@@ -319,7 +341,7 @@ impl<'ctx> Txn<'ctx> {
     /// publishes nothing (the retry starts with an empty set). A no-op when
     /// no hook is installed.
     pub fn publish(&mut self, op: CommitOp) {
-        self.published.push(op);
+        self.scratch.published.push(op);
     }
 
     /// Forces this transaction through the commit hook even when nothing
@@ -345,7 +367,7 @@ impl<'ctx> Txn<'ctx> {
     /// here, so the unlink happens exactly once, and only for the attempt
     /// that actually committed the delete.
     pub fn defer_on_commit(&mut self, action: impl FnOnce(&EpochGc) + Send + 'static) {
-        self.deferred.push(Box::new(action));
+        self.scratch.deferred.push(Box::new(action));
     }
 
     /// Whether this transaction currently owns `tvar` for writing (it has an
@@ -357,7 +379,7 @@ impl<'ctx> Txn<'ctx> {
         T: Send + Sync + 'static,
     {
         tvar.inner()
-            .load_locator()
+            .peek_locator()
             .owner()
             .is_some_and(|owner| Arc::ptr_eq(owner, &self.shared))
     }
@@ -387,13 +409,18 @@ impl<'ctx> Txn<'ctx> {
         if visible {
             let newly_registered = tvar.inner().register_reader(&self.shared);
             if newly_registered {
-                self.reads
-                    .push(Box::new(VisibleRead::new(Arc::clone(tvar.inner()))));
+                // The object itself is the tracked read (see the
+                // `TrackedRead` impl on `TVarInner`): an `Arc` clone, no
+                // per-read heap allocation.
+                self.scratch.reads.push(Arc::clone(tvar.inner()) as _);
             }
         }
         loop {
             self.ensure_active()?;
-            let loc = tvar.inner().load_locator();
+            // Guard-based load: the locator is only inspected, never
+            // retained, so the read path skips the locator's own
+            // refcount traffic (see `TVarInner::peek_locator`).
+            let loc = tvar.inner().peek_locator();
             if let Some(owner) = loc.owner() {
                 if Arc::ptr_eq(owner, &self.shared) {
                     // Read-your-own-write.
@@ -403,11 +430,13 @@ impl<'ctx> Txn<'ctx> {
                 }
                 if owner.is_active() {
                     let owner = Arc::clone(owner);
+                    drop(loc);
                     self.resolve_conflict(&owner, ConflictKind::ReadWrite)?;
                     continue;
                 }
             }
             let value = loc.stable_value();
+            drop(loc);
             // Opacity: re-check our own status *after* loading the value. An
             // enemy that invalidates our earlier reads must abort us before it
             // commits; if its commit preceded our load, its abort of us did
@@ -415,7 +444,7 @@ impl<'ctx> Txn<'ctx> {
             // that is inconsistent with what it already read.
             self.ensure_active()?;
             if !visible {
-                self.reads.push(Box::new(InvisibleRead::new(
+                self.scratch.reads.push(Arc::new(InvisibleRead::new(
                     Arc::clone(tvar.inner()),
                     Arc::clone(&value),
                 )));
@@ -499,7 +528,7 @@ impl<'ctx> Txn<'ctx> {
             if !tvar.inner().try_replace_locator(&loc, Arc::clone(&new_loc)) {
                 continue;
             }
-            self.writes.push(Box::new(OwnedWrite::new(
+            self.scratch.writes.push(Box::new(OwnedWrite::new(
                 Arc::clone(tvar.inner()),
                 Arc::clone(&new_loc),
             )));
@@ -589,7 +618,7 @@ impl<'ctx> Txn<'ctx> {
         if self.shared.is_aborted() {
             return false;
         }
-        let ok = self.reads.iter().all(|r| r.still_valid());
+        let ok = self.scratch.reads.iter().all(|r| r.still_valid());
         if !ok {
             self.validation_failed = true;
         }
@@ -628,12 +657,14 @@ impl<'ctx> Txn<'ctx> {
         if !self.validate() {
             return false;
         }
-        let hook = self
-            .stm
-            .config()
-            .commit_hook
-            .clone()
-            .filter(|_| self.publish_forced || !self.published.is_empty());
+        // Only clone the hook handle when this commit actually goes through
+        // it — transactions that published nothing skip the refcount
+        // traffic entirely.
+        let hook = if self.publish_forced || !self.scratch.published.is_empty() {
+            self.stm.config().commit_hook.clone()
+        } else {
+            None
+        };
         let committed = match hook {
             Some(hook) => {
                 // The hook wraps the linearization point: it performs the
@@ -641,7 +672,7 @@ impl<'ctx> Txn<'ctx> {
                 // published ops only when the CAS succeeds, so log order
                 // matches serialization order (see `crate::hook`).
                 let shared = Arc::clone(&self.shared);
-                let seq = hook.on_commit(&self.published, &mut || shared.try_commit());
+                let seq = hook.on_commit(&self.scratch.published, &mut || shared.try_commit());
                 self.commit_seq = seq;
                 seq.is_some()
             }
@@ -650,19 +681,20 @@ impl<'ctx> Txn<'ctx> {
         if !committed {
             return false;
         }
-        for write in &self.writes {
+        for write in &self.scratch.writes {
             write.detach_committed();
         }
-        for read in &self.reads {
+        for read in &self.scratch.reads {
             read.release(&self.shared);
         }
         // Deferred actions run after the commit point and after the writes
         // are detached, so they observe the committed values they test for.
-        for action in self.deferred.drain(..) {
+        for action in self.scratch.deferred.drain(..) {
             action(self.stm.epoch());
         }
         self.manager.committed(TxView::new(&self.shared));
         self.stm.stats().note_commit(&self.stats);
+        self.scratch.clear();
         self.finished = true;
         true
     }
@@ -673,8 +705,7 @@ impl<'ctx> Txn<'ctx> {
             return;
         }
         self.shared.try_abort();
-        self.deferred.clear();
-        for read in &self.reads {
+        for read in &self.scratch.reads {
             read.release(&self.shared);
         }
         self.manager.aborted(TxView::new(&self.shared));
@@ -682,6 +713,7 @@ impl<'ctx> Txn<'ctx> {
         self.stm
             .stats()
             .note_abort(&self.stats, validation_failure || self.validation_failed);
+        self.scratch.clear();
         self.finished = true;
     }
 }

@@ -1,10 +1,13 @@
 //! The TCP server: a listener, a worker-thread pool, one STM transaction
 //! per request — and, optionally, a durable commit log underneath.
 //!
-//! The server is deliberately std-only (`std::net::TcpListener`, blocking
-//! I/O, a `mpsc` hand-off queue): the point of `stm-kv` is to measure the
-//! *runtime's* behaviour under wire-driven contention, not to benchmark an
-//! async reactor. Each worker thread owns a [`stm_core::ThreadCtx`] — and
+//! The server is deliberately synchronous (`std::net::TcpListener`,
+//! blocking I/O, a mutex-and-condvar hand-off queue): the point of
+//! `stm-kv` is to measure the *runtime's* behaviour under wire-driven
+//! contention, not to benchmark an async reactor. The queue uses the
+//! vendored `parking_lot` primitives rather than std's poisoning mutex so
+//! one worker panicking mid-request cannot poison the hand-off and cascade
+//! the panic across the whole pool. Each worker thread owns a [`stm_core::ThreadCtx`] — and
 //! therefore its own contention-manager instance, keeping managers
 //! decentralised exactly as in the in-process harness — and handles one
 //! connection at a time to completion.
@@ -47,14 +50,16 @@
 //! the pool, unblocks the acceptor with a loopback connection, joins every
 //! thread, and flushes the log.
 
+use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
 
 use stm_cm::{ManagerKind, ManagerParams};
 use stm_core::{CommitOp, Stm, ThreadCtx, TxResult, Txn};
@@ -137,6 +142,68 @@ pub(crate) struct ServerCounters {
     pub(crate) errors: AtomicU64,
 }
 
+/// The acceptor → worker connection hand-off.
+///
+/// Built on the vendored `parking_lot` mutex and condvar: neither poisons,
+/// so a worker that panics inside `serve_connection` (or while holding the
+/// queue lock) takes down only its own thread — the remaining workers keep
+/// draining connections instead of unwinding on an `Err(PoisonError)`
+/// cascade, and the server keeps serving at reduced capacity.
+struct ConnQueue {
+    pending: Mutex<VecDeque<TcpStream>>,
+    ready: Condvar,
+    /// Set when the acceptor is gone; workers drain what is queued and exit.
+    closed: AtomicBool,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            pending: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Acceptor side: enqueues a connection and wakes one idle worker.
+    /// Returns `false` once the queue is closed.
+    fn push(&self, stream: TcpStream) -> bool {
+        if self.closed.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.pending.lock().push_back(stream);
+        self.ready.notify_one();
+        true
+    }
+
+    /// Worker side: the next connection, waiting up to `timeout` for one to
+    /// arrive. `None` means "nothing yet" — the caller re-checks its stop
+    /// flag and [`ConnQueue::is_drained`], mirroring the old
+    /// `recv_timeout` poll loop.
+    fn pop(&self, timeout: Duration) -> Option<TcpStream> {
+        let mut pending = self.pending.lock();
+        if let Some(stream) = pending.pop_front() {
+            return Some(stream);
+        }
+        if self.closed.load(Ordering::Relaxed) {
+            return None;
+        }
+        let _ = self.ready.wait_for(&mut pending, timeout);
+        pending.pop_front()
+    }
+
+    /// Whether the acceptor is gone *and* every queued connection has been
+    /// claimed — the worker exit condition.
+    fn is_drained(&self) -> bool {
+        self.closed.load(Ordering::Relaxed) && self.pending.lock().is_empty()
+    }
+
+    fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        self.ready.notify_all();
+    }
+}
+
 /// The durable half of the server, shared by every worker.
 struct Durable {
     wal: Arc<Wal>,
@@ -216,8 +283,7 @@ impl KvServer {
         let counters = Arc::new(ServerCounters::default());
         let stop = Arc::new(AtomicBool::new(false));
 
-        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
-        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let queue = Arc::new(ConnQueue::new());
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for worker_id in 0..config.workers.max(1) {
@@ -225,7 +291,7 @@ impl KvServer {
             let store = Arc::clone(&store);
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
-            let conn_rx = Arc::clone(&conn_rx);
+            let queue = Arc::clone(&queue);
             let durable = durable.clone();
             workers.push(
                 std::thread::Builder::new()
@@ -236,12 +302,8 @@ impl KvServer {
                             if stop.load(Ordering::Relaxed) {
                                 return;
                             }
-                            let next = conn_rx
-                                .lock()
-                                .expect("connection queue lock poisoned")
-                                .recv_timeout(POLL_INTERVAL);
-                            match next {
-                                Ok(stream) => {
+                            match queue.pop(POLL_INTERVAL) {
+                                Some(stream) => {
                                     serve_connection(
                                         stream,
                                         &mut ctx,
@@ -251,8 +313,8 @@ impl KvServer {
                                         &stop,
                                     );
                                 }
-                                Err(mpsc::RecvTimeoutError::Timeout) => continue,
-                                Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                                None if queue.is_drained() => return,
+                                None => continue,
                             }
                         }
                     })
@@ -263,21 +325,24 @@ impl KvServer {
         let acceptor = {
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
+            let queue = Arc::clone(&queue);
             std::thread::Builder::new()
                 .name("stm-kv-acceptor".to_string())
                 .spawn(move || {
-                    // `conn_tx` moves in here; dropping it on exit tells idle
-                    // workers the server is gone.
                     for stream in listener.incoming() {
                         if stop.load(Ordering::Relaxed) {
-                            return;
+                            break;
                         }
                         let Ok(stream) = stream else { continue };
                         counters.connections.fetch_add(1, Ordering::Relaxed);
-                        if conn_tx.send(stream).is_err() {
-                            return;
+                        if !queue.push(stream) {
+                            break;
                         }
                     }
+                    // Closing on every exit path tells idle workers the
+                    // server is gone (the old design dropped an `mpsc`
+                    // sender for the same effect).
+                    queue.close();
                 })
                 .expect("spawn acceptor thread")
         };

@@ -9,14 +9,17 @@
 //! append-only, replayable log as the recovery substrate):
 //!
 //! * **Commit capture** — the [`Wal::commit_hook`] implements
-//!   [`stm_core::CommitHook`]: a transaction's published write-set is
-//!   appended to the log buffer *inside* the commit linearization point, so
-//!   the record order of the log is exactly the serialization order of the
-//!   committed transactions. Replay therefore reconstructs a state some
-//!   serial execution produced — the whole correctness of recovery rests on
-//!   that ordering.
-//! * **Group commit** ([`wal`]) — commit-path threads only append to an
-//!   in-memory buffer; a single writer thread drains batches into
+//!   [`stm_core::CommitHook`]: a transaction *reserves* its sequence number
+//!   with one atomic `fetch_add` inside the commit window (before the
+//!   commit CAS), so the sequence order of the log extends the
+//!   serialization order of the committed transactions — without any
+//!   process-wide lock on the commit path. Replay in sequence order
+//!   therefore reconstructs a state some serial execution produced — the
+//!   whole correctness of recovery rests on that ordering. A reservation
+//!   whose commit CAS loses leaves a (harmless, recovery-tolerated) gap.
+//! * **Group commit** ([`wal`]) — commit-path threads only publish encoded
+//!   records into a slot ring; a single writer thread consumes the ring in
+//!   sequence order and drains batches into
 //!   length-prefixed, CRC-checked records ([`record`]) in rotating segment
 //!   files, fsyncing per the configured [`FsyncPolicy`] (every commit /
 //!   every N records / every T milliseconds). [`Wal::wait_durable`] turns

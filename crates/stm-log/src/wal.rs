@@ -2,13 +2,19 @@
 //!
 //! A [`Wal`] owns a directory of segment files (`wal-<first_seq>.log`) and a
 //! background **group-commit writer thread**. Commit-path threads never
-//! touch the filesystem: the [`Wal::commit_hook`] appends the encoded record
-//! to an in-memory buffer under the same lock that assigns the sequence
-//! number and performs the transaction's commit CAS (see `stm_core::hook`
-//! for why that lock makes log order equal serialization order), then wakes
-//! the writer. The writer drains whole batches — every record that
-//! accumulated while the previous write was in flight goes out in one
-//! `write_all` — and applies the configured [`FsyncPolicy`]:
+//! touch the filesystem — and never a process-wide lock either: the
+//! [`Wal::commit_hook`] *reserves* a sequence number with one `fetch_add`
+//! before running the transaction's commit CAS, encodes the record into a
+//! private buffer, and publishes it into the slot ring at its reserved
+//! position (see `stm_core::hook` for why reservation-inside-the-commit-
+//! window makes log order equal serialization order). A reservation whose
+//! commit CAS loses is published as an *abandoned* ticket, so the on-disk
+//! stream may contain sequence gaps — recovery is gap-tolerant and the
+//! durability watermark counts abandoned tickets as trivially durable.
+//! The writer consumes ring slots strictly in sequence order and drains
+//! whole batches — every record that accumulated while the previous write
+//! was in flight goes out in one `write_all` — and applies the configured
+//! [`FsyncPolicy`]:
 //!
 //! * [`FsyncPolicy::EveryCommit`] — fsync after every drained batch. A
 //!   caller that then blocks on [`Wal::wait_durable`] gets synchronous
@@ -144,22 +150,54 @@ pub struct WalStats {
     pub failed: bool,
 }
 
-/// The sequence-ordered front of the log, guarded by one mutex: sequence
-/// assignment and buffer append happen atomically with the commit CAS.
-struct Core {
-    next_seq: u64,
-    pending: Vec<u8>,
-    pending_records: u64,
-    pending_last_seq: u64,
-    pending_first_seq: u64,
+/// Slots in the hand-off ring between commit threads and the writer. Also
+/// the backpressure bound: a reservation stalls (cold path) only when it is
+/// this many sequence numbers ahead of the writer.
+const RING: usize = 1024;
+
+/// One ring slot. `ready` holds `seq + 1` once the slot at `seq % RING` is
+/// filled for sequence `seq` (0 = empty); the `+ 1` bias disambiguates the
+/// empty state from a filled seq-0 slot and lets the writer verify it is
+/// consuming exactly the generation it expects. The per-slot mutex is
+/// touched by exactly one producer (the reservation holder) and the writer,
+/// so it is uncontended in steady state — nothing process-wide.
+struct Slot {
+    ready: AtomicU64,
+    data: Mutex<SlotData>,
+}
+
+#[derive(Default)]
+struct SlotData {
+    bytes: Vec<u8>,
+    /// `false` marks an abandoned ticket: the reservation's commit CAS
+    /// failed, so the writer skips its bytes but still advances past it.
+    committed: bool,
 }
 
 struct Shared {
     dir: PathBuf,
     policy: FsyncPolicy,
     segment_bytes: u64,
-    core: Mutex<Core>,
+    /// Next sequence number to reserve. `fetch_add` here — inside the commit
+    /// window, before the commit CAS — is the whole of sequence assignment.
+    next_seq: AtomicU64,
+    /// Highest sequence number the writer has consumed from the ring.
+    consumed: AtomicU64,
+    ring: Vec<Slot>,
+    /// Pairs with `work`: the writer re-checks the ring under this lock
+    /// before sleeping, so a producer that fills a slot and then finds
+    /// `parked` set cannot lose its wakeup.
+    work_lock: Mutex<()>,
     work: Condvar,
+    /// Set by the writer around its condvar wait; producers skip the
+    /// `work_lock` round-trip entirely while the writer is busy draining.
+    parked: AtomicBool,
+    /// Pairs with `space_cv`: reservations RING ahead of the writer wait
+    /// here; `space_waiters` lets the writer skip notification entirely in
+    /// the common case of an empty wait queue.
+    space_lock: Mutex<()>,
+    space_cv: Condvar,
+    space_waiters: AtomicU64,
     durable: Mutex<u64>,
     durable_cv: Condvar,
     stop: AtomicBool,
@@ -190,6 +228,70 @@ impl Shared {
             );
         }
         self.durable_cv.notify_all();
+        // Reservations blocked on ring space must observe the failure and
+        // bail rather than wait on a writer that will never drain again.
+        self.space_cv.notify_all();
+    }
+
+    fn slot_ready(&self, seq: u64) -> bool {
+        self.ring[(seq % RING as u64) as usize]
+            .ready
+            .load(Ordering::SeqCst)
+            == seq + 1
+    }
+
+    /// Blocks until the ring slot for `seq` is free — its previous occupant
+    /// (`seq - RING`) consumed — which in-order consumption reduces to
+    /// `seq <= consumed + RING`. Returns `false` (don't log) when the log
+    /// failed or is shutting down, so a reservation never deadlocks against
+    /// a writer that is gone.
+    fn wait_for_slot(&self, seq: u64) -> bool {
+        loop {
+            if self.failed.load(Ordering::Relaxed) || self.stop.load(Ordering::Relaxed) {
+                return false;
+            }
+            if seq <= self.consumed.load(Ordering::SeqCst) + RING as u64 {
+                return true;
+            }
+            self.space_waiters.fetch_add(1, Ordering::SeqCst);
+            {
+                let guard = self.space_lock.lock().expect("wal space lock poisoned");
+                if seq > self.consumed.load(Ordering::SeqCst) + RING as u64
+                    && !self.stop.load(Ordering::Relaxed)
+                    && !self.failed.load(Ordering::Relaxed)
+                {
+                    let _ = self
+                        .space_cv
+                        .wait_timeout(guard, Duration::from_millis(10))
+                        .expect("wal space lock poisoned");
+                }
+            }
+            self.space_waiters.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Publishes the filled (or abandoned) slot for `seq` and wakes the
+    /// writer if it is parked. The `ready` store is the release point; the
+    /// writer's matching `SeqCst` load on `ready` orders the `data` write
+    /// before its read even without contending on the slot mutex.
+    fn fill_slot(&self, seq: u64, bytes: Vec<u8>, committed: bool) {
+        let slot = &self.ring[(seq % RING as u64) as usize];
+        {
+            let mut data = slot.data.lock().expect("wal slot lock poisoned");
+            data.bytes = bytes;
+            data.committed = committed;
+        }
+        slot.ready.store(seq + 1, Ordering::SeqCst);
+        // Dekker-style pairing with the writer's park sequence: the writer
+        // stores `parked`, then re-checks `ready` under `work_lock`; we
+        // store `ready`, then check `parked`. SeqCst makes at least one
+        // side observe the other, and taking `work_lock` before notifying
+        // serializes against the check-then-wait so the wakeup cannot fall
+        // between them.
+        if self.parked.load(Ordering::SeqCst) {
+            drop(self.work_lock.lock().expect("wal work lock poisoned"));
+            self.work.notify_one();
+        }
     }
 }
 
@@ -204,38 +306,43 @@ impl std::fmt::Debug for Shared {
 
 impl CommitHook for Shared {
     fn on_commit(&self, ops: &[CommitOp], commit: &mut dyn FnMut() -> bool) -> Option<u64> {
-        let mut core = self.core.lock().expect("wal core lock poisoned");
+        // Reserve the sequence number *before* the commit CAS. The
+        // reservation is inside the commit window, so if transaction B
+        // depends on A (B's read saw A's write), B's window opened after
+        // A's CAS — hence after A's reservation — and seq(A) < seq(B):
+        // log order extends serialization order without any global lock.
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        // Backpressure (cold path): the slot is only busy when this
+        // reservation is RING sequence numbers ahead of the writer. A dead
+        // writer (failed or stopping log) means skip logging entirely —
+        // commits proceed in memory and their non-durability is reported
+        // through `wait_durable`.
+        let log_alive = self.wait_for_slot(seq);
         if !commit() {
+            // The reservation is already in the sequence stream; publish it
+            // as abandoned so the writer's in-order consumption never
+            // stalls on a ticket nobody will fill.
+            if log_alive {
+                self.fill_slot(seq, Vec::new(), false);
+            }
             return None;
         }
-        let seq = core.next_seq;
-        core.next_seq += 1;
-        // A failed log stops buffering: the writer is gone, so appending
-        // would only grow memory without bound. Commits proceed in memory;
-        // their non-durability is reported through `wait_durable`.
-        if self.failed.load(Ordering::Relaxed) {
-            return Some(seq);
+        if log_alive {
+            let mut buf = Vec::with_capacity(32 + ops.len() * 24);
+            record::encode_into(&mut buf, seq, ops);
+            self.records.fetch_add(1, Ordering::Relaxed);
+            self.since_snapshot.fetch_add(1, Ordering::Relaxed);
+            self.fill_slot(seq, buf, true);
         }
-        if core.pending.is_empty() {
-            core.pending_first_seq = seq;
-        }
-        record::encode_into(&mut core.pending, seq, ops);
-        core.pending_records += 1;
-        core.pending_last_seq = seq;
-        drop(core);
-        self.records.fetch_add(1, Ordering::Relaxed);
-        self.since_snapshot.fetch_add(1, Ordering::Relaxed);
-        self.work.notify_one();
         Some(seq)
     }
 }
 
-/// One drained batch handed from the commit path to the writer.
+/// One contiguous run of committed records drained from the ring.
 struct Batch {
     bytes: Vec<u8>,
     records: u64,
     first_seq: u64,
-    last_seq: u64,
 }
 
 /// The durable commit log. See the [module documentation](self).
@@ -267,14 +374,22 @@ impl Wal {
             policy: config.fsync,
             segment_bytes: config.segment_bytes.max(4096),
             failed: AtomicBool::new(false),
-            core: Mutex::new(Core {
-                next_seq: recovered.next_seq,
-                pending: Vec::new(),
-                pending_records: 0,
-                pending_last_seq: 0,
-                pending_first_seq: 0,
-            }),
+            next_seq: AtomicU64::new(recovered.next_seq),
+            // Every sequence below the recovered tip was consumed by a
+            // previous process life; the ring starts empty.
+            consumed: AtomicU64::new(recovered.next_seq.saturating_sub(1)),
+            ring: (0..RING)
+                .map(|_| Slot {
+                    ready: AtomicU64::new(0),
+                    data: Mutex::new(SlotData::default()),
+                })
+                .collect(),
+            work_lock: Mutex::new(()),
             work: Condvar::new(),
+            parked: AtomicBool::new(false),
+            space_lock: Mutex::new(()),
+            space_cv: Condvar::new(),
+            space_waiters: AtomicU64::new(0),
             durable: Mutex::new(recovered.next_seq.saturating_sub(1)),
             durable_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -421,14 +536,8 @@ impl Wal {
 
     /// A snapshot of the log's counters.
     pub fn stats(&self) -> WalStats {
-        let next_seq = self
-            .shared
-            .core
-            .lock()
-            .expect("wal core lock poisoned")
-            .next_seq;
         WalStats {
-            next_seq,
+            next_seq: self.shared.next_seq.load(Ordering::SeqCst),
             durable_seq: self.durable_seq(),
             records: self.shared.records.load(Ordering::Relaxed),
             bytes: self.shared.bytes.load(Ordering::Relaxed),
@@ -448,7 +557,11 @@ impl Wal {
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
+        // Take `work_lock` before notifying so the wakeup cannot fall
+        // between the writer's stop-check and its condvar wait.
+        drop(self.shared.work_lock.lock().expect("wal work lock poisoned"));
         self.shared.work.notify_all();
+        self.shared.space_cv.notify_all();
         if let Some(writer) = self.writer.take() {
             let _ = writer.join();
         }
@@ -497,37 +610,48 @@ fn writer_loop(shared: &Shared) {
     let mut segment: Option<OpenSegment> = None;
     let mut unsynced_records = 0u64;
     let mut unsynced_since = Instant::now();
-    let mut highest_written = 0u64;
+    // Highest sequence number published to the durable watermark; tracked
+    // locally so iterations that make no progress skip the lock entirely.
+    let mut published_durable = shared.consumed.load(Ordering::SeqCst);
+    let mut next = published_durable + 1;
+    let mut last_progress = Instant::now();
     loop {
-        let batch = {
-            let mut core = shared.core.lock().expect("wal core lock poisoned");
-            while core.pending.is_empty() && !shared.stop.load(Ordering::Relaxed) {
-                let (guard, _) = shared
-                    .work
-                    .wait_timeout(core, tick)
-                    .expect("wal core lock poisoned");
-                core = guard;
-                // Timer-based policies must fsync even when no new record
-                // arrives to carry the decision.
-                if core.pending.is_empty() && unsynced_records > 0 {
-                    if let FsyncPolicy::EveryMs(ms) = shared.policy {
-                        if unsynced_since.elapsed() >= Duration::from_millis(ms) {
-                            break;
-                        }
+        // Drain every contiguous ready slot. Strictly in-order consumption
+        // is what turns per-commit seq reservations back into a totally
+        // ordered on-disk stream; a not-yet-filled slot ends the run even
+        // if later slots are ready.
+        let mut batch: Option<Batch> = None;
+        while shared.slot_ready(next) {
+            let slot = &shared.ring[(next % RING as u64) as usize];
+            let (bytes, committed) = {
+                let mut data = slot.data.lock().expect("wal slot lock poisoned");
+                (std::mem::take(&mut data.bytes), data.committed)
+            };
+            slot.ready.store(0, Ordering::SeqCst);
+            shared.consumed.store(next, Ordering::SeqCst);
+            if committed {
+                match &mut batch {
+                    None => {
+                        batch = Some(Batch {
+                            bytes,
+                            records: 1,
+                            first_seq: next,
+                        })
+                    }
+                    Some(batch) => {
+                        batch.bytes.extend_from_slice(&bytes);
+                        batch.records += 1;
                     }
                 }
             }
-            if core.pending.is_empty() {
-                None
-            } else {
-                Some(Batch {
-                    bytes: std::mem::take(&mut core.pending),
-                    records: std::mem::take(&mut core.pending_records),
-                    first_seq: core.pending_first_seq,
-                    last_seq: core.pending_last_seq,
-                })
-            }
-        };
+            next += 1;
+            last_progress = Instant::now();
+        }
+        let consumed_tip = next - 1;
+        if shared.space_waiters.load(Ordering::SeqCst) > 0 {
+            drop(shared.space_lock.lock().expect("wal space lock poisoned"));
+            shared.space_cv.notify_all();
+        }
         let stopping = shared.stop.load(Ordering::Relaxed);
         if let Some(batch) = batch {
             let rotate = segment
@@ -574,7 +698,6 @@ fn writer_loop(shared: &Shared) {
                 unsynced_since = Instant::now();
             }
             unsynced_records += batch.records;
-            highest_written = batch.last_seq;
         }
         let sync_due = unsynced_records > 0
             && (stopping
@@ -591,11 +714,16 @@ fn writer_loop(shared: &Shared) {
                     Ok(()) => {
                         shared.fsyncs.fetch_add(1, Ordering::Relaxed);
                         unsynced_records = 0;
+                        // Every consumed committed record was written before
+                        // this fsync (consumption and write happen in the
+                        // same iteration), so the whole consumed prefix is
+                        // durable — abandoned tickets trivially so.
                         let mut durable = shared.durable.lock().expect("durable lock poisoned");
-                        if highest_written > *durable {
-                            *durable = highest_written;
+                        if consumed_tip > *durable {
+                            *durable = consumed_tip;
                         }
                         drop(durable);
+                        published_durable = consumed_tip;
                         shared.durable_cv.notify_all();
                     }
                     Err(err) => {
@@ -609,20 +737,51 @@ fn writer_loop(shared: &Shared) {
                     }
                 }
             }
+        } else if unsynced_records == 0 && consumed_tip > published_durable {
+            // Progress made of abandoned tickets alone, with nothing
+            // written-but-unsynced beneath it: the watermark can follow
+            // without touching the disk.
+            let mut durable = shared.durable.lock().expect("durable lock poisoned");
+            if consumed_tip > *durable {
+                *durable = consumed_tip;
+            }
+            drop(durable);
+            published_durable = consumed_tip;
+            shared.durable_cv.notify_all();
         }
         if stopping {
-            let drained = shared
-                .core
-                .lock()
-                .expect("wal core lock poisoned")
-                .pending
-                .is_empty();
-            // `sync_due` above included `stopping`, so by the time the
-            // buffer is drained the final fsync has been attempted; exit
-            // even if it failed rather than spin on a broken filesystem.
-            if drained {
+            // Drained once every reservation handed out so far has been
+            // consumed. `sync_due` above included `stopping`, so whenever
+            // we return here the final fsync has been attempted; exit even
+            // if it failed rather than spin on a broken filesystem. A
+            // reservation that never fills its slot (its thread bailed or
+            // died mid-commit) is abandoned after a grace period so
+            // shutdown cannot hang.
+            if next == shared.next_seq.load(Ordering::SeqCst) {
                 return;
             }
+            if last_progress.elapsed() > Duration::from_millis(250) {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        // Park until a producer fills the next slot (or the tick expires —
+        // timer-based fsync policies need the wakeup even when idle). The
+        // `parked` flag plus the re-check under `work_lock` pairs with
+        // `fill_slot`'s publish-then-notify so the wakeup cannot be lost.
+        if !shared.slot_ready(next) {
+            shared.parked.store(true, Ordering::SeqCst);
+            {
+                let guard = shared.work_lock.lock().expect("wal work lock poisoned");
+                if !shared.slot_ready(next) && !shared.stop.load(Ordering::Relaxed) {
+                    let _ = shared
+                        .work
+                        .wait_timeout(guard, tick)
+                        .expect("wal work lock poisoned");
+                }
+            }
+            shared.parked.store(false, Ordering::SeqCst);
         }
     }
 }

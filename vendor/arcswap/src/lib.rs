@@ -1,0 +1,411 @@
+//! Vendored `arc-swap`-style atomic `Arc<T>` cell.
+//!
+//! The workspace's STM core (`stm-core`) is `forbid(unsafe_code)`; this
+//! crate is the one place the locator-publication hot path is allowed to
+//! touch raw pointers. It provides [`ArcSwap`]: a cell holding an `Arc<T>`
+//! whose readers never block and whose writers publish with a single
+//! pointer compare-exchange — the shape DSTM's object acquisition needs
+//! (the paper's locator swap is exactly one CAS).
+//!
+//! ## Reclamation protocol
+//!
+//! `Arc` alone cannot make "load the pointer, then bump the refcount"
+//! atomic, so a displaced value must not be dropped while a reader sits
+//! between those two steps. Reclamation is deferred with a per-cell reader
+//! counter instead of a global epoch domain (`stm_core::EpochGc` exists,
+//! but its `retire` path takes two mutexes per call and its pins are
+//! transaction-scoped, while `ArcSwap` loads must also be safe *outside*
+//! any transaction — e.g. committed-value peeks from the serving layer):
+//!
+//! 1. A load increments `readers`, then reads the pointer ([`Guard`]
+//!    borrows the value; dropping it decrements `readers`).
+//! 2. A successful swap takes ownership of the displaced `Arc`. If
+//!    `readers == 0` is observed *after* the pointer write, every counted
+//!    reader finished before the swap (SeqCst total order: a reader that
+//!    obtained the old pointer incremented the counter before our swap and
+//!    has not yet decremented), so the displaced `Arc` drops immediately.
+//!    Otherwise it is pushed to a mutex-guarded spill list.
+//! 3. The spill list drains when the reader count crosses back to zero
+//!    (last `Guard` out) — and opportunistically after a push that races a
+//!    departing reader. Spilled values are never the cell's current value,
+//!    so late-arriving readers cannot re-observe them; draining at an
+//!    observed zero is therefore safe.
+//!
+//! The spill mutex is only touched by writers that actually displaced a
+//! value while a reader was in flight, and by the last reader of a
+//! contended window — never by the uncontended load or CAS fast paths.
+//!
+//! All atomics use `SeqCst`: the protocol's safety argument is stated in
+//! terms of the single total order, and the hot path is dominated by the
+//! RMW operations whose cost `SeqCst` does not change.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use std::sync::{Arc, Mutex};
+
+/// An atomic cell holding an `Arc<T>`: lock-free loads, pointer-CAS
+/// publication, counter-deferred reclamation (see the crate docs).
+pub struct ArcSwap<T> {
+    ptr: AtomicPtr<T>,
+    readers: AtomicUsize,
+    /// Number of entries in `spill`. Kept outside the mutex so the load
+    /// fast path (the common zero-crossing in `Guard::drop`) can skip the
+    /// lock entirely with one plain load — on most loads nothing was ever
+    /// spilled.
+    spilled: AtomicUsize,
+    spill: Mutex<Vec<Arc<T>>>,
+}
+
+/// A borrowed view of an [`ArcSwap`]'s value at load time.
+///
+/// Holding the guard keeps the cell's reader count elevated, which is what
+/// keeps the pointed-to value alive even if a writer displaces it. Not
+/// `Send`: the count is released on the loading thread.
+pub struct Guard<'a, T> {
+    cell: &'a ArcSwap<T>,
+    ptr: *const T,
+}
+
+impl<T> ArcSwap<T> {
+    /// Creates a cell holding `value`.
+    #[must_use]
+    pub fn new(value: Arc<T>) -> Self {
+        ArcSwap {
+            ptr: AtomicPtr::new(Arc::into_raw(value).cast_mut()),
+            readers: AtomicUsize::new(0),
+            spilled: AtomicUsize::new(0),
+            spill: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Creates a cell holding a fresh `Arc` around `value`.
+    #[must_use]
+    pub fn from_value(value: T) -> Self {
+        ArcSwap::new(Arc::new(value))
+    }
+
+    /// Loads the current value without cloning the `Arc`. The borrow is
+    /// valid for the guard's lifetime even if a writer displaces the value
+    /// concurrently.
+    pub fn load(&self) -> Guard<'_, T> {
+        self.readers.fetch_add(1, SeqCst);
+        // The increment is visible before this load in the SeqCst order,
+        // so any writer that later displaces `ptr` sees readers > 0 and
+        // spills instead of dropping.
+        let ptr = self.ptr.load(SeqCst);
+        Guard { cell: self, ptr }
+    }
+
+    /// Loads the current value as an owned `Arc`.
+    #[must_use]
+    pub fn load_full(&self) -> Arc<T> {
+        self.load().to_arc()
+    }
+
+    /// Publishes `new` iff the cell still holds exactly `expected` (same
+    /// allocation, pointer identity). Returns whether the swap happened.
+    /// The success path is one `compare_exchange`; no lock is taken unless
+    /// a displaced value must be spilled past an in-flight reader.
+    pub fn compare_and_swap(&self, expected: &Arc<T>, new: Arc<T>) -> bool {
+        let new_raw = Arc::into_raw(new).cast_mut();
+        match self
+            .ptr
+            .compare_exchange(Arc::as_ptr(expected).cast_mut(), new_raw, SeqCst, SeqCst)
+        {
+            Ok(old_raw) => {
+                // The cell owned one strong count on the displaced value;
+                // reconstitute and retire it.
+                let old = unsafe { Arc::from_raw(old_raw) };
+                self.defer_drop(old);
+                true
+            }
+            Err(_) => {
+                // Publication lost: reclaim the strong count `into_raw`
+                // leaked and report failure.
+                drop(unsafe { Arc::from_raw(new_raw) });
+                false
+            }
+        }
+    }
+
+    /// Unconditionally replaces the value.
+    pub fn store(&self, new: Arc<T>) {
+        let new_raw = Arc::into_raw(new).cast_mut();
+        let old_raw = self.ptr.swap(new_raw, SeqCst);
+        let old = unsafe { Arc::from_raw(old_raw) };
+        self.defer_drop(old);
+    }
+
+    /// Retires a displaced value: drops it immediately when no reader is
+    /// in flight, otherwise parks it on the spill list until the reader
+    /// count next crosses zero.
+    fn defer_drop(&self, old: Arc<T>) {
+        if self.readers.load(SeqCst) == 0 {
+            return;
+        }
+        {
+            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+            spill.push(old);
+            self.spilled.store(spill.len(), SeqCst);
+        }
+        // The counted reader may have departed between our count read and
+        // the push. If it decremented before our `spilled` store became
+        // visible to it, its drop skipped the drain — this re-check (SeqCst,
+        // after the store) sees its departure and drains on its behalf;
+        // otherwise the reader sees `spilled > 0` and drains itself.
+        if self.readers.load(SeqCst) == 0 {
+            self.drain_spill();
+        }
+    }
+
+    fn drain_spill(&self) {
+        // Safety of dropping here: entries were displaced before they were
+        // spilled, so only readers already counted at spill time can hold
+        // their pointers — and an observed zero count means all of those
+        // have departed. New readers only ever observe the current value.
+        let drained: Vec<Arc<T>> = {
+            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+            self.spilled.store(0, SeqCst);
+            std::mem::take(&mut *spill)
+        };
+        drop(drained);
+    }
+}
+
+impl<T> Drop for ArcSwap<T> {
+    fn drop(&mut self) {
+        // Reclaim the strong count the cell holds on its current value;
+        // the spill list drops with the struct.
+        let raw = *self.ptr.get_mut();
+        drop(unsafe { Arc::from_raw(raw) });
+    }
+}
+
+// Field-wise auto impls would already grant these (AtomicPtr is Send+Sync
+// for any T), but the cell semantically owns and hands out `Arc<T>`s, so
+// spell the bounds out the way `Arc` itself does.
+unsafe impl<T: Send + Sync> Send for ArcSwap<T> {}
+unsafe impl<T: Send + Sync> Sync for ArcSwap<T> {}
+
+impl<T: fmt::Debug> fmt::Debug for ArcSwap<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ArcSwap").field("value", &*self.load()).finish()
+    }
+}
+
+impl<T> Guard<'_, T> {
+    /// Clones the guarded value into an owned `Arc`.
+    #[must_use]
+    pub fn to_arc(&self) -> Arc<T> {
+        // The guard's elevated reader count keeps the allocation alive, so
+        // the strong count is ≥ 1 for the whole bump.
+        unsafe {
+            Arc::increment_strong_count(self.ptr);
+            Arc::from_raw(self.ptr)
+        }
+    }
+
+    /// Whether this guard views the same allocation as `other`.
+    #[must_use]
+    pub fn ptr_eq(&self, other: &Arc<T>) -> bool {
+        std::ptr::eq(self.ptr, Arc::as_ptr(other))
+    }
+}
+
+impl<T> Deref for Guard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        // Valid for the guard's lifetime: the reader count was raised
+        // before the pointer was read, so writers spill rather than drop.
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> Drop for Guard<'_, T> {
+    fn drop(&mut self) {
+        if self.cell.readers.fetch_sub(1, SeqCst) == 1
+            && self.cell.spilled.load(SeqCst) != 0
+        {
+            // Last reader out of a contended window: anything spilled while
+            // we (or our peers) were in flight is now unreachable. The
+            // `spilled` check keeps the common case — nothing was displaced
+            // past us — off the mutex entirely; a spill racing our
+            // decrement is drained by the writer's own re-check.
+            self.cell.drain_spill();
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Guard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Barrier;
+    use std::thread;
+
+    /// Counts live instances so the tests can prove every displaced value
+    /// is dropped exactly once and never early.
+    struct Tracked {
+        value: u64,
+        live: &'static AtomicUsize,
+    }
+
+    impl Tracked {
+        fn new(value: u64, live: &'static AtomicUsize) -> Self {
+            live.fetch_add(1, SeqCst);
+            Tracked { value, live }
+        }
+    }
+
+    impl Drop for Tracked {
+        fn drop(&mut self) {
+            self.live.fetch_sub(1, SeqCst);
+        }
+    }
+
+    fn leak_counter() -> &'static AtomicUsize {
+        Box::leak(Box::new(AtomicUsize::new(0)))
+    }
+
+    #[test]
+    fn load_sees_stores() {
+        let cell = ArcSwap::from_value(1u64);
+        assert_eq!(*cell.load(), 1);
+        cell.store(Arc::new(2));
+        assert_eq!(*cell.load(), 2);
+        assert_eq!(*cell.load_full(), 2);
+    }
+
+    #[test]
+    fn compare_and_swap_is_pointer_conditional() {
+        let cell = ArcSwap::from_value(10u64);
+        let current = cell.load_full();
+        let stale = Arc::new(10u64); // equal value, different allocation
+        assert!(!cell.compare_and_swap(&stale, Arc::new(11)));
+        assert_eq!(*cell.load(), 10);
+        assert!(cell.compare_and_swap(&current, Arc::new(12)));
+        assert_eq!(*cell.load(), 12);
+        // The displaced Arc survives in the caller's hand.
+        assert_eq!(*current, 10);
+    }
+
+    #[test]
+    fn guard_outlives_concurrent_displacement() {
+        let live = leak_counter();
+        let cell = ArcSwap::new(Arc::new(Tracked::new(1, live)));
+        let guard = cell.load();
+        cell.store(Arc::new(Tracked::new(2, live)));
+        // The displaced value must still be readable through the guard.
+        assert_eq!(guard.value, 1);
+        assert_eq!(live.load(SeqCst), 2, "old value spilled, not dropped");
+        drop(guard);
+        assert_eq!(live.load(SeqCst), 1, "zero-crossing drained the spill");
+        drop(cell);
+        assert_eq!(live.load(SeqCst), 0);
+    }
+
+    #[test]
+    fn to_arc_keeps_value_after_cell_drops() {
+        let cell = ArcSwap::from_value(String::from("alive"));
+        let arc = cell.load().to_arc();
+        drop(cell);
+        assert_eq!(*arc, "alive");
+    }
+
+    #[test]
+    fn nested_guards_drain_only_at_outermost_drop() {
+        let live = leak_counter();
+        let cell = ArcSwap::new(Arc::new(Tracked::new(1, live)));
+        let g1 = cell.load();
+        let g2 = cell.load();
+        cell.store(Arc::new(Tracked::new(2, live)));
+        drop(g1);
+        assert_eq!(live.load(SeqCst), 2, "inner reader still pins the spill");
+        drop(g2);
+        assert_eq!(live.load(SeqCst), 1);
+        drop(cell);
+        assert_eq!(live.load(SeqCst), 0);
+    }
+
+    #[test]
+    fn concurrent_cas_loses_exactly_once_per_round() {
+        let cell = Arc::new(ArcSwap::from_value(0u64));
+        let threads = 4;
+        let rounds = 200;
+        let barrier = Arc::new(Barrier::new(threads));
+        let wins: Vec<u64> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let cell = Arc::clone(&cell);
+                    let barrier = Arc::clone(&barrier);
+                    scope.spawn(move || {
+                        let mut wins = 0u64;
+                        for _ in 0..rounds {
+                            barrier.wait();
+                            let seen = cell.load_full();
+                            if cell.compare_and_swap(&seen, Arc::new(*seen + 1)) {
+                                wins += 1;
+                            }
+                        }
+                        wins
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Every round increments at least once (someone's expected pointer
+        // was current), and the final value equals the total win count.
+        let total: u64 = wins.iter().sum();
+        assert!(total >= rounds as u64, "{wins:?}");
+        assert_eq!(*cell.load(), total);
+    }
+
+    #[test]
+    fn reader_writer_stress_never_tears_or_leaks() {
+        let live = leak_counter();
+        let cell = Arc::new(ArcSwap::new(Arc::new(Tracked::new(0, live))));
+        let stop = Arc::new(AtomicUsize::new(0));
+        thread::scope(|scope| {
+            for _ in 0..3 {
+                let cell = Arc::clone(&cell);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut last = 0u64;
+                    while stop.load(SeqCst) == 0 {
+                        let guard = cell.load();
+                        // Published values are monotone; a torn or
+                        // prematurely-freed read would break this.
+                        assert!(guard.value >= last, "{} < {last}", guard.value);
+                        last = guard.value;
+                    }
+                });
+            }
+            let writer_cell = Arc::clone(&cell);
+            let writer_stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                for i in 1..=10_000u64 {
+                    let current = writer_cell.load_full();
+                    assert!(writer_cell
+                        .compare_and_swap(&current, Arc::new(Tracked::new(i, live))));
+                }
+                writer_stop.store(1, SeqCst);
+            });
+        });
+        assert_eq!(cell.load().value, 10_000);
+        drop(cell);
+        // Everything displaced plus the final value must be gone: the
+        // stress would leak here if spill entries were stranded.
+        assert_eq!(live.load(SeqCst), 0);
+    }
+}

@@ -1,24 +1,57 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
 //! The build environment has no access to crates.io, so this vendored crate
-//! provides `Mutex` and `RwLock` with parking_lot's API shape — `lock()` /
-//! `read()` / `write()` return guards directly, with no poisoning — backed by
-//! the `std::sync` primitives. A panic while a guard is held simply clears
-//! the poison flag on the underlying lock, matching parking_lot's
+//! provides `Mutex`, `RwLock` and `Condvar` with parking_lot's API shape —
+//! `lock()` / `read()` / `write()` return guards directly, with no
+//! poisoning, and `Condvar::wait*` take `&mut MutexGuard` — backed by the
+//! `std::sync` primitives. A panic while a guard is held simply clears the
+//! poison flag on the underlying lock, matching parking_lot's
 //! "no poisoning" semantics.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt;
+use std::ops::{Deref, DerefMut};
 use std::sync::{
-    Mutex as StdMutex, MutexGuard, RwLock as StdRwLock, RwLockReadGuard, RwLockWriteGuard,
+    Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard, RwLockWriteGuard,
 };
+use std::time::Duration;
 
 /// A mutual-exclusion lock whose `lock` never fails (no poisoning).
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
     inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+///
+/// Wraps the std guard so [`Condvar`] can temporarily take it during a
+/// wait (parking_lot's condvars consume and re-fill the guard in place via
+/// `&mut`). The inner `Option` is `Some` except inside that window.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<StdMutexGuard<'a, T>>,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard taken by a pending wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard taken by a pending wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
 }
 
 impl<T> Mutex<T> {
@@ -40,16 +73,22 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.inner
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+        MutexGuard {
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner()),
+            ),
+        }
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Ok(guard) => Some(MutexGuard { inner: Some(guard) }),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(MutexGuard {
+                inner: Some(poisoned.into_inner()),
+            }),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -68,6 +107,97 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
             Some(guard) => f.debug_struct("Mutex").field("data", &&*guard).finish(),
             None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
         }
+    }
+}
+
+/// Whether a [`Condvar`] wait returned because the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` when the wait ended by timeout rather than notification.
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// A condition variable with parking_lot's API shape: waits take
+/// `&mut MutexGuard` and re-acquire the same lock before returning, and a
+/// poisoned underlying mutex is treated as unpoisoned.
+#[derive(Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Blocks until notified. Spurious wakeups are possible, as with every
+    /// condvar — re-check the predicate in a loop.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let std_guard = guard.inner.take().expect("guard taken by a pending wait");
+        let std_guard = self
+            .inner
+            .wait(std_guard)
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        guard.inner = Some(std_guard);
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken by a pending wait");
+        let (std_guard, result) = match self.inner.wait_timeout(std_guard, timeout) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Blocks until notified, `timeout` elapses, or the predicate returns
+    /// `false` (waits while `condition` is true, like std's
+    /// `wait_timeout_while`).
+    pub fn wait_while_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        mut condition: impl FnMut(&mut T) -> bool,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let std_guard = guard.inner.take().expect("guard taken by a pending wait");
+        let (std_guard, result) = match self.inner.wait_timeout_while(std_guard, timeout, |v| {
+            condition(v)
+        }) {
+            Ok((g, r)) => (g, r),
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        guard.inner = Some(std_guard);
+        WaitTimeoutResult(result.timed_out())
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiting thread.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Condvar").finish_non_exhaustive()
     }
 }
 
@@ -126,6 +256,7 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 mod tests {
     use super::*;
     use std::sync::Arc;
+    use std::time::Instant;
 
     #[test]
     fn mutex_basic() {
@@ -156,5 +287,77 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_handoff() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                cv.wait(&mut ready);
+            }
+            *ready
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_one();
+        }
+        assert!(handle.join().unwrap());
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out() {
+        let lock = Mutex::new(());
+        let cv = Condvar::new();
+        let mut guard = lock.lock();
+        let started = Instant::now();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(20));
+        assert!(result.timed_out());
+        assert!(started.elapsed() >= Duration::from_millis(15));
+        // The guard is usable again after the wait returns.
+        drop(guard);
+        assert!(lock.try_lock().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_while_for_sees_predicate_flip() {
+        let pair = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let handle = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut n = lock.lock();
+            let timed_out = cv
+                .wait_while_for(&mut n, |n| *n < 3, Duration::from_secs(5))
+                .timed_out();
+            (*n, timed_out)
+        });
+        let (lock, cv) = &*pair;
+        for _ in 0..3 {
+            *lock.lock() += 1;
+            cv.notify_all();
+        }
+        let (n, timed_out) = handle.join().unwrap();
+        assert_eq!(n, 3);
+        assert!(!timed_out);
+    }
+
+    #[test]
+    fn condvar_survives_poisoned_waiter_peer() {
+        // A panicking guard-holder must not break a later wait_for.
+        let m = Arc::new(Mutex::new(false));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        let cv = Condvar::new();
+        let mut guard = m.lock();
+        let result = cv.wait_for(&mut guard, Duration::from_millis(5));
+        assert!(result.timed_out());
     }
 }

@@ -35,6 +35,75 @@ pub enum Value {
     Object(Vec<(String, Value)>),
 }
 
+impl Value {
+    /// Looks up `key` in an object; `None` for other variants.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a `Bool`.
+    #[must_use]
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if losslessly representable.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(n) => Some(*n),
+            Value::Int(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if losslessly representable.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            Value::UInt(n) => i64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a float; integers widen as serde_json's `as_f64` does.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::UInt(n) => Some(*n as f64),
+            Value::Int(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a `String`.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an `Array`.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
 /// Types that can render themselves as a JSON [`Value`].
 pub trait Serialize {
     /// Converts `self` to a JSON value.
@@ -188,6 +257,26 @@ mod tests {
             (1usize, 2.5f64).to_json_value(),
             Value::Array(vec![Value::UInt(1), Value::Float(2.5)])
         );
+    }
+
+    #[test]
+    fn accessors_match_serde_json_semantics() {
+        let v = Value::Object(vec![
+            ("n".to_string(), Value::UInt(7)),
+            ("f".to_string(), Value::Float(2.5)),
+            ("s".to_string(), Value::String("hi".to_string())),
+            ("a".to_string(), Value::Array(vec![Value::Int(-1)])),
+        ]);
+        assert_eq!(v.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(v.get("n").and_then(Value::as_f64), Some(7.0));
+        assert_eq!(v.get("f").and_then(Value::as_f64), Some(2.5));
+        assert_eq!(v.get("f").and_then(Value::as_u64), None);
+        assert_eq!(v.get("s").and_then(Value::as_str), Some("hi"));
+        assert_eq!(v.get("a").and_then(Value::as_array).map(Vec::len), Some(1));
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(Value::Int(-1).as_u64(), None);
+        assert_eq!(Value::Int(-1).as_i64(), Some(-1));
+        assert_eq!(Value::UInt(u64::MAX).as_i64(), None);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
 //! Renders the vendored `serde` [`Value`] in serde_json's pretty format
-//! (two-space indent, `"key": value`), and provides the [`json!`] macro for
-//! the object/array literals the workspace uses.
+//! (two-space indent, `"key": value`), parses JSON text back into a
+//! [`Value`] via [`from_str`] (used by the benchmark baseline gates to read
+//! committed `BENCH_*.json` artifacts), and provides the [`json!`] macro
+//! for the object/array literals the workspace uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -41,6 +43,249 @@ pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<Strin
     let mut out = String::new();
     write_pretty(&value.to_json_value(), 0, &mut out);
     Ok(out)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// Accepts the full JSON grammar (with `\uXXXX` escapes, including
+/// surrogate pairs). Numbers parse as `UInt` when non-negative integral,
+/// `Int` when negative integral, and `Float` otherwise — mirroring how the
+/// serializer classifies them.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the byte offset and nature of the first
+/// syntax problem, or trailing non-whitespace after the document.
+pub fn from_str(input: &str) -> Result<Value, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error(format!(
+            "trailing characters at byte {}",
+            parser.pos
+        )));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.pos) {
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, what: &str) -> Error {
+        Error(format!("{what} at byte {}", self.pos))
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn eat_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.bytes.get(self.pos) {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::String),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = *self
+                        .bytes
+                        .get(self.pos)
+                        .ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // High surrogate: the low half must follow.
+                                if !self.eat_literal("\\u") {
+                                    return Err(self.err("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let combined = 0x10000
+                                    + ((unit - 0xD800) << 10)
+                                    + (low - 0xDC00);
+                                char::from_u32(combined)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged: find the end
+                    // of this char in the (already valid UTF-8) input.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self
+                        .bytes
+                        .get(self.pos)
+                        .is_some_and(|b| b & 0xC0 == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        let digits = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let s = std::str::from_utf8(digits).map_err(|_| self.err("bad \\u escape"))?;
+        let unit = u32::from_str_radix(s, 16).map_err(|_| self.err("bad \\u escape"))?;
+        self.pos = end;
+        Ok(unit)
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("bad number"))?;
+        if !is_float {
+            if let Ok(n) = text.parse::<u64>() {
+                return Ok(Value::UInt(n));
+            }
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error(format!("bad number at byte {start}")))
+    }
 }
 
 fn write_escaped(s: &str, out: &mut String) {
@@ -196,5 +441,82 @@ mod tests {
     #[test]
     fn strings_are_escaped() {
         assert_eq!(to_string(&"a\"b\\c\nd").unwrap(), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str("null").unwrap(), Value::Null);
+        assert_eq!(from_str(" true ").unwrap(), Value::Bool(true));
+        assert_eq!(from_str("false").unwrap(), Value::Bool(false));
+        assert_eq!(from_str("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str("-42").unwrap(), Value::Int(-42));
+        assert_eq!(from_str("2.5").unwrap(), Value::Float(2.5));
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-0.5").unwrap(), Value::Float(-0.5));
+        assert_eq!(from_str("\"hi\"").unwrap(), Value::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_structures_and_preserves_order() {
+        let v = from_str(r#"{"b": [1, -2, 3.5], "a": {"x": null}, "s": "t"}"#).unwrap();
+        assert_eq!(
+            v,
+            Value::Object(vec![
+                (
+                    "b".to_string(),
+                    Value::Array(vec![Value::UInt(1), Value::Int(-2), Value::Float(3.5)])
+                ),
+                (
+                    "a".to_string(),
+                    Value::Object(vec![("x".to_string(), Value::Null)])
+                ),
+                ("s".to_string(), Value::String("t".to_string())),
+            ])
+        );
+        assert_eq!(from_str("[]").unwrap(), Value::Array(vec![]));
+        assert_eq!(from_str("{}").unwrap(), Value::Object(vec![]));
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        assert_eq!(
+            from_str(r#""a\"b\\c\nd\u0041\u00e9""#).unwrap(),
+            Value::String("a\"b\\c\ndAé".to_string())
+        );
+        // Surrogate pair: U+1F600.
+        assert_eq!(
+            from_str(r#""\ud83d\ude00""#).unwrap(),
+            Value::String("\u{1F600}".to_string())
+        );
+        assert_eq!(
+            from_str("\"caf\u{e9}\"").unwrap(),
+            Value::String("café".to_string())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "", "tru", "[1,", "{\"a\"}", "{\"a\":}", "1 2", "\"unterminated",
+            "[1 2]", "nul", "\"\\q\"", "\"\\ud83d\"",
+        ] {
+            assert!(from_str(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn round_trips_through_the_writers() {
+        let v = json!({
+            "manager": "greedy",
+            "threads": 8usize,
+            "throughput": 123456.75f64,
+            "bounded": true,
+            "rows": [1u64, 2u64],
+            "note": json!(null),
+        });
+        assert_eq!(from_str(&to_string(&v).unwrap()).unwrap(), v);
+        assert_eq!(from_str(&to_string_pretty(&v).unwrap()).unwrap(), v);
+        // Whole floats print as "1800.0" and must come back as floats.
+        assert_eq!(from_str("1800.0").unwrap(), Value::Float(1800.0));
     }
 }
