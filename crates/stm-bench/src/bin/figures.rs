@@ -26,7 +26,11 @@
 //! `--baseline BENCH_hotpath.json` it becomes the CI perf gate and exits
 //! non-zero when any cell's p99 regresses >25% against the committed
 //! `"after"` rows; `--phase before|after` tags the emitted rows),
-//! `chain` (the Section 4 adversarial chain),
+//! `overload` (E16: open-loop Poisson/zipfian offered-load sweep against a
+//! live server per serve mode — threads vs events — with an idle-connection
+//! fleet held under events; `--idle N` overrides the fleet size; exits
+//! non-zero on zero goodput or a dropped fleet, which is the CI serving
+//! gate), `chain` (the Section 4 adversarial chain),
 //! `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
 //! `ablation-reads` (visible vs invisible reads), `all` (everything except
 //! `matrix`, `readfrac`, `server`, `durability`, `strings` and `ablate`).
@@ -45,13 +49,14 @@ use stm_bench::{
     default_ablation_knobs, default_durability_policies, default_read_fractions,
     durability_matrix, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, hotpath_matrix,
     matrix_structures, read_fraction_sweep, render_figure_table, render_matrix_table,
-    render_op_breakdown, render_read_fraction_table, render_rows, run_netload, run_workload,
-    starvation_experiment, string_value_matrix, workload_matrix, ChurnConfig, HotpathConfig,
-    NetLoadConfig, OpMix, StructureKind, SweepConfig, WorkloadConfig,
+    render_op_breakdown, render_read_fraction_table, render_rows, run_netload, run_open_loop,
+    run_workload, starvation_experiment, string_value_matrix, workload_matrix, ChurnConfig,
+    HotpathConfig, NetLoadConfig, OpMix, OpenLoopConfig, StructureKind, SweepConfig,
+    WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
-use stm_kv::{KvServer, ServerConfig};
+use stm_kv::{KvServer, ServeMode, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,6 +65,7 @@ fn main() {
     let mut experiments: Vec<String> = Vec::new();
     let mut baseline: Option<String> = None;
     let mut phase = "after".to_string();
+    let mut idle_override: Option<usize> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -90,6 +96,15 @@ fn main() {
                     std::process::exit(2);
                 };
                 phase = tag.clone();
+            }
+            "--idle" => {
+                i += 1;
+                let parsed = args.get(i).and_then(|v| v.parse().ok());
+                let Some(count) = parsed else {
+                    eprintln!("--idle needs a connection count");
+                    std::process::exit(2);
+                };
+                idle_override = Some(count);
             }
             flag if flag.starts_with("--") => {
                 eprintln!("ignoring unknown flag '{flag}'");
@@ -270,6 +285,138 @@ fn main() {
                 } else {
                     println!("{}", render_matrix_table(&cells));
                     println!("{}", render_op_breakdown(&cells));
+                }
+            }
+            "overload" => {
+                // E16: open-loop overload sweep — offered load vs goodput vs
+                // p99 sojourn, per serve mode. The events server additionally
+                // holds a mostly-idle connection fleet at fixed thread count
+                // (the scenario a thread-per-connection pool cannot absorb).
+                // Doubles as the CI serving gate: zero goodput, a lost idle
+                // fleet, or a non-finite percentile fails the process.
+                let (loads, duration, idle_events) = match mode.as_str() {
+                    "smoke" => (
+                        vec![500.0, 4_000.0],
+                        Duration::from_millis(200),
+                        idle_override.unwrap_or(128),
+                    ),
+                    "quick" => (
+                        vec![1_000.0, 4_000.0, 16_000.0, 64_000.0, 256_000.0],
+                        Duration::from_millis(400),
+                        idle_override.unwrap_or(2_000),
+                    ),
+                    _ => (
+                        vec![
+                            1_000.0, 4_000.0, 16_000.0, 32_000.0, 64_000.0, 128_000.0,
+                            256_000.0,
+                        ],
+                        Duration::from_secs(1),
+                        idle_override.unwrap_or(2_000),
+                    ),
+                };
+                let pool = 4usize;
+                let mut rows = Vec::new();
+                let mut gate_failed = false;
+                for serve_mode in [ServeMode::Threads, ServeMode::Events] {
+                    // Only the event loop can hold an idle fleet at fixed
+                    // thread count; under the pool every idle connection
+                    // would occupy a worker, which is the point of E16.
+                    let idle = match serve_mode {
+                        ServeMode::Events => idle_events,
+                        ServeMode::Threads => 0,
+                    };
+                    let mut server = match KvServer::start(ServerConfig {
+                        manager: ManagerKind::Greedy,
+                        capacity: 4096,
+                        shards: 8,
+                        workers: pool + 2,
+                        serve_mode,
+                        ..ServerConfig::default()
+                    }) {
+                        Ok(server) => server,
+                        Err(err) => {
+                            eprintln!("cannot start {} server: {err}", serve_mode.label());
+                            gate_failed = true;
+                            continue;
+                        }
+                    };
+                    for &offered_load in &loads {
+                        let cfg = OpenLoopConfig {
+                            offered_load,
+                            pool,
+                            key_range: 1024,
+                            zipf_exponent: 0.99,
+                            put_fraction: 0.5,
+                            duration,
+                            idle_connections: idle,
+                            churn_every: 256,
+                            ..OpenLoopConfig::default()
+                        };
+                        match run_open_loop(
+                            server.addr(),
+                            "greedy",
+                            serve_mode.label(),
+                            &cfg,
+                        ) {
+                            Ok(row) => {
+                                if row.goodput <= 0.0 || !row.p99_sojourn_us.is_finite() {
+                                    eprintln!(
+                                        "E16 gate: degenerate row under {}: {row:?}",
+                                        serve_mode.label()
+                                    );
+                                    gate_failed = true;
+                                }
+                                if idle > 0 && (row.conns_open_observed as usize) < idle {
+                                    eprintln!(
+                                        "E16 gate: events server held only {} of {} idle \
+                                         connections",
+                                        row.conns_open_observed, idle
+                                    );
+                                    gate_failed = true;
+                                }
+                                rows.push(row);
+                            }
+                            Err(err) => {
+                                eprintln!(
+                                    "E16: open-loop at {offered_load} req/s against {} \
+                                     failed: {err}",
+                                    serve_mode.label()
+                                );
+                                gate_failed = true;
+                            }
+                        }
+                    }
+                    server.shutdown();
+                }
+                if json {
+                    println!("{}", render_rows(&rows));
+                } else {
+                    println!(
+                        "# E16 — open-loop overload sweep (greedy, {pool} generator conns, \
+                         zipf 0.99, {idle_events} idle conns under events)"
+                    );
+                    println!(
+                        "{:>8} {:>10} {:>10} {:>10} {:>12} {:>12} {:>8} {:>10} {:>8}",
+                        "mode", "offered/s", "goodput/s", "completed", "p50-us", "p99-us",
+                        "idle", "conns-open", "reconn"
+                    );
+                    for r in &rows {
+                        println!(
+                            "{:>8} {:>10.0} {:>10.0} {:>10} {:>12.0} {:>12.0} {:>8} {:>10} {:>8}",
+                            r.serve_mode,
+                            r.offered_load,
+                            r.goodput,
+                            r.completed,
+                            r.p50_sojourn_us,
+                            r.p99_sojourn_us,
+                            r.idle_connections,
+                            r.conns_open_observed,
+                            r.reconnects
+                        );
+                    }
+                }
+                if gate_failed {
+                    std::process::exit(1);
                 }
             }
             "ablate" => {

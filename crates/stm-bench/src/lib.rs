@@ -20,6 +20,7 @@
 //! | E12 | Manager-parameter ablation — one `ManagerParams` knob per figure | [`figures::ablation_sweep`] |
 //! | E14 | Keyspace churn — commit-time cell GC boundedness and cost | [`churn::churn_experiment`] |
 //! | E15 | Commit-path microbenchmark — before/after p50/p99 + throughput | [`hotpath::hotpath_experiment`] |
+//! | E16 | Overload serving — open-loop Poisson/zipfian load vs serve mode | [`netload::run_open_loop`] |
 //!
 //! The paper measures committed transactions per second as a function of the
 //! number of threads (1–32) on a 256-key integer set with a 100% update mix;
@@ -57,8 +58,8 @@ pub use figures::{
     AblationKnob, FigureData, FractionSeries, ReadFractionSweep, Series,
 };
 pub use netload::{
-    default_durability_policies, durability_matrix, run_netload, string_value_matrix,
-    NetLoadConfig,
+    default_durability_policies, durability_matrix, run_netload, run_open_loop,
+    string_value_matrix, NetLoadConfig, OpenLoopConfig, OpenLoopResult,
 };
 pub use report::{
     render_figure_table, render_matrix_table, render_op_breakdown, render_read_fraction_table,

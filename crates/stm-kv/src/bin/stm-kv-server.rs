@@ -27,14 +27,20 @@
 use std::time::Duration;
 
 use stm_cm::ManagerKind;
-use stm_kv::{KvServer, ServerConfig};
+use stm_kv::{KvServer, ServeMode, ServerConfig};
 
 fn usage() -> ! {
     eprintln!(
         "usage: stm-kv-server [--addr HOST:PORT] [--manager NAME] \
          [--capacity N] [--shards N] [--workers N] \
+         [--serve-mode threads|events] [--event-shards N] [--idle-timeout SECS] \
          [--wal-dir PATH] [--fsync every|n=COUNT|ms=MILLIS] [--snapshot-every N]\n\
          managers: {}\n\
+         --serve-mode picks the connection layer: 'threads' (default) serves \
+         one connection per pool worker; 'events' multiplexes non-blocking \
+         connections over readiness shards (--event-shards, default one per \
+         core) and reaps connections idle longer than --idle-timeout seconds \
+         (0 = never, the default);\n\
          --wal-dir enables durability: the keyspace is recovered from PATH on \
          start and every mutating request is logged; --fsync picks the group-\
          commit policy (default every); --snapshot-every takes a snapshot per \
@@ -68,6 +74,17 @@ fn main() {
             "--capacity" => config.capacity = value.parse().unwrap_or_else(|_| usage()),
             "--shards" => config.shards = value.parse().unwrap_or_else(|_| usage()),
             "--workers" => config.workers = value.parse().unwrap_or_else(|_| usage()),
+            "--serve-mode" => {
+                config.serve_mode = ServeMode::parse(value).unwrap_or_else(|| usage());
+            }
+            "--event-shards" => config.event_shards = value.parse().unwrap_or_else(|_| usage()),
+            "--idle-timeout" => {
+                let secs: f64 = value.parse().unwrap_or_else(|_| usage());
+                if !secs.is_finite() || secs < 0.0 {
+                    usage();
+                }
+                config.idle_timeout = Duration::from_secs_f64(secs);
+            }
             "--wal-dir" => config.wal_dir = Some(value.into()),
             "--fsync" => match value.parse() {
                 Ok(policy) => config.fsync = policy,
@@ -91,16 +108,18 @@ fn main() {
     };
     match server.wal() {
         Some(wal) => println!(
-            "stm-kv listening on {} (manager: {}, wal: {} fsync={})",
+            "stm-kv listening on {} (manager: {}, serve: {}, wal: {} fsync={})",
             server.addr(),
             server.manager().name(),
+            server.serve_mode().label(),
             wal.dir().display(),
             wal.policy()
         ),
         None => println!(
-            "stm-kv listening on {} (manager: {}, volatile)",
+            "stm-kv listening on {} (manager: {}, serve: {}, volatile)",
             server.addr(),
-            server.manager().name()
+            server.manager().name(),
+            server.serve_mode().label()
         ),
     }
     // Serve until killed.

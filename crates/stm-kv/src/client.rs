@@ -231,6 +231,17 @@ pub struct ServerStatsSnapshot {
     pub errors: u64,
     /// Connections accepted.
     pub connections: u64,
+    /// Connections currently being served (registered in an event-loop
+    /// shard, or claimed by a pool worker).
+    pub conns_open: u64,
+    /// Connections accepted since start (alias of
+    /// [`connections`](Self::connections), emitted as `conns_accepted=`).
+    pub conns_accepted: u64,
+    /// Connections closed by the event loop's idle-timeout reaper.
+    pub conns_reaped_idle: u64,
+    /// Reply flushes the event loop had to park behind write-readiness
+    /// because the socket buffer filled mid-reply.
+    pub partial_writes: u64,
     /// Value cells ever materialised (monotone — the keyspace-growth
     /// gauge; subtract [`cells_freed`](Self::cells_freed) and
     /// [`limbo`](Self::limbo) for the live resident count).
@@ -614,6 +625,10 @@ impl KvClient {
                 "retries" => stats.retries = value,
                 "errors" => stats.errors = value,
                 "connections" => stats.connections = value,
+                "conns_open" => stats.conns_open = value,
+                "conns_accepted" => stats.conns_accepted = value,
+                "conns_reaped_idle" => stats.conns_reaped_idle = value,
+                "partial_writes" => stats.partial_writes = value,
                 "cells" => stats.cells_allocated = value,
                 "cells_freed" => stats.cells_freed = value,
                 "limbo" => stats.limbo = value,

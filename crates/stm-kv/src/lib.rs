@@ -79,6 +79,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod client;
+pub(crate) mod event_loop;
 pub mod proto;
 pub mod server;
 pub mod store;
@@ -92,5 +93,5 @@ pub use proto::{
     parse_reply, parse_request, render_reply, render_request, ErrorCode, ProtoError, Reply,
     Request,
 };
-pub use server::{KvServer, ServerConfig};
+pub use server::{KvServer, ServeMode, ServerConfig};
 pub use store::{KvStore, TypeMismatch};

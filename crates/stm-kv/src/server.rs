@@ -78,6 +78,44 @@ const POLL_INTERVAL: Duration = Duration::from_millis(50);
 /// Recovery replays at most this many logged write-sets per transaction.
 const REPLAY_CHUNK: usize = 512;
 
+/// How the server maps connections onto threads.
+///
+/// Both modes speak byte-for-byte the same protocol through the same
+/// request-processing core ([`process_buffered`]); they differ only in how
+/// sockets are multiplexed, which makes them differential-testable against
+/// each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeMode {
+    /// The original thread-per-connection worker pool: each worker serves
+    /// one connection to completion with blocking reads. Concurrency is
+    /// capped by [`ServerConfig::workers`]; idle connections pin threads.
+    Threads,
+    /// The readiness event loop: [`ServerConfig::event_shards`] shard
+    /// threads each own a `minipoll::Poller` and a slab of non-blocking
+    /// connections, so thousands of mostly-idle connections cost one
+    /// registration each instead of one thread each.
+    Events,
+}
+
+impl ServeMode {
+    /// Stable lowercase label (CLI flag value, bench row field).
+    pub fn label(self) -> &'static str {
+        match self {
+            ServeMode::Threads => "threads",
+            ServeMode::Events => "events",
+        }
+    }
+
+    /// Parses a CLI/env spelling of a serve mode.
+    pub fn parse(s: &str) -> Option<ServeMode> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "threads" | "thread" | "pool" => Some(ServeMode::Threads),
+            "events" | "event" | "epoll" => Some(ServeMode::Events),
+            _ => None,
+        }
+    }
+}
+
 /// Configuration of a [`KvServer`].
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
@@ -104,6 +142,18 @@ pub struct ServerConfig {
     /// Take a snapshot automatically every this many logged records
     /// (0 = only on explicit `SNAPSHOT`; ignored without `wal_dir`).
     pub snapshot_every: u64,
+    /// How connections map onto threads. The default is
+    /// [`ServeMode::Threads`] (the original pool) unless the
+    /// `STM_KV_SERVE_MODE` environment variable names a mode — the hook the
+    /// differential CI matrix uses to replay every integration test through
+    /// the event loop unchanged.
+    pub serve_mode: ServeMode,
+    /// Event-loop shard threads (0 = one per available core; ignored in
+    /// [`ServeMode::Threads`]).
+    pub event_shards: usize,
+    /// Close connections idle longer than this ([`ServeMode::Events`] only;
+    /// zero, the default, disables reaping).
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -121,6 +171,13 @@ impl Default for ServerConfig {
             wal_dir: None,
             fsync: FsyncPolicy::EveryCommit,
             snapshot_every: 0,
+            serve_mode: std::env::var("STM_KV_SERVE_MODE")
+                .ok()
+                .as_deref()
+                .and_then(ServeMode::parse)
+                .unwrap_or(ServeMode::Threads),
+            event_shards: 0,
+            idle_timeout: Duration::ZERO,
         }
     }
 }
@@ -140,6 +197,15 @@ pub(crate) struct ServerCounters {
     pub(crate) retries: AtomicU64,
     /// `ERR` replies sent.
     pub(crate) errors: AtomicU64,
+    /// Connections currently being served (registered in an event-loop
+    /// shard, or claimed by a worker thread in pool mode).
+    pub(crate) conns_open: AtomicU64,
+    /// Connections closed by the event loop's idle-timeout reaper.
+    pub(crate) conns_reaped_idle: AtomicU64,
+    /// Reply flushes that could not complete in one write and had to park
+    /// the remainder behind write-readiness (event mode only; pool mode
+    /// blocks in `write_all` instead).
+    pub(crate) partial_writes: AtomicU64,
 }
 
 /// The acceptor → worker connection hand-off.
@@ -204,26 +270,36 @@ impl ConnQueue {
     }
 }
 
-/// The durable half of the server, shared by every worker.
-struct Durable {
-    wal: Arc<Wal>,
+/// The durable half of the server, shared by every worker/shard.
+pub(crate) struct Durable {
+    pub(crate) wal: Arc<Wal>,
     /// Whether mutating replies wait for their record's fsync.
     sync_replies: bool,
     /// Auto-snapshot threshold (0 = never).
     snapshot_every: u64,
 }
 
+/// The serving threads behind a running [`KvServer`] — one variant per
+/// [`ServeMode`].
+enum ServeBackend {
+    Threads {
+        acceptor: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    Events(crate::event_loop::EventLoops),
+}
+
 /// A running key-value server. Dropping it shuts it down.
 pub struct KvServer {
     addr: SocketAddr,
     manager: ManagerKind,
+    serve_mode: ServeMode,
     stm: Arc<Stm>,
     store: Arc<KvStore>,
     counters: Arc<ServerCounters>,
     durable: Option<Arc<Durable>>,
     stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    backend: Option<ServeBackend>,
 }
 
 impl std::fmt::Debug for KvServer {
@@ -231,7 +307,7 @@ impl std::fmt::Debug for KvServer {
         f.debug_struct("KvServer")
             .field("addr", &self.addr)
             .field("manager", &self.manager.name())
-            .field("workers", &self.workers.len())
+            .field("serve_mode", &self.serve_mode.label())
             .field("durable", &self.durable.is_some())
             .finish()
     }
@@ -283,14 +359,58 @@ impl KvServer {
         let counters = Arc::new(ServerCounters::default());
         let stop = Arc::new(AtomicBool::new(false));
 
+        let backend = match config.serve_mode {
+            ServeMode::Threads => Self::start_thread_pool(
+                listener, &config, &stm, &store, &counters, &durable, &stop,
+            ),
+            ServeMode::Events => {
+                ServeBackend::Events(crate::event_loop::EventLoops::start(
+                    crate::event_loop::EventConfig {
+                        shards: config.event_shards,
+                        idle_timeout: config.idle_timeout,
+                    },
+                    listener,
+                    Arc::clone(&stm),
+                    Arc::clone(&store),
+                    Arc::clone(&counters),
+                    durable.clone(),
+                    Arc::clone(&stop),
+                )?)
+            }
+        };
+
+        Ok(KvServer {
+            addr,
+            manager: config.manager,
+            serve_mode: config.serve_mode,
+            stm,
+            store,
+            counters,
+            durable,
+            stop,
+            backend: Some(backend),
+        })
+    }
+
+    /// Spawns the original acceptor + worker-pool serving threads.
+    #[allow(clippy::too_many_arguments)]
+    fn start_thread_pool(
+        listener: TcpListener,
+        config: &ServerConfig,
+        stm: &Arc<Stm>,
+        store: &Arc<KvStore>,
+        counters: &Arc<ServerCounters>,
+        durable: &Option<Arc<Durable>>,
+        stop: &Arc<AtomicBool>,
+    ) -> ServeBackend {
         let queue = Arc::new(ConnQueue::new());
 
         let mut workers = Vec::with_capacity(config.workers.max(1));
         for worker_id in 0..config.workers.max(1) {
-            let stm = Arc::clone(&stm);
-            let store = Arc::clone(&store);
-            let counters = Arc::clone(&counters);
-            let stop = Arc::clone(&stop);
+            let stm = Arc::clone(stm);
+            let store = Arc::clone(store);
+            let counters = Arc::clone(counters);
+            let stop = Arc::clone(stop);
             let queue = Arc::clone(&queue);
             let durable = durable.clone();
             workers.push(
@@ -323,8 +443,8 @@ impl KvServer {
         }
 
         let acceptor = {
-            let counters = Arc::clone(&counters);
-            let stop = Arc::clone(&stop);
+            let counters = Arc::clone(counters);
+            let stop = Arc::clone(stop);
             let queue = Arc::clone(&queue);
             std::thread::Builder::new()
                 .name("stm-kv-acceptor".to_string())
@@ -347,17 +467,10 @@ impl KvServer {
                 .expect("spawn acceptor thread")
         };
 
-        Ok(KvServer {
-            addr,
-            manager: config.manager,
-            stm,
-            store,
-            counters,
-            durable,
-            stop,
+        ServeBackend::Threads {
             acceptor: Some(acceptor),
             workers,
-        })
+        }
     }
 
     /// The address the server actually listens on.
@@ -396,19 +509,35 @@ impl KvServer {
         self.counters.retries.load(Ordering::Relaxed)
     }
 
-    /// Stops accepting, drains the pool, joins every thread, and flushes
-    /// the log. Idempotent; also invoked by `Drop`.
+    /// Which serve mode this server runs in.
+    pub fn serve_mode(&self) -> ServeMode {
+        self.serve_mode
+    }
+
+    /// Stops accepting, gracefully drains every in-flight connection
+    /// (pending replies are flushed before sockets close), joins every
+    /// serving thread, and flushes the log. Idempotent; also invoked by
+    /// `Drop`.
     pub fn shutdown(&mut self) {
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }
         // Unblock the acceptor's `incoming()` with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
+        match self.backend.take() {
+            Some(ServeBackend::Threads {
+                acceptor,
+                mut workers,
+            }) => {
+                if let Some(acceptor) = acceptor {
+                    let _ = acceptor.join();
+                }
+                for worker in workers.drain(..) {
+                    let _ = worker.join();
+                }
+            }
+            Some(ServeBackend::Events(loops)) => loops.shutdown(),
+            None => {}
         }
         // Workers are gone, so this is the last strong reference to the
         // `Wal` wrapper; shut it down explicitly for a deterministic final
@@ -531,6 +660,7 @@ fn stats_payload(stm: &Stm, counters: &ServerCounters, store: &KvStore) -> Strin
         .join(",");
     format!(
         "commits={} aborts={} requests={} batches={} retries={} errors={} connections={} \
+         conns_open={} conns_accepted={} conns_reaped_idle={} partial_writes={} \
          cells={} cells_freed={} limbo={} overflow={}",
         snapshot.commits,
         snapshot.aborts,
@@ -539,6 +669,10 @@ fn stats_payload(stm: &Stm, counters: &ServerCounters, store: &KvStore) -> Strin
         counters.retries.load(Ordering::Relaxed),
         counters.errors.load(Ordering::Relaxed),
         counters.connections.load(Ordering::Relaxed),
+        counters.conns_open.load(Ordering::Relaxed),
+        counters.connections.load(Ordering::Relaxed),
+        counters.conns_reaped_idle.load(Ordering::Relaxed),
+        counters.partial_writes.load(Ordering::Relaxed),
         store.cells_allocated(),
         stm.epoch().reclaimed_total(),
         stm.epoch().limbo_len(),
@@ -581,19 +715,44 @@ enum Batch {
     Poisoned,
 }
 
-/// Everything one connection's request processing needs.
+/// The protocol state that persists across bursts for one connection:
+/// framing generation, open batch, and quit latch. Both serve modes keep
+/// exactly one of these per connection — on the worker's stack in pool
+/// mode, in the shard's connection slab in event mode.
+pub(crate) struct ConnState {
+    batch: Batch,
+    /// Which framing this connection currently speaks (`HELLO` switches).
+    proto: ProtoVersion,
+    quit: bool,
+}
+
+impl ConnState {
+    pub(crate) fn new() -> ConnState {
+        ConnState {
+            batch: Batch::None,
+            proto: ProtoVersion::V1,
+            quit: false,
+        }
+    }
+
+    /// Whether the connection asked to close (QUIT, or an unrecoverable
+    /// framing error). The remaining replies still go out first.
+    pub(crate) fn quit(&self) -> bool {
+        self.quit
+    }
+}
+
+/// Everything one burst of request processing needs: the per-shard/-worker
+/// execution context plus the connection's persistent [`ConnState`].
 struct Session<'a, 'stm> {
     ctx: &'a mut ThreadCtx<'stm>,
     store: &'a KvStore,
     counters: &'a ServerCounters,
     durable: Option<&'a Durable>,
-    batch: Batch,
-    /// Which framing this connection currently speaks (`HELLO` switches).
-    proto: ProtoVersion,
+    conn: &'a mut ConnState,
     /// Highest commit sequence number this reply burst must wait on before
     /// it is flushed (synchronous-durability policies only).
     flush_barrier: Option<u64>,
-    quit: bool,
 }
 
 impl<'a, 'stm> Session<'a, 'stm> {
@@ -603,7 +762,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
         if matches!(reply, Reply::Err(..)) {
             self.counters.errors.fetch_add(1, Ordering::Relaxed);
         }
-        match self.proto {
+        match self.conn.proto {
             ProtoVersion::V1 => {
                 out.extend_from_slice(render_reply(reply).as_bytes());
                 out.push(b'\n');
@@ -671,8 +830,8 @@ impl<'a, 'stm> Session<'a, 'stm> {
     fn handle_line(&mut self, line: &str, out: &mut Vec<u8>) {
         match parse_request(line) {
             Err(error) => {
-                if !matches!(self.batch, Batch::None) {
-                    self.batch = Batch::Poisoned;
+                if !matches!(self.conn.batch, Batch::None) {
+                    self.conn.batch = Batch::Poisoned;
                 }
                 self.emit(&Reply::Err(error.code, error.message), out);
             }
@@ -684,8 +843,8 @@ impl<'a, 'stm> Session<'a, 'stm> {
     fn handle_frame(&mut self, frame: crate::proto::Frame, out: &mut Vec<u8>) {
         match parse_request_v2(frame) {
             Err(error) => {
-                if !matches!(self.batch, Batch::None) {
-                    self.batch = Batch::Poisoned;
+                if !matches!(self.conn.batch, Batch::None) {
+                    self.conn.batch = Batch::Poisoned;
                 }
                 self.emit(&Reply::Err(error.code, error.message), out);
             }
@@ -695,22 +854,22 @@ impl<'a, 'stm> Session<'a, 'stm> {
 
     /// Dispatches one parsed request — the framing-independent core.
     fn handle_request(&mut self, request: Request, out: &mut Vec<u8>) {
-        let in_batch = !matches!(self.batch, Batch::None);
+        let in_batch = !matches!(self.conn.batch, Batch::None);
         match request {
             Request::Quit => {
                 self.emit(&Reply::Bye, out);
-                self.quit = true;
+                self.conn.quit = true;
             }
             Request::Hello(version) if !in_batch => match version {
                 1 => {
                     // The reply goes out in the *current* framing; the
                     // switch covers everything after it.
                     self.emit(&Reply::Hello(1), out);
-                    self.proto = ProtoVersion::V1;
+                    self.conn.proto = ProtoVersion::V1;
                 }
                 2 => {
                     self.emit(&Reply::Hello(2), out);
-                    self.proto = ProtoVersion::V2;
+                    self.conn.proto = ProtoVersion::V2;
                 }
                 other => {
                     self.emit(
@@ -750,7 +909,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 self.emit(&reply, out);
             }
             Request::Begin if !in_batch => {
-                self.batch = Batch::Open(Vec::new());
+                self.conn.batch = Batch::Open(Vec::new());
                 self.emit(&Reply::Ok, out);
             }
             Request::Hello(_)
@@ -759,7 +918,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
             | Request::Stats
             | Request::Snapshot
             | Request::WalStats => {
-                self.batch = Batch::Poisoned;
+                self.conn.batch = Batch::Poisoned;
                 self.emit(
                     &Reply::err(ErrorCode::Batch, "command not allowed inside BEGIN/EXEC batch"),
                     out,
@@ -771,7 +930,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
     }
 
     fn handle_exec(&mut self, out: &mut Vec<u8>) {
-        match std::mem::replace(&mut self.batch, Batch::None) {
+        match std::mem::replace(&mut self.conn.batch, Batch::None) {
             Batch::None => {
                 self.emit(&Reply::err(ErrorCode::Batch, "EXEC without BEGIN"), out);
             }
@@ -833,7 +992,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
     }
 
     fn handle_data_op(&mut self, data_op: Request, out: &mut Vec<u8>) {
-        match &mut self.batch {
+        match &mut self.conn.batch {
             Batch::Open(ops) => {
                 ops.push(data_op);
                 self.emit(&Reply::Queued, out);
@@ -871,6 +1030,76 @@ impl<'a, 'stm> Session<'a, 'stm> {
     }
 }
 
+/// The framing-aware request-processing core shared by both serve modes:
+/// parses and executes every complete request in `inbuf` (partial trailing
+/// input stays buffered), appending the replies to `out` in order. The
+/// framing is re-checked every iteration — a `HELLO` inside the burst
+/// switches how the rest of the burst is parsed.
+///
+/// Returns the burst's durability barrier: the commit sequence number the
+/// caller must [`Wal::wait_durable`] on before flushing `out` (synchronous
+/// fsync policies only). A barrier wait returning `false` means the log
+/// failed — the caller must close without acknowledging rather than send
+/// replies the contract says are on disk.
+pub(crate) fn process_buffered(
+    conn: &mut ConnState,
+    ctx: &mut ThreadCtx<'_>,
+    store: &KvStore,
+    counters: &ServerCounters,
+    durable: Option<&Durable>,
+    inbuf: &mut Vec<u8>,
+    out: &mut Vec<u8>,
+) -> Option<u64> {
+    let mut session = Session {
+        ctx,
+        store,
+        counters,
+        durable,
+        conn,
+        flush_barrier: None,
+    };
+    let mut consumed = 0usize;
+    while !session.conn.quit {
+        match session.conn.proto {
+            ProtoVersion::V1 => {
+                let Some(nl) = inbuf[consumed..].iter().position(|&b| b == b'\n') else {
+                    break;
+                };
+                let line = String::from_utf8_lossy(&inbuf[consumed..consumed + nl]).into_owned();
+                consumed += nl + 1;
+                session.handle_line(&line, out);
+            }
+            ProtoVersion::V2 => match decode_frame(&inbuf[consumed..]) {
+                Ok((frame, used)) => {
+                    consumed += used;
+                    session.handle_frame(frame, out);
+                }
+                Err(FrameError::Incomplete) => break,
+                Err(FrameError::Malformed(message)) => {
+                    // A length-prefixed stream cannot resynchronise past
+                    // garbage: report once and close.
+                    session.emit(
+                        &Reply::err(ErrorCode::Proto, format!("malformed frame: {message}")),
+                        out,
+                    );
+                    session.conn.quit = true;
+                }
+            },
+        }
+    }
+    inbuf.drain(..consumed);
+    session.flush_barrier
+}
+
+/// Decrements `conns_open` when a served connection ends, however it ends.
+pub(crate) struct OpenConnGuard<'a>(pub(crate) &'a ServerCounters);
+
+impl Drop for OpenConnGuard<'_> {
+    fn drop(&mut self) {
+        self.0.conns_open.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 /// Serves one connection until the peer quits, disconnects, or the server
 /// shuts down. Pipelined: every complete request already buffered is
 /// executed before the replies are written back in one flush. The framing
@@ -883,6 +1112,8 @@ fn serve_connection(
     durable: Option<&Durable>,
     stop: &AtomicBool,
 ) {
+    counters.conns_open.fetch_add(1, Ordering::Relaxed);
+    let _open = OpenConnGuard(counters);
     let _ = stream.set_nodelay(true);
     let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
     let Ok(mut reader) = stream.try_clone() else {
@@ -892,15 +1123,37 @@ fn serve_connection(
     let mut inbuf: Vec<u8> = Vec::with_capacity(4096);
     let mut chunk = [0u8; 4096];
     let mut out: Vec<u8> = Vec::new();
-    let mut session = Session {
-        ctx,
-        store,
-        counters,
-        durable,
-        batch: Batch::None,
-        proto: ProtoVersion::V1,
-        flush_barrier: None,
-        quit: false,
+    let mut conn = ConnState::new();
+
+    // Graceful drain: on shutdown, everything the client already sent is
+    // read off the socket (until it runs dry), executed, and its replies
+    // flushed before the connection closes — an in-flight pipelined burst
+    // is never dropped half-acknowledged.
+    let drain_and_close = |conn: &mut ConnState,
+                               ctx: &mut ThreadCtx<'_>,
+                               reader: &mut TcpStream,
+                               writer: &mut TcpStream,
+                               inbuf: &mut Vec<u8>,
+                               out: &mut Vec<u8>| {
+        let _ = reader.set_read_timeout(Some(Duration::from_millis(5)));
+        let mut chunk = [0u8; 4096];
+        loop {
+            match reader.read(&mut chunk) {
+                Ok(n) if n > 0 => inbuf.extend_from_slice(&chunk[..n]),
+                _ => break,
+            }
+        }
+        out.clear();
+        let barrier = process_buffered(conn, ctx, store, counters, durable, inbuf, out);
+        if let (Some(durable), Some(barrier)) = (durable, barrier) {
+            if !durable.wal.wait_durable(barrier) {
+                return;
+            }
+        }
+        if !out.is_empty() {
+            let _ = writer.write_all(out);
+            let _ = writer.flush();
+        }
     };
 
     loop {
@@ -909,6 +1162,7 @@ fn serve_connection(
             Ok(n) => inbuf.extend_from_slice(&chunk[..n]),
             Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if stop.load(Ordering::Relaxed) {
+                    drain_and_close(&mut conn, ctx, &mut reader, &mut writer, &mut inbuf, &mut out);
                     return;
                 }
                 continue;
@@ -918,42 +1172,10 @@ fn serve_connection(
 
         // Execute every complete request buffered so far; replies accumulate
         // and go out in one write. Partial trailing input stays buffered.
-        // The framing is re-checked every iteration: a HELLO inside the
-        // burst switches how the rest of the burst is parsed.
         out.clear();
-        session.flush_barrier = None;
-        let mut consumed = 0usize;
-        while !session.quit {
-            match session.proto {
-                ProtoVersion::V1 => {
-                    let Some(nl) = inbuf[consumed..].iter().position(|&b| b == b'\n') else {
-                        break;
-                    };
-                    let line = String::from_utf8_lossy(&inbuf[consumed..consumed + nl]);
-                    consumed += nl + 1;
-                    session.handle_line(&line, &mut out);
-                }
-                ProtoVersion::V2 => match decode_frame(&inbuf[consumed..]) {
-                    Ok((frame, used)) => {
-                        consumed += used;
-                        session.handle_frame(frame, &mut out);
-                    }
-                    Err(FrameError::Incomplete) => break,
-                    Err(FrameError::Malformed(message)) => {
-                        // A length-prefixed stream cannot resynchronise past
-                        // garbage: report once and close.
-                        session.emit(
-                            &Reply::err(ErrorCode::Proto, format!("malformed frame: {message}")),
-                            &mut out,
-                        );
-                        session.quit = true;
-                    }
-                },
-            }
-        }
-        inbuf.drain(..consumed);
+        let barrier = process_buffered(&mut conn, ctx, store, counters, durable, &mut inbuf, &mut out);
         if out.is_empty() {
-            if session.quit {
+            if conn.quit() {
                 return;
             }
             continue;
@@ -964,7 +1186,7 @@ fn serve_connection(
         // wait): the burst's writes committed in memory but their
         // durability cannot be promised — close without acknowledging
         // rather than send replies the contract says are on disk.
-        if let (Some(durable), Some(barrier)) = (durable, session.flush_barrier.take()) {
+        if let (Some(durable), Some(barrier)) = (durable, barrier) {
             if !durable.wal.wait_durable(barrier) {
                 return;
             }
@@ -972,13 +1194,15 @@ fn serve_connection(
         if writer.write_all(&out).is_err() || writer.flush().is_err() {
             return;
         }
-        if session.quit {
+        if conn.quit() {
             return;
         }
         // Bounded shutdown even against a client that never stops sending:
         // the flag is also honoured between fully-served bursts, not only
-        // on idle reads.
+        // on idle reads. The drain pass picks up anything the client
+        // pipelined behind the burst just served.
         if stop.load(Ordering::Relaxed) {
+            drain_and_close(&mut conn, ctx, &mut reader, &mut writer, &mut inbuf, &mut out);
             return;
         }
     }

@@ -1,0 +1,370 @@
+//! The syscall layer: minimal FFI declarations for `epoll` (Linux) and
+//! `poll(2)` (any unix), plus the two backend implementations.
+//!
+//! This is the only module in the workspace's serving stack that contains
+//! `unsafe` code, and every unsafe block is a direct, argument-checked
+//! syscall through libc symbols that `std` already links. No allocation or
+//! pointer arithmetic happens on the unsafe side: buffers are plain Rust
+//! `Vec`s handed to the kernel by raw pointer + length.
+
+use std::collections::HashMap;
+use std::io;
+use std::os::raw::{c_int, c_ulong};
+use std::os::unix::io::RawFd;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use crate::{Event, Interest, Token, Trigger};
+
+// ---------------------------------------------------------------------------
+// FFI declarations (the subset of libc the two backends need).
+// ---------------------------------------------------------------------------
+
+/// One `epoll_event` as the kernel ABI defines it. On x86-64 the kernel
+/// struct is packed (no padding between `events` and `data`); on other
+/// architectures it has natural alignment — the same dance mio does.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+/// One `pollfd` as `poll(2)` defines it.
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: c_int,
+    events: i16,
+    revents: i16,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn poll(fds: *mut PollFd, nfds: c_ulong, timeout: c_int) -> c_int;
+    fn close(fd: c_int) -> c_int;
+}
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLOUT: u32 = 0x004;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLET: u32 = 1 << 31;
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+
+/// Converts an optional wait budget to the millisecond argument both
+/// syscalls take (`-1` = block forever). Sub-millisecond budgets round up
+/// to 1 ms so a short positive timeout never degenerates into a busy spin.
+fn timeout_ms(timeout: Option<Duration>) -> c_int {
+    match timeout {
+        None => -1,
+        Some(d) if d.is_zero() => 0,
+        Some(d) => {
+            let ms = d.as_millis().clamp(1, c_int::MAX as u128);
+            ms as c_int
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// epoll backend (Linux).
+// ---------------------------------------------------------------------------
+
+/// The epoll-based poller: readiness tracking lives in the kernel, so
+/// `wait` is O(ready), not O(registered) — the property that lets one
+/// shard thread hold thousands of mostly-idle connections for free.
+#[cfg(target_os = "linux")]
+pub(crate) struct EpollBackend {
+    epfd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EpollBackend {
+    pub(crate) fn new() -> io::Result<EpollBackend> {
+        // SAFETY: epoll_create1 takes a flags word and returns a new fd or
+        // -1; no pointers are involved.
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EpollBackend { epfd })
+    }
+
+    fn mask(interest: Interest, trigger: Trigger) -> u32 {
+        let mut events = EPOLLRDHUP;
+        if interest.is_readable() {
+            events |= EPOLLIN;
+        }
+        if interest.is_writable() {
+            events |= EPOLLOUT;
+        }
+        if trigger == Trigger::Edge {
+            events |= EPOLLET;
+        }
+        events
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, event: Option<EpollEvent>) -> io::Result<()> {
+        let mut event = event;
+        let ptr = event
+            .as_mut()
+            .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+        // SAFETY: `ptr` is either null (legal for EPOLL_CTL_DEL) or points
+        // at a live, properly laid-out EpollEvent on this stack frame for
+        // the duration of the call.
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, ptr) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    pub(crate) fn register(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_ADD,
+            fd,
+            Some(EpollEvent {
+                events: Self::mask(interest, trigger),
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    pub(crate) fn reregister(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+        trigger: Trigger,
+    ) -> io::Result<()> {
+        self.ctl(
+            EPOLL_CTL_MOD,
+            fd,
+            Some(EpollEvent {
+                events: Self::mask(interest, trigger),
+                data: token.0 as u64,
+            }),
+        )
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, None)
+    }
+
+    pub(crate) fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        capacity: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let mut buf: Vec<EpollEvent> = vec![EpollEvent { events: 0, data: 0 }; capacity.max(1)];
+        // SAFETY: `buf` is a live, zero-initialised array of `capacity`
+        // kernel-layout events; the kernel writes at most `len` entries.
+        let rc = unsafe {
+            epoll_wait(
+                self.epfd,
+                buf.as_mut_ptr(),
+                buf.len() as c_int,
+                timeout_ms(timeout),
+            )
+        };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            // An interrupted wait is a spurious wakeup, not a failure: the
+            // caller re-checks its own state and waits again.
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for raw in &buf[..rc as usize] {
+            // Copy out of the (possibly packed) struct before using.
+            let bits = raw.events;
+            let data = raw.data;
+            events.push(Event {
+                token: Token(data as usize),
+                readable: bits & (EPOLLIN | EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+                writable: bits & (EPOLLOUT | EPOLLERR) != 0,
+                closed: bits & (EPOLLHUP | EPOLLRDHUP | EPOLLERR) != 0,
+            });
+        }
+        Ok(rc as usize)
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EpollBackend {
+    fn drop(&mut self) {
+        // SAFETY: `epfd` is a valid fd this struct owns exclusively.
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// poll(2) backend (portable fallback).
+// ---------------------------------------------------------------------------
+
+/// One registration in the poll backend's table.
+struct PollReg {
+    token: Token,
+    interest: Interest,
+}
+
+/// The `poll(2)`-based poller: the registration table lives in user space
+/// and every `wait` is O(registered). Correct everywhere, slower at scale —
+/// the fallback for hosts without epoll and the differential check for the
+/// epoll backend's semantics.
+///
+/// Edge-triggering is approximated with level semantics: `poll(2)` only
+/// reports current state, so "new bytes arrived on an already-readable fd"
+/// is indistinguishable from "old bytes still pending" — any suppression
+/// scheme would eventually *miss* an edge, which is fatal, whereas
+/// duplicate events are harmless to a correct edge consumer (it drains to
+/// `WouldBlock` on every event regardless). So this backend may repeat
+/// events where epoll would not, and never misses one.
+pub(crate) struct PollBackend {
+    regs: Mutex<HashMap<RawFd, PollReg>>,
+}
+
+impl PollBackend {
+    pub(crate) fn new() -> PollBackend {
+        PollBackend {
+            regs: Mutex::new(HashMap::new()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<RawFd, PollReg>> {
+        self.regs.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    pub(crate) fn register(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+        _trigger: Trigger,
+    ) -> io::Result<()> {
+        let mut regs = self.lock();
+        if regs.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered (use reregister)",
+            ));
+        }
+        regs.insert(fd, PollReg { token, interest });
+        Ok(())
+    }
+
+    pub(crate) fn reregister(
+        &self,
+        fd: RawFd,
+        token: Token,
+        interest: Interest,
+        _trigger: Trigger,
+    ) -> io::Result<()> {
+        let mut regs = self.lock();
+        let reg = regs.get_mut(&fd).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotFound, "fd not registered (use register)")
+        })?;
+        reg.token = token;
+        reg.interest = interest;
+        Ok(())
+    }
+
+    pub(crate) fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.lock()
+            .remove(&fd)
+            .map(|_| ())
+            .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))
+    }
+
+    pub(crate) fn wait(
+        &self,
+        events: &mut Vec<Event>,
+        capacity: usize,
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        let mut fds: Vec<PollFd> = Vec::new();
+        {
+            let regs = self.lock();
+            fds.reserve(regs.len());
+            for (&fd, reg) in regs.iter() {
+                let mut mask: i16 = 0;
+                if reg.interest.is_readable() {
+                    mask |= POLLIN;
+                }
+                if reg.interest.is_writable() {
+                    mask |= POLLOUT;
+                }
+                fds.push(PollFd {
+                    fd,
+                    events: mask,
+                    revents: 0,
+                });
+            }
+        }
+        if fds.is_empty() {
+            // Nothing registered: honour the timeout as a plain sleep so
+            // callers' idle ticks keep firing.
+            if let Some(d) = timeout {
+                std::thread::sleep(d);
+            }
+            return Ok(0);
+        }
+        // SAFETY: `fds` is a live array of kernel-layout pollfds; poll
+        // writes only the `revents` field of each entry.
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as c_ulong, timeout_ms(timeout)) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        let regs = self.lock();
+        let mut reported = 0usize;
+        for pfd in &fds {
+            if pfd.revents == 0 {
+                continue;
+            }
+            let Some(reg) = regs.get(&pfd.fd) else {
+                continue; // raced with a deregister — drop the event
+            };
+            let closed = pfd.revents & (POLLERR | POLLHUP) != 0;
+            let readable = pfd.revents & (POLLIN | POLLHUP | POLLERR) != 0;
+            let writable = pfd.revents & (POLLOUT | POLLERR) != 0;
+            events.push(Event {
+                token: reg.token,
+                readable: readable || closed,
+                writable,
+                closed,
+            });
+            reported += 1;
+            if reported >= capacity {
+                break;
+            }
+        }
+        Ok(reported)
+    }
+}
