@@ -30,7 +30,11 @@
 //! live server per serve mode — threads vs events — with an idle-connection
 //! fleet held under events; `--idle N` overrides the fleet size; exits
 //! non-zero on zero goodput or a dropped fleet, which is the CI serving
-//! gate), `chain` (the Section 4 adversarial chain),
+//! gate), `metrics` (E17: telemetry cross-validation — wide `SUM`
+//! probes against a live events server, asserting the scraped `METRICS`
+//! histogram's mass and p99 bucket agree with stm-bench's own sojourn
+//! accounting, plus the goodput cost of continuous scraping at the E16
+//! knee; the CI metrics smoke gate), `chain` (the Section 4 adversarial chain),
 //! `bound` (Theorem 9 ratio sweep), `starvation` (Theorem 1),
 //! `ablation-reads` (visible vs invisible reads), `all` (everything except
 //! `matrix`, `readfrac`, `server`, `durability`, `strings` and `ablate`).
@@ -49,14 +53,14 @@ use stm_bench::{
     default_ablation_knobs, default_durability_policies, default_read_fractions,
     durability_matrix, fig1_list, fig2_skiplist, fig3_rbtree, fig4_forest, hotpath_matrix,
     matrix_structures, read_fraction_sweep, render_figure_table, render_matrix_table,
-    render_op_breakdown, render_read_fraction_table, render_rows, run_netload, run_open_loop,
-    run_workload, starvation_experiment, string_value_matrix, workload_matrix, ChurnConfig,
-    HotpathConfig, NetLoadConfig, OpMix, OpenLoopConfig, StructureKind, SweepConfig,
-    WorkloadConfig,
+    render_op_breakdown, render_read_fraction_table, render_rows, run_metrics_probe,
+    run_netload, run_open_loop, run_workload, starvation_experiment, string_value_matrix,
+    workload_matrix, ChurnConfig, HotpathConfig, MetricsProbeConfig, NetLoadConfig, OpMix,
+    OpenLoopConfig, StructureKind, SweepConfig, WorkloadConfig,
 };
 use stm_cm::ManagerKind;
 use stm_core::{ReadVisibility, Stm};
-use stm_kv::{KvServer, ServeMode, ServerConfig};
+use stm_kv::{KvClient, KvServer, ServeMode, ServerConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -414,6 +418,168 @@ fn main() {
                             r.reconnects
                         );
                     }
+                }
+                if gate_failed {
+                    std::process::exit(1);
+                }
+            }
+            "metrics" => {
+                // E17: telemetry cross-validation + scrape overhead. One
+                // events-mode server; phase 1 drives wide SUM probes and
+                // asserts the scraped per-op histogram's mass and p99 agree
+                // with stm-bench's own sojourn accounting; phase 2 measures
+                // the goodput cost of continuous METRICS+SLOWLOG scraping
+                // at the E16 knee. Doubles as the CI metrics smoke gate:
+                // missing/all-zero series, mass mismatch, a p99 bucket more
+                // than one off, or causeless SLOWLOG entries fail the
+                // process (the <1% overhead budget is enforced on the
+                // paper-scale run that produces BENCH_metrics.json).
+                let cfg = match mode.as_str() {
+                    "smoke" => MetricsProbeConfig::smoke(),
+                    "quick" => MetricsProbeConfig::quick(),
+                    _ => MetricsProbeConfig::paper(),
+                };
+                let mut server = match KvServer::start(ServerConfig {
+                    manager: ManagerKind::Greedy,
+                    capacity: cfg.sum_span,
+                    shards: 8,
+                    workers: cfg.overhead_pool + 2,
+                    serve_mode: ServeMode::Events,
+                    ..ServerConfig::default()
+                }) {
+                    Ok(server) => server,
+                    Err(err) => {
+                        eprintln!("cannot start events server for E17: {err}");
+                        std::process::exit(1);
+                    }
+                };
+                let mut gate_failed = false;
+                let row = match run_metrics_probe(server.addr(), "greedy", "events", &cfg) {
+                    Ok(row) => row,
+                    Err(err) => {
+                        eprintln!("E17 probe failed: {err}");
+                        std::process::exit(1);
+                    }
+                };
+                if !row.mass_matches {
+                    eprintln!(
+                        "E17 gate: scraped SUM histogram count {} disagrees with the \
+                         client's {} completed probes",
+                        row.server_sum_count_delta, row.probes_completed
+                    );
+                    gate_failed = true;
+                }
+                if !row.p99_agrees {
+                    eprintln!(
+                        "E17 gate: scraped p99 bucket {} vs sojourn p99 bucket {} \
+                         (client p99 {:.0} us) — more than one log2 bucket apart",
+                        row.server_p99_bucket, row.client_p99_bucket, row.client_p99_us
+                    );
+                    gate_failed = true;
+                }
+                if mode == "paper" && row.scrape_overhead_frac >= 0.01 {
+                    eprintln!(
+                        "E17 gate: scraping cost {:.2}% goodput at the knee \
+                         ({:.0} -> {:.0} req/s) — budget is <1%",
+                        row.scrape_overhead_frac * 100.0,
+                        row.baseline_goodput,
+                        row.scraped_goodput
+                    );
+                    gate_failed = true;
+                }
+                // Post-load smoke checks: the series a dashboard depends on
+                // must exist and carry mass, and SLOWLOG must explain
+                // aborts, not just time them.
+                match KvClient::connect(server.addr()) {
+                    Ok(mut scraper) => {
+                        match scraper.metrics() {
+                            Ok(snapshot) => {
+                                for series in ["stm_commits_total", "stm_transactions_total"] {
+                                    if snapshot.value(series).unwrap_or(0) == 0 {
+                                        eprintln!("E17 gate: {series} missing or zero");
+                                        gate_failed = true;
+                                    }
+                                }
+                                if snapshot.counter("stm_kv_requests_total") == 0 {
+                                    eprintln!("E17 gate: stm_kv_requests_total missing or zero");
+                                    gate_failed = true;
+                                }
+                                let op_mass = snapshot
+                                    .histogram("stm_kv_op_latency_us")
+                                    .map_or(0, |h| h.count);
+                                if op_mass == 0 {
+                                    eprintln!(
+                                        "E17 gate: stm_kv_op_latency_us missing or empty"
+                                    );
+                                    gate_failed = true;
+                                }
+                            }
+                            Err(err) => {
+                                eprintln!("E17 gate: METRICS scrape failed: {err}");
+                                gate_failed = true;
+                            }
+                        }
+                        match scraper.slowlog(16) {
+                            Ok(entries) if entries.is_empty() => {
+                                eprintln!("E17 gate: SLOWLOG empty after sustained load");
+                                gate_failed = true;
+                            }
+                            Ok(entries) => {
+                                for entry in &entries {
+                                    if !entry.contains("causes=") || !entry.contains("wall_us=")
+                                    {
+                                        eprintln!(
+                                            "E17 gate: SLOWLOG entry lacks abort-cause \
+                                             accounting: {entry}"
+                                        );
+                                        gate_failed = true;
+                                    }
+                                }
+                            }
+                            Err(err) => {
+                                eprintln!("E17 gate: SLOWLOG failed: {err}");
+                                gate_failed = true;
+                            }
+                        }
+                        let _ = scraper.quit();
+                    }
+                    Err(err) => {
+                        eprintln!("E17 gate: cannot connect smoke scraper: {err}");
+                        gate_failed = true;
+                    }
+                }
+                server.shutdown();
+                if json {
+                    println!("{}", render_rows(&[row]));
+                } else {
+                    println!(
+                        "# E17 — telemetry cross-validation ({} SUM probes spanning {} keys) \
+                         + scrape overhead at {:.0} req/s",
+                        row.probes_completed, cfg.sum_span, cfg.overhead_load
+                    );
+                    println!(
+                        "mass: client {} == scraped {} ({})",
+                        row.probes_completed,
+                        row.server_sum_count_delta,
+                        if row.mass_matches { "ok" } else { "MISMATCH" }
+                    );
+                    println!(
+                        "p99:  sojourn bucket {} vs scraped bucket {} (client p99 {:.0} us, \
+                         distance {}, {})",
+                        row.client_p99_bucket,
+                        row.server_p99_bucket,
+                        row.client_p99_us,
+                        row.p99_bucket_distance,
+                        if row.p99_agrees { "ok" } else { "DISAGREE" }
+                    );
+                    println!(
+                        "cost: {:.0} req/s quiet vs {:.0} req/s scraped ({} scrapes) \
+                         -> {:.2}% overhead",
+                        row.baseline_goodput,
+                        row.scraped_goodput,
+                        row.scrapes,
+                        row.scrape_overhead_frac * 100.0
+                    );
                 }
                 if gate_failed {
                     std::process::exit(1);

@@ -41,6 +41,7 @@
 pub mod churn;
 pub mod figures;
 pub mod hotpath;
+pub mod metricsprobe;
 pub mod netload;
 pub mod report;
 pub mod starvation;
@@ -57,6 +58,7 @@ pub use figures::{
     fig3_rbtree, fig4_forest, matrix_structures, read_fraction_sweep, workload_matrix,
     AblationKnob, FigureData, FractionSeries, ReadFractionSweep, Series,
 };
+pub use metricsprobe::{run_metrics_probe, MetricsProbeConfig, MetricsProbeResult};
 pub use netload::{
     default_durability_policies, durability_matrix, run_netload, run_open_loop,
     string_value_matrix, NetLoadConfig, OpenLoopConfig, OpenLoopResult,

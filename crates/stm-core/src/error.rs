@@ -22,6 +22,42 @@ pub enum AbortCause {
     Explicit,
 }
 
+impl AbortCause {
+    /// Every cause, in [`AbortCause::index`] order. Telemetry iterates this
+    /// to emit one counter series per cause.
+    pub const ALL: [AbortCause; 5] = [
+        AbortCause::KilledByEnemy,
+        AbortCause::ManagerSelfAbort,
+        AbortCause::ValidationFailed,
+        AbortCause::CommitFailed,
+        AbortCause::Explicit,
+    ];
+
+    /// A stable machine-readable label (metric label values; renaming one
+    /// is a deliberate exposition change).
+    pub fn label(self) -> &'static str {
+        match self {
+            AbortCause::KilledByEnemy => "killed_by_enemy",
+            AbortCause::ManagerSelfAbort => "manager_self_abort",
+            AbortCause::ValidationFailed => "validation_failed",
+            AbortCause::CommitFailed => "commit_failed",
+            AbortCause::Explicit => "explicit",
+        }
+    }
+
+    /// Position of this cause in [`AbortCause::ALL`] (dense array index for
+    /// per-cause counters).
+    pub fn index(self) -> usize {
+        match self {
+            AbortCause::KilledByEnemy => 0,
+            AbortCause::ManagerSelfAbort => 1,
+            AbortCause::ValidationFailed => 2,
+            AbortCause::CommitFailed => 3,
+            AbortCause::Explicit => 4,
+        }
+    }
+}
+
 impl fmt::Display for AbortCause {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -102,6 +138,16 @@ mod tests {
             AbortCause::Explicit,
         ] {
             assert!(!cause.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_and_indices_are_dense_and_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for (i, cause) in AbortCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i);
+            assert!(seen.insert(cause.label()), "duplicate label {}", cause.label());
+            assert!(cause.label().chars().all(|c| c.is_ascii_lowercase() || c == '_'));
         }
     }
 

@@ -74,7 +74,7 @@ pub use epoch::{EpochGc, EpochStats, PinSlot};
 pub use error::{AbortCause, StmError, TxResult};
 pub use hook::{CommitHook, CommitOp, CommitValue};
 pub use manager::{ConflictKind, ContentionManager, ManagerFactory, Resolution, TxView};
-pub use stats::{StmStats, TxRunReport, TxnStats};
+pub use stats::{StmStats, TxRunReport, TxnStats, ABORT_CAUSES};
 pub use status::TxStatus;
 pub use stm::{ReadVisibility, Stm, StmBuilder, ThreadCtx};
 pub use tvar::TVar;

@@ -16,6 +16,13 @@
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use crate::error::AbortCause;
+
+/// Number of distinct [`AbortCause`] values — the length of every
+/// per-cause counter array ([`TxRunReport::abort_causes`],
+/// [`StatsSnapshot::aborts_by_cause`]), indexed by [`AbortCause::index`].
+pub const ABORT_CAUSES: usize = AbortCause::ALL.len();
+
 /// Counters local to one transaction attempt.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TxnStats {
@@ -67,6 +74,9 @@ pub struct TxRunReport {
     pub reads: u64,
     /// Transactional writes across all attempts.
     pub writes: u64,
+    /// Aborted attempts broken down by [`AbortCause`], indexed by
+    /// [`AbortCause::index`]. Sums to [`TxRunReport::aborts`].
+    pub abort_causes: [u64; ABORT_CAUSES],
     /// Sequence number the [`crate::CommitHook`] assigned to the committed
     /// attempt's published write-set (`None` without a hook, when nothing
     /// was published, or when the call did not commit). Durable callers
@@ -108,6 +118,14 @@ pub struct StatsSnapshot {
     pub reads: u64,
     /// Transactional writes.
     pub writes: u64,
+    /// Aborts broken down by [`AbortCause`], indexed by
+    /// [`AbortCause::index`]. Sums to [`StatsSnapshot::aborts`].
+    ///
+    /// Note `validation_failures` is broader than
+    /// `aborts_by_cause[ValidationFailed]`: an attempt killed by an enemy
+    /// may *also* have observed a validation failure, and the legacy flag
+    /// counts that; the cause array records only the primary cause.
+    pub aborts_by_cause: [u64; ABORT_CAUSES],
 }
 
 impl StatsSnapshot {
@@ -161,6 +179,7 @@ pub struct StmStats {
     validation_failures: AtomicU64,
     reads: AtomicU64,
     writes: AtomicU64,
+    aborts_by_cause: [AtomicU64; ABORT_CAUSES],
 }
 
 impl StmStats {
@@ -182,8 +201,9 @@ impl StmStats {
         self.fold(local);
     }
 
-    pub(crate) fn note_abort(&self, local: &TxnStats, validation_failure: bool) {
+    pub(crate) fn note_abort(&self, local: &TxnStats, cause: AbortCause, validation_failure: bool) {
         self.aborts.fetch_add(1, Ordering::Relaxed);
+        self.aborts_by_cause[cause.index()].fetch_add(1, Ordering::Relaxed);
         if validation_failure {
             self.validation_failures.fetch_add(1, Ordering::Relaxed);
         }
@@ -214,6 +234,9 @@ impl StmStats {
             validation_failures: self.validation_failures.load(Ordering::Relaxed),
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
+            aborts_by_cause: std::array::from_fn(|i| {
+                self.aborts_by_cause[i].load(Ordering::Relaxed)
+            }),
         }
     }
 
@@ -254,7 +277,7 @@ mod tests {
             waits: 1,
             enemy_aborts: 1,
         };
-        stats.note_abort(&local, true);
+        stats.note_abort(&local, AbortCause::ValidationFailed, true);
         stats.note_attempt();
         stats.note_commit(&local);
         let snap = stats.snapshot();
@@ -263,6 +286,8 @@ mod tests {
         assert_eq!(snap.commits, 1);
         assert_eq!(snap.aborts, 1);
         assert_eq!(snap.validation_failures, 1);
+        assert_eq!(snap.aborts_by_cause[AbortCause::ValidationFailed.index()], 1);
+        assert_eq!(snap.aborts_by_cause.iter().sum::<u64>(), snap.aborts);
         assert_eq!(snap.reads, 8);
         assert_eq!(snap.writes, 2);
         assert_eq!(snap.conflicts, 4);

@@ -330,19 +330,31 @@ impl<'stm> ThreadCtx<'stm> {
                         report.commit_seq = txn.commit_seq();
                         return (Ok(value), report);
                     }
-                    let validation = txn.validation_failed();
-                    txn.finish_abort(validation);
+                    // Commit failed: a validation failure if one was
+                    // observed, otherwise the status CAS itself lost.
+                    let cause = if txn.validation_failed() {
+                        AbortCause::ValidationFailed
+                    } else {
+                        AbortCause::CommitFailed
+                    };
+                    txn.finish_abort(cause);
+                    report.abort_causes[cause.index()] += 1;
                 }
                 Err(StmError::Aborted(AbortCause::Explicit)) => {
-                    txn.finish_abort(false);
+                    txn.finish_abort(AbortCause::Explicit);
+                    report.abort_causes[AbortCause::Explicit.index()] += 1;
                     report.aborts = attempt;
                     return (Err(StmError::Aborted(AbortCause::Explicit)), report);
                 }
                 Err(StmError::Aborted(cause)) => {
-                    txn.finish_abort(cause == AbortCause::ValidationFailed);
+                    txn.finish_abort(cause);
+                    report.abort_causes[cause.index()] += 1;
                 }
                 Err(other) => {
-                    txn.finish_abort(false);
+                    // The closure surfaced a non-abort error (e.g. a nested
+                    // retry-limit); account it as an explicit caller abort.
+                    txn.finish_abort(AbortCause::Explicit);
+                    report.abort_causes[AbortCause::Explicit.index()] += 1;
                     report.aborts = attempt;
                     return (Err(other), report);
                 }

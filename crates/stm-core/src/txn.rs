@@ -699,8 +699,9 @@ impl<'ctx> Txn<'ctx> {
         true
     }
 
-    /// Marks the attempt aborted and performs cleanup.
-    pub(crate) fn finish_abort(&mut self, validation_failure: bool) {
+    /// Marks the attempt aborted (attributing it to `cause`) and performs
+    /// cleanup.
+    pub(crate) fn finish_abort(&mut self, cause: AbortCause) {
         if self.finished {
             return;
         }
@@ -710,9 +711,11 @@ impl<'ctx> Txn<'ctx> {
         }
         self.manager.aborted(TxView::new(&self.shared));
         self.shared.lineage().note_abort();
-        self.stm
-            .stats()
-            .note_abort(&self.stats, validation_failure || self.validation_failed);
+        self.stm.stats().note_abort(
+            &self.stats,
+            cause,
+            cause == AbortCause::ValidationFailed || self.validation_failed,
+        );
         self.scratch.clear();
         self.finished = true;
     }

@@ -18,8 +18,11 @@
 //! The client is used by the integration tests, the examples, and the
 //! closed-loop network load generator in `stm-bench`.
 
+use std::collections::BTreeMap;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+
+use metrics::{HistogramSnapshot, BUCKETS};
 
 use crate::proto::{
     decode_frame, parse_reply, render_request, render_request_v2, ErrorCode, Frame, FrameError,
@@ -283,6 +286,177 @@ pub struct WalStatsSnapshot {
     pub failed: bool,
 }
 
+/// The parsed payload of a `METRICS` reply: the server's Prometheus-style
+/// text exposition folded into typed lookups.
+///
+/// Samples are keyed by their full rendered series — metric name plus
+/// label set exactly as exposed, e.g.
+/// `stm_aborts_total{cause="killed_by_enemy"}`. Histogram series can be
+/// reassembled back into a [`HistogramSnapshot`] — the very type the
+/// server records into — so client-side quantiles agree with server-side
+/// accounting bucket-for-bucket.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// The raw exposition text, byte-for-byte as served.
+    pub text: String,
+    samples: BTreeMap<String, u64>,
+}
+
+impl MetricsSnapshot {
+    /// Parses an exposition text: `#`-comment lines are skipped, every
+    /// other non-empty line must read `series value`.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Protocol`] on a malformed sample line.
+    pub fn parse(text: String) -> KvResult<MetricsSnapshot> {
+        let mut samples = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (series, raw) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| proto_err(format!("malformed metrics line '{line}'")))?;
+            // Gauges are signed on the wire; a (never expected) negative
+            // sample clamps to zero rather than failing the whole scrape.
+            let value = raw
+                .parse::<u64>()
+                .or_else(|_| raw.parse::<i64>().map(|v| v.max(0) as u64))
+                .map_err(|_| proto_err(format!("malformed metrics value '{line}'")))?;
+            samples.insert(series.to_string(), value);
+        }
+        Ok(MetricsSnapshot { text, samples })
+    }
+
+    /// The value of one series, by its full rendered name (labels
+    /// included, in exposition order).
+    pub fn value(&self, series: &str) -> Option<u64> {
+        self.samples.get(series).copied()
+    }
+
+    /// Sum of every sample of one metric name across its label sets
+    /// (series named exactly `name` or `name{...}`; a histogram's
+    /// `_bucket`/`_sum`/`_count` series are distinct names and do not fold
+    /// in).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.samples
+            .iter()
+            .filter_map(|(series, &value)| series_labels(series, name).map(|_| value))
+            .sum()
+    }
+
+    /// Every parsed sample, sorted by series name — the stable surface the
+    /// exposition-stability tests pin down.
+    pub fn samples(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.samples.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Reassembles histogram `base` into a [`HistogramSnapshot`],
+    /// de-cumulating its `_bucket{le=...}` samples.
+    ///
+    /// An unlabelled `base` (`"stm_kv_op_latency_us"`) folds every label
+    /// set of that name together; a labelled one
+    /// (`r#"stm_kv_op_latency_us{op="GET"}"#`) selects exactly that
+    /// series. Returns `None` when no matching `_count` sample exists.
+    pub fn histogram(&self, base: &str) -> Option<HistogramSnapshot> {
+        let (name, want) = match base.split_once('{') {
+            Some((name, labels)) => (name, labels.trim_end_matches('}')),
+            None => (base, ""),
+        };
+        let bucket_name = format!("{name}_bucket");
+        let sum_name = format!("{name}_sum");
+        let count_name = format!("{name}_count");
+
+        // Cumulative bucket samples, grouped per label set (each set has
+        // its own cumulative sequence; the sets only add up after
+        // de-cumulation). The `+Inf` bucket aliases the top finite bucket
+        // when that bucket is populated — both land on index BUCKETS-1
+        // with equal cumulative values, so the duplicate de-cumulates to
+        // zero extra mass.
+        let mut per_set: BTreeMap<&str, Vec<(usize, u64)>> = BTreeMap::new();
+        for (series, &value) in &self.samples {
+            let Some(labels) = series_labels(series, &bucket_name) else {
+                continue;
+            };
+            let Some((own, le)) = split_le_label(labels) else {
+                continue;
+            };
+            if !want.is_empty() && own != want {
+                continue;
+            }
+            let Some(index) = le_bucket_index(le) else {
+                continue;
+            };
+            per_set.entry(own).or_default().push((index, value));
+        }
+        let mut buckets = [0u64; BUCKETS];
+        for (_, mut cumulatives) in per_set {
+            cumulatives.sort_unstable();
+            let mut previous = 0u64;
+            for (index, cumulative) in cumulatives {
+                buckets[index] += cumulative.saturating_sub(previous);
+                previous = previous.max(cumulative);
+            }
+        }
+
+        let mut sum = 0u64;
+        let mut count = 0u64;
+        let mut found = false;
+        for (series, &value) in &self.samples {
+            if let Some(own) = series_labels(series, &count_name) {
+                if want.is_empty() || own == want {
+                    count += value;
+                    found = true;
+                }
+            } else if let Some(own) = series_labels(series, &sum_name) {
+                if want.is_empty() || own == want {
+                    sum = sum.wrapping_add(value);
+                }
+            }
+        }
+        if !found {
+            return None;
+        }
+        Some(HistogramSnapshot { buckets, count, sum })
+    }
+}
+
+/// The label body of `series` when its metric name is exactly `name`:
+/// `Some("")` for a bare `name`, `Some(inner)` for `name{inner}`, `None`
+/// for any other metric (including longer names sharing the prefix).
+fn series_labels<'a>(series: &'a str, name: &str) -> Option<&'a str> {
+    let rest = series.strip_prefix(name)?;
+    if rest.is_empty() {
+        Some("")
+    } else {
+        rest.strip_prefix('{')?.strip_suffix('}')
+    }
+}
+
+/// Splits a `_bucket` label body into (own labels, le value) — `le`
+/// renders last, so everything before it belongs to the series itself.
+fn split_le_label(labels: &str) -> Option<(&str, &str)> {
+    let start = labels.rfind("le=\"")?;
+    let le = labels[start + 4..].strip_suffix('"')?;
+    Some((labels[..start].trim_end_matches(','), le))
+}
+
+/// Maps an `le` upper bound back to its log2 bucket index; `+Inf` and
+/// `u64::MAX` are both the overflow bucket.
+fn le_bucket_index(le: &str) -> Option<usize> {
+    if le == "+Inf" {
+        return Some(BUCKETS - 1);
+    }
+    let bound: u64 = le.parse().ok()?;
+    // Valid bounds are 2^i - 1 (0, 1, 3, 7, ...) or u64::MAX.
+    if !bound.wrapping_add(1).is_power_of_two() && bound != u64::MAX {
+        return None;
+    }
+    Some((bound.wrapping_add(1).trailing_zeros() as usize).min(BUCKETS - 1))
+}
+
 /// A blocking connection to an `stm-kv` server.
 #[derive(Debug)]
 pub struct KvClient {
@@ -416,7 +590,8 @@ impl KvClient {
     }
 
     /// Reads one reply in the connection's framing. On v1 the multi-line
-    /// `EXEC` reply is assembled from its header plus per-op lines.
+    /// replies (`EXEC`, `METRICS`, `SLOWLOG`) are assembled from their
+    /// header plus per-item lines.
     fn read_reply(&mut self) -> KvResult<Reply> {
         match self.proto {
             ProtoVersion::V1 => {
@@ -429,6 +604,28 @@ impl KvClient {
                         replies.push(parse_reply(&line).map_err(proto_err)?);
                     }
                     return Ok(Reply::Exec(replies));
+                }
+                // METRICS and SLOWLOG are the other multi-line v1 replies:
+                // a header carrying the line count, then that many payload
+                // lines, reassembled here rather than in parse_reply.
+                if let Some(count) =
+                    line.strip_prefix("METRICS ").and_then(|n| n.parse::<usize>().ok())
+                {
+                    let mut text = String::new();
+                    for _ in 0..count {
+                        text.push_str(&self.read_reply_line()?);
+                        text.push('\n');
+                    }
+                    return Ok(Reply::Metrics(text));
+                }
+                if let Some(count) =
+                    line.strip_prefix("SLOWLOG ").and_then(|n| n.parse::<usize>().ok())
+                {
+                    let mut entries = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        entries.push(self.read_reply_line()?);
+                    }
+                    return Ok(Reply::SlowLog(entries));
                 }
                 parse_reply(&line).map_err(proto_err)
             }
@@ -687,6 +884,35 @@ impl KvClient {
             }
         }
         Ok(stats)
+    }
+
+    /// Fetches the server's full `METRICS` exposition — latency
+    /// histograms, abort causes, manager decisions — parsed into a typed
+    /// [`MetricsSnapshot`] (the raw text rides along in
+    /// [`MetricsSnapshot::text`]).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures, server error replies, and malformed exposition lines.
+    pub fn metrics(&mut self) -> KvResult<MetricsSnapshot> {
+        match self.roundtrip(&Request::Metrics)? {
+            Reply::Metrics(text) => MetricsSnapshot::parse(text),
+            other => Err(KvError::unexpected(&other, "METRICS")),
+        }
+    }
+
+    /// The server's `n` slowest requests, slowest first — one rendered
+    /// `key=value` line each (op, key count, attempts, abort causes,
+    /// contention-manager verdicts, wall/transaction timings).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and server error replies.
+    pub fn slowlog(&mut self, n: u64) -> KvResult<Vec<String>> {
+        match self.roundtrip(&Request::SlowLog(n))? {
+            Reply::SlowLog(entries) => Ok(entries),
+            other => Err(KvError::unexpected(&other, "SLOWLOG")),
+        }
     }
 
     /// Starts a fluent atomic batch; finish it with [`BatchBuilder::run`].
@@ -1031,6 +1257,50 @@ mod tests {
         assert_eq!(client.get_int(1).unwrap(), Some(50));
         assert_eq!(client.get_str(2).unwrap().as_deref(), Some("not money"));
         client.quit().unwrap();
+    }
+
+    #[test]
+    fn metrics_and_slowlog_round_trip_on_both_protocols() {
+        let server = test_server();
+        for v1 in [false, true] {
+            let mut client = if v1 {
+                KvClient::connect_v1(server.addr()).unwrap()
+            } else {
+                KvClient::connect(server.addr()).unwrap()
+            };
+            for key in 0..50 {
+                client.put(key, key).unwrap();
+            }
+            client.get(1).unwrap();
+            client.transfer(1, 2, 1).unwrap();
+
+            let metrics = client.metrics().unwrap();
+            assert!(metrics.counter("stm_kv_requests_total") >= 51, "{}", metrics.text);
+            assert!(metrics.value("stm_commits_total").unwrap() > 0);
+            assert!(metrics
+                .value(r#"stm_aborts_total{cause="killed_by_enemy"}"#)
+                .is_some());
+            // The per-op histograms reassemble: folding every op label
+            // together must dominate any single op's series, and the
+            // histogram mass must match the op counts we drove.
+            let all_ops = metrics.histogram("stm_kv_op_latency_us").unwrap();
+            let puts = metrics
+                .histogram(r#"stm_kv_op_latency_us{op="PUT"}"#)
+                .unwrap();
+            assert!(puts.count >= 50, "{}", metrics.text);
+            assert!(all_ops.count > puts.count, "{}", metrics.text);
+            assert_eq!(puts.buckets.iter().sum::<u64>(), puts.count);
+            assert!(all_ops.quantile(1.0) >= puts.quantile(0.5));
+
+            let slow = client.slowlog(10).unwrap();
+            assert!(slow.len() <= 10);
+            for entry in &slow {
+                assert!(entry.contains("op="), "{entry}");
+                assert!(entry.contains("wall_us="), "{entry}");
+            }
+            assert!(client.slowlog(0).unwrap().is_empty());
+            client.quit().unwrap();
+        }
     }
 
     #[test]

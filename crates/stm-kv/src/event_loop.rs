@@ -40,6 +40,7 @@ use stm_core::{Stm, ThreadCtx};
 
 use crate::server::{process_buffered, ConnState, Durable, ServerCounters};
 use crate::store::KvStore;
+use crate::telemetry::{elapsed_us, Telemetry};
 
 /// Token of each shard's waker; connection slots start at 1.
 const WAKER_TOKEN: Token = Token(0);
@@ -163,12 +164,14 @@ impl EventLoops {
     /// Spawns the acceptor and shard threads. The listener stays blocking —
     /// the acceptor is a dedicated thread, unblocked at shutdown by the
     /// same throwaway loopback connection the pool acceptor uses.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn start(
         config: EventConfig,
         listener: TcpListener,
         stm: Arc<Stm>,
         store: Arc<KvStore>,
         counters: Arc<ServerCounters>,
+        telemetry: Arc<Telemetry>,
         durable: Option<Arc<Durable>>,
         stop: Arc<AtomicBool>,
     ) -> std::io::Result<EventLoops> {
@@ -194,6 +197,7 @@ impl EventLoops {
             let stm = Arc::clone(&stm);
             let store = Arc::clone(&store);
             let counters = Arc::clone(&counters);
+            let telemetry = Arc::clone(&telemetry);
             let durable = durable.clone();
             let stop = Arc::clone(&stop);
             let idle_timeout = config.idle_timeout;
@@ -201,6 +205,7 @@ impl EventLoops {
                 std::thread::Builder::new()
                     .name(format!("stm-kv-shard-{shard_id}"))
                     .spawn(move || {
+                        let conns_gauge = telemetry.shard_conns(shard_id);
                         let mut shard = Shard {
                             poller,
                             wake_rx,
@@ -211,6 +216,8 @@ impl EventLoops {
                             wheel: IdleWheel::new(idle_timeout, Instant::now()),
                             store,
                             counters,
+                            telemetry,
+                            conns_gauge,
                             durable,
                             stop,
                         };
@@ -284,6 +291,9 @@ struct Shard {
     wheel: Option<IdleWheel>,
     store: Arc<KvStore>,
     counters: Arc<ServerCounters>,
+    telemetry: Arc<Telemetry>,
+    /// This shard's open-connections gauge (`stm_kv_shard_conns`).
+    conns_gauge: Arc<metrics::Gauge>,
     durable: Option<Arc<Durable>>,
     stop: Arc<AtomicBool>,
 }
@@ -296,12 +306,15 @@ impl Shard {
                 Some(wheel) => wheel.granularity.min(SHARD_TICK),
                 None => SHARD_TICK,
             };
+            let wait_started = Instant::now();
             if self.poller.wait(&mut events, EVENT_BATCH, Some(tick)).is_err() {
                 // A failed wait is unrecoverable for this shard; drain what
                 // we have and exit rather than spin on the error.
                 self.drain_all(ctx);
                 return;
             }
+            self.telemetry.note_poll_wait(elapsed_us(wait_started));
+            self.telemetry.note_ready_batch(events.len() as u64);
             // Slots closed while handling an earlier event in this batch
             // are skipped (the slab entry is `None`); slots are never
             // *reused* within a batch because accepts only run after it.
@@ -361,6 +374,7 @@ impl Shard {
                 continue;
             }
             self.counters.conns_open.fetch_add(1, Ordering::Relaxed);
+            self.conns_gauge.add(1);
             if let Some(wheel) = &mut self.wheel {
                 wheel.touch(slot, conn.gen);
             }
@@ -437,6 +451,7 @@ impl Shard {
                 ctx,
                 &self.store,
                 &self.counters,
+                &self.telemetry,
                 self.durable.as_deref(),
                 &mut conn.inbuf,
                 &mut out,
@@ -544,6 +559,7 @@ impl Shard {
         if let Some(conn) = self.conns[slot].take() {
             let _ = self.poller.deregister(&conn.stream);
             self.counters.conns_open.fetch_sub(1, Ordering::Relaxed);
+            self.conns_gauge.sub(1);
             self.free.push(slot);
         }
     }
@@ -553,6 +569,7 @@ impl Shard {
     /// flush every pending reply — retrying a full socket briefly — and
     /// close. No in-flight pipelined burst loses its replies.
     fn drain_all(&mut self, ctx: &mut ThreadCtx<'_>) {
+        let drain_started = Instant::now();
         // Late hand-offs first: accepted before the stop flag landed.
         while let Some(stream) = self.inbox.pending.lock().pop_front() {
             if stream.set_nonblocking(true).is_err() {
@@ -567,6 +584,7 @@ impl Shard {
             };
             self.next_gen += 1;
             self.counters.conns_open.fetch_add(1, Ordering::Relaxed);
+            self.conns_gauge.add(1);
             self.conns[slot] = Some(Conn {
                 stream,
                 state: ConnState::new(),
@@ -599,6 +617,7 @@ impl Shard {
                     ctx,
                     &self.store,
                     &self.counters,
+                    &self.telemetry,
                     self.durable.as_deref(),
                     &mut conn.inbuf,
                     &mut out,
@@ -630,5 +649,6 @@ impl Shard {
             }
             self.close(slot);
         }
+        self.telemetry.note_drain(elapsed_us(drain_started));
     }
 }

@@ -24,7 +24,11 @@
 //!   framing (RESP-style frames) that carries typed values byte-exactly and
 //!   machine-readable [`ErrorCode`]s. Verbs: `GET`, `PUT`, `DEL`, `ADD`
 //!   (atomic read-modify-write), `RANGE`, `SUM`, plus `BEGIN`/`EXEC`
-//!   multi-key atomic batches, `PING`/`STATS`/`SNAPSHOT`/`WALSTATS`/`QUIT`.
+//!   multi-key atomic batches, `PING`/`STATS`/`SNAPSHOT`/`WALSTATS`/`QUIT`,
+//!   and the observability pair `METRICS` (full Prometheus-style text
+//!   exposition — latency histograms, abort causes, manager decisions) /
+//!   `SLOWLOG n` (the n slowest requests with their abort causes and
+//!   contention-manager verdicts).
 //! * **Server** ([`KvServer`]) — `std::net::TcpListener` + a worker-thread
 //!   pool, no dependencies beyond the workspace. Every request executes as
 //!   one STM transaction under the [`stm_cm::ManagerKind`] chosen at server
@@ -83,12 +87,21 @@ pub(crate) mod event_loop;
 pub mod proto;
 pub mod server;
 pub mod store;
+pub(crate) mod telemetry;
 
 /// The typed value enum (`Int` / `Str` / `Bytes`) — one type from the wire
 /// protocol through [`KvStore`] into the `stm-log` write-ahead log.
 pub use stm_core::CommitValue as Value;
 
-pub use client::{BatchBuilder, BatchOp, KvClient, KvError, ServerStatsSnapshot, WalStatsSnapshot};
+/// The reassembled histogram type [`client::MetricsSnapshot::histogram`]
+/// returns — the same type the server records into, so client-side
+/// quantiles agree with server-side accounting bucket-for-bucket.
+pub use metrics::HistogramSnapshot;
+
+pub use client::{
+    BatchBuilder, BatchOp, KvClient, KvError, MetricsSnapshot, ServerStatsSnapshot,
+    WalStatsSnapshot,
+};
 pub use proto::{
     parse_reply, parse_request, render_reply, render_request, ErrorCode, ProtoError, Reply,
     Request,

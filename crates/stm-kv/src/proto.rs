@@ -18,6 +18,8 @@
 //! | `EXEC` | `EXEC <n>` followed by the `n` queued replies, one per line |
 //! | `PING` | `PONG` |
 //! | `STATS` | `STATS <key>=<value> ...` |
+//! | `METRICS` | `METRICS <n>` followed by `n` exposition lines |
+//! | `SLOWLOG <n>` | `SLOWLOG <m>` followed by `m` entry lines |
 //! | `SNAPSHOT` | `SNAPSHOT <seq> <keys>` (durable servers only) |
 //! | `WALSTATS` | `WALSTATS <key>=<value> ...` (durable servers only) |
 //! | `QUIT` | `BYE`, then the connection closes |
@@ -233,6 +235,11 @@ pub enum Request {
     Ping,
     /// Server statistics.
     Stats,
+    /// Full telemetry exposition (Prometheus-style text).
+    Metrics,
+    /// The `n` slowest requests the server has retained, newest analysis
+    /// of each: op, attempts, abort causes, manager verdicts, timings.
+    SlowLog(u64),
     /// Force a point-in-time snapshot of the keyspace (durable servers).
     Snapshot,
     /// Write-ahead-log statistics (durable servers).
@@ -282,6 +289,12 @@ pub enum Reply {
     Hello(u32),
     /// The `STATS` counter payload (`key=value` pairs, space-separated).
     Stats(String),
+    /// The full `METRICS` exposition (Prometheus-style text, one series
+    /// sample per line).
+    Metrics(String),
+    /// The `SLOWLOG` entries, one rendered `key=value ...` line each,
+    /// slowest first.
+    SlowLog(Vec<String>),
     /// The `WALSTATS` counter payload (durable servers).
     WalStats(String),
     /// Reply to `PING`.
@@ -391,6 +404,17 @@ pub fn parse_request(line: &str) -> Result<Request, ProtoError> {
                 parse_int(args[1], "hi")?,
             ))
         }
+        "METRICS" => {
+            arity(0)?;
+            Ok(Request::Metrics)
+        }
+        "SLOWLOG" => {
+            arity(1)?;
+            let n = parse_int(args[0], "entry count")?;
+            u64::try_from(n)
+                .map(Request::SlowLog)
+                .map_err(|_| ProtoError::new(ErrorCode::Arg, "entry count must be non-negative"))
+        }
         "BEGIN" => {
             arity(0)?;
             Ok(Request::Begin)
@@ -447,6 +471,8 @@ pub fn render_request(request: &Request) -> String {
         Request::Exec => "EXEC".to_string(),
         Request::Ping => "PING".to_string(),
         Request::Stats => "STATS".to_string(),
+        Request::Metrics => "METRICS".to_string(),
+        Request::SlowLog(n) => format!("SLOWLOG {n}"),
         Request::Snapshot => "SNAPSHOT".to_string(),
         Request::WalStats => "WALSTATS".to_string(),
         Request::Quit => "QUIT".to_string(),
@@ -492,6 +518,26 @@ pub fn render_reply(reply: &Reply) -> String {
         Reply::Snapshot(seq, keys) => format!("SNAPSHOT {seq} {keys}"),
         Reply::Hello(version) => format!("HELLO {version}"),
         Reply::Stats(payload) => format!("STATS {payload}"),
+        Reply::Metrics(text) => {
+            // Like EXEC: a header announcing the line count, then the
+            // exposition lines — the one multi-line v1 shape, assembled
+            // back together by the client rather than parse_reply.
+            let lines: Vec<&str> = text.lines().collect();
+            let mut out = format!("METRICS {}", lines.len());
+            for line in lines {
+                out.push('\n');
+                out.push_str(line);
+            }
+            out
+        }
+        Reply::SlowLog(entries) => {
+            let mut out = format!("SLOWLOG {}", entries.len());
+            for entry in entries {
+                out.push('\n');
+                out.push_str(&entry.replace('\n', " "));
+            }
+            out
+        }
         Reply::WalStats(payload) => format!("WALSTATS {payload}"),
         Reply::Pong => "PONG".to_string(),
         Reply::Bye => "BYE".to_string(),
@@ -835,6 +881,8 @@ pub fn render_request_v2(request: &Request) -> Vec<u8> {
         Request::Exec => ("EXEC", Vec::new()),
         Request::Ping => ("PING", Vec::new()),
         Request::Stats => ("STATS", Vec::new()),
+        Request::Metrics => ("METRICS", Vec::new()),
+        Request::SlowLog(n) => ("SLOWLOG", vec![Frame::Int(*n as i64)]),
         Request::Snapshot => ("SNAPSHOT", Vec::new()),
         Request::WalStats => ("WALSTATS", Vec::new()),
         Request::Quit => ("QUIT", Vec::new()),
@@ -941,6 +989,17 @@ pub fn parse_request_v2(frame: Frame) -> Result<Request, ProtoError> {
             arity(2)?;
             Ok(Request::Sum(int_arg(0, "lo")?, int_arg(1, "hi")?))
         }
+        "METRICS" => {
+            arity(0)?;
+            Ok(Request::Metrics)
+        }
+        "SLOWLOG" => {
+            arity(1)?;
+            let n = int_arg(0, "entry count")?;
+            u64::try_from(n)
+                .map(Request::SlowLog)
+                .map_err(|_| ProtoError::new(ErrorCode::Arg, "entry count must be non-negative"))
+        }
         "BEGIN" => {
             arity(0)?;
             Ok(Request::Begin)
@@ -1028,6 +1087,19 @@ pub fn render_reply_v2(out: &mut Vec<u8>, reply: &Reply) {
             write_status(out, "STATS");
             write_value(out, &Value::Str(payload.clone()));
         }
+        Reply::Metrics(text) => {
+            write_array_header(out, 2);
+            write_status(out, "METRICS");
+            write_value(out, &Value::Str(text.clone()));
+        }
+        Reply::SlowLog(entries) => {
+            write_array_header(out, 2);
+            write_status(out, "SLOWLOG");
+            write_array_header(out, entries.len());
+            for entry in entries {
+                write_value(out, &Value::Str(entry.clone()));
+            }
+        }
         Reply::WalStats(payload) => {
             write_array_header(out, 2);
             write_status(out, "WALSTATS");
@@ -1090,7 +1162,7 @@ pub fn parse_reply_v2(frame: Frame) -> Result<Reply, String> {
                     int_at(&frames, 1, "key count")? as usize,
                 )),
                 ("HELLO", 1) => Ok(Reply::Hello(int_at(&frames, 0, "version")? as u32)),
-                ("STATS", 1) | ("WALSTATS", 1) => {
+                ("STATS", 1) | ("WALSTATS", 1) | ("METRICS", 1) => {
                     let payload = match frames.remove(0) {
                         Frame::Str(s) => s,
                         other => {
@@ -1100,11 +1172,24 @@ pub fn parse_reply_v2(frame: Frame) -> Result<Reply, String> {
                             ))
                         }
                     };
-                    if tag == "STATS" {
-                        Ok(Reply::Stats(payload))
-                    } else {
-                        Ok(Reply::WalStats(payload))
+                    match tag.as_str() {
+                        "STATS" => Ok(Reply::Stats(payload)),
+                        "METRICS" => Ok(Reply::Metrics(payload)),
+                        _ => Ok(Reply::WalStats(payload)),
                     }
+                }
+                ("SLOWLOG", 1) => {
+                    let Frame::Array(items) = frames.remove(0) else {
+                        return Err("SLOWLOG payload must be an array frame".to_string());
+                    };
+                    let mut entries = Vec::with_capacity(items.len());
+                    for item in items {
+                        let Frame::Str(entry) = item else {
+                            return Err("SLOWLOG entry must be a str frame".to_string());
+                        };
+                        entries.push(entry);
+                    }
+                    Ok(Reply::SlowLog(entries))
                 }
                 ("RANGE", 1) => {
                     let Frame::Array(items) = frames.remove(0) else {
@@ -1172,6 +1257,8 @@ mod tests {
             Request::Exec,
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
+            Request::SlowLog(16),
             Request::Snapshot,
             Request::WalStats,
             Request::Quit,
@@ -1195,6 +1282,8 @@ mod tests {
             Request::Exec,
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
+            Request::SlowLog(16),
             Request::Snapshot,
             Request::WalStats,
             Request::Quit,
@@ -1283,6 +1372,12 @@ mod tests {
             ),
             Reply::Sum(-5, 3),
             Reply::Queued,
+            Reply::Metrics("# TYPE a counter\na{op=\"get\"} 1\n".to_string()),
+            Reply::SlowLog(vec![
+                "op=EXEC keys=3 attempts=2 wall_us=912".to_string(),
+                "op=PUT keys=1 attempts=1 wall_us=40".to_string(),
+            ]),
+            Reply::SlowLog(Vec::new()),
             Reply::Exec(vec![
                 Reply::Value(Value::Str("a\nb".to_string())),
                 Reply::Nil,
@@ -1410,6 +1505,8 @@ mod tests {
             Request::Exec,
             Request::Ping,
             Request::Stats,
+            Request::Metrics,
+            Request::SlowLog(8),
             Request::Snapshot,
             Request::WalStats,
             Request::Quit,

@@ -57,12 +57,12 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use stm_cm::{ManagerKind, ManagerParams};
-use stm_core::{CommitOp, Stm, ThreadCtx, TxResult, Txn};
+use stm_core::{AbortCause, CommitOp, Stm, ThreadCtx, TxResult, Txn};
 use stm_log::{FsyncPolicy, Wal, WalConfig};
 
 use crate::proto::{
@@ -70,6 +70,7 @@ use crate::proto::{
     FrameError, ProtoVersion, Reply, Request, MAX_PROTOCOL_VERSION,
 };
 use crate::store::KvStore;
+use crate::telemetry::{elapsed_us, op_index, Telemetry, OP_EXEC};
 
 /// How long a worker blocks on a socket read (or on the connection queue)
 /// before re-checking the shutdown flag.
@@ -297,6 +298,7 @@ pub struct KvServer {
     stm: Arc<Stm>,
     store: Arc<KvStore>,
     counters: Arc<ServerCounters>,
+    telemetry: Arc<Telemetry>,
     durable: Option<Arc<Durable>>,
     stop: Arc<AtomicBool>,
     backend: Option<ServeBackend>,
@@ -357,11 +359,12 @@ impl KvServer {
         };
 
         let counters = Arc::new(ServerCounters::default());
+        let telemetry = Arc::new(Telemetry::new());
         let stop = Arc::new(AtomicBool::new(false));
 
         let backend = match config.serve_mode {
             ServeMode::Threads => Self::start_thread_pool(
-                listener, &config, &stm, &store, &counters, &durable, &stop,
+                listener, &config, &stm, &store, &counters, &telemetry, &durable, &stop,
             ),
             ServeMode::Events => {
                 ServeBackend::Events(crate::event_loop::EventLoops::start(
@@ -373,6 +376,7 @@ impl KvServer {
                     Arc::clone(&stm),
                     Arc::clone(&store),
                     Arc::clone(&counters),
+                    Arc::clone(&telemetry),
                     durable.clone(),
                     Arc::clone(&stop),
                 )?)
@@ -386,6 +390,7 @@ impl KvServer {
             stm,
             store,
             counters,
+            telemetry,
             durable,
             stop,
             backend: Some(backend),
@@ -400,6 +405,7 @@ impl KvServer {
         stm: &Arc<Stm>,
         store: &Arc<KvStore>,
         counters: &Arc<ServerCounters>,
+        telemetry: &Arc<Telemetry>,
         durable: &Option<Arc<Durable>>,
         stop: &Arc<AtomicBool>,
     ) -> ServeBackend {
@@ -410,6 +416,7 @@ impl KvServer {
             let stm = Arc::clone(stm);
             let store = Arc::clone(store);
             let counters = Arc::clone(counters);
+            let telemetry = Arc::clone(telemetry);
             let stop = Arc::clone(stop);
             let queue = Arc::clone(&queue);
             let durable = durable.clone();
@@ -429,6 +436,7 @@ impl KvServer {
                                         &mut ctx,
                                         &store,
                                         &counters,
+                                        &telemetry,
                                         durable.as_deref(),
                                         &stop,
                                     );
@@ -507,6 +515,25 @@ impl KvServer {
     /// Total aborted attempts attributed to client requests so far.
     pub fn request_retries(&self) -> u64 {
         self.counters.retries.load(Ordering::Relaxed)
+    }
+
+    /// Connections currently being served. Must be zero after
+    /// [`KvServer::shutdown`] returns — the graceful drain closes (and
+    /// un-counts) every connection it finishes with, in both serve modes.
+    pub fn conns_open(&self) -> u64 {
+        self.counters.conns_open.load(Ordering::Relaxed)
+    }
+
+    /// The full `METRICS` exposition, as a wire client would scrape it
+    /// (in-process hook for tests and the bench harness).
+    pub fn metrics_text(&self) -> String {
+        metrics_payload(
+            &self.stm,
+            &self.counters,
+            &self.store,
+            self.durable.as_deref(),
+            &self.telemetry,
+        )
     }
 
     /// Which serve mode this server runs in.
@@ -634,6 +661,8 @@ fn apply(store: &KvStore, tx: &mut Txn<'_>, request: &Request, log: bool) -> TxR
         | Request::Stats
         | Request::Snapshot
         | Request::WalStats
+        | Request::Metrics
+        | Request::SlowLog(_)
         | Request::Quit => Reply::err(ErrorCode::Proto, "internal: non-data op in transaction"),
     })
 }
@@ -700,6 +729,122 @@ fn walstats_payload(durable: &Durable) -> String {
     )
 }
 
+/// The `METRICS` payload: Prometheus-style text exposition composed from
+/// four sections —
+///
+/// 1. the server's [`Telemetry`] registry (per-op latency histograms,
+///    transaction attempt/latency histograms, event-loop instrumentation,
+///    per-shard connection gauges);
+/// 2. the STM runtime's counters, rendered from a [`StatsSnapshot`]
+///    (`stm_core` itself stays dependency-free): commits, aborts **by
+///    cause**, conflicts, and contention-manager decisions (`wait` =
+///    waits granted, `abort_other` = enemy aborts granted, `abort_self` =
+///    self-abort verdicts, recovered from the `manager_self_abort` cause
+///    count);
+/// 3. the server's own request/connection counters and the store's cell
+///    accounting;
+/// 4. when durable, the WAL's histograms ([`Wal::metrics_text`]) and its
+///    counter-style stats.
+///
+/// [`StatsSnapshot`]: stm_core::stats::StatsSnapshot
+fn metrics_payload(
+    stm: &Stm,
+    counters: &ServerCounters,
+    store: &KvStore,
+    durable: Option<&Durable>,
+    telemetry: &Telemetry,
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = telemetry.render();
+    let snap = stm.stats().snapshot();
+
+    let stm_counters = [
+        ("stm_transactions_total", snap.transactions),
+        ("stm_attempts_total", snap.attempts),
+        ("stm_commits_total", snap.commits),
+        ("stm_conflicts_total", snap.conflicts),
+        ("stm_waits_total", snap.waits),
+        ("stm_enemy_aborts_total", snap.enemy_aborts),
+        ("stm_validation_failures_total", snap.validation_failures),
+    ];
+    for (name, value) in stm_counters {
+        let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+    }
+    let _ = writeln!(out, "# TYPE stm_aborts_total counter");
+    for cause in AbortCause::ALL {
+        let _ = writeln!(
+            out,
+            "stm_aborts_total{{cause=\"{}\"}} {}",
+            cause.label(),
+            snap.aborts_by_cause[cause.index()],
+        );
+    }
+    let _ = writeln!(out, "# TYPE stm_manager_decisions_total counter");
+    let decisions = [
+        ("wait", snap.waits),
+        ("abort_other", snap.enemy_aborts),
+        (
+            "abort_self",
+            snap.aborts_by_cause[AbortCause::ManagerSelfAbort.index()],
+        ),
+    ];
+    for (decision, value) in decisions {
+        let _ = writeln!(
+            out,
+            "stm_manager_decisions_total{{decision=\"{decision}\"}} {value}"
+        );
+    }
+
+    let server_counters = [
+        ("stm_kv_connections_total", &counters.connections),
+        ("stm_kv_requests_total", &counters.requests),
+        ("stm_kv_batches_total", &counters.batches),
+        ("stm_kv_retries_total", &counters.retries),
+        ("stm_kv_errors_total", &counters.errors),
+        ("stm_kv_conns_reaped_idle_total", &counters.conns_reaped_idle),
+        ("stm_kv_partial_writes_total", &counters.partial_writes),
+    ];
+    for (name, counter) in server_counters {
+        let _ = writeln!(
+            out,
+            "# TYPE {name} counter\n{name} {}",
+            counter.load(Ordering::Relaxed)
+        );
+    }
+    let server_gauges = [
+        ("stm_kv_conns_open", counters.conns_open.load(Ordering::Relaxed)),
+        ("stm_kv_cells_allocated", store.cells_allocated() as u64),
+        ("stm_kv_cells_freed", stm.epoch().reclaimed_total()),
+        ("stm_kv_cells_limbo", stm.epoch().limbo_len() as u64),
+    ];
+    for (name, value) in server_gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+    }
+
+    if let Some(durable) = durable {
+        out.push_str(&durable.wal.metrics_text());
+        let stats = durable.wal.stats();
+        let wal_counters = [
+            ("stm_wal_records_total", stats.records),
+            ("stm_wal_bytes_total", stats.bytes),
+            ("stm_wal_fsyncs_total", stats.fsyncs),
+            ("stm_wal_snapshots_total", stats.snapshots),
+        ];
+        for (name, value) in wal_counters {
+            let _ = writeln!(out, "# TYPE {name} counter\n{name} {value}");
+        }
+        let wal_gauges = [
+            ("stm_wal_next_seq", stats.next_seq),
+            ("stm_wal_durable_seq", stats.durable_seq),
+            ("stm_wal_segments", stats.segments),
+        ];
+        for (name, value) in wal_gauges {
+            let _ = writeln!(out, "# TYPE {name} gauge\n{name} {value}");
+        }
+    }
+    out
+}
+
 /// Per-connection `BEGIN`/`EXEC` state.
 ///
 /// A failure while a batch is open (bad request, disallowed command) moves
@@ -748,6 +893,7 @@ struct Session<'a, 'stm> {
     ctx: &'a mut ThreadCtx<'stm>,
     store: &'a KvStore,
     counters: &'a ServerCounters,
+    telemetry: &'a Telemetry,
     durable: Option<&'a Durable>,
     conn: &'a mut ConnState,
     /// Highest commit sequence number this reply burst must wait on before
@@ -908,6 +1054,20 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 let reply = self.take_snapshot();
                 self.emit(&reply, out);
             }
+            Request::Metrics if !in_batch => {
+                let payload = metrics_payload(
+                    self.ctx.stm(),
+                    self.counters,
+                    self.store,
+                    self.durable,
+                    self.telemetry,
+                );
+                self.emit(&Reply::Metrics(payload), out);
+            }
+            Request::SlowLog(n) if !in_batch => {
+                let entries = self.telemetry.slowlog.entries(n as usize);
+                self.emit(&Reply::SlowLog(entries), out);
+            }
             Request::Begin if !in_batch => {
                 self.conn.batch = Batch::Open(Vec::new());
                 self.emit(&Reply::Ok, out);
@@ -917,7 +1077,9 @@ impl<'a, 'stm> Session<'a, 'stm> {
             | Request::Ping
             | Request::Stats
             | Request::Snapshot
-            | Request::WalStats => {
+            | Request::WalStats
+            | Request::Metrics
+            | Request::SlowLog(_) => {
                 self.conn.batch = Batch::Poisoned;
                 self.emit(
                     &Reply::err(ErrorCode::Batch, "command not allowed inside BEGIN/EXEC batch"),
@@ -952,6 +1114,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 // all-or-nothing is the batch's contract, and a half-applied
                 // transfer would un-conserve the keyspace.
                 let mut type_failure: Option<Reply> = None;
+                let started = Instant::now();
                 let (result, report) = self.ctx.atomically_traced(|tx| {
                     let mut replies = Vec::with_capacity(ops.len());
                     for op in &ops {
@@ -964,6 +1127,7 @@ impl<'a, 'stm> Session<'a, 'stm> {
                     }
                     Ok(replies)
                 });
+                let txn_us = elapsed_us(started);
                 self.counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
                 match result {
                     Ok(replies) => {
@@ -987,6 +1151,8 @@ impl<'a, 'stm> Session<'a, 'stm> {
                         );
                     }
                 }
+                self.telemetry
+                    .observe_op(OP_EXEC, &report, txn_us, elapsed_us(started));
             }
         }
     }
@@ -1009,8 +1175,10 @@ impl<'a, 'stm> Session<'a, 'stm> {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
                 let store = self.store;
                 let log = self.durable.is_some();
+                let started = Instant::now();
                 let (result, report) =
                     self.ctx.atomically_traced(|tx| apply(store, tx, &data_op, log));
+                let txn_us = elapsed_us(started);
                 self.counters.retries.fetch_add(report.aborts, Ordering::Relaxed);
                 match result {
                     Ok(reply) => {
@@ -1025,6 +1193,8 @@ impl<'a, 'stm> Session<'a, 'stm> {
                         );
                     }
                 }
+                self.telemetry
+                    .observe_op(op_index(&data_op), &report, txn_us, elapsed_us(started));
             }
         }
     }
@@ -1041,11 +1211,13 @@ impl<'a, 'stm> Session<'a, 'stm> {
 /// fsync policies only). A barrier wait returning `false` means the log
 /// failed — the caller must close without acknowledging rather than send
 /// replies the contract says are on disk.
+#[allow(clippy::too_many_arguments)] // one slot per serving-layer concern; a struct would just rename the list
 pub(crate) fn process_buffered(
     conn: &mut ConnState,
     ctx: &mut ThreadCtx<'_>,
     store: &KvStore,
     counters: &ServerCounters,
+    telemetry: &Telemetry,
     durable: Option<&Durable>,
     inbuf: &mut Vec<u8>,
     out: &mut Vec<u8>,
@@ -1054,6 +1226,7 @@ pub(crate) fn process_buffered(
         ctx,
         store,
         counters,
+        telemetry,
         durable,
         conn,
         flush_barrier: None,
@@ -1109,6 +1282,7 @@ fn serve_connection(
     ctx: &mut ThreadCtx<'_>,
     store: &KvStore,
     counters: &ServerCounters,
+    telemetry: &Telemetry,
     durable: Option<&Durable>,
     stop: &AtomicBool,
 ) {
@@ -1144,7 +1318,7 @@ fn serve_connection(
             }
         }
         out.clear();
-        let barrier = process_buffered(conn, ctx, store, counters, durable, inbuf, out);
+        let barrier = process_buffered(conn, ctx, store, counters, telemetry, durable, inbuf, out);
         if let (Some(durable), Some(barrier)) = (durable, barrier) {
             if !durable.wal.wait_durable(barrier) {
                 return;
@@ -1173,7 +1347,16 @@ fn serve_connection(
         // Execute every complete request buffered so far; replies accumulate
         // and go out in one write. Partial trailing input stays buffered.
         out.clear();
-        let barrier = process_buffered(&mut conn, ctx, store, counters, durable, &mut inbuf, &mut out);
+        let barrier = process_buffered(
+            &mut conn,
+            ctx,
+            store,
+            counters,
+            telemetry,
+            durable,
+            &mut inbuf,
+            &mut out,
+        );
         if out.is_empty() {
             if conn.quit() {
                 return;

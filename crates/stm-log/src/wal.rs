@@ -150,6 +150,36 @@ pub struct WalStats {
     pub failed: bool,
 }
 
+/// The WAL's internal latency/occupancy instruments. The writer thread is
+/// the only recorder, so the histograms' striping is idle — they are here
+/// for the uniform exposition, folded into the serving layer's `METRICS`
+/// payload via [`Wal::metrics_text`].
+struct WalTelemetry {
+    registry: metrics::Registry,
+    /// Committed records per drained group-commit batch.
+    batch_records: Arc<metrics::Histogram>,
+    /// `sync_data` wall time, microseconds (rotation fsyncs included).
+    fsync_us: Arc<metrics::Histogram>,
+    /// Reserved-but-unconsumed sequence numbers, sampled once per writer
+    /// iteration — how full the slot ring runs (RING = backpressure).
+    ring_occupancy: Arc<metrics::Histogram>,
+}
+
+impl WalTelemetry {
+    fn new() -> WalTelemetry {
+        let registry = metrics::Registry::new();
+        let batch_records = registry.histogram("stm_wal_batch_records", &[]);
+        let fsync_us = registry.histogram("stm_wal_fsync_us", &[]);
+        let ring_occupancy = registry.histogram("stm_wal_ring_occupancy", &[]);
+        WalTelemetry {
+            registry,
+            batch_records,
+            fsync_us,
+            ring_occupancy,
+        }
+    }
+}
+
 /// Slots in the hand-off ring between commit threads and the writer. Also
 /// the backpressure bound: a reservation stalls (cold path) only when it is
 /// this many sequence numbers ahead of the writer.
@@ -217,6 +247,7 @@ struct Shared {
     /// disk, and nothing is appended after a possibly-torn write (so the
     /// on-disk prefix stays exactly the committed prefix).
     failed: AtomicBool,
+    telemetry: WalTelemetry,
 }
 
 impl Shared {
@@ -403,6 +434,7 @@ impl Wal {
             ),
             since_snapshot: AtomicU64::new(recovered.tail.len() as u64),
             snapshot_in_progress: AtomicBool::new(false),
+            telemetry: WalTelemetry::new(),
         });
         let writer = {
             let shared = Arc::clone(&shared);
@@ -550,6 +582,15 @@ impl Wal {
         }
     }
 
+    /// Prometheus-style text exposition of the writer's internal
+    /// histograms (`stm_wal_batch_records`, `stm_wal_fsync_us`,
+    /// `stm_wal_ring_occupancy`) — the serving layer folds this block into
+    /// its `METRICS` payload. Counter-style series (records, bytes,
+    /// fsyncs) stay in [`Wal::stats`].
+    pub fn metrics_text(&self) -> String {
+        self.shared.telemetry.registry.render()
+    }
+
     /// Flushes and fsyncs everything outstanding, then stops the writer.
     /// Idempotent; also invoked by `Drop`, so a graceful shutdown never
     /// loses a commit regardless of the fsync policy.
@@ -648,6 +689,10 @@ fn writer_loop(shared: &Shared) {
             last_progress = Instant::now();
         }
         let consumed_tip = next - 1;
+        shared
+            .telemetry
+            .ring_occupancy
+            .record(shared.next_seq.load(Ordering::SeqCst).saturating_sub(next));
         if shared.space_waiters.load(Ordering::SeqCst) > 0 {
             drop(shared.space_lock.lock().expect("wal space lock poisoned"));
             shared.space_cv.notify_all();
@@ -657,8 +702,10 @@ fn writer_loop(shared: &Shared) {
             let rotate = segment
                 .as_ref()
                 .is_some_and(|open| open.written >= shared.segment_bytes);
+            shared.telemetry.batch_records.record(batch.records);
             if rotate {
                 if let Some(open) = segment.take() {
+                    let sync_started = Instant::now();
                     if let Err(err) = open.file.sync_data() {
                         // Unsynced records may live in this segment; a later
                         // fsync of the *next* segment would advance the
@@ -666,6 +713,10 @@ fn writer_loop(shared: &Shared) {
                         shared.fail("segment rotation fsync failed", &err);
                         return;
                     }
+                    shared
+                        .telemetry
+                        .fsync_us
+                        .record(sync_started.elapsed().as_micros() as u64);
                 }
             }
             if segment.is_none() {
@@ -710,8 +761,13 @@ fn writer_loop(shared: &Shared) {
                 });
         if sync_due {
             if let Some(open) = segment.as_mut() {
+                let sync_started = Instant::now();
                 match open.file.sync_data() {
                     Ok(()) => {
+                        shared
+                            .telemetry
+                            .fsync_us
+                            .record(sync_started.elapsed().as_micros() as u64);
                         shared.fsyncs.fetch_add(1, Ordering::Relaxed);
                         unsynced_records = 0;
                         // Every consumed committed record was written before

@@ -239,6 +239,11 @@ fn both_serve_modes_conserve_balance_under_every_manager() {
             assert_eq!(count, KEYS as usize);
             setup.quit().unwrap();
             server.shutdown();
+            assert_eq!(
+                server.conns_open(),
+                0,
+                "{manager}/{serve_mode:?}: conns_open leaked after shutdown"
+            );
         }
     }
 }
@@ -269,6 +274,14 @@ fn shutdown_drains_pipelined_inflight_replies_in_both_modes() {
             ),
             Err(err) => panic!("{serve_mode:?}: expected clean EOF, got {err}"),
         }
+        // The drain really closed (and un-counted) everything: once
+        // shutdown has returned and every serving thread is joined, the
+        // open-connections gauge must be back to zero in both modes.
+        assert_eq!(
+            server.conns_open(),
+            0,
+            "{serve_mode:?}: conns_open leaked across a graceful drain"
+        );
     }
 }
 

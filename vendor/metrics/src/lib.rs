@@ -1,0 +1,735 @@
+//! metrics — a minimal, vendored, lock-free telemetry core.
+//!
+//! Three instrument types and one registry, built for hot paths that must
+//! never block or allocate while recording:
+//!
+//! * [`Counter`] — monotonically increasing `u64`, striped across
+//!   cache-padded per-thread cells so concurrent `inc` calls never share a
+//!   line; folded on read.
+//! * [`Gauge`] — a settable/steppable `i64` (one atomic; gauges are
+//!   low-frequency by nature).
+//! * [`Histogram`] — fixed log2 buckets: a recorded value `v` lands in
+//!   bucket `bitwidth(v)` (bucket 0 holds `v == 0`, bucket `i ≥ 1` holds
+//!   `2^(i-1) ≤ v < 2^i`). Bucket counters are striped like [`Counter`];
+//!   a scrape folds the stripes into a [`HistogramSnapshot`] that can
+//!   answer quantile queries to bucket-boundary precision.
+//! * [`Registry`] — named instruments with fixed label sets and
+//!   Prometheus-style text exposition ([`Registry::render`]). Registration
+//!   takes a lock; recording never does.
+//!
+//! Design rules: no `unsafe` (enforced), no dependencies (vendor tree), no
+//! allocation after an instrument is registered, and scrapes are wait-free
+//! with respect to recorders (a torn read across stripes can only misplace
+//! in-flight increments, never lose completed ones).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use std::cell::Cell;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independent cells a striped instrument spreads its updates
+/// over. Threads are assigned stripes round-robin on first use; with a
+/// power of two the modulo folds to a mask.
+pub const STRIPES: usize = 8;
+
+/// Number of log2 buckets in a [`Histogram`] — enough for the full `u64`
+/// range (bucket 0 for zero, buckets 1..=64 for each bit width), so no
+/// recorded value is ever clipped.
+pub const BUCKETS: usize = 65;
+
+static NEXT_THREAD_SLOT: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// This thread's stripe index: assigned round-robin from a process-wide
+/// counter the first time the thread records anything.
+fn stripe_index() -> usize {
+    THREAD_SLOT.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            idx = NEXT_THREAD_SLOT.fetch_add(1, Ordering::Relaxed);
+            slot.set(idx);
+        }
+        idx % STRIPES
+    })
+}
+
+/// One cache-line-padded atomic cell. 64-byte alignment keeps neighbouring
+/// stripes out of each other's coherence traffic.
+#[repr(align(64))]
+struct PaddedU64(AtomicU64);
+
+impl PaddedU64 {
+    const fn new() -> PaddedU64 {
+        PaddedU64(AtomicU64::new(0))
+    }
+}
+
+/// A monotonically increasing counter, striped to keep concurrent
+/// increments off a shared cache line. Reads fold all stripes.
+pub struct Counter {
+    stripes: [PaddedU64; STRIPES],
+}
+
+impl Counter {
+    /// A fresh zero counter.
+    pub const fn new() -> Counter {
+        Counter {
+            stripes: [
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+                PaddedU64::new(),
+            ],
+        }
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.stripes[stripe_index()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Fold all stripes into the current total.
+    pub fn value(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Counter {
+        Counter::new()
+    }
+}
+
+/// An instantaneous `i64` measurement (open connections, ring occupancy).
+/// One atomic: gauges move orders of magnitude less often than counters.
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh zero gauge.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Step the value up.
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Step the value down.
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.value.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Gauge {
+        Gauge::new()
+    }
+}
+
+/// One stripe of a histogram: a full bucket array plus running sum, padded
+/// as a unit (the array itself spans many lines; padding separates
+/// *stripes*, which is what contention cares about).
+#[repr(align(64))]
+struct HistStripe {
+    buckets: [AtomicU64; BUCKETS],
+    sum: AtomicU64,
+}
+
+impl HistStripe {
+    fn new() -> HistStripe {
+        HistStripe {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The log2 bucket a value lands in: 0 for `v == 0`, otherwise the bit
+/// width of `v` (so bucket `i` covers `2^(i-1) ..= 2^i - 1`).
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// The inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+#[inline]
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// A fixed log2-bucket histogram. Recording is two relaxed `fetch_add`s on
+/// this thread's stripe; scraping folds stripes into a
+/// [`HistogramSnapshot`].
+pub struct Histogram {
+    stripes: Vec<HistStripe>,
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            stripes: (0..STRIPES).map(|_| HistStripe::new()).collect(),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let stripe = &self.stripes[stripe_index()];
+        stripe.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        stripe.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Fold every stripe into a consistent-enough snapshot (increments
+    /// racing the fold land wholly in or wholly out per bucket).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        let mut sum = 0u64;
+        for stripe in &self.stripes {
+            for (acc, b) in buckets.iter_mut().zip(stripe.buckets.iter()) {
+                *acc += b.load(Ordering::Relaxed);
+            }
+            sum = sum.wrapping_add(stripe.sum.load(Ordering::Relaxed));
+        }
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+/// A folded point-in-time view of a [`Histogram`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket counts (`buckets[i]` = observations with
+    /// [`bucket_of`]`(v) == i`).
+    pub buckets: [u64; BUCKETS],
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values (wrapping).
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+        }
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), reported as the inclusive upper
+    /// bound of the bucket containing that rank — i.e. exact to
+    /// bucket-boundary precision, never below the true quantile's bucket.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        u64::MAX
+    }
+
+    /// Mean of all observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Index of the highest non-empty bucket, or `None` when empty — the
+    /// "same bucket ± one" comparisons cross-validating two histograms use
+    /// this together with [`HistogramSnapshot::quantile_bucket`].
+    pub fn quantile_bucket(&self, q: f64) -> Option<usize> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return Some(i);
+            }
+        }
+        None
+    }
+}
+
+/// What kind of instrument a registry entry wraps — drives the `# TYPE`
+/// line and the exposition shape.
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: &'static str,
+    labels: Vec<(&'static str, String)>,
+    instrument: Instrument,
+}
+
+impl Entry {
+    fn label_suffix(&self) -> String {
+        render_labels(&self.labels, &[])
+    }
+}
+
+fn render_labels(labels: &[(&'static str, String)], extra: &[(&str, String)]) -> String {
+    if labels.is_empty() && extra.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels
+        .iter()
+        .map(|(k, v)| (*k, v.as_str()))
+        .chain(extra.iter().map(|(k, v)| (*k, v.as_str())))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{v}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// A named-instrument registry with Prometheus-style text exposition.
+///
+/// Registration (`counter` / `gauge` / `histogram`) takes a mutex and
+/// returns an `Arc` handle; the hot path holds only the handle and never
+/// touches the registry again. Registering the same `(name, labels)` twice
+/// returns the existing instrument, so independent subsystems can share a
+/// series without coordination.
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry {
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn find_or_insert<T, F, G>(
+        &self,
+        name: &'static str,
+        labels: &[(&'static str, &str)],
+        matches: F,
+        make: G,
+    ) -> Arc<T>
+    where
+        F: Fn(&Instrument) -> Option<Arc<T>>,
+        G: Fn() -> (Arc<T>, Instrument),
+    {
+        let mut entries = self.entries.lock().unwrap();
+        for entry in entries.iter() {
+            if entry.name == name
+                && entry.labels.len() == labels.len()
+                && entry
+                    .labels
+                    .iter()
+                    .zip(labels.iter())
+                    .all(|((k1, v1), (k2, v2))| k1 == k2 && v1 == v2)
+            {
+                if let Some(found) = matches(&entry.instrument) {
+                    return found;
+                }
+                panic!("metric {name} re-registered as a different instrument type");
+            }
+        }
+        let (handle, instrument) = make();
+        entries.push(Entry {
+            name,
+            labels: labels.iter().map(|(k, v)| (*k, v.to_string())).collect(),
+            instrument,
+        });
+        handle
+    }
+
+    /// Register (or look up) a counter series.
+    pub fn counter(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Arc<Counter> {
+        self.find_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+            || {
+                let c = Arc::new(Counter::new());
+                (Arc::clone(&c), Instrument::Counter(c))
+            },
+        )
+    }
+
+    /// Register (or look up) a gauge series.
+    pub fn gauge(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Arc<Gauge> {
+        self.find_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+            || {
+                let g = Arc::new(Gauge::new());
+                (Arc::clone(&g), Instrument::Gauge(g))
+            },
+        )
+    }
+
+    /// Register (or look up) a histogram series.
+    pub fn histogram(&self, name: &'static str, labels: &[(&'static str, &str)]) -> Arc<Histogram> {
+        self.find_or_insert(
+            name,
+            labels,
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+            || {
+                let h = Arc::new(Histogram::new());
+                (Arc::clone(&h), Instrument::Histogram(h))
+            },
+        )
+    }
+
+    /// Render every registered series in Prometheus text exposition format:
+    /// one `# TYPE` line per metric name, `name{labels} value` samples,
+    /// and for histograms cumulative `_bucket{le="..."}` samples (empty
+    /// buckets elided, `+Inf` always present) plus `_sum` / `_count`.
+    /// Output is sorted by name then label set, so the exposition is
+    /// byte-stable for a given set of series.
+    pub fn render(&self) -> String {
+        let entries = self.entries.lock().unwrap();
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            entries[a]
+                .name
+                .cmp(entries[b].name)
+                .then_with(|| entries[a].labels.cmp(&entries[b].labels))
+        });
+        let mut out = String::new();
+        let mut last_name = "";
+        for &i in &order {
+            let entry = &entries[i];
+            if entry.name != last_name {
+                let kind = match entry.instrument {
+                    Instrument::Counter(_) => "counter",
+                    Instrument::Gauge(_) => "gauge",
+                    Instrument::Histogram(_) => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {kind}", entry.name);
+                last_name = entry.name;
+            }
+            match &entry.instrument {
+                Instrument::Counter(c) => {
+                    let _ = writeln!(out, "{}{} {}", entry.name, entry.label_suffix(), c.value());
+                }
+                Instrument::Gauge(g) => {
+                    let _ = writeln!(out, "{}{} {}", entry.name, entry.label_suffix(), g.value());
+                }
+                Instrument::Histogram(h) => {
+                    let snap = h.snapshot();
+                    let mut cumulative = 0u64;
+                    for (b, &c) in snap.buckets.iter().enumerate() {
+                        if c == 0 {
+                            continue;
+                        }
+                        cumulative += c;
+                        let le = bucket_upper_bound(b).to_string();
+                        let labels = render_labels(&entry.labels, &[("le", le)]);
+                        let _ = writeln!(out, "{}_bucket{labels} {cumulative}", entry.name);
+                    }
+                    let labels = render_labels(&entry.labels, &[("le", "+Inf".to_string())]);
+                    let _ = writeln!(out, "{}_bucket{labels} {}", entry.name, snap.count);
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        entry.name,
+                        entry.label_suffix(),
+                        snap.sum
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        entry.name,
+                        entry.label_suffix(),
+                        snap.count
+                    );
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Registry {
+        Registry::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    /// Deterministic mixer so the property tests need no RNG dependency.
+    fn scramble(x: u64) -> u64 {
+        let mut x = x.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+        x ^= x >> 31;
+        x.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+    }
+
+    #[test]
+    fn bucket_of_matches_log2_definition() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        // Property over seeded values: bucket i ⇔ 2^(i-1) ≤ v < 2^i.
+        let mut roll = 0xfeed_u64;
+        for _ in 0..10_000 {
+            roll = scramble(roll);
+            let v = roll >> (roll % 60); // cover small and large magnitudes
+            let b = bucket_of(v);
+            if v == 0 {
+                assert_eq!(b, 0);
+            } else {
+                assert!(v >= 1u64 << (b - 1), "v={v} below bucket {b} floor");
+                assert!(b >= 64 || v < 1u64 << b, "v={v} above bucket {b} ceiling");
+            }
+            assert!(v <= bucket_upper_bound(b));
+        }
+    }
+
+    #[test]
+    fn histogram_concurrent_recording_loses_nothing_vs_serial_oracle() {
+        // Seeded value streams recorded concurrently must fold to exactly
+        // the bucket counts of a serial replay of the same streams.
+        for seed in [1u64, 42, 1337] {
+            let hist = Histogram::new();
+            let threads = 8usize;
+            let per_thread = 20_000usize;
+            thread::scope(|scope| {
+                for t in 0..threads {
+                    let hist = &hist;
+                    scope.spawn(move || {
+                        let mut roll = seed.wrapping_add(t as u64);
+                        for _ in 0..per_thread {
+                            roll = scramble(roll);
+                            hist.record(roll >> (roll % 64));
+                        }
+                    });
+                }
+            });
+            // Serial oracle.
+            let mut oracle = [0u64; BUCKETS];
+            let mut oracle_sum = 0u64;
+            for t in 0..threads {
+                let mut roll = seed.wrapping_add(t as u64);
+                for _ in 0..per_thread {
+                    roll = scramble(roll);
+                    let v = roll >> (roll % 64);
+                    oracle[bucket_of(v)] += 1;
+                    oracle_sum = oracle_sum.wrapping_add(v);
+                }
+            }
+            let snap = hist.snapshot();
+            assert_eq!(snap.count, (threads * per_thread) as u64, "seed {seed}");
+            assert_eq!(snap.buckets, oracle, "seed {seed}: bucket counts diverge");
+            assert_eq!(snap.sum, oracle_sum, "seed {seed}: sums diverge");
+        }
+    }
+
+    #[test]
+    fn counter_concurrent_increments_fold_exactly() {
+        let counter = Counter::new();
+        let threads = 8usize;
+        let per_thread = 50_000u64;
+        thread::scope(|scope| {
+            for t in 0..threads {
+                let counter = &counter;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        if (i + t as u64).is_multiple_of(3) {
+                            counter.add(2);
+                        } else {
+                            counter.inc();
+                        }
+                    }
+                });
+            }
+        });
+        let expected: u64 = (0..threads as u64)
+            .map(|t| {
+                (0..per_thread)
+                    .map(|i| if (i + t) % 3 == 0 { 2 } else { 1 })
+                    .sum::<u64>()
+            })
+            .sum();
+        assert_eq!(counter.value(), expected);
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_boundary_error() {
+        // For a seeded stream, the reported quantile must be the upper
+        // bound of the bucket holding the true (sorted-rank) quantile.
+        for seed in [7u64, 99, 2024] {
+            let hist = Histogram::new();
+            let mut values = Vec::new();
+            let mut roll = seed;
+            for _ in 0..5_000 {
+                roll = scramble(roll);
+                let v = roll % 1_000_000;
+                hist.record(v);
+                values.push(v);
+            }
+            values.sort_unstable();
+            let snap = hist.snapshot();
+            for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+                let rank = ((q * values.len() as f64).ceil().max(1.0) as usize).min(values.len());
+                let truth = values[rank - 1];
+                let est = snap.quantile(q);
+                // The estimate is the inclusive upper bound of truth's bucket.
+                assert_eq!(
+                    est,
+                    bucket_upper_bound(bucket_of(truth)),
+                    "seed {seed} q={q}: truth={truth}"
+                );
+                assert!(est >= truth, "seed {seed} q={q}: estimate below truth");
+                // ...and within 2× of the truth (log2 bucket width bound).
+                if truth > 0 {
+                    assert!(
+                        est < truth.saturating_mul(2),
+                        "seed {seed} q={q}: est={est} not within bucket of truth={truth}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gauge_steps_and_sets() {
+        let g = Gauge::new();
+        g.add(5);
+        g.sub(2);
+        assert_eq!(g.value(), 3);
+        g.set(-7);
+        assert_eq!(g.value(), -7);
+    }
+
+    #[test]
+    fn registry_dedupes_and_renders_stable_exposition() {
+        let reg = Registry::new();
+        let c1 = reg.counter("requests_total", &[("op", "get")]);
+        let c2 = reg.counter("requests_total", &[("op", "get")]);
+        c1.inc();
+        c2.add(2);
+        // Same (name, labels) → same underlying instrument.
+        assert_eq!(c1.value(), 3);
+        reg.counter("requests_total", &[("op", "put")]).add(10);
+        reg.gauge("conns_open", &[]).set(4);
+        let h = reg.histogram("latency_us", &[("op", "get")]);
+        h.record(3); // bucket 2 (le=3)
+        h.record(100); // bucket 7 (le=127)
+
+        let text = reg.render();
+        let expected = "\
+# TYPE conns_open gauge
+conns_open 4
+# TYPE latency_us histogram
+latency_us_bucket{op=\"get\",le=\"3\"} 1
+latency_us_bucket{op=\"get\",le=\"127\"} 2
+latency_us_bucket{op=\"get\",le=\"+Inf\"} 2
+latency_us_sum{op=\"get\"} 103
+latency_us_count{op=\"get\"} 2
+# TYPE requests_total counter
+requests_total{op=\"get\"} 3
+requests_total{op=\"put\"} 10
+";
+        assert_eq!(text, expected);
+        // Rendering twice with no recording in between is byte-identical.
+        assert_eq!(reg.render(), text);
+    }
+
+    #[test]
+    #[should_panic(expected = "different instrument type")]
+    fn registry_rejects_type_confusion() {
+        let reg = Registry::new();
+        reg.counter("x", &[]);
+        reg.gauge("x", &[]);
+    }
+}

@@ -13,9 +13,10 @@
 //!   edges across calls.
 //!
 //! Design rules, in order: correctness over features (no timerfd, no
-//! eventfd, no oneshot — callers compose those from sockets), all `unsafe`
-//! confined to `sys.rs`, and zero dependencies so the crate can live in the
-//! vendor tree.
+//! oneshot — callers compose those from sockets; the one extra primitive
+//! is the Linux `eventfd` behind [`net::waker`], with a portable
+//! socketpair fallback), all `unsafe` confined to `sys.rs`, and zero
+//! dependencies so the crate can live in the vendor tree.
 
 mod sys;
 
@@ -245,61 +246,129 @@ pub mod net {
 
     /// A cross-thread wakeup channel for a thread blocked in
     /// [`Poller::wait`]: register the receiving half readable, then
-    /// [`Waker::wake`] from any thread makes the next wait return. Built on
-    /// a non-blocking `UnixStream` pair so no extra FFI is needed.
+    /// [`Waker::wake`] from any thread makes the next wait return.
+    ///
+    /// On Linux this is a single `eventfd` — one fd instead of a
+    /// socketpair's two, and wakes coalesce in the kernel counter. The
+    /// portable socketpair construction is kept as the fallback for other
+    /// targets (and as [`socket_waker`] for differential testing).
     pub struct Waker {
-        tx: std::os::unix::net::UnixStream,
+        inner: WakerHalf,
     }
 
     /// The pollable half of a [`Waker`]; register it with the poller and
     /// call [`WakeReceiver::drain`] whenever its token fires.
     pub struct WakeReceiver {
-        rx: std::os::unix::net::UnixStream,
+        inner: ReceiverHalf,
     }
 
-    /// Create a connected waker pair.
+    enum WakerHalf {
+        #[cfg(target_os = "linux")]
+        EventFd(std::sync::Arc<crate::sys::EventFd>),
+        Socket(std::os::unix::net::UnixStream),
+    }
+
+    enum ReceiverHalf {
+        #[cfg(target_os = "linux")]
+        EventFd(std::sync::Arc<crate::sys::EventFd>),
+        Socket(std::os::unix::net::UnixStream),
+    }
+
+    /// Create a connected waker pair: `eventfd` on Linux, a non-blocking
+    /// `UnixStream` pair elsewhere.
     pub fn waker() -> io::Result<(Waker, WakeReceiver)> {
+        #[cfg(target_os = "linux")]
+        {
+            let fd = std::sync::Arc::new(crate::sys::EventFd::new()?);
+            Ok((
+                Waker {
+                    inner: WakerHalf::EventFd(std::sync::Arc::clone(&fd)),
+                },
+                WakeReceiver {
+                    inner: ReceiverHalf::EventFd(fd),
+                },
+            ))
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            socket_waker()
+        }
+    }
+
+    /// Create a waker pair over the portable socketpair construction on
+    /// every target — the differential-testing hook for [`waker`], and the
+    /// fallback it uses off Linux.
+    pub fn socket_waker() -> io::Result<(Waker, WakeReceiver)> {
         let (tx, rx) = std::os::unix::net::UnixStream::pair()?;
         tx.set_nonblocking(true)?;
         rx.set_nonblocking(true)?;
-        Ok((Waker { tx }, WakeReceiver { rx }))
+        Ok((
+            Waker {
+                inner: WakerHalf::Socket(tx),
+            },
+            WakeReceiver {
+                inner: ReceiverHalf::Socket(rx),
+            },
+        ))
     }
 
     impl Waker {
         /// Make the paired poller's next (or current) wait return. Multiple
-        /// wakes coalesce; a full socket buffer already guarantees a
-        /// pending wakeup, so `WouldBlock` is success.
+        /// wakes coalesce; a saturated eventfd counter or full socket
+        /// buffer already guarantees a pending wakeup, so `WouldBlock` is
+        /// success.
         pub fn wake(&self) -> io::Result<()> {
-            use std::io::Write;
-            match (&self.tx).write(&[1u8]) {
-                Ok(_) => Ok(()),
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
-                Err(e) => Err(e),
+            match &self.inner {
+                #[cfg(target_os = "linux")]
+                WakerHalf::EventFd(fd) => fd.signal(),
+                WakerHalf::Socket(tx) => {
+                    use std::io::Write;
+                    match (&*tx).write(&[1u8]) {
+                        Ok(_) => Ok(()),
+                        Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+                        Err(e) => Err(e),
+                    }
+                }
             }
         }
     }
 
     impl Clone for Waker {
         fn clone(&self) -> Waker {
-            Waker {
-                tx: self.tx.try_clone().expect("clone waker socket"),
-            }
+            let inner = match &self.inner {
+                #[cfg(target_os = "linux")]
+                WakerHalf::EventFd(fd) => WakerHalf::EventFd(std::sync::Arc::clone(fd)),
+                WakerHalf::Socket(tx) => {
+                    WakerHalf::Socket(tx.try_clone().expect("clone waker socket"))
+                }
+            };
+            Waker { inner }
         }
     }
 
     impl WakeReceiver {
-        /// Consume all pending wake bytes so level-triggered pollers stop
+        /// Consume all pending wakes so level-triggered pollers stop
         /// reporting the waker readable.
         pub fn drain(&self) {
-            use std::io::Read;
-            let mut buf = [0u8; 64];
-            while matches!((&self.rx).read(&mut buf), Ok(n) if n > 0) {}
+            match &self.inner {
+                #[cfg(target_os = "linux")]
+                ReceiverHalf::EventFd(fd) => fd.drain(),
+                ReceiverHalf::Socket(rx) => {
+                    use std::io::Read;
+                    let mut buf = [0u8; 64];
+                    while matches!((&*rx).read(&mut buf), Ok(n) if n > 0) {}
+                }
+            }
         }
     }
 
     impl AsRawFd for WakeReceiver {
         fn as_raw_fd(&self) -> RawFd {
-            self.rx.as_raw_fd()
+            match &self.inner {
+                #[cfg(target_os = "linux")]
+                ReceiverHalf::EventFd(fd) => fd.as_raw_fd(),
+                ReceiverHalf::Socket(rx) => rx.as_raw_fd(),
+            }
         }
     }
 }
@@ -500,27 +569,41 @@ mod tests {
 
     #[test]
     fn waker_unblocks_wait_from_another_thread() {
-        for backend in backends() {
-            let poller = Poller::with_backend(backend).unwrap();
-            let (waker, rx) = net::waker().unwrap();
-            poller
-                .register(&rx, Token(0), Interest::READABLE, Trigger::Level)
-                .unwrap();
-            // Keep the original waker alive for the whole test: dropping
-            // every clone closes the pair's write half, which (correctly)
-            // reads as a hangup event on the receiver.
-            let thread_waker = waker.clone();
-            let handle = std::thread::spawn(move || {
-                std::thread::sleep(Duration::from_millis(50));
-                thread_waker.wake().unwrap();
-            });
-            let mut events = Vec::new();
-            assert_eq!(wait_some(&poller, &mut events), 1, "{backend:?}");
-            assert_eq!(events[0].token, Token(0));
-            rx.drain();
-            let n = poller.wait(&mut events, 64, Some(TICK)).unwrap();
-            assert_eq!(n, 0, "{backend:?}: drained waker still readable");
-            handle.join().unwrap();
+        // Both constructions must behave identically: the native waker
+        // (eventfd on Linux) and the portable socketpair fallback.
+        type WakerCtor = fn() -> io::Result<(net::Waker, net::WakeReceiver)>;
+        let constructors: [WakerCtor; 2] = [net::waker, net::socket_waker];
+        for make_waker in constructors {
+            for backend in backends() {
+                let poller = Poller::with_backend(backend).unwrap();
+                let (waker, rx) = make_waker().unwrap();
+                poller
+                    .register(&rx, Token(0), Interest::READABLE, Trigger::Level)
+                    .unwrap();
+                // Keep the original waker alive for the whole test: dropping
+                // every clone of a socketpair waker closes the pair's write
+                // half, which (correctly) reads as a hangup on the receiver.
+                let thread_waker = waker.clone();
+                let handle = std::thread::spawn(move || {
+                    std::thread::sleep(Duration::from_millis(50));
+                    thread_waker.wake().unwrap();
+                });
+                let mut events = Vec::new();
+                assert_eq!(wait_some(&poller, &mut events), 1, "{backend:?}");
+                assert_eq!(events[0].token, Token(0));
+                rx.drain();
+                let n = poller.wait(&mut events, 64, Some(TICK)).unwrap();
+                assert_eq!(n, 0, "{backend:?}: drained waker still readable");
+                handle.join().unwrap();
+                // Coalescing: many wakes, one drain, then silence.
+                for _ in 0..100 {
+                    waker.wake().unwrap();
+                }
+                assert!(wait_some(&poller, &mut events) >= 1, "{backend:?}");
+                rx.drain();
+                let n = poller.wait(&mut events, 64, Some(TICK)).unwrap();
+                assert_eq!(n, 0, "{backend:?}: coalesced wakes survived a drain");
+            }
         }
     }
 

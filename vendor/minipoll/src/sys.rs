@@ -48,6 +48,13 @@ extern "C" {
     fn close(fd: c_int) -> c_int;
 }
 
+#[cfg(target_os = "linux")]
+extern "C" {
+    fn eventfd(initval: u32, flags: c_int) -> c_int;
+    fn read(fd: c_int, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: c_int, buf: *const u8, count: usize) -> isize;
+}
+
 const EPOLL_CLOEXEC: c_int = 0o2000000;
 const EPOLL_CTL_ADD: c_int = 1;
 const EPOLL_CTL_DEL: c_int = 2;
@@ -75,6 +82,81 @@ fn timeout_ms(timeout: Option<Duration>) -> c_int {
         Some(d) => {
             let ms = d.as_millis().clamp(1, c_int::MAX as u128);
             ms as c_int
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// eventfd (Linux) — the kernel's native wakeup primitive.
+// ---------------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+const EFD_CLOEXEC: c_int = 0o2000000;
+#[cfg(target_os = "linux")]
+const EFD_NONBLOCK: c_int = 0o4000;
+
+/// An owned Linux `eventfd`: one 8-byte kernel counter, pollable like any
+/// fd, readable whenever the counter is non-zero and reset to zero by a
+/// read. One fd instead of a socketpair's two, and wakes coalesce in the
+/// kernel counter instead of piling bytes into a socket buffer.
+#[cfg(target_os = "linux")]
+pub(crate) struct EventFd {
+    fd: RawFd,
+}
+
+#[cfg(target_os = "linux")]
+impl EventFd {
+    pub(crate) fn new() -> io::Result<EventFd> {
+        // SAFETY: eventfd takes two scalars and returns a new fd or -1; no
+        // pointers are involved.
+        let fd = unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(EventFd { fd })
+    }
+
+    /// Add 1 to the counter, making the fd readable.
+    pub(crate) fn signal(&self) -> io::Result<()> {
+        let bytes = 1u64.to_ne_bytes();
+        loop {
+            // SAFETY: writes exactly 8 bytes from a live stack buffer.
+            let rc = unsafe { write(self.fd, bytes.as_ptr(), bytes.len()) };
+            if rc == 8 {
+                return Ok(());
+            }
+            let err = io::Error::last_os_error();
+            match err.kind() {
+                // Counter saturated: a wakeup is already pending — success.
+                io::ErrorKind::WouldBlock => return Ok(()),
+                io::ErrorKind::Interrupted => continue,
+                _ => return Err(err),
+            }
+        }
+    }
+
+    /// Read the counter back to zero so a level-triggered poller stops
+    /// reporting the fd readable.
+    pub(crate) fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // SAFETY: reads at most 8 bytes into a live stack buffer.
+        while unsafe { read(self.fd, buf.as_mut_ptr(), buf.len()) } == 8 {}
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl std::os::unix::io::AsRawFd for EventFd {
+    fn as_raw_fd(&self) -> RawFd {
+        self.fd
+    }
+}
+
+#[cfg(target_os = "linux")]
+impl Drop for EventFd {
+    fn drop(&mut self) {
+        // SAFETY: `fd` is a valid eventfd this struct owns exclusively.
+        unsafe {
+            close(self.fd);
         }
     }
 }
