@@ -31,10 +31,9 @@
 //! no garbage once every transaction has unpinned.
 
 use std::any::Any;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
 
-use parking_lot::Mutex;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::{Arc, Mutex};
 
 /// A slot is unpinned when it holds this sentinel epoch.
 const UNPINNED: u64 = u64::MAX;
@@ -64,11 +63,14 @@ impl PinSlot {
 
     /// Whether the owning thread is currently inside a transaction attempt.
     pub fn is_pinned(&self) -> bool {
+        // ordering: SeqCst keeps observer reads in the single total order of
+        // the pin/advance handshake (see `pin`); this is a cold path.
         self.epoch.load(Ordering::SeqCst) != UNPINNED
     }
 
     /// The epoch this slot is pinned at, if pinned.
     pub fn pinned_epoch(&self) -> Option<u64> {
+        // ordering: see `is_pinned`.
         match self.epoch.load(Ordering::SeqCst) {
             UNPINNED => None,
             e => Some(e),
@@ -167,6 +169,12 @@ impl EpochGc {
     /// invariant the grace period relies on.
     pub fn pin(&self, slot: &PinSlot) {
         loop {
+            // ordering: the pin/advance handshake is a store-buffering
+            // pattern — we publish `slot.epoch` then re-read `global`, while
+            // `try_advance` reads the slots then CASes `global`. With
+            // anything weaker than SeqCst both sides can miss each other's
+            // store and a pinned slot gets double-stepped past (proven by
+            // `models::epoch_pin_requires_seqcst`).
             let e = self.global.load(Ordering::SeqCst);
             slot.epoch.store(e, Ordering::SeqCst);
             if self.global.load(Ordering::SeqCst) == e {
@@ -179,6 +187,9 @@ impl EpochGc {
 
     /// Unpins `slot`.
     pub fn unpin(&self, slot: &PinSlot) {
+        // ordering: SeqCst orders the unpin after every access the pinned
+        // section made, so an advance that observes UNPINNED cannot reclaim
+        // an object the section is still reading.
         slot.epoch.store(UNPINNED, Ordering::SeqCst);
     }
 
@@ -193,6 +204,10 @@ impl EpochGc {
     /// object from every shared lookup structure *before* retiring it, so
     /// transactions pinned after this call cannot reach it.
     pub fn retire(&self, garbage: Retired) {
+        // ordering: the retire stamp must not be stale — an old stamp `r`
+        // with the real epoch already at `r + 2` would make the entry
+        // immediately reclaimable while a reader pinned at the real epoch
+        // still holds it. SeqCst reads the true current epoch.
         let e = self.global.load(Ordering::SeqCst);
         self.limbo.lock().push((e, garbage));
         self.retired.fetch_add(1, Ordering::Relaxed);
@@ -205,6 +220,8 @@ impl EpochGc {
     pub fn collect(&self) -> u64 {
         let mut freed_total = 0u64;
         loop {
+            // ordering: must see the newest epoch so the grace comparison
+            // never uses a value older than a concurrent retire's stamp.
             let global = self.global.load(Ordering::SeqCst);
             let mut limbo = self.limbo.lock();
             let before = limbo.len();
@@ -226,12 +243,14 @@ impl EpochGc {
     /// caught up with it. Slots whose owning context is gone are removed
     /// here. Returns whether the epoch advanced.
     fn try_advance(&self) -> bool {
+        // ordering: counterpart of `pin` — see the handshake note there.
         let e = self.global.load(Ordering::SeqCst);
         let mut slots = self.slots.lock();
         // A slot whose thread context was dropped is only referenced by this
         // registry; contexts always unpin before dropping, so it is inert.
         slots.retain(|slot| Arc::strong_count(slot) > 1);
         for slot in slots.iter() {
+            // ordering: see the handshake note in `pin`.
             match slot.epoch.load(Ordering::SeqCst) {
                 UNPINNED => {}
                 pinned if pinned == e => {}
@@ -242,6 +261,7 @@ impl EpochGc {
         // Hold the slots lock across the CAS so a concurrent advance cannot
         // double-step past a slot that pins between the scan and the CAS:
         // such a pin lands at `e` or `e + 1` and blocks the *next* advance.
+        // ordering: see the handshake note in `pin`.
         self.global
             .compare_exchange(e, e + 1, Ordering::SeqCst, Ordering::SeqCst)
             .is_ok()
@@ -249,6 +269,7 @@ impl EpochGc {
 
     /// The current global epoch.
     pub fn global_epoch(&self) -> u64 {
+        // ordering: observer read in the handshake's total order (cold path).
         self.global.load(Ordering::SeqCst)
     }
 

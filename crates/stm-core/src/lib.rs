@@ -62,9 +62,13 @@ pub mod epoch;
 pub mod error;
 pub mod hook;
 pub mod manager;
+#[cfg(feature = "model-check")]
+pub mod models;
+pub mod readers;
 pub mod stats;
 pub mod status;
 pub mod stm;
+pub mod sync;
 pub mod tvar;
 pub mod txn;
 pub mod wait;

@@ -197,15 +197,26 @@ impl StmStats {
     }
 
     pub(crate) fn note_commit(&self, local: &TxnStats) {
-        self.commits.fetch_add(1, Ordering::Relaxed);
+        // ordering: release pairs with `snapshot`'s acquire load of
+        // `commits` — observing this commit makes the attempt increment
+        // that preceded it (program order) visible too, so a snapshot can
+        // never report `commits + aborts > attempts`.
+        self.commits.fetch_add(1, Ordering::Release);
         self.fold(local);
     }
 
     pub(crate) fn note_abort(&self, local: &TxnStats, cause: AbortCause, validation_failure: bool) {
-        self.aborts.fetch_add(1, Ordering::Relaxed);
-        self.aborts_by_cause[cause.index()].fetch_add(1, Ordering::Relaxed);
+        // ordering: release for the same attempts identity as `note_commit`.
+        self.aborts.fetch_add(1, Ordering::Release);
+        // ordering: release pairs with `snapshot` loading the cause array
+        // *before* `aborts` — observing the cause increment makes the
+        // `aborts` increment above visible, so a snapshot can never report
+        // `sum(aborts_by_cause) > aborts`.
+        self.aborts_by_cause[cause.index()].fetch_add(1, Ordering::Release);
         if validation_failure {
-            self.validation_failures.fetch_add(1, Ordering::Relaxed);
+            // ordering: release, same shape — `validation_failures` never
+            // exceeds `aborts` in a snapshot.
+            self.validation_failures.fetch_add(1, Ordering::Release);
         }
         self.fold(local);
     }
@@ -219,24 +230,41 @@ impl StmStats {
         self.writes.fetch_add(local.writes, Ordering::Relaxed);
     }
 
-    /// Takes a consistent-enough snapshot of all counters (individual loads
-    /// are relaxed; the snapshot is intended for reporting, not for
-    /// synchronization).
+    /// Takes a snapshot of all counters that is *directionally* consistent
+    /// under concurrent updates: the identities
+    ///
+    /// * `commits + aborts <= attempts`,
+    /// * `sum(aborts_by_cause) <= aborts`, and
+    /// * `validation_failures <= aborts`
+    ///
+    /// hold in every snapshot, because derived counters are loaded before
+    /// the counters they derive from (acquire loads pairing with the
+    /// release increments in `note_commit` / `note_abort`: observing a
+    /// derived increment makes the base increment that preceded it
+    /// visible). A previous version loaded everything relaxed in
+    /// declaration order, and a snapshot racing `note_attempt` +
+    /// `note_commit` could report more finished attempts than started ones
+    /// — a torn read that `abort_ratio` turned into nonsense.
     pub fn snapshot(&self) -> StatsSnapshot {
+        // ordering: acquire loads, most-derived counters first — see above.
+        let aborts_by_cause =
+            std::array::from_fn(|i| self.aborts_by_cause[i].load(Ordering::Acquire));
+        let validation_failures = self.validation_failures.load(Ordering::Acquire);
+        let aborts = self.aborts.load(Ordering::Acquire);
+        let commits = self.commits.load(Ordering::Acquire);
+        let attempts = self.attempts.load(Ordering::Relaxed);
         StatsSnapshot {
             transactions: self.transactions.load(Ordering::Relaxed),
-            attempts: self.attempts.load(Ordering::Relaxed),
-            commits: self.commits.load(Ordering::Relaxed),
-            aborts: self.aborts.load(Ordering::Relaxed),
+            attempts,
+            commits,
+            aborts,
             conflicts: self.conflicts.load(Ordering::Relaxed),
             waits: self.waits.load(Ordering::Relaxed),
             enemy_aborts: self.enemy_aborts.load(Ordering::Relaxed),
-            validation_failures: self.validation_failures.load(Ordering::Relaxed),
+            validation_failures,
             reads: self.reads.load(Ordering::Relaxed),
             writes: self.writes.load(Ordering::Relaxed),
-            aborts_by_cause: std::array::from_fn(|i| {
-                self.aborts_by_cause[i].load(Ordering::Relaxed)
-            }),
+            aborts_by_cause,
         }
     }
 

@@ -75,6 +75,9 @@ impl AtomicStatus {
     /// Loads the current status.
     #[inline]
     pub(crate) fn load(&self) -> TxStatus {
+        // ordering: acquire pairs with the AcqRel transitions below — a
+        // reader that observes Committed also observes everything the
+        // committer wrote before its CAS (the locator's new value).
         match self.0.load(Ordering::Acquire) {
             0 => TxStatus::Active,
             1 => TxStatus::Committed,
@@ -89,6 +92,9 @@ impl AtomicStatus {
     /// it first).
     #[inline]
     pub(crate) fn try_commit(&self) -> bool {
+        // ordering: AcqRel — the release half publishes the transaction's
+        // writes to status readers (see `load`); the acquire half orders
+        // the decided status against this thread's subsequent cleanup.
         self.0
             .compare_exchange(
                 TxStatus::Active as u8,
@@ -105,6 +111,9 @@ impl AtomicStatus {
     /// transaction already committed or was already aborted.
     #[inline]
     pub(crate) fn try_abort(&self) -> bool {
+        // ordering: AcqRel for symmetry with `try_commit` — an enemy that
+        // aborts a victim publishes the decision to the victim's own
+        // status checks and to every locator reader.
         self.0
             .compare_exchange(
                 TxStatus::Active as u8,

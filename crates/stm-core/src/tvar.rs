@@ -32,36 +32,20 @@
 //! status word — the CAS the contention-management protocol actually
 //! relies on — was always a true lock-free CAS.
 //!
-//! Visible readers register in a small per-object *sharded* registry
-//! (shard = reader's transaction id modulo [`READER_SHARDS`]) so that
-//! concurrent read-mostly transactions don't convoy on one list mutex, and
-//! each registration only scans its own short shard. Finished readers are
-//! pruned lazily: registration prunes only when its shard has grown past
-//! [`READER_PRUNE_THRESHOLD`], so the uncontended register/unregister pair
-//! is O(1); writers (`active_readers`) still prune every shard they scan,
-//! which they traverse anyway to arbitrate.
+//! Visible readers register in a small per-object *sharded* registry — see
+//! [`crate::readers`] for the sharding and lazy-pruning discipline. The
+//! registry code itself is generic and model-checked in isolation; this
+//! module instantiates it with `TxShared`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::sync::atomic::{AtomicU64, Ordering};
+use crate::sync::Arc;
 
 use arcswap::ArcSwap;
-use parking_lot::Mutex;
 
+use crate::readers::ReaderRegistry;
 use crate::txn::TxShared;
 
 static OBJECT_IDS: AtomicU64 = AtomicU64::new(1);
-
-/// Visible-reader registry shards per object. Eight shards of a few
-/// entries each cover the realistic visible-reader population (readers
-/// unregister on commit); the shard index is the reader's transaction id
-/// modulo this, so one transaction always lands in the same shard.
-pub(crate) const READER_SHARDS: usize = 8;
-
-/// Shard occupancy past which registration prunes finished readers before
-/// pushing. Below it, registration is append-only (amortized O(1)); the
-/// stale-entry population per object is bounded by
-/// `READER_SHARDS × READER_PRUNE_THRESHOLD`.
-pub(crate) const READER_PRUNE_THRESHOLD: usize = 8;
 
 /// A locator names the last writer of an object together with the object
 /// value before and after that writer.
@@ -134,7 +118,7 @@ impl<T> Locator<T> {
 pub(crate) struct TVarInner<T> {
     id: u64,
     locator: ArcSwap<Locator<T>>,
-    readers: [Mutex<Vec<Arc<TxShared>>>; READER_SHARDS],
+    readers: ReaderRegistry<TxShared>,
 }
 
 impl<T> TVarInner<T> {
@@ -142,16 +126,12 @@ impl<T> TVarInner<T> {
         TVarInner {
             id: OBJECT_IDS.fetch_add(1, Ordering::Relaxed),
             locator: ArcSwap::from_value(Locator::baseline(Arc::new(value))),
-            readers: std::array::from_fn(|_| Mutex::new(Vec::new())),
+            readers: ReaderRegistry::new(),
         }
     }
 
     pub(crate) fn id(&self) -> u64 {
         self.id
-    }
-
-    fn reader_shard(&self, reader: &TxShared) -> &Mutex<Vec<Arc<TxShared>>> {
-        &self.readers[(reader.id() % READER_SHARDS as u64) as usize]
     }
 
     /// Loads the current locator.
@@ -180,51 +160,28 @@ impl<T> TVarInner<T> {
     }
 
     /// Registers `reader` as a visible reader. Returns `true` if it was not
-    /// already registered. Only the reader's own shard is touched, and
-    /// finished entries are pruned only once the shard has grown past
-    /// [`READER_PRUNE_THRESHOLD`], so the uncontended call is O(1).
+    /// already registered. See [`ReaderRegistry::register`].
     pub(crate) fn register_reader(&self, reader: &Arc<TxShared>) -> bool {
-        let mut shard = self.reader_shard(reader).lock();
-        if shard.iter().any(|r| Arc::ptr_eq(r, reader)) {
-            return false;
-        }
-        if shard.len() >= READER_PRUNE_THRESHOLD {
-            shard.retain(|r| r.is_active());
-        }
-        shard.push(Arc::clone(reader));
-        true
+        self.readers.register(reader)
     }
 
-    /// Removes `reader` from its visible-reader shard. Removes only the
-    /// caller's entry — no full-list rescan on the release path.
+    /// Removes `reader` from its visible-reader shard. See
+    /// [`ReaderRegistry::unregister`].
     pub(crate) fn unregister_reader(&self, reader: &TxShared) {
-        let mut shard = self.reader_shard(reader).lock();
-        if let Some(pos) = shard
-            .iter()
-            .position(|r| std::ptr::eq(Arc::as_ptr(r), reader))
-        {
-            shard.swap_remove(pos);
-        }
+        self.readers.unregister(reader)
     }
 
     /// Returns the currently registered active readers other than `me`,
-    /// pruning finished readers from every shard on the way (the writer
-    /// pays an O(readers) walk here regardless — it must arbitrate with
-    /// each of them).
+    /// pruning finished readers on the way. See
+    /// [`ReaderRegistry::active_readers`].
     pub(crate) fn active_readers(&self, me: &Arc<TxShared>) -> Vec<Arc<TxShared>> {
-        let mut out = Vec::new();
-        for shard in &self.readers {
-            let mut shard = shard.lock();
-            shard.retain(|r| r.is_active());
-            out.extend(shard.iter().filter(|r| !Arc::ptr_eq(r, me)).cloned());
-        }
-        out
+        self.readers.active_readers(me)
     }
 
     /// Number of registered readers, stale entries included (tests).
     #[cfg(test)]
     pub(crate) fn reader_count(&self) -> usize {
-        self.readers.iter().map(|shard| shard.lock().len()).sum()
+        self.readers.len()
     }
 }
 
@@ -399,6 +356,7 @@ impl<T: Send + Sync> TrackedWrite for OwnedWrite<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::readers::{READER_PRUNE_THRESHOLD, READER_SHARDS};
     use crate::txn::TxLineage;
 
     fn fresh_shared() -> Arc<TxShared> {

@@ -200,6 +200,8 @@ impl TxShared {
     /// Whether the transaction is currently waiting for another transaction.
     /// This is the public `waiting` field of the greedy manager's Rule 1.
     pub fn is_waiting(&self) -> bool {
+        // ordering: acquire pairs with `set_waiting`'s release so an enemy
+        // inspecting the flag sees the state the waiter published before it.
         self.waiting.load(Ordering::Acquire)
     }
 
@@ -208,6 +210,7 @@ impl TxShared {
     /// unit tests and for execution simulators that drive descriptors
     /// directly.
     pub fn set_waiting(&self, value: bool) {
+        // ordering: release — see `is_waiting`.
         self.waiting.store(value, Ordering::Release);
     }
 

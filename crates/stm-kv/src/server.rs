@@ -266,6 +266,8 @@ impl ConnQueue {
     }
 
     fn close(&self) {
+        // ordering: the closed latch must be visible before the wakeup so a
+        // woken worker's drain check cannot miss it and sleep again.
         self.closed.store(true, Ordering::SeqCst);
         self.ready.notify_all();
     }
@@ -546,6 +548,8 @@ impl KvServer {
     /// serving thread, and flushes the log. Idempotent; also invoked by
     /// `Drop`.
     pub fn shutdown(&mut self) {
+        // ordering: first-shutdown latch; SeqCst orders it ahead of the
+        // acceptor poke below so the woken acceptor observes it and exits.
         if self.stop.swap(true, Ordering::SeqCst) {
             return;
         }

@@ -68,8 +68,11 @@
 #![warn(rust_2018_idioms)]
 
 pub mod crc;
+#[cfg(feature = "model-check")]
+pub mod models;
 pub mod record;
 pub mod recovery;
+mod ring;
 pub mod snapshot;
 pub mod wal;
 

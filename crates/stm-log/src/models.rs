@@ -1,0 +1,180 @@
+//! Bounded loomlite models of the WAL's slot ring.
+//!
+//! Compiled only under `--features model-check`, where
+//! [`stm_core::sync`] resolves to loomlite modeled primitives — the models
+//! drive the *shipped* [`SlotRing`](crate::ring), not a copy.
+//!
+//! All three models run with [`fail_on_timeout_rescue`]: every condvar wait
+//! in the ring is timed (the real code uses ticks as a belt-and-braces
+//! backstop), and a "timeout" under the checker means every thread was
+//! asleep with no wakeup coming — exactly a lost-wakeup bug. Forbidding the
+//! rescue proves the parked/ready and space handshakes never *need* the
+//! backstop: consumption cannot stall.
+//!
+//! Every function returns the checker's [`Report`] so callers (unit tests
+//! here and the workspace-level `tests/model_check.rs`) can assert
+//! exhaustiveness and schedule counts.
+//!
+//! [`fail_on_timeout_rescue`]: loomlite::Builder::fail_on_timeout_rescue
+
+use std::time::Duration;
+
+use loomlite::{Builder, Report};
+
+use crate::ring::SlotRing;
+use stm_core::sync::Arc;
+
+/// Default builder: bounded-exhaustive (preemption bound 2) plus the seeded
+/// random phase, with timeout rescues treated as lost-wakeup failures.
+fn builder() -> Builder {
+    Builder {
+        fail_on_timeout_rescue: true,
+        ..Builder::default()
+    }
+}
+
+/// A tick long enough that a model relying on it (rather than on a real
+/// notification) would have to be rescued — which `builder()` forbids.
+const TICK: Duration = Duration::from_secs(1);
+
+/// Consume `seq`, parking between attempts exactly like the writer loop.
+fn consume_parking(ring: &SlotRing, seq: u64) -> (Vec<u8>, bool) {
+    loop {
+        if let Some(out) = ring.consume(seq) {
+            return out;
+        }
+        ring.park_until_ready(seq, TICK, || false);
+    }
+}
+
+/// Minimal Dekker model: one producer fills one slot while the consumer
+/// parks for it. The producer's publish-then-check-`parked` races the
+/// consumer's set-`parked`-then-re-check; a lost wakeup would strand the
+/// consumer in its (long) timed wait and surface as a forbidden timeout
+/// rescue. Referenced by the `// ordering:` comment in
+/// [`SlotRing::fill`](crate::ring).
+pub fn ring_parked_consumer_never_misses_a_fill() -> Report {
+    builder().check(|| {
+        let ring = Arc::new(SlotRing::new(2, 1));
+        let producer = {
+            let ring = Arc::clone(&ring);
+            loomlite::thread::spawn(move || {
+                let seq = ring.reserve();
+                assert_eq!(seq, 1);
+                ring.fill(seq, vec![7], true);
+            })
+        };
+        // Consumer (this thread): park until the fill lands, then take it.
+        assert_eq!(consume_parking(&ring, 1), (vec![7], true));
+        producer.join().unwrap();
+        assert_eq!(ring.consumed(), 1);
+    })
+}
+
+/// Two producers race their reserve+fill against a parking consumer.
+/// Asserts on every interleaving that consumption is strictly in sequence
+/// order at the expected generation (the payload carries its sequence
+/// number), that the abandoned ticket flows through without stalling the
+/// committed one behind it, and — via the forbidden rescue — that the
+/// consumer never sleeps through a fill.
+pub fn ring_consumes_in_order_without_stalling() -> Report {
+    builder().check(|| {
+        let ring = Arc::new(SlotRing::new(2, 1));
+        let committer = {
+            let ring = Arc::clone(&ring);
+            loomlite::thread::spawn(move || {
+                let seq = ring.reserve();
+                ring.fill(seq, vec![seq as u8], true);
+                seq
+            })
+        };
+        let abandoner = {
+            let ring = Arc::clone(&ring);
+            loomlite::thread::spawn(move || {
+                let seq = ring.reserve();
+                // A reservation whose commit CAS lost: empty abandoned ticket.
+                ring.fill(seq, Vec::new(), false);
+                seq
+            })
+        };
+
+        // Consumer (this thread): strictly in-order, parking when pending.
+        let mut committed_payloads = 0;
+        for seq in 1..=2u64 {
+            let (bytes, committed) = consume_parking(&ring, seq);
+            if committed {
+                committed_payloads += 1;
+                assert_eq!(bytes, vec![seq as u8], "payload from a different generation");
+            } else {
+                assert!(bytes.is_empty(), "abandoned ticket carried bytes");
+            }
+        }
+
+        let committed_seq = committer.join().unwrap();
+        let abandoned_seq = abandoner.join().unwrap();
+        assert_ne!(committed_seq, abandoned_seq, "reservation handed out twice");
+        assert_eq!(committed_payloads, 1, "committed record lost or duplicated");
+        assert_eq!(ring.consumed(), 2);
+        assert_eq!(ring.occupancy(3), 0);
+    })
+}
+
+/// Backpressure model on a capacity-1 ring: the second reservation is a
+/// whole ring ahead of the consumer and must block in
+/// [`SlotRing::wait_for_slot`](crate::ring) until the first slot is
+/// consumed. The producer's raise-waiters-then-re-check races the
+/// consumer's store-`consumed`-then-check-waiters; a miss on both sides
+/// would leave the producer asleep — again a forbidden timeout rescue.
+pub fn ring_backpressure_admits_after_drain() -> Report {
+    builder().check(|| {
+        let ring = Arc::new(SlotRing::new(1, 1));
+        let first = ring.reserve();
+        ring.fill(first, vec![1], true);
+
+        let producer = {
+            let ring = Arc::clone(&ring);
+            loomlite::thread::spawn(move || {
+                let seq = ring.reserve();
+                assert_eq!(seq, 2);
+                assert!(ring.wait_for_slot(seq, || false), "never aborted");
+                ring.fill(seq, vec![2], true);
+            })
+        };
+
+        // Consumer (this thread): draining seq 1 is what admits seq 2.
+        assert_eq!(consume_parking(&ring, 1), (vec![1], true));
+        ring.notify_space();
+        assert_eq!(consume_parking(&ring, 2), (vec![2], true));
+        producer.join().unwrap();
+        assert_eq!(ring.consumed(), 2);
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parked_consumer_never_misses_a_fill() {
+        let report = ring_parked_consumer_never_misses_a_fill();
+        eprintln!("ring parked/fill: {report}");
+        assert!(report.schedules() > 100, "{report}");
+        assert_eq!(report.timeout_rescues, 0);
+    }
+
+    #[test]
+    fn consumption_is_in_order_and_never_stalls() {
+        let report = ring_consumes_in_order_without_stalling();
+        eprintln!("ring in-order: {report}");
+        assert!(report.schedules() > 100, "{report}");
+        assert_eq!(report.timeout_rescues, 0);
+    }
+
+    #[test]
+    fn backpressure_wakes_the_blocked_reservation() {
+        let report = ring_backpressure_admits_after_drain();
+        eprintln!("ring backpressure: {report}");
+        assert!(report.schedules() > 100, "{report}");
+        assert_eq!(report.timeout_rescues, 0);
+    }
+}

@@ -35,14 +35,16 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::str::FromStr;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use stm_core::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use stm_core::sync::{Condvar, Mutex};
 use stm_core::{CommitHook, CommitOp, CommitValue};
 
 use crate::record;
+use crate::ring::SlotRing;
 use crate::recovery::{self, Recovered};
 use crate::snapshot;
 
@@ -185,49 +187,15 @@ impl WalTelemetry {
 /// this many sequence numbers ahead of the writer.
 const RING: usize = 1024;
 
-/// One ring slot. `ready` holds `seq + 1` once the slot at `seq % RING` is
-/// filled for sequence `seq` (0 = empty); the `+ 1` bias disambiguates the
-/// empty state from a filled seq-0 slot and lets the writer verify it is
-/// consuming exactly the generation it expects. The per-slot mutex is
-/// touched by exactly one producer (the reservation holder) and the writer,
-/// so it is uncontended in steady state — nothing process-wide.
-struct Slot {
-    ready: AtomicU64,
-    data: Mutex<SlotData>,
-}
-
-#[derive(Default)]
-struct SlotData {
-    bytes: Vec<u8>,
-    /// `false` marks an abandoned ticket: the reservation's commit CAS
-    /// failed, so the writer skips its bytes but still advances past it.
-    committed: bool,
-}
-
 struct Shared {
     dir: PathBuf,
     policy: FsyncPolicy,
     segment_bytes: u64,
-    /// Next sequence number to reserve. `fetch_add` here — inside the commit
-    /// window, before the commit CAS — is the whole of sequence assignment.
-    next_seq: AtomicU64,
-    /// Highest sequence number the writer has consumed from the ring.
-    consumed: AtomicU64,
-    ring: Vec<Slot>,
-    /// Pairs with `work`: the writer re-checks the ring under this lock
-    /// before sleeping, so a producer that fills a slot and then finds
-    /// `parked` set cannot lose its wakeup.
-    work_lock: Mutex<()>,
-    work: Condvar,
-    /// Set by the writer around its condvar wait; producers skip the
-    /// `work_lock` round-trip entirely while the writer is busy draining.
-    parked: AtomicBool,
-    /// Pairs with `space_cv`: reservations RING ahead of the writer wait
-    /// here; `space_waiters` lets the writer skip notification entirely in
-    /// the common case of an empty wait queue.
-    space_lock: Mutex<()>,
-    space_cv: Condvar,
-    space_waiters: AtomicU64,
+    /// The producer/consumer hand-off between commit threads and the writer
+    /// — sequence reservation, slot publication, parked/ready wakeup and
+    /// backpressure all live in [`crate::ring`], where the bounded
+    /// concurrency models can drive them directly.
+    ring: SlotRing,
     durable: Mutex<u64>,
     durable_cv: Condvar,
     stop: AtomicBool,
@@ -252,6 +220,8 @@ struct Shared {
 
 impl Shared {
     fn fail(&self, context: &str, err: &io::Error) {
+        // ordering: first-failure latch; SeqCst orders the flag ahead of the
+        // wakeups below so woken waiters observe it and bail.
         if !self.failed.swap(true, Ordering::SeqCst) {
             eprintln!(
                 "stm-log: {context}: {err} — log writer stopped; durability is disabled from \
@@ -261,68 +231,14 @@ impl Shared {
         self.durable_cv.notify_all();
         // Reservations blocked on ring space must observe the failure and
         // bail rather than wait on a writer that will never drain again.
-        self.space_cv.notify_all();
+        self.ring.wake_all();
     }
 
-    fn slot_ready(&self, seq: u64) -> bool {
-        self.ring[(seq % RING as u64) as usize]
-            .ready
-            .load(Ordering::SeqCst)
-            == seq + 1
-    }
-
-    /// Blocks until the ring slot for `seq` is free — its previous occupant
-    /// (`seq - RING`) consumed — which in-order consumption reduces to
-    /// `seq <= consumed + RING`. Returns `false` (don't log) when the log
-    /// failed or is shutting down, so a reservation never deadlocks against
-    /// a writer that is gone.
-    fn wait_for_slot(&self, seq: u64) -> bool {
-        loop {
-            if self.failed.load(Ordering::Relaxed) || self.stop.load(Ordering::Relaxed) {
-                return false;
-            }
-            if seq <= self.consumed.load(Ordering::SeqCst) + RING as u64 {
-                return true;
-            }
-            self.space_waiters.fetch_add(1, Ordering::SeqCst);
-            {
-                let guard = self.space_lock.lock().expect("wal space lock poisoned");
-                if seq > self.consumed.load(Ordering::SeqCst) + RING as u64
-                    && !self.stop.load(Ordering::Relaxed)
-                    && !self.failed.load(Ordering::Relaxed)
-                {
-                    let _ = self
-                        .space_cv
-                        .wait_timeout(guard, Duration::from_millis(10))
-                        .expect("wal space lock poisoned");
-                }
-            }
-            self.space_waiters.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-
-    /// Publishes the filled (or abandoned) slot for `seq` and wakes the
-    /// writer if it is parked. The `ready` store is the release point; the
-    /// writer's matching `SeqCst` load on `ready` orders the `data` write
-    /// before its read even without contending on the slot mutex.
-    fn fill_slot(&self, seq: u64, bytes: Vec<u8>, committed: bool) {
-        let slot = &self.ring[(seq % RING as u64) as usize];
-        {
-            let mut data = slot.data.lock().expect("wal slot lock poisoned");
-            data.bytes = bytes;
-            data.committed = committed;
-        }
-        slot.ready.store(seq + 1, Ordering::SeqCst);
-        // Dekker-style pairing with the writer's park sequence: the writer
-        // stores `parked`, then re-checks `ready` under `work_lock`; we
-        // store `ready`, then check `parked`. SeqCst makes at least one
-        // side observe the other, and taking `work_lock` before notifying
-        // serializes against the check-then-wait so the wakeup cannot fall
-        // between them.
-        if self.parked.load(Ordering::SeqCst) {
-            drop(self.work_lock.lock().expect("wal work lock poisoned"));
-            self.work.notify_one();
-        }
+    /// `true` while commits should skip logging: the writer is gone (failed
+    /// log) or going (shutdown). Passed to the ring's backpressure wait so
+    /// a reservation never deadlocks against a writer that will never drain.
+    fn log_dead(&self) -> bool {
+        self.failed.load(Ordering::Relaxed) || self.stop.load(Ordering::Relaxed)
     }
 }
 
@@ -342,19 +258,19 @@ impl CommitHook for Shared {
         // depends on A (B's read saw A's write), B's window opened after
         // A's CAS — hence after A's reservation — and seq(A) < seq(B):
         // log order extends serialization order without any global lock.
-        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        let seq = self.ring.reserve();
         // Backpressure (cold path): the slot is only busy when this
         // reservation is RING sequence numbers ahead of the writer. A dead
         // writer (failed or stopping log) means skip logging entirely —
         // commits proceed in memory and their non-durability is reported
         // through `wait_durable`.
-        let log_alive = self.wait_for_slot(seq);
+        let log_alive = self.ring.wait_for_slot(seq, || self.log_dead());
         if !commit() {
             // The reservation is already in the sequence stream; publish it
             // as abandoned so the writer's in-order consumption never
             // stalls on a ticket nobody will fill.
             if log_alive {
-                self.fill_slot(seq, Vec::new(), false);
+                self.ring.fill(seq, Vec::new(), false);
             }
             return None;
         }
@@ -363,7 +279,7 @@ impl CommitHook for Shared {
             record::encode_into(&mut buf, seq, ops);
             self.records.fetch_add(1, Ordering::Relaxed);
             self.since_snapshot.fetch_add(1, Ordering::Relaxed);
-            self.fill_slot(seq, buf, true);
+            self.ring.fill(seq, buf, true);
         }
         Some(seq)
     }
@@ -405,22 +321,9 @@ impl Wal {
             policy: config.fsync,
             segment_bytes: config.segment_bytes.max(4096),
             failed: AtomicBool::new(false),
-            next_seq: AtomicU64::new(recovered.next_seq),
             // Every sequence below the recovered tip was consumed by a
             // previous process life; the ring starts empty.
-            consumed: AtomicU64::new(recovered.next_seq.saturating_sub(1)),
-            ring: (0..RING)
-                .map(|_| Slot {
-                    ready: AtomicU64::new(0),
-                    data: Mutex::new(SlotData::default()),
-                })
-                .collect(),
-            work_lock: Mutex::new(()),
-            work: Condvar::new(),
-            parked: AtomicBool::new(false),
-            space_lock: Mutex::new(()),
-            space_cv: Condvar::new(),
-            space_waiters: AtomicU64::new(0),
+            ring: SlotRing::new(RING, recovered.next_seq),
             durable: Mutex::new(recovered.next_seq.saturating_sub(1)),
             durable_cv: Condvar::new(),
             stop: AtomicBool::new(false),
@@ -470,7 +373,7 @@ impl Wal {
 
     /// Highest sequence number currently covered by an fsync.
     pub fn durable_seq(&self) -> u64 {
-        *self.shared.durable.lock().expect("durable lock poisoned")
+        *self.shared.durable.lock()
     }
 
     /// Whether the log hit an unrecoverable filesystem error: the writer
@@ -484,7 +387,7 @@ impl Wal {
     /// when the log shut down or [failed](Wal::is_failed) before that
     /// happened — never blocking on a watermark that cannot advance.
     pub fn wait_durable(&self, seq: u64) -> bool {
-        let mut durable = self.shared.durable.lock().expect("durable lock poisoned");
+        let mut durable = self.shared.durable.lock();
         loop {
             if *durable >= seq {
                 return true;
@@ -494,12 +397,10 @@ impl Wal {
             {
                 return false;
             }
-            let (guard, _) = self
+            let _ = self
                 .shared
                 .durable_cv
-                .wait_timeout(durable, Duration::from_millis(50))
-                .expect("durable lock poisoned");
-            durable = guard;
+                .wait_for(&mut durable, Duration::from_millis(50));
         }
     }
 
@@ -513,12 +414,16 @@ impl Wal {
     /// Returns `false` when another thread holds it; the claimer must call
     /// [`Wal::write_snapshot`] (which releases it) or [`Wal::abandon_snapshot`].
     pub fn begin_snapshot(&self) -> bool {
+        // ordering: acquire pairs with the Release releases below so the
+        // next claimer sees the previous snapshot's counter updates; release
+        // publishes the claim itself.
         !self.shared.snapshot_in_progress.swap(true, Ordering::AcqRel)
     }
 
     /// Releases the snapshot slot without writing (the cut transaction
     /// failed).
     pub fn abandon_snapshot(&self) {
+        // ordering: release — pairs with the AcqRel claim in `begin_snapshot`.
         self.shared.snapshot_in_progress.store(false, Ordering::Release);
     }
 
@@ -537,6 +442,8 @@ impl Wal {
             self.shared.since_snapshot.store(0, Ordering::Relaxed);
             self.prune(seq);
         }
+        // ordering: release — the snapshot counters above must be visible
+        // to whoever claims the slot next (pairs with `begin_snapshot`).
         self.shared.snapshot_in_progress.store(false, Ordering::Release);
         result
     }
@@ -569,7 +476,7 @@ impl Wal {
     /// A snapshot of the log's counters.
     pub fn stats(&self) -> WalStats {
         WalStats {
-            next_seq: self.shared.next_seq.load(Ordering::SeqCst),
+            next_seq: self.shared.ring.next_seq(),
             durable_seq: self.durable_seq(),
             records: self.shared.records.load(Ordering::Relaxed),
             bytes: self.shared.bytes.load(Ordering::Relaxed),
@@ -595,14 +502,14 @@ impl Wal {
     /// Idempotent; also invoked by `Drop`, so a graceful shutdown never
     /// loses a commit regardless of the fsync policy.
     pub fn shutdown(&mut self) {
+        // ordering: the stop latch must be visible before the wakeups below
+        // — a woken waiter re-checks it and must see it set.
         if self.shared.stop.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Take `work_lock` before notifying so the wakeup cannot fall
-        // between the writer's stop-check and its condvar wait.
-        drop(self.shared.work_lock.lock().expect("wal work lock poisoned"));
-        self.shared.work.notify_all();
-        self.shared.space_cv.notify_all();
+        // `wake_all` takes the pairing locks before notifying so the wakeup
+        // cannot fall between anyone's stop-check and their condvar wait.
+        self.shared.ring.wake_all();
         if let Some(writer) = self.writer.take() {
             let _ = writer.join();
         }
@@ -653,7 +560,7 @@ fn writer_loop(shared: &Shared) {
     let mut unsynced_since = Instant::now();
     // Highest sequence number published to the durable watermark; tracked
     // locally so iterations that make no progress skip the lock entirely.
-    let mut published_durable = shared.consumed.load(Ordering::SeqCst);
+    let mut published_durable = shared.ring.consumed();
     let mut next = published_durable + 1;
     let mut last_progress = Instant::now();
     loop {
@@ -662,14 +569,7 @@ fn writer_loop(shared: &Shared) {
         // ordered on-disk stream; a not-yet-filled slot ends the run even
         // if later slots are ready.
         let mut batch: Option<Batch> = None;
-        while shared.slot_ready(next) {
-            let slot = &shared.ring[(next % RING as u64) as usize];
-            let (bytes, committed) = {
-                let mut data = slot.data.lock().expect("wal slot lock poisoned");
-                (std::mem::take(&mut data.bytes), data.committed)
-            };
-            slot.ready.store(0, Ordering::SeqCst);
-            shared.consumed.store(next, Ordering::SeqCst);
+        while let Some((bytes, committed)) = shared.ring.consume(next) {
             if committed {
                 match &mut batch {
                     None => {
@@ -689,14 +589,8 @@ fn writer_loop(shared: &Shared) {
             last_progress = Instant::now();
         }
         let consumed_tip = next - 1;
-        shared
-            .telemetry
-            .ring_occupancy
-            .record(shared.next_seq.load(Ordering::SeqCst).saturating_sub(next));
-        if shared.space_waiters.load(Ordering::SeqCst) > 0 {
-            drop(shared.space_lock.lock().expect("wal space lock poisoned"));
-            shared.space_cv.notify_all();
-        }
+        shared.telemetry.ring_occupancy.record(shared.ring.occupancy(next));
+        shared.ring.notify_space();
         let stopping = shared.stop.load(Ordering::Relaxed);
         if let Some(batch) = batch {
             let rotate = segment
@@ -774,7 +668,7 @@ fn writer_loop(shared: &Shared) {
                         // this fsync (consumption and write happen in the
                         // same iteration), so the whole consumed prefix is
                         // durable — abandoned tickets trivially so.
-                        let mut durable = shared.durable.lock().expect("durable lock poisoned");
+                        let mut durable = shared.durable.lock();
                         if consumed_tip > *durable {
                             *durable = consumed_tip;
                         }
@@ -797,7 +691,7 @@ fn writer_loop(shared: &Shared) {
             // Progress made of abandoned tickets alone, with nothing
             // written-but-unsynced beneath it: the watermark can follow
             // without touching the disk.
-            let mut durable = shared.durable.lock().expect("durable lock poisoned");
+            let mut durable = shared.durable.lock();
             if consumed_tip > *durable {
                 *durable = consumed_tip;
             }
@@ -813,7 +707,7 @@ fn writer_loop(shared: &Shared) {
             // reservation that never fills its slot (its thread bailed or
             // died mid-commit) is abandoned after a grace period so
             // shutdown cannot hang.
-            if next == shared.next_seq.load(Ordering::SeqCst) {
+            if next == shared.ring.next_seq() {
                 return;
             }
             if last_progress.elapsed() > Duration::from_millis(250) {
@@ -824,21 +718,9 @@ fn writer_loop(shared: &Shared) {
         }
         // Park until a producer fills the next slot (or the tick expires —
         // timer-based fsync policies need the wakeup even when idle). The
-        // `parked` flag plus the re-check under `work_lock` pairs with
-        // `fill_slot`'s publish-then-notify so the wakeup cannot be lost.
-        if !shared.slot_ready(next) {
-            shared.parked.store(true, Ordering::SeqCst);
-            {
-                let guard = shared.work_lock.lock().expect("wal work lock poisoned");
-                if !shared.slot_ready(next) && !shared.stop.load(Ordering::Relaxed) {
-                    let _ = shared
-                        .work
-                        .wait_timeout(guard, tick)
-                        .expect("wal work lock poisoned");
-                }
-            }
-            shared.parked.store(false, Ordering::SeqCst);
-        }
+        // parked/ready Dekker pairing with `SlotRing::fill` is documented
+        // (and model-checked) in `crate::ring`.
+        shared.ring.park_until_ready(next, tick, || shared.stop.load(Ordering::Relaxed));
     }
 }
 

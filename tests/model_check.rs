@@ -1,0 +1,74 @@
+//! The headline bounded model-check suite (satellite of the loomlite work).
+//!
+//! Runs only with `--features model-check`, which swaps the lock-free hot
+//! paths onto loomlite's modeled primitives via each crate's sync facade.
+//! Each test drives one shipped protocol through its model and asserts the
+//! checker actually explored a meaningful schedule space (> 100 distinct
+//! schedules) — a model that silently degenerates to two or three
+//! interleavings would be false confidence.
+//!
+//! The per-crate suites (`stm-core`, `arcswap`, `stm-log`) additionally
+//! assert the *negative* side: deliberately weakened memory orderings are
+//! caught with a printed failing trace. Here we keep one end-to-end
+//! negative test so the workspace gate exercises the detection path too.
+
+#![cfg(feature = "model-check")]
+
+/// Epoch-based reclamation: a pinned reader never dereferences freed
+/// memory, and retirement reclaims exactly once.
+#[test]
+fn epoch_gc_reclamation_is_safe() {
+    let report = stm_core::models::epoch_reclamation_no_uaf();
+    eprintln!("epoch no-UAF: {report}");
+    assert!(report.schedules() > 100, "{report}");
+}
+
+/// The pin/advance store-buffering handshake is safe at `SeqCst` and fully
+/// explored.
+#[test]
+fn epoch_pin_handshake_is_safe() {
+    let report =
+        stm_core::models::epoch_pin_requires_seqcst(false).expect("SeqCst handshake must be safe");
+    eprintln!("epoch pin handshake: {report}");
+    assert!(report.complete, "{report}");
+    assert!(report.schedules() > 100, "{report}");
+}
+
+/// Locator CAS publication vs guard reads: no torn value, no early free,
+/// no stranded spill entry.
+#[test]
+fn arcswap_cas_vs_guard_is_safe() {
+    let report = arcswap::models::cas_vs_guard_reclamation();
+    eprintln!("arcswap cas-vs-guard: {report}");
+    assert!(report.schedules() > 100, "{report}");
+}
+
+/// WAL slot ring: consumption is strictly in order and never stalls (any
+/// timeout rescue — a lost wakeup — fails the model).
+#[test]
+fn wal_slot_ring_is_safe() {
+    let report = stm_log::models::ring_consumes_in_order_without_stalling();
+    eprintln!("ring in-order: {report}");
+    assert!(report.schedules() > 100, "{report}");
+    assert_eq!(report.timeout_rescues, 0, "{report}");
+}
+
+/// Sharded visible-reader registry: a registered running reader is never
+/// lost to a concurrent scan's pruning.
+#[test]
+fn reader_registry_is_safe() {
+    let report = stm_core::models::reader_registry_never_loses_a_visible_reader();
+    eprintln!("reader registry: {report}");
+    assert!(report.schedules() > 100, "{report}");
+}
+
+/// The detection path end-to-end: a deliberately weakened pin handshake is
+/// caught as a use-after-free with a non-empty failing trace.
+#[test]
+fn weakened_orderings_are_caught() {
+    let failure = stm_core::models::epoch_pin_requires_seqcst(true)
+        .expect_err("Release/Acquire pin handshake must be caught");
+    eprintln!("caught as expected:\n{failure}");
+    assert!(failure.message.contains("UAF"), "{failure}");
+    assert!(!failure.trace.is_empty(), "{failure}");
+}

@@ -408,3 +408,75 @@ fn mixed_v1_v2_clients_scrape_concurrently_under_load() {
     auditor.quit().unwrap();
     server.shutdown();
 }
+
+/// The stats snapshot's directional identities must hold *while* commits
+/// and aborts are racing the observer — `StmStats::snapshot` loads derived
+/// counters before their bases (acquire, pairing with the release
+/// increments), so a scrape can never report more finished attempts than
+/// started ones, more cause-attributed aborts than aborts, or more
+/// validation failures than aborts. Before that ordering, this test's
+/// snapshot loop could observe `commits + aborts > attempts` and
+/// `abort_ratio` went nonsensical.
+#[test]
+fn stats_snapshot_is_never_torn_under_concurrent_load() {
+    use greedy_stm::prelude::*;
+
+    let stm = Stm::builder().build();
+    let stop = Arc::new(AtomicBool::new(false));
+    let cell = TVar::new(0i64);
+
+    thread::scope(|scope| {
+        // Contended increments on one shared cell: plenty of commits,
+        // aborts and validation failures from all four threads.
+        for _ in 0..4 {
+            let stm = &stm;
+            let cell = &cell;
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut ctx = stm.thread();
+                while !stop.load(Ordering::Relaxed) {
+                    for _ in 0..64 {
+                        ctx.atomically(|tx| tx.modify(cell, |v| v + 1)).unwrap();
+                    }
+                }
+            });
+        }
+
+        let mut snapshots = 0u64;
+        let deadline = std::time::Instant::now() + Duration::from_millis(400);
+        while std::time::Instant::now() < deadline {
+            let snap = stm.stats().snapshot();
+            assert!(
+                snap.commits + snap.aborts <= snap.attempts,
+                "torn snapshot: {} commits + {} aborts > {} attempts",
+                snap.commits,
+                snap.aborts,
+                snap.attempts
+            );
+            assert!(
+                snap.aborts_by_cause.iter().sum::<u64>() <= snap.aborts,
+                "torn snapshot: cause array sums past aborts: {snap:?}"
+            );
+            assert!(
+                snap.validation_failures <= snap.aborts,
+                "torn snapshot: validation failures exceed aborts: {snap:?}"
+            );
+            assert!(snap.abort_ratio() <= 1.0, "ratio out of range: {snap:?}");
+            snapshots += 1;
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(snapshots > 100, "observer barely ran ({snapshots} snapshots)");
+    });
+
+    let settled = stm.stats().snapshot();
+    assert_eq!(
+        settled.commits + settled.aborts,
+        settled.attempts,
+        "at rest every attempt has exactly one outcome: {settled:?}"
+    );
+    assert_eq!(
+        settled.aborts_by_cause.iter().sum::<u64>(),
+        settled.aborts,
+        "at rest the cause array accounts for every abort: {settled:?}"
+    );
+}

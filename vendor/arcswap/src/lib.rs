@@ -42,10 +42,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+#[cfg(feature = "model-check")]
+pub mod models;
+mod sync;
+
 use std::fmt;
 use std::ops::Deref;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
+
+use crate::sync::atomic::{AtomicPtr, AtomicUsize, Ordering::SeqCst};
+use crate::sync::Mutex;
 
 /// An atomic cell holding an `Arc<T>`: lock-free loads, pointer-CAS
 /// publication, counter-deferred reclamation (see the crate docs).
@@ -92,10 +98,13 @@ impl<T> ArcSwap<T> {
     /// valid for the guard's lifetime even if a writer displaces the value
     /// concurrently.
     pub fn load(&self) -> Guard<'_, T> {
+        // ordering: the increment is visible before this load in the SeqCst
+        // total order, so any writer that later displaces `ptr` sees
+        // readers > 0 and spills instead of dropping. The pointer load
+        // itself must also be SeqCst: a weaker load may read a pointer the
+        // writer already displaced *and* dropped after observing zero
+        // readers (proven by `models::transcribed_load_vs_free`).
         self.readers.fetch_add(1, SeqCst);
-        // The increment is visible before this load in the SeqCst order,
-        // so any writer that later displaces `ptr` sees readers > 0 and
-        // spills instead of dropping.
         let ptr = self.ptr.load(SeqCst);
         Guard { cell: self, ptr }
     }
@@ -112,6 +121,9 @@ impl<T> ArcSwap<T> {
     /// a displaced value must be spilled past an in-flight reader.
     pub fn compare_and_swap(&self, expected: &Arc<T>, new: Arc<T>) -> bool {
         let new_raw = Arc::into_raw(new).cast_mut();
+        // ordering: the publication CAS anchors the reclamation argument's
+        // total order — `defer_drop`'s readers check below must come after
+        // it, and reader increments land on one side or the other.
         match self
             .ptr
             .compare_exchange(Arc::as_ptr(expected).cast_mut(), new_raw, SeqCst, SeqCst)
@@ -135,6 +147,7 @@ impl<T> ArcSwap<T> {
     /// Unconditionally replaces the value.
     pub fn store(&self, new: Arc<T>) {
         let new_raw = Arc::into_raw(new).cast_mut();
+        // ordering: same role as the CAS in `compare_and_swap`.
         let old_raw = self.ptr.swap(new_raw, SeqCst);
         let old = unsafe { Arc::from_raw(old_raw) };
         self.defer_drop(old);
@@ -144,12 +157,20 @@ impl<T> ArcSwap<T> {
     /// in flight, otherwise parks it on the spill list until the reader
     /// count next crosses zero.
     fn defer_drop(&self, old: Arc<T>) {
+        // ordering: this zero check must come after the pointer swap in the
+        // SeqCst total order — a reader counted before the swap has not yet
+        // decremented, so observing zero here proves no reader can hold the
+        // displaced pointer (see the crate docs, step 2).
         if self.readers.load(SeqCst) == 0 {
             return;
         }
         {
-            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+            let mut spill = self.spill.lock();
             spill.push(old);
+            // ordering: the `spilled` store and the reader's decrement form
+            // a store-buffering pair with the re-check below / the reader's
+            // `spilled` load; SeqCst guarantees at least one side notices
+            // and drains, so no spilled entry is ever stranded.
             self.spilled.store(spill.len(), SeqCst);
         }
         // The counted reader may have departed between our count read and
@@ -157,6 +178,7 @@ impl<T> ArcSwap<T> {
         // visible to it, its drop skipped the drain — this re-check (SeqCst,
         // after the store) sees its departure and drains on its behalf;
         // otherwise the reader sees `spilled > 0` and drains itself.
+        // ordering: see the store-buffering note above.
         if self.readers.load(SeqCst) == 0 {
             self.drain_spill();
         }
@@ -168,7 +190,10 @@ impl<T> ArcSwap<T> {
         // their pointers — and an observed zero count means all of those
         // have departed. New readers only ever observe the current value.
         let drained: Vec<Arc<T>> = {
-            let mut spill = self.spill.lock().unwrap_or_else(|e| e.into_inner());
+            let mut spill = self.spill.lock();
+            // ordering: reset under the spill lock; SeqCst keeps the reset
+            // ordered against concurrent readers' `spilled` checks so a
+            // racing spill is re-flagged, not lost.
             self.spilled.store(0, SeqCst);
             std::mem::take(&mut *spill)
         };
@@ -228,6 +253,10 @@ impl<T> Deref for Guard<'_, T> {
 
 impl<T> Drop for Guard<'_, T> {
     fn drop(&mut self) {
+        // ordering: the decrement and the `spilled` load are the reader's
+        // half of the store-buffering pair documented in `defer_drop`; both
+        // must be SeqCst or a spilled entry can be stranded past this
+        // zero-crossing (proven by `models::transcribed_spill_handshake`).
         if self.cell.readers.fetch_sub(1, SeqCst) == 1
             && self.cell.spilled.load(SeqCst) != 0
         {

@@ -1,0 +1,229 @@
+//! Bounded loomlite models of the reclamation protocol.
+//!
+//! Two layers:
+//!
+//! - **Real-code models** drive the shipped [`ArcSwap`](crate::ArcSwap)
+//!   itself (whose atomics resolve to loomlite under this feature) and
+//!   assert the user-visible invariants: a guard never observes a torn or
+//!   reclaimed value, and no displaced value is stranded on the spill list
+//!   once the last reader departs.
+//!
+//! - **Transcribed models** restate the two load-bearing handshakes with
+//!   bare modeled atomics so their memory orderings can be *weakened on
+//!   purpose*; the accompanying tests assert the checker catches the
+//!   resulting use-after-free / stranded-spill, which is the evidence that
+//!   the `SeqCst` annotations in `lib.rs` are load-bearing and not cargo
+//!   culting (see the `// ordering:` comments there).
+//!
+//! Every function returns the checker's [`Report`] so callers (the crate's
+//! `tests/model.rs` and the workspace-level `tests/model_check.rs`) can
+//! assert exhaustiveness and schedule counts.
+
+use std::sync::atomic::{AtomicBool as StdAtomicBool, AtomicUsize as StdAtomicUsize};
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc as StdArc;
+
+use loomlite::sync::atomic::{AtomicUsize, Ordering};
+use loomlite::{Builder, Failure, Report};
+
+use crate::ArcSwap;
+
+/// Default builder: bounded-exhaustive (preemption bound 2) plus the seeded
+/// random phase — right for the real-code model, which has tens of schedule
+/// points per run.
+fn builder() -> Builder {
+    Builder::default()
+}
+
+/// Unbounded builder for the transcribed handshakes: few enough operations
+/// that the full schedule tree is explored (`report.complete`).
+fn unbounded() -> Builder {
+    Builder {
+        preemption_bound: None,
+        ..Builder::default()
+    }
+}
+
+/// Counts live instances so the models can prove every displaced value is
+/// dropped exactly once, never early, and never stranded.
+struct Tracked {
+    value: u64,
+    live: StdArc<StdAtomicUsize>,
+}
+
+impl Tracked {
+    fn new(value: u64, live: &StdArc<StdAtomicUsize>) -> Self {
+        live.fetch_add(1, Relaxed);
+        Tracked {
+            value,
+            live: StdArc::clone(live),
+        }
+    }
+}
+
+impl Drop for Tracked {
+    fn drop(&mut self) {
+        self.live.fetch_sub(1, Relaxed);
+    }
+}
+
+/// Real-code model: one reader (`load` + deref + guard drop) races a writer
+/// publishing twice via the pointer CAS. Asserts on every interleaving that
+/// the guard observes one of the published values and that, after both
+/// threads finish, exactly the current value is still live — an early free
+/// or a value stranded on the spill list both break the count.
+pub fn cas_vs_guard_reclamation() -> Report {
+    builder().check(|| {
+        let live: StdArc<StdAtomicUsize> = StdArc::new(StdAtomicUsize::new(0));
+        let cell = StdArc::new(ArcSwap::new(StdArc::new(Tracked::new(0, &live))));
+
+        let reader = {
+            let cell = StdArc::clone(&cell);
+            loomlite::thread::spawn(move || {
+                let guard = cell.load();
+                let seen = guard.value;
+                assert!(seen <= 2, "guard saw unpublished value {seen}");
+                drop(guard);
+                seen
+            })
+        };
+
+        let writer = {
+            let cell = StdArc::clone(&cell);
+            let live = StdArc::clone(&live);
+            loomlite::thread::spawn(move || {
+                for next in 1..=2u64 {
+                    let current = cell.load_full();
+                    assert_eq!(current.value, next - 1);
+                    assert!(cell.compare_and_swap(&current, StdArc::new(Tracked::new(next, &live))));
+                }
+            })
+        };
+
+        let seen = reader.join().unwrap();
+        writer.join().unwrap();
+        assert!(seen <= 2);
+        // Everything displaced must have been reclaimed by now: only the
+        // cell's current value (2) may remain live. A stranded spill entry
+        // shows up here as live == 2.
+        assert_eq!(
+            live.load(Relaxed),
+            1,
+            "displaced value leaked past the last reader"
+        );
+        drop(cell);
+        assert_eq!(live.load(Relaxed), 0, "cell drop leaked its value");
+    })
+}
+
+/// Transcription of the load/reclaim handshake (crate docs, steps 1–2)
+/// with parameterizable reader-side orderings.
+///
+/// Locations: `readers` (the counter) and `ptr` (0 = old value, 1 = new).
+/// The writer publishes 1, then frees value 0 if it observes `readers == 0`.
+/// The reader counts itself in, reads `ptr`, and — if it obtained the old
+/// value — asserts the writer has not freed it. `freed` is a plain
+/// (non-modeled) flag: modeled operations serialize under the scheduler
+/// token, so it records the ground-truth interleaving order.
+///
+/// With `weaken_reader = false` both reader operations are `SeqCst` and the
+/// protocol is safe. With `true` the reader's increment is `Relaxed` and its
+/// pointer read `Acquire` — the increment can then be invisible to the
+/// writer's (still-`SeqCst`) zero check *while* the pointer read still
+/// returns the stale old value, and the checker reports the use-after-free.
+pub fn transcribed_load_vs_free(weaken_reader: bool) -> Result<Report, Failure> {
+    let (inc_order, ptr_order) = if weaken_reader {
+        (Ordering::Relaxed, Ordering::Acquire)
+    } else {
+        (Ordering::SeqCst, Ordering::SeqCst)
+    };
+    unbounded().check_quiet(move || {
+        let readers = StdArc::new(AtomicUsize::new(0));
+        let ptr = StdArc::new(AtomicUsize::new(0));
+        let freed = StdArc::new(StdAtomicBool::new(false));
+
+        let reader = {
+            let (readers, ptr, freed) =
+                (StdArc::clone(&readers), StdArc::clone(&ptr), StdArc::clone(&freed));
+            loomlite::thread::spawn(move || {
+                readers.fetch_add(1, inc_order);
+                let p = ptr.load(ptr_order);
+                if p == 0 {
+                    // Dereference of the old value: it must not be freed yet.
+                    assert!(!freed.load(Relaxed), "UAF: reader saw freed value 0");
+                }
+                readers.fetch_sub(1, Ordering::SeqCst);
+            })
+        };
+
+        let writer = {
+            let (readers, ptr, freed) =
+                (StdArc::clone(&readers), StdArc::clone(&ptr), StdArc::clone(&freed));
+            loomlite::thread::spawn(move || {
+                ptr.store(1, Ordering::SeqCst);
+                if readers.load(Ordering::SeqCst) == 0 {
+                    // No counted reader: value 0 is reclaimed immediately.
+                    freed.store(true, Relaxed);
+                }
+            })
+        };
+
+        reader.join().unwrap();
+        writer.join().unwrap();
+    })
+}
+
+/// Transcription of the spill/drain handshake (`defer_drop` vs
+/// `Guard::drop`): the writer parks a displaced value (`spilled = 1`) and
+/// re-checks the reader count; the departing reader decrements and checks
+/// `spilled`. Exactly one of them must drain — with `seqcst = false` both
+/// checks are `Relaxed`, both sides can miss each other (store buffering),
+/// and the checker reports the stranded spill entry.
+pub fn transcribed_spill_handshake(seqcst: bool) -> Result<Report, Failure> {
+    let order = if seqcst {
+        Ordering::SeqCst
+    } else {
+        Ordering::Relaxed
+    };
+    unbounded().check_quiet(move || {
+        let readers = StdArc::new(AtomicUsize::new(1)); // one reader already in
+        let spilled = StdArc::new(AtomicUsize::new(0));
+        let drained = StdArc::new(StdAtomicBool::new(false));
+
+        let writer = {
+            let (readers, spilled, drained) = (
+                StdArc::clone(&readers),
+                StdArc::clone(&spilled),
+                StdArc::clone(&drained),
+            );
+            loomlite::thread::spawn(move || {
+                // The displaced value was already parked; publish the hint
+                // then re-check for a reader that departed in between.
+                spilled.store(1, order);
+                if readers.load(order) == 0 {
+                    drained.store(true, Relaxed);
+                }
+            })
+        };
+
+        let reader = {
+            let (readers, spilled, drained) = (
+                StdArc::clone(&readers),
+                StdArc::clone(&spilled),
+                StdArc::clone(&drained),
+            );
+            loomlite::thread::spawn(move || {
+                if readers.fetch_sub(1, order) == 1 && spilled.load(order) != 0 {
+                    drained.store(true, Relaxed);
+                }
+            })
+        };
+
+        writer.join().unwrap();
+        reader.join().unwrap();
+        assert!(
+            drained.load(Relaxed),
+            "stranded spill: neither the writer's re-check nor the departing reader drained"
+        );
+    })
+}

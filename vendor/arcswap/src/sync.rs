@@ -1,0 +1,23 @@
+//! Synchronization facade: `std`/`parking_lot` primitives normally,
+//! loomlite modeled primitives under `--features model-check` so the
+//! reclamation protocol can be driven by the deterministic interleaving
+//! checker (see `arcswap::models`).
+
+/// Atomic types plus [`Ordering`].
+///
+/// [`Ordering`]: std::sync::atomic::Ordering
+pub(crate) mod atomic {
+    #[cfg(not(feature = "model-check"))]
+    pub(crate) use std::sync::atomic::{AtomicPtr, AtomicUsize};
+
+    #[cfg(feature = "model-check")]
+    pub(crate) use loomlite::sync::atomic::{AtomicPtr, AtomicUsize};
+
+    pub(crate) use std::sync::atomic::Ordering;
+}
+
+#[cfg(not(feature = "model-check"))]
+pub(crate) use parking_lot::Mutex;
+
+#[cfg(feature = "model-check")]
+pub(crate) use loomlite::sync::Mutex;

@@ -1,0 +1,50 @@
+//! Bounded model-check suite for the reclamation protocol.
+//!
+//! Runs only with `--features model-check`; see `src/models.rs` for what
+//! each model asserts.
+
+#![cfg(feature = "model-check")]
+
+use arcswap::models;
+
+#[test]
+fn cas_vs_guard_reclamation_is_safe() {
+    let report = models::cas_vs_guard_reclamation();
+    eprintln!("arcswap cas-vs-guard: {report}");
+    assert!(
+        report.schedules() > 100,
+        "too few schedules explored: {report}"
+    );
+}
+
+#[test]
+fn load_vs_free_handshake_is_safe_at_seqcst() {
+    let report = models::transcribed_load_vs_free(false).expect("SeqCst protocol must be safe");
+    eprintln!("arcswap load-vs-free: {report}");
+    assert!(report.complete, "tiny model should be explored completely");
+    assert!(report.schedules() > 10, "{report}");
+}
+
+#[test]
+fn weakened_reader_side_is_caught_as_uaf() {
+    let failure = models::transcribed_load_vs_free(true)
+        .expect_err("Relaxed reader count + Acquire pointer load must be caught");
+    eprintln!("caught as expected:\n{failure}");
+    assert!(failure.message.contains("UAF"), "{failure}");
+    assert!(!failure.trace.is_empty());
+}
+
+#[test]
+fn spill_handshake_is_safe_at_seqcst() {
+    let report = models::transcribed_spill_handshake(true).expect("SeqCst handshake must drain");
+    eprintln!("arcswap spill-handshake: {report}");
+    assert!(report.complete, "tiny model should be explored completely");
+}
+
+#[test]
+fn relaxed_spill_handshake_strands_the_spill() {
+    let failure = models::transcribed_spill_handshake(false)
+        .expect_err("store-buffering with Relaxed checks must strand the spill");
+    eprintln!("caught as expected:\n{failure}");
+    assert!(failure.message.contains("stranded spill"), "{failure}");
+}

@@ -1,0 +1,67 @@
+//! Vector clocks: the happens-before backbone of the memory model.
+
+/// A vector clock over modeled thread ids. Component `t` counts the
+/// store-events thread `t` has performed; `joined` clocks propagate
+/// visibility along synchronizes-with edges.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct VClock(Vec<u32>);
+
+impl VClock {
+    pub(crate) fn new() -> Self {
+        VClock(Vec::new())
+    }
+
+    pub(crate) fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn grow(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+    }
+
+    /// Increments this thread's own component and returns the new stamp.
+    pub(crate) fn incr(&mut self, tid: usize) -> u32 {
+        self.grow(tid);
+        self.0[tid] += 1;
+        self.0[tid]
+    }
+
+    /// Component-wise maximum.
+    pub(crate) fn join(&mut self, other: &VClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::VClock;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock::new();
+        a.incr(0);
+        a.incr(0);
+        let mut b = VClock::new();
+        b.incr(1);
+        a.join(&b);
+        assert_eq!(a.get(0), 2);
+        assert_eq!(a.get(1), 1);
+        assert_eq!(a.get(2), 0);
+    }
+
+    #[test]
+    fn incr_returns_new_stamp() {
+        let mut c = VClock::new();
+        assert_eq!(c.incr(3), 1);
+        assert_eq!(c.incr(3), 2);
+        assert_eq!(c.get(3), 2);
+        assert_eq!(c.get(0), 0);
+    }
+}

@@ -1,0 +1,1539 @@
+//! The execution engine: cooperative token-passing scheduler, schedule
+//! decision tree, vector-clock memory model, exploration driver, and
+//! failure-trace shrinking.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::{Duration, Instant};
+
+use crate::clock::VClock;
+
+/// Hard cap on modeled threads per run.
+const MAX_THREADS: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Thread-local model context
+// ---------------------------------------------------------------------------
+
+/// Handle tying an OS thread to a modeled thread of one run.
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) model: Arc<Model>,
+    pub(crate) tid: usize,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Ctx>> = const { RefCell::new(None) };
+    /// Message captured by the session panic hook on the panicking thread —
+    /// formatted panic payloads can only be rendered inside the hook.
+    static LAST_PANIC: RefCell<Option<String>> = const { RefCell::new(None) };
+}
+
+/// The active model context, if any. Returns `None` during unwinding so that
+/// destructors of modeled types free-run instead of consulting an execution
+/// that is being torn down.
+pub(crate) fn current() -> Option<Ctx> {
+    if std::thread::panicking() {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Marker payload used to silently unwind threads of an abandoned run.
+struct Abandon;
+
+fn abandon() -> ! {
+    resume_unwind(Box::new(Abandon))
+}
+
+// ---------------------------------------------------------------------------
+// Object identity
+// ---------------------------------------------------------------------------
+
+/// Lazily assigned per-object id. Modeled objects (atomics, mutexes,
+/// condvars) carry one; the id is allocated deterministically by the first
+/// modeled operation that touches the object (always performed by the token
+/// holder), so traces and replays agree on labels and map keys never suffer
+/// from address reuse.
+pub(crate) struct ObjId(AtomicU32);
+
+impl ObjId {
+    pub(crate) const fn new() -> Self {
+        ObjId(AtomicU32::new(0))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decision tree
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    /// Which thread performs the next operation.
+    Switch,
+    /// Which visible store a load reads (weak-memory value choice), or which
+    /// of several condvar waiters a `notify_one` wakes.
+    Value,
+    /// Which timed waiter a deadlock rescue wakes.
+    Rescue,
+}
+
+#[derive(Debug, Clone)]
+struct Branch {
+    kind: Kind,
+    chosen: usize,
+    arity: usize,
+    /// For `Switch`: was the previously running thread itself runnable?
+    /// (If so, any `chosen > 0` is a preemption and is bound-limited.)
+    cur_runnable: bool,
+    /// Preemptions accumulated before this decision — used by the DFS
+    /// backtracker to honor the preemption bound.
+    preempt_before: usize,
+}
+
+/// Per-run schedule decider for decisions beyond the replayed prefix.
+enum Decider {
+    /// Default-0 choices (DFS order; 0 = "continue current thread").
+    Exhaustive,
+    /// PCT-style randomized priorities with priority-change points.
+    Random {
+        rng: SplitMix,
+        priorities: Vec<u64>,
+        change_points: Vec<usize>,
+        switches: usize,
+        low: u64,
+    },
+}
+
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Run state
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum BlockOn {
+    Mutex(u32),
+    Condvar { cv: u32, timed: bool },
+    Join(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ThStatus {
+    Runnable,
+    Blocked(BlockOn),
+    Finished,
+}
+
+struct Th {
+    status: ThStatus,
+    clock: VClock,
+    wake_was_timeout: bool,
+}
+
+struct StoreEv {
+    value: u64,
+    tid: usize,
+    stamp: u32,
+    /// Release clock: set by Release/SeqCst stores (and propagated through
+    /// RMWs — release sequences), joined by Acquire/SeqCst loads that read
+    /// this event.
+    release: Option<VClock>,
+}
+
+struct Location {
+    history: Vec<StoreEv>,
+    /// Per-thread index of the newest event each thread has observed (reads
+    /// from an older event would violate coherence).
+    seen: Vec<usize>,
+    /// Index of the newest SeqCst store: SeqCst loads may not read older.
+    last_sc: Option<usize>,
+}
+
+struct MutexSt {
+    held_by: Option<usize>,
+    release: VClock,
+}
+
+struct Event {
+    tid: usize,
+    msg: String,
+}
+
+struct RunCfg {
+    max_steps: usize,
+    trace: bool,
+}
+
+struct RunState {
+    cfg: RunCfg,
+    decider: Decider,
+    path: Vec<Branch>,
+    pos: usize,
+    threads: Vec<Th>,
+    active: usize,
+    done: bool,
+    abandoning: bool,
+    preemptions: usize,
+    steps: usize,
+    locations: HashMap<u32, Location>,
+    mutexes: HashMap<u32, MutexSt>,
+    next_obj: u32,
+    sc_clock: VClock,
+    failure: Option<String>,
+    timeout_rescues: u64,
+    trace: Vec<Event>,
+}
+
+fn acquiring(o: Ordering) -> bool {
+    matches!(o, Ordering::Acquire | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn releasing(o: Ordering) -> bool {
+    matches!(o, Ordering::Release | Ordering::AcqRel | Ordering::SeqCst)
+}
+
+fn ord_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+impl RunState {
+    fn new(cfg: RunCfg, decider: Decider, prefix: Vec<Branch>) -> Self {
+        RunState {
+            cfg,
+            decider,
+            path: prefix,
+            pos: 0,
+            threads: Vec::new(),
+            active: 0,
+            done: false,
+            abandoning: false,
+            preemptions: 0,
+            steps: 0,
+            locations: HashMap::new(),
+            mutexes: HashMap::new(),
+            next_obj: 0,
+            sc_clock: VClock::new(),
+            failure: None,
+            timeout_rescues: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn fail(&mut self, msg: String) {
+        if self.failure.is_none() {
+            if self.cfg.trace {
+                self.trace.push(Event {
+                    tid: self.active,
+                    msg: format!("FAILURE: {msg}"),
+                });
+            }
+            self.failure = Some(msg);
+        }
+        self.abandoning = true;
+    }
+
+    fn trace_ev(&mut self, tid: usize, msg: String) {
+        self.trace.push(Event { tid, msg });
+    }
+
+    fn obj_key(&mut self, obj: &ObjId) -> u32 {
+        let k = obj.0.load(Ordering::Relaxed);
+        if k != 0 {
+            return k;
+        }
+        self.next_obj += 1;
+        let k = self.next_obj;
+        obj.0.store(k, Ordering::Relaxed);
+        k
+    }
+
+    fn loc_entry(&mut self, key: u32, init: u64) -> &mut Location {
+        self.locations.entry(key).or_insert_with(|| Location {
+            history: vec![StoreEv {
+                value: init,
+                tid: 0,
+                stamp: 0,
+                release: None,
+            }],
+            seen: Vec::new(),
+            last_sc: None,
+        })
+    }
+
+    fn mutex_entry(&mut self, key: u32) -> &mut MutexSt {
+        self.mutexes.entry(key).or_insert_with(|| MutexSt {
+            held_by: None,
+            release: VClock::new(),
+        })
+    }
+
+    /// Consumes the next decision: replayed from the prefix when available,
+    /// otherwise produced by the decider and appended to the path.
+    fn next_choice(
+        &mut self,
+        kind: Kind,
+        arity: usize,
+        cur_runnable: bool,
+        options: Option<&[usize]>,
+    ) -> usize {
+        debug_assert!(arity >= 1);
+        if self.pos < self.path.len() {
+            let b = &self.path[self.pos];
+            if b.kind == kind && b.arity == arity {
+                let chosen = b.chosen.min(arity - 1);
+                self.pos += 1;
+                return chosen;
+            }
+            // A shrunk prefix changed downstream structure; drop the stale
+            // suffix and continue with fresh default decisions.
+            self.path.truncate(self.pos);
+        }
+        let prev_active = self.active;
+        let chosen = match &mut self.decider {
+            Decider::Exhaustive => 0,
+            Decider::Random {
+                rng,
+                priorities,
+                change_points,
+                switches,
+                low,
+            } => match (kind, options) {
+                (Kind::Switch, Some(opts)) | (Kind::Rescue, Some(opts)) => {
+                    *switches += 1;
+                    let max_tid = opts.iter().copied().max().unwrap_or(0).max(prev_active);
+                    while priorities.len() <= max_tid {
+                        priorities.push(rng.next() | (1 << 32));
+                    }
+                    if change_points.contains(switches) {
+                        *low -= 1;
+                        priorities[prev_active] = *low;
+                    }
+                    let mut best = 0;
+                    for (i, t) in opts.iter().enumerate() {
+                        if priorities[*t] > priorities[opts[best]] {
+                            best = i;
+                        }
+                    }
+                    best
+                }
+                _ => (rng.next() % arity as u64) as usize,
+            },
+        };
+        self.path.push(Branch {
+            kind,
+            chosen,
+            arity,
+            cur_runnable,
+            preempt_before: self.preemptions,
+        });
+        self.pos += 1;
+        chosen
+    }
+
+    /// Decides which thread runs next. `me_runnable` marks whether the
+    /// deciding thread could itself continue (option 0, no preemption).
+    /// Returns `None` after recording a deadlock failure.
+    fn decide_switch(&mut self, me: usize, me_runnable: bool) -> Option<usize> {
+        let mut options = Vec::new();
+        if me_runnable {
+            options.push(me);
+        }
+        for t in 0..self.threads.len() {
+            if t != me && self.threads[t].status == ThStatus::Runnable {
+                options.push(t);
+            }
+        }
+        if options.is_empty() {
+            let sleepers: Vec<usize> = self
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, th)| {
+                    matches!(th.status, ThStatus::Blocked(BlockOn::Condvar { timed: true, .. }))
+                })
+                .map(|(t, _)| t)
+                .collect();
+            if sleepers.is_empty() {
+                let msg = format!("deadlock: {}", self.render_threads());
+                self.fail(msg);
+                return None;
+            }
+            let idx = self.next_choice(Kind::Rescue, sleepers.len(), false, Some(&sleepers));
+            let t = sleepers[idx];
+            self.timeout_rescues += 1;
+            self.threads[t].status = ThStatus::Runnable;
+            self.threads[t].wake_was_timeout = true;
+            if self.cfg.trace {
+                self.trace_ev(t, "woken by wait_for timeout (deadlock rescue)".into());
+            }
+            return Some(t);
+        }
+        let idx = self.next_choice(Kind::Switch, options.len(), me_runnable, Some(&options));
+        let chosen = options[idx];
+        if me_runnable && chosen != me {
+            self.preemptions += 1;
+        }
+        Some(chosen)
+    }
+
+    fn render_threads(&self) -> String {
+        let mut parts = Vec::new();
+        for (t, th) in self.threads.iter().enumerate() {
+            let s = match &th.status {
+                ThStatus::Runnable => "runnable".to_string(),
+                ThStatus::Finished => "finished".to_string(),
+                ThStatus::Blocked(BlockOn::Mutex(m)) => format!("blocked on Mutex#{m}"),
+                ThStatus::Blocked(BlockOn::Condvar { cv, timed }) => {
+                    if *timed {
+                        format!("in Condvar#{cv}.wait_for")
+                    } else {
+                        format!("in Condvar#{cv}.wait")
+                    }
+                }
+                ThStatus::Blocked(BlockOn::Join(j)) => format!("joining t{j}"),
+            };
+            parts.push(format!("t{t} {s}"));
+        }
+        parts.join(", ")
+    }
+
+    // -- memory model -------------------------------------------------------
+
+    /// Joins the thread clock with the global SeqCst clock (both ways).
+    /// SeqCst operations are modeled as globally synchronizing — slightly
+    /// stronger than C11, matching the interleaving intuition SeqCst code is
+    /// written against.
+    fn sc_sync(&mut self, me: usize) {
+        let mut c = self.sc_clock.clone();
+        c.join(&self.threads[me].clock);
+        self.threads[me].clock = c.clone();
+        self.sc_clock = c;
+    }
+
+    fn mem_load(&mut self, me: usize, key: u32, init: u64, ord: Ordering) -> (u64, usize) {
+        let sc = matches!(ord, Ordering::SeqCst);
+        if sc {
+            self.sc_sync(me);
+        }
+        let clock = self.threads[me].clock.clone();
+        let (floor, len) = {
+            let loc = self.loc_entry(key, init);
+            if loc.seen.len() <= me {
+                loc.seen.resize(me + 1, 0);
+            }
+            let mut floor = loc.seen[me];
+            for (i, ev) in loc.history.iter().enumerate().skip(floor + 1) {
+                // A store the loading thread already knows happened (per its
+                // clock) forces the read floor up: reading anything older
+                // would violate coherence / happens-before.
+                if ev.stamp != 0 && clock.get(ev.tid) >= ev.stamp {
+                    floor = i;
+                }
+            }
+            if sc {
+                if let Some(s) = loc.last_sc {
+                    floor = floor.max(s);
+                }
+            }
+            (floor, loc.history.len())
+        };
+        let visible = len - floor;
+        let pick = if visible > 1 {
+            self.next_choice(Kind::Value, visible, false, None)
+        } else {
+            0
+        };
+        let idx = floor + pick;
+        let (value, release) = {
+            let loc = self.locations.get_mut(&key).expect("location vanished");
+            loc.seen[me] = loc.seen[me].max(idx);
+            let ev = &loc.history[idx];
+            (ev.value, ev.release.clone())
+        };
+        if acquiring(ord) {
+            if let Some(rc) = release {
+                self.threads[me].clock.join(&rc);
+            }
+        }
+        (value, visible)
+    }
+
+    fn mem_store(&mut self, me: usize, key: u32, init: u64, val: u64, ord: Ordering) {
+        let sc = matches!(ord, Ordering::SeqCst);
+        if sc {
+            self.sc_sync(me);
+        }
+        let stamp = self.threads[me].clock.incr(me);
+        let release = if releasing(ord) {
+            Some(self.threads[me].clock.clone())
+        } else {
+            None
+        };
+        let loc = self.loc_entry(key, init);
+        if loc.seen.len() <= me {
+            loc.seen.resize(me + 1, 0);
+        }
+        loc.history.push(StoreEv {
+            value: val,
+            tid: me,
+            stamp,
+            release,
+        });
+        let idx = loc.history.len() - 1;
+        loc.seen[me] = idx;
+        if sc {
+            loc.last_sc = Some(idx);
+        }
+    }
+
+    /// Read-modify-write: atomically reads the *latest* store (RMW atomicity)
+    /// and appends the new value. Non-releasing RMWs propagate the previous
+    /// release clock so release sequences survive intervening RMWs.
+    fn mem_rmw(
+        &mut self,
+        me: usize,
+        key: u32,
+        init: u64,
+        ord: Ordering,
+        f: impl FnOnce(u64) -> u64,
+    ) -> (u64, u64) {
+        let sc = matches!(ord, Ordering::SeqCst);
+        if sc {
+            self.sc_sync(me);
+        }
+        let (old, prev_release) = {
+            let loc = self.loc_entry(key, init);
+            let ev = loc.history.last().expect("empty history");
+            (ev.value, ev.release.clone())
+        };
+        if acquiring(ord) {
+            if let Some(rc) = &prev_release {
+                self.threads[me].clock.join(rc);
+            }
+        }
+        let stamp = self.threads[me].clock.incr(me);
+        let release = if releasing(ord) {
+            let mut c = self.threads[me].clock.clone();
+            if let Some(p) = &prev_release {
+                c.join(p);
+            }
+            Some(c)
+        } else {
+            prev_release
+        };
+        let newv = f(old);
+        let loc = self.loc_entry(key, init);
+        if loc.seen.len() <= me {
+            loc.seen.resize(me + 1, 0);
+        }
+        loc.history.push(StoreEv {
+            value: newv,
+            tid: me,
+            stamp,
+            release,
+        });
+        let idx = loc.history.len() - 1;
+        loc.seen[me] = idx;
+        if sc {
+            loc.last_sc = Some(idx);
+        }
+        (old, newv)
+    }
+
+    /// Compare-and-swap against the latest store. A failed CAS acts as a
+    /// load of the latest value with the failure ordering.
+    #[allow(clippy::too_many_arguments)]
+    fn mem_cas(
+        &mut self,
+        me: usize,
+        key: u32,
+        init: u64,
+        expected: u64,
+        newv: u64,
+        ok: Ordering,
+        err: Ordering,
+    ) -> Result<u64, u64> {
+        let cur = {
+            let loc = self.loc_entry(key, init);
+            loc.history.last().expect("empty history").value
+        };
+        if cur == expected {
+            let (old, _) = self.mem_rmw(me, key, init, ok, |_| newv);
+            Ok(old)
+        } else {
+            if matches!(err, Ordering::SeqCst) {
+                self.sc_sync(me);
+            }
+            let prev_release = {
+                let loc = self.loc_entry(key, init);
+                let idx = loc.history.len() - 1;
+                if loc.seen.len() <= me {
+                    loc.seen.resize(me + 1, 0);
+                }
+                loc.seen[me] = idx;
+                loc.history[idx].release.clone()
+            };
+            if acquiring(err) {
+                if let Some(rc) = prev_release {
+                    self.threads[me].clock.join(&rc);
+                }
+            }
+            Err(cur)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The shared model (one run)
+// ---------------------------------------------------------------------------
+
+/// Shared state of one model run. All modeled threads serialize through
+/// `state`; `cv` is the single wakeup channel (token handoffs, unblocks,
+/// run completion all use `notify_all`).
+pub(crate) struct Model {
+    state: StdMutex<RunState>,
+    cv: StdCondvar,
+    os: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+enum FinishHow {
+    Ok,
+    Abandoned,
+    Panicked(String),
+}
+
+impl Model {
+    /// Parks until this thread owns the scheduling token (or the run is
+    /// being abandoned, in which case the thread unwinds).
+    fn wait_turn<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, RunState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, RunState> {
+        loop {
+            if st.abandoning && st.active == me {
+                drop(st);
+                abandon();
+            }
+            if !st.abandoning
+                && st.active == me
+                && st.threads[me].status == ThStatus::Runnable
+            {
+                return st;
+            }
+            st = self.cv.wait(st).expect("loomlite state poisoned");
+        }
+    }
+
+    /// Schedule point before every modeled operation: waits for the token,
+    /// charges the step budget, and lets the decider pick who proceeds.
+    fn enter(&self, me: usize) -> StdMutexGuard<'_, RunState> {
+        let st = self.state.lock().expect("loomlite state poisoned");
+        let mut st = self.wait_turn(st, me);
+        st.steps += 1;
+        if st.steps > st.cfg.max_steps {
+            let budget = st.cfg.max_steps;
+            st.fail(format!(
+                "step budget ({budget}) exceeded — livelock or unbounded loop in model"
+            ));
+            self.cv.notify_all();
+            drop(st);
+            abandon();
+        }
+        let next = st
+            .decide_switch(me, true)
+            .expect("deadlock impossible: deciding thread is runnable");
+        if next != me {
+            st.active = next;
+            self.cv.notify_all();
+            st = self.wait_turn(st, me);
+        }
+        st
+    }
+
+    /// Blocks the calling thread (its status must already be `Blocked`),
+    /// hands the token to another thread, and parks until rewoken.
+    fn block_and_wait<'a>(
+        &'a self,
+        mut st: StdMutexGuard<'a, RunState>,
+        me: usize,
+    ) -> StdMutexGuard<'a, RunState> {
+        match st.decide_switch(me, false) {
+            Some(next) => {
+                st.active = next;
+                self.cv.notify_all();
+                self.wait_turn(st, me)
+            }
+            None => {
+                // Deadlock recorded; unwind this thread, the finish protocol
+                // reaps the rest.
+                self.cv.notify_all();
+                drop(st);
+                abandon();
+            }
+        }
+    }
+
+    /// When abandoning, forces the next unfinished thread to wake and unwind.
+    fn director_next(&self, st: &mut RunState) {
+        debug_assert!(st.abandoning);
+        match st
+            .threads
+            .iter()
+            .position(|t| t.status != ThStatus::Finished)
+        {
+            Some(t) => {
+                st.threads[t].status = ThStatus::Runnable;
+                st.active = t;
+            }
+            None => st.done = true,
+        }
+        self.cv.notify_all();
+    }
+
+    fn finish(&self, me: usize, how: FinishHow) {
+        let mut st = self.state.lock().expect("loomlite state poisoned");
+        match how {
+            FinishHow::Ok => {}
+            FinishHow::Abandoned => st.abandoning = true,
+            FinishHow::Panicked(msg) => st.fail(msg),
+        }
+        st.threads[me].status = ThStatus::Finished;
+        if st.cfg.trace {
+            st.trace_ev(me, "thread finished".into());
+        }
+        if st.abandoning {
+            self.director_next(&mut st);
+            return;
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == ThStatus::Blocked(BlockOn::Join(me)) {
+                st.threads[t].status = ThStatus::Runnable;
+            }
+        }
+        if st
+            .threads
+            .iter()
+            .all(|t| t.status == ThStatus::Finished)
+        {
+            st.done = true;
+            self.cv.notify_all();
+            return;
+        }
+        match st.decide_switch(me, false) {
+            Some(next) => {
+                st.active = next;
+                self.cv.notify_all();
+            }
+            None => {
+                // Deadlock among the survivors.
+                self.director_next(&mut st);
+            }
+        }
+    }
+
+    // -- operations invoked from `sync` / `thread` -------------------------
+
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().expect("loomlite state poisoned");
+        let tid = st.threads.len();
+        assert!(
+            tid < MAX_THREADS,
+            "loomlite: more than {MAX_THREADS} modeled threads"
+        );
+        let parent = st.active;
+        let clock = st.threads[parent].clock.clone();
+        st.threads.push(Th {
+            status: ThStatus::Runnable,
+            clock,
+            wake_was_timeout: false,
+        });
+        if st.cfg.trace {
+            st.trace_ev(parent, format!("spawned t{tid}"));
+        }
+        tid
+    }
+
+    pub(crate) fn op_yield(&self, me: usize) {
+        let st = self.enter(me);
+        drop(st);
+    }
+
+    pub(crate) fn op_load(
+        &self,
+        me: usize,
+        obj: &ObjId,
+        init: u64,
+        ord: Ordering,
+        ty: &'static str,
+    ) -> u64 {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        let (value, visible) = st.mem_load(me, key, init, ord);
+        if st.cfg.trace {
+            st.trace_ev(
+                me,
+                format!(
+                    "{ty}#{key}.load({}) -> {value} [{visible} visible]",
+                    ord_name(ord)
+                ),
+            );
+        }
+        value
+    }
+
+    pub(crate) fn op_store(
+        &self,
+        me: usize,
+        obj: &ObjId,
+        init: u64,
+        val: u64,
+        ord: Ordering,
+        ty: &'static str,
+    ) {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        st.mem_store(me, key, init, val, ord);
+        if st.cfg.trace {
+            st.trace_ev(me, format!("{ty}#{key}.store({val}, {})", ord_name(ord)));
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn op_rmw(
+        &self,
+        me: usize,
+        obj: &ObjId,
+        init: u64,
+        ord: Ordering,
+        ty: &'static str,
+        name: &'static str,
+        f: impl FnOnce(u64) -> u64,
+    ) -> (u64, u64) {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        let (old, newv) = st.mem_rmw(me, key, init, ord, f);
+        if st.cfg.trace {
+            st.trace_ev(
+                me,
+                format!(
+                    "{ty}#{key}.{name}({}) -> {old} (now {newv})",
+                    ord_name(ord)
+                ),
+            );
+        }
+        (old, newv)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn op_cas(
+        &self,
+        me: usize,
+        obj: &ObjId,
+        init: u64,
+        expected: u64,
+        newv: u64,
+        ok: Ordering,
+        err: Ordering,
+        ty: &'static str,
+    ) -> Result<u64, u64> {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        let r = st.mem_cas(me, key, init, expected, newv, ok, err);
+        if st.cfg.trace {
+            let outcome = match &r {
+                Ok(old) => format!("ok (was {old}, now {newv})"),
+                Err(cur) => format!("failed (saw {cur})"),
+            };
+            st.trace_ev(
+                me,
+                format!(
+                    "{ty}#{key}.compare_exchange({expected} -> {newv}, {}, {}) {outcome}",
+                    ord_name(ok),
+                    ord_name(err)
+                ),
+            );
+        }
+        r
+    }
+
+    pub(crate) fn op_mutex_lock(&self, me: usize, obj: &ObjId) {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        loop {
+            let held = st.mutex_entry(key).held_by;
+            if held.is_none() {
+                let rel = {
+                    let m = st.mutex_entry(key);
+                    m.held_by = Some(me);
+                    m.release.clone()
+                };
+                st.threads[me].clock.join(&rel);
+                if st.cfg.trace {
+                    st.trace_ev(me, format!("Mutex#{key}.lock"));
+                }
+                return;
+            }
+            st.threads[me].status = ThStatus::Blocked(BlockOn::Mutex(key));
+            st = self.block_and_wait(st, me);
+        }
+    }
+
+    pub(crate) fn op_mutex_try_lock(&self, me: usize, obj: &ObjId) -> bool {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        if st.mutex_entry(key).held_by.is_none() {
+            let rel = {
+                let m = st.mutex_entry(key);
+                m.held_by = Some(me);
+                m.release.clone()
+            };
+            st.threads[me].clock.join(&rel);
+            if st.cfg.trace {
+                st.trace_ev(me, format!("Mutex#{key}.try_lock -> acquired"));
+            }
+            true
+        } else {
+            if st.cfg.trace {
+                st.trace_ev(me, format!("Mutex#{key}.try_lock -> busy"));
+            }
+            false
+        }
+    }
+
+    pub(crate) fn op_mutex_unlock(&self, me: usize, obj: &ObjId) {
+        let mut st = self.enter(me);
+        let key = st.obj_key(obj);
+        let clock = st.threads[me].clock.clone();
+        {
+            let m = st.mutex_entry(key);
+            m.held_by = None;
+            m.release = clock;
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == ThStatus::Blocked(BlockOn::Mutex(key)) {
+                st.threads[t].status = ThStatus::Runnable;
+            }
+        }
+        if st.cfg.trace {
+            st.trace_ev(me, format!("Mutex#{key}.unlock"));
+        }
+    }
+
+    /// Condvar wait: atomically releases the mutex and blocks; on wakeup
+    /// (notify, or timeout rescue for timed waits) reacquires the mutex.
+    /// Returns whether the wakeup was a timeout rescue.
+    pub(crate) fn op_cv_wait(&self, me: usize, cv: &ObjId, mx: &ObjId, timed: bool) -> bool {
+        let mut st = self.enter(me);
+        let cv_key = st.obj_key(cv);
+        let mx_key = st.obj_key(mx);
+        let clock = st.threads[me].clock.clone();
+        {
+            let m = st.mutex_entry(mx_key);
+            debug_assert_eq!(m.held_by, Some(me), "wait on a mutex we don't hold");
+            m.held_by = None;
+            m.release = clock;
+        }
+        for t in 0..st.threads.len() {
+            if st.threads[t].status == ThStatus::Blocked(BlockOn::Mutex(mx_key)) {
+                st.threads[t].status = ThStatus::Runnable;
+            }
+        }
+        if st.cfg.trace {
+            let kind = if timed { "wait_for" } else { "wait" };
+            st.trace_ev(me, format!("Condvar#{cv_key}.{kind} (releases Mutex#{mx_key})"));
+        }
+        st.threads[me].wake_was_timeout = false;
+        st.threads[me].status = ThStatus::Blocked(BlockOn::Condvar { cv: cv_key, timed });
+        st = self.block_and_wait(st, me);
+        let timed_out = st.threads[me].wake_was_timeout;
+        // Reacquire the mutex.
+        loop {
+            let held = st.mutex_entry(mx_key).held_by;
+            if held.is_none() {
+                let rel = {
+                    let m = st.mutex_entry(mx_key);
+                    m.held_by = Some(me);
+                    m.release.clone()
+                };
+                st.threads[me].clock.join(&rel);
+                if st.cfg.trace {
+                    let how = if timed_out { "timeout" } else { "notify" };
+                    st.trace_ev(me, format!("Condvar#{cv_key} woke ({how}), relocked Mutex#{mx_key}"));
+                }
+                return timed_out;
+            }
+            st.threads[me].status = ThStatus::Blocked(BlockOn::Mutex(mx_key));
+            st = self.block_and_wait(st, me);
+        }
+    }
+
+    pub(crate) fn op_cv_notify(&self, me: usize, cv: &ObjId, all: bool) {
+        let mut st = self.enter(me);
+        let cv_key = st.obj_key(cv);
+        let waiters: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, th)| {
+                matches!(&th.status, ThStatus::Blocked(BlockOn::Condvar { cv, .. }) if *cv == cv_key)
+            })
+            .map(|(t, _)| t)
+            .collect();
+        if waiters.is_empty() {
+            if st.cfg.trace {
+                st.trace_ev(me, format!("Condvar#{cv_key}.notify (no waiters)"));
+            }
+            return;
+        }
+        let woken: Vec<usize> = if all {
+            waiters
+        } else if waiters.len() > 1 {
+            // Which waiter a notify_one wakes is itself nondeterministic.
+            let idx = st.next_choice(Kind::Value, waiters.len(), false, None);
+            vec![waiters[idx]]
+        } else {
+            waiters
+        };
+        for &t in &woken {
+            st.threads[t].status = ThStatus::Runnable;
+            st.threads[t].wake_was_timeout = false;
+        }
+        if st.cfg.trace {
+            let kind = if all { "notify_all" } else { "notify_one" };
+            let list: Vec<String> = woken.iter().map(|t| format!("t{t}")).collect();
+            st.trace_ev(me, format!("Condvar#{cv_key}.{kind} wakes {}", list.join(",")));
+        }
+    }
+
+    pub(crate) fn op_join(&self, me: usize, target: usize) {
+        let mut st = self.enter(me);
+        while st.threads[target].status != ThStatus::Finished {
+            st.threads[me].status = ThStatus::Blocked(BlockOn::Join(target));
+            st = self.block_and_wait(st, me);
+        }
+        // Join edge: everything the target did happens-before the join.
+        let tc = st.threads[target].clock.clone();
+        st.threads[me].clock.join(&tc);
+        if st.cfg.trace {
+            st.trace_ev(me, format!("joined t{target}"));
+        }
+    }
+}
+
+/// Body wrapper for every modeled OS thread: installs the context, runs the
+/// user closure, and drives the finish protocol whatever the outcome.
+pub(crate) fn enter_modeled_thread(model: Arc<Model>, tid: usize, f: impl FnOnce()) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            model: model.clone(),
+            tid,
+        })
+    });
+    let result = catch_unwind(AssertUnwindSafe(f));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(()) => model.finish(tid, FinishHow::Ok),
+        Err(payload) => {
+            if payload.downcast_ref::<Abandon>().is_some() {
+                model.finish(tid, FinishHow::Abandoned);
+            } else {
+                model.finish(tid, FinishHow::Panicked(panic_message(&payload)));
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = LAST_PANIC.with(|c| c.borrow_mut().take()) {
+        // Lazily formatted payloads (e.g. `panic!("{x}")`) don't downcast;
+        // the session hook rendered them for us.
+        s
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exploration driver
+// ---------------------------------------------------------------------------
+
+/// Configuration for a model-checking session. See the crate docs for the
+/// exploration strategy.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    /// Max preemptions per schedule in the exhaustive phase (`None` = no
+    /// bound). Default 2 — empirically catches almost all bugs (PCT/Chess).
+    pub preemption_bound: Option<usize>,
+    /// Cap on exhaustive schedules before declaring the tree incomplete.
+    pub max_schedules: u64,
+    /// Additional PCT-style random schedules run when the exhaustive phase
+    /// was pruned (by the bound) or capped.
+    pub random_schedules: u64,
+    /// Seed for the random phase. Overridable via `LOOMLITE_SEED`.
+    pub seed: u64,
+    /// Number of PCT priority-change points per random schedule.
+    pub pct_depth: usize,
+    /// Per-run step budget: exceeding it fails the run (livelock guard).
+    pub max_steps: usize,
+    /// Replay budget for shrinking a failing schedule.
+    pub shrink_budget: u64,
+    /// Treat any timeout rescue (see crate docs) as a failure — proves a
+    /// wakeup protocol never relies on its timeout.
+    pub fail_on_timeout_rescue: bool,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// What one session learned: schedule counts, completeness, and timings.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Schedules explored by the bounded-exhaustive DFS phase.
+    pub exhaustive_schedules: u64,
+    /// Schedules explored by the seeded random (PCT) phase.
+    pub random_schedules: u64,
+    /// Whether the exhaustive phase ran the (bounded) tree to exhaustion.
+    pub complete: bool,
+    /// The preemption bound in force.
+    pub preemption_bound: Option<usize>,
+    /// Schedule alternatives pruned by the preemption bound.
+    pub preemption_pruned: u64,
+    /// Total timeout rescues across all schedules (see crate docs).
+    pub timeout_rescues: u64,
+    /// Deepest decision path seen.
+    pub max_depth: usize,
+    /// Seed used for the random phase.
+    pub seed: u64,
+    /// Wall-clock time for the whole session.
+    pub wall: Duration,
+}
+
+impl Report {
+    /// Total schedules explored.
+    pub fn schedules(&self) -> u64 {
+        self.exhaustive_schedules + self.random_schedules
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} schedules ({} exhaustive{}, {} random, seed {:#x}), bound={:?}, pruned={}, max-depth={}, rescues={}, {:.1?}",
+            self.schedules(),
+            self.exhaustive_schedules,
+            if self.complete { " [complete]" } else { " [capped]" },
+            self.random_schedules,
+            self.seed,
+            self.preemption_bound,
+            self.preemption_pruned,
+            self.max_depth,
+            self.timeout_rescues,
+            self.wall,
+        )
+    }
+}
+
+/// A failing schedule: the assertion message, the shrunk event trace, and a
+/// compact decision string that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// The panic/deadlock/budget message from the failing run.
+    pub message: String,
+    /// Human-readable event trace of the shrunk failing schedule.
+    pub trace: String,
+    /// Compact decision-path encoding of the failing schedule.
+    pub schedule: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "loomlite: model failed: {}", self.message)?;
+        writeln!(f, "schedule: {}", self.schedule)?;
+        writeln!(f, "trace of the shrunk failing schedule:")?;
+        write!(f, "{}", self.trace)
+    }
+}
+
+struct RunResult {
+    path: Vec<Branch>,
+    failure: Option<String>,
+    timeout_rescues: u64,
+    trace: Vec<Event>,
+}
+
+impl Builder {
+    /// A builder with the defaults described on each field.
+    pub fn new() -> Self {
+        let seed = std::env::var("LOOMLITE_SEED")
+            .ok()
+            .and_then(|s| {
+                let s = s.trim();
+                if let Some(hex) = s.strip_prefix("0x") {
+                    u64::from_str_radix(hex, 16).ok()
+                } else {
+                    s.parse().ok()
+                }
+            })
+            .unwrap_or(0x5eed_0d5e_ed0d_5eed);
+        Builder {
+            preemption_bound: Some(2),
+            max_schedules: 50_000,
+            random_schedules: 200,
+            seed,
+            pct_depth: 3,
+            max_steps: 20_000,
+            shrink_budget: 400,
+            fail_on_timeout_rescue: false,
+        }
+    }
+
+    /// Runs the model. On failure, prints the shrunk trace to stderr and
+    /// panics (so `cargo test` reports it). Returns the exploration report.
+    pub fn check<F>(self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        match self.check_quiet(f) {
+            Ok(report) => report,
+            Err(failure) => {
+                eprintln!("{failure}");
+                panic!("loomlite: model failed: {}", failure.message);
+            }
+        }
+    }
+
+    /// Like [`Builder::check`] but returns the failure instead of panicking.
+    pub fn check_quiet<F>(self, f: F) -> Result<Report, Failure>
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let job: Arc<dyn Fn() + Send + Sync> = Arc::new(f);
+        // For the whole session, route panic messages into a thread-local
+        // (failing replays would otherwise spam dozens of panic banners, and
+        // formatted payloads can only be rendered inside a hook). Restored
+        // on every exit path by the guard.
+        let _hook_guard = HookGuard::install();
+        let start = Instant::now();
+        let mut report = Report {
+            exhaustive_schedules: 0,
+            random_schedules: 0,
+            complete: false,
+            preemption_bound: self.preemption_bound,
+            preemption_pruned: 0,
+            timeout_rescues: 0,
+            max_depth: 0,
+            seed: self.seed,
+            wall: Duration::ZERO,
+        };
+
+        let failing = |path: Vec<Branch>, msg: String, report: &mut Report| {
+            report.wall = start.elapsed();
+            self.shrink_and_render(&job, path, msg)
+        };
+
+        // Phase 1: bounded-exhaustive DFS.
+        let mut prefix: Vec<Branch> = Vec::new();
+        let mut pruned: u64 = 0;
+        loop {
+            let res = self.run_once(&job, Decider::Exhaustive, prefix, false);
+            report.exhaustive_schedules += 1;
+            report.max_depth = report.max_depth.max(res.path.len());
+            report.timeout_rescues += res.timeout_rescues;
+            if let Some(msg) = self.run_failure(&res) {
+                return Err(failing(res.path, msg, &mut report));
+            }
+            if report.exhaustive_schedules >= self.max_schedules {
+                break;
+            }
+            let mut path = res.path;
+            if !advance(&mut path, self.preemption_bound, &mut pruned) {
+                report.complete = true;
+                break;
+            }
+            prefix = path;
+        }
+        report.preemption_pruned = pruned;
+
+        // Phase 2: seeded random (PCT) schedules — only worthwhile when the
+        // bounded tree did not already cover everything.
+        let need_random = !report.complete || pruned > 0;
+        if need_random {
+            for i in 0..self.random_schedules {
+                let decider = self.random_decider(i);
+                let res = self.run_once(&job, decider, Vec::new(), false);
+                report.random_schedules += 1;
+                report.max_depth = report.max_depth.max(res.path.len());
+                report.timeout_rescues += res.timeout_rescues;
+                if let Some(msg) = self.run_failure(&res) {
+                    let msg = format!("{msg} [random schedule {i}, seed {:#x}]", self.seed);
+                    return Err(failing(res.path, msg, &mut report));
+                }
+            }
+        }
+
+        report.wall = start.elapsed();
+        Ok(report)
+    }
+
+    fn random_decider(&self, run: u64) -> Decider {
+        let mut rng = SplitMix(self.seed ^ run.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA5A5_5A5A);
+        let mut change_points = Vec::with_capacity(self.pct_depth);
+        for _ in 0..self.pct_depth {
+            change_points.push((rng.next() % 48) as usize + 1);
+        }
+        Decider::Random {
+            rng,
+            priorities: Vec::new(),
+            change_points,
+            switches: 0,
+            low: 1 << 31,
+        }
+    }
+
+    fn run_failure(&self, res: &RunResult) -> Option<String> {
+        if let Some(m) = &res.failure {
+            return Some(m.clone());
+        }
+        if self.fail_on_timeout_rescue && res.timeout_rescues > 0 {
+            return Some(format!(
+                "wait_for timeout rescue was required {} time(s) — a wakeup was lost \
+                 (the protocol relied on its timeout)",
+                res.timeout_rescues
+            ));
+        }
+        None
+    }
+
+    /// Executes one schedule. `prefix` replays recorded decisions; fresh
+    /// decisions come from `decider`. Fully deterministic given both.
+    fn run_once(
+        &self,
+        job: &Arc<dyn Fn() + Send + Sync>,
+        decider: Decider,
+        prefix: Vec<Branch>,
+        trace: bool,
+    ) -> RunResult {
+        let cfg = RunCfg {
+            max_steps: self.max_steps,
+            trace,
+        };
+        let model = Arc::new(Model {
+            state: StdMutex::new(RunState::new(cfg, decider, prefix)),
+            cv: StdCondvar::new(),
+            os: StdMutex::new(Vec::new()),
+        });
+        {
+            let mut st = model.state.lock().expect("loomlite state poisoned");
+            st.threads.push(Th {
+                status: ThStatus::Runnable,
+                clock: VClock::new(),
+                wake_was_timeout: false,
+            });
+            st.active = 0;
+        }
+        let m2 = model.clone();
+        let j = job.clone();
+        let h0 = std::thread::Builder::new()
+            .name("loomlite-t0".into())
+            .spawn(move || enter_modeled_thread(m2, 0, move || j()))
+            .expect("failed to spawn model root thread");
+        model.os.lock().expect("os handle list poisoned").push(h0);
+
+        // Wait for the run to finish, with a wedge guard: a correct engine
+        // always completes (abandonment reaps blocked threads), so a stall
+        // here is an internal error worth failing loudly on.
+        {
+            let mut st = model.state.lock().expect("loomlite state poisoned");
+            let deadline = Instant::now() + Duration::from_secs(120);
+            while !st.done {
+                let (g, _) = model
+                    .cv
+                    .wait_timeout(st, Duration::from_millis(500))
+                    .expect("loomlite state poisoned");
+                st = g;
+                if !st.done && Instant::now() > deadline {
+                    panic!("loomlite: model run wedged (internal scheduler error)");
+                }
+            }
+        }
+        loop {
+            let hs: Vec<_> = model
+                .os
+                .lock()
+                .expect("os handle list poisoned")
+                .drain(..)
+                .collect();
+            if hs.is_empty() {
+                break;
+            }
+            for h in hs {
+                let _ = h.join();
+            }
+        }
+        let mut st = model.state.lock().expect("loomlite state poisoned");
+        RunResult {
+            path: std::mem::take(&mut st.path),
+            failure: st.failure.take(),
+            timeout_rescues: st.timeout_rescues,
+            trace: std::mem::take(&mut st.trace),
+        }
+    }
+
+    /// Greedily resets decision choices to their defaults while the failure
+    /// persists, then replays the minimized schedule with tracing on.
+    fn shrink_and_render(
+        &self,
+        job: &Arc<dyn Fn() + Send + Sync>,
+        mut path: Vec<Branch>,
+        message: String,
+    ) -> Failure {
+        let mut budget = self.shrink_budget;
+        'outer: loop {
+            for i in 0..path.len() {
+                if path[i].chosen == 0 {
+                    continue;
+                }
+                if budget == 0 {
+                    break 'outer;
+                }
+                budget -= 1;
+                let mut cand: Vec<Branch> = path[..=i].to_vec();
+                cand[i].chosen = 0;
+                let res = self.run_once(job, Decider::Exhaustive, cand, false);
+                if self.run_failure(&res).is_some() {
+                    // Still fails with a lexicographically smaller schedule.
+                    path = res.path;
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+
+        // Final traced replay of the shrunk schedule.
+        let res = self.run_once(job, Decider::Exhaustive, path, true);
+        let message = res.failure.unwrap_or(message);
+        let mut trace = String::new();
+        for (i, ev) in res.trace.iter().enumerate() {
+            trace.push_str(&format!("  #{:<3} t{}  {}\n", i, ev.tid, ev.msg));
+        }
+        Failure {
+            message,
+            trace,
+            schedule: render_schedule(&res.path),
+        }
+    }
+}
+
+/// Replaces the panic hook with a quiet message-capturing one for the
+/// duration of a checking session; restores the previous hook on drop.
+type PanicHook = Box<dyn Fn(&std::panic::PanicHookInfo<'_>) + Sync + Send>;
+struct HookGuard(Option<PanicHook>);
+
+impl HookGuard {
+    fn install() -> Self {
+        let saved = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|info| {
+            let msg = info.to_string();
+            LAST_PANIC.with(|c| *c.borrow_mut() = Some(msg));
+        }));
+        HookGuard(Some(saved))
+    }
+}
+
+impl Drop for HookGuard {
+    fn drop(&mut self) {
+        if let Some(h) = self.0.take() {
+            std::panic::set_hook(h);
+        }
+    }
+}
+
+fn render_schedule(path: &[Branch]) -> String {
+    let mut s = String::new();
+    for b in path {
+        let k = match b.kind {
+            Kind::Switch => 's',
+            Kind::Value => 'v',
+            Kind::Rescue => 'r',
+        };
+        s.push_str(&format!("{k}{}/{} ", b.chosen, b.arity));
+    }
+    s.trim_end().to_string()
+}
+
+/// DFS backtracking: advances the deepest incrementable decision (honoring
+/// the preemption bound for `Switch` branches) and truncates everything
+/// below it. Returns `false` when the tree is exhausted.
+fn advance(path: &mut Vec<Branch>, bound: Option<usize>, pruned: &mut u64) -> bool {
+    while let Some(b) = path.last_mut() {
+        let next = b.chosen + 1;
+        if next < b.arity {
+            let feasible = match b.kind {
+                Kind::Switch if b.cur_runnable => {
+                    // options[0] is "continue current thread"; any other
+                    // choice preempts it.
+                    bound.is_none_or(|bd| b.preempt_before < bd)
+                }
+                _ => true,
+            };
+            if feasible {
+                b.chosen = next;
+                return true;
+            }
+            *pruned += (b.arity - next) as u64;
+        }
+        path.pop();
+    }
+    false
+}
+
+/// Checks `f` with default settings: exhaustive exploration with preemption
+/// bound 2, then 200 seeded random schedules when the bound pruned anything.
+/// Panics with a shrunk trace on failure.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}
+
+// ---------------------------------------------------------------------------
+// Registration of spawned OS handles (used by `thread::spawn`)
+// ---------------------------------------------------------------------------
+
+impl Model {
+    pub(crate) fn adopt_os_handle(&self, h: std::thread::JoinHandle<()>) {
+        self.os.lock().expect("os handle list poisoned").push(h);
+    }
+}

@@ -1,0 +1,82 @@
+//! # loomlite
+//!
+//! A vendored, dependency-free, loom-style **deterministic concurrency model
+//! checker**. It runs a closure-under-test many times, each time forcing a
+//! different interleaving of the modeled threads, and — unlike a plain
+//! interleaving explorer — it also models **weak memory**: every modeled
+//! atomic location keeps its full modification order, and a `Relaxed` load is
+//! allowed to return *any* store that is not yet obsolete for the loading
+//! thread (per a vector-clock happens-before relation). `Acquire`/`Release`
+//! edges and `SeqCst` fences narrow that choice exactly as C11 does, so
+//! missing-ordering bugs surface as extra value choices, not just as rare
+//! interleavings.
+//!
+//! ## Exploration strategy
+//!
+//! * **Exhaustive DFS** over the schedule-decision tree, bounded by a
+//!   *preemption bound* (default 2): schedules that preempt a runnable thread
+//!   more than `bound` times are pruned. For the small models we ship
+//!   (2–3 threads, 2–4 ops each) this is exhaustive in practice.
+//! * **Seeded random (PCT-style)**: when the bounded tree was pruned or the
+//!   schedule cap was hit, an additional `random_schedules` runs are made with
+//!   per-run thread priorities and `pct_depth` priority-change points derived
+//!   from a reproducible seed.
+//!
+//! ## Failure handling
+//!
+//! The first failing schedule (assertion panic, deadlock, lost wakeup, step
+//! budget blowout) is **shrunk** — decision choices are greedily reset to
+//! their defaults while the failure persists — then replayed once more with
+//! tracing enabled, and the resulting event trace is printed before the test
+//! panics. Every run is deterministic given its decision path, so the printed
+//! schedule string reproduces the failure exactly.
+//!
+//! ## Usage
+//!
+//! ```
+//! use loomlite::sync::atomic::{AtomicUsize, Ordering};
+//! use loomlite::sync::Arc;
+//!
+//! let report = loomlite::model(|| {
+//!     let a = Arc::new(AtomicUsize::new(0));
+//!     let b = a.clone();
+//!     let t = loomlite::thread::spawn(move || {
+//!         b.fetch_add(1, Ordering::SeqCst);
+//!     });
+//!     a.fetch_add(1, Ordering::SeqCst);
+//!     t.join().unwrap();
+//!     assert_eq!(a.load(Ordering::SeqCst), 2);
+//! });
+//! assert!(report.complete);
+//! ```
+//!
+//! ## Fallback mode
+//!
+//! Every loomlite primitive wraps the *real* `std` primitive and delegates to
+//! it whenever no model is active on the current thread. Code compiled
+//! against `loomlite::sync` therefore still behaves correctly (just with
+//! modeled types) under the normal test suite — enabling a `model-check`
+//! feature never breaks ordinary tests.
+//!
+//! ## Caveats (by design — this is a bounded checker, not a proof)
+//!
+//! * Only `u64`-shaped atomics (`AtomicBool`/`AtomicUsize`/`AtomicU64`/
+//!   `AtomicPtr`) are modeled; wider state must be decomposed.
+//! * Modeled objects must be **created inside the checked closure** so each
+//!   run starts from a fresh state.
+//! * `Condvar::wait_for` is modeled as a hard block that is eligible for
+//!   *timeout rescue*: when every thread is blocked and at least one of them
+//!   is in a timed wait, one timed waiter is woken (a `Rescue` decision). The
+//!   per-run rescue count is reported, and `Builder::fail_on_timeout_rescue`
+//!   turns any rescue into a failure — that is how the WAL ring model proves
+//!   its Dekker-style parked/ready protocol never loses a wakeup.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod clock;
+mod exec;
+pub mod sync;
+pub mod thread;
+
+pub use exec::{model, Builder, Failure, Report};

@@ -1,0 +1,790 @@
+//! Modeled drop-in replacements for `std::sync` / `parking_lot` primitives.
+//!
+//! Every type wraps the *real* primitive and delegates to it when no model
+//! is active on the current thread (fallback mode), so code compiled against
+//! these types still runs correctly under a normal test suite. Under an
+//! active model, operations are routed through the scheduler and the
+//! weak-memory model instead; the real primitive is kept mirrored to the
+//! latest modeled value so `get_mut`/`into_inner` stay truthful.
+//!
+//! The `Mutex`/`Condvar` API mirrors the workspace's vendored `parking_lot`
+//! shim (no poisoning, `Condvar::wait(&mut MutexGuard)`, `wait_for`).
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Duration;
+
+use crate::exec::{current, ObjId};
+
+/// Modeled atomic integer and pointer types plus the standard [`Ordering`].
+///
+/// [`Ordering`]: std::sync::atomic::Ordering
+pub mod atomic {
+    pub use std::sync::atomic::Ordering;
+
+    use super::super::exec::{current, ObjId};
+
+    macro_rules! int_atomic {
+        ($(#[$meta:meta])* $Name:ident, $Std:ident, $T:ty) => {
+            $(#[$meta])*
+            pub struct $Name {
+                real: std::sync::atomic::$Std,
+                id: ObjId,
+            }
+
+            impl $Name {
+                /// Creates a new atomic with the given initial value.
+                pub const fn new(v: $T) -> Self {
+                    Self {
+                        real: std::sync::atomic::$Std::new(v),
+                        id: ObjId::new(),
+                    }
+                }
+
+                fn init(&self) -> u64 {
+                    self.real.load(Ordering::Relaxed) as u64
+                }
+
+                /// Atomic load with the given ordering.
+                pub fn load(&self, ord: Ordering) -> $T {
+                    match current() {
+                        Some(ctx) => ctx
+                            .model
+                            .op_load(ctx.tid, &self.id, self.init(), ord, stringify!($Name))
+                            as $T,
+                        None => self.real.load(ord),
+                    }
+                }
+
+                /// Atomic store with the given ordering.
+                pub fn store(&self, val: $T, ord: Ordering) {
+                    match current() {
+                        Some(ctx) => {
+                            ctx.model.op_store(
+                                ctx.tid,
+                                &self.id,
+                                self.init(),
+                                val as u64,
+                                ord,
+                                stringify!($Name),
+                            );
+                            self.real.store(val, Ordering::Relaxed);
+                        }
+                        None => self.real.store(val, ord),
+                    }
+                }
+
+                /// Atomic swap; returns the previous value.
+                pub fn swap(&self, val: $T, ord: Ordering) -> $T {
+                    match current() {
+                        Some(ctx) => {
+                            let (old, newv) = ctx.model.op_rmw(
+                                ctx.tid,
+                                &self.id,
+                                self.init(),
+                                ord,
+                                stringify!($Name),
+                                "swap",
+                                |_| val as u64,
+                            );
+                            self.real.store(newv as $T, Ordering::Relaxed);
+                            old as $T
+                        }
+                        None => self.real.swap(val, ord),
+                    }
+                }
+
+                /// Atomic wrapping add; returns the previous value.
+                pub fn fetch_add(&self, val: $T, ord: Ordering) -> $T {
+                    match current() {
+                        Some(ctx) => {
+                            let (old, newv) = ctx.model.op_rmw(
+                                ctx.tid,
+                                &self.id,
+                                self.init(),
+                                ord,
+                                stringify!($Name),
+                                "fetch_add",
+                                |o| (o as $T).wrapping_add(val) as u64,
+                            );
+                            self.real.store(newv as $T, Ordering::Relaxed);
+                            old as $T
+                        }
+                        None => self.real.fetch_add(val, ord),
+                    }
+                }
+
+                /// Atomic wrapping subtract; returns the previous value.
+                pub fn fetch_sub(&self, val: $T, ord: Ordering) -> $T {
+                    match current() {
+                        Some(ctx) => {
+                            let (old, newv) = ctx.model.op_rmw(
+                                ctx.tid,
+                                &self.id,
+                                self.init(),
+                                ord,
+                                stringify!($Name),
+                                "fetch_sub",
+                                |o| (o as $T).wrapping_sub(val) as u64,
+                            );
+                            self.real.store(newv as $T, Ordering::Relaxed);
+                            old as $T
+                        }
+                        None => self.real.fetch_sub(val, ord),
+                    }
+                }
+
+                /// Atomic bitwise or; returns the previous value.
+                pub fn fetch_or(&self, val: $T, ord: Ordering) -> $T {
+                    match current() {
+                        Some(ctx) => {
+                            let (old, newv) = ctx.model.op_rmw(
+                                ctx.tid,
+                                &self.id,
+                                self.init(),
+                                ord,
+                                stringify!($Name),
+                                "fetch_or",
+                                |o| ((o as $T) | val) as u64,
+                            );
+                            self.real.store(newv as $T, Ordering::Relaxed);
+                            old as $T
+                        }
+                        None => self.real.fetch_or(val, ord),
+                    }
+                }
+
+                /// Atomic compare-and-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    expected: $T,
+                    new: $T,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$T, $T> {
+                    match current() {
+                        Some(ctx) => match ctx.model.op_cas(
+                            ctx.tid,
+                            &self.id,
+                            self.init(),
+                            expected as u64,
+                            new as u64,
+                            ok,
+                            err,
+                            stringify!($Name),
+                        ) {
+                            Ok(old) => {
+                                self.real.store(new, Ordering::Relaxed);
+                                Ok(old as $T)
+                            }
+                            Err(cur) => Err(cur as $T),
+                        },
+                        None => self.real.compare_exchange(expected, new, ok, err),
+                    }
+                }
+
+                /// Weak CAS — modeled identically to the strong form
+                /// (spurious failures are not modeled).
+                pub fn compare_exchange_weak(
+                    &self,
+                    expected: $T,
+                    new: $T,
+                    ok: Ordering,
+                    err: Ordering,
+                ) -> Result<$T, $T> {
+                    self.compare_exchange(expected, new, ok, err)
+                }
+
+                /// Exclusive access to the value (bypasses the model; valid
+                /// because `&mut self` proves no concurrent access).
+                pub fn get_mut(&mut self) -> &mut $T {
+                    self.real.get_mut()
+                }
+
+                /// Consumes the atomic and returns the value.
+                pub fn into_inner(self) -> $T {
+                    self.real.into_inner()
+                }
+            }
+
+            impl Default for $Name {
+                fn default() -> Self {
+                    Self::new(0)
+                }
+            }
+
+            impl std::fmt::Debug for $Name {
+                fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                    f.debug_tuple(stringify!($Name))
+                        .field(&self.real.load(Ordering::Relaxed))
+                        .finish()
+                }
+            }
+
+            impl From<$T> for $Name {
+                fn from(v: $T) -> Self {
+                    Self::new(v)
+                }
+            }
+        };
+    }
+
+    int_atomic!(
+        /// Modeled equivalent of [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        AtomicUsize,
+        usize
+    );
+    int_atomic!(
+        /// Modeled equivalent of [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        AtomicU64,
+        u64
+    );
+    int_atomic!(
+        /// Modeled equivalent of [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        AtomicU32,
+        u32
+    );
+
+    /// Modeled equivalent of [`std::sync::atomic::AtomicBool`].
+    pub struct AtomicBool {
+        real: std::sync::atomic::AtomicBool,
+        id: ObjId,
+    }
+
+    impl AtomicBool {
+        /// Creates a new atomic flag.
+        pub const fn new(v: bool) -> Self {
+            Self {
+                real: std::sync::atomic::AtomicBool::new(v),
+                id: ObjId::new(),
+            }
+        }
+
+        fn init(&self) -> u64 {
+            self.real.load(Ordering::Relaxed) as u64
+        }
+
+        /// Atomic load with the given ordering.
+        pub fn load(&self, ord: Ordering) -> bool {
+            match current() {
+                Some(ctx) => {
+                    ctx.model
+                        .op_load(ctx.tid, &self.id, self.init(), ord, "AtomicBool")
+                        != 0
+                }
+                None => self.real.load(ord),
+            }
+        }
+
+        /// Atomic store with the given ordering.
+        pub fn store(&self, val: bool, ord: Ordering) {
+            match current() {
+                Some(ctx) => {
+                    ctx.model.op_store(
+                        ctx.tid,
+                        &self.id,
+                        self.init(),
+                        val as u64,
+                        ord,
+                        "AtomicBool",
+                    );
+                    self.real.store(val, Ordering::Relaxed);
+                }
+                None => self.real.store(val, ord),
+            }
+        }
+
+        /// Atomic swap; returns the previous value.
+        pub fn swap(&self, val: bool, ord: Ordering) -> bool {
+            match current() {
+                Some(ctx) => {
+                    let (old, newv) = ctx.model.op_rmw(
+                        ctx.tid,
+                        &self.id,
+                        self.init(),
+                        ord,
+                        "AtomicBool",
+                        "swap",
+                        |_| val as u64,
+                    );
+                    self.real.store(newv != 0, Ordering::Relaxed);
+                    old != 0
+                }
+                None => self.real.swap(val, ord),
+            }
+        }
+
+        /// Atomic compare-and-exchange.
+        pub fn compare_exchange(
+            &self,
+            expected: bool,
+            new: bool,
+            ok: Ordering,
+            err: Ordering,
+        ) -> Result<bool, bool> {
+            match current() {
+                Some(ctx) => match ctx.model.op_cas(
+                    ctx.tid,
+                    &self.id,
+                    self.init(),
+                    expected as u64,
+                    new as u64,
+                    ok,
+                    err,
+                    "AtomicBool",
+                ) {
+                    Ok(old) => {
+                        self.real.store(new, Ordering::Relaxed);
+                        Ok(old != 0)
+                    }
+                    Err(cur) => Err(cur != 0),
+                },
+                None => self.real.compare_exchange(expected, new, ok, err),
+            }
+        }
+
+        /// Exclusive access to the value.
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.real.get_mut()
+        }
+
+        /// Consumes the atomic and returns the value.
+        pub fn into_inner(self) -> bool {
+            self.real.into_inner()
+        }
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
+    }
+
+    impl std::fmt::Debug for AtomicBool {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicBool")
+                .field(&self.real.load(Ordering::Relaxed))
+                .finish()
+        }
+    }
+
+    /// Modeled equivalent of [`std::sync::atomic::AtomicPtr`]. Pointer
+    /// values are modeled as their address bits.
+    pub struct AtomicPtr<T> {
+        real: std::sync::atomic::AtomicPtr<T>,
+        id: ObjId,
+    }
+
+    impl<T> AtomicPtr<T> {
+        /// Creates a new atomic pointer.
+        pub const fn new(p: *mut T) -> Self {
+            Self {
+                real: std::sync::atomic::AtomicPtr::new(p),
+                id: ObjId::new(),
+            }
+        }
+
+        fn init(&self) -> u64 {
+            self.real.load(Ordering::Relaxed) as usize as u64
+        }
+
+        /// Atomic load with the given ordering.
+        pub fn load(&self, ord: Ordering) -> *mut T {
+            match current() {
+                Some(ctx) => ctx
+                    .model
+                    .op_load(ctx.tid, &self.id, self.init(), ord, "AtomicPtr")
+                    as usize as *mut T,
+                None => self.real.load(ord),
+            }
+        }
+
+        /// Atomic store with the given ordering.
+        pub fn store(&self, p: *mut T, ord: Ordering) {
+            match current() {
+                Some(ctx) => {
+                    ctx.model.op_store(
+                        ctx.tid,
+                        &self.id,
+                        self.init(),
+                        p as usize as u64,
+                        ord,
+                        "AtomicPtr",
+                    );
+                    self.real.store(p, Ordering::Relaxed);
+                }
+                None => self.real.store(p, ord),
+            }
+        }
+
+        /// Atomic swap; returns the previous pointer.
+        pub fn swap(&self, p: *mut T, ord: Ordering) -> *mut T {
+            match current() {
+                Some(ctx) => {
+                    let (old, _) = ctx.model.op_rmw(
+                        ctx.tid,
+                        &self.id,
+                        self.init(),
+                        ord,
+                        "AtomicPtr",
+                        "swap",
+                        |_| p as usize as u64,
+                    );
+                    self.real.store(p, Ordering::Relaxed);
+                    old as usize as *mut T
+                }
+                None => self.real.swap(p, ord),
+            }
+        }
+
+        /// Atomic compare-and-exchange.
+        pub fn compare_exchange(
+            &self,
+            expected: *mut T,
+            new: *mut T,
+            ok: Ordering,
+            err: Ordering,
+        ) -> Result<*mut T, *mut T> {
+            match current() {
+                Some(ctx) => match ctx.model.op_cas(
+                    ctx.tid,
+                    &self.id,
+                    self.init(),
+                    expected as usize as u64,
+                    new as usize as u64,
+                    ok,
+                    err,
+                    "AtomicPtr",
+                ) {
+                    Ok(old) => {
+                        self.real.store(new, Ordering::Relaxed);
+                        Ok(old as usize as *mut T)
+                    }
+                    Err(cur) => Err(cur as usize as *mut T),
+                },
+                None => self.real.compare_exchange(expected, new, ok, err),
+            }
+        }
+
+        /// Exclusive access to the pointer.
+        pub fn get_mut(&mut self) -> &mut *mut T {
+            self.real.get_mut()
+        }
+
+        /// Consumes the atomic and returns the pointer.
+        pub fn into_inner(self) -> *mut T {
+            self.real.into_inner()
+        }
+    }
+
+    impl<T> std::fmt::Debug for AtomicPtr<T> {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.debug_tuple("AtomicPtr")
+                .field(&self.real.load(Ordering::Relaxed))
+                .finish()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex / Condvar (parking_lot-shaped: no poisoning)
+// ---------------------------------------------------------------------------
+
+/// Modeled mutex with the same shape as the vendored `parking_lot` shim.
+pub struct Mutex<T: ?Sized> {
+    id: ObjId,
+    raw: StdMutex<()>,
+    data: UnsafeCell<T>,
+}
+
+// SAFETY: same bounds as std::sync::Mutex — the lock protocol (modeled or
+// raw) serializes access to `data`.
+unsafe impl<T: ?Sized + Send> Send for Mutex<T> {}
+unsafe impl<T: ?Sized + Send> Sync for Mutex<T> {}
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex {
+            id: ObjId::new(),
+            raw: StdMutex::new(()),
+            data: UnsafeCell::new(t),
+        }
+    }
+
+    /// Consumes the mutex and returns the value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock. Under a model this is a schedule point and may
+    /// block the modeled thread; otherwise it delegates to the raw mutex
+    /// (ignoring poisoning, like parking_lot).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match current() {
+            Some(ctx) => {
+                ctx.model.op_mutex_lock(ctx.tid, &self.id);
+                MutexGuard {
+                    lock: self,
+                    raw: None,
+                    modeled: true,
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                raw: Some(self.raw.lock().unwrap_or_else(|e| e.into_inner())),
+                modeled: false,
+            },
+        }
+    }
+
+    /// Attempts to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match current() {
+            Some(ctx) => {
+                if ctx.model.op_mutex_try_lock(ctx.tid, &self.id) {
+                    Some(MutexGuard {
+                        lock: self,
+                        raw: None,
+                        modeled: true,
+                    })
+                } else {
+                    None
+                }
+            }
+            None => match self.raw.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    raw: Some(g),
+                    modeled: false,
+                }),
+                Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                    lock: self,
+                    raw: Some(e.into_inner()),
+                    modeled: false,
+                }),
+                Err(std::sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Exclusive access to the value.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+/// Guard for a [`Mutex`]. Releasing it (drop) is a modeled operation.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    raw: Option<StdMutexGuard<'a, ()>>,
+    modeled: bool,
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        // SAFETY: holding the guard means holding the (modeled or raw) lock.
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        // SAFETY: as above, with exclusive access through &mut self.
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.modeled {
+            // `current()` is None while unwinding: the run is being
+            // abandoned and its state no longer matters.
+            if let Some(ctx) = current() {
+                ctx.model.op_mutex_unlock(ctx.tid, &self.lock.id);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+/// Result of [`Condvar::wait_for`]: whether the wait timed out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(pub(crate) bool);
+
+impl WaitTimeoutResult {
+    /// True when the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Modeled condition variable (parking_lot-shaped API).
+pub struct Condvar {
+    id: ObjId,
+    real: StdCondvar,
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            id: ObjId::new(),
+            real: StdCondvar::new(),
+        }
+    }
+
+    /// Blocks until notified. Under a model this is a hard block: if every
+    /// thread ends up blocked the run fails as a deadlock.
+    pub fn wait<T: ?Sized>(&self, guard: &mut MutexGuard<'_, T>) {
+        if guard.modeled {
+            if let Some(ctx) = current() {
+                ctx.model
+                    .op_cv_wait(ctx.tid, &self.id, &guard.lock.id, false);
+            }
+            return;
+        }
+        let raw = guard.raw.take().expect("fallback guard missing raw lock");
+        let raw = self.real.wait(raw).unwrap_or_else(|e| e.into_inner());
+        guard.raw = Some(raw);
+    }
+
+    /// Blocks until notified or the timeout elapses. Under a model the
+    /// timeout never fires on its own; a timed waiter is only woken early
+    /// as a *deadlock rescue* (reported per run, see the crate docs).
+    pub fn wait_for<T: ?Sized>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        if guard.modeled {
+            if let Some(ctx) = current() {
+                let timed_out = ctx
+                    .model
+                    .op_cv_wait(ctx.tid, &self.id, &guard.lock.id, true);
+                return WaitTimeoutResult(timed_out);
+            }
+            return WaitTimeoutResult(false);
+        }
+        let raw = guard.raw.take().expect("fallback guard missing raw lock");
+        let (raw, res) = self
+            .real
+            .wait_timeout(raw, timeout)
+            .unwrap_or_else(|e| e.into_inner());
+        guard.raw = Some(raw);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one waiter (a modeled decision point when several wait).
+    pub fn notify_one(&self) {
+        match current() {
+            Some(ctx) => ctx.model.op_cv_notify(ctx.tid, &self.id, false),
+            None => self.real.notify_one(),
+        }
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        match current() {
+            Some(ctx) => ctx.model.op_cv_notify(ctx.tid, &self.id, true),
+            None => self.real.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arc
+// ---------------------------------------------------------------------------
+
+/// Thin wrapper over [`std::sync::Arc`] that adds a schedule point right
+/// before the last reference is dropped — the moment that matters for
+/// reclamation races. Clones and non-final drops are pass-through.
+pub struct Arc<T: ?Sized>(std::sync::Arc<T>);
+
+impl<T> Arc<T> {
+    /// Allocates a new reference-counted value.
+    pub fn new(v: T) -> Self {
+        Arc(std::sync::Arc::new(v))
+    }
+}
+
+impl<T: ?Sized> Arc<T> {
+    /// Pointer identity comparison.
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Current strong reference count.
+    pub fn strong_count(this: &Self) -> usize {
+        std::sync::Arc::strong_count(&this.0)
+    }
+}
+
+impl<T: ?Sized> Clone for Arc<T> {
+    fn clone(&self) -> Self {
+        Arc(self.0.clone())
+    }
+}
+
+impl<T: ?Sized> Deref for Arc<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Drop for Arc<T> {
+    fn drop(&mut self) {
+        if std::sync::Arc::strong_count(&self.0) == 1 {
+            if let Some(ctx) = current() {
+                ctx.model.op_yield(ctx.tid);
+            }
+        }
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Arc<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}

@@ -1,0 +1,88 @@
+//! Modeled `thread::spawn` / `JoinHandle` / `yield_now`.
+//!
+//! Under an active model, spawned closures run on real OS threads but are
+//! serialized by the model's token-passing scheduler; `join` is a modeled
+//! blocking operation (a joiner deadlocking with its target is detected).
+//! Outside a model everything delegates to `std::thread`.
+
+use std::sync::{Arc as StdArc, Mutex as StdMutex};
+
+use crate::exec::{current, enter_modeled_thread};
+
+type Slot<T> = StdArc<StdMutex<Option<std::thread::Result<T>>>>;
+
+enum Inner<T> {
+    Model {
+        model: StdArc<crate::exec::Model>,
+        tid: usize,
+        slot: Slot<T>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a spawned (possibly modeled) thread.
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result. Under a model
+    /// this is a schedule point and a modeled blocking operation.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Model { model, tid, slot } => {
+                let me = current()
+                    .expect("modeled JoinHandle joined outside its model")
+                    .tid;
+                model.op_join(me, tid);
+                slot.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .take()
+                    .expect("joined thread left no result")
+            }
+            Inner::Real(h) => h.join(),
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model the new thread is registered with the
+/// scheduler and only runs when the explorer schedules it.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match current() {
+        Some(ctx) => {
+            let tid = ctx.model.register_thread();
+            let slot: Slot<T> = StdArc::new(StdMutex::new(None));
+            let slot2 = slot.clone();
+            let model = ctx.model.clone();
+            let model2 = model.clone();
+            let h = std::thread::Builder::new()
+                .name(format!("loomlite-t{tid}"))
+                .spawn(move || {
+                    enter_modeled_thread(model2, tid, move || {
+                        let v = f();
+                        *slot2.lock().unwrap_or_else(|e| e.into_inner()) = Some(Ok(v));
+                    });
+                })
+                .expect("failed to spawn modeled thread");
+            model.adopt_os_handle(h);
+            JoinHandle {
+                inner: Inner::Model { model, tid, slot },
+            }
+        }
+        None => JoinHandle {
+            inner: Inner::Real(std::thread::spawn(f)),
+        },
+    }
+}
+
+/// A pure schedule point under a model; `std::thread::yield_now` otherwise.
+pub fn yield_now() {
+    match current() {
+        Some(ctx) => ctx.model.op_yield(ctx.tid),
+        None => std::thread::yield_now(),
+    }
+}
